@@ -1,0 +1,62 @@
+#include "bench_common.h"
+
+namespace spear::bench {
+
+double Average(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+void PrintConfigHeader(const CoreConfig& c) {
+  std::printf("# Simulator configuration (paper Table 2)\n");
+  std::printf("#   issue/commit width      : %u / %u\n", c.issue_width,
+              c.commit_width);
+  std::printf("#   RUU (reorder buffer)    : %u entries\n", c.ruu_size);
+  std::printf("#   branch predictor        : bimodal, %u entries\n",
+              c.bpred.table_entries);
+  std::printf("#   int FUs                 : ALU x%u, MUL/DIV x%u\n",
+              c.fu.int_alu, c.fu.int_muldiv);
+  std::printf("#   fp FUs                  : ALU x%u, MUL/DIV x%u\n",
+              c.fu.fp_alu, c.fu.fp_muldiv);
+  std::printf("#   memory ports            : %u\n", c.fu.mem_ports);
+  std::printf("#   L1 D-cache              : %u sets, %uB blocks, %u-way, %u cyc\n",
+              c.mem.l1d.sets, c.mem.l1d.block_bytes, c.mem.l1d.assoc,
+              c.mem.l1_latency);
+  std::printf("#   unified L2              : %u sets, %uB blocks, %u-way, %u cyc\n",
+              c.mem.l2.sets, c.mem.l2.block_bytes, c.mem.l2.assoc,
+              c.mem.l2_latency);
+  std::printf("#   memory latency          : %u cycles\n", c.mem.mem_latency);
+  std::printf("#\n");
+}
+
+std::vector<EvalRow> RunMatrix(const std::vector<std::string>& names,
+                               const EvalOptions& options, bool with_sf) {
+  std::vector<EvalRow> rows;
+  rows.reserve(names.size());
+  for (const std::string& name : names) {
+    const PreparedWorkload pw = PrepareWorkload(name, options);
+    EvalRow row;
+    row.name = name;
+    row.compile = pw.compile_report;
+    row.base = RunConfig(pw.plain, BaselineConfig(128), options);
+    row.s128 = RunConfig(pw.annotated, SpearCoreConfig(128), options);
+    row.s256 = RunConfig(pw.annotated, SpearCoreConfig(256), options);
+    if (with_sf) {
+      row.sf128 = RunConfig(pw.annotated, SpearCoreConfig(128, true), options);
+      row.sf256 = RunConfig(pw.annotated, SpearCoreConfig(256, true), options);
+    }
+    rows.push_back(std::move(row));
+    std::fflush(stdout);
+  }
+  return rows;
+}
+
+std::vector<std::string> AllBenchmarkNames() {
+  std::vector<std::string> names;
+  for (const WorkloadInfo& w : AllWorkloads()) names.emplace_back(w.name);
+  return names;
+}
+
+}  // namespace spear::bench

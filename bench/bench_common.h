@@ -1,0 +1,39 @@
+// Shared machinery for the experiment-reproduction binaries: the standard
+// five-configuration evaluation (baseline, SPEAR-128/256, SPEAR.sf-128/256)
+// and table formatting. Every binary prints the simulator configuration
+// header (paper Table 2) so runs are self-describing.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "eval/harness.h"
+
+namespace spear::bench {
+
+// Geometric mean of per-benchmark speedups is noisy at this scale; the
+// paper reports arithmetic averages of normalized IPC, so we do too.
+double Average(const std::vector<double>& xs);
+
+void PrintConfigHeader(const CoreConfig& reference);
+
+struct EvalRow {
+  std::string name;
+  RunStats base;
+  RunStats s128;
+  RunStats s256;
+  RunStats sf128;
+  RunStats sf256;
+  CompileReport compile;
+};
+
+// Runs the standard configuration matrix over the given workloads.
+// with_sf additionally runs the separate-functional-unit models (Fig. 7).
+std::vector<EvalRow> RunMatrix(const std::vector<std::string>& names,
+                               const EvalOptions& options, bool with_sf);
+
+// All 15 paper benchmarks, in Table 1 order.
+std::vector<std::string> AllBenchmarkNames();
+
+}  // namespace spear::bench

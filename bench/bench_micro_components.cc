@@ -1,0 +1,98 @@
+// Google-benchmark microbenchmarks of the simulator substrates themselves:
+// cache access, branch prediction, functional emulation and cycle-level
+// simulation rates. These are engineering benchmarks (simulator
+// throughput), not paper experiments — they justify the workload scaling
+// used in the experiment benches.
+#include <benchmark/benchmark.h>
+
+#include "bpred/bpred.h"
+#include "common/rng.h"
+#include "cpu/core.h"
+#include "eval/harness.h"
+#include "mem/cache.h"
+#include "mem/hierarchy.h"
+#include "sim/emulator.h"
+#include "workloads/workload.h"
+
+namespace spear {
+namespace {
+
+void BM_CacheAccess(benchmark::State& state) {
+  Cache cache(CacheConfig{"bm", 256, 32, 4});
+  Rng rng(1);
+  std::vector<Addr> addrs(4096);
+  for (Addr& a : addrs) a = static_cast<Addr>(rng.Below(1u << 22));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.Access(addrs[i], false, kMainThread));
+    i = (i + 1) & 4095;
+  }
+}
+BENCHMARK(BM_CacheAccess);
+
+void BM_HierarchyAccess(benchmark::State& state) {
+  MemoryHierarchy hier((HierarchyConfig()));
+  Rng rng(2);
+  std::vector<Addr> addrs(4096);
+  for (Addr& a : addrs) a = static_cast<Addr>(rng.Below(1u << 22));
+  std::size_t i = 0;
+  Cycle now = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        hier.AccessData(addrs[i], false, kMainThread, ++now));
+    i = (i + 1) & 4095;
+  }
+}
+BENCHMARK(BM_HierarchyAccess);
+
+void BM_BimodalPredict(benchmark::State& state) {
+  BranchPredictor bp((BpredConfig()));
+  const Instruction br{Opcode::kBne, 0, IntReg(1), IntReg(2), 0x1000};
+  Pc pc = 0x2000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bp.Predict(pc, br));
+    bp.Update(pc, br, (pc & 8) != 0, 0x1000);
+    pc += 8;
+  }
+}
+BENCHMARK(BM_BimodalPredict);
+
+void BM_EmulatorStep(benchmark::State& state) {
+  WorkloadConfig cfg;
+  const Program prog = BuildWorkloadProgram("matrix", cfg);
+  Emulator emu(prog);
+  for (auto _ : state) {
+    if (emu.halted()) state.SkipWithError("halted");
+    benchmark::DoNotOptimize(emu.Step());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EmulatorStep);
+
+void BM_CoreCycle(benchmark::State& state) {
+  WorkloadConfig cfg;
+  const Program prog = BuildWorkloadProgram("matrix", cfg);
+  Core core(prog, BaselineConfig(128));
+  for (auto _ : state) {
+    core.StepCycle();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CoreCycle);
+
+void BM_SpearCoreCycle(benchmark::State& state) {
+  EvalOptions opt;
+  opt.compiler.profiler.max_instrs = 200'000;
+  const PreparedWorkload pw = PrepareWorkload("matrix", opt);
+  Core core(pw.annotated, SpearCoreConfig(256));
+  for (auto _ : state) {
+    core.StepCycle();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SpearCoreCycle);
+
+}  // namespace
+}  // namespace spear
+
+BENCHMARK_MAIN();

@@ -1,0 +1,146 @@
+// Branch prediction substrate.
+//
+// The paper's configuration is a bimodal predictor with a 2048-entry table
+// of 2-bit saturating counters (Table 2). Because our fetch engine reads
+// instructions straight out of the loaded program (small-kernel I-side, see
+// DESIGN.md), direct branch/jump targets are known at predict time from the
+// instruction itself; only the *direction* needs predicting, plus targets
+// for indirect jumps (return-address stack for returns, last-target BTB for
+// other indirect jumps). gshare and static-BTFN schemes are included for
+// the predictor-sensitivity ablation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+#include "isa/instruction.h"
+
+namespace spear {
+
+enum class BpredKind : std::uint8_t {
+  kBimodal,  // paper configuration
+  kGshare,
+  kStaticBtfn,  // backward taken, forward not-taken
+  kAlwaysTaken,
+};
+
+struct BpredConfig {
+  BpredKind kind = BpredKind::kBimodal;
+  std::uint32_t table_entries = 2048;  // paper: 2048
+  std::uint32_t ras_entries = 8;
+  std::uint32_t btb_entries = 512;
+};
+
+struct BranchPrediction {
+  bool taken = false;
+  Pc target = 0;  // predicted next PC when taken
+};
+
+class BranchPredictor {
+ public:
+  explicit BranchPredictor(const BpredConfig& config)
+      : config_(config),
+        counters_(config.table_entries, 2),  // weakly taken
+        ras_(config.ras_entries, 0),
+        btb_(config.btb_entries, BtbEntry{}) {
+    SPEAR_CHECK((config.table_entries & (config.table_entries - 1)) == 0);
+    SPEAR_CHECK((config.btb_entries & (config.btb_entries - 1)) == 0);
+  }
+
+  // Predicts the outcome of a control instruction at fetch time, updating
+  // speculative structures (RAS push/pop). `fallthrough` = pc + 8.
+  BranchPrediction Predict(Pc pc, const Instruction& in) {
+    const Pc fallthrough = pc + kInstrBytes;
+    BranchPrediction p;
+    if (IsCondBranch(in.op)) {
+      p.taken = PredictDirection(pc, in);
+      p.target = p.taken ? StaticTargetOf(in) : fallthrough;
+      return p;
+    }
+    // Unconditional control flow.
+    p.taken = true;
+    if (!IsIndirectJump(in.op)) {
+      p.target = StaticTargetOf(in);
+    } else if (in.rs == kRegRa && !IsCall(in.op)) {
+      p.target = RasPop();  // return
+    } else {
+      p.target = BtbLookup(pc);  // other indirect: last-seen target
+      if (p.target == 0) p.target = fallthrough;
+    }
+    if (IsCall(in.op)) RasPush(fallthrough);
+    return p;
+  }
+
+  // Trains the predictor with the resolved outcome (called at commit).
+  void Update(Pc pc, const Instruction& in, bool taken, Pc actual_target) {
+    if (IsCondBranch(in.op)) {
+      std::uint8_t& c = counters_[DirIndex(pc)];
+      if (taken) {
+        if (c < 3) ++c;
+      } else {
+        if (c > 0) --c;
+      }
+      history_ = (history_ << 1) | (taken ? 1u : 0u);
+    } else if (IsIndirectJump(in.op)) {
+      btb_[BtbIndex(pc)] = BtbEntry{pc, actual_target};
+    }
+  }
+
+  const BpredConfig& config() const { return config_; }
+
+ private:
+  struct BtbEntry {
+    Pc pc = 0;
+    Pc target = 0;
+  };
+
+  bool PredictDirection(Pc pc, const Instruction& in) const {
+    switch (config_.kind) {
+      case BpredKind::kBimodal:
+      case BpredKind::kGshare:
+        return counters_[DirIndex(pc)] >= 2;
+      case BpredKind::kStaticBtfn:
+        return StaticTargetOf(in) <= pc;  // backward taken, forward not
+      case BpredKind::kAlwaysTaken:
+        return true;
+    }
+    return false;
+  }
+
+  std::uint32_t DirIndex(Pc pc) const {
+    std::uint32_t idx = (pc >> 3);  // instructions are 8-byte aligned
+    if (config_.kind == BpredKind::kGshare) idx ^= history_;
+    return idx & (config_.table_entries - 1);
+  }
+
+  std::uint32_t BtbIndex(Pc pc) const {
+    return (pc >> 3) & (config_.btb_entries - 1);
+  }
+
+  Pc BtbLookup(Pc pc) const {
+    const BtbEntry& e = btb_[BtbIndex(pc)];
+    return e.pc == pc ? e.target : 0;
+  }
+
+  void RasPush(Pc return_pc) {
+    ras_top_ = (ras_top_ + 1) % ras_.size();
+    ras_[ras_top_] = return_pc;
+  }
+
+  Pc RasPop() {
+    const Pc top = ras_[ras_top_];
+    ras_top_ = (ras_top_ + ras_.size() - 1) % ras_.size();
+    return top;
+  }
+
+  BpredConfig config_;
+  std::vector<std::uint8_t> counters_;
+  std::vector<Pc> ras_;
+  std::size_t ras_top_ = 0;
+  std::vector<BtbEntry> btb_;
+  std::uint32_t history_ = 0;
+};
+
+}  // namespace spear

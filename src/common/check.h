@@ -1,0 +1,35 @@
+// Lightweight precondition / invariant checking.
+//
+// SPEAR_CHECK is always on (simulator correctness over raw speed: a silent
+// corruption of microarchitectural state costs far more debugging time than
+// a branch per check). SPEAR_DCHECK compiles out in NDEBUG builds and is
+// used on hot inner-loop paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace spear::detail {
+
+[[noreturn]] inline void CheckFailed(const char* cond, const char* file,
+                                     int line) {
+  std::fprintf(stderr, "SPEAR_CHECK failed: %s at %s:%d\n", cond, file, line);
+  std::abort();
+}
+
+}  // namespace spear::detail
+
+#define SPEAR_CHECK(cond)                                       \
+  do {                                                          \
+    if (!(cond)) {                                              \
+      ::spear::detail::CheckFailed(#cond, __FILE__, __LINE__);  \
+    }                                                           \
+  } while (false)
+
+#ifdef NDEBUG
+#define SPEAR_DCHECK(cond) \
+  do {                     \
+  } while (false)
+#else
+#define SPEAR_DCHECK(cond) SPEAR_CHECK(cond)
+#endif

@@ -1,0 +1,120 @@
+// Fixed-capacity circular FIFO used for the IFQ, the RUU and the profiler's
+// retired-instruction window. Indices returned by PushBack are stable
+// "slots" (physical positions in the ring) so hardware structures can hold
+// references to entries while they sit in the queue — exactly what the
+// SPEAR P-thread Extractor needs ("the PE remembers the IFQ entry of the
+// d-load which initiated the pre-execution mode").
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/check.h"
+
+namespace spear {
+
+template <typename T>
+class CircularBuffer {
+ public:
+  explicit CircularBuffer(std::size_t capacity)
+      : slots_(capacity), head_(0), size_(0) {
+    SPEAR_CHECK(capacity > 0);
+  }
+
+  std::size_t capacity() const { return slots_.size(); }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ == slots_.size(); }
+
+  // Appends a value; returns the physical slot index it occupies.
+  std::size_t PushBack(T value) {
+    SPEAR_CHECK(!full());
+    const std::size_t slot = PhysicalIndex(size_);
+    slots_[slot] = std::move(value);
+    ++size_;
+    return slot;
+  }
+
+  // Removes and returns the oldest element.
+  T PopFront() {
+    SPEAR_CHECK(!empty());
+    T value = std::move(slots_[head_]);
+    head_ = Next(head_);
+    --size_;
+    return value;
+  }
+
+  // Logical access: At(0) is the oldest element.
+  T& At(std::size_t logical) {
+    SPEAR_DCHECK(logical < size_);
+    return slots_[PhysicalIndex(logical)];
+  }
+  const T& At(std::size_t logical) const {
+    SPEAR_DCHECK(logical < size_);
+    return slots_[PhysicalIndex(logical)];
+  }
+
+  T& Front() { return At(0); }
+  const T& Front() const { return At(0); }
+  T& Back() { return At(size_ - 1); }
+  const T& Back() const { return At(size_ - 1); }
+
+  // Physical-slot access for structures that captured a slot index.
+  T& Slot(std::size_t slot) {
+    SPEAR_DCHECK(slot < slots_.size());
+    return slots_[slot];
+  }
+  const T& Slot(std::size_t slot) const {
+    SPEAR_DCHECK(slot < slots_.size());
+    return slots_[slot];
+  }
+
+  // Maps a logical position to its physical slot.
+  std::size_t PhysicalIndex(std::size_t logical) const {
+    SPEAR_DCHECK(logical <= size_);  // one-past-end allowed for PushBack
+    std::size_t p = head_ + logical;
+    if (p >= slots_.size()) p -= slots_.size();
+    return p;
+  }
+
+  // Maps a physical slot back to its logical position (0 = oldest).
+  // Slot must currently hold a live element.
+  std::size_t LogicalIndex(std::size_t slot) const {
+    SPEAR_DCHECK(slot < slots_.size());
+    const std::size_t logical =
+        slot >= head_ ? slot - head_ : slot + slots_.size() - head_;
+    SPEAR_DCHECK(logical < size_);
+    return logical;
+  }
+
+  // True when the physical slot currently holds a live element.
+  bool SlotLive(std::size_t slot) const {
+    if (slot >= slots_.size() || size_ == 0) return false;
+    const std::size_t logical =
+        slot >= head_ ? slot - head_ : slot + slots_.size() - head_;
+    return logical < size_;
+  }
+
+  // Removes the newest `n` elements (branch-misprediction squash).
+  void PopBack(std::size_t n) {
+    SPEAR_CHECK(n <= size_);
+    size_ -= n;
+  }
+
+  void Clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  std::size_t Next(std::size_t p) const {
+    ++p;
+    return p == slots_.size() ? 0 : p;
+  }
+
+  std::vector<T> slots_;
+  std::size_t head_;
+  std::size_t size_;
+};
+
+}  // namespace spear

@@ -1,0 +1,61 @@
+// Deterministic xorshift128+ generator. All workload generators and
+// randomized tests draw from this so every simulation run is reproducible
+// from a single seed (a requirement for the profile-then-simulate SPEAR
+// compiler flow: the paper intentionally profiles with a *different* input
+// set, which we reproduce by deriving a distinct child seed).
+#pragma once
+
+#include <cstdint>
+
+namespace spear {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) {
+    // SplitMix64 to spread a possibly small seed over both words.
+    s_[0] = SplitMix(seed);
+    s_[1] = SplitMix(seed ^ 0xbf58476d1ce4e5b9ull);
+    if (s_[0] == 0 && s_[1] == 0) s_[0] = 1;
+  }
+
+  std::uint64_t Next() {
+    std::uint64_t x = s_[0];
+    const std::uint64_t y = s_[1];
+    s_[0] = y;
+    x ^= x << 23;
+    s_[1] = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s_[1] + y;
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  std::uint64_t Below(std::uint64_t bound) { return Next() % bound; }
+
+  // Uniform in [lo, hi].
+  std::int64_t Range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    Below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  double NextDouble() {  // [0, 1)
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  bool Chance(double p) { return NextDouble() < p; }
+
+  // Derives an independent stream (e.g. profiling vs. reference inputs).
+  Rng Fork(std::uint64_t salt) const {
+    return Rng(s_[0] ^ (salt * 0xd6e8feb86659fd93ull) ^ s_[1]);
+  }
+
+ private:
+  static std::uint64_t SplitMix(std::uint64_t z) {
+    z += 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  std::uint64_t s_[2];
+};
+
+}  // namespace spear

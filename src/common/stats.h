@@ -1,0 +1,45 @@
+// Named-counter statistics registry. Every simulator component owns plain
+// uint64 counters for speed and registers them here by name so tests,
+// benches and the EXPERIMENTS harness can read them uniformly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/check.h"
+
+namespace spear {
+
+class StatsRegistry {
+ public:
+  // Registers (or re-binds) a counter under `name`. The pointee must
+  // outlive the registry user.
+  void Register(const std::string& name, const std::uint64_t* counter) {
+    SPEAR_CHECK(counter != nullptr);
+    counters_[name] = counter;
+  }
+
+  bool Has(const std::string& name) const { return counters_.count(name) > 0; }
+
+  std::uint64_t Get(const std::string& name) const {
+    auto it = counters_.find(name);
+    SPEAR_CHECK(it != counters_.end());
+    return *it->second;
+  }
+
+  // Ratio helper returning 0 when the denominator is zero.
+  double Ratio(const std::string& num, const std::string& den) const {
+    const std::uint64_t d = Get(den);
+    return d == 0 ? 0.0 : static_cast<double>(Get(num)) / static_cast<double>(d);
+  }
+
+  const std::map<std::string, const std::uint64_t*>& counters() const {
+    return counters_;
+  }
+
+ private:
+  std::map<std::string, const std::uint64_t*> counters_;
+};
+
+}  // namespace spear

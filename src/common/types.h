@@ -1,0 +1,38 @@
+// Fundamental scalar types and small strong typedefs shared by every
+// SPEAR module. Kept deliberately tiny: anything with behaviour lives in
+// its own header.
+#pragma once
+
+#include <cstdint>
+
+namespace spear {
+
+// 32-bit byte address space, as in SimpleScalar PISA.
+using Addr = std::uint32_t;
+
+// Program counters are instruction addresses; instructions are 8 bytes in
+// the SPEARBIN encoding, so valid PCs are always 8-byte aligned.
+using Pc = std::uint32_t;
+inline constexpr Addr kInstrBytes = 8;
+
+// Simulated time in CPU clock cycles.
+using Cycle = std::uint64_t;
+
+// Architectural register index. Integer regs are [0, 32), FP regs are
+// [32, 64); see isa/regs.h for the split helpers.
+using RegId = std::uint8_t;
+inline constexpr int kNumIntRegs = 32;
+inline constexpr int kNumFpRegs = 32;
+inline constexpr int kNumArchRegs = kNumIntRegs + kNumFpRegs;
+inline constexpr RegId kRegZero = 0;  // r0 is hardwired to zero.
+
+// Hardware thread (context) id: 0 = main program thread, 1 = p-thread.
+using ThreadId = std::uint8_t;
+inline constexpr ThreadId kMainThread = 0;
+inline constexpr ThreadId kPThread = 1;
+
+// Identifier of a static instruction inside a loaded program: its index in
+// the text section (pc = text_base + index * kInstrBytes).
+using InstrIndex = std::uint32_t;
+
+}  // namespace spear

@@ -1,0 +1,98 @@
+#include "compiler/cfg.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "isa/instruction.h"
+
+namespace spear {
+
+Cfg Cfg::Build(const Program& prog) {
+  Cfg cfg;
+  cfg.prog_ = &prog;
+  const std::size_t n = prog.text.size();
+  SPEAR_CHECK(n > 0);
+
+  // 1. Mark leaders.
+  std::vector<char> leader(n, 0);
+  leader[prog.IndexOf(prog.entry)] = 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Instruction& in = prog.text[i];
+    if (!IsControl(in.op)) continue;
+    if (HasStaticTarget(in)) {
+      const Pc target = StaticTargetOf(in);
+      if (prog.ContainsPc(target)) leader[prog.IndexOf(target)] = 1;
+    }
+    if (i + 1 < n) leader[i + 1] = 1;  // fall-through starts a block
+  }
+
+  // 2. Form blocks.
+  cfg.block_of_.assign(n, -1);
+  for (std::size_t i = 0; i < n;) {
+    BasicBlock bb;
+    bb.id = static_cast<int>(cfg.blocks_.size());
+    bb.first = static_cast<InstrIndex>(i);
+    std::size_t j = i;
+    while (true) {
+      cfg.block_of_[j] = bb.id;
+      const Instruction& in = prog.text[j];
+      if (IsCall(in.op)) bb.has_call = true;
+      const bool ends = IsControl(in.op) || IsHalt(in.op) || j + 1 == n ||
+                        leader[j + 1];
+      if (ends) break;
+      ++j;
+    }
+    bb.last = static_cast<InstrIndex>(j);
+    cfg.blocks_.push_back(bb);
+    i = j + 1;
+  }
+
+  // 3. Edges.
+  auto add_edge = [&cfg](int from, int to) {
+    cfg.blocks_[static_cast<std::size_t>(from)].succs.push_back(to);
+    cfg.blocks_[static_cast<std::size_t>(to)].preds.push_back(from);
+  };
+  for (BasicBlock& bb : cfg.blocks_) {
+    const Instruction& in = prog.text[bb.last];
+    const bool falls_through =
+        !IsHalt(in.op) &&
+        (!IsControl(in.op) || IsCondBranch(in.op) || IsCall(in.op));
+    if (falls_through && bb.last + 1 < n) {
+      add_edge(bb.id, cfg.block_of_[bb.last + 1]);
+    }
+    // Direct targets; calls are intraprocedural fall-through only, and
+    // indirect jumps (returns) get no intra-CFG successor.
+    if (IsControl(in.op) && HasStaticTarget(in) && !IsCall(in.op)) {
+      const Pc target = StaticTargetOf(in);
+      if (prog.ContainsPc(target)) {
+        add_edge(bb.id, cfg.block_of_[prog.IndexOf(target)]);
+      }
+    }
+  }
+  for (BasicBlock& bb : cfg.blocks_) {
+    std::sort(bb.succs.begin(), bb.succs.end());
+    bb.succs.erase(std::unique(bb.succs.begin(), bb.succs.end()),
+                   bb.succs.end());
+    std::sort(bb.preds.begin(), bb.preds.end());
+    bb.preds.erase(std::unique(bb.preds.begin(), bb.preds.end()),
+                   bb.preds.end());
+  }
+
+  cfg.entry_block_ = cfg.block_of_[prog.IndexOf(prog.entry)];
+  return cfg;
+}
+
+std::string Cfg::ToString() const {
+  std::string out;
+  for (const BasicBlock& bb : blocks_) {
+    out += "B" + std::to_string(bb.id) + " [" +
+           std::to_string(prog_->PcOf(bb.first)) + ".." +
+           std::to_string(prog_->PcOf(bb.last)) + "] ->";
+    for (int s : bb.succs) out += " B" + std::to_string(s);
+    if (bb.has_call) out += " (call)";
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace spear

@@ -1,0 +1,59 @@
+// Control-flow graph construction from a SPEAR binary (paper Figure 4,
+// module 1: "CFG drawing tool"). Works directly on decoded instructions:
+// leaders are the entry point, targets of direct branches/jumps, and the
+// fall-throughs of control instructions.
+//
+// Calls (jal/jalr) are treated intraprocedurally: the call site's block
+// has a fall-through edge to the return point and the block is flagged
+// `has_call` (the region selector refuses to grow regions across calls).
+// Indirect jumps (jr) end a block with no intra-CFG successors (they are
+// returns under the software convention).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "isa/program.h"
+
+namespace spear {
+
+struct BasicBlock {
+  int id = -1;
+  InstrIndex first = 0;  // index of first instruction
+  InstrIndex last = 0;   // index of last instruction (inclusive)
+  std::vector<int> succs;
+  std::vector<int> preds;
+  bool has_call = false;
+
+  std::size_t InstrCount() const { return last - first + 1; }
+};
+
+class Cfg {
+ public:
+  static Cfg Build(const Program& prog);
+
+  const Program& program() const { return *prog_; }
+  const std::vector<BasicBlock>& blocks() const { return blocks_; }
+  const BasicBlock& block(int id) const { return blocks_[static_cast<std::size_t>(id)]; }
+  int num_blocks() const { return static_cast<int>(blocks_.size()); }
+
+  // Block containing the given instruction index / pc.
+  int BlockOf(InstrIndex index) const {
+    return block_of_[static_cast<std::size_t>(index)];
+  }
+  int BlockOfPc(Pc pc) const { return BlockOf(prog_->IndexOf(pc)); }
+
+  int entry_block() const { return entry_block_; }
+
+  std::string ToString() const;  // debug listing
+
+ private:
+  const Program* prog_ = nullptr;
+  std::vector<BasicBlock> blocks_;
+  std::vector<int> block_of_;  // instruction index -> block id
+  int entry_block_ = 0;
+};
+
+}  // namespace spear

@@ -1,0 +1,178 @@
+#include "compiler/loops.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace spear {
+namespace {
+
+// Reverse postorder over the CFG from the entry block.
+std::vector<int> ReversePostorder(const Cfg& cfg) {
+  const int n = cfg.num_blocks();
+  std::vector<char> visited(static_cast<std::size_t>(n), 0);
+  std::vector<int> post;
+  post.reserve(static_cast<std::size_t>(n));
+  // Iterative DFS with explicit stack of (block, next-successor-index).
+  std::vector<std::pair<int, std::size_t>> stack;
+  stack.emplace_back(cfg.entry_block(), 0);
+  visited[static_cast<std::size_t>(cfg.entry_block())] = 1;
+  while (!stack.empty()) {
+    auto& [b, next] = stack.back();
+    const BasicBlock& bb = cfg.block(b);
+    if (next < bb.succs.size()) {
+      const int s = bb.succs[next++];
+      if (!visited[static_cast<std::size_t>(s)]) {
+        visited[static_cast<std::size_t>(s)] = 1;
+        stack.emplace_back(s, 0);
+      }
+    } else {
+      post.push_back(b);
+      stack.pop_back();
+    }
+  }
+  std::reverse(post.begin(), post.end());
+  return post;
+}
+
+}  // namespace
+
+bool LoopForest::Dominates(int a, int b) const {
+  // Walk b's dominator chain toward the entry.
+  while (b != -1) {
+    if (b == a) return true;
+    if (b == idom_[static_cast<std::size_t>(b)]) break;  // entry
+    b = idom_[static_cast<std::size_t>(b)];
+  }
+  return b == a;
+}
+
+LoopForest LoopForest::Build(const Cfg& cfg) {
+  LoopForest lf;
+  const int n = cfg.num_blocks();
+  lf.idom_.assign(static_cast<std::size_t>(n), -1);
+  lf.innermost_.assign(static_cast<std::size_t>(n), -1);
+
+  // Cooper-Harvey-Kennedy iterative dominators over reverse postorder.
+  const std::vector<int> rpo = ReversePostorder(cfg);
+  std::vector<int> rpo_index(static_cast<std::size_t>(n), -1);
+  for (std::size_t i = 0; i < rpo.size(); ++i) {
+    rpo_index[static_cast<std::size_t>(rpo[i])] = static_cast<int>(i);
+  }
+  const int entry = cfg.entry_block();
+  lf.idom_[static_cast<std::size_t>(entry)] = entry;
+
+  auto intersect = [&lf, &rpo_index](int a, int b) {
+    while (a != b) {
+      while (rpo_index[static_cast<std::size_t>(a)] >
+             rpo_index[static_cast<std::size_t>(b)]) {
+        a = lf.idom_[static_cast<std::size_t>(a)];
+      }
+      while (rpo_index[static_cast<std::size_t>(b)] >
+             rpo_index[static_cast<std::size_t>(a)]) {
+        b = lf.idom_[static_cast<std::size_t>(b)];
+      }
+    }
+    return a;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int b : rpo) {
+      if (b == entry) continue;
+      int new_idom = -1;
+      for (int p : cfg.block(b).preds) {
+        if (lf.idom_[static_cast<std::size_t>(p)] == -1) continue;
+        if (rpo_index[static_cast<std::size_t>(p)] == -1) continue;
+        new_idom = new_idom == -1 ? p : intersect(p, new_idom);
+      }
+      if (new_idom != -1 && lf.idom_[static_cast<std::size_t>(b)] != new_idom) {
+        lf.idom_[static_cast<std::size_t>(b)] = new_idom;
+        changed = true;
+      }
+    }
+  }
+
+  // Natural loops from back edges; merge bodies sharing a header.
+  std::vector<int> loop_of_header(static_cast<std::size_t>(n), -1);
+  for (int b = 0; b < n; ++b) {
+    if (lf.idom_[static_cast<std::size_t>(b)] == -1) continue;  // unreachable
+    for (int s : cfg.block(b).succs) {
+      if (!lf.Dominates(s, b)) continue;  // not a back edge
+      int loop_id = loop_of_header[static_cast<std::size_t>(s)];
+      if (loop_id == -1) {
+        loop_id = static_cast<int>(lf.loops_.size());
+        Loop loop;
+        loop.id = loop_id;
+        loop.header = s;
+        loop.blocks = {s};
+        lf.loops_.push_back(loop);
+        loop_of_header[static_cast<std::size_t>(s)] = loop_id;
+      }
+      // Grow the body backward from the tail.
+      Loop& loop = lf.loops_[static_cast<std::size_t>(loop_id)];
+      std::vector<int> work = {b};
+      while (!work.empty()) {
+        const int w = work.back();
+        work.pop_back();
+        if (std::binary_search(loop.blocks.begin(), loop.blocks.end(), w)) {
+          continue;
+        }
+        loop.blocks.insert(
+            std::lower_bound(loop.blocks.begin(), loop.blocks.end(), w), w);
+        for (int p : cfg.block(w).preds) work.push_back(p);
+      }
+    }
+  }
+
+  // Nesting: parent = smallest strictly-containing loop.
+  for (Loop& loop : lf.loops_) {
+    int best = -1;
+    for (const Loop& other : lf.loops_) {
+      if (other.id == loop.id) continue;
+      if (other.blocks.size() <= loop.blocks.size()) continue;
+      if (!other.Contains(loop.header)) continue;
+      bool contains_all = true;
+      for (int b : loop.blocks) {
+        if (!other.Contains(b)) {
+          contains_all = false;
+          break;
+        }
+      }
+      if (!contains_all) continue;
+      if (best == -1 ||
+          other.blocks.size() <
+              lf.loops_[static_cast<std::size_t>(best)].blocks.size()) {
+        best = other.id;
+      }
+    }
+    loop.parent = best;
+  }
+  for (Loop& loop : lf.loops_) {
+    int d = 1;
+    int p = loop.parent;
+    while (p != -1) {
+      ++d;
+      p = lf.loops_[static_cast<std::size_t>(p)].parent;
+    }
+    loop.depth = d;
+    for (int b : loop.blocks) {
+      if (cfg.block(b).has_call) loop.contains_call = true;
+    }
+  }
+
+  // Innermost loop per block = deepest loop containing it.
+  for (const Loop& loop : lf.loops_) {
+    for (int b : loop.blocks) {
+      const int cur = lf.innermost_[static_cast<std::size_t>(b)];
+      if (cur == -1 ||
+          lf.loops_[static_cast<std::size_t>(cur)].depth < loop.depth) {
+        lf.innermost_[static_cast<std::size_t>(b)] = loop.id;
+      }
+    }
+  }
+  return lf;
+}
+
+}  // namespace spear

@@ -1,0 +1,59 @@
+// Dominator analysis and natural-loop detection over the binary CFG —
+// the "loop-region identification" half of the paper's CFG drawing tool.
+//
+// Loops are natural loops of back edges (tail -> header where the header
+// dominates the tail); bodies of back edges sharing a header are merged.
+// Nesting is computed by body containment, giving each loop a parent and
+// a depth, which the region-based prefetching-range algorithm walks
+// outward (paper Section 4.2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "compiler/cfg.h"
+
+namespace spear {
+
+struct Loop {
+  int id = -1;
+  int header = -1;             // header block id
+  std::vector<int> blocks;     // sorted block ids, includes header
+  int parent = -1;             // immediately enclosing loop, -1 if top level
+  int depth = 1;               // 1 = outermost
+  bool contains_call = false;  // any block in the body has a call
+
+  bool Contains(int block_id) const {
+    for (int b : blocks) {
+      if (b == block_id) return true;
+      if (b > block_id) break;
+    }
+    return false;
+  }
+};
+
+class LoopForest {
+ public:
+  static LoopForest Build(const Cfg& cfg);
+
+  const std::vector<Loop>& loops() const { return loops_; }
+  int num_loops() const { return static_cast<int>(loops_.size()); }
+  const Loop& loop(int id) const { return loops_[static_cast<std::size_t>(id)]; }
+
+  // Innermost loop containing the block, or -1.
+  int InnermostAt(int block_id) const {
+    return innermost_[static_cast<std::size_t>(block_id)];
+  }
+
+  // True when block `a` dominates block `b`.
+  bool Dominates(int a, int b) const;
+
+  const std::vector<int>& idom() const { return idom_; }
+
+ private:
+  std::vector<Loop> loops_;
+  std::vector<int> innermost_;  // block id -> innermost loop id or -1
+  std::vector<int> idom_;       // block id -> immediate dominator
+};
+
+}  // namespace spear

@@ -1,0 +1,126 @@
+#include "compiler/profiler.h"
+
+#include "common/check.h"
+#include "sim/emulator.h"
+
+namespace spear {
+namespace {
+
+// One dynamic instruction record in the profiling window.
+struct Record {
+  Pc pc = 0;
+  std::int64_t producer[2] = {-1, -1};  // absolute record numbers
+  std::int64_t mem_producer = -1;       // last store to the loaded word
+  std::uint8_t nproducers = 0;
+};
+
+}  // namespace
+
+ProfileResult ProfileProgram(const Program& prog, const Cfg& cfg,
+                             const LoopForest& loops,
+                             const ProfilerOptions& options) {
+  ProfileResult result;
+  result.loops.resize(static_cast<std::size_t>(loops.num_loops()));
+  for (int i = 0; i < loops.num_loops(); ++i) result.loops[static_cast<std::size_t>(i)].loop_id = i;
+
+  Emulator emu(prog);
+  MemoryHierarchy hier(options.mem);
+
+  const std::uint32_t window = options.window;
+  std::vector<Record> ring(window);
+  std::int64_t record_count = 0;  // absolute id of the next record
+
+  // Last-writer chains: absolute record numbers.
+  std::int64_t reg_writer[kNumArchRegs];
+  for (auto& w : reg_writer) w = -1;
+  std::unordered_map<Addr, std::int64_t> store_writer;  // word addr -> record
+
+  // Scratch for the per-miss backward walk. visited_stamp gives O(1)
+  // de-dup per walk (stamped with the walk number).
+  std::vector<std::int64_t> work;
+  std::vector<std::uint64_t> visited_stamp(window, 0);
+  std::uint64_t walk_id = 0;
+
+  while (!emu.halted() && result.instrs < options.max_instrs) {
+    const StepInfo step = emu.Step();
+    ++result.instrs;
+
+    // --- cost model & loop accounting ---
+    double cost = 1.0;
+    bool l1_miss = false;
+    if (step.result.is_load || step.result.is_store) {
+      const AccessOutcome out =
+          hier.AccessData(step.result.mem_addr, step.result.is_store,
+                          kMainThread, /*now=*/result.instrs);
+      cost = out.latency;
+      l1_miss = out.l1_miss;
+    }
+    {
+      int loop = loops.InnermostAt(cfg.BlockOfPc(step.pc));
+      while (loop != -1) {
+        result.loops[static_cast<std::size_t>(loop)].total_cost += cost;
+        loop = loops.loop(loop).parent;
+      }
+      const int block = cfg.BlockOfPc(step.pc);
+      const int inner = loops.InnermostAt(block);
+      if (inner != -1 && loops.loop(inner).header == block &&
+          cfg.block(block).first == prog.IndexOf(step.pc)) {
+        ++result.loops[static_cast<std::size_t>(inner)].header_visits;
+      }
+    }
+
+    // --- dependence record ---
+    const std::int64_t rec_id = record_count++;
+    Record& rec = ring[static_cast<std::size_t>(rec_id % window)];
+    rec = Record{};
+    rec.pc = step.pc;
+    const SrcRegs srcs = SourcesOf(step.instr);
+    for (int i = 0; i < srcs.count; ++i) {
+      const RegId reg = srcs.reg[i];
+      if (reg == kRegZero) continue;
+      rec.producer[rec.nproducers++] = reg_writer[reg];
+    }
+    if (step.result.is_load && options.memory_deps) {
+      auto it = store_writer.find(step.result.mem_addr & ~3u);
+      if (it != store_writer.end()) rec.mem_producer = it->second;
+    }
+    if (auto rd = DestOf(step.instr)) reg_writer[*rd] = rec_id;
+    if (step.result.is_store) {
+      store_writer[step.result.mem_addr & ~3u] = rec_id;
+    }
+
+    // --- load stats & miss-conditioned slicing ---
+    if (step.result.is_load) {
+      LoadProfile& lp = result.loads[step.pc];
+      lp.pc = step.pc;
+      ++lp.execs;
+      if (l1_miss) {
+        ++lp.l1_misses;
+        ++result.total_l1_misses;
+
+        // Backward walk over the in-window dependence chains; every static
+        // PC reached gets a vote for this d-load's slice.
+        auto& votes = result.slice_votes[step.pc];
+        const std::int64_t oldest = record_count - window;
+        ++walk_id;
+        work.clear();
+        work.push_back(rec_id);
+        while (!work.empty()) {
+          const std::int64_t id = work.back();
+          work.pop_back();
+          if (id < 0 || id < oldest) continue;
+          const auto slot = static_cast<std::size_t>(id % window);
+          if (visited_stamp[slot] == walk_id) continue;
+          visited_stamp[slot] = walk_id;
+          const Record& r = ring[slot];
+          ++votes[r.pc];
+          for (int i = 0; i < r.nproducers; ++i) work.push_back(r.producer[i]);
+          if (r.mem_producer >= 0) work.push_back(r.mem_producer);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace spear

@@ -1,0 +1,149 @@
+#include "compiler/slicer.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "isa/instruction.h"
+
+namespace spear {
+namespace {
+
+// Registers read before defined when executing `slice_pcs` in PC order.
+std::vector<RegId> ComputeLiveIns(const Program& prog,
+                                  const std::vector<Pc>& slice_pcs) {
+  bool defined[kNumArchRegs] = {};
+  bool live[kNumArchRegs] = {};
+  for (Pc pc : slice_pcs) {
+    const Instruction& in = prog.At(pc);
+    const SrcRegs srcs = SourcesOf(in);
+    for (int i = 0; i < srcs.count; ++i) {
+      const RegId reg = srcs.reg[i];
+      if (reg != kRegZero && !defined[reg]) live[reg] = true;
+    }
+    if (auto rd = DestOf(in)) defined[*rd] = true;
+  }
+  std::vector<RegId> out;
+  for (int r = 0; r < kNumArchRegs; ++r) {
+    if (live[r]) out.push_back(static_cast<RegId>(r));
+  }
+  return out;
+}
+
+}  // namespace
+
+SliceResult BuildSlices(const Program& prog, const Cfg& cfg,
+                        const LoopForest& loops, const ProfileResult& profile,
+                        const SlicerOptions& options) {
+  SliceResult result;
+
+  // --- delinquent-load selection ---
+  std::vector<const LoadProfile*> candidates;
+  for (const auto& [pc, lp] : profile.loads) {
+    if (lp.l1_misses < options.miss_threshold) continue;
+    if (profile.total_l1_misses > 0 &&
+        static_cast<double>(lp.l1_misses) <
+            options.miss_share * static_cast<double>(profile.total_l1_misses)) {
+      continue;
+    }
+    candidates.push_back(&lp);
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const LoadProfile* a, const LoadProfile* b) {
+              return a->l1_misses > b->l1_misses;
+            });
+  if (static_cast<int>(candidates.size()) > options.max_dloads) {
+    candidates.resize(static_cast<std::size_t>(options.max_dloads));
+  }
+
+  for (const LoadProfile* lp : candidates) {
+    SliceReport report;
+    report.dload_pc = lp->pc;
+    report.misses = lp->l1_misses;
+
+    // A load that already belongs to a heavier d-load's slice is being
+    // pre-executed as part of that p-thread; a second spec would only
+    // duplicate triggers.
+    bool covered = false;
+    for (const PThreadSpec& accepted : result.specs) {
+      if (accepted.InSlice(lp->pc)) {
+        covered = true;
+        break;
+      }
+    }
+    if (covered) {
+      report.rejected = true;
+      report.reject_reason = "covered by a heavier d-load's slice";
+      result.reports.push_back(report);
+      continue;
+    }
+
+    // --- region selection: innermost loop, grown while budget allows ---
+    const int block = cfg.BlockOfPc(lp->pc);
+    int region = loops.InnermostAt(block);
+    if (region == -1) {
+      report.rejected = true;
+      report.reject_reason = "d-load not inside any loop";
+      result.reports.push_back(report);
+      continue;
+    }
+    report.region_depth = 1;
+    double budget_used =
+        profile.loops[static_cast<std::size_t>(region)].DCycle();
+    while (true) {
+      const int parent = loops.loop(region).parent;
+      if (parent == -1) break;
+      const Loop& pl = loops.loop(parent);
+      if (pl.contains_call) break;  // never grow across function calls
+      const double parent_dcycle =
+          profile.loops[static_cast<std::size_t>(parent)].DCycle();
+      if (budget_used + parent_dcycle > options.dcycle_budget) break;
+      budget_used += parent_dcycle;
+      region = parent;
+      ++report.region_depth;
+    }
+    report.region_loop = region;
+
+    // --- profile-filtered slice within the region ---
+    auto votes_it = profile.slice_votes.find(lp->pc);
+    if (votes_it == profile.slice_votes.end()) {
+      report.rejected = true;
+      report.reject_reason = "no dynamic dependence information";
+      result.reports.push_back(report);
+      continue;
+    }
+    const Loop& region_loop = loops.loop(region);
+    const auto min_votes = static_cast<std::uint64_t>(
+        options.inclusion_share * static_cast<double>(lp->l1_misses));
+    std::vector<Pc> slice;
+    for (const auto& [member_pc, votes] : votes_it->second) {
+      if (votes < min_votes) continue;  // cold path: pruned (Figure 5)
+      if (!region_loop.Contains(cfg.BlockOfPc(member_pc))) continue;
+      const Instruction& in = prog.At(member_pc);
+      if (IsControl(in.op) || IsHalt(in.op)) continue;  // data-flow only
+      slice.push_back(member_pc);
+    }
+    if (!std::binary_search(slice.begin(), slice.end(), lp->pc)) {
+      slice.insert(std::lower_bound(slice.begin(), slice.end(), lp->pc),
+                   lp->pc);
+    }
+    // The p-thread must be lighter than the main program; a slice that is
+    // nearly the whole region buys nothing (the paper's fft pathology).
+    report.slice_size = slice.size();
+
+    PThreadSpec spec;
+    spec.dload_pc = lp->pc;
+    spec.slice_pcs = std::move(slice);
+    spec.live_ins = ComputeLiveIns(prog, spec.slice_pcs);
+    report.live_ins = spec.live_ins.size();
+    spec.region_start = prog.PcOf(cfg.block(region_loop.blocks.front()).first);
+    spec.region_end = prog.PcOf(cfg.block(region_loop.blocks.back()).last);
+    spec.profile_misses = lp->l1_misses;
+    spec.region_dcycles = budget_used;
+
+    result.specs.push_back(std::move(spec));
+    result.reports.push_back(report);
+  }
+  return result;
+}
+
+}  // namespace spear

@@ -1,0 +1,62 @@
+// Hybrid program slicing + region-based prefetching range (paper
+// Section 4.2, Figure 4 modules 3 and 4).
+//
+// For every delinquent load (miss count above threshold):
+//  * The prefetching region starts at the innermost loop containing the
+//    load and grows outward while the accumulated expected per-iteration
+//    delay (d-cycle) stays within the budget (the paper uses 120,
+//    empirically) and the candidate loop contains no function calls.
+//  * The slice contains the static instructions inside the region whose
+//    miss-conditioned vote share exceeds the inclusion threshold — i.e.
+//    instructions that dynamically fed the miss instances, which is how
+//    profile information prunes cold control-flow paths out of the static
+//    backward slice (paper Figure 5).
+//  * Live-ins are the registers read before being defined when the slice
+//    is executed in program order (the IFQ extraction order).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "compiler/cfg.h"
+#include "compiler/loops.h"
+#include "compiler/profiler.h"
+#include "isa/pthread_spec.h"
+
+namespace spear {
+
+struct SlicerOptions {
+  // D-load selection: a load qualifies when its L1 miss count is at least
+  // `miss_threshold` and at least `miss_share` of all profiled misses.
+  std::uint64_t miss_threshold = 500;
+  double miss_share = 0.02;
+  int max_dloads = 8;  // keep the heaviest offenders
+
+  // Slice membership: votes(member) / misses(d-load) must reach this.
+  double inclusion_share = 0.25;
+
+  // Region growth budget in accumulated d-cycles (paper: 120).
+  double dcycle_budget = 120.0;
+};
+
+struct SliceReport {
+  Pc dload_pc = 0;
+  std::uint64_t misses = 0;
+  int region_loop = -1;   // chosen loop id
+  int region_depth = 0;   // how many levels the region grew (1 = innermost)
+  std::size_t slice_size = 0;
+  std::size_t live_ins = 0;
+  bool rejected = false;
+  const char* reject_reason = nullptr;
+};
+
+struct SliceResult {
+  std::vector<PThreadSpec> specs;
+  std::vector<SliceReport> reports;
+};
+
+SliceResult BuildSlices(const Program& prog, const Cfg& cfg,
+                        const LoopForest& loops, const ProfileResult& profile,
+                        const SlicerOptions& options);
+
+}  // namespace spear

@@ -1,0 +1,45 @@
+// The SPEAR post-compiler driver (paper Figure 4): binary in, SPEAR binary
+// out. Chains the four modules — CFG drawing, profiling, slicing,
+// attaching — and supports the paper's methodology of profiling with a
+// *different* input than the one simulated (profile on one binary, attach
+// the resulting p-thread specs to another with identical text).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "compiler/profiler.h"
+#include "compiler/slicer.h"
+#include "isa/program.h"
+
+namespace spear {
+
+struct CompilerOptions {
+  ProfilerOptions profiler;
+  SlicerOptions slicer;
+};
+
+struct CompileReport {
+  std::uint64_t profiled_instrs = 0;
+  std::uint64_t profiled_l1_misses = 0;
+  int num_blocks = 0;
+  int num_loops = 0;
+  std::vector<SliceReport> slices;
+
+  std::string ToString() const;
+};
+
+// Profiles `profile_input` (typically the same text as `target` but with a
+// different data set), slices, and returns `target` with the p-thread
+// section attached. The two programs must share their text section.
+Program CompileSpear(const Program& profile_input, const Program& target,
+                     const CompilerOptions& options,
+                     CompileReport* report = nullptr);
+
+// Single-input convenience (profile and target are the same program).
+inline Program CompileSpear(const Program& prog, const CompilerOptions& options,
+                            CompileReport* report = nullptr) {
+  return CompileSpear(prog, prog, options, report);
+}
+
+}  // namespace spear

@@ -1,0 +1,739 @@
+#include "cpu/core.h"
+
+#include "isa/opcode.h"
+
+namespace spear {
+
+// ---------------------------------------------------------------------------
+// Dispatch-time architectural state with wrong-path overlay.
+//
+// On the correct path, reads/writes go straight to the in-order dispatch
+// register file and memory image. After a mispredicted branch dispatches,
+// spec_mode_ routes writes into overlay maps that are discarded at
+// recovery, so wrong-path execution can never corrupt correct-path state.
+// ---------------------------------------------------------------------------
+
+std::uint32_t Core::MainState::ReadInt(RegId reg) {
+  if (c->spec_mode_) {
+    auto it = c->spec_iregs_.find(reg);
+    if (it != c->spec_iregs_.end()) return it->second;
+  }
+  return c->iregs_[reg];
+}
+
+void Core::MainState::WriteInt(RegId reg, std::uint32_t v) {
+  if (c->spec_mode_) {
+    c->spec_iregs_[reg] = v;
+  } else {
+    c->iregs_[reg] = v;
+  }
+}
+
+double Core::MainState::ReadFp(RegId reg) {
+  if (c->spec_mode_) {
+    auto it = c->spec_fregs_.find(reg);
+    if (it != c->spec_fregs_.end()) return it->second;
+  }
+  return c->fregs_[FpIndex(reg)];
+}
+
+void Core::MainState::WriteFp(RegId reg, double v) {
+  if (c->spec_mode_) {
+    c->spec_fregs_[reg] = v;
+  } else {
+    c->fregs_[FpIndex(reg)] = v;
+  }
+}
+
+std::uint8_t Core::MainState::LoadU8(Addr a) {
+  if (c->spec_mode_) {
+    auto it = c->spec_mem_.find(a);
+    if (it != c->spec_mem_.end()) return it->second;
+  }
+  return c->mem_.ReadU8(a);
+}
+
+std::uint32_t Core::MainState::LoadU32(Addr a) {
+  if (!c->spec_mode_) return c->mem_.ReadU32(a);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(LoadU8(a + static_cast<Addr>(i)))
+         << (8 * i);
+  }
+  return v;
+}
+
+double Core::MainState::LoadF64(Addr a) {
+  if (!c->spec_mode_) return c->mem_.ReadF64(a);
+  std::uint64_t bits = 0;
+  for (int i = 0; i < 8; ++i) {
+    bits |= static_cast<std::uint64_t>(LoadU8(a + static_cast<Addr>(i)))
+            << (8 * i);
+  }
+  double v;
+  __builtin_memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+void Core::MainState::StoreU8(Addr a, std::uint8_t v) {
+  if (c->spec_mode_) {
+    c->spec_mem_[a] = v;
+  } else {
+    c->mem_.WriteU8(a, v);
+  }
+}
+
+void Core::MainState::StoreU32(Addr a, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    StoreU8(a + static_cast<Addr>(i), static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void Core::MainState::StoreF64(Addr a, double v) {
+  std::uint64_t bits;
+  __builtin_memcpy(&bits, &v, sizeof(bits));
+  for (int i = 0; i < 8; ++i) {
+    StoreU8(a + static_cast<Addr>(i),
+            static_cast<std::uint8_t>(bits >> (8 * i)));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Construction.
+// ---------------------------------------------------------------------------
+
+Core::Core(const Program& prog, const CoreConfig& config)
+    : prog_(prog),
+      config_(config),
+      hier_(config.mem),
+      bpred_(config.bpred),
+      stride_(config.stride_prefetch),
+      ifq_(config.ifq_size),
+      fetch_pc_(prog.entry),
+      ruu_(config.ruu_size),
+      pt_(config.spear.enabled ? PThreadTable(prog.pthreads)
+                               : PThreadTable()),
+      pctx_(&mem_),
+      pruu_(config.spear.pthread_ruu_size) {
+  iregs_.fill(0);
+  fregs_.fill(0.0);
+  iregs_[kRegSp] = 0x0fff0000u;  // match the functional emulator's ABI
+  mem_.LoadProgram(prog);
+  rename_.Reset();
+  prename_.Reset();
+}
+
+// ---------------------------------------------------------------------------
+// Cycle loop. Stages run in reverse pipeline order, sim-outorder style.
+// ---------------------------------------------------------------------------
+
+void Core::StepCycle() {
+  ++now_;
+  stats_.cycles = now_;
+
+  Commit();
+  if (halted_) return;
+  PThreadRetire();
+  Writeback();
+  Issue();
+  SpearTriggerTick();
+  const int extracted = pe_active_ ? ExtractPThread() : 0;
+  const std::uint32_t budget =
+      config_.decode_width > static_cast<std::uint32_t>(extracted)
+          ? config_.decode_width - static_cast<std::uint32_t>(extracted)
+          : 0;
+  Dispatch(budget);
+  Fetch();
+}
+
+RunResult Core::Run(std::uint64_t max_instrs, std::uint64_t max_cycles) {
+  Cycle last_commit_cycle = now_;
+  std::uint64_t last_committed = stats_.committed;
+  while (!halted_ && stats_.committed < max_instrs && now_ < max_cycles) {
+    StepCycle();
+    if (stats_.committed != last_committed) {
+      last_committed = stats_.committed;
+      last_commit_cycle = now_;
+    }
+    // Forward-progress watchdog: no workload legitimately stalls commit
+    // for 10^6 cycles with a 120-cycle memory; treat it as a pipeline bug.
+    SPEAR_CHECK(now_ - last_commit_cycle < 1'000'000);
+  }
+  RunResult r;
+  r.cycles = now_;
+  r.instructions = stats_.committed;
+  r.halted = halted_;
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Commit (main thread).
+// ---------------------------------------------------------------------------
+
+void Core::Commit() {
+  for (std::uint32_t n = 0; n < config_.commit_width && !ruu_.empty(); ++n) {
+    RuuEntry& e = ruu_.Front();
+    if (!e.completed) break;
+    SPEAR_CHECK(!e.wrongpath);  // wrong-path entries are squashed at recovery
+
+    if (IsCondBranch(e.instr.op)) {
+      bpred_.Update(e.pc, e.instr, e.exec.taken, e.exec.next_pc);
+      ++stats_.committed_cond_branches;
+      ++stats_.committed_branches;
+      if (e.pred_taken == e.exec.taken) ++stats_.bpred_dir_correct;
+    } else if (IsControl(e.instr.op)) {
+      bpred_.Update(e.pc, e.instr, true, e.exec.next_pc);
+      ++stats_.committed_branches;
+    }
+    if (e.exec.is_load) ++stats_.committed_loads;
+    if (e.exec.is_store) ++stats_.committed_stores;
+    if (e.exec.out_value) outputs_.push_back(*e.exec.out_value);
+    if (trace_commits_) commit_trace_.push_back(e.pc);
+    ++stats_.committed;
+
+    const bool halt = e.exec.halted;
+    ruu_.PopFront();
+    if (halt) {
+      halted_ = true;
+      return;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// P-thread retirement. The p-thread has no architectural side effects; its
+// entries drain in order once completed. Retiring the triggering d-load
+// ends pre-execution mode (paper Section 3.3).
+// ---------------------------------------------------------------------------
+
+void Core::PThreadRetire() {
+  while (!pruu_.empty() && pruu_.Front().completed) {
+    const bool was_trigger = pruu_.Front().is_trigger_dload;
+    pruu_.PopFront();
+    if (was_trigger) {
+      EndPreExec(/*completed=*/true);
+      return;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Writeback: mark completions; resolve at most one mispredicted branch per
+// cycle (the oldest), triggering recovery.
+// ---------------------------------------------------------------------------
+
+void Core::Writeback() {
+  for (std::size_t l = 0; l < pruu_.size(); ++l) {
+    RuuEntry& e = pruu_.At(l);
+    if (e.issued && !e.completed && e.complete_cycle <= now_) {
+      e.completed = true;
+    }
+  }
+
+  std::size_t recover_idx = ruu_.size();
+  for (std::size_t l = 0; l < ruu_.size(); ++l) {
+    RuuEntry& e = ruu_.At(l);
+    if (e.issued && !e.completed && e.complete_cycle <= now_) {
+      e.completed = true;
+    }
+    if (e.completed && e.mispredict && !e.recovery_done &&
+        recover_idx == ruu_.size()) {
+      recover_idx = l;
+    }
+  }
+  if (recover_idx < ruu_.size()) {
+    RecoverFromMispredict(ruu_.At(recover_idx));
+  }
+}
+
+void Core::RecoverFromMispredict(RuuEntry& branch) {
+  branch.recovery_done = true;
+  ++stats_.mispredict_recoveries;
+
+  // Squash everything younger than the branch (all wrong-path).
+  std::size_t idx = 0;
+  for (; idx < ruu_.size(); ++idx) {
+    if (&ruu_.At(idx) == &branch) break;
+  }
+  SPEAR_CHECK(idx < ruu_.size());
+  ruu_.PopBack(ruu_.size() - idx - 1);
+
+  // Discard the wrong-path overlay and rebuild rename state.
+  spec_mode_ = false;
+  spec_iregs_.clear();
+  spec_fregs_.clear();
+  spec_mem_.clear();
+  RebuildRenameMap();
+
+  // Redirect the front end.
+  ifq_.Clear();
+  fetch_pc_ = branch.exec.next_pc;
+  dispatch_halted_ = false;
+
+  // The IFQ flush destroys the in-flight p-thread session. (Letting a
+  // captured session run to completion instead was measured and is
+  // *worse*: the completion tail blocks re-arming, and a fresh session
+  // over the post-recovery window prefetches more than the stale one
+  // finishes — see EXPERIMENTS.md, design notes.)
+  if (trigger_state_ != TriggerState::kNormal) {
+    ++stats_.triggers_aborted;
+    EndPreExec(/*completed=*/false);
+  }
+}
+
+void Core::RebuildRenameMap() {
+  rename_.Reset();
+  for (std::size_t l = 0; l < ruu_.size(); ++l) {
+    const RuuEntry& e = ruu_.At(l);
+    if (auto rd = DestOf(e.instr)) {
+      rename_.slot[*rd] = static_cast<std::int32_t>(ruu_.PhysicalIndex(l));
+      rename_.seq[*rd] = e.seq;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Issue: p-thread entries get scheduling priority (paper Section 3.3);
+// remaining bandwidth goes to the main thread in age order.
+// ---------------------------------------------------------------------------
+
+bool Core::DepsReady(const RuuEntry& e) const {
+  const CircularBuffer<RuuEntry>& buf = e.tid == kPThread ? pruu_ : ruu_;
+  for (int i = 0; i < e.ndeps; ++i) {
+    const RuuEntry::SrcDep& d = e.dep[i];
+    if (d.slot < 0) continue;
+    const auto slot = static_cast<std::size_t>(d.slot);
+    if (!buf.SlotLive(slot)) continue;  // producer committed/retired
+    const RuuEntry& p = buf.Slot(slot);
+    if (p.seq != d.producer_seq) continue;  // slot reused by younger entry
+    if (!p.completed) return false;
+  }
+  return true;
+}
+
+bool Core::AcquireFu(FuClass fu, ThreadId tid) {
+  FuUse& use = fu_use_[(config_.spear.separate_fu && tid == kPThread) ? 1 : 0];
+  switch (fu) {
+    case FuClass::kNone:
+      return true;
+    case FuClass::kIntAlu:
+      if (use.int_alu < config_.fu.int_alu) {
+        ++use.int_alu;
+        return true;
+      }
+      return false;
+    case FuClass::kIntMul:
+    case FuClass::kIntDiv:
+      if (use.int_muldiv < config_.fu.int_muldiv) {
+        ++use.int_muldiv;
+        return true;
+      }
+      return false;
+    case FuClass::kFpAlu:
+      if (use.fp_alu < config_.fu.fp_alu) {
+        ++use.fp_alu;
+        return true;
+      }
+      return false;
+    case FuClass::kFpMul:
+    case FuClass::kFpDiv:
+      if (use.fp_muldiv < config_.fu.fp_muldiv) {
+        ++use.fp_muldiv;
+        return true;
+      }
+      return false;
+    case FuClass::kMemRead:
+    case FuClass::kMemWrite:
+      if (use.mem_ports < config_.fu.mem_ports) {
+        ++use.mem_ports;
+        return true;
+      }
+      return false;
+  }
+  return false;
+}
+
+std::uint32_t Core::ExecLatency(const RuuEntry& e) {
+  const FuLatencies& lat = config_.lat;
+  switch (GetOpInfo(e.instr.op).fu) {
+    case FuClass::kNone:
+      return 1;
+    case FuClass::kIntAlu:
+      return lat.int_alu;
+    case FuClass::kIntMul:
+      return lat.int_mul;
+    case FuClass::kIntDiv:
+      return lat.int_div;
+    case FuClass::kFpAlu:
+      return lat.fp_alu;
+    case FuClass::kFpMul:
+      return lat.fp_mul;
+    case FuClass::kFpDiv:
+      return lat.fp_div;
+    case FuClass::kMemRead: {
+      if (e.tid == kPThread) ++stats_.pthread_loads_issued;
+      const std::uint32_t latency =
+          hier_.AccessData(e.exec.mem_addr, /*write=*/false, e.tid, now_)
+              .latency;
+      if (config_.stride_prefetch.enabled && e.tid == kMainThread) {
+        // Prefetch traffic is attributed to the helper (kPThread) stats
+        // slot so Figure-8-style miss accounting stays demand-only.
+        Addr targets[8];
+        const int n = stride_.Observe(e.pc, e.exec.mem_addr, targets, 8);
+        for (int i = 0; i < n; ++i) {
+          hier_.AccessData(targets[i], /*write=*/false, kPThread, now_);
+          ++stats_.stride_prefetches;
+        }
+      }
+      return latency;
+    }
+    case FuClass::kMemWrite: {
+      // Stores complete after address generation; the cache write happens
+      // now. P-thread stores never touch memory or cache (private buffer).
+      if (e.tid == kMainThread) {
+        hier_.AccessData(e.exec.mem_addr, /*write=*/true, e.tid, now_);
+      }
+      return 1;
+    }
+  }
+  return 1;
+}
+
+void Core::Issue() {
+  fu_use_[0] = FuUse{};
+  fu_use_[1] = FuUse{};
+  issued_this_cycle_ = 0;
+
+  auto issue_from = [this](CircularBuffer<RuuEntry>& buf) {
+    for (std::size_t l = 0; l < buf.size(); ++l) {
+      if (issued_this_cycle_ >= config_.issue_width) return;
+      RuuEntry& e = buf.At(l);
+      if (e.issued || !DepsReady(e)) continue;
+      if (!AcquireFu(GetOpInfo(e.instr.op).fu, e.tid)) continue;
+      e.issued = true;
+      e.complete_cycle = now_ + ExecLatency(e);
+      ++issued_this_cycle_;
+    }
+  };
+
+  // P-thread issue waits for the deterministic-state drain and live-in
+  // copy to finish; until then extracted entries sit dormant in the
+  // p-thread RUU. Once running, the p-thread has scheduling priority.
+  if (trigger_state_ == TriggerState::kPreExec) issue_from(pruu_);
+  issue_from(ruu_);
+}
+
+// ---------------------------------------------------------------------------
+// SPEAR trigger state machine (paper Section 3.2).
+// ---------------------------------------------------------------------------
+
+void Core::ArmTrigger(int spec_index, std::uint64_t dload_seq) {
+  SPEAR_CHECK(trigger_state_ == TriggerState::kNormal);
+  active_spec_ = spec_index;
+  trigger_dload_seq_ = dload_seq;
+  trigger_dispatch_seq_ = dispatch_seq_;  // drain-to-trigger commit point
+  trigger_captured_ = false;
+  ++stats_.triggers_fired;
+  switch (config_.spear.drain_policy) {
+    case TriggerDrainPolicy::kStallDispatch:
+      // Live-ins copied after the full drain; PE activates at pre-exec.
+      trigger_state_ = TriggerState::kDraining;
+      break;
+    case TriggerDrainPolicy::kDrainToTrigger:
+      SnapshotLiveIns();
+      ActivatePe();
+      trigger_state_ = TriggerState::kDraining;
+      break;
+    case TriggerDrainPolicy::kImmediate:
+      SnapshotLiveIns();
+      ActivatePe();
+      BeginCopy();
+      break;
+  }
+}
+
+// Copies the live-in registers from the in-order dispatch state into the
+// p-thread context (the value transfer; the per-register cycle cost is
+// modeled by the kCopying countdown).
+void Core::SnapshotLiveIns() {
+  pctx_.Reset();
+  prename_.Reset();
+  const PThreadSpec& spec = pt_.spec(active_spec_);
+  for (RegId reg : spec.live_ins) {
+    if (IsFpReg(reg)) {
+      pctx_.CopyLiveInFp(reg, fregs_[FpIndex(reg)]);
+    } else {
+      pctx_.CopyLiveInInt(reg, reg == kRegZero ? 0 : iregs_[reg]);
+    }
+  }
+  copy_remaining_ = static_cast<std::uint32_t>(spec.live_ins.size()) *
+                    config_.spear.copy_cycles_per_reg;
+}
+
+// Starts PE scanning at the current IFQ head. Extraction may begin right
+// away (entries buffer in the p-thread RUU); p-thread *issue* is gated on
+// reaching kPreExec.
+void Core::ActivatePe() {
+  pe_active_ = true;
+  pe_scan_seq_ = ifq_.empty() ? fetch_seq_ : ifq_.Front().seq;
+}
+
+void Core::BeginCopy() {
+  trigger_state_ = TriggerState::kCopying;
+  if (copy_remaining_ == 0) BeginPreExec();
+}
+
+void Core::BeginPreExec() {
+  trigger_state_ = TriggerState::kPreExec;
+  if (config_.spear.drain_policy == TriggerDrainPolicy::kStallDispatch) {
+    // Dispatch was held, so the trigger window is intact; scan from head.
+    ActivatePe();
+  }
+  if (!pe_active_ && !trigger_captured_) {
+    // The triggering d-load already left the IFQ without being captured.
+    ++stats_.triggers_aborted;
+    EndPreExec(/*completed=*/false);
+  }
+}
+
+void Core::EndPreExec(bool completed) {
+  trigger_state_ = TriggerState::kNormal;
+  pe_active_ = false;
+  active_spec_ = -1;
+  pruu_.Clear();
+  pctx_.Reset();
+  copy_remaining_ = 0;
+  if (completed) {
+    ++stats_.preexec_sessions_completed;
+    if (config_.spear.chaining_trigger) chain_pending_ = true;
+  }
+}
+
+void Core::SpearTriggerTick() {
+  switch (trigger_state_) {
+    case TriggerState::kNormal:
+      break;
+    case TriggerState::kPreExec:
+      ++stats_.preexec_cycles;
+      break;
+    case TriggerState::kDraining: {
+      ++stats_.drain_cycles;
+      bool drained;
+      if (config_.spear.drain_policy == TriggerDrainPolicy::kStallDispatch) {
+        drained = ruu_.empty();
+        if (drained) SnapshotLiveIns();  // iregs_ are now committed values
+      } else {
+        // Commit has passed the trigger-time dispatch point.
+        drained = ruu_.empty() || ruu_.Front().seq > trigger_dispatch_seq_;
+      }
+      if (drained) BeginCopy();
+      break;
+    }
+    case TriggerState::kCopying:
+      ++stats_.copy_cycles;
+      if (copy_remaining_ > 0) --copy_remaining_;
+      if (copy_remaining_ == 0) BeginPreExec();
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// P-thread extraction (the PE). Scans the IFQ from the p-thread head,
+// pulling up to issue_width/2 marked entries per cycle into the p-thread
+// context; clears each indicator; stops at the triggering d-load.
+// ---------------------------------------------------------------------------
+
+int Core::ExtractPThread() {
+  int extracted = 0;
+  const int limit = static_cast<int>(config_.ExtractPerCycle());
+
+  while (extracted < limit && pe_active_) {
+    if (ifq_.empty()) break;
+    const std::uint64_t front_seq = ifq_.Front().seq;
+    if (pe_scan_seq_ < front_seq) pe_scan_seq_ = front_seq;  // defensive
+    const std::uint64_t offset = pe_scan_seq_ - front_seq;
+    if (offset >= ifq_.size()) break;  // caught up with fetch; resume later
+    IfqEntry& en = ifq_.At(static_cast<std::size_t>(offset));
+
+    if (!en.pthread_indicator) {
+      ++pe_scan_seq_;
+      continue;  // scanning unmarked entries is free (indicator bits)
+    }
+    if (pruu_.full()) break;  // retry next cycle
+
+    en.pthread_indicator = false;
+    ++pe_scan_seq_;
+    const bool is_trigger = en.seq == trigger_dload_seq_;
+    if (IsControl(en.instr.op)) {
+      // Slices are data-flow only; a marked control instruction is skipped
+      // rather than pre-executed (the p-thread follows the IFQ's path).
+      if (is_trigger) pe_active_ = false;
+      continue;
+    }
+    DispatchOne(pruu_, en, kPThread);
+    if (is_trigger) {
+      pruu_.Back().is_trigger_dload = true;
+      trigger_captured_ = true;
+      pe_active_ = false;  // extraction complete; wait for retirement
+    }
+    ++extracted;
+    ++stats_.pthread_extracted;
+  }
+  return extracted;
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch (decode/rename/functional-execute/RUU allocate).
+// ---------------------------------------------------------------------------
+
+void Core::DispatchOne(CircularBuffer<RuuEntry>& buffer, const IfqEntry& fe,
+                       ThreadId tid) {
+  RuuEntry e;
+  e.instr = fe.instr;
+  e.pc = fe.pc;
+  e.tid = tid;
+  e.seq = tid == kPThread ? ++pdispatch_seq_ : ++dispatch_seq_;
+  e.predicted_next = fe.predicted_next;
+  e.pred_taken = fe.pred_taken;
+
+  RenameMap& rm = tid == kPThread ? prename_ : rename_;
+  const SrcRegs srcs = SourcesOf(fe.instr);
+  for (int i = 0; i < srcs.count; ++i) {
+    const RegId reg = srcs.reg[i];
+    if (reg == kRegZero) continue;
+    if (rm.slot[reg] >= 0) {
+      e.dep[e.ndeps].slot = rm.slot[reg];
+      e.dep[e.ndeps].producer_seq = rm.seq[reg];
+      ++e.ndeps;
+    }
+  }
+
+  if (tid == kMainThread) {
+    e.wrongpath = spec_mode_;
+    MainState st{this};
+    e.exec = ExecuteInstruction(st, fe.instr, fe.pc);
+    if (!e.wrongpath && e.exec.next_pc != fe.predicted_next) {
+      e.mispredict = true;
+      spec_mode_ = true;  // younger dispatches go to the overlay
+    }
+    if (IsHalt(fe.instr.op)) dispatch_halted_ = true;
+    ++stats_.dispatched_main;
+  } else {
+    e.exec = ExecuteInstruction(pctx_, fe.instr, fe.pc);
+  }
+
+  const std::size_t slot = buffer.PushBack(e);
+  if (auto rd = DestOf(fe.instr)) {
+    rm.slot[*rd] = static_cast<std::int32_t>(slot);
+    rm.seq[*rd] = e.seq;
+  }
+}
+
+// A marked entry leaving the IFQ through main dispatch passes the shared
+// decoder, where the PE can still capture it for the p-thread (dual
+// delivery). If the p-thread RUU has no room the instance is lost — the
+// main thread is executing it anyway, so only prefetch reach is affected,
+// never correctness.
+void Core::MaybeExtractOnPop(const IfqEntry& fe) {
+  if (!pe_active_ || !fe.pthread_indicator) return;
+  if (fe.seq < pe_scan_seq_) return;  // PE already scanned this entry
+  pe_scan_seq_ = fe.seq + 1;
+  const bool is_trigger = fe.seq == trigger_dload_seq_;
+  if (IsControl(fe.instr.op)) {
+    if (is_trigger) pe_active_ = false;
+    return;
+  }
+  if (pruu_.full()) {
+    ++stats_.pthread_lost_to_dispatch;
+    if (is_trigger) {
+      // The terminating d-load can never retire from the p-thread RUU now;
+      // tear the session down.
+      pe_active_ = false;
+      ++stats_.triggers_aborted;
+      EndPreExec(/*completed=*/false);
+    }
+    return;
+  }
+  DispatchOne(pruu_, fe, kPThread);
+  ++stats_.pthread_extracted;
+  if (is_trigger) {
+    pruu_.Back().is_trigger_dload = true;
+    trigger_captured_ = true;
+    pe_active_ = false;
+  }
+}
+
+void Core::Dispatch(std::uint32_t budget) {
+  if (config_.spear.drain_policy == TriggerDrainPolicy::kStallDispatch &&
+      (trigger_state_ == TriggerState::kDraining ||
+       trigger_state_ == TriggerState::kCopying)) {
+    // Stall-dispatch trigger policy: main dispatch holds so the RUU reaches
+    // a deterministic (fully committed) state for the live-in copy.
+    ++stats_.dispatch_stall_trigger;
+    return;
+  }
+  while (budget > 0 && !dispatch_halted_ && !ifq_.empty()) {
+    if (ruu_.full()) {
+      ++stats_.dispatch_stall_ruu_full;
+      break;
+    }
+    const IfqEntry fe = ifq_.PopFront();
+    MaybeExtractOnPop(fe);
+    DispatchOne(ruu_, fe, kMainThread);
+    --budget;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fetch + pre-decode. Follows the predicted path, breaks after a
+// predicted-taken control instruction, marks p-thread indicators and
+// detects trigger conditions (d-load pre-decoded AND IFQ at least half
+// full).
+// ---------------------------------------------------------------------------
+
+void Core::Fetch() {
+  for (std::uint32_t n = 0; n < config_.fetch_width && !ifq_.full(); ++n) {
+    if (!prog_.ContainsPc(fetch_pc_)) break;  // stalled (wrong path / end)
+    const Instruction& in = prog_.At(fetch_pc_);
+
+    IfqEntry fe;
+    fe.instr = in;
+    fe.pc = fetch_pc_;
+    fe.seq = fetch_seq_++;
+    bool taken = false;
+    if (IsControl(in.op)) {
+      const BranchPrediction p = bpred_.Predict(fetch_pc_, in);
+      fe.pred_taken = p.taken;
+      fe.predicted_next = p.target;
+      taken = p.taken;
+    } else {
+      fe.predicted_next = fetch_pc_ + kInstrBytes;
+    }
+
+    if (config_.spear.enabled && !pt_.empty()) {  // pre-decoder (PD)
+      fe.pthread_indicator = pt_.InAnySlice(fetch_pc_);
+      fe.dload_spec = pt_.DloadSpec(fetch_pc_);
+    }
+
+    ifq_.PushBack(fe);
+    ++stats_.fetched;
+
+    if (fe.dload_spec >= 0 && config_.spear.enabled) {
+      if (trigger_state_ == TriggerState::kNormal &&
+          (ifq_.size() >= config_.TriggerOccupancy() || chain_pending_)) {
+        if (chain_pending_ && ifq_.size() < config_.TriggerOccupancy()) {
+          ++stats_.chained_triggers;
+        }
+        chain_pending_ = false;
+        ArmTrigger(fe.dload_spec, fe.seq);
+      } else if (trigger_state_ == TriggerState::kNormal) {
+        ++stats_.triggers_suppressed_occupancy;
+      }
+    }
+
+    fetch_pc_ = fe.predicted_next;
+    if (taken) break;  // one taken control flow break per cycle
+  }
+}
+
+}  // namespace spear

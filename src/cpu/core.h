@@ -1,0 +1,252 @@
+// The SPEAR cycle-level core: an 8-wide out-of-order SMT pipeline in the
+// sim-outorder tradition, extended with the SPEAR front end (paper
+// Section 3):
+//
+//   fetch -> pre-decode(PD) -> IFQ -> decode/rename -> RUU -> issue ->
+//   FUs/memory -> writeback -> commit
+//
+// Execution model: instructions execute *functionally* at dispatch against
+// the in-order dispatch state; the scheduler models timing only. A
+// mispredicted (correct-path) branch flips dispatch into speculative-
+// overlay mode; its writeback squashes younger entries, discards the
+// overlay, flushes the IFQ and redirects fetch.
+//
+// SPEAR additions: the pre-decoder marks IFQ entries from the P-thread
+// Table; the trigger logic (d-load pre-decoded while IFQ >= half full)
+// drains the RUU, copies live-ins at 1 reg/cycle, then activates the
+// P-thread Extractor, which pulls marked entries out of the IFQ (<= 4 per
+// cycle, sharing decode bandwidth) into the p-thread context. P-thread
+// instructions get issue priority; their loads warm the shared D-cache;
+// pre-execution ends when the triggering d-load retires from the p-thread
+// RUU.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "bpred/bpred.h"
+#include "common/circular_buffer.h"
+#include "common/types.h"
+#include "cpu/config.h"
+#include "cpu/pipeline_types.h"
+#include "isa/program.h"
+#include "mem/hierarchy.h"
+#include "mem/memory.h"
+#include "mem/stride_prefetcher.h"
+#include "spear/pthread_context.h"
+#include "spear/pthread_table.h"
+
+namespace spear {
+
+struct RunResult {
+  Cycle cycles = 0;
+  std::uint64_t instructions = 0;  // main-thread committed
+  bool halted = false;
+  double Ipc() const {
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(instructions) /
+                             static_cast<double>(cycles);
+  }
+};
+
+// Aggregate counters exposed to benches and tests.
+struct CoreStats {
+  Cycle cycles = 0;
+  std::uint64_t committed = 0;          // main-thread instructions
+  std::uint64_t committed_loads = 0;
+  std::uint64_t committed_stores = 0;
+  std::uint64_t committed_branches = 0;     // all control
+  std::uint64_t committed_cond_branches = 0;
+  std::uint64_t bpred_dir_correct = 0;      // conditional direction hits
+  std::uint64_t mispredict_recoveries = 0;
+  std::uint64_t fetched = 0;
+  std::uint64_t dispatched_main = 0;
+  std::uint64_t dispatch_stall_ruu_full = 0;
+  std::uint64_t dispatch_stall_trigger = 0;
+
+  // SPEAR.
+  std::uint64_t triggers_fired = 0;
+  std::uint64_t triggers_suppressed_occupancy = 0;  // d-load seen, IFQ too empty
+  std::uint64_t triggers_aborted = 0;               // flushed by recovery
+  std::uint64_t preexec_sessions_completed = 0;
+  std::uint64_t pthread_extracted = 0;
+  std::uint64_t pthread_lost_to_dispatch = 0;  // marked entries the PE missed
+  std::uint64_t pthread_loads_issued = 0;
+  std::uint64_t drain_cycles = 0;
+  std::uint64_t copy_cycles = 0;
+  std::uint64_t preexec_cycles = 0;
+
+  // Stride-prefetcher baseline.
+  std::uint64_t stride_prefetches = 0;
+
+  // Chaining-trigger extension.
+  std::uint64_t chained_triggers = 0;
+
+  double BranchHitRatio() const {
+    return committed_cond_branches == 0
+               ? 1.0
+               : static_cast<double>(bpred_dir_correct) /
+                     static_cast<double>(committed_cond_branches);
+  }
+  double Ipb() const {  // instructions per branch
+    return committed_branches == 0
+               ? static_cast<double>(committed)
+               : static_cast<double>(committed) /
+                     static_cast<double>(committed_branches);
+  }
+};
+
+class Core {
+ public:
+  Core(const Program& prog, const CoreConfig& config);
+
+  // Advances one clock cycle.
+  void StepCycle();
+
+  // Runs until the main thread commits a HALT, `max_instrs` main-thread
+  // instructions have committed, or `max_cycles` elapsed.
+  RunResult Run(std::uint64_t max_instrs,
+                std::uint64_t max_cycles = UINT64_MAX);
+
+  bool halted() const { return halted_; }
+  const CoreStats& stats() const { return stats_; }
+  const MemoryHierarchy& hierarchy() const { return hier_; }
+  const CoreConfig& config() const { return config_; }
+  const std::vector<std::uint32_t>& outputs() const { return outputs_; }
+
+  // Committed-PC trace capture for oracle tests (off by default).
+  void set_trace_commits(bool on) { trace_commits_ = on; }
+  const std::vector<Pc>& commit_trace() const { return commit_trace_; }
+
+ private:
+  // ---- pipeline stages (called in reverse order each cycle) ----
+  void Commit();
+  void PThreadRetire();
+  void Writeback();
+  void Issue();
+  void SpearTriggerTick();
+  int ExtractPThread();          // returns decode slots consumed
+  void Dispatch(std::uint32_t budget);
+  void Fetch();
+
+  // ---- speculation ----
+  void RecoverFromMispredict(RuuEntry& branch);
+  void RebuildRenameMap();
+
+  // ---- SPEAR state machine ----
+  enum class TriggerState : std::uint8_t {
+    kNormal,
+    kDraining,
+    kCopying,
+    kPreExec,
+  };
+  void ArmTrigger(int spec_index, std::uint64_t dload_seq);
+  void SnapshotLiveIns();
+  void ActivatePe();
+  void BeginCopy();
+  void BeginPreExec();
+  void EndPreExec(bool completed);
+  void MaybeExtractOnPop(const IfqEntry& fe);
+
+  // ---- helpers ----
+  bool DepsReady(const RuuEntry& e) const;
+  bool AcquireFu(FuClass fu, ThreadId tid);
+  std::uint32_t ExecLatency(const RuuEntry& e);
+  void DispatchOne(CircularBuffer<RuuEntry>& buffer, const IfqEntry& fe,
+                   ThreadId tid);
+
+  // Dispatch-time architectural state, with speculative overlay for
+  // wrong-path execution.
+  struct MainState {
+    Core* c;
+    std::uint32_t ReadInt(RegId reg);
+    void WriteInt(RegId reg, std::uint32_t v);
+    double ReadFp(RegId reg);
+    void WriteFp(RegId reg, double v);
+    std::uint8_t LoadU8(Addr a);
+    std::uint32_t LoadU32(Addr a);
+    double LoadF64(Addr a);
+    void StoreU8(Addr a, std::uint8_t v);
+    void StoreU32(Addr a, std::uint32_t v);
+    void StoreF64(Addr a, double v);
+  };
+  friend struct MainState;
+
+  struct RenameMap {
+    std::array<std::int32_t, kNumArchRegs> slot;
+    std::array<std::uint64_t, kNumArchRegs> seq;
+    void Reset() {
+      slot.fill(-1);
+      seq.fill(0);
+    }
+  };
+
+  const Program& prog_;
+  CoreConfig config_;
+
+  // Substrates.
+  MemoryHierarchy hier_;
+  BranchPredictor bpred_;
+  StridePrefetcher stride_;
+  Memory mem_;  // dispatch-time memory image (correct path)
+
+  // Front end.
+  CircularBuffer<IfqEntry> ifq_;
+  Pc fetch_pc_;
+  std::uint64_t fetch_seq_ = 0;
+
+  // Main-thread machine state at dispatch.
+  std::array<std::uint32_t, kNumIntRegs> iregs_;
+  std::array<double, kNumFpRegs> fregs_;
+  bool spec_mode_ = false;
+  std::unordered_map<RegId, std::uint32_t> spec_iregs_;
+  std::unordered_map<RegId, double> spec_fregs_;
+  std::unordered_map<Addr, std::uint8_t> spec_mem_;
+  bool dispatch_halted_ = false;
+
+  // Back end.
+  CircularBuffer<RuuEntry> ruu_;
+  RenameMap rename_;
+  std::uint64_t dispatch_seq_ = 0;
+
+  // P-thread machinery.
+  PThreadTable pt_;
+  PThreadContext pctx_;
+  CircularBuffer<RuuEntry> pruu_;
+  RenameMap prename_;
+  std::uint64_t pdispatch_seq_ = 0;
+  TriggerState trigger_state_ = TriggerState::kNormal;
+  int active_spec_ = -1;
+  std::uint64_t trigger_dload_seq_ = 0;
+  std::uint64_t trigger_dispatch_seq_ = 0;  // commit point for drain-to-trigger
+  std::uint64_t pe_scan_seq_ = 0;
+  bool pe_active_ = false;
+  bool trigger_captured_ = false;  // the d-load entered the p-thread RUU
+  bool chain_pending_ = false;     // chaining extension: next d-load re-arms
+  std::uint32_t copy_remaining_ = 0;
+
+  // Per-cycle FU accounting: [0]=shared/main pool, [1]=p-thread pool when
+  // separate_fu is on.
+  struct FuUse {
+    std::uint32_t int_alu = 0;
+    std::uint32_t int_muldiv = 0;
+    std::uint32_t fp_alu = 0;
+    std::uint32_t fp_muldiv = 0;
+    std::uint32_t mem_ports = 0;
+  };
+  FuUse fu_use_[2];
+  std::uint32_t issued_this_cycle_ = 0;
+
+  // Run state.
+  Cycle now_ = 0;
+  bool halted_ = false;
+  std::vector<std::uint32_t> outputs_;
+  CoreStats stats_;
+  bool trace_commits_ = false;
+  std::vector<Pc> commit_trace_;
+};
+
+}  // namespace spear

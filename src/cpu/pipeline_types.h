@@ -1,0 +1,64 @@
+// Per-entry state for the two queue structures of the SPEAR front end:
+// the Instruction Fetch Queue (IFQ) and the Register Update Unit (RUU,
+// which doubles as reorder buffer and scheduler, as in sim-outorder).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "isa/instruction.h"
+#include "sim/exec.h"
+
+namespace spear {
+
+// One IFQ slot. Pre-decode metadata (p-thread indicator, d-load mark) is
+// attached at fetch time by the pre-decoder (PD) from the P-thread Table.
+struct IfqEntry {
+  Instruction instr;
+  Pc pc = 0;
+  Pc predicted_next = 0;  // fetch-time prediction (pc+8 for non-control)
+  bool pred_taken = false;
+
+  // SPEAR pre-decode marks.
+  bool pthread_indicator = false;
+  std::int32_t dload_spec = -1;  // PT spec index if this PC is a d-load
+
+  std::uint64_t seq = 0;  // monotone fetch sequence number
+};
+
+// One RUU slot (either thread's buffer; tid disambiguates).
+struct RuuEntry {
+  Instruction instr;
+  Pc pc = 0;
+  ThreadId tid = kMainThread;
+  std::uint64_t seq = 0;  // dispatch sequence, unique per buffer
+
+  // Functional result, produced at dispatch (sim-outorder style).
+  ExecResult exec;
+
+  // Control speculation bookkeeping (main thread only).
+  Pc predicted_next = 0;
+  bool pred_taken = false;
+  bool mispredict = false;   // correct-path entry whose prediction was wrong
+  bool wrongpath = false;    // dispatched beyond a mispredicted branch
+  bool recovery_done = false;
+
+  // Scheduling state. Sources wait on producer RUU slots in the *same*
+  // thread's buffer; a dep is satisfied once the producer slot no longer
+  // holds that seq or has completed.
+  struct SrcDep {
+    std::int32_t slot = -1;  // -1 = value already architectural
+    std::uint64_t producer_seq = 0;
+  };
+  SrcDep dep[2];
+  int ndeps = 0;
+
+  bool issued = false;
+  bool completed = false;
+  Cycle complete_cycle = 0;
+
+  // P-thread specifics.
+  bool is_trigger_dload = false;  // retiring this ends pre-execution mode
+};
+
+}  // namespace spear

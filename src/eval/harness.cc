@@ -1,0 +1,42 @@
+#include "eval/harness.h"
+
+namespace spear {
+
+PreparedWorkload PrepareWorkload(const std::string& name,
+                                 const EvalOptions& options) {
+  PreparedWorkload out;
+  out.name = name;
+
+  WorkloadConfig ref_cfg;
+  ref_cfg.seed = options.ref_seed;
+  out.plain = BuildWorkloadProgram(name, ref_cfg);
+
+  WorkloadConfig prof_cfg;
+  prof_cfg.seed = options.profile_seed;
+  const Program profile_input = BuildWorkloadProgram(name, prof_cfg);
+
+  out.annotated = CompileSpear(profile_input, out.plain, options.compiler,
+                               &out.compile_report);
+  return out;
+}
+
+RunStats RunConfig(const Program& prog, const CoreConfig& config,
+                   const EvalOptions& options) {
+  Core core(prog, config);
+  const RunResult rr = core.Run(options.sim_instrs, options.max_cycles);
+  RunStats s;
+  s.cycles = rr.cycles;
+  s.instructions = rr.instructions;
+  s.ipc = rr.Ipc();
+  s.halted = rr.halted;
+  s.l1d_misses_main = core.hierarchy().l1d().misses(kMainThread);
+  s.l1d_misses_pthread = core.hierarchy().l1d().misses(kPThread);
+  s.branch_hit_ratio = core.stats().BranchHitRatio();
+  s.ipb = core.stats().Ipb();
+  s.triggers = core.stats().triggers_fired;
+  s.sessions = core.stats().preexec_sessions_completed;
+  s.extracted = core.stats().pthread_extracted;
+  return s;
+}
+
+}  // namespace spear

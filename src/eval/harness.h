@@ -1,0 +1,55 @@
+// Evaluation harness shared by the benchmark binaries and integration
+// tests: builds a workload, runs the SPEAR post-compiler on it with a
+// *different* input seed (the paper's methodology), and executes
+// simulator configurations for a fixed instruction budget, mirroring the
+// paper's skip-and-simulate runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "compiler/spear_compiler.h"
+#include "cpu/core.h"
+#include "workloads/workload.h"
+
+namespace spear {
+
+struct EvalOptions {
+  std::uint64_t sim_instrs = 400'000;       // per-run commit budget
+  std::uint64_t max_cycles = 80'000'000;    // safety net
+  std::uint64_t ref_seed = 42;              // simulated input
+  std::uint64_t profile_seed = 20040426;    // profiling input (different)
+  CompilerOptions compiler;
+};
+
+// A workload prepared for evaluation: the reference binary for baseline
+// runs and the SPEAR-annotated binary produced by the post-compiler.
+struct PreparedWorkload {
+  std::string name;
+  Program plain;
+  Program annotated;
+  CompileReport compile_report;
+};
+
+PreparedWorkload PrepareWorkload(const std::string& name,
+                                 const EvalOptions& options);
+
+// One simulator run, condensed.
+struct RunStats {
+  Cycle cycles = 0;
+  std::uint64_t instructions = 0;
+  double ipc = 0.0;
+  std::uint64_t l1d_misses_main = 0;
+  std::uint64_t l1d_misses_pthread = 0;
+  double branch_hit_ratio = 1.0;
+  double ipb = 0.0;
+  std::uint64_t triggers = 0;
+  std::uint64_t sessions = 0;
+  std::uint64_t extracted = 0;
+  bool halted = false;
+};
+
+RunStats RunConfig(const Program& prog, const CoreConfig& config,
+                   const EvalOptions& options);
+
+}  // namespace spear

@@ -1,0 +1,194 @@
+// Embedded assembler: the C++ DSL the workload generators use to produce
+// SPEAR binaries. Handles label binding/fixup for branch and jump targets
+// (encoded as absolute byte PCs) and provides the usual pseudo-ops.
+//
+// Usage:
+//   Program prog;
+//   Assembler a(&prog);
+//   Label loop = a.NewLabel();
+//   a.li(r(1), 100);
+//   a.Bind(loop);
+//   a.addi(r(1), r(1), -1);
+//   a.bne(r(1), r(0), loop);
+//   a.halt();
+//   a.Finish();
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+#include "isa/instruction.h"
+#include "isa/program.h"
+#include "isa/regs.h"
+
+namespace spear {
+
+// Opaque label handle. Values index the assembler's label table.
+struct Label {
+  std::uint32_t id = 0;
+};
+
+class Assembler {
+ public:
+  explicit Assembler(Program* prog) : prog_(prog) { SPEAR_CHECK(prog); }
+
+  Label NewLabel() {
+    labels_.push_back(kUnbound);
+    return Label{static_cast<std::uint32_t>(labels_.size() - 1)};
+  }
+
+  void Bind(Label label) {
+    SPEAR_CHECK(label.id < labels_.size());
+    SPEAR_CHECK(labels_[label.id] == kUnbound);  // no double binding
+    labels_[label.id] = Here();
+  }
+
+  Label BindNew() {
+    Label l = NewLabel();
+    Bind(l);
+    return l;
+  }
+
+  Pc Here() const {
+    return prog_->PcOf(static_cast<InstrIndex>(prog_->text.size()));
+  }
+
+  // Resolves all pending label fixups. Must be called exactly once, after
+  // all code is emitted; every referenced label must be bound by then.
+  void Finish();
+
+  // --- raw emission -------------------------------------------------------
+  InstrIndex Emit(const Instruction& in) {
+    prog_->text.push_back(in);
+    return static_cast<InstrIndex>(prog_->text.size() - 1);
+  }
+
+  // --- integer ALU --------------------------------------------------------
+  void add(RegId rd, RegId rs, RegId rt) { R(Opcode::kAdd, rd, rs, rt); }
+  void sub(RegId rd, RegId rs, RegId rt) { R(Opcode::kSub, rd, rs, rt); }
+  void mul(RegId rd, RegId rs, RegId rt) { R(Opcode::kMul, rd, rs, rt); }
+  void div(RegId rd, RegId rs, RegId rt) { R(Opcode::kDiv, rd, rs, rt); }
+  void rem(RegId rd, RegId rs, RegId rt) { R(Opcode::kRem, rd, rs, rt); }
+  void and_(RegId rd, RegId rs, RegId rt) { R(Opcode::kAnd, rd, rs, rt); }
+  void or_(RegId rd, RegId rs, RegId rt) { R(Opcode::kOr, rd, rs, rt); }
+  void xor_(RegId rd, RegId rs, RegId rt) { R(Opcode::kXor, rd, rs, rt); }
+  void sll(RegId rd, RegId rs, RegId rt) { R(Opcode::kSll, rd, rs, rt); }
+  void srl(RegId rd, RegId rs, RegId rt) { R(Opcode::kSrl, rd, rs, rt); }
+  void sra(RegId rd, RegId rs, RegId rt) { R(Opcode::kSra, rd, rs, rt); }
+  void slt(RegId rd, RegId rs, RegId rt) { R(Opcode::kSlt, rd, rs, rt); }
+  void sltu(RegId rd, RegId rs, RegId rt) { R(Opcode::kSltu, rd, rs, rt); }
+
+  void addi(RegId rd, RegId rs, std::int32_t imm) { I(Opcode::kAddi, rd, rs, imm); }
+  void andi(RegId rd, RegId rs, std::int32_t imm) { I(Opcode::kAndi, rd, rs, imm); }
+  void ori(RegId rd, RegId rs, std::int32_t imm) { I(Opcode::kOri, rd, rs, imm); }
+  void xori(RegId rd, RegId rs, std::int32_t imm) { I(Opcode::kXori, rd, rs, imm); }
+  void slli(RegId rd, RegId rs, std::int32_t imm) { I(Opcode::kSlli, rd, rs, imm); }
+  void srli(RegId rd, RegId rs, std::int32_t imm) { I(Opcode::kSrli, rd, rs, imm); }
+  void srai(RegId rd, RegId rs, std::int32_t imm) { I(Opcode::kSrai, rd, rs, imm); }
+  void slti(RegId rd, RegId rs, std::int32_t imm) { I(Opcode::kSlti, rd, rs, imm); }
+
+  // --- pseudo-ops ---------------------------------------------------------
+  void li(RegId rd, std::int32_t value) { addi(rd, kRegZero, value); }
+  void la(RegId rd, Addr addr) { li(rd, static_cast<std::int32_t>(addr)); }
+  void mov(RegId rd, RegId rs) { addi(rd, rs, 0); }
+  void nop() { Emit({Opcode::kNop, 0, 0, 0, 0}); }
+  void halt() { Emit({Opcode::kHalt, 0, 0, 0, 0}); }
+  void out(RegId rs) { Emit({Opcode::kOut, 0, rs, 0, 0}); }
+
+  // --- memory -------------------------------------------------------------
+  void lw(RegId rd, RegId base, std::int32_t off) { I(Opcode::kLw, rd, base, off); }
+  void lbu(RegId rd, RegId base, std::int32_t off) { I(Opcode::kLbu, rd, base, off); }
+  void ldf(RegId fd, RegId base, std::int32_t off) { I(Opcode::kLdf, fd, base, off); }
+  void sw(RegId src, RegId base, std::int32_t off) { S(Opcode::kSw, src, base, off); }
+  void sb(RegId src, RegId base, std::int32_t off) { S(Opcode::kSb, src, base, off); }
+  void stf(RegId fsrc, RegId base, std::int32_t off) { S(Opcode::kStf, fsrc, base, off); }
+
+  // --- control flow -------------------------------------------------------
+  void beq(RegId rs, RegId rt, Label target) { B(Opcode::kBeq, rs, rt, target); }
+  void bne(RegId rs, RegId rt, Label target) { B(Opcode::kBne, rs, rt, target); }
+  void blt(RegId rs, RegId rt, Label target) { B(Opcode::kBlt, rs, rt, target); }
+  void bge(RegId rs, RegId rt, Label target) { B(Opcode::kBge, rs, rt, target); }
+  void bltu(RegId rs, RegId rt, Label target) { B(Opcode::kBltu, rs, rt, target); }
+  void bgeu(RegId rs, RegId rt, Label target) { B(Opcode::kBgeu, rs, rt, target); }
+
+  void j(Label target) { J(Opcode::kJ, 0, target); }
+  void jal(Label target) { J(Opcode::kJal, kRegRa, target); }
+  void jr(RegId rs) { Emit({Opcode::kJr, 0, rs, 0, 0}); }
+  void jalr(RegId rs) { Emit({Opcode::kJalr, kRegRa, rs, 0, 0}); }
+  void ret() { jr(kRegRa); }
+
+  // --- FP -----------------------------------------------------------------
+  void fadd(RegId fd, RegId fs, RegId ft) { R(Opcode::kFadd, fd, fs, ft); }
+  void fsub(RegId fd, RegId fs, RegId ft) { R(Opcode::kFsub, fd, fs, ft); }
+  void fmul(RegId fd, RegId fs, RegId ft) { R(Opcode::kFmul, fd, fs, ft); }
+  void fdiv(RegId fd, RegId fs, RegId ft) { R(Opcode::kFdiv, fd, fs, ft); }
+  void fmov(RegId fd, RegId fs) { R(Opcode::kFmov, fd, fs, fs); }
+  void fneg(RegId fd, RegId fs) { R(Opcode::kFneg, fd, fs, fs); }
+  void cvtif(RegId fd, RegId rs) { R(Opcode::kCvtif, fd, rs, rs); }
+  void cvtfi(RegId rd, RegId fs) { R(Opcode::kCvtfi, rd, fs, fs); }
+  void feq(RegId rd, RegId fs, RegId ft) { R(Opcode::kFeq, rd, fs, ft); }
+  void flt(RegId rd, RegId fs, RegId ft) { R(Opcode::kFlt, rd, fs, ft); }
+  void fle(RegId rd, RegId fs, RegId ft) { R(Opcode::kFle, rd, fs, ft); }
+
+ private:
+  static constexpr Pc kUnbound = 0xffffffffu;
+
+  struct Fixup {
+    InstrIndex instr;
+    std::uint32_t label_id;
+  };
+
+  void R(Opcode op, RegId rd, RegId rs, RegId rt) {
+    Emit({op, rd, rs, rt, 0});
+  }
+  void I(Opcode op, RegId rd, RegId rs, std::int32_t imm) {
+    Emit({op, rd, rs, 0, imm});
+  }
+  void S(Opcode op, RegId value, RegId base, std::int32_t imm) {
+    Emit({op, 0, base, value, imm});
+  }
+  void B(Opcode op, RegId rs, RegId rt, Label target) {
+    const InstrIndex idx = Emit({op, 0, rs, rt, 0});
+    fixups_.push_back({idx, target.id});
+  }
+  void J(Opcode op, RegId link, Label target) {
+    const InstrIndex idx = Emit({op, link, 0, 0, 0});
+    fixups_.push_back({idx, target.id});
+  }
+
+  Program* prog_;
+  std::vector<Pc> labels_;
+  std::vector<Fixup> fixups_;
+  bool finished_ = false;
+
+  friend class AssemblerTestPeer;
+
+ public:
+  // Number of labels still unbound (exposed for diagnostics/tests).
+  int UnboundLabels() const {
+    int n = 0;
+    for (Pc p : labels_) n += (p == kUnbound);
+    return n;
+  }
+};
+
+inline void Assembler::Finish() {
+  SPEAR_CHECK(!finished_);
+  finished_ = true;
+  for (const Fixup& f : fixups_) {
+    SPEAR_CHECK(f.label_id < labels_.size());
+    const Pc target = labels_[f.label_id];
+    SPEAR_CHECK(target != kUnbound);
+    prog_->text[f.instr].imm = static_cast<std::int32_t>(target);
+  }
+  fixups_.clear();
+}
+
+// Terse register constructors for workload code: r(3) == IntReg(3).
+inline constexpr RegId r(int n) { return IntReg(n); }
+inline constexpr RegId f(int n) { return FpReg(n); }
+
+}  // namespace spear

@@ -1,0 +1,37 @@
+// SPEARBIN container format — the "binary" the SPEAR post-compiler reads,
+// annotates and rewrites (paper Figure 4: the attaching tool appends the
+// p-thread information to the executable; the PT is loaded from it at run
+// time).
+//
+// Layout (all integers little-endian):
+//   magic "SPEARBIN" (8 bytes), version u32
+//   text_base u32, entry u32
+//   text:     count u32, count * u64 encoded instructions
+//   data:     nseg u32, per segment { base u32, size u32, bytes }
+//   pthreads: nspec u32, per spec {
+//       dload_pc u32, region_start u32, region_end u32,
+//       profile_misses u64, region_dcycles f64,
+//       nlive u32 + nlive * u8, nslice u32 + nslice * u32 }
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/program.h"
+
+namespace spear {
+
+inline constexpr std::uint32_t kSpearBinVersion = 2;
+
+// In-memory (de)serialization.
+std::vector<std::uint8_t> SerializeProgram(const Program& prog);
+Program DeserializeProgram(const std::vector<std::uint8_t>& bytes);
+
+// File I/O convenience. WriteProgram overwrites; ReadProgram aborts via
+// SPEAR_CHECK on malformed input (simulator tooling, not a hostile-input
+// parser).
+void WriteProgram(const Program& prog, const std::string& path);
+Program ReadProgram(const std::string& path);
+
+}  // namespace spear

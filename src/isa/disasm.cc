@@ -1,0 +1,62 @@
+#include "isa/disasm.h"
+
+#include <cstdio>
+
+namespace spear {
+namespace {
+
+std::string Hex(std::uint32_t v) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "0x%x", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string Disassemble(const Instruction& in) {
+  const OpInfo& info = GetOpInfo(in.op);
+  const std::string m = info.mnemonic;
+  switch (info.format) {
+    case OpFormat::kNone:
+      if (info.flags & kFlagOut) return m + " " + RegName(in.rs);
+      return m;
+    case OpFormat::kR:
+      switch (in.op) {
+        case Opcode::kFmov:
+        case Opcode::kFneg:
+        case Opcode::kCvtif:
+        case Opcode::kCvtfi:
+          return m + " " + RegName(in.rd) + ", " + RegName(in.rs);
+        default:
+          return m + " " + RegName(in.rd) + ", " + RegName(in.rs) + ", " +
+                 RegName(in.rt);
+      }
+    case OpFormat::kI:
+      return m + " " + RegName(in.rd) + ", " + RegName(in.rs) + ", " +
+             std::to_string(in.imm);
+    case OpFormat::kLoad:
+      return m + " " + RegName(in.rd) + ", " + std::to_string(in.imm) + "(" +
+             RegName(in.rs) + ")";
+    case OpFormat::kStore:
+      return m + " " + RegName(in.rt) + ", " + std::to_string(in.imm) + "(" +
+             RegName(in.rs) + ")";
+    case OpFormat::kBranch:
+      return m + " " + RegName(in.rs) + ", " + RegName(in.rt) + ", " +
+             Hex(static_cast<std::uint32_t>(in.imm));
+    case OpFormat::kJump:
+      return m + " " + Hex(static_cast<std::uint32_t>(in.imm));
+    case OpFormat::kJumpReg:
+      return m + " " + RegName(in.rs);
+  }
+  return m;
+}
+
+std::string DisassembleProgram(const Program& prog) {
+  std::string out;
+  for (InstrIndex i = 0; i < prog.text.size(); ++i) {
+    out += Hex(prog.PcOf(i)) + ": " + Disassemble(prog.text[i]) + "\n";
+  }
+  return out;
+}
+
+}  // namespace spear

@@ -1,0 +1,18 @@
+// Human-readable instruction and program formatting, used by the compiler
+// tool's dump mode, examples and test failure messages.
+#pragma once
+
+#include <string>
+
+#include "isa/instruction.h"
+#include "isa/program.h"
+
+namespace spear {
+
+// e.g. "lw r5, 16(r3)", "beq r1, r2, 0x1040", "fadd f2, f0, f1".
+std::string Disassemble(const Instruction& in);
+
+// One line per instruction: "0x1008: addi r1, r1, -1".
+std::string DisassembleProgram(const Program& prog);
+
+}  // namespace spear

@@ -1,0 +1,124 @@
+// Decoded instruction representation, fixed 64-bit binary encoding, and the
+// operand-extraction helpers every dependence-driven component uses.
+//
+// Encoding (little-endian, 8 bytes per instruction):
+//   word0: [31:26] rt  [25:20] rs  [19:14] rd  [13:0] opcode
+//   word1: imm (two's complement)
+// Register fields hold unified ids (see isa/regs.h), so 6 bits suffice.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "common/check.h"
+#include "common/types.h"
+#include "isa/opcode.h"
+#include "isa/regs.h"
+
+namespace spear {
+
+struct Instruction {
+  Opcode op = Opcode::kNop;
+  RegId rd = 0;
+  RegId rs = 0;
+  RegId rt = 0;
+  std::int32_t imm = 0;
+
+  bool operator==(const Instruction&) const = default;
+};
+
+inline std::uint64_t Encode(const Instruction& in) {
+  SPEAR_CHECK(static_cast<unsigned>(in.op) < (1u << 14));
+  SPEAR_CHECK(in.rd < 64 && in.rs < 64 && in.rt < 64);
+  const std::uint32_t word0 = static_cast<std::uint32_t>(in.op) |
+                              (static_cast<std::uint32_t>(in.rd) << 14) |
+                              (static_cast<std::uint32_t>(in.rs) << 20) |
+                              (static_cast<std::uint32_t>(in.rt) << 26);
+  const std::uint32_t word1 = static_cast<std::uint32_t>(in.imm);
+  return static_cast<std::uint64_t>(word0) |
+         (static_cast<std::uint64_t>(word1) << 32);
+}
+
+inline Instruction Decode(std::uint64_t bits) {
+  const auto word0 = static_cast<std::uint32_t>(bits);
+  Instruction in;
+  const std::uint32_t opcode_field = word0 & 0x3fffu;
+  SPEAR_CHECK(opcode_field < static_cast<std::uint32_t>(kNumOpcodes));
+  in.op = static_cast<Opcode>(opcode_field);
+  in.rd = static_cast<RegId>((word0 >> 14) & 0x3f);
+  in.rs = static_cast<RegId>((word0 >> 20) & 0x3f);
+  in.rt = static_cast<RegId>((word0 >> 26) & 0x3f);
+  in.imm = static_cast<std::int32_t>(bits >> 32);
+  return in;
+}
+
+// Source registers actually read by the instruction (r0 reads included; the
+// consumer decides whether to treat r0 specially). Fixed-size result with a
+// count to stay allocation-free on the pipeline's hot path.
+struct SrcRegs {
+  std::array<RegId, 2> reg{};
+  int count = 0;
+};
+
+inline SrcRegs SourcesOf(const Instruction& in) {
+  SrcRegs s;
+  const OpInfo& info = GetOpInfo(in.op);
+  switch (info.format) {
+    case OpFormat::kR:
+      s.reg[s.count++] = in.rs;
+      s.reg[s.count++] = in.rt;
+      break;
+    case OpFormat::kI:
+    case OpFormat::kLoad:
+      s.reg[s.count++] = in.rs;
+      break;
+    case OpFormat::kStore:
+      s.reg[s.count++] = in.rs;  // address base
+      s.reg[s.count++] = in.rt;  // stored value
+      break;
+    case OpFormat::kBranch:
+      s.reg[s.count++] = in.rs;
+      s.reg[s.count++] = in.rt;
+      break;
+    case OpFormat::kJumpReg:
+      s.reg[s.count++] = in.rs;
+      break;
+    case OpFormat::kJump:
+      break;
+    case OpFormat::kNone:
+      if (info.flags & kFlagOut) s.reg[s.count++] = in.rs;
+      break;
+  }
+  // Unary FP ops (fmov/fneg/cvt*) read only rs; drop the rt slot so the
+  // dependence graph doesn't grow spurious edges.
+  switch (in.op) {
+    case Opcode::kFmov:
+    case Opcode::kFneg:
+    case Opcode::kCvtif:
+    case Opcode::kCvtfi:
+      s.count = 1;
+      break;
+    default:
+      break;
+  }
+  return s;
+}
+
+inline std::optional<RegId> DestOf(const Instruction& in) {
+  if (!WritesRd(in.op)) return std::nullopt;
+  if (in.rd == kRegZero) return std::nullopt;  // writes to r0 are discarded
+  return in.rd;
+}
+
+// Static control-flow helpers used by fetch, branch prediction and the
+// binary CFG builder. Direct targets are absolute byte PCs in `imm`.
+inline bool HasStaticTarget(const Instruction& in) {
+  return IsControl(in.op) && !IsIndirectJump(in.op);
+}
+inline Pc StaticTargetOf(const Instruction& in) {
+  SPEAR_DCHECK(HasStaticTarget(in));
+  return static_cast<Pc>(in.imm);
+}
+
+}  // namespace spear

@@ -1,0 +1,191 @@
+// Opcode definitions for the SPEAR PISA-like ISA.
+//
+// The instruction set is a compact RISC modeled after SimpleScalar's PISA:
+// 32 integer registers (r0 hardwired to zero), 32 floating-point registers
+// holding doubles, word (4-byte) and byte integer memory accesses, 8-byte
+// FP accesses, register-register conditional branches with absolute targets
+// (targets resolved by the assembler; absolute encoding keeps the binary
+// CFG builder honest and simple), and direct/indirect jumps for calls and
+// returns.
+//
+// A single X-macro table carries every per-opcode attribute used across the
+// stack: mnemonic, operand format, functional-unit class and behaviour
+// flags. The functional emulator, the pipeline, the disassembler and the
+// SPEAR binary tool all read this one table, so they can never disagree on
+// instruction semantics metadata.
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace spear {
+
+// Operand format determines which fields of Instruction are meaningful.
+//  kR      : rd <- f(rs, rt)
+//  kI      : rd <- f(rs, imm)
+//  kLoad   : rd <- mem[rs + imm]
+//  kStore  : mem[rs + imm] <- rt
+//  kBranch : if f(rs, rt) goto imm           (imm = absolute byte PC)
+//  kJump   : goto imm; kFlagCall also writes rd = return PC
+//  kJumpReg: goto rs;  kFlagCall also writes rd = return PC
+//  kNone   : no operands (nop/halt) or rs only (out)
+enum class OpFormat : std::uint8_t {
+  kNone,
+  kR,
+  kI,
+  kLoad,
+  kStore,
+  kBranch,
+  kJump,
+  kJumpReg,
+};
+
+// Functional-unit class an instruction issues to (cpu/fu.h owns the pools).
+enum class FuClass : std::uint8_t {
+  kNone,     // nop, halt
+  kIntAlu,   // also branches and jumps
+  kIntMul,
+  kIntDiv,
+  kFpAlu,
+  kFpMul,
+  kFpDiv,
+  kMemRead,  // memory-port consumer
+  kMemWrite,
+};
+
+// Behaviour flags (bitmask).
+inline constexpr std::uint32_t kFlagLoad = 1u << 0;
+inline constexpr std::uint32_t kFlagStore = 1u << 1;
+inline constexpr std::uint32_t kFlagCondBranch = 1u << 2;
+inline constexpr std::uint32_t kFlagUncondJump = 1u << 3;
+inline constexpr std::uint32_t kFlagCall = 1u << 4;      // writes link reg
+inline constexpr std::uint32_t kFlagIndirect = 1u << 5;  // target from reg
+inline constexpr std::uint32_t kFlagFpOp = 1u << 6;      // uses FP pipeline
+inline constexpr std::uint32_t kFlagWritesRd = 1u << 7;
+inline constexpr std::uint32_t kFlagRdIsFp = 1u << 8;    // rd names an FP reg
+inline constexpr std::uint32_t kFlagSrcFp = 1u << 9;     // rs/rt name FP regs
+inline constexpr std::uint32_t kFlagHalt = 1u << 10;
+inline constexpr std::uint32_t kFlagOut = 1u << 11;      // test observability
+
+// X(enumerator, mnemonic, format, fu_class, flags, access_bytes)
+#define SPEAR_OPCODE_LIST(X)                                                   \
+  /* --- misc --- */                                                           \
+  X(kNop, "nop", kNone, kNone, 0, 0)                                           \
+  X(kHalt, "halt", kNone, kNone, kFlagHalt, 0)                                 \
+  X(kOut, "out", kNone, kIntAlu, kFlagOut, 0)                                  \
+  /* --- integer ALU, register forms --- */                                    \
+  X(kAdd, "add", kR, kIntAlu, kFlagWritesRd, 0)                                \
+  X(kSub, "sub", kR, kIntAlu, kFlagWritesRd, 0)                                \
+  X(kMul, "mul", kR, kIntMul, kFlagWritesRd, 0)                                \
+  X(kDiv, "div", kR, kIntDiv, kFlagWritesRd, 0)                                \
+  X(kRem, "rem", kR, kIntDiv, kFlagWritesRd, 0)                                \
+  X(kAnd, "and", kR, kIntAlu, kFlagWritesRd, 0)                                \
+  X(kOr, "or", kR, kIntAlu, kFlagWritesRd, 0)                                  \
+  X(kXor, "xor", kR, kIntAlu, kFlagWritesRd, 0)                                \
+  X(kSll, "sll", kR, kIntAlu, kFlagWritesRd, 0)                                \
+  X(kSrl, "srl", kR, kIntAlu, kFlagWritesRd, 0)                                \
+  X(kSra, "sra", kR, kIntAlu, kFlagWritesRd, 0)                                \
+  X(kSlt, "slt", kR, kIntAlu, kFlagWritesRd, 0)                                \
+  X(kSltu, "sltu", kR, kIntAlu, kFlagWritesRd, 0)                              \
+  /* --- integer ALU, immediate forms --- */                                   \
+  X(kAddi, "addi", kI, kIntAlu, kFlagWritesRd, 0)                              \
+  X(kAndi, "andi", kI, kIntAlu, kFlagWritesRd, 0)                              \
+  X(kOri, "ori", kI, kIntAlu, kFlagWritesRd, 0)                                \
+  X(kXori, "xori", kI, kIntAlu, kFlagWritesRd, 0)                              \
+  X(kSlli, "slli", kI, kIntAlu, kFlagWritesRd, 0)                              \
+  X(kSrli, "srli", kI, kIntAlu, kFlagWritesRd, 0)                              \
+  X(kSrai, "srai", kI, kIntAlu, kFlagWritesRd, 0)                              \
+  X(kSlti, "slti", kI, kIntAlu, kFlagWritesRd, 0)                              \
+  X(kLui, "lui", kI, kIntAlu, kFlagWritesRd, 0)                                \
+  /* --- integer memory --- */                                                 \
+  X(kLw, "lw", kLoad, kMemRead, kFlagLoad | kFlagWritesRd, 4)                  \
+  X(kLbu, "lbu", kLoad, kMemRead, kFlagLoad | kFlagWritesRd, 1)                \
+  X(kSw, "sw", kStore, kMemWrite, kFlagStore, 4)                               \
+  X(kSb, "sb", kStore, kMemWrite, kFlagStore, 1)                               \
+  /* --- FP memory (8-byte doubles) --- */                                     \
+  X(kLdf, "ldf", kLoad, kMemRead,                                              \
+    kFlagLoad | kFlagWritesRd | kFlagRdIsFp | kFlagFpOp, 8)                    \
+  X(kStf, "stf", kStore, kMemWrite, kFlagStore | kFlagSrcFp | kFlagFpOp, 8)    \
+  /* --- conditional branches (reg-reg compare, absolute target) --- */        \
+  X(kBeq, "beq", kBranch, kIntAlu, kFlagCondBranch, 0)                         \
+  X(kBne, "bne", kBranch, kIntAlu, kFlagCondBranch, 0)                         \
+  X(kBlt, "blt", kBranch, kIntAlu, kFlagCondBranch, 0)                         \
+  X(kBge, "bge", kBranch, kIntAlu, kFlagCondBranch, 0)                         \
+  X(kBltu, "bltu", kBranch, kIntAlu, kFlagCondBranch, 0)                       \
+  X(kBgeu, "bgeu", kBranch, kIntAlu, kFlagCondBranch, 0)                       \
+  /* --- jumps --- */                                                          \
+  X(kJ, "j", kJump, kIntAlu, kFlagUncondJump, 0)                               \
+  X(kJal, "jal", kJump, kIntAlu,                                               \
+    kFlagUncondJump | kFlagCall | kFlagWritesRd, 0)                            \
+  X(kJr, "jr", kJumpReg, kIntAlu, kFlagUncondJump | kFlagIndirect, 0)          \
+  X(kJalr, "jalr", kJumpReg, kIntAlu,                                          \
+    kFlagUncondJump | kFlagIndirect | kFlagCall | kFlagWritesRd, 0)            \
+  /* --- FP arithmetic --- */                                                  \
+  X(kFadd, "fadd", kR, kFpAlu,                                                 \
+    kFlagWritesRd | kFlagRdIsFp | kFlagSrcFp | kFlagFpOp, 0)                   \
+  X(kFsub, "fsub", kR, kFpAlu,                                                 \
+    kFlagWritesRd | kFlagRdIsFp | kFlagSrcFp | kFlagFpOp, 0)                   \
+  X(kFmul, "fmul", kR, kFpMul,                                                 \
+    kFlagWritesRd | kFlagRdIsFp | kFlagSrcFp | kFlagFpOp, 0)                   \
+  X(kFdiv, "fdiv", kR, kFpDiv,                                                 \
+    kFlagWritesRd | kFlagRdIsFp | kFlagSrcFp | kFlagFpOp, 0)                   \
+  X(kFmov, "fmov", kR, kFpAlu,                                                 \
+    kFlagWritesRd | kFlagRdIsFp | kFlagSrcFp | kFlagFpOp, 0)                   \
+  X(kFneg, "fneg", kR, kFpAlu,                                                 \
+    kFlagWritesRd | kFlagRdIsFp | kFlagSrcFp | kFlagFpOp, 0)                   \
+  /* --- FP <-> int conversion and compare (compare writes int reg) --- */     \
+  X(kCvtif, "cvtif", kR, kFpAlu, kFlagWritesRd | kFlagRdIsFp | kFlagFpOp, 0)   \
+  X(kCvtfi, "cvtfi", kR, kFpAlu, kFlagWritesRd | kFlagSrcFp | kFlagFpOp, 0)    \
+  X(kFeq, "feq", kR, kFpAlu, kFlagWritesRd | kFlagSrcFp | kFlagFpOp, 0)        \
+  X(kFlt, "flt", kR, kFpAlu, kFlagWritesRd | kFlagSrcFp | kFlagFpOp, 0)        \
+  X(kFle, "fle", kR, kFpAlu, kFlagWritesRd | kFlagSrcFp | kFlagFpOp, 0)
+
+enum class Opcode : std::uint16_t {
+#define X(name, mnemonic, fmt, fu, flags, bytes) name,
+  SPEAR_OPCODE_LIST(X)
+#undef X
+      kCount
+};
+
+inline constexpr int kNumOpcodes = static_cast<int>(Opcode::kCount);
+
+struct OpInfo {
+  const char* mnemonic;
+  OpFormat format;
+  FuClass fu;
+  std::uint32_t flags;
+  std::uint8_t access_bytes;  // memory footprint; 0 for non-memory ops
+};
+
+inline const OpInfo& GetOpInfo(Opcode op) {
+  static constexpr OpInfo kTable[] = {
+#define X(name, mnemonic, fmt, fu, flags, bytes) \
+  {mnemonic, OpFormat::fmt, FuClass::fu, flags, bytes},
+      SPEAR_OPCODE_LIST(X)
+#undef X
+  };
+  const auto idx = static_cast<std::size_t>(op);
+  SPEAR_DCHECK(idx < static_cast<std::size_t>(kNumOpcodes));
+  return kTable[idx];
+}
+
+inline bool IsLoad(Opcode op) { return GetOpInfo(op).flags & kFlagLoad; }
+inline bool IsStore(Opcode op) { return GetOpInfo(op).flags & kFlagStore; }
+inline bool IsMem(Opcode op) { return IsLoad(op) || IsStore(op); }
+inline bool IsCondBranch(Opcode op) {
+  return GetOpInfo(op).flags & kFlagCondBranch;
+}
+inline bool IsUncondJump(Opcode op) {
+  return GetOpInfo(op).flags & kFlagUncondJump;
+}
+inline bool IsControl(Opcode op) { return IsCondBranch(op) || IsUncondJump(op); }
+inline bool IsCall(Opcode op) { return GetOpInfo(op).flags & kFlagCall; }
+inline bool IsIndirectJump(Opcode op) {
+  return GetOpInfo(op).flags & kFlagIndirect;
+}
+inline bool IsFp(Opcode op) { return GetOpInfo(op).flags & kFlagFpOp; }
+inline bool WritesRd(Opcode op) { return GetOpInfo(op).flags & kFlagWritesRd; }
+inline bool IsHalt(Opcode op) { return GetOpInfo(op).flags & kFlagHalt; }
+
+}  // namespace spear

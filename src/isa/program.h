@@ -1,0 +1,85 @@
+// A loaded (or under-construction) SPEAR program: text, initialized data
+// segments, entry point and p-thread annotations.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+#include "isa/instruction.h"
+#include "isa/pthread_spec.h"
+
+namespace spear {
+
+struct DataSegment {
+  Addr base = 0;
+  std::vector<std::uint8_t> bytes;
+};
+
+class Program {
+ public:
+  static constexpr Addr kDefaultTextBase = 0x1000;
+
+  Addr text_base = kDefaultTextBase;
+  std::vector<Instruction> text;
+  // Deque: AddSegment hands out references that must stay valid while
+  // later segments are added (workload generators rely on this).
+  std::deque<DataSegment> data;
+  Pc entry = kDefaultTextBase;
+  std::vector<PThreadSpec> pthreads;
+
+  Pc PcOf(InstrIndex index) const {
+    return text_base + static_cast<Addr>(index) * kInstrBytes;
+  }
+
+  bool ContainsPc(Pc pc) const {
+    return pc >= text_base && pc < text_base + text.size() * kInstrBytes &&
+           (pc - text_base) % kInstrBytes == 0;
+  }
+
+  InstrIndex IndexOf(Pc pc) const {
+    SPEAR_DCHECK(ContainsPc(pc));
+    return static_cast<InstrIndex>((pc - text_base) / kInstrBytes);
+  }
+
+  const Instruction& At(Pc pc) const { return text[IndexOf(pc)]; }
+
+  Pc EndPc() const {
+    return text_base + static_cast<Addr>(text.size()) * kInstrBytes;
+  }
+
+  // Convenience for data-segment construction in workload generators.
+  DataSegment& AddSegment(Addr base, std::size_t size) {
+    data.push_back(DataSegment{base, std::vector<std::uint8_t>(size, 0)});
+    return data.back();
+  }
+};
+
+// Typed accessors for building initialized data images.
+inline void PokeU32(DataSegment& seg, Addr addr, std::uint32_t value) {
+  SPEAR_CHECK(addr >= seg.base && addr + 4 <= seg.base + seg.bytes.size());
+  const std::size_t off = addr - seg.base;
+  for (int i = 0; i < 4; ++i) {
+    seg.bytes[off + i] = static_cast<std::uint8_t>(value >> (8 * i));
+  }
+}
+
+inline void PokeU8(DataSegment& seg, Addr addr, std::uint8_t value) {
+  SPEAR_CHECK(addr >= seg.base && addr + 1 <= seg.base + seg.bytes.size());
+  seg.bytes[addr - seg.base] = value;
+}
+
+inline void PokeF64(DataSegment& seg, Addr addr, double value) {
+  SPEAR_CHECK(addr >= seg.base && addr + 8 <= seg.base + seg.bytes.size());
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(value));
+  __builtin_memcpy(&bits, &value, sizeof(bits));
+  const std::size_t off = addr - seg.base;
+  for (int i = 0; i < 8; ++i) {
+    seg.bytes[off + i] = static_cast<std::uint8_t>(bits >> (8 * i));
+  }
+}
+
+}  // namespace spear

@@ -1,0 +1,47 @@
+// P-thread annotation record — the contract between the SPEAR post-compiler
+// and the SPEAR hardware front end.
+//
+// The paper's attaching tool writes this information into the SPEAR binary;
+// at program load it populates the hardware P-thread Table (PT). A spec
+// names one delinquent load, the static PCs of its backward slice (the
+// instructions whose "p-thread indicator" the pre-decoder turns on), the
+// registers whose values must be copied from the main thread at trigger
+// time, and the loop region the slice was limited to.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace spear {
+
+struct PThreadSpec {
+  Pc dload_pc = 0;  // the delinquent load that triggers pre-execution
+
+  // Static slice: every instruction the PE may extract, in ascending PC
+  // order. Always contains dload_pc itself.
+  std::vector<Pc> slice_pcs;
+
+  // Live-in registers, copied main-thread -> p-thread at 1 reg/cycle.
+  std::vector<RegId> live_ins;
+
+  // Prefetching region chosen by the region-based range algorithm
+  // (innermost loop grown outward while accumulated d-cycles <= budget).
+  Pc region_start = 0;
+  Pc region_end = 0;  // inclusive PC of the region's last instruction
+
+  // Profiling metadata (informational; handy in reports and tests).
+  std::uint64_t profile_misses = 0;
+  double region_dcycles = 0.0;
+
+  bool InSlice(Pc pc) const {
+    for (Pc p : slice_pcs) {
+      if (p == pc) return true;
+      if (p > pc) break;  // sorted
+    }
+    return false;
+  }
+};
+
+}  // namespace spear

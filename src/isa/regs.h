@@ -1,0 +1,45 @@
+// Unified architectural register namespace.
+//
+// Instruction fields carry *unified* register ids: integer registers map to
+// [0, 32) and FP registers to [32, 64). A single id space lets the rename
+// logic, the dependence profiler and the backward slicer treat int and FP
+// dependencies uniformly — the same trick SimpleScalar plays with its
+// DEP_NAME encoding.
+#pragma once
+
+#include <string>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace spear {
+
+inline constexpr RegId IntReg(int n) {
+  SPEAR_DCHECK(n >= 0 && n < kNumIntRegs);
+  return static_cast<RegId>(n);
+}
+
+inline constexpr RegId FpReg(int n) {
+  SPEAR_DCHECK(n >= 0 && n < kNumFpRegs);
+  return static_cast<RegId>(kNumIntRegs + n);
+}
+
+inline constexpr bool IsFpReg(RegId r) { return r >= kNumIntRegs; }
+inline constexpr int FpIndex(RegId r) {
+  SPEAR_DCHECK(IsFpReg(r));
+  return r - kNumIntRegs;
+}
+
+// Software conventions used by the assembler and workload generators
+// (mirroring MIPS): r31 link register, r29 stack pointer, r28 global
+// pointer. The hardware itself treats every register uniformly except r0.
+inline constexpr RegId kRegRa = IntReg(31);
+inline constexpr RegId kRegSp = IntReg(29);
+inline constexpr RegId kRegGp = IntReg(28);
+
+inline std::string RegName(RegId r) {
+  if (IsFpReg(r)) return "f" + std::to_string(FpIndex(r));
+  return "r" + std::to_string(static_cast<int>(r));
+}
+
+}  // namespace spear

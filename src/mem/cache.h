@@ -1,0 +1,122 @@
+// Generic set-associative cache with true-LRU replacement, write-back /
+// write-allocate policy, and per-thread hit/miss accounting (the p-thread's
+// accesses share the cache with the main thread — that sharing *is* the
+// prefetching mechanism, so attribution matters for Figure 8).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace spear {
+
+struct CacheConfig {
+  std::string name = "cache";
+  std::uint32_t sets = 256;
+  std::uint32_t block_bytes = 32;
+  std::uint32_t assoc = 4;
+
+  std::uint64_t SizeBytes() const {
+    return static_cast<std::uint64_t>(sets) * block_bytes * assoc;
+  }
+};
+
+class Cache {
+ public:
+  explicit Cache(const CacheConfig& config)
+      : config_(config),
+        lines_(static_cast<std::size_t>(config.sets) * config.assoc) {
+    SPEAR_CHECK(config.sets > 0 && config.assoc > 0);
+    SPEAR_CHECK((config.sets & (config.sets - 1)) == 0);
+    SPEAR_CHECK((config.block_bytes & (config.block_bytes - 1)) == 0);
+    block_shift_ = 0;
+    while ((1u << block_shift_) < config.block_bytes) ++block_shift_;
+  }
+
+  // Simulates one access. Returns true on hit. On miss the block is
+  // allocated (write-allocate for stores too) and the LRU victim evicted.
+  bool Access(Addr addr, bool write, ThreadId tid) {
+    const std::uint64_t block = addr >> block_shift_;
+    const std::uint32_t set = static_cast<std::uint32_t>(block) &
+                              (config_.sets - 1);
+    Line* base = &lines_[static_cast<std::size_t>(set) * config_.assoc];
+    ++stamp_;
+
+    for (std::uint32_t w = 0; w < config_.assoc; ++w) {
+      Line& line = base[w];
+      if (line.valid && line.tag == block) {
+        line.lru = stamp_;
+        line.dirty = line.dirty || write;
+        ++hits_[tid];
+        return true;
+      }
+    }
+
+    // Miss: evict LRU way.
+    Line* victim = base;
+    for (std::uint32_t w = 1; w < config_.assoc; ++w) {
+      if (!base[w].valid) {
+        victim = &base[w];
+        break;
+      }
+      if (base[w].lru < victim->lru) victim = &base[w];
+    }
+    if (victim->valid && victim->dirty) ++writebacks_;
+    victim->valid = true;
+    victim->tag = block;
+    victim->lru = stamp_;
+    victim->dirty = write;
+    ++misses_[tid];
+    return false;
+  }
+
+  // Non-allocating presence probe (used by tests and by the profiler's
+  // would-this-miss queries).
+  bool Contains(Addr addr) const {
+    const std::uint64_t block = addr >> block_shift_;
+    const std::uint32_t set = static_cast<std::uint32_t>(block) &
+                              (config_.sets - 1);
+    const Line* base = &lines_[static_cast<std::size_t>(set) * config_.assoc];
+    for (std::uint32_t w = 0; w < config_.assoc; ++w) {
+      if (base[w].valid && base[w].tag == block) return true;
+    }
+    return false;
+  }
+
+  void Invalidate() {
+    for (Line& line : lines_) line = Line{};
+  }
+
+  const CacheConfig& config() const { return config_; }
+  std::uint64_t hits(ThreadId tid) const { return hits_[tid]; }
+  std::uint64_t misses(ThreadId tid) const { return misses_[tid]; }
+  std::uint64_t total_hits() const { return hits_[0] + hits_[1]; }
+  std::uint64_t total_misses() const { return misses_[0] + misses_[1]; }
+  std::uint64_t writebacks() const { return writebacks_; }
+
+  void ResetStats() {
+    hits_[0] = hits_[1] = misses_[0] = misses_[1] = 0;
+    writebacks_ = 0;
+  }
+
+ private:
+  struct Line {
+    std::uint64_t tag = 0;
+    std::uint64_t lru = 0;
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  CacheConfig config_;
+  std::vector<Line> lines_;
+  unsigned block_shift_ = 0;
+  std::uint64_t stamp_ = 0;
+  std::uint64_t hits_[2] = {0, 0};
+  std::uint64_t misses_[2] = {0, 0};
+  std::uint64_t writebacks_ = 0;
+};
+
+}  // namespace spear

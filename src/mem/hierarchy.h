@@ -1,0 +1,108 @@
+// Two-level memory hierarchy per paper Table 2: split L1 (data side
+// modeled; instruction fetch is assumed to hit, as the kernels are small
+// loops — see DESIGN.md), unified L2, flat main-memory latency.
+//
+// Latencies follow the paper's model: an access costs the latency of the
+// level that services it (L1 hit = 1 cycle, L1 miss/L2 hit = 12, L2 miss =
+// 120 by default; Figure 9 sweeps the L2/memory pair).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.h"
+#include "mem/cache.h"
+
+namespace spear {
+
+struct HierarchyConfig {
+  CacheConfig l1d{"dl1", /*sets=*/256, /*block_bytes=*/32, /*assoc=*/4};
+  CacheConfig l2{"ul2", /*sets=*/1024, /*block_bytes=*/64, /*assoc=*/4};
+  std::uint32_t l1_latency = 1;
+  std::uint32_t l2_latency = 12;
+  std::uint32_t mem_latency = 120;
+};
+
+struct AccessOutcome {
+  std::uint32_t latency = 0;
+  bool l1_miss = false;
+  bool l2_miss = false;
+};
+
+class MemoryHierarchy {
+ public:
+  explicit MemoryHierarchy(const HierarchyConfig& config)
+      : config_(config), l1d_(config.l1d), l2_(config.l2) {
+    block_shift_ = 0;
+    while ((1u << block_shift_) < config.l1d.block_bytes) ++block_shift_;
+  }
+
+  // Simulates one data access at cycle `now`. Misses record an
+  // outstanding fill; a later access to a block whose fill is still in
+  // flight waits for the remaining time instead of observing an instant
+  // hit (MSHR-merge behaviour). This matters for prefetching fidelity: a
+  // p-thread access only fully hides a miss if it ran far enough ahead.
+  AccessOutcome AccessData(Addr addr, bool write, ThreadId tid, Cycle now) {
+    AccessOutcome out;
+    const std::uint64_t block = addr >> block_shift_;
+
+    if (l1d_.Access(addr, write, tid)) {
+      out.latency = config_.l1_latency;
+    } else {
+      out.l1_miss = true;
+      if (l2_.Access(addr, write, tid)) {
+        out.latency = config_.l2_latency;
+      } else {
+        out.l2_miss = true;
+        out.latency = config_.mem_latency;
+      }
+    }
+
+    auto it = outstanding_.find(block);
+    if (it != outstanding_.end()) {
+      if (it->second > now) {
+        // Merge into the in-flight fill: pay the remaining time.
+        const auto remaining = static_cast<std::uint32_t>(it->second - now);
+        out.latency = remaining > config_.l1_latency ? remaining
+                                                     : config_.l1_latency;
+        return out;
+      }
+      outstanding_.erase(it);
+    }
+    if (out.latency > config_.l1_latency) {
+      outstanding_[block] = now + out.latency;
+      if (outstanding_.size() > kOutstandingSweep) SweepOutstanding(now);
+    }
+    return out;
+  }
+
+  const HierarchyConfig& config() const { return config_; }
+  Cache& l1d() { return l1d_; }
+  const Cache& l1d() const { return l1d_; }
+  Cache& l2() { return l2_; }
+  const Cache& l2() const { return l2_; }
+
+  void ResetStats() {
+    l1d_.ResetStats();
+    l2_.ResetStats();
+  }
+
+  std::size_t outstanding_fills() const { return outstanding_.size(); }
+
+ private:
+  static constexpr std::size_t kOutstandingSweep = 4096;
+
+  void SweepOutstanding(Cycle now) {
+    for (auto it = outstanding_.begin(); it != outstanding_.end();) {
+      it = it->second <= now ? outstanding_.erase(it) : std::next(it);
+    }
+  }
+
+  HierarchyConfig config_;
+  Cache l1d_;
+  Cache l2_;
+  unsigned block_shift_ = 5;
+  std::unordered_map<std::uint64_t, Cycle> outstanding_;  // block -> ready
+};
+
+}  // namespace spear

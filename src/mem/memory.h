@@ -1,0 +1,104 @@
+// Sparse paged physical memory for a 32-bit address space. Pointer-chasing
+// workloads touch tens of megabytes scattered across the address space, so
+// pages are allocated on first touch. Unwritten memory reads as zero.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+
+#include "common/types.h"
+#include "isa/program.h"
+
+namespace spear {
+
+class Memory {
+ public:
+  static constexpr unsigned kPageBits = 12;
+  static constexpr Addr kPageSize = 1u << kPageBits;
+
+  std::uint8_t ReadU8(Addr addr) const {
+    const Page* page = FindPage(addr);
+    return page ? (*page)[Offset(addr)] : 0;
+  }
+
+  void WriteU8(Addr addr, std::uint8_t value) {
+    (*TouchPage(addr))[Offset(addr)] = value;
+  }
+
+  std::uint32_t ReadU32(Addr addr) const {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(ReadU8(addr + static_cast<Addr>(i)))
+           << (8 * i);
+    }
+    return v;
+  }
+
+  void WriteU32(Addr addr, std::uint32_t value) {
+    for (int i = 0; i < 4; ++i) {
+      WriteU8(addr + static_cast<Addr>(i),
+              static_cast<std::uint8_t>(value >> (8 * i)));
+    }
+  }
+
+  std::uint64_t ReadU64(Addr addr) const {
+    return static_cast<std::uint64_t>(ReadU32(addr)) |
+           (static_cast<std::uint64_t>(ReadU32(addr + 4)) << 32);
+  }
+
+  void WriteU64(Addr addr, std::uint64_t value) {
+    WriteU32(addr, static_cast<std::uint32_t>(value));
+    WriteU32(addr + 4, static_cast<std::uint32_t>(value >> 32));
+  }
+
+  double ReadF64(Addr addr) const {
+    const std::uint64_t bits = ReadU64(addr);
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  void WriteF64(Addr addr, double value) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &value, sizeof(bits));
+    WriteU64(addr, bits);
+  }
+
+  // Installs the program's initialized data segments.
+  void LoadProgram(const Program& prog) {
+    for (const DataSegment& seg : prog.data) {
+      for (std::size_t i = 0; i < seg.bytes.size(); ++i) {
+        WriteU8(seg.base + static_cast<Addr>(i), seg.bytes[i]);
+      }
+    }
+  }
+
+  std::size_t AllocatedPages() const { return pages_.size(); }
+
+ private:
+  using Page = std::array<std::uint8_t, kPageSize>;
+
+  static Addr PageNumber(Addr addr) { return addr >> kPageBits; }
+  static Addr Offset(Addr addr) { return addr & (kPageSize - 1); }
+
+  const Page* FindPage(Addr addr) const {
+    auto it = pages_.find(PageNumber(addr));
+    return it == pages_.end() ? nullptr : it->second.get();
+  }
+
+  Page* TouchPage(Addr addr) {
+    std::unique_ptr<Page>& slot = pages_[PageNumber(addr)];
+    if (!slot) {
+      slot = std::make_unique<Page>();
+      slot->fill(0);
+    }
+    return slot.get();
+  }
+
+  std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
+};
+
+}  // namespace spear

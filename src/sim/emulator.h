@@ -1,0 +1,112 @@
+// Architectural-state functional emulator.
+//
+// Three roles:
+//   1. Reference semantics — the oracle the pipeline integration tests
+//      compare final register/output state against.
+//   2. Substrate for the SPEAR profiling tool (per-step observation hook).
+//   3. Fast workload validation during development.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+#include "isa/program.h"
+#include "mem/memory.h"
+#include "sim/exec.h"
+
+namespace spear {
+
+// Everything an observer (e.g. the profiler) can learn about one retired
+// instruction.
+struct StepInfo {
+  Pc pc = 0;
+  Instruction instr;
+  ExecResult result;
+  std::uint64_t icount = 0;  // 1-based dynamic instruction number
+};
+
+class Emulator {
+ public:
+  explicit Emulator(const Program& prog) : prog_(&prog), pc_(prog.entry) {
+    iregs_.fill(0);
+    fregs_.fill(0.0);
+    mem_.LoadProgram(prog);
+    // Conventional stack: grows down from just under 256 MiB.
+    iregs_[kRegSp] = 0x0fff0000u;
+  }
+
+  bool halted() const { return halted_; }
+  Pc pc() const { return pc_; }
+  std::uint64_t icount() const { return icount_; }
+  const std::vector<std::uint32_t>& outputs() const { return outputs_; }
+
+  std::uint32_t ReadIntReg(RegId reg) const {
+    SPEAR_DCHECK(!IsFpReg(reg));
+    return reg == kRegZero ? 0 : iregs_[reg];
+  }
+  double ReadFpReg(RegId reg) const {
+    SPEAR_DCHECK(IsFpReg(reg));
+    return fregs_[FpIndex(reg)];
+  }
+  // Unified read used by trigger logic and tests: FP values are returned
+  // as raw bits elsewhere; here we expose typed variants only.
+  Memory& memory() { return mem_; }
+  const Memory& memory() const { return mem_; }
+
+  // Executes one instruction; undefined if already halted.
+  StepInfo Step() {
+    SPEAR_CHECK(!halted_);
+    SPEAR_CHECK(prog_->ContainsPc(pc_));
+    StepInfo info;
+    info.pc = pc_;
+    info.instr = prog_->At(pc_);
+    ArchState st{this};
+    info.result = ExecuteInstruction(st, info.instr, pc_);
+    ++icount_;
+    info.icount = icount_;
+    if (info.result.out_value) outputs_.push_back(*info.result.out_value);
+    halted_ = info.result.halted;
+    pc_ = info.result.next_pc;
+    return info;
+  }
+
+  // Runs until halt or the instruction budget is exhausted. Returns the
+  // number of instructions executed by this call.
+  std::uint64_t Run(std::uint64_t max_instrs) {
+    std::uint64_t n = 0;
+    while (!halted_ && n < max_instrs) {
+      Step();
+      ++n;
+    }
+    return n;
+  }
+
+ private:
+  struct ArchState {
+    Emulator* e;
+    std::uint32_t ReadInt(RegId reg) { return e->iregs_[reg]; }
+    void WriteInt(RegId reg, std::uint32_t v) { e->iregs_[reg] = v; }
+    double ReadFp(RegId reg) { return e->fregs_[FpIndex(reg)]; }
+    void WriteFp(RegId reg, double v) { e->fregs_[FpIndex(reg)] = v; }
+    std::uint32_t LoadU32(Addr a) { return e->mem_.ReadU32(a); }
+    std::uint8_t LoadU8(Addr a) { return e->mem_.ReadU8(a); }
+    double LoadF64(Addr a) { return e->mem_.ReadF64(a); }
+    void StoreU32(Addr a, std::uint32_t v) { e->mem_.WriteU32(a, v); }
+    void StoreU8(Addr a, std::uint8_t v) { e->mem_.WriteU8(a, v); }
+    void StoreF64(Addr a, double v) { e->mem_.WriteF64(a, v); }
+  };
+
+  const Program* prog_;
+  Memory mem_;
+  std::array<std::uint32_t, kNumIntRegs> iregs_;
+  std::array<double, kNumFpRegs> fregs_;
+  Pc pc_;
+  bool halted_ = false;
+  std::uint64_t icount_ = 0;
+  std::vector<std::uint32_t> outputs_;
+};
+
+}  // namespace spear

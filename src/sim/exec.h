@@ -1,0 +1,242 @@
+// Single source of truth for instruction semantics.
+//
+// ExecuteInstruction() is a template over an architectural-state concept so
+// the same code drives (a) the functional emulator, (b) the pipeline's
+// dispatch-time speculative execution (sim-outorder style) and (c) the
+// p-thread context with its private store buffer. The three can therefore
+// never diverge in semantics — the integration tests exploit this by using
+// the emulator as an oracle for the pipeline.
+//
+// State concept:
+//   std::uint32_t ReadInt(RegId) / void WriteInt(RegId, std::uint32_t)
+//   double ReadFp(RegId)        / void WriteFp(RegId, double)
+//   std::uint32_t LoadU32(Addr) / std::uint8_t LoadU8(Addr) / double LoadF64(Addr)
+//   void StoreU32(Addr, std::uint32_t) / StoreU8(Addr, std::uint8_t) /
+//        StoreF64(Addr, double)
+// Reads of r0 must return 0 (enforced here, not by the state).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+
+#include "common/check.h"
+#include "common/types.h"
+#include "isa/instruction.h"
+
+namespace spear {
+
+struct ExecResult {
+  Pc next_pc = 0;
+  bool is_control = false;
+  bool taken = false;       // conditional branches only
+  bool is_load = false;
+  bool is_store = false;
+  Addr mem_addr = 0;        // valid when is_load || is_store
+  bool halted = false;
+  std::optional<std::uint32_t> out_value;  // kOut side channel
+};
+
+namespace detail {
+
+inline std::int32_t AsSigned(std::uint32_t v) {
+  return static_cast<std::int32_t>(v);
+}
+
+inline std::uint32_t SafeDiv(std::uint32_t a, std::uint32_t b) {
+  const std::int64_t sa = AsSigned(a);
+  const std::int64_t sb = AsSigned(b);
+  if (sb == 0) return 0;  // defined: no trap in the simulator
+  return static_cast<std::uint32_t>(sa / sb);
+}
+
+inline std::uint32_t SafeRem(std::uint32_t a, std::uint32_t b) {
+  const std::int64_t sa = AsSigned(a);
+  const std::int64_t sb = AsSigned(b);
+  if (sb == 0) return 0;
+  return static_cast<std::uint32_t>(sa % sb);
+}
+
+}  // namespace detail
+
+template <typename State>
+ExecResult ExecuteInstruction(State& st, const Instruction& in, Pc pc) {
+  using detail::AsSigned;
+  ExecResult res;
+  res.next_pc = pc + kInstrBytes;
+
+  auto rint = [&st](RegId reg) -> std::uint32_t {
+    return reg == kRegZero ? 0u : st.ReadInt(reg);
+  };
+  auto wint = [&st](RegId reg, std::uint32_t v) {
+    if (reg != kRegZero) st.WriteInt(reg, v);
+  };
+
+  const std::uint32_t s = rint(in.rs);
+  const std::uint32_t t = rint(in.rt);
+  const auto imm = static_cast<std::uint32_t>(in.imm);
+
+  switch (in.op) {
+    case Opcode::kNop:
+      break;
+    case Opcode::kHalt:
+      res.halted = true;
+      break;
+    case Opcode::kOut:
+      res.out_value = s;
+      break;
+
+    case Opcode::kAdd: wint(in.rd, s + t); break;
+    case Opcode::kSub: wint(in.rd, s - t); break;
+    case Opcode::kMul: wint(in.rd, s * t); break;
+    case Opcode::kDiv: wint(in.rd, detail::SafeDiv(s, t)); break;
+    case Opcode::kRem: wint(in.rd, detail::SafeRem(s, t)); break;
+    case Opcode::kAnd: wint(in.rd, s & t); break;
+    case Opcode::kOr: wint(in.rd, s | t); break;
+    case Opcode::kXor: wint(in.rd, s ^ t); break;
+    case Opcode::kSll: wint(in.rd, s << (t & 31)); break;
+    case Opcode::kSrl: wint(in.rd, s >> (t & 31)); break;
+    case Opcode::kSra:
+      wint(in.rd, static_cast<std::uint32_t>(AsSigned(s) >> (t & 31)));
+      break;
+    case Opcode::kSlt: wint(in.rd, AsSigned(s) < AsSigned(t) ? 1 : 0); break;
+    case Opcode::kSltu: wint(in.rd, s < t ? 1 : 0); break;
+
+    case Opcode::kAddi: wint(in.rd, s + imm); break;
+    case Opcode::kAndi: wint(in.rd, s & imm); break;
+    case Opcode::kOri: wint(in.rd, s | imm); break;
+    case Opcode::kXori: wint(in.rd, s ^ imm); break;
+    case Opcode::kSlli: wint(in.rd, s << (imm & 31)); break;
+    case Opcode::kSrli: wint(in.rd, s >> (imm & 31)); break;
+    case Opcode::kSrai:
+      wint(in.rd, static_cast<std::uint32_t>(AsSigned(s) >> (imm & 31)));
+      break;
+    case Opcode::kSlti:
+      wint(in.rd, AsSigned(s) < AsSigned(imm) ? 1 : 0);
+      break;
+    case Opcode::kLui: wint(in.rd, imm << 16); break;
+
+    case Opcode::kLw:
+      res.is_load = true;
+      res.mem_addr = s + imm;
+      wint(in.rd, st.LoadU32(res.mem_addr));
+      break;
+    case Opcode::kLbu:
+      res.is_load = true;
+      res.mem_addr = s + imm;
+      wint(in.rd, st.LoadU8(res.mem_addr));
+      break;
+    case Opcode::kLdf:
+      res.is_load = true;
+      res.mem_addr = s + imm;
+      st.WriteFp(in.rd, st.LoadF64(res.mem_addr));
+      break;
+    case Opcode::kSw:
+      res.is_store = true;
+      res.mem_addr = s + imm;
+      st.StoreU32(res.mem_addr, t);
+      break;
+    case Opcode::kSb:
+      res.is_store = true;
+      res.mem_addr = s + imm;
+      st.StoreU8(res.mem_addr, static_cast<std::uint8_t>(t));
+      break;
+    case Opcode::kStf:
+      res.is_store = true;
+      res.mem_addr = s + imm;
+      st.StoreF64(res.mem_addr, st.ReadFp(in.rt));
+      break;
+
+    case Opcode::kBeq:
+    case Opcode::kBne:
+    case Opcode::kBlt:
+    case Opcode::kBge:
+    case Opcode::kBltu:
+    case Opcode::kBgeu: {
+      res.is_control = true;
+      switch (in.op) {
+        case Opcode::kBeq: res.taken = s == t; break;
+        case Opcode::kBne: res.taken = s != t; break;
+        case Opcode::kBlt: res.taken = AsSigned(s) < AsSigned(t); break;
+        case Opcode::kBge: res.taken = AsSigned(s) >= AsSigned(t); break;
+        case Opcode::kBltu: res.taken = s < t; break;
+        case Opcode::kBgeu: res.taken = s >= t; break;
+        default: break;
+      }
+      if (res.taken) res.next_pc = static_cast<Pc>(in.imm);
+      break;
+    }
+
+    case Opcode::kJ:
+      res.is_control = true;
+      res.taken = true;
+      res.next_pc = static_cast<Pc>(in.imm);
+      break;
+    case Opcode::kJal:
+      res.is_control = true;
+      res.taken = true;
+      wint(in.rd, pc + kInstrBytes);
+      res.next_pc = static_cast<Pc>(in.imm);
+      break;
+    case Opcode::kJr:
+      res.is_control = true;
+      res.taken = true;
+      res.next_pc = s;
+      break;
+    case Opcode::kJalr:
+      res.is_control = true;
+      res.taken = true;
+      wint(in.rd, pc + kInstrBytes);
+      res.next_pc = s;
+      break;
+
+    case Opcode::kFadd:
+      st.WriteFp(in.rd, st.ReadFp(in.rs) + st.ReadFp(in.rt));
+      break;
+    case Opcode::kFsub:
+      st.WriteFp(in.rd, st.ReadFp(in.rs) - st.ReadFp(in.rt));
+      break;
+    case Opcode::kFmul:
+      st.WriteFp(in.rd, st.ReadFp(in.rs) * st.ReadFp(in.rt));
+      break;
+    case Opcode::kFdiv: {
+      const double d = st.ReadFp(in.rt);
+      st.WriteFp(in.rd, d == 0.0 ? 0.0 : st.ReadFp(in.rs) / d);
+      break;
+    }
+    case Opcode::kFmov: st.WriteFp(in.rd, st.ReadFp(in.rs)); break;
+    case Opcode::kFneg: st.WriteFp(in.rd, -st.ReadFp(in.rs)); break;
+    case Opcode::kCvtif:
+      st.WriteFp(in.rd, static_cast<double>(AsSigned(s)));
+      break;
+    case Opcode::kCvtfi: {
+      const double v = st.ReadFp(in.rs);
+      // Saturating conversion keeps wrong-path execution well defined.
+      std::int32_t iv;
+      if (v >= 2147483647.0) {
+        iv = std::numeric_limits<std::int32_t>::max();
+      } else if (v <= -2147483648.0) {
+        iv = std::numeric_limits<std::int32_t>::min();
+      } else {
+        iv = static_cast<std::int32_t>(v);
+      }
+      wint(in.rd, static_cast<std::uint32_t>(iv));
+      break;
+    }
+    case Opcode::kFeq:
+      wint(in.rd, st.ReadFp(in.rs) == st.ReadFp(in.rt) ? 1 : 0);
+      break;
+    case Opcode::kFlt:
+      wint(in.rd, st.ReadFp(in.rs) < st.ReadFp(in.rt) ? 1 : 0);
+      break;
+    case Opcode::kFle:
+      wint(in.rd, st.ReadFp(in.rs) <= st.ReadFp(in.rt) ? 1 : 0);
+      break;
+
+    case Opcode::kCount:
+      SPEAR_CHECK(false);
+  }
+  return res;
+}
+
+}  // namespace spear

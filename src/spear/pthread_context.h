@@ -1,0 +1,92 @@
+// P-thread execution context: the second hardware context's register file
+// plus a private store buffer.
+//
+// Semantics per paper Section 3: the p-thread "only updates the data cache
+// without changing the semantic state of the main program". Loads read the
+// main thread's memory (possibly stale — the p-thread is speculative);
+// stores are captured in a private buffer so later p-thread loads can
+// forward from them, and are never written back.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <unordered_map>
+
+#include "common/types.h"
+#include "isa/regs.h"
+#include "mem/memory.h"
+
+namespace spear {
+
+class PThreadContext {
+ public:
+  explicit PThreadContext(const Memory* main_memory) : mem_(main_memory) {
+    Reset();
+  }
+
+  void Reset() {
+    iregs_.fill(0);
+    fregs_.fill(0.0);
+    store_buffer_.clear();
+  }
+
+  // Live-in copy at trigger time: one unified register from the main
+  // thread's deterministic state.
+  void CopyLiveInInt(RegId reg, std::uint32_t value) { iregs_[reg] = value; }
+  void CopyLiveInFp(RegId reg, double value) { fregs_[FpIndex(reg)] = value; }
+
+  // --- architectural-state concept for ExecuteInstruction -----------------
+  std::uint32_t ReadInt(RegId reg) { return iregs_[reg]; }
+  void WriteInt(RegId reg, std::uint32_t v) { iregs_[reg] = v; }
+  double ReadFp(RegId reg) { return fregs_[FpIndex(reg)]; }
+  void WriteFp(RegId reg, double v) { fregs_[FpIndex(reg)] = v; }
+
+  std::uint8_t LoadU8(Addr a) {
+    auto it = store_buffer_.find(a);
+    return it != store_buffer_.end() ? it->second : mem_->ReadU8(a);
+  }
+  std::uint32_t LoadU32(Addr a) {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(LoadU8(a + static_cast<Addr>(i)))
+           << (8 * i);
+    }
+    return v;
+  }
+  double LoadF64(Addr a) {
+    std::uint64_t bits = 0;
+    for (int i = 0; i < 8; ++i) {
+      bits |= static_cast<std::uint64_t>(LoadU8(a + static_cast<Addr>(i)))
+              << (8 * i);
+    }
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  void StoreU8(Addr a, std::uint8_t v) { store_buffer_[a] = v; }
+  void StoreU32(Addr a, std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      StoreU8(a + static_cast<Addr>(i), static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  void StoreF64(Addr a, double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    for (int i = 0; i < 8; ++i) {
+      StoreU8(a + static_cast<Addr>(i),
+              static_cast<std::uint8_t>(bits >> (8 * i)));
+    }
+  }
+
+  std::size_t store_buffer_entries() const { return store_buffer_.size(); }
+
+ private:
+  const Memory* mem_;  // main-thread memory, read-only from here
+  std::array<std::uint32_t, kNumIntRegs> iregs_;
+  std::array<double, kNumFpRegs> fregs_;
+  std::unordered_map<Addr, std::uint8_t> store_buffer_;
+};
+
+}  // namespace spear

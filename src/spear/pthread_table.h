@@ -1,0 +1,55 @@
+// P-thread Table (PT): the hardware structure loaded from the SPEAR
+// binary's p-thread section. The pre-decoder consults it on every fetched
+// instruction to set the entry's p-thread indicator and delinquent-load
+// mark (paper Section 3.1).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+#include "isa/program.h"
+
+namespace spear {
+
+class PThreadTable {
+ public:
+  static constexpr int kNoSpec = -1;
+
+  PThreadTable() = default;
+
+  explicit PThreadTable(const std::vector<PThreadSpec>& specs) : specs_(specs) {
+    for (int i = 0; i < static_cast<int>(specs_.size()); ++i) {
+      dload_to_spec_.emplace(specs_[i].dload_pc, i);
+      for (Pc pc : specs_[i].slice_pcs) slice_pcs_.insert(pc);
+    }
+  }
+
+  bool empty() const { return specs_.empty(); }
+  std::size_t size() const { return specs_.size(); }
+
+  // Pre-decode query: is this PC part of any p-thread slice?
+  bool InAnySlice(Pc pc) const { return slice_pcs_.count(pc) > 0; }
+
+  // Pre-decode query: does this PC trigger a p-thread? Returns the spec
+  // index or kNoSpec.
+  int DloadSpec(Pc pc) const {
+    auto it = dload_to_spec_.find(pc);
+    return it == dload_to_spec_.end() ? kNoSpec : it->second;
+  }
+
+  const PThreadSpec& spec(int index) const {
+    SPEAR_CHECK(index >= 0 && index < static_cast<int>(specs_.size()));
+    return specs_[static_cast<std::size_t>(index)];
+  }
+
+ private:
+  std::vector<PThreadSpec> specs_;
+  std::unordered_map<Pc, int> dload_to_spec_;
+  std::unordered_set<Pc> slice_pcs_;
+};
+
+}  // namespace spear

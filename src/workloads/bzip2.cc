@@ -1,0 +1,85 @@
+// SPEC CINT2000 256.bzip2: Burrows-Wheeler-ish sorting phase — byte
+// histogram, then repeated suffix comparisons through a rank/pointer
+// permutation. The comparison loop does data-dependent byte loads at
+// permuted positions of a large block, with branchy compare outcomes.
+#include "workloads/datagen.h"
+#include "workloads/kernels.h"
+
+namespace spear::workloads {
+
+Program BuildBzip2(const WorkloadConfig& config) {
+  const int block = 1 << 20;             // 1 MiB text block
+  const int compares = 22000 * config.scale;
+  constexpr Addr kBlock = 0x15000000;
+  constexpr Addr kPtr = 0x16000000;      // suffix pointer permutation
+  constexpr Addr kHist = 0x17000000;     // 256 u32 histogram
+
+  Program prog;
+  Rng rng(config.seed);
+  DataSegment& text = prog.AddSegment(kBlock, block);
+  // Text-like input with skewed byte distribution.
+  for (int i = 0; i < block; ++i) {
+    const auto v = static_cast<std::uint8_t>(
+        rng.Chance(0.7) ? 97 + rng.Below(26) : rng.Below(256));
+    PokeU8(text, kBlock + static_cast<Addr>(i), v);
+  }
+  DataSegment& ptr = prog.AddSegment(kPtr, static_cast<std::size_t>(block) * 4);
+  for (int i = 0; i < block; i += 1) {
+    PokeU32(ptr, kPtr + static_cast<Addr>(i) * 4,
+            static_cast<std::uint32_t>(rng.Below(block)));
+  }
+  prog.AddSegment(kHist, 256 * 4);
+
+  Assembler a(&prog);
+  // Phase 1: histogram of the first 4K bytes (sequential + scatter).
+  Label hist = a.NewLabel();
+  a.la(r(1), kBlock);
+  a.li(r(2), 1 << 12);
+  a.la(r(9), kHist);
+  a.Bind(hist);
+  a.lbu(r(4), r(1), 0);
+  a.slli(r(4), r(4), 2);
+  a.add(r(4), r(9), r(4));
+  a.lw(r(5), r(4), 0);
+  a.addi(r(5), r(5), 1);
+  a.sw(r(5), r(4), 0);
+  a.addi(r(1), r(1), 1);
+  a.addi(r(2), r(2), -1);
+  a.bne(r(2), r(0), hist);
+
+  // Phase 2: suffix comparisons through the pointer permutation.
+  Label cmp = a.NewLabel(), inner = a.NewLabel(), differ = a.NewLabel();
+  a.la(r(1), kPtr);
+  a.li(r(2), compares);
+  a.li(r(3), 0);                // "less" count
+  a.la(r(8), kBlock);
+  a.li(r(20), block - 16);
+  a.Bind(cmp);
+  a.lw(r(4), r(1), 0);          // suffix A position (sequential spine)
+  a.lw(r(5), r(1), 4);          // suffix B position
+  a.and_(r(4), r(4), r(20));
+  a.and_(r(5), r(5), r(20));
+  a.add(r(4), r(8), r(4));
+  a.add(r(5), r(8), r(5));
+  a.li(r(6), 8);                // compare up to 8 bytes
+  a.Bind(inner);
+  a.lbu(r(10), r(4), 0);        // byte at permuted position (DELINQUENT)
+  a.lbu(r(11), r(5), 0);        // byte at other position (DELINQUENT)
+  a.bne(r(10), r(11), differ);
+  a.addi(r(4), r(4), 1);
+  a.addi(r(5), r(5), 1);
+  a.addi(r(6), r(6), -1);
+  a.bne(r(6), r(0), inner);
+  a.Bind(differ);
+  a.slt(r(12), r(10), r(11));
+  a.add(r(3), r(3), r(12));
+  a.addi(r(1), r(1), 4);
+  a.addi(r(2), r(2), -1);
+  a.bne(r(2), r(0), cmp);
+  a.out(r(3));
+  a.halt();
+  a.Finish();
+  return prog;
+}
+
+}  // namespace spear::workloads

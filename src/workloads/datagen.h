@@ -1,0 +1,55 @@
+// Shared data-image construction helpers for the workload generators.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "isa/assembler.h"
+#include "isa/program.h"
+
+namespace spear::workloads {
+
+// Random permutation of [0, n).
+inline std::vector<std::uint32_t> RandomPermutation(int n, Rng& rng) {
+  std::vector<std::uint32_t> perm(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) perm[static_cast<std::size_t>(i)] =
+      static_cast<std::uint32_t>(i);
+  for (int i = n - 1; i > 0; --i) {
+    const auto j = static_cast<std::size_t>(
+        rng.Below(static_cast<std::uint64_t>(i + 1)));
+    std::swap(perm[static_cast<std::size_t>(i)], perm[j]);
+  }
+  return perm;
+}
+
+// Fills [base, base + words*4) with random u32 values below `bound`
+// (bound == 0 means full range).
+inline void FillRandomWords(DataSegment& seg, Addr base, int words,
+                            std::uint64_t bound, Rng& rng) {
+  for (int i = 0; i < words; ++i) {
+    const std::uint32_t v =
+        bound == 0 ? static_cast<std::uint32_t>(rng.Next())
+                   : static_cast<std::uint32_t>(rng.Below(bound));
+    PokeU32(seg, base + static_cast<Addr>(i) * 4, v);
+  }
+}
+
+// Fills with random doubles in [0, 1).
+inline void FillRandomF64(DataSegment& seg, Addr base, int count, Rng& rng) {
+  for (int i = 0; i < count; ++i) {
+    PokeF64(seg, base + static_cast<Addr>(i) * 8, rng.NextDouble());
+  }
+}
+
+// Emits a 3-step xorshift32 step on `reg` using `tmp` as scratch.
+inline void EmitXorshift32(Assembler& a, RegId reg, RegId tmp) {
+  a.slli(tmp, reg, 13);
+  a.xor_(reg, reg, tmp);
+  a.srli(tmp, reg, 17);
+  a.xor_(reg, reg, tmp);
+  a.slli(tmp, reg, 5);
+  a.xor_(reg, reg, tmp);
+}
+
+}  // namespace spear::workloads

@@ -1,0 +1,91 @@
+// DIS "data management": an in-memory record store indexed by a chained
+// hash table. A query stream mixes lookups and updates: hash the key,
+// load the bucket head, walk the collision chain (pointer hops through a
+// node pool far larger than the L2), compare keys, and touch the record
+// payload on a hit.
+#include "workloads/datagen.h"
+#include "workloads/kernels.h"
+
+namespace spear::workloads {
+
+Program BuildDm(const WorkloadConfig& config) {
+  const int buckets = 1 << 14;            // 16K bucket heads
+  const int records = 40000 * config.scale;
+  const int queries = 30000 * config.scale;
+  constexpr Addr kHeads = 0x08000000;     // buckets * 4
+  constexpr Addr kPool = 0x08800000;      // node pool: {next, key, payload, pad}
+  constexpr Addr kKeys = 0x09800000;      // query key stream
+  constexpr Addr kNodeSize = 16;
+
+  Program prog;
+  Rng rng(config.seed);
+  DataSegment& heads = prog.AddSegment(kHeads, buckets * 4);
+  DataSegment& pool = prog.AddSegment(
+      kPool, static_cast<std::size_t>(records) * kNodeSize);
+  // Insert records in random order; chains average records/buckets ~ 2.4.
+  std::vector<std::uint32_t> head(static_cast<std::size_t>(buckets), 0);
+  const std::vector<std::uint32_t> order = RandomPermutation(records, rng);
+  std::vector<std::uint32_t> keys(static_cast<std::size_t>(records));
+  for (int i = 0; i < records; ++i) {
+    const std::uint32_t key = static_cast<std::uint32_t>(rng.Next()) | 1u;
+    keys[static_cast<std::size_t>(i)] = key;
+    const std::uint32_t node = order[static_cast<std::size_t>(i)];
+    const Addr node_addr = kPool + node * kNodeSize;
+    const std::uint32_t b = (key * 2654435761u) >> 18;  // top 14 bits
+    PokeU32(pool, node_addr + 0, head[b]);              // next
+    PokeU32(pool, node_addr + 4, key);
+    PokeU32(pool, node_addr + 8, key & 0xffff);         // payload
+    head[b] = node_addr;
+  }
+  for (int b = 0; b < buckets; ++b) {
+    PokeU32(heads, kHeads + static_cast<Addr>(b) * 4,
+            head[static_cast<std::size_t>(b)]);
+  }
+  DataSegment& qs = prog.AddSegment(kKeys,
+                                    static_cast<std::size_t>(queries) * 4);
+  for (int i = 0; i < queries; ++i) {
+    // 75% present keys, 25% absent.
+    const std::uint32_t key =
+        rng.Chance(0.75)
+            ? keys[static_cast<std::size_t>(rng.Below(records))]
+            : (static_cast<std::uint32_t>(rng.Next()) & ~1u);
+    PokeU32(qs, kKeys + static_cast<Addr>(i) * 4, key);
+  }
+
+  Assembler a(&prog);
+  Label loop = a.NewLabel(), walk = a.NewLabel(), found = a.NewLabel();
+  Label next_query = a.NewLabel();
+  a.la(r(1), kKeys);
+  a.li(r(2), queries);
+  a.li(r(3), 0);               // hit count / checksum
+  a.la(r(9), kHeads);
+  a.li(r(21), 2654435761u);
+  a.Bind(loop);
+  a.lw(r(4), r(1), 0);         // query key (sequential)
+  a.mul(r(5), r(4), r(21));
+  a.srli(r(5), r(5), 18);
+  a.slli(r(5), r(5), 2);
+  a.add(r(5), r(9), r(5));
+  a.lw(r(6), r(5), 0);         // bucket head (delinquent)
+  a.Bind(walk);
+  a.beq(r(6), r(0), next_query);
+  a.lw(r(7), r(6), 4);         // node key (delinquent chain hop)
+  a.beq(r(7), r(4), found);
+  a.lw(r(6), r(6), 0);         // next
+  a.j(walk);
+  a.Bind(found);
+  a.lw(r(8), r(6), 8);         // payload
+  a.addi(r(8), r(8), 1);
+  a.sw(r(8), r(6), 8);         // update record
+  a.addi(r(3), r(3), 1);
+  a.Bind(next_query);
+  a.addi(r(1), r(1), 4);
+  a.addi(r(2), r(2), -1);
+  a.bne(r(2), r(0), loop);
+  a.out(r(3));
+  a.halt();
+  a.Finish();
+  return prog;
+}
+
+}  // namespace spear::workloads

@@ -1,0 +1,85 @@
+// SPEC CFP2000 183.equake: unstructured-mesh earthquake simulation, whose
+// hot loop is a sparse matrix-vector product over the stiffness matrix —
+// CSR spine (row lengths + column indices) feeding double-precision
+// gathers and multiply-adds. Long FP latencies overlap the memory stalls;
+// the paper notes CFP2000 codes profit from decoupled memory access for
+// exactly this reason.
+#include "workloads/datagen.h"
+#include "workloads/kernels.h"
+
+namespace spear::workloads {
+
+Program BuildEquake(const WorkloadConfig& config) {
+  const int rows = 3000 * config.scale;
+  const int nnz_per_row = 9;      // mesh nodes touch ~9 neighbours
+  const int vec_len = 1 << 18;    // 256K doubles = 2 MiB displacement vector
+  const int timesteps = 3;
+  constexpr Addr kCol = 0x18000000;
+  constexpr Addr kVal = 0x19000000;  // f64 stiffness entries
+  constexpr Addr kVec = 0x1a000000;  // f64 displacement vector
+  constexpr Addr kOut = 0x1b000000;  // f64 per-row results
+
+  Program prog;
+  Rng rng(config.seed);
+  const int nnz = rows * nnz_per_row;
+  DataSegment& col = prog.AddSegment(kCol, static_cast<std::size_t>(nnz) * 4);
+  for (int i = 0; i < nnz; ++i) {
+    // Mesh locality: clustered neighbours with occasional far links.
+    const int row = i / nnz_per_row;
+    const std::uint32_t base =
+        static_cast<std::uint32_t>((static_cast<std::uint64_t>(row) * 87) %
+                                   vec_len);
+    const std::uint32_t idx =
+        rng.Chance(0.7)
+            ? (base + static_cast<std::uint32_t>(rng.Below(64))) % vec_len
+            : static_cast<std::uint32_t>(rng.Below(vec_len));
+    PokeU32(col, kCol + static_cast<Addr>(i) * 4, idx);
+  }
+  DataSegment& val = prog.AddSegment(kVal, static_cast<std::size_t>(nnz) * 8);
+  for (int i = 0; i < nnz; i += 2) {
+    PokeF64(val, kVal + static_cast<Addr>(i) * 8, rng.NextDouble() - 0.5);
+  }
+  DataSegment& vec = prog.AddSegment(kVec, static_cast<std::size_t>(vec_len) * 8);
+  for (int i = 0; i < vec_len; i += 32) {
+    PokeF64(vec, kVec + static_cast<Addr>(i) * 8, rng.NextDouble());
+  }
+  prog.AddSegment(kOut, static_cast<std::size_t>(rows) * 8);
+
+  Assembler a(&prog);
+  Label step = a.NewLabel(), row = a.NewLabel(), elem = a.NewLabel();
+  a.li(r(20), timesteps);
+  a.Bind(step);
+  a.la(r(1), kCol);
+  a.la(r(2), kVal);
+  a.la(r(8), kVec);
+  a.la(r(9), kOut);
+  a.li(r(3), rows);
+  a.Bind(row);
+  a.cvtif(f(4), r(0));         // row accumulator = 0.0
+  a.li(r(5), nnz_per_row);
+  a.Bind(elem);
+  a.lw(r(6), r(1), 0);         // column index (spine)
+  a.slli(r(6), r(6), 3);
+  a.add(r(6), r(8), r(6));
+  a.ldf(f(1), r(6), 0);        // vector gather (DELINQUENT)
+  a.ldf(f(2), r(2), 0);        // stiffness value (sequential)
+  a.fmul(f(3), f(1), f(2));
+  a.fadd(f(4), f(4), f(3));
+  a.addi(r(1), r(1), 4);
+  a.addi(r(2), r(2), 8);
+  a.addi(r(5), r(5), -1);
+  a.bne(r(5), r(0), elem);
+  a.stf(f(4), r(9), 0);
+  a.addi(r(9), r(9), 8);
+  a.addi(r(3), r(3), -1);
+  a.bne(r(3), r(0), row);
+  a.addi(r(20), r(20), -1);
+  a.bne(r(20), r(0), step);
+  a.cvtfi(r(4), f(4));
+  a.out(r(4));
+  a.halt();
+  a.Finish();
+  return prog;
+}
+
+}  // namespace spear::workloads

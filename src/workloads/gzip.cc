@@ -1,0 +1,97 @@
+// SPEC CINT2000 164.gzip: LZ77 longest-match search with hash chains —
+// hash three bytes, load the chain head, walk previous positions comparing
+// input bytes. Nearly every load in the loop is miss-prone (head table,
+// chain links, byte compares across a large window), reproducing the
+// paper's observation that gzip has *too many* d-loads (excessive
+// triggering corrupts p-thread execution) and degrades slightly.
+#include "workloads/datagen.h"
+#include "workloads/kernels.h"
+
+namespace spear::workloads {
+
+Program BuildGzip(const WorkloadConfig& config) {
+  const int window = 1 << 20;           // 1 MiB input window
+  const int positions = 25000 * config.scale;
+  const int hash_bits = 15;
+  constexpr Addr kInput = 0x0e000000;
+  constexpr Addr kHead = 0x0f000000;    // hash -> most recent position
+  constexpr Addr kPrev = 0x0f800000;    // position -> previous position
+
+  Program prog;
+  Rng rng(config.seed);
+  DataSegment& in = prog.AddSegment(kInput, window);
+  // Compressible-ish input: runs of repeated fragments.
+  int i = 0;
+  while (i < window) {
+    const int run = 4 + static_cast<int>(rng.Below(12));
+    const auto byte = static_cast<std::uint8_t>(rng.Below(64));
+    for (int k = 0; k < run && i < window; ++k, ++i) {
+      PokeU8(in, kInput + static_cast<Addr>(i),
+             static_cast<std::uint8_t>(byte + (k & 3)));
+    }
+  }
+  // Pre-populate hash chains with random earlier positions.
+  DataSegment& head = prog.AddSegment(kHead, (1u << hash_bits) * 4);
+  for (int h = 0; h < (1 << hash_bits); ++h) {
+    PokeU32(head, kHead + static_cast<Addr>(h) * 4,
+            static_cast<std::uint32_t>(rng.Below(window / 2)));
+  }
+  DataSegment& prev = prog.AddSegment(kPrev,
+                                      static_cast<std::size_t>(window) * 4);
+  for (int p = 0; p < window; p += 2) {
+    const std::uint32_t q = p < 256 ? 0 : static_cast<std::uint32_t>(
+                                              rng.Below(static_cast<std::uint64_t>(p)));
+    PokeU32(prev, kPrev + static_cast<Addr>(p) * 4, q & ~1u);
+  }
+
+  Assembler a(&prog);
+  Label loop = a.NewLabel(), chain = a.NewLabel(), chain_done = a.NewLabel();
+  a.li(r(1), window / 2);     // current position
+  a.li(r(2), positions);
+  a.li(r(3), 0);              // total match score
+  a.la(r(8), kInput);
+  a.la(r(9), kHead);
+  a.la(r(10), kPrev);
+  a.Bind(loop);
+  // hash = (b0<<10 ^ b1<<5 ^ b2) & mask
+  a.add(r(4), r(8), r(1));
+  a.lbu(r(5), r(4), 0);
+  a.lbu(r(6), r(4), 1);
+  a.lbu(r(7), r(4), 2);
+  a.slli(r(5), r(5), 10);
+  a.slli(r(6), r(6), 5);
+  a.xor_(r(5), r(5), r(6));
+  a.xor_(r(5), r(5), r(7));
+  a.andi(r(5), r(5), (1 << hash_bits) - 1);
+  a.slli(r(5), r(5), 2);
+  a.add(r(5), r(9), r(5));
+  a.lw(r(11), r(5), 0);       // chain head (d-load)
+  a.sw(r(1), r(5), 0);        // update head to current position
+  a.li(r(12), 4);             // chain depth budget
+  a.Bind(chain);
+  a.beq(r(12), r(0), chain_done);
+  a.add(r(13), r(8), r(11));
+  a.lbu(r(14), r(13), 0);     // candidate byte (d-load)
+  a.lbu(r(15), r(4), 0);
+  a.beq(r(14), r(15), chain_done);  // "match": stop early
+  a.slli(r(16), r(11), 2);
+  a.add(r(16), r(10), r(16));
+  a.lw(r(11), r(16), 0);      // prev[pos] (d-load chain hop)
+  a.addi(r(12), r(12), -1);
+  a.j(chain);
+  a.Bind(chain_done);
+  a.add(r(3), r(3), r(12));
+  // Advance by a data-dependent stride (short, gzip-like).
+  a.andi(r(17), r(14), 7);
+  a.addi(r(17), r(17), 1);
+  a.add(r(1), r(1), r(17));
+  a.andi(r(1), r(1), window - 1);
+  a.addi(r(2), r(2), -1);
+  a.bne(r(2), r(0), loop);
+  a.out(r(3));
+  a.halt();
+  a.Finish();
+  return prog;
+}
+
+}  // namespace spear::workloads

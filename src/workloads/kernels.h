@@ -1,0 +1,25 @@
+// Individual kernel builders (one translation unit each). See workload.h
+// for the registry; DESIGN.md §4 maps each kernel to its paper benchmark.
+#pragma once
+
+#include "workloads/workload.h"
+
+namespace spear::workloads {
+
+Program BuildPointer(const WorkloadConfig&);   // Stressmark: pointer
+Program BuildUpdate(const WorkloadConfig&);    // Stressmark: update
+Program BuildNbh(const WorkloadConfig&);       // Stressmark: neighborhood
+Program BuildTr(const WorkloadConfig&);        // Stressmark: transitive closure
+Program BuildMatrix(const WorkloadConfig&);    // Stressmark: matrix
+Program BuildField(const WorkloadConfig&);     // Stressmark: field
+Program BuildDm(const WorkloadConfig&);        // DIS: data management
+Program BuildRay(const WorkloadConfig&);       // DIS: ray tracing
+Program BuildFft(const WorkloadConfig&);       // DIS: FFT
+Program BuildGzip(const WorkloadConfig&);      // SPEC CINT2000: 164.gzip
+Program BuildMcf(const WorkloadConfig&);       // SPEC CINT2000: 181.mcf
+Program BuildVpr(const WorkloadConfig&);       // SPEC CINT2000: 175.vpr
+Program BuildBzip2(const WorkloadConfig&);     // SPEC CINT2000: 256.bzip2
+Program BuildEquake(const WorkloadConfig&);    // SPEC CFP2000: 183.equake
+Program BuildArt(const WorkloadConfig&);       // SPEC CFP2000: 179.art
+
+}  // namespace spear::workloads

@@ -1,0 +1,68 @@
+// Stressmark "pointer": repeated hops to randomized locations in a large
+// field of words; the next hop address is computed from the values found
+// at the current location. We run eight independent hop chains round-robin
+// (the Stressmark's multi-thread configuration), each chain a random
+// permutation cycle over its own partition — dependent-load chains with
+// cross-chain memory-level parallelism.
+#include "workloads/datagen.h"
+#include "workloads/kernels.h"
+
+namespace spear::workloads {
+
+Program BuildPointer(const WorkloadConfig& config) {
+  constexpr int kChains = 8;
+  const int nodes_per_chain = 2048 * config.scale;  // x64B = 128KiB/chain
+  const int hops = 4000 * config.scale;             // per chain
+  constexpr Addr kBase = 0x02000000;
+  constexpr Addr kStride = 64;  // one node per L2 block
+
+  constexpr Addr kStarts = 0x01ff0000;  // chain cursors live in data, so
+                                        // the text stays seed-independent
+  Program prog;
+  Rng rng(config.seed);
+  DataSegment& starts = prog.AddSegment(kStarts, kChains * 4);
+  DataSegment& seg = prog.AddSegment(
+      kBase, static_cast<std::size_t>(kChains) * nodes_per_chain * kStride);
+
+  Addr start[kChains];
+  for (int c = 0; c < kChains; ++c) {
+    const Addr chain_base =
+        kBase + static_cast<Addr>(c) * nodes_per_chain * kStride;
+    const std::vector<std::uint32_t> perm =
+        RandomPermutation(nodes_per_chain, rng);
+    for (int i = 0; i < nodes_per_chain; ++i) {
+      const Addr node = chain_base + perm[static_cast<std::size_t>(i)] * kStride;
+      const Addr next =
+          chain_base +
+          perm[static_cast<std::size_t>((i + 1) % nodes_per_chain)] * kStride;
+      PokeU32(seg, node, next);
+      PokeU32(seg, node + 4, static_cast<std::uint32_t>(rng.Next()));
+    }
+    start[c] = chain_base + perm[0] * kStride;
+  }
+  for (int c = 0; c < kChains; ++c) {
+    PokeU32(starts, kStarts + static_cast<Addr>(c) * 4, start[c]);
+  }
+
+  Assembler a(&prog);
+  Label loop = a.NewLabel();
+  // r10..r17 hold the eight chain cursors; r3 accumulates a checksum.
+  a.la(r(9), kStarts);
+  for (int c = 0; c < kChains; ++c) a.lw(r(10 + c), r(9), c * 4);
+  a.li(r(2), hops);
+  a.li(r(3), 0);
+  a.Bind(loop);
+  for (int c = 0; c < kChains; ++c) {
+    a.lw(r(4), r(10 + c), 4);      // payload word
+    a.xor_(r(3), r(3), r(4));
+    a.lw(r(10 + c), r(10 + c), 0); // hop (delinquent load)
+  }
+  a.addi(r(2), r(2), -1);
+  a.bne(r(2), r(0), loop);
+  a.out(r(3));
+  a.halt();
+  a.Finish();
+  return prog;
+}
+
+}  // namespace spear::workloads

@@ -1,0 +1,81 @@
+// DIS "ray tracing": rays march through a 3-D voxel grid accumulating
+// density (fixed-step DDA). Each step computes a voxel address from the
+// ray position (FP math feeding an integer gather) and samples the voxel —
+// semi-regular accesses through a grid larger than the L2, with long FP
+// latencies overlapping the memory accesses.
+#include "workloads/datagen.h"
+#include "workloads/kernels.h"
+
+namespace spear::workloads {
+
+Program BuildRay(const WorkloadConfig& config) {
+  const int grid = 64;  // 64^3 voxels * 8B doubles = 2 MiB
+  const int rays = 700 * config.scale;
+  const int steps = 48;
+  constexpr Addr kGrid = 0x0a000000;
+  constexpr Addr kRays = 0x0b000000;  // per ray: origin (3 f64) + dir (3 f64)
+
+  Program prog;
+  Rng rng(config.seed);
+  DataSegment& g = prog.AddSegment(
+      kGrid, static_cast<std::size_t>(grid) * grid * grid * 8);
+  // Sparse density blobs keep the image generation cheap.
+  for (int i = 0; i < grid * grid * grid; i += 16) {
+    PokeF64(g, kGrid + static_cast<Addr>(i) * 8, rng.NextDouble());
+  }
+  DataSegment& rs = prog.AddSegment(kRays, static_cast<std::size_t>(rays) * 48);
+  for (int i = 0; i < rays; ++i) {
+    const Addr base = kRays + static_cast<Addr>(i) * 48;
+    for (int k = 0; k < 3; ++k) {
+      PokeF64(rs, base + static_cast<Addr>(k) * 8, rng.NextDouble() * 8.0);
+      PokeF64(rs, base + 24 + static_cast<Addr>(k) * 8,
+              rng.NextDouble() * 1.2 + 0.05);
+    }
+  }
+
+  Assembler a(&prog);
+  Label ray = a.NewLabel(), step = a.NewLabel();
+  a.la(r(1), kRays);
+  a.li(r(2), rays);
+  a.la(r(9), kGrid);
+  a.li(r(20), grid - 1);
+  a.cvtif(f(10), r(0));        // accumulated density (0.0)
+  a.Bind(ray);
+  a.ldf(f(1), r(1), 0);        // position x, y, z
+  a.ldf(f(2), r(1), 8);
+  a.ldf(f(3), r(1), 16);
+  a.ldf(f(4), r(1), 24);       // direction
+  a.ldf(f(5), r(1), 32);
+  a.ldf(f(6), r(1), 40);
+  a.li(r(3), steps);
+  a.Bind(step);
+  a.fadd(f(1), f(1), f(4));    // advance
+  a.fadd(f(2), f(2), f(5));
+  a.fadd(f(3), f(3), f(6));
+  a.cvtfi(r(4), f(1));         // voxel coordinates
+  a.cvtfi(r(5), f(2));
+  a.cvtfi(r(6), f(3));
+  a.and_(r(4), r(4), r(20));   // wrap into the grid
+  a.and_(r(5), r(5), r(20));
+  a.and_(r(6), r(6), r(20));
+  a.slli(r(5), r(5), 6);
+  a.slli(r(6), r(6), 12);
+  a.or_(r(4), r(4), r(5));
+  a.or_(r(4), r(4), r(6));
+  a.slli(r(4), r(4), 3);
+  a.add(r(4), r(9), r(4));
+  a.ldf(f(7), r(4), 0);        // sample voxel (delinquent load)
+  a.fadd(f(10), f(10), f(7));
+  a.addi(r(3), r(3), -1);
+  a.bne(r(3), r(0), step);
+  a.addi(r(1), r(1), 48);
+  a.addi(r(2), r(2), -1);
+  a.bne(r(2), r(0), ray);
+  a.cvtfi(r(4), f(10));
+  a.out(r(4));
+  a.halt();
+  a.Finish();
+  return prog;
+}
+
+}  // namespace spear::workloads

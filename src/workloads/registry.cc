@@ -1,0 +1,54 @@
+#include "workloads/workload.h"
+
+#include "common/check.h"
+#include "workloads/kernels.h"
+
+namespace spear {
+
+const std::vector<WorkloadInfo>& AllWorkloads() {
+  using namespace workloads;
+  static const std::vector<WorkloadInfo> kAll = {
+      {"pointer", "Stressmark", "dependent-load chains, high L2 miss",
+       BuildPointer},
+      {"update", "Stressmark", "dependent chains + node writebacks",
+       BuildUpdate},
+      {"nbh", "Stressmark", "image neighborhood + histogram scatter",
+       BuildNbh},
+      {"tr", "Stressmark", "Floyd-Warshall sweeps, unpredictable branches",
+       BuildTr},
+      {"matrix", "Stressmark", "CSR sparse solve: index-fed gather",
+       BuildMatrix},
+      {"field", "Stressmark", "sequential token scan, low miss rate",
+       BuildField},
+      {"dm", "DIS", "hash-chain record store lookups/updates", BuildDm},
+      {"ray", "DIS", "voxel-grid ray marching, FP + gather", BuildRay},
+      {"fft", "DIS", "radix-2 butterflies, strided, heavy slices", BuildFft},
+      {"gzip", "SPEC CINT2000", "LZ77 hash chains: d-loads everywhere",
+       BuildGzip},
+      {"mcf", "SPEC CINT2000", "arc sweep + random node potentials",
+       BuildMcf},
+      {"vpr", "SPEC CINT2000", "placement swaps: random 2-D lookups",
+       BuildVpr},
+      {"bzip2", "SPEC CINT2000", "BWT suffix compares at permuted offsets",
+       BuildBzip2},
+      {"equake", "SPEC CFP2000", "unstructured FP SMVP gather", BuildEquake},
+      {"art", "SPEC CFP2000", "neural-net weight-matrix FP streams",
+       BuildArt},
+  };
+  return kAll;
+}
+
+const WorkloadInfo& FindWorkload(const std::string& name) {
+  for (const WorkloadInfo& w : AllWorkloads()) {
+    if (name == w.name) return w;
+  }
+  SPEAR_CHECK(false && "unknown workload");
+  __builtin_unreachable();
+}
+
+Program BuildWorkloadProgram(const std::string& name,
+                             const WorkloadConfig& config) {
+  return FindWorkload(name).build(config);
+}
+
+}  // namespace spear

@@ -1,0 +1,74 @@
+// Stressmark "transitive closure": Floyd–Warshall over a dense distance
+// matrix. The innermost loop sweeps rows (sequential) with a data-dependent
+// update branch whose outcome follows the random distances — the low branch
+// hit ratio is why tr responds poorly to the IFQ-based scheme in the paper.
+#include "workloads/datagen.h"
+#include "workloads/kernels.h"
+
+namespace spear::workloads {
+
+Program BuildTr(const WorkloadConfig& config) {
+  // 128x128 u32 matrix (64 KiB): larger than the L1, L2-resident, so the
+  // row sweeps miss in L1 throughout. Benches run a fixed instruction
+  // budget of the O(n^3) sweep rather than to completion.
+  const int n = 128 * config.scale;
+  constexpr Addr kDist = 0x04000000;
+
+  Program prog;
+  Rng rng(config.seed);
+  DataSegment& seg = prog.AddSegment(
+      kDist, static_cast<std::size_t>(n) * n * 4);
+  for (int i = 0; i < n * n; ++i) {
+    // Distances 1..1000 with a sprinkling of "infinity".
+    const std::uint32_t v = rng.Chance(0.3)
+                                ? 1'000'000
+                                : static_cast<std::uint32_t>(rng.Below(1000) + 1);
+    PokeU32(seg, kDist + static_cast<Addr>(i) * 4, v);
+  }
+
+  Assembler a(&prog);
+  // for k: for i: dik = d[i][k]; for j: cand = dik + d[k][j];
+  //   if cand < d[i][j]: d[i][j] = cand
+  Label kloop = a.NewLabel(), iloop = a.NewLabel(), jloop = a.NewLabel();
+  Label skip = a.NewLabel();
+  a.li(r(1), 0);               // k
+  a.la(r(9), kDist);
+  a.li(r(20), n);
+  a.Bind(kloop);
+  a.li(r(2), 0);               // i
+  a.Bind(iloop);
+  // r10 = &d[i][0], r11 = &d[k][0]
+  a.mul(r(10), r(2), r(20));
+  a.slli(r(10), r(10), 2);
+  a.add(r(10), r(9), r(10));
+  a.mul(r(11), r(1), r(20));
+  a.slli(r(11), r(11), 2);
+  a.add(r(11), r(9), r(11));
+  // dik = d[i][k]
+  a.slli(r(12), r(1), 2);
+  a.add(r(12), r(10), r(12));
+  a.lw(r(13), r(12), 0);
+  a.li(r(3), 0);               // j
+  a.Bind(jloop);
+  a.lw(r(14), r(11), 0);       // d[k][j]
+  a.add(r(14), r(14), r(13));  // cand
+  a.lw(r(15), r(10), 0);       // d[i][j]
+  a.bge(r(14), r(15), skip);   // data-dependent, poorly predicted
+  a.sw(r(14), r(10), 0);
+  a.Bind(skip);
+  a.addi(r(10), r(10), 4);
+  a.addi(r(11), r(11), 4);
+  a.addi(r(3), r(3), 1);
+  a.blt(r(3), r(20), jloop);
+  a.addi(r(2), r(2), 1);
+  a.blt(r(2), r(20), iloop);
+  a.addi(r(1), r(1), 1);
+  a.blt(r(1), r(20), kloop);
+  a.lw(r(4), r(9), 0);
+  a.out(r(4));
+  a.halt();
+  a.Finish();
+  return prog;
+}
+
+}  // namespace spear::workloads

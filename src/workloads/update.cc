@@ -1,0 +1,67 @@
+// Stressmark "update": like pointer, but every visited node is modified —
+// a read-modify-write of the node payload accompanies each hop, adding
+// store traffic and dirty-line writebacks to the dependent-load chain.
+// Four chains round-robin.
+#include "workloads/datagen.h"
+#include "workloads/kernels.h"
+
+namespace spear::workloads {
+
+Program BuildUpdate(const WorkloadConfig& config) {
+  constexpr int kChains = 4;
+  const int nodes_per_chain = 3072 * config.scale;
+  const int hops = 6000 * config.scale;  // per chain
+  constexpr Addr kBase = 0x02800000;
+  constexpr Addr kStride = 64;
+
+  constexpr Addr kStarts = 0x027f0000;  // cursors in data: text stays
+                                        // seed-independent
+  Program prog;
+  Rng rng(config.seed);
+  DataSegment& starts = prog.AddSegment(kStarts, kChains * 4);
+  DataSegment& seg = prog.AddSegment(
+      kBase, static_cast<std::size_t>(kChains) * nodes_per_chain * kStride);
+
+  Addr start[kChains];
+  for (int c = 0; c < kChains; ++c) {
+    const Addr chain_base =
+        kBase + static_cast<Addr>(c) * nodes_per_chain * kStride;
+    const std::vector<std::uint32_t> perm =
+        RandomPermutation(nodes_per_chain, rng);
+    for (int i = 0; i < nodes_per_chain; ++i) {
+      const Addr node = chain_base + perm[static_cast<std::size_t>(i)] * kStride;
+      const Addr next =
+          chain_base +
+          perm[static_cast<std::size_t>((i + 1) % nodes_per_chain)] * kStride;
+      PokeU32(seg, node, next);
+      PokeU32(seg, node + 4, static_cast<std::uint32_t>(rng.Next() & 0xffff));
+    }
+    start[c] = chain_base + perm[0] * kStride;
+  }
+  for (int c = 0; c < kChains; ++c) {
+    PokeU32(starts, kStarts + static_cast<Addr>(c) * 4, start[c]);
+  }
+
+  Assembler a(&prog);
+  Label loop = a.NewLabel();
+  a.la(r(9), kStarts);
+  for (int c = 0; c < kChains; ++c) a.lw(r(10 + c), r(9), c * 4);
+  a.li(r(2), hops);
+  a.li(r(3), 0);
+  a.Bind(loop);
+  for (int c = 0; c < kChains; ++c) {
+    a.lw(r(4), r(10 + c), 4);       // payload
+    a.addi(r(4), r(4), 1);          // update
+    a.sw(r(4), r(10 + c), 4);       // write back to the node
+    a.add(r(3), r(3), r(4));
+    a.lw(r(10 + c), r(10 + c), 0);  // hop (delinquent load)
+  }
+  a.addi(r(2), r(2), -1);
+  a.bne(r(2), r(0), loop);
+  a.out(r(3));
+  a.halt();
+  a.Finish();
+  return prog;
+}
+
+}  // namespace spear::workloads

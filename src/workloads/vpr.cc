@@ -1,0 +1,83 @@
+// SPEC CINT2000 175.vpr: placement inner loop — evaluate random block
+// swaps on a 2-D FPGA grid. Each proposal reads the two blocks' net lists
+// and the bounding-box cost terms of their nets: random 2-D lookups across
+// a grid and net arrays much larger than the L2, inside a moderately fat
+// body with a data-dependent accept branch.
+#include "workloads/datagen.h"
+#include "workloads/kernels.h"
+
+namespace spear::workloads {
+
+Program BuildVpr(const WorkloadConfig& config) {
+  const int grid_dim = 512;                  // 512x512 cells, 8B each = 2 MiB
+  const int nets = 1 << 16;
+  const int proposals = 20000 * config.scale;
+  constexpr Addr kGrid = 0x12000000;         // cell -> {net id, occupancy}
+  constexpr Addr kNets = 0x13000000;         // net -> bounding-box cost
+  constexpr Addr kRand = 0x14000000;         // proposal stream (x1,y1,x2,y2)
+
+  Program prog;
+  Rng rng(config.seed);
+  DataSegment& grid = prog.AddSegment(
+      kGrid, static_cast<std::size_t>(grid_dim) * grid_dim * 8);
+  for (int i = 0; i < grid_dim * grid_dim; i += 2) {
+    PokeU32(grid, kGrid + static_cast<Addr>(i) * 8,
+            static_cast<std::uint32_t>(rng.Below(nets)));
+    PokeU32(grid, kGrid + static_cast<Addr>(i) * 8 + 4,
+            static_cast<std::uint32_t>(rng.Below(4)));
+  }
+  DataSegment& net = prog.AddSegment(kNets, static_cast<std::size_t>(nets) * 4);
+  for (int i = 0; i < nets; ++i) {
+    PokeU32(net, kNets + static_cast<Addr>(i) * 4,
+            static_cast<std::uint32_t>(rng.Below(1000)));
+  }
+  DataSegment& props = prog.AddSegment(
+      kRand, static_cast<std::size_t>(proposals) * 8);
+  for (int i = 0; i < proposals; ++i) {
+    const std::uint32_t c1 =
+        static_cast<std::uint32_t>(rng.Below(grid_dim * grid_dim));
+    const std::uint32_t c2 =
+        static_cast<std::uint32_t>(rng.Below(grid_dim * grid_dim));
+    PokeU32(props, kRand + static_cast<Addr>(i) * 8, c1);
+    PokeU32(props, kRand + static_cast<Addr>(i) * 8 + 4, c2);
+  }
+
+  Assembler a(&prog);
+  Label loop = a.NewLabel(), reject = a.NewLabel();
+  a.la(r(1), kRand);
+  a.li(r(2), proposals);
+  a.li(r(3), 0);               // accepted count
+  a.la(r(8), kGrid);
+  a.la(r(9), kNets);
+  a.Bind(loop);
+  a.lw(r(4), r(1), 0);         // cell 1 (sequential proposal stream)
+  a.lw(r(5), r(1), 4);         // cell 2
+  a.slli(r(4), r(4), 3);
+  a.slli(r(5), r(5), 3);
+  a.add(r(4), r(8), r(4));
+  a.add(r(5), r(8), r(5));
+  a.lw(r(6), r(4), 0);         // net of cell 1 (DELINQUENT random 2-D)
+  a.lw(r(7), r(5), 0);         // net of cell 2 (DELINQUENT)
+  a.slli(r(10), r(6), 2);
+  a.add(r(10), r(9), r(10));
+  a.lw(r(11), r(10), 0);       // bb cost of net 1 (dependent gather)
+  a.slli(r(12), r(7), 2);
+  a.add(r(12), r(9), r(12));
+  a.lw(r(13), r(12), 0);       // bb cost of net 2
+  a.sub(r(14), r(11), r(13));  // delta cost
+  a.bge(r(14), r(0), reject);  // accept only improving swaps
+  // Apply the swap: exchange net ids.
+  a.sw(r(7), r(4), 0);
+  a.sw(r(6), r(5), 0);
+  a.addi(r(3), r(3), 1);
+  a.Bind(reject);
+  a.addi(r(1), r(1), 8);
+  a.addi(r(2), r(2), -1);
+  a.bne(r(2), r(0), loop);
+  a.out(r(3));
+  a.halt();
+  a.Finish();
+  return prog;
+}
+
+}  // namespace spear::workloads

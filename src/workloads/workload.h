@@ -1,0 +1,42 @@
+// Workload registry: 15 synthetic kernels standing in for the paper's
+// benchmark suite (Table 1) — six Atlantic Aerospace Stressmarks, three
+// DIS benchmarks and six SPEC2000 applications. Each kernel reproduces
+// the *memory access character* of its namesake (see DESIGN.md §4); the
+// SPEAR evaluation depends on those access patterns, not on the exact
+// SPEC sources.
+//
+// Determinism: a kernel's data is derived from WorkloadConfig::seed, so
+// the paper's profile-on-a-different-input methodology is a seed change.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/program.h"
+
+namespace spear {
+
+struct WorkloadConfig {
+  std::uint64_t seed = 42;
+  // Working-set / iteration scale. 1 = default bench scale (hundreds of
+  // thousands of dynamic instructions, working sets beyond the L2).
+  int scale = 1;
+};
+
+struct WorkloadInfo {
+  const char* name;
+  const char* suite;      // "Stressmark" | "DIS" | "SPEC CINT2000" | "SPEC CFP2000"
+  const char* character;  // one-line memory-behaviour summary
+  Program (*build)(const WorkloadConfig&);
+};
+
+const std::vector<WorkloadInfo>& AllWorkloads();
+
+// Returns the workload with the given name; aborts if unknown.
+const WorkloadInfo& FindWorkload(const std::string& name);
+
+Program BuildWorkloadProgram(const std::string& name,
+                             const WorkloadConfig& config);
+
+}  // namespace spear

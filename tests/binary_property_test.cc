@@ -1,0 +1,135 @@
+// Property tests for the SPEARBIN container: randomly generated programs
+// (random but well-formed instructions, segments and p-thread specs) must
+// survive serialize -> deserialize bit-exactly, and the two encodings of
+// an instruction (struct vs 64-bit word) must agree for random field
+// combinations.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "isa/binary.h"
+#include "isa/instruction.h"
+#include "isa/program.h"
+
+namespace spear {
+namespace {
+
+Instruction RandomInstruction(Rng& rng) {
+  Instruction in;
+  in.op = static_cast<Opcode>(rng.Below(static_cast<std::uint64_t>(kNumOpcodes)));
+  in.rd = static_cast<RegId>(rng.Below(64));
+  in.rs = static_cast<RegId>(rng.Below(64));
+  in.rt = static_cast<RegId>(rng.Below(64));
+  in.imm = static_cast<std::int32_t>(rng.Next());
+  return in;
+}
+
+Program RandomProgram(std::uint64_t seed) {
+  Rng rng(seed);
+  Program prog;
+  const int ninstr = 1 + static_cast<int>(rng.Below(200));
+  for (int i = 0; i < ninstr; ++i) prog.text.push_back(RandomInstruction(rng));
+  prog.entry = prog.PcOf(static_cast<InstrIndex>(
+      rng.Below(static_cast<std::uint64_t>(ninstr))));
+
+  const int nseg = static_cast<int>(rng.Below(4));
+  Addr base = 0x100000;
+  for (int s = 0; s < nseg; ++s) {
+    const auto size = static_cast<std::size_t>(1 + rng.Below(300));
+    DataSegment& seg = prog.AddSegment(base, size);
+    for (std::size_t i = 0; i < size; ++i) {
+      seg.bytes[i] = static_cast<std::uint8_t>(rng.Next());
+    }
+    base += 0x10000;
+  }
+
+  const int nspec = static_cast<int>(rng.Below(4));
+  for (int s = 0; s < nspec; ++s) {
+    PThreadSpec spec;
+    spec.dload_pc = prog.PcOf(static_cast<InstrIndex>(
+        rng.Below(static_cast<std::uint64_t>(ninstr))));
+    const int nslice = 1 + static_cast<int>(rng.Below(10));
+    for (int k = 0; k < nslice; ++k) {
+      spec.slice_pcs.push_back(prog.PcOf(static_cast<InstrIndex>(
+          rng.Below(static_cast<std::uint64_t>(ninstr)))));
+    }
+    const int nlive = static_cast<int>(rng.Below(6));
+    for (int k = 0; k < nlive; ++k) {
+      spec.live_ins.push_back(static_cast<RegId>(rng.Below(64)));
+    }
+    spec.region_start = prog.PcOf(0);
+    spec.region_end = prog.PcOf(static_cast<InstrIndex>(ninstr - 1));
+    spec.profile_misses = rng.Next();
+    spec.region_dcycles = rng.NextDouble() * 1000.0;
+    prog.pthreads.push_back(std::move(spec));
+  }
+  return prog;
+}
+
+class BinaryRoundTrip : public testing::TestWithParam<int> {};
+
+TEST_P(BinaryRoundTrip, RandomProgramSurvivesExactly) {
+  const Program prog = RandomProgram(static_cast<std::uint64_t>(GetParam()));
+  const Program back = DeserializeProgram(SerializeProgram(prog));
+
+  EXPECT_EQ(back.text_base, prog.text_base);
+  EXPECT_EQ(back.entry, prog.entry);
+  ASSERT_EQ(back.text.size(), prog.text.size());
+  for (std::size_t i = 0; i < prog.text.size(); ++i) {
+    EXPECT_EQ(back.text[i], prog.text[i]) << "instr " << i;
+  }
+  ASSERT_EQ(back.data.size(), prog.data.size());
+  for (std::size_t i = 0; i < prog.data.size(); ++i) {
+    EXPECT_EQ(back.data[i].base, prog.data[i].base);
+    EXPECT_EQ(back.data[i].bytes, prog.data[i].bytes);
+  }
+  ASSERT_EQ(back.pthreads.size(), prog.pthreads.size());
+  for (std::size_t i = 0; i < prog.pthreads.size(); ++i) {
+    EXPECT_EQ(back.pthreads[i].dload_pc, prog.pthreads[i].dload_pc);
+    EXPECT_EQ(back.pthreads[i].slice_pcs, prog.pthreads[i].slice_pcs);
+    EXPECT_EQ(back.pthreads[i].live_ins, prog.pthreads[i].live_ins);
+    EXPECT_EQ(back.pthreads[i].region_start, prog.pthreads[i].region_start);
+    EXPECT_EQ(back.pthreads[i].region_end, prog.pthreads[i].region_end);
+    EXPECT_EQ(back.pthreads[i].profile_misses,
+              prog.pthreads[i].profile_misses);
+    EXPECT_DOUBLE_EQ(back.pthreads[i].region_dcycles,
+                     prog.pthreads[i].region_dcycles);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BinaryRoundTrip, testing::Range(1, 21));
+
+TEST(InstructionEncoding, RandomFieldsRoundTrip) {
+  Rng rng(99);
+  for (int i = 0; i < 10'000; ++i) {
+    const Instruction in = RandomInstruction(rng);
+    EXPECT_EQ(Decode(Encode(in)), in);
+  }
+}
+
+TEST(InstructionEncoding, EncodingIsInjectiveOnSample) {
+  // Distinct instructions must produce distinct words (no field overlap).
+  Rng rng(7);
+  std::vector<std::pair<std::uint64_t, Instruction>> seen;
+  for (int i = 0; i < 2'000; ++i) {
+    const Instruction in = RandomInstruction(rng);
+    const std::uint64_t bits = Encode(in);
+    for (const auto& [obits, oin] : seen) {
+      if (bits == obits) {
+        EXPECT_EQ(in, oin);
+      }
+    }
+    seen.emplace_back(bits, in);
+  }
+}
+
+TEST(BinarySerialization, EmptyProgramStillRoundTrips) {
+  Program prog;
+  prog.text.push_back({Opcode::kHalt, 0, 0, 0, 0});
+  const Program back = DeserializeProgram(SerializeProgram(prog));
+  EXPECT_EQ(back.text.size(), 1u);
+  EXPECT_TRUE(back.data.empty());
+  EXPECT_TRUE(back.pthreads.empty());
+}
+
+}  // namespace
+}  // namespace spear

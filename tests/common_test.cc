@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/circular_buffer.h"
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace spear {
+namespace {
+
+TEST(CircularBuffer, PushPopFifoOrder) {
+  CircularBuffer<int> q(4);
+  EXPECT_TRUE(q.empty());
+  q.PushBack(1);
+  q.PushBack(2);
+  q.PushBack(3);
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.PopFront(), 1);
+  EXPECT_EQ(q.PopFront(), 2);
+  EXPECT_EQ(q.PopFront(), 3);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(CircularBuffer, WrapsAroundCapacity) {
+  CircularBuffer<int> q(3);
+  for (int round = 0; round < 10; ++round) {
+    q.PushBack(round * 2);
+    q.PushBack(round * 2 + 1);
+    EXPECT_EQ(q.PopFront(), round * 2);
+    EXPECT_EQ(q.PopFront(), round * 2 + 1);
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(CircularBuffer, FullDetection) {
+  CircularBuffer<int> q(2);
+  q.PushBack(1);
+  EXPECT_FALSE(q.full());
+  q.PushBack(2);
+  EXPECT_TRUE(q.full());
+  q.PopFront();
+  EXPECT_FALSE(q.full());
+}
+
+TEST(CircularBuffer, SlotIndicesAreStableAcrossPops) {
+  CircularBuffer<int> q(4);
+  const std::size_t s0 = q.PushBack(10);
+  const std::size_t s1 = q.PushBack(20);
+  const std::size_t s2 = q.PushBack(30);
+  EXPECT_EQ(q.Slot(s1), 20);
+  q.PopFront();  // removes 10
+  EXPECT_EQ(q.Slot(s1), 20);
+  EXPECT_EQ(q.Slot(s2), 30);
+  EXPECT_FALSE(q.SlotLive(s0));
+  EXPECT_TRUE(q.SlotLive(s1));
+}
+
+TEST(CircularBuffer, LogicalPhysicalRoundTrip) {
+  CircularBuffer<int> q(5);
+  q.PushBack(0);
+  q.PushBack(1);
+  q.PopFront();
+  q.PushBack(2);
+  q.PushBack(3);
+  for (std::size_t l = 0; l < q.size(); ++l) {
+    EXPECT_EQ(q.LogicalIndex(q.PhysicalIndex(l)), l);
+  }
+}
+
+TEST(CircularBuffer, PopBackSquashesNewest) {
+  CircularBuffer<int> q(4);
+  q.PushBack(1);
+  q.PushBack(2);
+  q.PushBack(3);
+  q.PopBack(2);
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.Front(), 1);
+  q.PushBack(9);
+  EXPECT_EQ(q.Back(), 9);
+}
+
+TEST(CircularBuffer, AtIsOldestFirst) {
+  CircularBuffer<int> q(3);
+  q.PushBack(7);
+  q.PushBack(8);
+  EXPECT_EQ(q.At(0), 7);
+  EXPECT_EQ(q.At(1), 8);
+  EXPECT_EQ(q.Front(), 7);
+  EXPECT_EQ(q.Back(), 8);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Below(17), 17u);
+  }
+}
+
+TEST(Rng, RangeIsInclusive) {
+  Rng rng(7);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.Range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all five values hit
+}
+
+TEST(Rng, ForkedStreamIsIndependent) {
+  Rng a(99);
+  Rng b = a.Fork(1);
+  Rng c = a.Fork(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (b.Next() == c.Next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Stats, RegisterAndRead) {
+  StatsRegistry reg;
+  std::uint64_t counter = 5;
+  reg.Register("cycles", &counter);
+  EXPECT_TRUE(reg.Has("cycles"));
+  EXPECT_EQ(reg.Get("cycles"), 5u);
+  counter = 11;
+  EXPECT_EQ(reg.Get("cycles"), 11u);
+}
+
+TEST(Stats, RatioHandlesZeroDenominator) {
+  StatsRegistry reg;
+  std::uint64_t num = 10, den = 0;
+  reg.Register("n", &num);
+  reg.Register("d", &den);
+  EXPECT_EQ(reg.Ratio("n", "d"), 0.0);
+  den = 4;
+  EXPECT_DOUBLE_EQ(reg.Ratio("n", "d"), 2.5);
+}
+
+}  // namespace
+}  // namespace spear

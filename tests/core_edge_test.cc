@@ -1,0 +1,436 @@
+// Pipeline edge cases and resource-constraint behaviour: tiny structures,
+// width limits, FU pool pressure, p-thread RUU exhaustion, the stride
+// prefetcher, and the chaining-trigger extension — all under the emulator
+// oracle wherever semantics are at stake.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "cpu/core.h"
+#include "isa/assembler.h"
+#include "sim/emulator.h"
+#include "test_programs.h"
+
+namespace spear {
+namespace {
+
+using testprog::BuildGather;
+using testprog::GatherProgram;
+
+void ExpectOracleExact(const Program& prog, const CoreConfig& cfg) {
+  Emulator emu(prog);
+  std::vector<Pc> oracle;
+  while (!emu.halted() && oracle.size() < 2'000'000) {
+    oracle.push_back(emu.pc());
+    emu.Step();
+  }
+  ASSERT_TRUE(emu.halted());
+  Core core(prog, cfg);
+  core.set_trace_commits(true);
+  const RunResult rr = core.Run(UINT64_MAX, 400'000'000);
+  ASSERT_TRUE(rr.halted);
+  ASSERT_EQ(core.commit_trace().size(), oracle.size());
+  for (std::size_t i = 0; i < oracle.size(); ++i) {
+    ASSERT_EQ(core.commit_trace()[i], oracle[i]) << "diverged at " << i;
+  }
+  EXPECT_EQ(core.outputs(), emu.outputs());
+}
+
+Program BranchyMemProgram() {
+  // Mixed kernel: random loads, data-dependent branches, stores and a
+  // call — enough structure to stress every recovery path.
+  Program prog;
+  const Addr base = 0x300000;
+  const int n = 4096;
+  Rng rng(17);
+  DataSegment& seg = prog.AddSegment(base, n * 4);
+  for (int i = 0; i < n; ++i) {
+    PokeU32(seg, base + static_cast<Addr>(i) * 4,
+            static_cast<std::uint32_t>(rng.Next()));
+  }
+  Assembler a(&prog);
+  Label loop = a.NewLabel(), odd = a.NewLabel(), cont = a.NewLabel();
+  Label helper = a.NewLabel(), start = a.NewLabel();
+  a.j(start);
+  a.Bind(helper);
+  a.slli(r(8), r(5), 1);
+  a.ret();
+  a.Bind(start);
+  a.li(r(1), 6000);
+  a.li(r(2), 0);   // index
+  a.li(r(3), 0);   // checksum
+  a.la(r(9), base);
+  a.Bind(loop);
+  a.andi(r(4), r(2), n - 1);
+  a.slli(r(4), r(4), 2);
+  a.add(r(4), r(9), r(4));
+  a.lw(r(5), r(4), 0);
+  a.andi(r(6), r(5), 1);
+  a.bne(r(6), r(0), odd);
+  a.add(r(3), r(3), r(5));
+  a.sw(r(3), r(4), 0);
+  a.j(cont);
+  a.Bind(odd);
+  a.jal(helper);
+  a.xor_(r(3), r(3), r(8));
+  a.Bind(cont);
+  a.srli(r(7), r(5), 9);
+  a.add(r(2), r(2), r(7));
+  a.addi(r(2), r(2), 1);
+  a.addi(r(1), r(1), -1);
+  a.bne(r(1), r(0), loop);
+  a.out(r(3));
+  a.halt();
+  a.Finish();
+  return prog;
+}
+
+// ---- structure-size sweeps (oracle-exact everywhere) ----
+
+struct SizeCase {
+  std::uint32_t ifq, ruu;
+};
+
+class StructureSizes : public testing::TestWithParam<SizeCase> {};
+
+TEST_P(StructureSizes, OracleExactOnBranchyMemKernel) {
+  CoreConfig cfg = BaselineConfig(GetParam().ifq);
+  cfg.ruu_size = GetParam().ruu;
+  ExpectOracleExact(BranchyMemProgram(), cfg);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, StructureSizes,
+    testing::Values(SizeCase{4, 4}, SizeCase{8, 16}, SizeCase{16, 8},
+                    SizeCase{32, 128}, SizeCase{128, 32}, SizeCase{512, 256}),
+    [](const testing::TestParamInfo<SizeCase>& info) {
+      return "ifq" + std::to_string(info.param.ifq) + "_ruu" +
+             std::to_string(info.param.ruu);
+    });
+
+TEST(CoreWidths, NarrowIssueAndCommitStillExact) {
+  CoreConfig cfg = BaselineConfig(128);
+  cfg.issue_width = 1;
+  cfg.commit_width = 1;
+  cfg.decode_width = 1;
+  cfg.fetch_width = 1;
+  ExpectOracleExact(BranchyMemProgram(), cfg);
+}
+
+TEST(CoreWidths, WiderMachineIsNotSlower) {
+  const Program prog = BranchyMemProgram();
+  CoreConfig narrow = BaselineConfig(128);
+  narrow.issue_width = 2;
+  narrow.commit_width = 2;
+  narrow.decode_width = 2;
+  Core n(prog, narrow);
+  const RunResult rn = n.Run(UINT64_MAX, 400'000'000);
+  Core w(prog, BaselineConfig(128));
+  const RunResult rw = w.Run(UINT64_MAX, 400'000'000);
+  ASSERT_TRUE(rn.halted && rw.halted);
+  EXPECT_LE(rw.cycles, rn.cycles);
+}
+
+// ---- FU pool pressure ----
+
+TEST(FuPools, SingleAluSerializesIndependentAdds) {
+  Program prog;
+  Assembler a(&prog);
+  Label loop = a.NewLabel();
+  a.li(r(1), 2000);
+  a.Bind(loop);
+  for (int i = 2; i <= 7; ++i) a.addi(r(i), r(i), 1);  // 6 independent adds
+  a.addi(r(1), r(1), -1);
+  a.bne(r(1), r(0), loop);
+  a.halt();
+  a.Finish();
+
+  CoreConfig one_alu = BaselineConfig(128);
+  one_alu.fu.int_alu = 1;
+  Core c1(prog, one_alu);
+  const RunResult r1 = c1.Run(UINT64_MAX, 100'000'000);
+  Core c4(prog, BaselineConfig(128));
+  const RunResult r4 = c4.Run(UINT64_MAX, 100'000'000);
+  ASSERT_TRUE(r1.halted && r4.halted);
+  // 8 ALU ops per iteration at 1/cycle vs 4/cycle.
+  EXPECT_GT(r1.cycles, r4.cycles * 2);
+}
+
+TEST(FuPools, MemPortLimitThrottlesParallelLoads) {
+  Program prog;
+  prog.AddSegment(0x200000, 1 << 16);
+  Assembler a(&prog);
+  Label loop = a.NewLabel();
+  a.li(r(1), 2000);
+  a.la(r(9), 0x200000);
+  a.Bind(loop);
+  for (int i = 2; i <= 7; ++i) a.lw(r(i), r(9), i * 4);  // 6 parallel L1 hits
+  a.addi(r(1), r(1), -1);
+  a.bne(r(1), r(0), loop);
+  a.halt();
+  a.Finish();
+
+  CoreConfig one_port = BaselineConfig(128);
+  one_port.fu.mem_ports = 1;
+  Core c1(prog, one_port);
+  const RunResult r1 = c1.Run(UINT64_MAX, 100'000'000);
+  CoreConfig four_ports = BaselineConfig(128);
+  four_ports.fu.mem_ports = 4;
+  Core c4(prog, four_ports);
+  const RunResult r4 = c4.Run(UINT64_MAX, 100'000'000);
+  ASSERT_TRUE(r1.halted && r4.halted);
+  EXPECT_GT(r1.cycles, r4.cycles * 3 / 2);
+}
+
+TEST(FuPools, DivLatencyDominatesDivChain) {
+  Program prog;
+  Assembler a(&prog);
+  Label loop = a.NewLabel();
+  a.li(r(1), 500);
+  a.li(r(2), 1'000'000'000);
+  a.li(r(3), 3);
+  a.li(r(6), 0x40000000);
+  a.Bind(loop);
+  a.div(r(2), r(2), r(3));  // dependent divide chain...
+  a.or_(r(2), r(2), r(6));  // ...kept live and large across iterations
+  a.addi(r(1), r(1), -1);
+  a.bne(r(1), r(0), loop);
+  a.halt();
+  a.Finish();
+  Core core(prog, BaselineConfig(128));
+  const RunResult rr = core.Run(UINT64_MAX, 100'000'000);
+  ASSERT_TRUE(rr.halted);
+  // Each iteration carries a 20-cycle divide.
+  EXPECT_GT(rr.cycles, 500u * 18);
+}
+
+// ---- SPEAR resource edges ----
+
+TEST(SpearEdge, TinyPThreadRuuLosesInstancesButStaysExact) {
+  GatherProgram g = BuildGather(10000, 1 << 20);
+  Emulator emu(g.prog);
+  emu.Run(10'000'000);
+
+  CoreConfig cfg = SpearCoreConfig(128);
+  cfg.spear.pthread_ruu_size = 4;  // practically no p-thread window
+  Core core(g.prog, cfg);
+  const RunResult rr = core.Run(UINT64_MAX, 200'000'000);
+  ASSERT_TRUE(rr.halted);
+  EXPECT_EQ(core.outputs(), emu.outputs());
+  // With a 4-entry buffer the PE stalls constantly; the dual-delivery path
+  // must record the lost instances.
+  EXPECT_GT(core.stats().pthread_lost_to_dispatch, 0u);
+}
+
+TEST(SpearEdge, ZeroLiveInsStartsWithoutCopyCycles) {
+  // A slice whose address chain starts from r0 has no live-ins.
+  Program prog;
+  prog.AddSegment(0x01000000, 1 << 22);
+  Assembler a(&prog);
+  Label loop = a.NewLabel();
+  a.li(r(2), 20000);
+  a.li(r(7), 99999);
+  a.Bind(loop);
+  const Pc p0 = a.Here();
+  a.slli(r(8), r(7), 13);
+  const Pc p1 = a.Here();
+  a.xor_(r(7), r(7), r(8));
+  const Pc p2 = a.Here();
+  a.srli(r(8), r(7), 17);
+  const Pc p3 = a.Here();
+  a.xor_(r(7), r(7), r(8));
+  const Pc p4 = a.Here();
+  a.slli(r(8), r(7), 5);
+  const Pc p5 = a.Here();
+  a.xor_(r(7), r(7), r(8));
+  const Pc p6 = a.Here();
+  a.andi(r(9), r(7), (1 << 22) - 4);
+  const Pc p7 = a.Here();
+  a.ori(r(10), r(9), 0x01000000);
+  const Pc p8 = a.Here();
+  a.lw(r(3), r(10), 0);
+  a.addi(r(2), r(2), -1);
+  a.bne(r(2), r(0), loop);
+  a.out(r(3));
+  a.halt();
+  a.Finish();
+  PThreadSpec spec;
+  spec.dload_pc = p8;
+  spec.slice_pcs = {p0, p1, p2, p3, p4, p5, p6, p7, p8};
+  spec.live_ins = {IntReg(7)};  // xorshift seed register
+  prog.pthreads.push_back(spec);
+
+  Emulator emu(prog);
+  emu.Run(10'000'000);
+  Core core(prog, SpearCoreConfig(128));
+  const RunResult rr = core.Run(UINT64_MAX, 200'000'000);
+  ASSERT_TRUE(rr.halted);
+  EXPECT_EQ(core.outputs(), emu.outputs());
+  EXPECT_GT(core.stats().triggers_fired, 0u);
+}
+
+TEST(SpearEdge, ExtractionBandwidthOneStillExact) {
+  GatherProgram g = BuildGather(8000, 1 << 20);
+  Emulator emu(g.prog);
+  emu.Run(10'000'000);
+  CoreConfig cfg = SpearCoreConfig(128);
+  cfg.spear.extract_per_cycle = 1;
+  Core core(g.prog, cfg);
+  const RunResult rr = core.Run(UINT64_MAX, 200'000'000);
+  ASSERT_TRUE(rr.halted);
+  EXPECT_EQ(core.outputs(), emu.outputs());
+}
+
+// ---- stride prefetcher ----
+
+TEST(StridePrefetch, SequentialStreamMissesCollapse) {
+  Program prog;
+  Assembler a(&prog);
+  Label loop = a.NewLabel();
+  a.li(r(1), 20000);
+  a.la(r(2), 0x400000);
+  a.Bind(loop);
+  a.lw(r(3), r(2), 0);
+  a.add(r(4), r(4), r(3));
+  a.addi(r(2), r(2), 32);  // one load per L1 block
+  a.addi(r(1), r(1), -1);
+  a.bne(r(1), r(0), loop);
+  a.halt();
+  a.Finish();
+
+  Core base(prog, BaselineConfig(128));
+  base.Run(UINT64_MAX, 100'000'000);
+  Core pf(prog, StridePrefetchConfig(128, 4));
+  const RunResult rr = pf.Run(UINT64_MAX, 100'000'000);
+  ASSERT_TRUE(rr.halted);
+  EXPECT_GT(pf.stats().stride_prefetches, 10'000u);
+  EXPECT_LT(pf.hierarchy().l1d().misses(kMainThread),
+            base.hierarchy().l1d().misses(kMainThread) / 2);
+  EXPECT_LT(rr.cycles, base.stats().cycles);
+}
+
+TEST(StridePrefetch, RandomAccessesGetNoHelp) {
+  const GatherProgram g = BuildGather(10000, 1 << 20);
+  Core base(g.prog, BaselineConfig(128));
+  base.Run(UINT64_MAX, 100'000'000);
+  Core pf(g.prog, StridePrefetchConfig(128, 2));
+  pf.Run(UINT64_MAX, 100'000'000);
+  // The irregular gather defeats stride prediction: misses barely move.
+  const auto base_m = static_cast<double>(base.hierarchy().l1d().misses(kMainThread));
+  const auto pf_m = static_cast<double>(pf.hierarchy().l1d().misses(kMainThread));
+  EXPECT_GT(pf_m, base_m * 0.6);
+}
+
+TEST(StridePrefetch, SemanticsUntouched) {
+  ExpectOracleExact(BranchyMemProgram(), StridePrefetchConfig(128, 4));
+}
+
+// ---- chaining trigger extension ----
+
+TEST(ChainingTrigger, ChainsSessionsAndStaysExact) {
+  const GatherProgram g = BuildGather(20000, 1 << 20);
+  Emulator emu(g.prog);
+  emu.Run(10'000'000);
+
+  CoreConfig cfg = SpearCoreConfig(256);
+  cfg.spear.chaining_trigger = true;
+  Core core(g.prog, cfg);
+  const RunResult rr = core.Run(UINT64_MAX, 200'000'000);
+  ASSERT_TRUE(rr.halted);
+  EXPECT_EQ(core.outputs(), emu.outputs());
+
+  Core stock(g.prog, SpearCoreConfig(256));
+  stock.Run(UINT64_MAX, 200'000'000);
+  EXPECT_GE(core.stats().triggers_fired, stock.stats().triggers_fired);
+}
+
+TEST(ChainingTrigger, OffByDefault) {
+  const GatherProgram g = BuildGather(8000, 1 << 20);
+  Core core(g.prog, SpearCoreConfig(128));
+  core.Run(UINT64_MAX, 200'000'000);
+  EXPECT_EQ(core.stats().chained_triggers, 0u);
+}
+
+// ---- misc pipeline edges ----
+
+TEST(CoreEdge, ImmediateHalt) {
+  Program prog;
+  Assembler a(&prog);
+  a.halt();
+  a.Finish();
+  Core core(prog, BaselineConfig(128));
+  const RunResult rr = core.Run(UINT64_MAX, 1000);
+  EXPECT_TRUE(rr.halted);
+  EXPECT_EQ(rr.instructions, 1u);
+}
+
+TEST(CoreEdge, HaltDirectlyAfterMispredictedBranch) {
+  // The branch mispredicts on its last iteration; the halt sits on the
+  // fall-through path that fetch only reaches after recovery.
+  Program prog;
+  Assembler a(&prog);
+  Label loop = a.NewLabel();
+  a.li(r(1), 100);
+  a.Bind(loop);
+  a.addi(r(1), r(1), -1);
+  a.bne(r(1), r(0), loop);
+  a.halt();
+  a.Finish();
+  Core core(prog, BaselineConfig(128));
+  const RunResult rr = core.Run(UINT64_MAX, 1'000'000);
+  ASSERT_TRUE(rr.halted);
+  EXPECT_EQ(rr.instructions, 202u);  // li + 100*(addi+bne) + halt
+}
+
+TEST(CoreEdge, DeepCallNestingOverflowsRasButStaysExact) {
+  // 16 nested calls against an 8-entry RAS: predictions go wrong, results
+  // must not.
+  Program prog;
+  Assembler a(&prog);
+  std::vector<Label> fns;
+  Label start = a.NewLabel();
+  a.j(start);
+  for (int depth = 0; depth < 16; ++depth) fns.push_back(a.NewLabel());
+  for (int depth = 15; depth >= 0; --depth) {
+    a.Bind(fns[static_cast<std::size_t>(depth)]);
+    a.addi(r(4), r(4), 1);
+    if (depth < 15) {
+      // Save ra on the stack, call deeper, restore.
+      a.addi(r(29), r(29), -4);
+      a.sw(kRegRa, r(29), 0);
+      a.jal(fns[static_cast<std::size_t>(depth + 1)]);
+      a.lw(kRegRa, r(29), 0);
+      a.addi(r(29), r(29), 4);
+    }
+    a.ret();
+  }
+  a.Bind(start);
+  Label loop = a.NewLabel();
+  a.li(r(1), 50);
+  a.Bind(loop);
+  a.jal(fns[0]);
+  a.addi(r(1), r(1), -1);
+  a.bne(r(1), r(0), loop);
+  a.out(r(4));
+  a.halt();
+  a.Finish();
+  ExpectOracleExact(prog, BaselineConfig(128));
+}
+
+TEST(CoreEdge, StatsLoadsAndStoresCounted) {
+  Program prog;
+  prog.AddSegment(0x200000, 64);
+  Assembler a(&prog);
+  a.la(r(1), 0x200000);
+  a.lw(r(2), r(1), 0);
+  a.sw(r(2), r(1), 4);
+  a.lw(r(3), r(1), 4);
+  a.halt();
+  a.Finish();
+  Core core(prog, BaselineConfig(128));
+  core.Run(UINT64_MAX, 10'000);
+  EXPECT_EQ(core.stats().committed_loads, 2u);
+  EXPECT_EQ(core.stats().committed_stores, 1u);
+}
+
+}  // namespace
+}  // namespace spear

@@ -1,0 +1,411 @@
+// Baseline (non-SPEAR) pipeline tests. The functional emulator is the
+// oracle: for any halting program, the pipeline's committed instruction
+// stream and OUT values must match the emulator exactly, regardless of
+// branch mispredictions, wrong-path execution or cache behaviour.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "cpu/core.h"
+#include "isa/assembler.h"
+#include "sim/emulator.h"
+
+namespace spear {
+namespace {
+
+struct OracleResult {
+  std::vector<Pc> pcs;
+  std::vector<std::uint32_t> outputs;
+  std::uint64_t icount = 0;
+};
+
+OracleResult RunOracle(const Program& prog, std::uint64_t budget = 2'000'000) {
+  OracleResult r;
+  Emulator emu(prog);
+  while (!emu.halted() && r.icount < budget) {
+    r.pcs.push_back(emu.pc());
+    emu.Step();
+    ++r.icount;
+  }
+  EXPECT_TRUE(emu.halted());
+  r.outputs = emu.outputs();
+  return r;
+}
+
+void ExpectCoreMatchesOracle(const Program& prog,
+                             const CoreConfig& cfg = BaselineConfig()) {
+  const OracleResult oracle = RunOracle(prog);
+  Core core(prog, cfg);
+  core.set_trace_commits(true);
+  const RunResult rr = core.Run(UINT64_MAX, 50'000'000);
+  ASSERT_TRUE(rr.halted) << "pipeline did not halt";
+  EXPECT_EQ(core.outputs(), oracle.outputs);
+  ASSERT_EQ(core.commit_trace().size(), oracle.pcs.size());
+  for (std::size_t i = 0; i < oracle.pcs.size(); ++i) {
+    ASSERT_EQ(core.commit_trace()[i], oracle.pcs[i]) << "diverged at " << i;
+  }
+  EXPECT_EQ(rr.instructions, oracle.icount);
+}
+
+TEST(CoreOracle, StraightLineArithmetic) {
+  Program prog;
+  Assembler a(&prog);
+  a.li(r(1), 3);
+  a.li(r(2), 4);
+  a.mul(r(3), r(1), r(2));
+  a.add(r(4), r(3), r(1));
+  a.out(r(4));
+  a.halt();
+  a.Finish();
+  ExpectCoreMatchesOracle(prog);
+}
+
+TEST(CoreOracle, CountedLoop) {
+  Program prog;
+  Assembler a(&prog);
+  Label loop = a.NewLabel();
+  a.li(r(1), 1000);
+  a.li(r(2), 0);
+  a.Bind(loop);
+  a.add(r(2), r(2), r(1));
+  a.addi(r(1), r(1), -1);
+  a.bne(r(1), r(0), loop);
+  a.out(r(2));
+  a.halt();
+  a.Finish();
+  ExpectCoreMatchesOracle(prog);
+}
+
+TEST(CoreOracle, DataDependentBranches) {
+  // Collatz-style loop: branch outcomes depend on loaded/served values, so
+  // the bimodal predictor mispredicts regularly; recovery must be exact.
+  Program prog;
+  Assembler a(&prog);
+  Label loop = a.NewLabel(), even = a.NewLabel(), cont = a.NewLabel();
+  Label done = a.NewLabel();
+  a.li(r(1), 871);   // seed with a long Collatz trajectory
+  a.li(r(5), 0);     // step count
+  a.li(r(6), 1);
+  a.Bind(loop);
+  a.beq(r(1), r(6), done);
+  a.andi(r(2), r(1), 1);
+  a.beq(r(2), r(0), even);
+  a.slli(r(3), r(1), 1);   // 2n
+  a.add(r(1), r(3), r(1)); // 3n
+  a.addi(r(1), r(1), 1);   // 3n+1
+  a.j(cont);
+  a.Bind(even);
+  a.srli(r(1), r(1), 1);
+  a.Bind(cont);
+  a.addi(r(5), r(5), 1);
+  a.j(loop);
+  a.Bind(done);
+  a.out(r(5));
+  a.halt();
+  a.Finish();
+  ExpectCoreMatchesOracle(prog);
+}
+
+TEST(CoreOracle, MemoryTrafficThroughCaches) {
+  // Strided store/load sweep larger than L1: exercises the hierarchy and
+  // dispatch-time memory state.
+  Program prog;
+  Assembler a(&prog);
+  Label fill = a.NewLabel(), sum = a.NewLabel();
+  const Addr base = 0x200000;
+  const int n = 4096;
+  a.la(r(1), base);
+  a.li(r(2), n);
+  a.Bind(fill);
+  a.sw(r(2), r(1), 0);
+  a.addi(r(1), r(1), 16);
+  a.addi(r(2), r(2), -1);
+  a.bne(r(2), r(0), fill);
+  a.la(r(1), base);
+  a.li(r(2), n);
+  a.li(r(3), 0);
+  a.Bind(sum);
+  a.lw(r(4), r(1), 0);
+  a.add(r(3), r(3), r(4));
+  a.addi(r(1), r(1), 16);
+  a.addi(r(2), r(2), -1);
+  a.bne(r(2), r(0), sum);
+  a.out(r(3));
+  a.halt();
+  a.Finish();
+  ExpectCoreMatchesOracle(prog);
+}
+
+TEST(CoreOracle, FunctionCallsAndReturns) {
+  Program prog;
+  Assembler a(&prog);
+  Label fib = a.NewLabel(), fib_base = a.NewLabel(), loop = a.NewLabel();
+  Label done = a.NewLabel();
+  // Iterative fib called in a loop (exercises RAS).
+  a.li(r(10), 12);
+  a.li(r(11), 0);
+  a.Bind(loop);
+  a.mov(r(4), r(10));
+  a.jal(fib);
+  a.add(r(11), r(11), r(5));
+  a.addi(r(10), r(10), -1);
+  a.bne(r(10), r(0), loop);
+  a.out(r(11));
+  a.j(done);
+  // fib(n) iterative in r5.
+  a.Bind(fib);
+  a.li(r(5), 0);
+  a.li(r(6), 1);
+  a.Bind(fib_base);
+  a.add(r(7), r(5), r(6));
+  a.mov(r(5), r(6));
+  a.mov(r(6), r(7));
+  a.addi(r(4), r(4), -1);
+  a.bne(r(4), r(0), fib_base);
+  a.ret();
+  a.Bind(done);
+  a.halt();
+  a.Finish();
+  ExpectCoreMatchesOracle(prog);
+}
+
+TEST(CoreOracle, FpPipeline) {
+  Program prog;
+  Assembler a(&prog);
+  Label loop = a.NewLabel();
+  a.li(r(1), 200);
+  a.li(r(2), 1);
+  a.cvtif(f(1), r(2));  // 1.0
+  a.cvtif(f(2), r(1));  // 200.0
+  a.fmov(f(3), f(1));   // acc
+  a.Bind(loop);
+  a.fdiv(f(4), f(1), f(2));  // 1/200
+  a.fadd(f(3), f(3), f(4));
+  a.fmul(f(5), f(3), f(1));
+  a.addi(r(1), r(1), -1);
+  a.bne(r(1), r(0), loop);
+  a.cvtfi(r(3), f(3));  // 1 + 200*(1/200) = 2
+  a.out(r(3));
+  a.halt();
+  a.Finish();
+  ExpectCoreMatchesOracle(prog);
+}
+
+// Randomized property: data-dependent control flow over random data. Each
+// seed builds a table of random u32s, then runs a loop whose branches and
+// addresses depend on the loaded values (conditional sums, index hops).
+class CoreRandomized : public testing::TestWithParam<int> {};
+
+TEST_P(CoreRandomized, MatchesOracleOnRandomWalk) {
+  const int seed = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed));
+  Program prog;
+  const Addr base = 0x300000;
+  const int n = 1024;  // power of two
+  DataSegment& seg = prog.AddSegment(base, n * 4);
+  for (int i = 0; i < n; ++i) {
+    PokeU32(seg, base + static_cast<Addr>(i) * 4,
+            static_cast<std::uint32_t>(rng.Next()));
+  }
+  Assembler a(&prog);
+  Label loop = a.NewLabel(), skip = a.NewLabel();
+  a.li(r(1), 5000);          // iterations
+  a.li(r(2), 0);             // index
+  a.li(r(3), 0);             // checksum
+  a.la(r(9), base);
+  a.Bind(loop);
+  a.andi(r(4), r(2), n - 1);
+  a.slli(r(4), r(4), 2);
+  a.add(r(4), r(9), r(4));
+  a.lw(r(5), r(4), 0);        // random value
+  a.andi(r(6), r(5), 1);
+  a.beq(r(6), r(0), skip);    // unpredictable branch
+  a.add(r(3), r(3), r(5));
+  a.Bind(skip);
+  a.srli(r(7), r(5), 7);
+  a.add(r(2), r(2), r(7));
+  a.addi(r(2), r(2), 1);
+  a.addi(r(1), r(1), -1);
+  a.bne(r(1), r(0), loop);
+  a.out(r(3));
+  a.halt();
+  a.Finish();
+  ExpectCoreMatchesOracle(prog);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoreRandomized,
+                         testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// ---- timing sanity ----
+
+TEST(CoreTiming, IndependentAluOpsReachMultipleIpc) {
+  Program prog;
+  Assembler a(&prog);
+  Label loop = a.NewLabel();
+  a.li(r(1), 2000);
+  a.Bind(loop);
+  // Four independent adds per iteration + loop overhead.
+  a.addi(r(2), r(2), 1);
+  a.addi(r(3), r(3), 1);
+  a.addi(r(4), r(4), 1);
+  a.addi(r(5), r(5), 1);
+  a.addi(r(1), r(1), -1);
+  a.bne(r(1), r(0), loop);
+  a.halt();
+  a.Finish();
+  Core core(prog, BaselineConfig());
+  const RunResult rr = core.Run(UINT64_MAX, 10'000'000);
+  ASSERT_TRUE(rr.halted);
+  EXPECT_GT(rr.Ipc(), 2.0);  // far above serial execution
+}
+
+TEST(CoreTiming, DependentChainSerializes) {
+  Program prog;
+  Assembler a(&prog);
+  Label loop = a.NewLabel();
+  a.li(r(1), 2000);
+  a.li(r(2), 0);
+  a.Bind(loop);
+  a.mul(r(2), r(2), r(1));  // 3-cycle latency, serial chain through r2
+  a.addi(r(1), r(1), -1);
+  a.bne(r(1), r(0), loop);
+  a.halt();
+  a.Finish();
+  Core core(prog, BaselineConfig());
+  const RunResult rr = core.Run(UINT64_MAX, 10'000'000);
+  ASSERT_TRUE(rr.halted);
+  // Each iteration is gated by the 3-cycle mul chain: >= ~3 cycles/iter,
+  // i.e. IPC of the 3-instruction body <= ~1.1.
+  EXPECT_LT(rr.Ipc(), 1.3);
+  EXPECT_GE(rr.cycles, 3u * 2000u);
+}
+
+TEST(CoreTiming, ColdMissesDominateLargeStrideLoop) {
+  // Loads striding by the L2 block size: every access is a cold memory
+  // miss (120 cycles). IPC must collapse accordingly.
+  Program prog;
+  Assembler a(&prog);
+  Label loop = a.NewLabel();
+  a.li(r(1), 1000);
+  a.la(r(2), 0x400000);
+  a.li(r(3), 0);
+  a.Bind(loop);
+  a.lw(r(4), r(2), 0);
+  a.add(r(3), r(3), r(4));   // depend on the load
+  a.lw(r(5), r(2), 0);       // now an L1 hit
+  a.addi(r(2), r(2), 64);
+  a.addi(r(1), r(1), -1);
+  a.bne(r(1), r(0), loop);
+  a.halt();
+  a.Finish();
+  Core core(prog, BaselineConfig());
+  const RunResult rr = core.Run(UINT64_MAX, 50'000'000);
+  ASSERT_TRUE(rr.halted);
+  EXPECT_GT(core.hierarchy().l1d().misses(kMainThread), 990u);
+  // The OoO window overlaps misses across iterations (~21 iterations fit
+  // in the 128-entry RUU, so IPC ~= 128/120 ~= 1.07), but stays far below
+  // the ALU-bound rate for this 6-instruction body.
+  EXPECT_LT(rr.Ipc(), 1.5);
+}
+
+TEST(CoreTiming, BranchMispredictsCostCycles) {
+  // Same loop body, predictable vs unpredictable branch, same instruction
+  // count: the unpredictable version must take more cycles.
+  auto build = [](bool alternating) {
+    Program prog;
+    Assembler a(&prog);
+    Label loop = a.NewLabel(), skip = a.NewLabel();
+    a.li(r(1), 4000);
+    a.li(r(7), 0);
+    a.Bind(loop);
+    if (alternating) {
+      a.andi(r(2), r(1), 1);
+    } else {
+      a.li(r(2), 1);
+    }
+    a.beq(r(2), r(0), skip);
+    a.addi(r(7), r(7), 1);
+    a.Bind(skip);
+    a.addi(r(1), r(1), -1);
+    a.bne(r(1), r(0), loop);
+    a.halt();
+    a.Finish();
+    return prog;
+  };
+  Program predictable = build(false);
+  Program alternating = build(true);
+  Core c1(predictable, BaselineConfig());
+  Core c2(alternating, BaselineConfig());
+  const RunResult r1 = c1.Run(UINT64_MAX, 10'000'000);
+  const RunResult r2 = c2.Run(UINT64_MAX, 10'000'000);
+  ASSERT_TRUE(r1.halted && r2.halted);
+  EXPECT_GT(c2.stats().mispredict_recoveries,
+            c1.stats().mispredict_recoveries + 500);
+  // Per-instruction cost must be visibly higher with mispredictions.
+  const double cpi1 = 1.0 / r1.Ipc();
+  const double cpi2 = 1.0 / r2.Ipc();
+  EXPECT_GT(cpi2, cpi1 * 1.2);
+}
+
+TEST(CoreTiming, BranchHitRatioTracked) {
+  Program prog;
+  Assembler a(&prog);
+  Label loop = a.NewLabel();
+  a.li(r(1), 5000);
+  a.Bind(loop);
+  a.addi(r(1), r(1), -1);
+  a.bne(r(1), r(0), loop);  // taken 4999 of 5000 times
+  a.halt();
+  a.Finish();
+  Core core(prog, BaselineConfig());
+  core.Run(UINT64_MAX, 10'000'000);
+  EXPECT_EQ(core.stats().committed_cond_branches, 5000u);
+  EXPECT_GT(core.stats().BranchHitRatio(), 0.99);
+}
+
+TEST(CoreTiming, IpbMatchesLoopShape) {
+  Program prog;
+  Assembler a(&prog);
+  Label loop = a.NewLabel();
+  a.li(r(1), 1000);
+  a.Bind(loop);
+  for (int i = 0; i < 9; ++i) a.addi(r(2), r(2), 1);
+  a.addi(r(1), r(1), -1);
+  a.bne(r(1), r(0), loop);
+  a.halt();
+  a.Finish();
+  Core core(prog, BaselineConfig());
+  core.Run(UINT64_MAX, 10'000'000);
+  // 11 instructions per iteration, 1 branch -> IPB ~= 11.
+  EXPECT_NEAR(core.stats().Ipb(), 11.0, 0.5);
+}
+
+TEST(CoreRun, InstructionBudgetStopsSimulation) {
+  Program prog;
+  Assembler a(&prog);
+  Label spin = a.BindNew();
+  a.addi(r(1), r(1), 1);
+  a.j(spin);
+  a.Finish();
+  Core core(prog, BaselineConfig());
+  const RunResult rr = core.Run(10'000);
+  EXPECT_FALSE(rr.halted);
+  EXPECT_GE(rr.instructions, 10'000u);
+  EXPECT_LT(rr.instructions, 10'100u);  // stops promptly after the budget
+}
+
+TEST(CoreRun, CycleBudgetStopsSimulation) {
+  Program prog;
+  Assembler a(&prog);
+  Label spin = a.BindNew();
+  a.j(spin);
+  a.Finish();
+  Core core(prog, BaselineConfig());
+  const RunResult rr = core.Run(UINT64_MAX, 5'000);
+  EXPECT_FALSE(rr.halted);
+  EXPECT_EQ(rr.cycles, 5'000u);
+}
+
+}  // namespace
+}  // namespace spear

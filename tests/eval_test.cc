@@ -1,0 +1,137 @@
+// Reproduction-shape integration tests: small, fast assertions that pin
+// the qualitative claims of the paper's evaluation (EXPERIMENTS.md) so a
+// regression in any layer — compiler, trigger, extractor, scheduler,
+// hierarchy — fails CI rather than silently bending the curves.
+#include <gtest/gtest.h>
+
+#include "eval/harness.h"
+
+namespace spear {
+namespace {
+
+EvalOptions FastOptions() {
+  EvalOptions opt;
+  opt.sim_instrs = 150'000;
+  opt.compiler.profiler.max_instrs = 500'000;
+  return opt;
+}
+
+TEST(ReproShape, MatrixGainsBigFromSpear) {
+  const EvalOptions opt = FastOptions();
+  const PreparedWorkload pw = PrepareWorkload("matrix", opt);
+  const RunStats base = RunConfig(pw.plain, BaselineConfig(128), opt);
+  const RunStats spear = RunConfig(pw.annotated, SpearCoreConfig(128), opt);
+  EXPECT_GT(spear.ipc / base.ipc, 1.25) << "index-fed gather must gain big";
+  EXPECT_LT(spear.l1d_misses_main, base.l1d_misses_main);
+}
+
+TEST(ReproShape, FieldIsFlat) {
+  const EvalOptions opt = FastOptions();
+  const PreparedWorkload pw = PrepareWorkload("field", opt);
+  const RunStats base = RunConfig(pw.plain, BaselineConfig(128), opt);
+  const RunStats spear = RunConfig(pw.annotated, SpearCoreConfig(256), opt);
+  // Miss rate too low to matter (paper's explanation for field).
+  EXPECT_NEAR(spear.ipc / base.ipc, 1.0, 0.08);
+}
+
+TEST(ReproShape, McfPrefersLongerIfq) {
+  const EvalOptions opt = FastOptions();
+  const PreparedWorkload pw = PrepareWorkload("mcf", opt);
+  const RunStats base = RunConfig(pw.plain, BaselineConfig(128), opt);
+  const RunStats s128 = RunConfig(pw.annotated, SpearCoreConfig(128), opt);
+  const RunStats s256 = RunConfig(pw.annotated, SpearCoreConfig(256), opt);
+  EXPECT_GT(s128.ipc, base.ipc);
+  EXPECT_GT(s256.ipc, s128.ipc);  // Table 3: good prediction -> 256 > 128
+}
+
+TEST(ReproShape, FftDoesNotGain) {
+  const EvalOptions opt = FastOptions();
+  const PreparedWorkload pw = PrepareWorkload("fft", opt);
+  const RunStats base = RunConfig(pw.plain, BaselineConfig(128), opt);
+  const RunStats spear = RunConfig(pw.annotated, SpearCoreConfig(128), opt);
+  // Heavy slices: the paper's fft pathology — no real speedup.
+  EXPECT_LT(spear.ipc / base.ipc, 1.05);
+}
+
+TEST(ReproShape, ArtReducesMissesMost) {
+  const EvalOptions opt = FastOptions();
+  const PreparedWorkload pw = PrepareWorkload("art", opt);
+  const RunStats base = RunConfig(pw.plain, BaselineConfig(128), opt);
+  const RunStats spear = RunConfig(pw.annotated, SpearCoreConfig(256), opt);
+  const double reduction =
+      1.0 - static_cast<double>(spear.l1d_misses_main) /
+                static_cast<double>(base.l1d_misses_main);
+  EXPECT_GT(reduction, 0.30);  // paper: art -38.8%, their best
+}
+
+TEST(ReproShape, SpearDegradesLessUnderLongLatency) {
+  // Figure 9's claim on its strongest member (mcf).
+  EvalOptions opt = FastOptions();
+  const PreparedWorkload pw = PrepareWorkload("mcf", opt);
+  double base_ipc[2], spear_ipc[2];
+  const std::uint32_t lat[2] = {40, 200};
+  for (int i = 0; i < 2; ++i) {
+    CoreConfig b = BaselineConfig(128);
+    CoreConfig s = SpearCoreConfig(256);
+    for (CoreConfig* c : {&b, &s}) {
+      c->mem.mem_latency = lat[i];
+      c->mem.l2_latency = lat[i] / 10;
+    }
+    base_ipc[i] = RunConfig(pw.plain, b, opt).ipc;
+    spear_ipc[i] = RunConfig(pw.annotated, s, opt).ipc;
+  }
+  const double base_retained = base_ipc[1] / base_ipc[0];
+  const double spear_retained = spear_ipc[1] / spear_ipc[0];
+  EXPECT_GT(spear_retained, base_retained);
+  EXPECT_GT(spear_ipc[1], base_ipc[1]);  // and it's simply faster there
+}
+
+TEST(ReproShape, StrideBeatsSpearOnStreamsSpearBeatsStrideOnGathers) {
+  const EvalOptions opt = FastOptions();
+  // art scans weights sequentially: stride prefetching's home turf.
+  {
+    const PreparedWorkload pw = PrepareWorkload("art", opt);
+    const RunStats base = RunConfig(pw.plain, BaselineConfig(128), opt);
+    const RunStats stride =
+        RunConfig(pw.plain, StridePrefetchConfig(128, 4), opt);
+    EXPECT_GT(stride.ipc / base.ipc, 1.10);
+  }
+  // matrix's gather is irregular: stride fails, SPEAR doesn't.
+  {
+    const PreparedWorkload pw = PrepareWorkload("matrix", opt);
+    const RunStats stride =
+        RunConfig(pw.plain, StridePrefetchConfig(128, 4), opt);
+    const RunStats spear = RunConfig(pw.annotated, SpearCoreConfig(256), opt);
+    EXPECT_GT(spear.ipc, stride.ipc);
+  }
+}
+
+TEST(Harness, PreparedWorkloadIsDeterministic) {
+  const EvalOptions opt = FastOptions();
+  const PreparedWorkload a = PrepareWorkload("dm", opt);
+  const PreparedWorkload b = PrepareWorkload("dm", opt);
+  ASSERT_EQ(a.annotated.pthreads.size(), b.annotated.pthreads.size());
+  for (std::size_t i = 0; i < a.annotated.pthreads.size(); ++i) {
+    EXPECT_EQ(a.annotated.pthreads[i].dload_pc,
+              b.annotated.pthreads[i].dload_pc);
+    EXPECT_EQ(a.annotated.pthreads[i].slice_pcs,
+              b.annotated.pthreads[i].slice_pcs);
+  }
+}
+
+TEST(Harness, ProfileSeedDiffersFromRefSeed) {
+  const EvalOptions opt;
+  EXPECT_NE(opt.ref_seed, opt.profile_seed)
+      << "the paper intentionally profiles with a different input set";
+}
+
+TEST(Harness, RunConfigHonorsBudget) {
+  const EvalOptions opt = FastOptions();
+  const PreparedWorkload pw = PrepareWorkload("vpr", opt);
+  const RunStats s = RunConfig(pw.plain, BaselineConfig(128), opt);
+  EXPECT_GE(s.instructions, opt.sim_instrs);
+  EXPECT_LT(s.instructions, opt.sim_instrs + 100);
+}
+
+}  // namespace
+}  // namespace spear

@@ -1,0 +1,358 @@
+// Golden-model tests for ExecuteInstruction: every opcode's semantics are
+// checked against an independent C++ reference over a grid of operand
+// values (including the signed/unsigned edge cases), on a plain in-memory
+// state. Because the emulator, the pipeline and the p-thread context all
+// execute through this one template, these tests pin the ISA semantics for
+// the whole stack.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/instruction.h"
+#include "sim/exec.h"
+
+namespace spear {
+namespace {
+
+// Minimal architectural state satisfying the State concept.
+struct TestState {
+  std::array<std::uint32_t, kNumIntRegs> iregs{};
+  std::array<double, kNumFpRegs> fregs{};
+  std::unordered_map<Addr, std::uint8_t> mem;
+
+  std::uint32_t ReadInt(RegId r) { return iregs[r]; }
+  void WriteInt(RegId r, std::uint32_t v) { iregs[r] = v; }
+  double ReadFp(RegId r) { return fregs[FpIndex(r)]; }
+  void WriteFp(RegId r, double v) { fregs[FpIndex(r)] = v; }
+  std::uint8_t LoadU8(Addr a) {
+    auto it = mem.find(a);
+    return it == mem.end() ? 0 : it->second;
+  }
+  std::uint32_t LoadU32(Addr a) {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<std::uint32_t>(LoadU8(a + static_cast<Addr>(i))) << (8 * i);
+    return v;
+  }
+  double LoadF64(Addr a) {
+    std::uint64_t bits = 0;
+    for (int i = 0; i < 8; ++i)
+      bits |= static_cast<std::uint64_t>(LoadU8(a + static_cast<Addr>(i)))
+              << (8 * i);
+    double v;
+    __builtin_memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  void StoreU8(Addr a, std::uint8_t v) { mem[a] = v; }
+  void StoreU32(Addr a, std::uint32_t v) {
+    for (int i = 0; i < 4; ++i)
+      StoreU8(a + static_cast<Addr>(i), static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void StoreF64(Addr a, double v) {
+    std::uint64_t bits;
+    __builtin_memcpy(&bits, &v, sizeof(bits));
+    for (int i = 0; i < 8; ++i)
+      StoreU8(a + static_cast<Addr>(i),
+              static_cast<std::uint8_t>(bits >> (8 * i)));
+  }
+};
+
+constexpr std::uint32_t kIntGrid[] = {
+    0u,          1u,          2u,          7u,
+    0x7fffffffu,              // INT_MAX
+    0x80000000u,              // INT_MIN
+    0xffffffffu,              // -1
+    0xfffffff9u,              // -7
+    12345u,      0xdeadbeefu,
+};
+
+std::int32_t S(std::uint32_t v) { return static_cast<std::int32_t>(v); }
+
+// R-type binary int ops against a reference function.
+struct RCase {
+  Opcode op;
+  std::function<std::uint32_t(std::uint32_t, std::uint32_t)> ref;
+};
+
+class RTypeGolden : public testing::TestWithParam<int> {};
+
+const std::vector<RCase>& RCases() {
+  static const std::vector<RCase> kCases = {
+      {Opcode::kAdd, [](std::uint32_t a, std::uint32_t b) { return a + b; }},
+      {Opcode::kSub, [](std::uint32_t a, std::uint32_t b) { return a - b; }},
+      {Opcode::kMul, [](std::uint32_t a, std::uint32_t b) { return a * b; }},
+      {Opcode::kDiv,
+       [](std::uint32_t a, std::uint32_t b) -> std::uint32_t {
+         if (S(b) == 0) return 0;
+         return static_cast<std::uint32_t>(static_cast<std::int64_t>(S(a)) /
+                                           S(b));
+       }},
+      {Opcode::kRem,
+       [](std::uint32_t a, std::uint32_t b) -> std::uint32_t {
+         if (S(b) == 0) return 0;
+         return static_cast<std::uint32_t>(static_cast<std::int64_t>(S(a)) %
+                                           S(b));
+       }},
+      {Opcode::kAnd, [](std::uint32_t a, std::uint32_t b) { return a & b; }},
+      {Opcode::kOr, [](std::uint32_t a, std::uint32_t b) { return a | b; }},
+      {Opcode::kXor, [](std::uint32_t a, std::uint32_t b) { return a ^ b; }},
+      {Opcode::kSll,
+       [](std::uint32_t a, std::uint32_t b) { return a << (b & 31); }},
+      {Opcode::kSrl,
+       [](std::uint32_t a, std::uint32_t b) { return a >> (b & 31); }},
+      {Opcode::kSra,
+       [](std::uint32_t a, std::uint32_t b) {
+         return static_cast<std::uint32_t>(S(a) >> (b & 31));
+       }},
+      {Opcode::kSlt,
+       [](std::uint32_t a, std::uint32_t b) -> std::uint32_t {
+         return S(a) < S(b) ? 1 : 0;
+       }},
+      {Opcode::kSltu,
+       [](std::uint32_t a, std::uint32_t b) -> std::uint32_t {
+         return a < b ? 1 : 0;
+       }},
+  };
+  return kCases;
+}
+
+TEST_P(RTypeGolden, MatchesReferenceOverGrid) {
+  const RCase& c = RCases()[static_cast<std::size_t>(GetParam())];
+  for (std::uint32_t a : kIntGrid) {
+    for (std::uint32_t b : kIntGrid) {
+      TestState st;
+      st.iregs[1] = a;
+      st.iregs[2] = b;
+      const Instruction in{c.op, IntReg(3), IntReg(1), IntReg(2), 0};
+      const ExecResult res = ExecuteInstruction(st, in, 0x1000);
+      EXPECT_EQ(st.iregs[3], c.ref(a, b))
+          << GetOpInfo(c.op).mnemonic << " a=" << a << " b=" << b;
+      EXPECT_EQ(res.next_pc, 0x1008u);
+      EXPECT_FALSE(res.is_control);
+      EXPECT_FALSE(res.halted);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOps, RTypeGolden, testing::Range(0, static_cast<int>(RCases().size())),
+    [](const testing::TestParamInfo<int>& info) {
+      return GetOpInfo(RCases()[static_cast<std::size_t>(info.param)].op)
+          .mnemonic;
+    });
+
+// Immediate forms against their register-form equivalents.
+TEST(ExecGolden, ImmediateFormsMatchRegisterForms) {
+  const std::pair<Opcode, Opcode> pairs[] = {
+      {Opcode::kAddi, Opcode::kAdd}, {Opcode::kAndi, Opcode::kAnd},
+      {Opcode::kOri, Opcode::kOr},   {Opcode::kXori, Opcode::kXor},
+      {Opcode::kSlli, Opcode::kSll}, {Opcode::kSrli, Opcode::kSrl},
+      {Opcode::kSrai, Opcode::kSra}, {Opcode::kSlti, Opcode::kSlt},
+  };
+  const std::int32_t imms[] = {0, 1, -1, 31, 255, -32768, 2047};
+  for (auto [imm_op, reg_op] : pairs) {
+    for (std::uint32_t a : kIntGrid) {
+      for (std::int32_t imm : imms) {
+        TestState s1, s2;
+        s1.iregs[1] = s2.iregs[1] = a;
+        s2.iregs[2] = static_cast<std::uint32_t>(imm);
+        ExecuteInstruction(s1, {imm_op, IntReg(3), IntReg(1), 0, imm}, 0);
+        ExecuteInstruction(s2, {reg_op, IntReg(3), IntReg(1), IntReg(2), 0}, 0);
+        EXPECT_EQ(s1.iregs[3], s2.iregs[3])
+            << GetOpInfo(imm_op).mnemonic << " a=" << a << " imm=" << imm;
+      }
+    }
+  }
+}
+
+TEST(ExecGolden, LuiShiftsImmediate) {
+  TestState st;
+  ExecuteInstruction(st, {Opcode::kLui, IntReg(1), 0, 0, 0x1234}, 0);
+  EXPECT_EQ(st.iregs[1], 0x12340000u);
+}
+
+// Branch direction truth table over the operand grid.
+TEST(ExecGolden, BranchDirectionsMatchComparisons) {
+  struct BCase {
+    Opcode op;
+    std::function<bool(std::uint32_t, std::uint32_t)> taken;
+  };
+  const BCase cases[] = {
+      {Opcode::kBeq, [](std::uint32_t a, std::uint32_t b) { return a == b; }},
+      {Opcode::kBne, [](std::uint32_t a, std::uint32_t b) { return a != b; }},
+      {Opcode::kBlt,
+       [](std::uint32_t a, std::uint32_t b) { return S(a) < S(b); }},
+      {Opcode::kBge,
+       [](std::uint32_t a, std::uint32_t b) { return S(a) >= S(b); }},
+      {Opcode::kBltu, [](std::uint32_t a, std::uint32_t b) { return a < b; }},
+      {Opcode::kBgeu, [](std::uint32_t a, std::uint32_t b) { return a >= b; }},
+  };
+  for (const BCase& c : cases) {
+    for (std::uint32_t a : kIntGrid) {
+      for (std::uint32_t b : kIntGrid) {
+        TestState st;
+        st.iregs[1] = a;
+        st.iregs[2] = b;
+        const Instruction in{c.op, 0, IntReg(1), IntReg(2), 0x4000};
+        const ExecResult res = ExecuteInstruction(st, in, 0x1000);
+        EXPECT_TRUE(res.is_control);
+        EXPECT_EQ(res.taken, c.taken(a, b))
+            << GetOpInfo(c.op).mnemonic << " a=" << a << " b=" << b;
+        EXPECT_EQ(res.next_pc, res.taken ? 0x4000u : 0x1008u);
+      }
+    }
+  }
+}
+
+TEST(ExecGolden, JumpsAndLinks) {
+  TestState st;
+  ExecResult r = ExecuteInstruction(st, {Opcode::kJ, 0, 0, 0, 0x9000}, 0x100);
+  EXPECT_EQ(r.next_pc, 0x9000u);
+  EXPECT_TRUE(r.taken);
+
+  r = ExecuteInstruction(st, {Opcode::kJal, kRegRa, 0, 0, 0x9000}, 0x100);
+  EXPECT_EQ(r.next_pc, 0x9000u);
+  EXPECT_EQ(st.iregs[kRegRa], 0x108u);
+
+  st.iregs[5] = 0x7770;
+  r = ExecuteInstruction(st, {Opcode::kJr, 0, IntReg(5), 0, 0}, 0x200);
+  EXPECT_EQ(r.next_pc, 0x7770u);
+
+  r = ExecuteInstruction(st, {Opcode::kJalr, kRegRa, IntReg(5), 0, 0}, 0x200);
+  EXPECT_EQ(r.next_pc, 0x7770u);
+  EXPECT_EQ(st.iregs[kRegRa], 0x208u);
+}
+
+TEST(ExecGolden, LoadsReportAddressAndSignExtension) {
+  TestState st;
+  st.StoreU32(0x2000, 0xffc08044);
+  st.iregs[1] = 0x2000;
+
+  ExecResult r =
+      ExecuteInstruction(st, {Opcode::kLw, IntReg(2), IntReg(1), 0, 0}, 0);
+  EXPECT_TRUE(r.is_load);
+  EXPECT_EQ(r.mem_addr, 0x2000u);
+  EXPECT_EQ(st.iregs[2], 0xffc08044u);
+
+  // lbu zero-extends.
+  ExecuteInstruction(st, {Opcode::kLbu, IntReg(3), IntReg(1), 0, 3}, 0);
+  EXPECT_EQ(st.iregs[3], 0xffu);
+  ExecuteInstruction(st, {Opcode::kLbu, IntReg(3), IntReg(1), 0, 1}, 0);
+  EXPECT_EQ(st.iregs[3], 0x80u);
+}
+
+TEST(ExecGolden, StoresUseRtAsValue) {
+  TestState st;
+  st.iregs[1] = 0x3000;  // base
+  st.iregs[2] = 0xabcd1234;
+  ExecResult r =
+      ExecuteInstruction(st, {Opcode::kSw, 0, IntReg(1), IntReg(2), 8}, 0);
+  EXPECT_TRUE(r.is_store);
+  EXPECT_EQ(r.mem_addr, 0x3008u);
+  EXPECT_EQ(st.LoadU32(0x3008), 0xabcd1234u);
+
+  ExecuteInstruction(st, {Opcode::kSb, 0, IntReg(1), IntReg(2), 16}, 0);
+  EXPECT_EQ(st.LoadU8(0x3010), 0x34u);
+  EXPECT_EQ(st.LoadU8(0x3011), 0u);  // only one byte written
+}
+
+TEST(ExecGolden, FpArithmeticGrid) {
+  const double grid[] = {0.0, 1.0, -1.0, 0.5, -2.25, 1e10, -1e-10, 3.14159};
+  for (double a : grid) {
+    for (double b : grid) {
+      TestState st;
+      st.fregs[1] = a;
+      st.fregs[2] = b;
+      ExecuteInstruction(st, {Opcode::kFadd, FpReg(3), FpReg(1), FpReg(2), 0}, 0);
+      EXPECT_DOUBLE_EQ(st.fregs[3], a + b);
+      ExecuteInstruction(st, {Opcode::kFsub, FpReg(3), FpReg(1), FpReg(2), 0}, 0);
+      EXPECT_DOUBLE_EQ(st.fregs[3], a - b);
+      ExecuteInstruction(st, {Opcode::kFmul, FpReg(3), FpReg(1), FpReg(2), 0}, 0);
+      EXPECT_DOUBLE_EQ(st.fregs[3], a * b);
+      ExecuteInstruction(st, {Opcode::kFdiv, FpReg(3), FpReg(1), FpReg(2), 0}, 0);
+      EXPECT_DOUBLE_EQ(st.fregs[3], b == 0.0 ? 0.0 : a / b);
+      ExecuteInstruction(st, {Opcode::kFeq, IntReg(4), FpReg(1), FpReg(2), 0}, 0);
+      EXPECT_EQ(st.iregs[4], a == b ? 1u : 0u);
+      ExecuteInstruction(st, {Opcode::kFlt, IntReg(4), FpReg(1), FpReg(2), 0}, 0);
+      EXPECT_EQ(st.iregs[4], a < b ? 1u : 0u);
+      ExecuteInstruction(st, {Opcode::kFle, IntReg(4), FpReg(1), FpReg(2), 0}, 0);
+      EXPECT_EQ(st.iregs[4], a <= b ? 1u : 0u);
+    }
+  }
+}
+
+TEST(ExecGolden, ConversionEdgeCases) {
+  TestState st;
+  st.iregs[1] = 0x80000000;  // INT_MIN
+  ExecuteInstruction(st, {Opcode::kCvtif, FpReg(1), IntReg(1), 0, 0}, 0);
+  EXPECT_DOUBLE_EQ(st.fregs[1], -2147483648.0);
+
+  st.fregs[2] = 1e30;
+  ExecuteInstruction(st, {Opcode::kCvtfi, IntReg(2), FpReg(2), 0, 0}, 0);
+  EXPECT_EQ(st.iregs[2], 0x7fffffffu);  // saturates high
+  st.fregs[2] = -1e30;
+  ExecuteInstruction(st, {Opcode::kCvtfi, IntReg(2), FpReg(2), 0, 0}, 0);
+  EXPECT_EQ(st.iregs[2], 0x80000000u);  // saturates low
+  st.fregs[2] = -2.75;
+  ExecuteInstruction(st, {Opcode::kCvtfi, IntReg(2), FpReg(2), 0, 0}, 0);
+  EXPECT_EQ(S(st.iregs[2]), -2);  // truncation toward zero
+}
+
+TEST(ExecGolden, FpLoadsAndStores) {
+  TestState st;
+  st.iregs[1] = 0x5000;
+  st.fregs[2] = 42.125;
+  ExecResult r =
+      ExecuteInstruction(st, {Opcode::kStf, 0, IntReg(1), FpReg(2), 8}, 0);
+  EXPECT_TRUE(r.is_store);
+  EXPECT_EQ(r.mem_addr, 0x5008u);
+  r = ExecuteInstruction(st, {Opcode::kLdf, FpReg(3), IntReg(1), 0, 8}, 0);
+  EXPECT_TRUE(r.is_load);
+  EXPECT_DOUBLE_EQ(st.fregs[3], 42.125);
+}
+
+TEST(ExecGolden, RegZeroReadsAsZeroEvenIfStateDirty) {
+  TestState st;
+  st.iregs[0] = 777;  // the state itself may hold garbage in slot 0
+  ExecuteInstruction(st, {Opcode::kAdd, IntReg(1), IntReg(0), IntReg(0), 0}, 0);
+  EXPECT_EQ(st.iregs[1], 0u);
+}
+
+TEST(ExecGolden, WriteToRegZeroDiscarded) {
+  TestState st;
+  st.iregs[1] = 5;
+  ExecuteInstruction(st, {Opcode::kAdd, IntReg(0), IntReg(1), IntReg(1), 0}, 0);
+  EXPECT_EQ(st.iregs[0], 0u);
+}
+
+TEST(ExecGolden, MiscOps) {
+  TestState st;
+  ExecResult r = ExecuteInstruction(st, {Opcode::kNop, 0, 0, 0, 0}, 0x10);
+  EXPECT_EQ(r.next_pc, 0x18u);
+  EXPECT_FALSE(r.halted);
+
+  r = ExecuteInstruction(st, {Opcode::kHalt, 0, 0, 0, 0}, 0x10);
+  EXPECT_TRUE(r.halted);
+
+  st.iregs[4] = 99;
+  r = ExecuteInstruction(st, {Opcode::kOut, 0, IntReg(4), 0, 0}, 0x10);
+  ASSERT_TRUE(r.out_value.has_value());
+  EXPECT_EQ(*r.out_value, 99u);
+}
+
+TEST(ExecGolden, FmovFnegAreUnary) {
+  TestState st;
+  st.fregs[1] = -7.5;
+  ExecuteInstruction(st, {Opcode::kFmov, FpReg(2), FpReg(1), FpReg(1), 0}, 0);
+  EXPECT_DOUBLE_EQ(st.fregs[2], -7.5);
+  ExecuteInstruction(st, {Opcode::kFneg, FpReg(3), FpReg(2), FpReg(2), 0}, 0);
+  EXPECT_DOUBLE_EQ(st.fregs[3], 7.5);
+}
+
+}  // namespace
+}  // namespace spear

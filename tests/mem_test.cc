@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "mem/cache.h"
+#include "mem/hierarchy.h"
+#include "mem/memory.h"
+
+namespace spear {
+namespace {
+
+TEST(Memory, UnwrittenReadsAsZero) {
+  Memory mem;
+  EXPECT_EQ(mem.ReadU32(0x12345678), 0u);
+  EXPECT_EQ(mem.ReadU8(0), 0u);
+  EXPECT_EQ(mem.AllocatedPages(), 0u);
+}
+
+TEST(Memory, ReadBackWrites) {
+  Memory mem;
+  mem.WriteU32(0x1000, 0xcafebabe);
+  EXPECT_EQ(mem.ReadU32(0x1000), 0xcafebabeu);
+  mem.WriteU8(0x1000, 0x01);  // overwrites the low byte only
+  EXPECT_EQ(mem.ReadU32(0x1000), 0xcafeba01u);
+}
+
+TEST(Memory, LittleEndianLayout) {
+  Memory mem;
+  mem.WriteU32(0x2000, 0x11223344);
+  EXPECT_EQ(mem.ReadU8(0x2000), 0x44);
+  EXPECT_EQ(mem.ReadU8(0x2003), 0x11);
+}
+
+TEST(Memory, CrossPageAccess) {
+  Memory mem;
+  const Addr boundary = Memory::kPageSize - 2;
+  mem.WriteU32(boundary, 0xa1b2c3d4);
+  EXPECT_EQ(mem.ReadU32(boundary), 0xa1b2c3d4u);
+  EXPECT_EQ(mem.AllocatedPages(), 2u);
+}
+
+TEST(Memory, F64RoundTrip) {
+  Memory mem;
+  mem.WriteF64(0x3000, -123.456);
+  EXPECT_DOUBLE_EQ(mem.ReadF64(0x3000), -123.456);
+}
+
+TEST(Memory, LoadProgramInstallsSegments) {
+  Program prog;
+  DataSegment& seg = prog.AddSegment(0x5000, 16);
+  PokeU32(seg, 0x5008, 99);
+  Memory mem;
+  mem.LoadProgram(prog);
+  EXPECT_EQ(mem.ReadU32(0x5008), 99u);
+}
+
+CacheConfig SmallCache() {
+  return CacheConfig{"test", /*sets=*/4, /*block_bytes=*/16, /*assoc=*/2};
+}
+
+TEST(Cache, FirstAccessMissesThenHits) {
+  Cache c(SmallCache());
+  EXPECT_FALSE(c.Access(0x100, false, kMainThread));
+  EXPECT_TRUE(c.Access(0x100, false, kMainThread));
+  EXPECT_TRUE(c.Access(0x10f, false, kMainThread));   // same block
+  EXPECT_FALSE(c.Access(0x110, false, kMainThread));  // next block
+  EXPECT_EQ(c.misses(kMainThread), 2u);
+  EXPECT_EQ(c.hits(kMainThread), 2u);
+}
+
+TEST(Cache, LruEvictionOrder) {
+  Cache c(SmallCache());  // 2-way, 4 sets, 16B blocks -> set stride 64
+  // Three blocks mapping to set 0: 0x000, 0x040, 0x080.
+  c.Access(0x000, false, kMainThread);
+  c.Access(0x040, false, kMainThread);
+  c.Access(0x000, false, kMainThread);  // refresh 0x000; LRU is 0x040
+  c.Access(0x080, false, kMainThread);  // evicts 0x040
+  EXPECT_TRUE(c.Contains(0x000));
+  EXPECT_FALSE(c.Contains(0x040));
+  EXPECT_TRUE(c.Contains(0x080));
+}
+
+TEST(Cache, WritebackCountedOnDirtyEviction) {
+  Cache c(SmallCache());
+  c.Access(0x000, true, kMainThread);   // dirty
+  c.Access(0x040, false, kMainThread);
+  c.Access(0x080, false, kMainThread);  // evicts dirty 0x000
+  EXPECT_EQ(c.writebacks(), 1u);
+  c.Access(0x0c0, false, kMainThread);  // evicts clean 0x040
+  EXPECT_EQ(c.writebacks(), 1u);
+}
+
+TEST(Cache, PerThreadAttribution) {
+  Cache c(SmallCache());
+  c.Access(0x000, false, kPThread);     // p-thread takes the miss
+  c.Access(0x000, false, kMainThread);  // main thread hits (prefetched)
+  EXPECT_EQ(c.misses(kPThread), 1u);
+  EXPECT_EQ(c.misses(kMainThread), 0u);
+  EXPECT_EQ(c.hits(kMainThread), 1u);
+}
+
+TEST(Cache, InvalidateEmptiesAllSets) {
+  Cache c(SmallCache());
+  c.Access(0x000, false, kMainThread);
+  c.Access(0x210, false, kMainThread);
+  c.Invalidate();
+  EXPECT_FALSE(c.Contains(0x000));
+  EXPECT_FALSE(c.Contains(0x210));
+}
+
+TEST(Cache, ContainsDoesNotAllocate) {
+  Cache c(SmallCache());
+  EXPECT_FALSE(c.Contains(0x700));
+  EXPECT_FALSE(c.Contains(0x700));
+  EXPECT_EQ(c.total_misses(), 0u);
+  EXPECT_FALSE(c.Access(0x700, false, kMainThread));  // still a real miss
+}
+
+// Property: with a working set that fits, a second pass over the data never
+// misses, for several shapes.
+struct CacheShape {
+  std::uint32_t sets, block, assoc;
+};
+
+class CacheSweep : public testing::TestWithParam<CacheShape> {};
+
+TEST_P(CacheSweep, SecondPassOverFittingSetAllHits) {
+  const CacheShape shape = GetParam();
+  Cache c(CacheConfig{"sweep", shape.sets, shape.block, shape.assoc});
+  const std::uint64_t capacity = c.config().SizeBytes();
+  const std::uint32_t stride = shape.block;
+  for (Addr a = 0; a < capacity; a += stride) c.Access(a, false, kMainThread);
+  const std::uint64_t misses_after_fill = c.total_misses();
+  for (Addr a = 0; a < capacity; a += stride) {
+    EXPECT_TRUE(c.Access(a, false, kMainThread)) << "addr " << a;
+  }
+  EXPECT_EQ(c.total_misses(), misses_after_fill);
+}
+
+TEST_P(CacheSweep, ThrashingSetAlwaysMisses) {
+  const CacheShape shape = GetParam();
+  Cache c(CacheConfig{"thrash", shape.sets, shape.block, shape.assoc});
+  // assoc+1 blocks in one set, accessed round-robin: every access misses.
+  const std::uint32_t set_stride = shape.sets * shape.block;
+  for (int round = 0; round < 5; ++round) {
+    for (std::uint32_t w = 0; w <= shape.assoc; ++w) {
+      EXPECT_FALSE(c.Access(w * set_stride, false, kMainThread));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CacheSweep,
+    testing::Values(CacheShape{4, 16, 1}, CacheShape{4, 16, 2},
+                    CacheShape{16, 32, 4}, CacheShape{256, 32, 4},
+                    CacheShape{1024, 64, 4}, CacheShape{8, 64, 8}));
+
+TEST(Hierarchy, LatenciesMatchServicingLevel) {
+  HierarchyConfig cfg;
+  MemoryHierarchy h(cfg);
+  // Cold: L2 miss -> memory latency.
+  AccessOutcome first = h.AccessData(0x1000, false, kMainThread, 0);
+  EXPECT_TRUE(first.l1_miss);
+  EXPECT_TRUE(first.l2_miss);
+  EXPECT_EQ(first.latency, cfg.mem_latency);
+  // While the fill is outstanding, a second access merges and pays the
+  // remaining time (MSHR behaviour).
+  AccessOutcome merged = h.AccessData(0x1000, false, kMainThread, 40);
+  EXPECT_FALSE(merged.l1_miss);
+  EXPECT_EQ(merged.latency, cfg.mem_latency - 40);
+  // After the fill lands: a plain L1 hit.
+  AccessOutcome second = h.AccessData(0x1000, false, kMainThread, 500);
+  EXPECT_FALSE(second.l1_miss);
+  EXPECT_EQ(second.latency, cfg.l1_latency);
+}
+
+TEST(Hierarchy, L2HitAfterL1Eviction) {
+  HierarchyConfig cfg;
+  cfg.l1d = CacheConfig{"dl1", 2, 16, 1};  // tiny L1: 2 sets, direct-mapped
+  MemoryHierarchy h(cfg);
+  h.AccessData(0x000, false, kMainThread, 0);   // L1+L2 fill
+  h.AccessData(0x020, false, kMainThread, 1000);
+  AccessOutcome out = h.AccessData(0x000, false, kMainThread, 2000);
+  EXPECT_TRUE(out.l1_miss);
+  EXPECT_FALSE(out.l2_miss);
+  EXPECT_EQ(out.latency, cfg.l2_latency);
+}
+
+TEST(Hierarchy, PaperDefaultGeometryMatchesTable2) {
+  HierarchyConfig cfg;
+  EXPECT_EQ(cfg.l1d.sets, 256u);
+  EXPECT_EQ(cfg.l1d.block_bytes, 32u);
+  EXPECT_EQ(cfg.l1d.assoc, 4u);
+  EXPECT_EQ(cfg.l2.sets, 1024u);
+  EXPECT_EQ(cfg.l2.block_bytes, 64u);
+  EXPECT_EQ(cfg.l2.assoc, 4u);
+  EXPECT_EQ(cfg.l1_latency, 1u);
+  EXPECT_EQ(cfg.l2_latency, 12u);
+  EXPECT_EQ(cfg.mem_latency, 120u);
+}
+
+TEST(Hierarchy, PThreadWarmupReducesMainThreadMisses) {
+  // The essence of SPEAR prefetching at the cache level: thread 1 touching
+  // a stream of blocks converts thread 0's cold misses into hits.
+  HierarchyConfig cfg;
+  MemoryHierarchy warm(cfg);
+  MemoryHierarchy cold(cfg);
+  std::vector<Addr> addrs;
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    addrs.push_back(static_cast<Addr>(rng.Below(1u << 22)) & ~3u);
+  }
+  for (Addr a : addrs) warm.AccessData(a, false, kPThread, 0);
+  std::uint64_t warm_misses = 0, cold_misses = 0;
+  for (Addr a : addrs) {
+    warm_misses += warm.AccessData(a, false, kMainThread, 1'000'000).l1_miss;
+    cold_misses += cold.AccessData(a, false, kMainThread, 1'000'000).l1_miss;
+  }
+  EXPECT_LT(warm_misses, cold_misses / 4);
+  EXPECT_EQ(warm.l1d().misses(kMainThread), warm_misses);
+}
+
+}  // namespace
+}  // namespace spear

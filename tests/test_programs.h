@@ -1,0 +1,139 @@
+// Shared program builders for SPEAR hardware and integration tests: small
+// kernels with hand-written PThreadSpec annotations, so the front end can
+// be validated independently of the SPEAR post-compiler.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "isa/assembler.h"
+#include "isa/program.h"
+
+namespace spear::testprog {
+
+// Spine + gather: a strided index walk feeding a data-dependent random
+// access (the delinquent load). This is the canonical shape SPEAR wins on:
+// the slice is 5 of the 8 loop instructions, the d-loads are mutually
+// independent, and the IFQ exposes more iterations than the RUU window.
+//
+//   loop: lw   r4, 0(r1)      ; index        (slice)
+//         slli r5, r4, 2      ;              (slice)
+//         add  r5, r9, r5     ;              (slice)
+//         lw   r6, 0(r5)      ; d-load       (slice, trigger)
+//         add  r3, r3, r6
+//         addi r1, r1, 4      ; spine step   (slice)
+//         addi r2, r2, -1
+//         bne  r2, r0, loop
+struct GatherProgram {
+  Program prog;
+  PThreadSpec spec;  // also installed in prog.pthreads
+  Pc dload_pc = 0;
+};
+
+inline GatherProgram BuildGather(int iterations, int table_words,
+                                 std::uint64_t seed = 42,
+                                 bool attach_spec = true) {
+  GatherProgram g;
+  const Addr index_base = 0x01000000;
+  const Addr table_base = 0x02000000;
+
+  Rng rng(seed);
+  DataSegment& idx = g.prog.AddSegment(
+      index_base, static_cast<std::size_t>(iterations) * 4);
+  for (int i = 0; i < iterations; ++i) {
+    PokeU32(idx, index_base + static_cast<Addr>(i) * 4,
+            static_cast<std::uint32_t>(rng.Below(
+                static_cast<std::uint64_t>(table_words))));
+  }
+  DataSegment& tab = g.prog.AddSegment(
+      table_base, static_cast<std::size_t>(table_words) * 4);
+  for (int i = 0; i < table_words; ++i) {
+    PokeU32(tab, table_base + static_cast<Addr>(i) * 4,
+            static_cast<std::uint32_t>(i * 7 + 1));
+  }
+
+  Assembler a(&g.prog);
+  Label loop = a.NewLabel();
+  a.la(r(1), index_base);
+  a.li(r(2), iterations);
+  a.li(r(3), 0);
+  a.la(r(9), table_base);
+  a.Bind(loop);
+  const Pc pc_spine = a.Here();
+  a.lw(r(4), r(1), 0);
+  const Pc pc_slli = a.Here();
+  a.slli(r(5), r(4), 2);
+  const Pc pc_add = a.Here();
+  a.add(r(5), r(9), r(5));
+  const Pc pc_dload = a.Here();
+  a.lw(r(6), r(5), 0);
+  a.add(r(3), r(3), r(6));
+  const Pc pc_step = a.Here();
+  a.addi(r(1), r(1), 4);
+  a.addi(r(2), r(2), -1);
+  a.bne(r(2), r(0), loop);
+  a.out(r(3));
+  a.halt();
+  a.Finish();
+
+  g.dload_pc = pc_dload;
+  g.spec.dload_pc = pc_dload;
+  g.spec.slice_pcs = {pc_spine, pc_slli, pc_add, pc_dload, pc_step};
+  g.spec.live_ins = {IntReg(1), IntReg(9)};
+  g.spec.region_start = pc_spine;
+  g.spec.region_end = pc_step;
+  if (attach_spec) g.prog.pthreads.push_back(g.spec);
+  return g;
+}
+
+// Serial pointer chase: each load's address comes from the previous load.
+// Pre-execution cannot create memory-level parallelism here; used to test
+// that SPEAR at least does no semantic harm on its worst-case shape.
+inline Program BuildChase(int nodes, int hops, std::uint64_t seed = 7,
+                          bool attach_spec = true) {
+  Program prog;
+  const Addr base = 0x03000000;
+  const Addr stride = 64;  // one node per L2 block
+  DataSegment& seg = prog.AddSegment(
+      base, static_cast<std::size_t>(nodes) * stride);
+  // Random permutation cycle so the chase visits every node once.
+  std::vector<std::uint32_t> perm(static_cast<std::size_t>(nodes));
+  for (int i = 0; i < nodes; ++i) perm[static_cast<std::size_t>(i)] =
+      static_cast<std::uint32_t>(i);
+  Rng rng(seed);
+  for (int i = nodes - 1; i > 0; --i) {
+    const auto j = static_cast<int>(rng.Below(static_cast<std::uint64_t>(i + 1)));
+    std::swap(perm[static_cast<std::size_t>(i)], perm[static_cast<std::size_t>(j)]);
+  }
+  for (int i = 0; i < nodes; ++i) {
+    const Addr node = base + perm[static_cast<std::size_t>(i)] * stride;
+    const Addr next = base + perm[static_cast<std::size_t>((i + 1) % nodes)] * stride;
+    PokeU32(seg, node, next);
+  }
+
+  Assembler a(&prog);
+  Label loop = a.NewLabel();
+  a.la(r(1), base + perm[0] * stride);
+  a.li(r(2), hops);
+  a.Bind(loop);
+  const Pc pc_dload = a.Here();
+  a.lw(r(1), r(1), 0);  // d-load and induction in one
+  a.addi(r(2), r(2), -1);
+  a.bne(r(2), r(0), loop);
+  a.out(r(1));
+  a.halt();
+  a.Finish();
+
+  if (attach_spec) {
+    PThreadSpec spec;
+    spec.dload_pc = pc_dload;
+    spec.slice_pcs = {pc_dload};
+    spec.live_ins = {IntReg(1)};
+    spec.region_start = pc_dload;
+    spec.region_end = pc_dload;
+    prog.pthreads.push_back(spec);
+  }
+  return prog;
+}
+
+}  // namespace spear::testprog

@@ -1,0 +1,62 @@
+// spearc — the SPEAR post-compiler as a command-line tool (paper Figure 4
+// end to end): read a SPEARBIN, profile it, slice, and write the annotated
+// SPEAR binary.
+//
+//   spearc input.spearbin -o input.spear.bin
+//       [--profile-input other.spearbin] [--profile-instrs 2000000]
+//       [--miss-threshold 500] [--max-dloads 8] [--inclusion 0.25]
+//       [--budget 120] [--report]
+#include <cstdio>
+#include <cstdlib>
+
+#include "compiler/spear_compiler.h"
+#include "isa/binary.h"
+#include "tool_flags.h"
+
+int main(int argc, char** argv) {
+  using namespace spear;
+  tools::Flags flags(
+      argc, argv,
+      {{"o", "output path (default <input>.spear.bin)"},
+       {"profile-input", "binary to profile (same text, other data)"},
+       {"profile-instrs", "profiling budget (default 2000000)"},
+       {"miss-threshold", "min L1 misses for a d-load (default 500)"},
+       {"max-dloads", "keep at most N d-loads (default 8)"},
+       {"inclusion", "slice-membership vote share (default 0.25)"},
+       {"budget", "region d-cycle budget (default 120)"},
+       {"report", "print the compile report"}});
+
+  if (flags.positional().empty()) {
+    std::fprintf(stderr, "spearc: no input binary (try --help)\n");
+    return 2;
+  }
+  const std::string input = flags.positional()[0];
+  const Program target = ReadProgram(input);
+  const Program profile_input = flags.Has("profile-input")
+                                    ? ReadProgram(flags.Get("profile-input"))
+                                    : target;
+
+  CompilerOptions options;
+  options.profiler.max_instrs =
+      static_cast<std::uint64_t>(flags.GetInt("profile-instrs", 2'000'000));
+  options.slicer.miss_threshold =
+      static_cast<std::uint64_t>(flags.GetInt("miss-threshold", 500));
+  options.slicer.max_dloads = static_cast<int>(flags.GetInt("max-dloads", 8));
+  if (flags.Has("inclusion")) {
+    options.slicer.inclusion_share = std::atof(flags.Get("inclusion").c_str());
+  }
+  if (flags.Has("budget")) {
+    options.slicer.dcycle_budget = std::atof(flags.Get("budget").c_str());
+  }
+
+  CompileReport report;
+  const Program annotated =
+      CompileSpear(profile_input, target, options, &report);
+
+  const std::string out = flags.Get("o", input + ".spear.bin");
+  WriteProgram(annotated, out);
+  std::printf("%s: %zu p-thread(s) attached -> %s\n", input.c_str(),
+              annotated.pthreads.size(), out.c_str());
+  if (flags.GetBool("report")) std::printf("%s", report.ToString().c_str());
+  return 0;
+}

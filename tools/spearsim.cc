@@ -1,0 +1,101 @@
+// spearsim — run a SPEARBIN on the cycle-level core (or the functional
+// emulator) and print statistics.
+//
+//   spearsim prog.spear.bin --spear --ifq 256 [--sf] [--max-instrs N]
+//   spearsim prog.spearbin --functional
+#include <cstdio>
+
+#include "cpu/core.h"
+#include "isa/binary.h"
+#include "sim/emulator.h"
+#include "tool_flags.h"
+
+int main(int argc, char** argv) {
+  using namespace spear;
+  tools::Flags flags(
+      argc, argv,
+      {{"functional", "run the functional emulator instead of the core"},
+       {"spear", "enable the SPEAR front end (needs an annotated binary)"},
+       {"ifq", "IFQ size (default 128)"},
+       {"sf", "separate functional units for the p-thread"},
+       {"stride", "enable the stride-prefetcher baseline"},
+       {"chaining", "enable the chaining-trigger extension"},
+       {"mem-latency", "main memory latency in cycles (default 120)"},
+       {"l2-latency", "L2 latency in cycles (default 12)"},
+       {"max-instrs", "commit budget (default: run to halt)"},
+       {"max-cycles", "cycle budget (default 1e9)"},
+       {"trace", "print committed OUT values"}});
+
+  if (flags.positional().empty()) {
+    std::fprintf(stderr, "spearsim: no input binary (try --help)\n");
+    return 2;
+  }
+  const Program prog = ReadProgram(flags.positional()[0]);
+  const auto max_instrs = static_cast<std::uint64_t>(
+      flags.GetInt("max-instrs", static_cast<long>(1) << 62));
+  const auto max_cycles =
+      static_cast<std::uint64_t>(flags.GetInt("max-cycles", 1'000'000'000));
+
+  if (flags.GetBool("functional")) {
+    Emulator emu(prog);
+    const std::uint64_t n = emu.Run(max_instrs);
+    std::printf("functional: %llu instructions, halted=%d\n",
+                static_cast<unsigned long long>(n), emu.halted());
+    if (flags.GetBool("trace")) {
+      for (std::uint32_t v : emu.outputs()) std::printf("out: %u\n", v);
+    }
+    return 0;
+  }
+
+  CoreConfig cfg = flags.GetBool("spear")
+                       ? SpearCoreConfig(
+                             static_cast<std::uint32_t>(flags.GetInt("ifq", 128)),
+                             flags.GetBool("sf"))
+                       : BaselineConfig(
+                             static_cast<std::uint32_t>(flags.GetInt("ifq", 128)));
+  cfg.stride_prefetch.enabled = flags.GetBool("stride");
+  cfg.spear.chaining_trigger = flags.GetBool("chaining");
+  cfg.mem.mem_latency =
+      static_cast<std::uint32_t>(flags.GetInt("mem-latency", 120));
+  cfg.mem.l2_latency =
+      static_cast<std::uint32_t>(flags.GetInt("l2-latency", 12));
+
+  if (flags.GetBool("spear") && prog.pthreads.empty()) {
+    std::fprintf(stderr,
+                 "warning: --spear but the binary has no p-thread section "
+                 "(run spearc first)\n");
+  }
+
+  Core core(prog, cfg);
+  const RunResult rr = core.Run(max_instrs, max_cycles);
+  const CoreStats& s = core.stats();
+  std::printf("cycles            %llu\n",
+              static_cast<unsigned long long>(rr.cycles));
+  std::printf("instructions      %llu (halted=%d)\n",
+              static_cast<unsigned long long>(rr.instructions), rr.halted);
+  std::printf("IPC               %.4f\n", rr.Ipc());
+  std::printf("branch hit ratio  %.4f (IPB %.2f)\n", s.BranchHitRatio(),
+              s.Ipb());
+  std::printf("L1D misses        main %llu / helper %llu\n",
+              static_cast<unsigned long long>(
+                  core.hierarchy().l1d().misses(kMainThread)),
+              static_cast<unsigned long long>(
+                  core.hierarchy().l1d().misses(kPThread)));
+  if (flags.GetBool("spear")) {
+    std::printf("triggers          %llu fired, %llu suppressed, %llu aborted\n",
+                static_cast<unsigned long long>(s.triggers_fired),
+                static_cast<unsigned long long>(s.triggers_suppressed_occupancy),
+                static_cast<unsigned long long>(s.triggers_aborted));
+    std::printf("sessions          %llu completed, %llu instrs extracted\n",
+                static_cast<unsigned long long>(s.preexec_sessions_completed),
+                static_cast<unsigned long long>(s.pthread_extracted));
+  }
+  if (cfg.stride_prefetch.enabled) {
+    std::printf("stride prefetches %llu\n",
+                static_cast<unsigned long long>(s.stride_prefetches));
+  }
+  if (flags.GetBool("trace")) {
+    for (std::uint32_t v : core.outputs()) std::printf("out: %u\n", v);
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Minimal --flag=value / --flag value parser shared by the CLI tools.
+// Positional arguments are collected in order; unknown flags abort with a
+// message so typos fail loudly.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace spear::tools {
+
+class Flags {
+ public:
+  Flags(int argc, char** argv, const std::map<std::string, std::string>& known)
+      : known_(known) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.empty() || arg[0] != '-') {
+        positional_.push_back(std::move(arg));
+        continue;
+      }
+      arg = arg.substr(arg.rfind("--", 0) == 0 ? 2 : 1);  // --flag or -f
+      std::string key = arg, value = "true";
+      const std::size_t eq = arg.find('=');
+      if (eq != std::string::npos) {
+        key = arg.substr(0, eq);
+        value = arg.substr(eq + 1);
+      } else if (i + 1 < argc && argv[i + 1][0] != '-') {
+        value = argv[++i];
+      }
+      if (key == "help") {
+        PrintHelpAndExit(argv[0]);
+      }
+      if (!known_.count(key)) {
+        std::fprintf(stderr, "unknown flag --%s (try --help)\n", key.c_str());
+        std::exit(2);
+      }
+      values_[key] = value;
+    }
+  }
+
+  [[noreturn]] void PrintHelpAndExit(const char* prog) const {
+    std::printf("usage: %s [flags] [args]\n", prog);
+    for (const auto& [key, help] : known_) {
+      std::printf("  --%-20s %s\n", key.c_str(), help.c_str());
+    }
+    std::exit(0);
+  }
+
+  std::string Get(const std::string& key, const std::string& def = "") const {
+    auto it = values_.find(key);
+    return it == values_.end() ? def : it->second;
+  }
+  long GetInt(const std::string& key, long def) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? def : std::strtol(it->second.c_str(), nullptr, 0);
+  }
+  bool GetBool(const std::string& key, bool def = false) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return def;
+    return it->second != "false" && it->second != "0";
+  }
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> known_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace spear::tools
