@@ -8,8 +8,8 @@
 // Build & run:  cmake --build build && ./build/examples/compiler_tour
 #include <cstdio>
 
-#include "compiler/cfg.h"
-#include "compiler/loops.h"
+#include "analysis/cfg.h"
+#include "analysis/loops.h"
 #include "compiler/profiler.h"
 #include "compiler/slicer.h"
 #include "isa/binary.h"
@@ -65,7 +65,7 @@ int main() {
   for (const SliceReport& rep : sliced.reports) {
     if (rep.rejected) {
       std::printf("d-load 0x%x rejected: %s\n", rep.dload_pc,
-                  rep.reject_reason);
+                  rep.reject_reason.c_str());
       continue;
     }
     std::printf("d-load 0x%x: %llu misses, region depth %d\n", rep.dload_pc,

@@ -1,4 +1,4 @@
-#include "compiler/cfg.h"
+#include "analysis/cfg.h"
 
 #include <algorithm>
 

@@ -1,0 +1,181 @@
+#include "analysis/dataflow.h"
+
+#include "common/check.h"
+
+namespace spear {
+
+std::vector<RegId> RegSet::ToVector() const {
+  std::vector<RegId> out;
+  for (int r = 0; r < kNumArchRegs; ++r) {
+    if (Contains(static_cast<RegId>(r))) out.push_back(static_cast<RegId>(r));
+  }
+  return out;
+}
+
+RegSet UsesOf(const Instruction& in) {
+  RegSet s;
+  const SrcRegs srcs = SourcesOf(in);
+  for (int i = 0; i < srcs.count; ++i) {
+    if (srcs.reg[i] != kRegZero) s.Add(srcs.reg[i]);
+  }
+  return s;
+}
+
+RegSet DefsOf(const Instruction& in) {
+  RegSet s;
+  if (auto rd = DestOf(in)) s.Add(*rd);
+  return s;
+}
+
+// ---- live variables ----
+
+LiveVariables LiveVariables::Compute(const Cfg& cfg) {
+  LiveVariables lv;
+  lv.cfg_ = &cfg;
+  const auto n = static_cast<std::size_t>(cfg.num_blocks());
+  lv.use_.assign(n, {});
+  lv.def_.assign(n, {});
+  lv.in_.assign(n, {});
+  lv.out_.assign(n, {});
+
+  const Program& prog = cfg.program();
+  for (const BasicBlock& bb : cfg.blocks()) {
+    const auto id = static_cast<std::size_t>(bb.id);
+    // Forward scan: a read is upward-exposed unless a prior instruction in
+    // the same block already defined the register.
+    for (InstrIndex i = bb.first; i <= bb.last; ++i) {
+      const Instruction& in = prog.text[i];
+      lv.use_[id] |= UsesOf(in) - lv.def_[id];
+      lv.def_[id] |= DefsOf(in);
+    }
+  }
+
+  // Round-robin in reverse block order (ids follow pc order, so this is
+  // roughly post-order) until the fixpoint.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int b = cfg.num_blocks() - 1; b >= 0; --b) {
+      const auto id = static_cast<std::size_t>(b);
+      RegSet out;
+      for (int s : cfg.block(b).succs) {
+        out |= lv.in_[static_cast<std::size_t>(s)];
+      }
+      const RegSet in = lv.use_[id] | (out - lv.def_[id]);
+      if (out == lv.out_[id] && in == lv.in_[id]) continue;
+      lv.out_[id] = out;
+      lv.in_[id] = in;
+      changed = true;
+    }
+  }
+  return lv;
+}
+
+RegSet LiveVariables::LiveBefore(InstrIndex index) const {
+  const BasicBlock& bb = cfg_->block(cfg_->BlockOf(index));
+  RegSet live = out_[static_cast<std::size_t>(bb.id)];
+  for (InstrIndex i = bb.last;; --i) {
+    const Instruction& in = cfg_->program().text[i];
+    live = UsesOf(in) | (live - DefsOf(in));
+    if (i == index) return live;
+  }
+}
+
+RegSet LiveVariables::LiveAfter(InstrIndex index) const {
+  const BasicBlock& bb = cfg_->block(cfg_->BlockOf(index));
+  if (index == bb.last) return out_[static_cast<std::size_t>(bb.id)];
+  return LiveBefore(index + 1);
+}
+
+// ---- reaching definitions ----
+
+bool ReachingDefinitions::DefSet::UnionWith(const DefSet& o) {
+  SPEAR_CHECK(words_.size() == o.words_.size());
+  bool grew = false;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    const std::uint64_t merged = words_[i] | o.words_[i];
+    grew |= merged != words_[i];
+    words_[i] = merged;
+  }
+  return grew;
+}
+
+ReachingDefinitions ReachingDefinitions::Compute(const Cfg& cfg) {
+  ReachingDefinitions rd;
+  rd.cfg_ = &cfg;
+  const Program& prog = cfg.program();
+  const std::size_t n = prog.text.size();
+
+  rd.def_of_instr_.assign(n, -1);
+  rd.by_reg_.assign(kNumArchRegs, {});
+  for (std::size_t i = 0; i < n; ++i) {
+    if (auto reg = DestOf(prog.text[i])) {
+      const int id = static_cast<int>(rd.defs_.size());
+      rd.defs_.push_back({static_cast<InstrIndex>(i), *reg});
+      rd.def_of_instr_[i] = id;
+      rd.by_reg_[*reg].push_back(id);
+    }
+  }
+
+  const auto nblocks = static_cast<std::size_t>(cfg.num_blocks());
+  const DefSet empty(rd.defs_.size());
+  rd.in_.assign(nblocks, empty);
+  rd.out_.assign(nblocks, empty);
+
+  // Per-block transfer composed instruction by instruction; gen/kill per
+  // block is implicit in the in-order application.
+  auto flow_block = [&rd, &cfg](int b) {
+    DefSet out = rd.in_[static_cast<std::size_t>(b)];
+    const BasicBlock& bb = cfg.block(b);
+    for (InstrIndex i = bb.first; i <= bb.last; ++i) rd.Transfer(i, &out);
+    return out;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int b = 0; b < cfg.num_blocks(); ++b) {
+      const auto id = static_cast<std::size_t>(b);
+      DefSet in(rd.defs_.size());
+      for (int p : cfg.block(b).preds) {
+        in.UnionWith(rd.out_[static_cast<std::size_t>(p)]);
+      }
+      rd.in_[id] = in;
+      DefSet out = flow_block(b);
+      if (!(out == rd.out_[id])) {
+        rd.out_[id] = std::move(out);
+        changed = true;
+      }
+    }
+  }
+  return rd;
+}
+
+void ReachingDefinitions::Transfer(InstrIndex index, DefSet* set) const {
+  const int def = def_of_instr_[index];
+  if (def == -1) return;
+  for (int other : by_reg_[defs_[static_cast<std::size_t>(def)].reg]) {
+    set->Remove(other);
+  }
+  set->Add(def);
+}
+
+ReachingDefinitions::DefSet ReachingDefinitions::ReachingBefore(
+    InstrIndex index) const {
+  const BasicBlock& bb = cfg_->block(cfg_->BlockOf(index));
+  DefSet set = in_[static_cast<std::size_t>(bb.id)];
+  for (InstrIndex i = bb.first; i < index; ++i) Transfer(i, &set);
+  return set;
+}
+
+std::vector<int> ReachingDefinitions::DefsOfRegAt(RegId reg,
+                                                  InstrIndex index) const {
+  const DefSet reaching = ReachingBefore(index);
+  std::vector<int> out;
+  for (int def : by_reg_[reg]) {
+    if (reaching.Contains(def)) out.push_back(def);
+  }
+  return out;
+}
+
+}  // namespace spear

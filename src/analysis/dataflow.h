@@ -1,0 +1,148 @@
+// Reusable static dataflow framework over the binary CFG.
+//
+// Two classic iterative solvers, both computed to a fixpoint with per-block
+// gen/kill sets over the unified 64-register namespace:
+//
+//  * LiveVariables (backward, may): which registers are read before being
+//    written along some path from a program point. Powers the p-thread
+//    live-in contract check and the dead-slice-instruction lint.
+//  * ReachingDefinitions (forward, may): which static definitions may
+//    supply the value of a register at a program point. Powers the slice
+//    self-containment check (every read covered by a live-in or an
+//    in-slice definition).
+//
+// Convention shared with the slicer: r0 is hardwired to zero, so reads of
+// r0 are not uses and writes to r0 are not definitions.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <vector>
+
+#include "analysis/cfg.h"
+#include "common/types.h"
+#include "isa/instruction.h"
+
+namespace spear {
+
+// Dense register set: the unified id space is exactly 64 wide, one word.
+class RegSet {
+ public:
+  constexpr RegSet() = default;
+
+  static RegSet Of(std::initializer_list<RegId> regs) {
+    RegSet s;
+    for (RegId r : regs) s.Add(r);
+    return s;
+  }
+
+  void Add(RegId r) { bits_ |= Bit(r); }
+  void Remove(RegId r) { bits_ &= ~Bit(r); }
+  bool Contains(RegId r) const { return (bits_ & Bit(r)) != 0; }
+  bool Empty() const { return bits_ == 0; }
+  int Count() const { return __builtin_popcountll(bits_); }
+
+  RegSet operator|(RegSet o) const { return RegSet(bits_ | o.bits_); }
+  RegSet operator&(RegSet o) const { return RegSet(bits_ & o.bits_); }
+  RegSet operator-(RegSet o) const { return RegSet(bits_ & ~o.bits_); }
+  RegSet& operator|=(RegSet o) {
+    bits_ |= o.bits_;
+    return *this;
+  }
+  bool operator==(const RegSet&) const = default;
+
+  std::vector<RegId> ToVector() const;  // ascending register ids
+
+ private:
+  explicit constexpr RegSet(std::uint64_t bits) : bits_(bits) {}
+  static constexpr std::uint64_t Bit(RegId r) { return 1ull << (r & 63); }
+
+  std::uint64_t bits_ = 0;
+};
+
+// Registers an instruction reads / writes, under the r0 convention above.
+RegSet UsesOf(const Instruction& in);
+RegSet DefsOf(const Instruction& in);
+
+class LiveVariables {
+ public:
+  static LiveVariables Compute(const Cfg& cfg);
+
+  RegSet live_in(int block) const { return in_[static_cast<std::size_t>(block)]; }
+  RegSet live_out(int block) const { return out_[static_cast<std::size_t>(block)]; }
+  // Per-block gen/kill, exposed for tests: `use` is upward-exposed reads,
+  // `def` is everything the block writes.
+  RegSet use(int block) const { return use_[static_cast<std::size_t>(block)]; }
+  RegSet def(int block) const { return def_[static_cast<std::size_t>(block)]; }
+
+  // Registers live immediately before / after one instruction. Recomputed
+  // by a backward walk of the containing block: O(block size), fine for
+  // verification and diagnostics, not for a per-cycle pipeline path.
+  RegSet LiveBefore(InstrIndex index) const;
+  RegSet LiveAfter(InstrIndex index) const;
+
+ private:
+  const Cfg* cfg_ = nullptr;
+  std::vector<RegSet> use_, def_, in_, out_;
+};
+
+// One static definition: instruction `instr` writes register `reg`.
+struct Definition {
+  InstrIndex instr = 0;
+  RegId reg = 0;
+};
+
+class ReachingDefinitions {
+ public:
+  // Set of definition ids (indices into definitions()).
+  class DefSet {
+   public:
+    explicit DefSet(std::size_t num_defs = 0)
+        : words_((num_defs + 63) / 64, 0) {}
+
+    void Add(int def) { words_[Word(def)] |= Bit(def); }
+    void Remove(int def) { words_[Word(def)] &= ~Bit(def); }
+    bool Contains(int def) const {
+      return (words_[Word(def)] & Bit(def)) != 0;
+    }
+    // Unions `o` in; returns true when this set grew.
+    bool UnionWith(const DefSet& o);
+    bool operator==(const DefSet&) const = default;
+
+   private:
+    static std::size_t Word(int def) { return static_cast<std::size_t>(def) / 64; }
+    static std::uint64_t Bit(int def) {
+      return 1ull << (static_cast<std::size_t>(def) % 64);
+    }
+    std::vector<std::uint64_t> words_;
+  };
+
+  static ReachingDefinitions Compute(const Cfg& cfg);
+
+  const std::vector<Definition>& definitions() const { return defs_; }
+  const DefSet& reach_in(int block) const {
+    return in_[static_cast<std::size_t>(block)];
+  }
+  const DefSet& reach_out(int block) const {
+    return out_[static_cast<std::size_t>(block)];
+  }
+
+  // Definitions reaching the program point just before `index` executes.
+  DefSet ReachingBefore(InstrIndex index) const;
+  // Ids of definitions of `reg` among those reaching `index`; empty means
+  // a read of `reg` there is not covered by any definition in the CFG.
+  std::vector<int> DefsOfRegAt(RegId reg, InstrIndex index) const;
+
+ private:
+  // Applies one instruction's transfer function (kill other defs of the
+  // written register, gen this one) to `set`.
+  void Transfer(InstrIndex index, DefSet* set) const;
+
+  const Cfg* cfg_ = nullptr;
+  std::vector<Definition> defs_;
+  std::vector<int> def_of_instr_;          // instr index -> def id or -1
+  std::vector<std::vector<int>> by_reg_;   // reg -> def ids, ascending
+  std::vector<DefSet> in_, out_;
+};
+
+}  // namespace spear

@@ -1,4 +1,4 @@
-#include "compiler/loops.h"
+#include "analysis/loops.h"
 
 #include <algorithm>
 

@@ -11,7 +11,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "compiler/cfg.h"
+#include "analysis/cfg.h"
 
 namespace spear {
 

@@ -1,0 +1,185 @@
+#include "analysis/verifier.h"
+
+#include <cstdio>
+
+#include "analysis/cfg.h"
+#include "analysis/dataflow.h"
+#include "isa/regs.h"
+
+namespace spear {
+namespace {
+
+// Slice as a straight-line program in extraction (ascending-PC) order —
+// exactly the stream the P-thread Extractor feeds the p-thread context.
+Program SliceProgram(const Program& prog, const PThreadSpec& spec) {
+  Program line;
+  line.text.reserve(spec.slice_pcs.size());
+  for (Pc pc : spec.slice_pcs) line.text.push_back(prog.At(pc));
+  return line;
+}
+
+// Pc of the first read of `reg` not preceded by an in-slice definition.
+Pc FirstExposedReadOf(const Program& line, const std::vector<Pc>& pcs,
+                      RegId reg) {
+  RegSet defined;
+  for (std::size_t k = 0; k < line.text.size(); ++k) {
+    if (UsesOf(line.text[k]).Contains(reg) && !defined.Contains(reg)) {
+      return pcs[k];
+    }
+    defined |= DefsOf(line.text[k]);
+  }
+  return pcs.front();
+}
+
+void CheckLiveIns(const Program& line, const PThreadSpec& spec,
+                  std::vector<SpecDiag>* diags) {
+  const Cfg cfg = Cfg::Build(line);
+  const LiveVariables live = LiveVariables::Compute(cfg);
+
+  RegSet declared;
+  for (RegId r : spec.live_ins) declared.Add(r);
+  const RegSet computed = live.live_in(cfg.entry_block());
+
+  for (RegId r : (computed - declared).ToVector()) {
+    diags->push_back(
+        {SpecDiagCode::kMissingLiveIn,
+         FirstExposedReadOf(line, spec.slice_pcs, r),
+         "slice reads " + RegName(r) +
+             " before any slice definition, but it is not a live-in"});
+  }
+  for (RegId r : (declared - computed).ToVector()) {
+    diags->push_back({SpecDiagCode::kSpuriousLiveIn, spec.dload_pc,
+                      "live-in " + RegName(r) +
+                          " is never read before being defined in the slice"});
+  }
+
+  // Self-containment at instruction grade: reaching definitions pins the
+  // exact read an uncopied, undefined value would break. Deliberately
+  // overlaps kMissingLiveIn — that one names the register, this one the
+  // faulting read site.
+  const ReachingDefinitions reach = ReachingDefinitions::Compute(cfg);
+  for (std::size_t k = 0; k < line.text.size(); ++k) {
+    for (RegId reg : UsesOf(line.text[k]).ToVector()) {
+      if (declared.Contains(reg)) continue;  // copied at trigger time
+      if (!reach.DefsOfRegAt(reg, static_cast<InstrIndex>(k)).empty()) {
+        continue;
+      }
+      diags->push_back(
+          {SpecDiagCode::kUncoveredRead, spec.slice_pcs[k],
+           "read of " + RegName(reg) +
+               " is covered by neither the live-ins nor a slice definition"});
+    }
+  }
+}
+
+void CheckLints(const Program& line, const PThreadSpec& spec,
+                const VerifyOptions& options, std::vector<SpecDiag>* diags) {
+  if (spec.slice_pcs.size() == 1) {
+    diags->push_back({SpecDiagCode::kEmptyRegion, spec.dload_pc,
+                      "slice contains only the delinquent load; the p-thread "
+                      "pre-executes nothing ahead of the main thread"});
+  }
+  if (static_cast<int>(spec.live_ins.size()) > options.live_in_budget) {
+    diags->push_back(
+        {SpecDiagCode::kOversizedLiveIns, spec.dload_pc,
+         std::to_string(spec.live_ins.size()) +
+             " live-ins against a copy budget of " +
+             std::to_string(options.live_in_budget) +
+             "; at 1 reg/cycle the trigger-to-launch latency is " +
+             std::to_string(spec.live_ins.size()) + " cycles"});
+  }
+
+  // Dead slice instructions: liveness over the *looped* slice, because a
+  // p-thread session crosses region iterations — a definition may feed an
+  // earlier-pc slice instruction of the next iteration (e.g. the pointer
+  // increment at the bottom of a chase loop).
+  Program looped = line;
+  looped.text.push_back({Opcode::kJ, 0, 0, 0,
+                         static_cast<std::int32_t>(looped.PcOf(0))});
+  const Cfg cfg = Cfg::Build(looped);
+  const LiveVariables live = LiveVariables::Compute(cfg);
+  for (std::size_t k = 0; k < line.text.size(); ++k) {
+    const Instruction& in = line.text[k];
+    if (spec.slice_pcs[k] == spec.dload_pc) continue;
+    if (IsLoad(in.op)) continue;  // even a "dead" load still warms the cache
+    const auto rd = DestOf(in);
+    if (!rd) continue;
+    if (live.LiveAfter(static_cast<InstrIndex>(k)).Contains(*rd)) continue;
+    diags->push_back({SpecDiagCode::kDeadSliceInstr, spec.slice_pcs[k],
+                      "dead slice instruction: result " + RegName(*rd) +
+                          " feeds no later slice instruction, not even "
+                          "across the region back edge"});
+  }
+}
+
+}  // namespace
+
+bool VerifyResult::ok() const {
+  for (const SpecVerifyResult& s : specs) {
+    if (!s.ok()) return false;
+  }
+  return true;
+}
+
+int VerifyResult::errors() const {
+  int n = 0;
+  for (const SpecVerifyResult& s : specs) {
+    for (const SpecDiag& d : s.diags) {
+      n += d.severity() == SpecDiagSeverity::kError;
+    }
+  }
+  return n;
+}
+
+int VerifyResult::warnings() const {
+  int n = 0;
+  for (const SpecVerifyResult& s : specs) {
+    for (const SpecDiag& d : s.diags) {
+      n += d.severity() == SpecDiagSeverity::kWarning;
+    }
+  }
+  return n;
+}
+
+std::string VerifyResult::ToString(const std::string& source) const {
+  std::string out;
+  char buf[64];
+  for (const SpecVerifyResult& s : specs) {
+    for (const SpecDiag& d : s.diags) {
+      std::snprintf(buf, sizeof(buf), ":0x%x: ", d.pc);
+      out += source + buf;
+      out += d.severity() == SpecDiagSeverity::kError ? "error: " : "warning: ";
+      out += d.message;
+      out += " [";
+      out += SpecDiagCodeName(d.code);
+      std::snprintf(buf, sizeof(buf), "] (p-thread @0x%x)\n", s.dload_pc);
+      out += buf;
+    }
+  }
+  return out;
+}
+
+SpecVerifyResult VerifySpec(const Program& prog, const PThreadSpec& spec,
+                            const VerifyOptions& options) {
+  SpecVerifyResult res;
+  res.dload_pc = spec.dload_pc;
+  res.diags = CheckSpecStructure(prog, spec);
+  // Dataflow checks assume a decodable, sorted, escape-free slice.
+  if (HasSpecErrors(res.diags)) return res;
+
+  const Program line = SliceProgram(prog, spec);
+  CheckLiveIns(line, spec, &res.diags);
+  if (options.lints) CheckLints(line, spec, options, &res.diags);
+  return res;
+}
+
+VerifyResult VerifyProgram(const Program& prog, const VerifyOptions& options) {
+  VerifyResult result;
+  result.specs.reserve(prog.pthreads.size());
+  for (const PThreadSpec& spec : prog.pthreads) {
+    result.specs.push_back(VerifySpec(prog, spec, options));
+  }
+  return result;
+}
+
+}  // namespace spear

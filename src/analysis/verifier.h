@@ -1,0 +1,52 @@
+// P-thread verifier: proves, statically, that every `PThreadSpec` in a
+// SPEAR binary honors the contract the hardware trusts — the slice
+// decodes, stays inside its region, never escapes architectural state
+// (no stores, control transfers, halts or outs), declares exactly the
+// live-ins it reads, and is self-contained (every other read is fed by an
+// in-slice definition). Lint-grade warnings flag specs that are legal but
+// waste hardware: dead slice instructions, live-in sets beyond the
+// 1-reg/cycle copy budget, and slices that pre-execute nothing.
+//
+// Three consumers: the `spearverify` CLI, `spearc --verify`, and the
+// slicer itself, which drops any candidate spec that fails verification
+// (see compiler/slicer.h).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "isa/program.h"
+#include "isa/spec_check.h"
+
+namespace spear {
+
+struct VerifyOptions {
+  // Live-ins are copied main-thread -> p-thread at 1 register per cycle, so
+  // every entry beyond this budget delays the p-thread launch by a cycle.
+  int live_in_budget = 8;
+  bool lints = true;  // emit warnings in addition to errors
+};
+
+struct SpecVerifyResult {
+  Pc dload_pc = 0;
+  std::vector<SpecDiag> diags;
+
+  bool ok() const { return !HasSpecErrors(diags); }
+};
+
+struct VerifyResult {
+  std::vector<SpecVerifyResult> specs;
+
+  bool ok() const;
+  int errors() const;
+  int warnings() const;
+  // One "<source>:0x<pc>: error: message [code]" line per diagnostic.
+  std::string ToString(const std::string& source) const;
+};
+
+SpecVerifyResult VerifySpec(const Program& prog, const PThreadSpec& spec,
+                            const VerifyOptions& options = {});
+VerifyResult VerifyProgram(const Program& prog,
+                           const VerifyOptions& options = {});
+
+}  // namespace spear

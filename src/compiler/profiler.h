@@ -21,8 +21,8 @@
 #include <unordered_map>
 #include <vector>
 
-#include "compiler/cfg.h"
-#include "compiler/loops.h"
+#include "analysis/cfg.h"
+#include "analysis/loops.h"
 #include "mem/hierarchy.h"
 
 namespace spear {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analysis/verifier.h"
 #include "common/check.h"
 #include "isa/instruction.h"
 
@@ -30,6 +31,22 @@ std::vector<RegId> ComputeLiveIns(const Program& prog,
 }
 
 }  // namespace
+
+bool VerifyCandidateSpec(const Program& prog, const PThreadSpec& spec,
+                         SliceReport* report) {
+  // Lints are advisory; only contract violations block emission.
+  const SpecVerifyResult vr =
+      VerifySpec(prog, spec, VerifyOptions{.lints = false});
+  if (vr.ok()) return true;
+  report->rejected = true;
+  for (const SpecDiag& d : vr.diags) {
+    if (d.severity() != SpecDiagSeverity::kError) continue;
+    report->reject_reason = std::string("failed verification: ") + d.message +
+                            " [" + SpecDiagCodeName(d.code) + "]";
+    break;
+  }
+  return false;
+}
 
 SliceResult BuildSlices(const Program& prog, const Cfg& cfg,
                         const LoopForest& loops, const ProfileResult& profile,
@@ -139,6 +156,13 @@ SliceResult BuildSlices(const Program& prog, const Cfg& cfg,
     spec.region_end = prog.PcOf(cfg.block(region_loop.blocks.back()).last);
     spec.profile_misses = lp->l1_misses;
     spec.region_dcycles = budget_used;
+
+    // Final gate: a spec that violates the p-thread contract is dropped
+    // here, before it can ever reach a binary or the hardware PT.
+    if (!VerifyCandidateSpec(prog, spec, &report)) {
+      result.reports.push_back(report);
+      continue;
+    }
 
     result.specs.push_back(std::move(spec));
     result.reports.push_back(report);

@@ -16,10 +16,11 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
-#include "compiler/cfg.h"
-#include "compiler/loops.h"
+#include "analysis/cfg.h"
+#include "analysis/loops.h"
 #include "compiler/profiler.h"
 #include "isa/pthread_spec.h"
 
@@ -47,7 +48,7 @@ struct SliceReport {
   std::size_t slice_size = 0;
   std::size_t live_ins = 0;
   bool rejected = false;
-  const char* reject_reason = nullptr;
+  std::string reject_reason;
 };
 
 struct SliceResult {
@@ -58,5 +59,12 @@ struct SliceResult {
 SliceResult BuildSlices(const Program& prog, const Cfg& cfg,
                         const LoopForest& loops, const ProfileResult& profile,
                         const SlicerOptions& options);
+
+// Verification gate applied to every candidate spec before it is emitted
+// (analysis/verifier.h): returns false and marks `report` rejected with the
+// first error diagnostic when the spec violates the p-thread contract.
+// Exposed so tests can drive the rejection path with adversarial specs.
+bool VerifyCandidateSpec(const Program& prog, const PThreadSpec& spec,
+                         SliceReport* report);
 
 }  // namespace spear

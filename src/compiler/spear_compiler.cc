@@ -3,8 +3,8 @@
 #include <cstdio>
 
 #include "common/check.h"
-#include "compiler/cfg.h"
-#include "compiler/loops.h"
+#include "analysis/cfg.h"
+#include "analysis/loops.h"
 
 namespace spear {
 
@@ -20,7 +20,8 @@ std::string CompileReport::ToString() const {
   for (const SliceReport& s : slices) {
     if (s.rejected) {
       std::snprintf(buf, sizeof(buf), "  dload 0x%x: rejected (%s)\n",
-                    s.dload_pc, s.reject_reason ? s.reject_reason : "?");
+                    s.dload_pc,
+                    s.reject_reason.empty() ? "?" : s.reject_reason.c_str());
     } else {
       std::snprintf(buf, sizeof(buf),
                     "  dload 0x%x: %llu misses, region depth %d, slice %zu "

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/check.h"
+#include "isa/spec_check.h"
 
 namespace spear {
 namespace {
@@ -154,7 +155,7 @@ void WriteProgram(const Program& prog, const std::string& path) {
   SPEAR_CHECK(std::fclose(fp) == 0);
 }
 
-Program ReadProgram(const std::string& path) {
+Program ReadProgram(const std::string& path, SpecLoadPolicy policy) {
   std::FILE* fp = std::fopen(path.c_str(), "rb");
   SPEAR_CHECK(fp != nullptr);
   SPEAR_CHECK(std::fseek(fp, 0, SEEK_END) == 0);
@@ -165,7 +166,27 @@ Program ReadProgram(const std::string& path) {
   const std::size_t read = std::fread(bytes.data(), 1, bytes.size(), fp);
   SPEAR_CHECK(read == bytes.size());
   std::fclose(fp);
-  return DeserializeProgram(bytes);
+
+  Program prog = DeserializeProgram(bytes);
+  if (policy == SpecLoadPolicy::kTrust) return prog;
+  int bad_specs = 0;
+  for (const PThreadSpec& spec : prog.pthreads) {
+    const std::vector<SpecDiag> diags = CheckSpecStructure(prog, spec);
+    if (!HasSpecErrors(diags)) continue;
+    ++bad_specs;
+    for (const SpecDiag& d : diags) {
+      if (d.severity() != SpecDiagSeverity::kError) continue;
+      std::fprintf(stderr, "%s:0x%x: %s: %s [%s]\n", path.c_str(), d.pc,
+                   policy == SpecLoadPolicy::kReject ? "error" : "warning",
+                   d.message.c_str(), SpecDiagCodeName(d.code));
+    }
+  }
+  if (bad_specs > 0) {
+    std::fprintf(stderr, "%s: %d p-thread spec(s) violate the slice contract\n",
+                 path.c_str(), bad_specs);
+    SPEAR_CHECK(policy != SpecLoadPolicy::kReject);
+  }
+  return prog;
 }
 
 }  // namespace spear

@@ -28,10 +28,18 @@ inline constexpr std::uint32_t kSpearBinVersion = 2;
 std::vector<std::uint8_t> SerializeProgram(const Program& prog);
 Program DeserializeProgram(const std::vector<std::uint8_t>& bytes);
 
+// What to do when a loaded binary carries p-thread specs that violate the
+// structural contract (isa/spec_check.h): warn on stderr and keep going
+// (default — the simulator will still run, the hardware PT construction
+// CHECKs the properties it relies on), abort the load, or skip the check
+// entirely (for tools that run the full verifier themselves).
+enum class SpecLoadPolicy { kWarn, kReject, kTrust };
+
 // File I/O convenience. WriteProgram overwrites; ReadProgram aborts via
 // SPEAR_CHECK on malformed input (simulator tooling, not a hostile-input
-// parser).
+// parser) and applies `policy` to structurally invalid p-thread specs.
 void WriteProgram(const Program& prog, const std::string& path);
-Program ReadProgram(const std::string& path);
+Program ReadProgram(const std::string& path,
+                    SpecLoadPolicy policy = SpecLoadPolicy::kWarn);
 
 }  // namespace spear

@@ -9,6 +9,7 @@
 // time, and the loop region the slice was limited to.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -35,12 +36,10 @@ struct PThreadSpec {
   std::uint64_t profile_misses = 0;
   double region_dcycles = 0.0;
 
+  // Pre-decode hot path. Sortedness is part of the spec contract — enforced
+  // by the verifier (isa/spec_check.h) and checked when the PT is loaded.
   bool InSlice(Pc pc) const {
-    for (Pc p : slice_pcs) {
-      if (p == pc) return true;
-      if (p > pc) break;  // sorted
-    }
-    return false;
+    return std::binary_search(slice_pcs.begin(), slice_pcs.end(), pc);
   }
 };
 

@@ -1,0 +1,146 @@
+#include "isa/spec_check.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/check.h"
+#include "isa/instruction.h"
+#include "isa/regs.h"
+
+namespace spear {
+namespace {
+
+std::string HexPc(Pc pc) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "0x%x", pc);
+  return buf;
+}
+
+}  // namespace
+
+const char* SpecDiagCodeName(SpecDiagCode code) {
+  switch (code) {
+    case SpecDiagCode::kEmptySlice: return "empty-slice";
+    case SpecDiagCode::kUnsortedSlicePcs: return "unsorted-slice-pcs";
+    case SpecDiagCode::kSlicePcNotInText: return "slice-pc-not-in-text";
+    case SpecDiagCode::kBadRegion: return "bad-region";
+    case SpecDiagCode::kSlicePcOutsideRegion: return "slice-pc-outside-region";
+    case SpecDiagCode::kDloadNotInSlice: return "dload-not-in-slice";
+    case SpecDiagCode::kDloadNotALoad: return "dload-not-a-load";
+    case SpecDiagCode::kStoreInSlice: return "store-in-slice";
+    case SpecDiagCode::kControlInSlice: return "control-in-slice";
+    case SpecDiagCode::kSideEffectInSlice: return "side-effect-in-slice";
+    case SpecDiagCode::kBadLiveIn: return "bad-live-in";
+    case SpecDiagCode::kUnsortedLiveIns: return "unsorted-live-ins";
+    case SpecDiagCode::kMissingLiveIn: return "missing-live-in";
+    case SpecDiagCode::kSpuriousLiveIn: return "spurious-live-in";
+    case SpecDiagCode::kUncoveredRead: return "uncovered-read";
+    case SpecDiagCode::kDeadSliceInstr: return "dead-slice-instr";
+    case SpecDiagCode::kOversizedLiveIns: return "oversized-live-ins";
+    case SpecDiagCode::kEmptyRegion: return "empty-region";
+  }
+  SPEAR_CHECK(false);
+}
+
+SpecDiagSeverity SeverityOf(SpecDiagCode code) {
+  switch (code) {
+    case SpecDiagCode::kDeadSliceInstr:
+    case SpecDiagCode::kOversizedLiveIns:
+    case SpecDiagCode::kEmptyRegion:
+      return SpecDiagSeverity::kWarning;
+    default:
+      return SpecDiagSeverity::kError;
+  }
+}
+
+bool HasSpecErrors(const std::vector<SpecDiag>& diags) {
+  return std::any_of(diags.begin(), diags.end(), [](const SpecDiag& d) {
+    return d.severity() == SpecDiagSeverity::kError;
+  });
+}
+
+std::vector<SpecDiag> CheckSpecStructure(const Program& prog,
+                                         const PThreadSpec& spec) {
+  std::vector<SpecDiag> diags;
+  auto diag = [&diags](SpecDiagCode code, Pc pc, std::string message) {
+    diags.push_back(SpecDiag{code, pc, std::move(message)});
+  };
+
+  if (spec.slice_pcs.empty()) {
+    diag(SpecDiagCode::kEmptySlice, spec.dload_pc, "slice has no instructions");
+    return diags;  // every later rule quantifies over the slice
+  }
+
+  for (std::size_t i = 1; i < spec.slice_pcs.size(); ++i) {
+    if (spec.slice_pcs[i] <= spec.slice_pcs[i - 1]) {
+      diag(SpecDiagCode::kUnsortedSlicePcs, spec.slice_pcs[i],
+           "slice_pcs must be strictly ascending (" +
+               HexPc(spec.slice_pcs[i]) + " after " +
+               HexPc(spec.slice_pcs[i - 1]) + ")");
+      break;
+    }
+  }
+
+  const bool region_ok = prog.ContainsPc(spec.region_start) &&
+                         prog.ContainsPc(spec.region_end) &&
+                         spec.region_start <= spec.region_end;
+  if (!region_ok) {
+    diag(SpecDiagCode::kBadRegion, spec.region_start,
+         "region [" + HexPc(spec.region_start) + ", " +
+             HexPc(spec.region_end) + "] is not a valid text range");
+  }
+
+  for (Pc pc : spec.slice_pcs) {
+    if (!prog.ContainsPc(pc)) {
+      diag(SpecDiagCode::kSlicePcNotInText, pc,
+           "slice pc " + HexPc(pc) + " does not decode (outside the text "
+           "section or misaligned)");
+      continue;
+    }
+    if (region_ok && (pc < spec.region_start || pc > spec.region_end)) {
+      diag(SpecDiagCode::kSlicePcOutsideRegion, pc,
+           "slice pc " + HexPc(pc) + " lies outside the prefetching region");
+    }
+    const Opcode op = prog.At(pc).op;
+    if (IsStore(op)) {
+      diag(SpecDiagCode::kStoreInSlice, pc,
+           "store in slice would escape to architectural memory state");
+    } else if (IsControl(op)) {
+      diag(SpecDiagCode::kControlInSlice, pc,
+           "control transfer in slice; p-threads are data-flow only");
+    } else if (IsHalt(op) || (GetOpInfo(op).flags & kFlagOut)) {
+      diag(SpecDiagCode::kSideEffectInSlice, pc,
+           "halt/out in slice would escape architectural state");
+    }
+  }
+
+  if (std::find(spec.slice_pcs.begin(), spec.slice_pcs.end(), spec.dload_pc) ==
+      spec.slice_pcs.end()) {
+    diag(SpecDiagCode::kDloadNotInSlice, spec.dload_pc,
+         "triggering d-load " + HexPc(spec.dload_pc) +
+             " is not part of its own slice");
+  }
+  if (!prog.ContainsPc(spec.dload_pc) || !IsLoad(prog.At(spec.dload_pc).op)) {
+    diag(SpecDiagCode::kDloadNotALoad, spec.dload_pc,
+         "dload_pc " + HexPc(spec.dload_pc) +
+             " does not name a load instruction");
+  }
+
+  for (RegId reg : spec.live_ins) {
+    if (reg == kRegZero || reg >= kNumArchRegs) {
+      diag(SpecDiagCode::kBadLiveIn, spec.dload_pc,
+           "invalid live-in register id " + std::to_string(reg));
+    }
+  }
+  for (std::size_t i = 1; i < spec.live_ins.size(); ++i) {
+    if (spec.live_ins[i] <= spec.live_ins[i - 1]) {
+      diag(SpecDiagCode::kUnsortedLiveIns, spec.dload_pc,
+           "live_ins must be strictly ascending");
+      break;
+    }
+  }
+
+  return diags;
+}
+
+}  // namespace spear

@@ -1,0 +1,68 @@
+// P-thread spec contract diagnostics and the structural half of the
+// checker.
+//
+// SPEAR's safety story is that a p-thread only warms the D-cache and never
+// changes architectural state; a `PThreadSpec` that smuggles a store into
+// its slice, points outside its region, or omits a live-in breaks that
+// contract before the hardware ever runs. This header owns the diagnostic
+// vocabulary for the whole contract and implements the *structural* checks
+// — the ones that need nothing but the program text, cheap enough to run
+// every time a binary is loaded. The dataflow checks (live-in liveness,
+// slice self-containment, dead-code lints) live in analysis/verifier.h on
+// top of the solvers in analysis/dataflow.h.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "isa/program.h"
+
+namespace spear {
+
+enum class SpecDiagCode {
+  // Structural contract violations (checked at binary load time).
+  kEmptySlice,            // slice_pcs is empty
+  kUnsortedSlicePcs,      // slice_pcs not strictly ascending
+  kSlicePcNotInText,      // a slice pc does not decode (outside/misaligned)
+  kBadRegion,             // region bounds invalid or outside the text
+  kSlicePcOutsideRegion,  // a slice pc outside [region_start, region_end]
+  kDloadNotInSlice,       // dload_pc missing from its own slice
+  kDloadNotALoad,         // dload_pc does not name a load instruction
+  kStoreInSlice,          // architectural-state escape: memory write
+  kControlInSlice,        // architectural-state escape: control transfer
+  kSideEffectInSlice,     // architectural-state escape: halt/out
+  kBadLiveIn,             // live-in register id invalid (r0 or out of range)
+  kUnsortedLiveIns,       // live_ins not strictly ascending
+  // Dataflow contract violations (spearverify / spearc --verify).
+  kMissingLiveIn,         // slice reads a register that is not a live-in
+  kSpuriousLiveIn,        // declared live-in never read before definition
+  kUncoveredRead,         // read covered by neither live-ins nor slice defs
+  // Lints (warnings; the spec works but wastes hardware).
+  kDeadSliceInstr,        // slice instruction feeds nothing downstream
+  kOversizedLiveIns,      // live-in copy (1 reg/cycle) delays the trigger
+  kEmptyRegion,           // slice is just the d-load: nothing runs ahead
+};
+
+enum class SpecDiagSeverity { kError, kWarning };
+
+// Stable kebab-case name, printed in brackets after each diagnostic.
+const char* SpecDiagCodeName(SpecDiagCode code);
+SpecDiagSeverity SeverityOf(SpecDiagCode code);
+
+struct SpecDiag {
+  SpecDiagCode code;
+  Pc pc = 0;            // offending pc (the d-load's for set-level checks)
+  std::string message;  // human-readable, no file prefix
+
+  SpecDiagSeverity severity() const { return SeverityOf(code); }
+};
+
+bool HasSpecErrors(const std::vector<SpecDiag>& diags);
+
+// Structural checks only: slice decodes / is strictly sorted / stays inside
+// a valid region / contains the d-load; no store, control transfer, halt or
+// out in the slice; live-in register ids valid and canonically sorted.
+std::vector<SpecDiag> CheckSpecStructure(const Program& prog,
+                                         const PThreadSpec& spec);
+
+}  // namespace spear

@@ -4,6 +4,7 @@
 // mark (paper Section 3.1).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
 #include <unordered_set>
@@ -23,6 +24,10 @@ class PThreadTable {
 
   explicit PThreadTable(const std::vector<PThreadSpec>& specs) : specs_(specs) {
     for (int i = 0; i < static_cast<int>(specs_.size()); ++i) {
+      // InSlice binary-searches slice_pcs; a spec that slipped past the
+      // verifier with an unsorted slice must not reach the hardware.
+      SPEAR_CHECK(std::is_sorted(specs_[i].slice_pcs.begin(),
+                                 specs_[i].slice_pcs.end()));
       dload_to_spec_.emplace(specs_[i].dload_pc, i);
       for (Pc pc : specs_[i].slice_pcs) slice_pcs_.insert(pc);
     }

@@ -1,0 +1,505 @@
+// Tests for the static dataflow framework (analysis/dataflow.h) and the
+// p-thread verifier (analysis/verifier.h): solver correctness on hand-built
+// CFG shapes, a clean gather-loop spec, and an adversarial spec per
+// contract-violation class — each must fire its own diagnostic code.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "analysis/cfg.h"
+#include "analysis/dataflow.h"
+#include "analysis/verifier.h"
+#include "compiler/slicer.h"
+#include "eval/harness.h"
+#include "isa/assembler.h"
+#include "isa/binary.h"
+#include "isa/spec_check.h"
+#include "spear/pthread_table.h"
+
+namespace spear {
+namespace {
+
+bool HasCode(const std::vector<SpecDiag>& diags, SpecDiagCode code) {
+  return std::any_of(diags.begin(), diags.end(),
+                     [code](const SpecDiag& d) { return d.code == code; });
+}
+
+// ---------------------------------------------------------------------------
+// RegSet + use/def extraction
+// ---------------------------------------------------------------------------
+
+TEST(RegSet, BasicOperations) {
+  RegSet s = RegSet::Of({r(1), r(5), f(2)});
+  EXPECT_TRUE(s.Contains(r(1)));
+  EXPECT_TRUE(s.Contains(f(2)));
+  EXPECT_FALSE(s.Contains(r(2)));
+  EXPECT_EQ(s.Count(), 3);
+
+  s.Remove(r(5));
+  EXPECT_FALSE(s.Contains(r(5)));
+  EXPECT_EQ(s.Count(), 2);
+
+  const RegSet t = RegSet::Of({r(1), r(9)});
+  EXPECT_EQ((s | t), RegSet::Of({r(1), r(9), f(2)}));
+  EXPECT_EQ((s & t), RegSet::Of({r(1)}));
+  EXPECT_EQ(s - t, RegSet::Of({f(2)}));
+  EXPECT_TRUE(RegSet().Empty());
+
+  const std::vector<RegId> v = (s | t).ToVector();
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+  EXPECT_EQ(v.size(), 3u);
+}
+
+TEST(RegSet, UsesAndDefsHonorRegZero) {
+  // li r1, 5 == addi r1, r0, 5: reading r0 is not a use.
+  const Instruction li{Opcode::kAddi, r(1), kRegZero, 0, 5};
+  EXPECT_TRUE(UsesOf(li).Empty());
+  EXPECT_EQ(DefsOf(li), RegSet::Of({r(1)}));
+
+  // Writing r0 is not a definition.
+  const Instruction to_zero{Opcode::kAddi, kRegZero, r(1), 0, 0};
+  EXPECT_TRUE(DefsOf(to_zero).Empty());
+
+  // sw reads both the base and the stored value, defines nothing.
+  const Instruction sw{Opcode::kSw, 0, r(2), r(3), 4};
+  EXPECT_EQ(UsesOf(sw), RegSet::Of({r(2), r(3)}));
+  EXPECT_TRUE(DefsOf(sw).Empty());
+}
+
+// ---------------------------------------------------------------------------
+// LiveVariables on hand-built CFG shapes
+// ---------------------------------------------------------------------------
+
+TEST(LiveVariables, Diamond) {
+  Program prog;
+  Assembler a(&prog);
+  Label left = a.NewLabel(), join = a.NewLabel();
+  a.li(r(1), 5);               // 0  B0: def r1
+  a.beq(r(2), r(0), left);     // 1  B0: use r2
+  a.addi(r(3), r(1), 1);       // 2  B1: use r1, def r3
+  a.j(join);                   // 3
+  a.Bind(left);
+  a.addi(r(3), r(2), 2);       // 4  B2: use r2, def r3
+  a.Bind(join);
+  a.add(r(4), r(3), r(3));     // 5  B3: use r3, def r4
+  a.halt();                    // 6
+  a.Finish();
+
+  const Cfg cfg = Cfg::Build(prog);
+  ASSERT_EQ(cfg.num_blocks(), 4);
+  const LiveVariables lv = LiveVariables::Compute(cfg);
+
+  const int b0 = cfg.BlockOf(0), b1 = cfg.BlockOf(2), b2 = cfg.BlockOf(4),
+            b3 = cfg.BlockOf(5);
+  EXPECT_EQ(lv.use(b0), RegSet::Of({r(2)}));
+  EXPECT_EQ(lv.def(b0), RegSet::Of({r(1)}));
+  EXPECT_EQ(lv.live_in(b0), RegSet::Of({r(2)}));
+  EXPECT_EQ(lv.live_out(b0), RegSet::Of({r(1), r(2)}));
+  EXPECT_EQ(lv.live_in(b1), RegSet::Of({r(1)}));
+  EXPECT_EQ(lv.live_in(b2), RegSet::Of({r(2)}));
+  EXPECT_EQ(lv.live_in(b3), RegSet::Of({r(3)}));
+  EXPECT_TRUE(lv.live_out(b3).Empty());
+
+  EXPECT_EQ(lv.LiveBefore(0), RegSet::Of({r(2)}));
+  EXPECT_EQ(lv.LiveAfter(0), RegSet::Of({r(1), r(2)}));
+  EXPECT_EQ(lv.LiveBefore(5), RegSet::Of({r(3)}));
+}
+
+TEST(LiveVariables, LoopCarriesLiveness) {
+  Program prog;
+  Assembler a(&prog);
+  a.li(r(1), 10);              // 0
+  a.li(r(5), 0);               // 1
+  Label loop = a.BindNew();
+  a.add(r(5), r(5), r(1));     // 2  body: use r5,r1 / def r5
+  a.addi(r(1), r(1), -1);      // 3
+  a.bne(r(1), r(0), loop);     // 4
+  a.out(r(5));                 // 5
+  a.halt();                    // 6
+  a.Finish();
+
+  const Cfg cfg = Cfg::Build(prog);
+  const LiveVariables lv = LiveVariables::Compute(cfg);
+  const int body = cfg.BlockOf(2);
+  // Both the accumulator and the counter are live around the backedge.
+  EXPECT_EQ(lv.live_in(body), RegSet::Of({r(1), r(5)}));
+  EXPECT_EQ(lv.live_out(body), RegSet::Of({r(1), r(5)}));
+  EXPECT_TRUE(lv.live_in(cfg.entry_block()).Empty());
+}
+
+TEST(LiveVariables, UnreachableBlockStillSolved) {
+  Program prog;
+  Assembler a(&prog);
+  a.li(r(1), 1);               // 0
+  a.halt();                    // 1
+  a.add(r(2), r(3), r(4));     // 2  unreachable
+  a.halt();                    // 3
+  a.Finish();
+
+  const Cfg cfg = Cfg::Build(prog);
+  const LiveVariables lv = LiveVariables::Compute(cfg);
+  const int dead = cfg.BlockOf(2);
+  EXPECT_NE(dead, cfg.BlockOf(0));
+  // No predecessors, but local liveness is still well-defined.
+  EXPECT_EQ(lv.live_in(dead), RegSet::Of({r(3), r(4)}));
+}
+
+// ---------------------------------------------------------------------------
+// ReachingDefinitions
+// ---------------------------------------------------------------------------
+
+TEST(ReachingDefinitions, RedefinitionKills) {
+  Program prog;
+  Assembler a(&prog);
+  a.li(r(1), 1);               // 0  def A of r1
+  a.li(r(1), 2);               // 1  def B of r1, kills A
+  a.add(r(2), r(1), r(1));     // 2
+  a.halt();                    // 3
+  a.Finish();
+
+  const Cfg cfg = Cfg::Build(prog);
+  const ReachingDefinitions rd = ReachingDefinitions::Compute(cfg);
+  const std::vector<int> at2 = rd.DefsOfRegAt(r(1), 2);
+  ASSERT_EQ(at2.size(), 1u);
+  EXPECT_EQ(rd.definitions()[static_cast<std::size_t>(at2[0])].instr, 1u);
+  // Before the redefinition, only def A reaches.
+  const std::vector<int> at1 = rd.DefsOfRegAt(r(1), 1);
+  ASSERT_EQ(at1.size(), 1u);
+  EXPECT_EQ(rd.definitions()[static_cast<std::size_t>(at1[0])].instr, 0u);
+}
+
+TEST(ReachingDefinitions, DiamondMergesBothDefs) {
+  Program prog;
+  Assembler a(&prog);
+  Label left = a.NewLabel(), join = a.NewLabel();
+  a.beq(r(9), r(0), left);     // 0
+  a.li(r(1), 1);               // 1
+  a.j(join);                   // 2
+  a.Bind(left);
+  a.li(r(1), 2);               // 3
+  a.Bind(join);
+  a.add(r(2), r(1), r(0));     // 4
+  a.halt();                    // 5
+  a.Finish();
+
+  const Cfg cfg = Cfg::Build(prog);
+  const ReachingDefinitions rd = ReachingDefinitions::Compute(cfg);
+  EXPECT_EQ(rd.DefsOfRegAt(r(1), 4).size(), 2u);
+}
+
+TEST(ReachingDefinitions, LoopBackedgeReaches) {
+  Program prog;
+  Assembler a(&prog);
+  a.li(r(1), 0);               // 0  def A
+  Label loop = a.BindNew();
+  a.addi(r(1), r(1), 1);       // 1  def B
+  a.bne(r(1), r(10), loop);    // 2
+  a.halt();                    // 3
+  a.Finish();
+
+  const Cfg cfg = Cfg::Build(prog);
+  const ReachingDefinitions rd = ReachingDefinitions::Compute(cfg);
+  // At the top of the body both the init and the increment reach.
+  EXPECT_EQ(rd.DefsOfRegAt(r(1), 1).size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// The gather-loop fixture: one valid spec plus adversarial mutations.
+// ---------------------------------------------------------------------------
+
+// Index-fed gather: spine load feeds the delinquent load's address; the
+// consumer, a store and a junk def stay outside the slice.
+struct GatherFixture {
+  Program prog;
+  PThreadSpec spec;
+
+  GatherFixture() {
+    Assembler a(&prog);
+    a.li(r(4), 0x2000);          // 0  spine pointer
+    a.li(r(1), 64);              // 1  trip count
+    Label loop = a.BindNew();
+    a.lw(r(2), r(4), 0);         // 2  slice: spine load
+    a.slli(r(3), r(2), 2);       // 3  slice: index scale
+    a.add(r(3), r(3), r(6));     // 4  slice: + table base (live-in)
+    a.lw(r(5), r(3), 0);         // 5  slice: the delinquent load
+    a.add(r(7), r(7), r(5));     // 6  main-thread consumer
+    a.sw(r(7), r(4), 0);         // 7  main-thread store
+    a.xor_(r(9), r(2), r(2));    // 8  junk def, feeds nothing
+    a.addi(r(4), r(4), 4);       // 9  slice: spine advance
+    a.addi(r(1), r(1), -1);      // 10
+    a.bne(r(1), r(0), loop);     // 11
+    a.halt();                    // 12
+    a.Finish();
+
+    spec.dload_pc = prog.PcOf(5);
+    spec.slice_pcs = {prog.PcOf(2), prog.PcOf(3), prog.PcOf(4), prog.PcOf(5),
+                      prog.PcOf(9)};
+    spec.live_ins = {r(4), r(6)};
+    spec.region_start = prog.PcOf(2);
+    spec.region_end = prog.PcOf(11);
+  }
+};
+
+TEST(Verifier, AcceptsValidGatherSpec) {
+  GatherFixture fx;
+  const SpecVerifyResult vr = VerifySpec(fx.prog, fx.spec);
+  EXPECT_TRUE(vr.ok());
+  // Clean including lints: the looped liveness analysis must see the spine
+  // advance (instr 9) feeding the next iteration's spine load, not flag it
+  // dead.
+  EXPECT_TRUE(vr.diags.empty());
+}
+
+TEST(Verifier, MissingLiveInIsRejected) {
+  GatherFixture fx;
+  fx.spec.live_ins = {r(4)};  // forgot the table base r6
+  const SpecVerifyResult vr = VerifySpec(fx.prog, fx.spec);
+  EXPECT_FALSE(vr.ok());
+  EXPECT_TRUE(HasCode(vr.diags, SpecDiagCode::kMissingLiveIn));
+  // The read of r6 is also covered by neither live-ins nor slice defs.
+  EXPECT_TRUE(HasCode(vr.diags, SpecDiagCode::kUncoveredRead));
+}
+
+TEST(Verifier, SpuriousLiveInIsRejected) {
+  GatherFixture fx;
+  fx.spec.live_ins = {r(4), r(6), r(9)};  // r9 is never read by the slice
+  const SpecVerifyResult vr = VerifySpec(fx.prog, fx.spec);
+  EXPECT_FALSE(vr.ok());
+  EXPECT_TRUE(HasCode(vr.diags, SpecDiagCode::kSpuriousLiveIn));
+}
+
+TEST(Verifier, StoreInSliceIsRejected) {
+  GatherFixture fx;
+  fx.spec.slice_pcs.insert(
+      std::lower_bound(fx.spec.slice_pcs.begin(), fx.spec.slice_pcs.end(),
+                       fx.prog.PcOf(7)),
+      fx.prog.PcOf(7));  // smuggle the store in
+  const SpecVerifyResult vr = VerifySpec(fx.prog, fx.spec);
+  EXPECT_FALSE(vr.ok());
+  EXPECT_TRUE(HasCode(vr.diags, SpecDiagCode::kStoreInSlice));
+}
+
+TEST(Verifier, ControlInSliceIsRejected) {
+  GatherFixture fx;
+  fx.spec.slice_pcs.push_back(fx.prog.PcOf(11));  // the loop branch
+  const SpecVerifyResult vr = VerifySpec(fx.prog, fx.spec);
+  EXPECT_FALSE(vr.ok());
+  EXPECT_TRUE(HasCode(vr.diags, SpecDiagCode::kControlInSlice));
+}
+
+TEST(Verifier, SlicePcOutsideRegionIsRejected) {
+  GatherFixture fx;
+  fx.spec.slice_pcs.insert(fx.spec.slice_pcs.begin(), fx.prog.PcOf(0));
+  const SpecVerifyResult vr = VerifySpec(fx.prog, fx.spec);
+  EXPECT_FALSE(vr.ok());
+  EXPECT_TRUE(HasCode(vr.diags, SpecDiagCode::kSlicePcOutsideRegion));
+}
+
+TEST(Verifier, UnsortedSlicePcsIsRejected) {
+  GatherFixture fx;
+  std::swap(fx.spec.slice_pcs[0], fx.spec.slice_pcs[1]);
+  const SpecVerifyResult vr = VerifySpec(fx.prog, fx.spec);
+  EXPECT_FALSE(vr.ok());
+  EXPECT_TRUE(HasCode(vr.diags, SpecDiagCode::kUnsortedSlicePcs));
+}
+
+TEST(Verifier, DloadMissingFromSliceIsRejected) {
+  GatherFixture fx;
+  fx.spec.slice_pcs.erase(fx.spec.slice_pcs.begin() + 3);  // drop PcOf(5)
+  const SpecVerifyResult vr = VerifySpec(fx.prog, fx.spec);
+  EXPECT_FALSE(vr.ok());
+  EXPECT_TRUE(HasCode(vr.diags, SpecDiagCode::kDloadNotInSlice));
+}
+
+TEST(Verifier, DloadMustBeALoad) {
+  GatherFixture fx;
+  fx.spec.dload_pc = fx.prog.PcOf(3);  // the slli
+  const SpecVerifyResult vr = VerifySpec(fx.prog, fx.spec);
+  EXPECT_FALSE(vr.ok());
+  EXPECT_TRUE(HasCode(vr.diags, SpecDiagCode::kDloadNotALoad));
+}
+
+TEST(Verifier, BadRegionIsRejected) {
+  GatherFixture fx;
+  std::swap(fx.spec.region_start, fx.spec.region_end);
+  const SpecVerifyResult vr = VerifySpec(fx.prog, fx.spec);
+  EXPECT_FALSE(vr.ok());
+  EXPECT_TRUE(HasCode(vr.diags, SpecDiagCode::kBadRegion));
+}
+
+TEST(Verifier, SlicePcOutsideTextIsRejected) {
+  GatherFixture fx;
+  fx.spec.region_end = fx.prog.PcOf(12);
+  fx.spec.slice_pcs.push_back(fx.prog.EndPc());
+  const SpecVerifyResult vr = VerifySpec(fx.prog, fx.spec);
+  EXPECT_FALSE(vr.ok());
+  EXPECT_TRUE(HasCode(vr.diags, SpecDiagCode::kSlicePcNotInText));
+}
+
+TEST(Verifier, LiveInRegisterMustBeValid) {
+  GatherFixture fx;
+  fx.spec.live_ins = {kRegZero, r(4), r(6)};
+  const SpecVerifyResult vr = VerifySpec(fx.prog, fx.spec);
+  EXPECT_FALSE(vr.ok());
+  EXPECT_TRUE(HasCode(vr.diags, SpecDiagCode::kBadLiveIn));
+}
+
+TEST(Verifier, UnsortedLiveInsIsRejected) {
+  GatherFixture fx;
+  fx.spec.live_ins = {r(6), r(4)};
+  const SpecVerifyResult vr = VerifySpec(fx.prog, fx.spec);
+  EXPECT_FALSE(vr.ok());
+  EXPECT_TRUE(HasCode(vr.diags, SpecDiagCode::kUnsortedLiveIns));
+}
+
+TEST(Verifier, EmptySliceIsRejected) {
+  GatherFixture fx;
+  fx.spec.slice_pcs.clear();
+  const SpecVerifyResult vr = VerifySpec(fx.prog, fx.spec);
+  EXPECT_FALSE(vr.ok());
+  EXPECT_TRUE(HasCode(vr.diags, SpecDiagCode::kEmptySlice));
+}
+
+// --- lints: warnings that do not fail verification -------------------------
+
+TEST(Verifier, DeadSliceInstructionIsLinted) {
+  GatherFixture fx;
+  // The junk xor's def (r9) feeds nothing, even across the loop backedge.
+  fx.spec.slice_pcs.insert(
+      std::lower_bound(fx.spec.slice_pcs.begin(), fx.spec.slice_pcs.end(),
+                       fx.prog.PcOf(8)),
+      fx.prog.PcOf(8));
+  const SpecVerifyResult vr = VerifySpec(fx.prog, fx.spec);
+  EXPECT_TRUE(vr.ok());  // a warning, not an error
+  EXPECT_TRUE(HasCode(vr.diags, SpecDiagCode::kDeadSliceInstr));
+}
+
+TEST(Verifier, OversizedLiveInsIsLinted) {
+  GatherFixture fx;
+  const SpecVerifyResult vr =
+      VerifySpec(fx.prog, fx.spec, VerifyOptions{.live_in_budget = 1});
+  EXPECT_TRUE(vr.ok());
+  EXPECT_TRUE(HasCode(vr.diags, SpecDiagCode::kOversizedLiveIns));
+}
+
+TEST(Verifier, DloadOnlySliceIsLinted) {
+  GatherFixture fx;
+  fx.spec.slice_pcs = {fx.prog.PcOf(5)};
+  fx.spec.live_ins = {r(3)};
+  const SpecVerifyResult vr = VerifySpec(fx.prog, fx.spec);
+  EXPECT_TRUE(vr.ok());
+  EXPECT_TRUE(HasCode(vr.diags, SpecDiagCode::kEmptyRegion));
+}
+
+TEST(Verifier, NoLintsOptionSuppressesWarnings) {
+  GatherFixture fx;
+  fx.spec.slice_pcs = {fx.prog.PcOf(5)};
+  fx.spec.live_ins = {r(3)};
+  const SpecVerifyResult vr =
+      VerifySpec(fx.prog, fx.spec, VerifyOptions{.lints = false});
+  EXPECT_TRUE(vr.ok());
+  EXPECT_TRUE(vr.diags.empty());
+}
+
+TEST(Verifier, ToStringCarriesSourceAndCode) {
+  GatherFixture fx;
+  std::swap(fx.spec.slice_pcs[0], fx.spec.slice_pcs[1]);
+  fx.prog.pthreads = {fx.spec};
+  const VerifyResult vr = VerifyProgram(fx.prog);
+  EXPECT_FALSE(vr.ok());
+  EXPECT_EQ(vr.errors(), 1);
+  const std::string s = vr.ToString("demo.bin");
+  EXPECT_NE(s.find("demo.bin:"), std::string::npos);
+  EXPECT_NE(s.find("[unsorted-slice-pcs]"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Consumers of the verifier: slicer gate, loader policy, hardware PT.
+// ---------------------------------------------------------------------------
+
+TEST(SlicerGate, RejectsBrokenCandidate) {
+  GatherFixture fx;
+  fx.spec.live_ins = {r(4)};  // missing live-in
+  SliceReport report;
+  report.dload_pc = fx.spec.dload_pc;
+  EXPECT_FALSE(VerifyCandidateSpec(fx.prog, fx.spec, &report));
+  EXPECT_TRUE(report.rejected);
+  EXPECT_EQ(report.reject_reason.rfind("failed verification:", 0), 0u)
+      << report.reject_reason;
+}
+
+TEST(SlicerGate, AcceptsValidCandidate) {
+  GatherFixture fx;
+  SliceReport report;
+  EXPECT_TRUE(VerifyCandidateSpec(fx.prog, fx.spec, &report));
+  EXPECT_FALSE(report.rejected);
+}
+
+TEST(LoadPolicy, WarnLoadsRejectAborts) {
+  GatherFixture fx;
+  fx.spec.slice_pcs.insert(
+      std::lower_bound(fx.spec.slice_pcs.begin(), fx.spec.slice_pcs.end(),
+                       fx.prog.PcOf(7)),
+      fx.prog.PcOf(7));  // store in slice
+  fx.prog.pthreads = {fx.spec};
+  const std::string path = testing::TempDir() + "/bad_spec.spear.bin";
+  WriteProgram(fx.prog, path);
+
+  testing::internal::CaptureStderr();
+  const Program warned = ReadProgram(path, SpecLoadPolicy::kWarn);
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(warned.pthreads.size(), 1u);
+  EXPECT_NE(err.find("[store-in-slice]"), std::string::npos);
+
+  const Program trusted = ReadProgram(path, SpecLoadPolicy::kTrust);
+  EXPECT_EQ(trusted.pthreads.size(), 1u);
+
+  EXPECT_DEATH(ReadProgram(path, SpecLoadPolicy::kReject),
+               "SPEAR_CHECK failed");
+}
+
+TEST(PThreadTableDeath, RefusesUnsortedSlice) {
+  GatherFixture fx;
+  std::swap(fx.spec.slice_pcs[0], fx.spec.slice_pcs[1]);
+  EXPECT_DEATH(PThreadTable table({fx.spec}), "SPEAR_CHECK failed");
+}
+
+TEST(PThreadSpecInSlice, BinarySearchSemantics) {
+  GatherFixture fx;
+  for (Pc pc = fx.prog.PcOf(0); pc < fx.prog.EndPc(); pc += kInstrBytes) {
+    const bool expected =
+        std::find(fx.spec.slice_pcs.begin(), fx.spec.slice_pcs.end(), pc) !=
+        fx.spec.slice_pcs.end();
+    EXPECT_EQ(fx.spec.InSlice(pc), expected) << "pc 0x" << std::hex << pc;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// End to end: every spec the post-compiler emits for every workload must
+// verify with zero errors (the slicer's gate and the verifier agree).
+// ---------------------------------------------------------------------------
+
+class EveryWorkloadVerifies : public testing::TestWithParam<const char*> {};
+
+TEST_P(EveryWorkloadVerifies, CompilerOutputIsContractClean) {
+  EvalOptions opt;
+  opt.compiler.profiler.max_instrs = 300'000;
+  const PreparedWorkload pw = PrepareWorkload(GetParam(), opt);
+  const VerifyResult vr = VerifyProgram(pw.annotated);
+  EXPECT_TRUE(vr.ok()) << vr.ToString(GetParam());
+  EXPECT_EQ(vr.specs.size(), pw.annotated.pthreads.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, EveryWorkloadVerifies,
+    testing::Values("pointer", "update", "nbh", "tr", "matrix", "field", "dm",
+                    "ray", "fft", "gzip", "mcf", "vpr", "bzip2", "equake",
+                    "art"),
+    [](const testing::TestParamInfo<const char*>& info) {
+      return std::string(info.param);
+    });
+
+}  // namespace
+}  // namespace spear

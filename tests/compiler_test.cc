@@ -4,8 +4,8 @@
 
 #include <algorithm>
 
-#include "compiler/cfg.h"
-#include "compiler/loops.h"
+#include "analysis/cfg.h"
+#include "analysis/loops.h"
 #include "compiler/profiler.h"
 #include "compiler/slicer.h"
 #include "compiler/spear_compiler.h"

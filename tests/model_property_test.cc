@@ -10,8 +10,8 @@
 
 #include "common/circular_buffer.h"
 #include "common/rng.h"
-#include "compiler/cfg.h"
-#include "compiler/loops.h"
+#include "analysis/cfg.h"
+#include "analysis/loops.h"
 #include "isa/assembler.h"
 #include "mem/cache.h"
 #include "workloads/workload.h"

@@ -5,10 +5,11 @@
 //   spearc input.spearbin -o input.spear.bin
 //       [--profile-input other.spearbin] [--profile-instrs 2000000]
 //       [--miss-threshold 500] [--max-dloads 8] [--inclusion 0.25]
-//       [--budget 120] [--report]
+//       [--budget 120] [--report] [--verify]
 #include <cstdio>
 #include <cstdlib>
 
+#include "analysis/verifier.h"
 #include "compiler/spear_compiler.h"
 #include "isa/binary.h"
 #include "tool_flags.h"
@@ -24,7 +25,8 @@ int main(int argc, char** argv) {
        {"max-dloads", "keep at most N d-loads (default 8)"},
        {"inclusion", "slice-membership vote share (default 0.25)"},
        {"budget", "region d-cycle budget (default 120)"},
-       {"report", "print the compile report"}});
+       {"report", "print the compile report"},
+       {"verify", "re-verify the attached p-threads before writing"}});
 
   if (flags.positional().empty()) {
     std::fprintf(stderr, "spearc: no input binary (try --help)\n");
@@ -52,6 +54,19 @@ int main(int argc, char** argv) {
   CompileReport report;
   const Program annotated =
       CompileSpear(profile_input, target, options, &report);
+
+  // The slicer already gates every spec (compiler/slicer.cc); --verify
+  // re-runs the full analysis on the final program as an independent check.
+  if (flags.GetBool("verify")) {
+    const VerifyResult vr = VerifyProgram(annotated);
+    const std::string diags = vr.ToString(input);
+    if (!diags.empty()) std::fputs(diags.c_str(), stderr);
+    if (!vr.ok()) {
+      std::fprintf(stderr, "%s: p-thread verification failed, not writing\n",
+                   input.c_str());
+      return 1;
+    }
+  }
 
   const std::string out = flags.Get("o", input + ".spear.bin");
   WriteProgram(annotated, out);

@@ -24,13 +24,17 @@ int main(int argc, char** argv) {
        {"l2-latency", "L2 latency in cycles (default 12)"},
        {"max-instrs", "commit budget (default: run to halt)"},
        {"max-cycles", "cycle budget (default 1e9)"},
+       {"strict-specs", "refuse binaries with malformed p-thread specs"},
        {"trace", "print committed OUT values"}});
 
   if (flags.positional().empty()) {
     std::fprintf(stderr, "spearsim: no input binary (try --help)\n");
     return 2;
   }
-  const Program prog = ReadProgram(flags.positional()[0]);
+  const Program prog = ReadProgram(flags.positional()[0],
+                                   flags.GetBool("strict-specs")
+                                       ? SpecLoadPolicy::kReject
+                                       : SpecLoadPolicy::kWarn);
   const auto max_instrs = static_cast<std::uint64_t>(
       flags.GetInt("max-instrs", static_cast<long>(1) << 62));
   const auto max_cycles =
