@@ -9,10 +9,12 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spear;
   using namespace spear::bench;
 
+  const BenchContext ctx = ParseBenchArgs(argc, argv);
+  const EvalOptions& opt = ctx.options;
   PrintConfigHeader(BaselineConfig(128));
   const std::vector<std::string> names = {"matrix", "mcf", "equake", "art"};
   struct Policy {
@@ -25,11 +27,11 @@ int main() {
       {TriggerDrainPolicy::kStallDispatch, "stall-dispatch"},
   };
 
-  EvalOptions opt;
   std::printf("== Ablation D: trigger drain policy (SPEAR-256) ==\n");
   std::printf("%-10s %-18s %10s %10s %12s\n", "benchmark", "policy", "IPC",
               "speedup", "sessions");
 
+  telemetry::JsonValue result_rows = telemetry::JsonValue::Array();
   for (const std::string& name : names) {
     const PreparedWorkload pw = PrepareWorkload(name, opt);
     const RunStats base = RunConfig(pw.plain, BaselineConfig(128), opt);
@@ -40,9 +42,19 @@ int main() {
       std::printf("%-10s %-18s %10.3f %9.3fx %12llu\n", name.c_str(), p.name,
                   s.ipc, s.ipc / base.ipc,
                   static_cast<unsigned long long>(s.sessions));
+      telemetry::JsonValue row = telemetry::JsonValue::Object();
+      row.Set("name", telemetry::JsonValue(name));
+      row.Set("policy", telemetry::JsonValue(p.name));
+      row.Set("base", RunStatsToJson(base));
+      row.Set("spear", RunStatsToJson(s));
+      result_rows.Append(std::move(row));
     }
     std::fflush(stdout);
   }
   std::printf("\ndefault: immediate (see DESIGN.md on the interpretation)\n");
+
+  telemetry::JsonValue results = telemetry::JsonValue::Object();
+  results.Set("rows", std::move(result_rows));
+  WriteBenchJson(ctx, "ablation_drain", std::move(results));
   return 0;
 }

@@ -6,19 +6,21 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spear;
   using namespace spear::bench;
 
+  const BenchContext ctx = ParseBenchArgs(argc, argv);
+  const EvalOptions& opt = ctx.options;
   PrintConfigHeader(BaselineConfig(128));
   const std::vector<std::string> names = {"matrix", "mcf", "equake"};
   const std::uint32_t widths[] = {1, 2, 4, 6, 8};
 
-  EvalOptions opt;
   std::printf("== Ablation B: PE extraction bandwidth (instrs/cycle) ==\n");
   std::printf("%-10s %8s %10s %10s %12s\n", "benchmark", "extract", "IPC",
               "speedup", "extracted");
 
+  telemetry::JsonValue result_rows = telemetry::JsonValue::Array();
   for (const std::string& name : names) {
     const PreparedWorkload pw = PrepareWorkload(name, opt);
     const RunStats base = RunConfig(pw.plain, BaselineConfig(128), opt);
@@ -29,9 +31,20 @@ int main() {
       std::printf("%-10s %8u %10.3f %9.3fx %12llu\n", name.c_str(), w, s.ipc,
                   s.ipc / base.ipc,
                   static_cast<unsigned long long>(s.extracted));
+      telemetry::JsonValue row = telemetry::JsonValue::Object();
+      row.Set("name", telemetry::JsonValue(name));
+      row.Set("extract_per_cycle",
+              telemetry::JsonValue(static_cast<std::int64_t>(w)));
+      row.Set("base", RunStatsToJson(base));
+      row.Set("spear", RunStatsToJson(s));
+      result_rows.Append(std::move(row));
     }
     std::fflush(stdout);
   }
   std::printf("\npaper default: issue_width/2 = 4\n");
+
+  telemetry::JsonValue results = telemetry::JsonValue::Object();
+  results.Set("rows", std::move(result_rows));
+  WriteBenchJson(ctx, "ablation_extract", std::move(results));
   return 0;
 }

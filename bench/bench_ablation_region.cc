@@ -8,19 +8,21 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spear;
   using namespace spear::bench;
 
+  const BenchContext ctx = ParseBenchArgs(argc, argv);
+  const EvalOptions& opt = ctx.options;
   PrintConfigHeader(BaselineConfig(128));
   const std::vector<std::string> names = {"tr", "matrix", "ray", "equake"};
   const double budgets[] = {1.0, 60.0, 120.0, 480.0, 1e9};
 
-  EvalOptions opt;
   std::printf("== Ablation C: prefetching-range d-cycle budget ==\n");
   std::printf("%-10s %10s %8s %12s %10s %10s\n", "benchmark", "budget",
               "specs", "slice instr", "IPC", "speedup");
 
+  telemetry::JsonValue result_rows = telemetry::JsonValue::Array();
   for (const std::string& name : names) {
     EvalOptions base_opt = opt;
     const PreparedWorkload base_pw = PrepareWorkload(name, base_opt);
@@ -38,8 +40,22 @@ int main() {
                   budget, pw.annotated.pthreads.size(), slice_instrs, s.ipc,
                   s.ipc / base.ipc);
       std::fflush(stdout);
+      telemetry::JsonValue row = telemetry::JsonValue::Object();
+      row.Set("name", telemetry::JsonValue(name));
+      row.Set("dcycle_budget", telemetry::JsonValue(budget));
+      row.Set("specs", telemetry::JsonValue(static_cast<std::int64_t>(
+                           pw.annotated.pthreads.size())));
+      row.Set("slice_instrs",
+              telemetry::JsonValue(static_cast<std::int64_t>(slice_instrs)));
+      row.Set("base", RunStatsToJson(base));
+      row.Set("spear", RunStatsToJson(s));
+      result_rows.Append(std::move(row));
     }
   }
   std::printf("\npaper default: 120 (one memory latency)\n");
+
+  telemetry::JsonValue results = telemetry::JsonValue::Object();
+  results.Set("rows", std::move(result_rows));
+  WriteBenchJson(ctx, "ablation_region", std::move(results));
   return 0;
 }

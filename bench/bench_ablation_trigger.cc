@@ -7,19 +7,21 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spear;
   using namespace spear::bench;
 
+  const BenchContext ctx = ParseBenchArgs(argc, argv);
+  const EvalOptions& opt = ctx.options;
   PrintConfigHeader(BaselineConfig(128));
   const std::vector<std::string> names = {"matrix", "mcf", "equake"};
   const std::uint32_t divisors[] = {1, 2, 4, 16, 128};
 
-  EvalOptions opt;
   std::printf("== Ablation A: trigger occupancy threshold (IFQ/div) ==\n");
   std::printf("%-10s %6s %12s %10s %10s %12s\n", "benchmark", "div",
               "threshold", "IPC", "speedup", "triggers");
 
+  telemetry::JsonValue result_rows = telemetry::JsonValue::Array();
   for (const std::string& name : names) {
     const PreparedWorkload pw = PrepareWorkload(name, opt);
     const RunStats base = RunConfig(pw.plain, BaselineConfig(128), opt);
@@ -30,9 +32,22 @@ int main() {
       std::printf("%-10s %6u %12u %10.3f %9.3fx %12llu\n", name.c_str(), div,
                   cfg.TriggerOccupancy(), s.ipc, s.ipc / base.ipc,
                   static_cast<unsigned long long>(s.triggers));
+      telemetry::JsonValue row = telemetry::JsonValue::Object();
+      row.Set("name", telemetry::JsonValue(name));
+      row.Set("divisor",
+              telemetry::JsonValue(static_cast<std::int64_t>(div)));
+      row.Set("threshold", telemetry::JsonValue(static_cast<std::int64_t>(
+                               cfg.TriggerOccupancy())));
+      row.Set("base", RunStatsToJson(base));
+      row.Set("spear", RunStatsToJson(s));
+      result_rows.Append(std::move(row));
     }
     std::fflush(stdout);
   }
   std::printf("\npaper default: div=2 (half the IFQ), chosen empirically\n");
+
+  telemetry::JsonValue results = telemetry::JsonValue::Object();
+  results.Set("rows", std::move(result_rows));
+  WriteBenchJson(ctx, "ablation_trigger", std::move(results));
   return 0;
 }

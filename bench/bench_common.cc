@@ -1,6 +1,29 @@
 #include "bench_common.h"
 
+#include <filesystem>
+#include <fstream>
+
+#include "telemetry/registry.h"
+#include "tool_flags.h"
+
 namespace spear::bench {
+
+BenchContext ParseBenchArgs(int argc, char** argv) {
+  tools::Flags flags(argc, argv,
+                     {{"out", "directory for the JSON result file "
+                              "(default bench/results)"},
+                      {"quick", "smoke-run budget (40k instrs per config)"},
+                      {"sim-instrs", "exact per-config commit budget"}});
+  BenchContext ctx;
+  ctx.out_dir = flags.Get("out", ctx.out_dir);
+  ctx.quick = flags.GetBool("quick");
+  if (ctx.quick) ctx.options.sim_instrs = 40'000;
+  if (flags.Has("sim-instrs")) {
+    ctx.options.sim_instrs =
+        static_cast<std::uint64_t>(flags.GetInt("sim-instrs", 400'000));
+  }
+  return ctx;
+}
 
 double Average(const std::vector<double>& xs) {
   if (xs.empty()) return 0.0;
@@ -57,6 +80,54 @@ std::vector<std::string> AllBenchmarkNames() {
   std::vector<std::string> names;
   for (const WorkloadInfo& w : AllWorkloads()) names.emplace_back(w.name);
   return names;
+}
+
+telemetry::JsonValue EvalRowToJson(const EvalRow& row, bool with_sf) {
+  telemetry::JsonValue o = telemetry::JsonValue::Object();
+  o.Set("name", telemetry::JsonValue(row.name));
+  o.Set("base", RunStatsToJson(row.base));
+  o.Set("spear128", RunStatsToJson(row.s128));
+  o.Set("spear256", RunStatsToJson(row.s256));
+  if (with_sf) {
+    o.Set("spear128_sf", RunStatsToJson(row.sf128));
+    o.Set("spear256_sf", RunStatsToJson(row.sf256));
+  }
+  telemetry::JsonValue compile = telemetry::JsonValue::Object();
+  compile.Set("slices", telemetry::JsonValue(static_cast<std::int64_t>(
+                            row.compile.slices.size())));
+  compile.Set("profiled_l1_misses",
+              telemetry::JsonValue(row.compile.profiled_l1_misses));
+  o.Set("compile", std::move(compile));
+  return o;
+}
+
+telemetry::JsonValue RowsToJson(const std::vector<EvalRow>& rows,
+                                bool with_sf) {
+  telemetry::JsonValue arr = telemetry::JsonValue::Array();
+  for (const EvalRow& row : rows) arr.Append(EvalRowToJson(row, with_sf));
+  return arr;
+}
+
+std::string WriteBenchJson(const BenchContext& ctx,
+                           const std::string& bench_name,
+                           telemetry::JsonValue results) {
+  telemetry::JsonValue doc = telemetry::JsonValue::Object();
+  doc.Set("schema_version",
+          telemetry::JsonValue(telemetry::kStatsSchemaVersion));
+  doc.Set("kind", telemetry::JsonValue("bench"));
+  doc.Set("bench", telemetry::JsonValue(bench_name));
+  doc.Set("quick", telemetry::JsonValue(ctx.quick));
+  doc.Set("sim_instrs", telemetry::JsonValue(static_cast<std::int64_t>(
+                            ctx.options.sim_instrs)));
+  doc.Set("results", std::move(results));
+
+  std::filesystem::create_directories(ctx.out_dir);
+  const std::string path = ctx.out_dir + "/" + bench_name + ".json";
+  std::ofstream out(path, std::ios::binary);
+  out << doc.Dump(2) << "\n";
+  out.close();
+  std::printf("\nwrote %s\n", path.c_str());
+  return path;
 }
 
 }  // namespace spear::bench

@@ -9,8 +9,20 @@
 #include <vector>
 
 #include "eval/harness.h"
+#include "telemetry/json.h"
 
 namespace spear::bench {
+
+// Options every bench binary accepts: --out=<dir> redirects the JSON
+// result file (default bench/results), --quick shrinks the commit budget
+// for smoke runs (CI), --sim-instrs overrides it exactly.
+struct BenchContext {
+  EvalOptions options;
+  std::string out_dir = "bench/results";
+  bool quick = false;
+};
+
+BenchContext ParseBenchArgs(int argc, char** argv);
 
 // Geometric mean of per-benchmark speedups is noisy at this scale; the
 // paper reports arithmetic averages of normalized IPC, so we do too.
@@ -35,5 +47,21 @@ std::vector<EvalRow> RunMatrix(const std::vector<std::string>& names,
 
 // All 15 paper benchmarks, in Table 1 order.
 std::vector<std::string> AllBenchmarkNames();
+
+// One EvalRow as a JSON object (per-config RunStats; sf configs only when
+// with_sf ran).
+telemetry::JsonValue EvalRowToJson(const EvalRow& row, bool with_sf);
+
+// Standard matrix result payload: array of EvalRowToJson rows.
+telemetry::JsonValue RowsToJson(const std::vector<EvalRow>& rows,
+                                bool with_sf);
+
+// Wraps `results` in the schema-versioned bench envelope
+// {schema_version, kind:"bench", bench, quick, sim_instrs, results},
+// writes it to <out_dir>/<bench_name>.json (creating the directory) and
+// returns the path. Prints a one-line notice to stdout.
+std::string WriteBenchJson(const BenchContext& ctx,
+                           const std::string& bench_name,
+                           telemetry::JsonValue results);
 
 }  // namespace spear::bench

@@ -6,10 +6,12 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spear;
   using namespace spear::bench;
 
+  const BenchContext ctx = ParseBenchArgs(argc, argv);
+  const EvalOptions& opt = ctx.options;
   PrintConfigHeader(BaselineConfig(128));
   const std::vector<std::string> names = {"mcf", "vpr", "dm", "matrix"};
   struct Pred {
@@ -24,11 +26,11 @@ int main() {
       {"gshare-16k", BpredKind::kGshare, 16384},
   };
 
-  EvalOptions opt;
   std::printf("== Extension: SPEAR-256 gain vs branch predictor ==\n");
   std::printf("%-10s %-12s %10s %10s %10s\n", "benchmark", "predictor",
               "hit ratio", "base IPC", "speedup");
 
+  telemetry::JsonValue result_rows = telemetry::JsonValue::Array();
   for (const std::string& name : names) {
     const PreparedWorkload pw = PrepareWorkload(name, opt);
     for (const Pred& p : preds) {
@@ -44,8 +46,18 @@ int main() {
       std::printf("%-10s %-12s %10.4f %10.3f %9.3fx\n", name.c_str(), p.name,
                   base.branch_hit_ratio, base.ipc, sp.ipc / base.ipc);
       std::fflush(stdout);
+      telemetry::JsonValue row = telemetry::JsonValue::Object();
+      row.Set("name", telemetry::JsonValue(name));
+      row.Set("predictor", telemetry::JsonValue(p.name));
+      row.Set("base", RunStatsToJson(base));
+      row.Set("spear", RunStatsToJson(sp));
+      result_rows.Append(std::move(row));
     }
   }
   std::printf("\n(paper configuration: bimodal-2k)\n");
+
+  telemetry::JsonValue results = telemetry::JsonValue::Object();
+  results.Set("rows", std::move(result_rows));
+  WriteBenchJson(ctx, "ext_bpred", std::move(results));
   return 0;
 }

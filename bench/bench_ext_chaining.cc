@@ -7,16 +7,18 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spear;
   using namespace spear::bench;
 
+  const BenchContext ctx = ParseBenchArgs(argc, argv);
+  const EvalOptions& opt = ctx.options;
   PrintConfigHeader(BaselineConfig(128));
-  EvalOptions opt;
   std::printf("== Extension: chaining trigger (SPEAR-256) ==\n");
   std::printf("%-10s %9s %9s %12s %12s\n", "benchmark", "stock", "chained",
               "sessions", "chained-arms");
 
+  telemetry::JsonValue result_rows = telemetry::JsonValue::Array();
   std::vector<double> stock_spd, chain_spd;
   for (const std::string& name : AllBenchmarkNames()) {
     const PreparedWorkload pw = PrepareWorkload(name, opt);
@@ -38,8 +40,24 @@ int main() {
                 static_cast<unsigned long long>(
                     core.stats().chained_triggers));
     std::fflush(stdout);
+    telemetry::JsonValue row = telemetry::JsonValue::Object();
+    row.Set("name", telemetry::JsonValue(name));
+    row.Set("base", RunStatsToJson(base));
+    row.Set("stock", RunStatsToJson(stock));
+    row.Set("chained_ipc", telemetry::JsonValue(chained_ipc));
+    row.Set("chained_sessions",
+            telemetry::JsonValue(core.stats().preexec_sessions_completed));
+    row.Set("chained_arms",
+            telemetry::JsonValue(core.stats().chained_triggers));
+    result_rows.Append(std::move(row));
   }
   std::printf("%-10s %8.3fx %8.3fx\n", "average", Average(stock_spd),
               Average(chain_spd));
+
+  telemetry::JsonValue results = telemetry::JsonValue::Object();
+  results.Set("rows", std::move(result_rows));
+  results.Set("avg_speedup_stock", telemetry::JsonValue(Average(stock_spd)));
+  results.Set("avg_speedup_chained", telemetry::JsonValue(Average(chain_spd)));
+  WriteBenchJson(ctx, "ext_chaining", std::move(results));
   return 0;
 }

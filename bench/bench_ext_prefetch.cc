@@ -11,16 +11,18 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spear;
   using namespace spear::bench;
 
+  const BenchContext ctx = ParseBenchArgs(argc, argv);
+  const EvalOptions& opt = ctx.options;
   PrintConfigHeader(BaselineConfig(128));
-  EvalOptions opt;
   std::printf("== Extension: stride prefetching vs speculative pre-execution ==\n");
   std::printf("%-10s %9s %9s %9s %9s\n", "benchmark", "stride", "SPEAR",
               "both", "(norm IPC)");
 
+  telemetry::JsonValue result_rows = telemetry::JsonValue::Array();
   std::vector<double> stride_spd, spear_spd, both_spd;
   for (const std::string& name : AllBenchmarkNames()) {
     const PreparedWorkload pw = PrepareWorkload(name, opt);
@@ -38,8 +40,22 @@ int main() {
     std::printf("%-10s %8.3fx %8.3fx %8.3fx\n", name.c_str(),
                 stride_spd.back(), spear_spd.back(), both_spd.back());
     std::fflush(stdout);
+    telemetry::JsonValue row = telemetry::JsonValue::Object();
+    row.Set("name", telemetry::JsonValue(name));
+    row.Set("base", RunStatsToJson(base));
+    row.Set("stride", RunStatsToJson(stride));
+    row.Set("spear256", RunStatsToJson(spear));
+    row.Set("both", RunStatsToJson(both));
+    result_rows.Append(std::move(row));
   }
   std::printf("%-10s %8.3fx %8.3fx %8.3fx\n", "average", Average(stride_spd),
               Average(spear_spd), Average(both_spd));
+
+  telemetry::JsonValue results = telemetry::JsonValue::Object();
+  results.Set("rows", std::move(result_rows));
+  results.Set("avg_speedup_stride", telemetry::JsonValue(Average(stride_spd)));
+  results.Set("avg_speedup_spear", telemetry::JsonValue(Average(spear_spd)));
+  results.Set("avg_speedup_both", telemetry::JsonValue(Average(both_spd)));
+  WriteBenchJson(ctx, "ext_prefetch", std::move(results));
   return 0;
 }

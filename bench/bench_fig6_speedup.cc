@@ -6,12 +6,13 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spear;
   using namespace spear::bench;
 
+  const BenchContext ctx = ParseBenchArgs(argc, argv);
+  const EvalOptions& opt = ctx.options;
   PrintConfigHeader(BaselineConfig(128));
-  EvalOptions opt;
   std::printf("== Figure 6: normalized IPC (baseline = 1.00) ==\n");
   std::printf("%-10s %9s %10s %10s %10s %10s\n", "benchmark", "base IPC",
               "SPEAR-128", "SPEAR-256", "spd128", "spd256");
@@ -37,5 +38,11 @@ int main() {
               improved128, improved256, rows.size());
   std::printf("paper: avg 1.127x (128), 1.201x (256); best mcf 1.876x; "
               "tr/field/fft/gzip degrade 1-6.2%%\n");
+
+  telemetry::JsonValue results = telemetry::JsonValue::Object();
+  results.Set("rows", RowsToJson(rows, /*with_sf=*/false));
+  results.Set("avg_speedup_128", telemetry::JsonValue(Average(spd128)));
+  results.Set("avg_speedup_256", telemetry::JsonValue(Average(spd256)));
+  WriteBenchJson(ctx, "fig6_speedup", std::move(results));
   return 0;
 }

@@ -7,12 +7,13 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spear;
   using namespace spear::bench;
 
+  const BenchContext ctx = ParseBenchArgs(argc, argv);
+  const EvalOptions& opt = ctx.options;
   PrintConfigHeader(BaselineConfig(128));
-  EvalOptions opt;
   std::printf("== Figure 7: normalized IPC with separate functional units ==\n");
   std::printf("%-10s %9s %9s %9s %9s %9s\n", "benchmark", "s128", "s256",
               "sf128", "sf256", "base IPC");
@@ -38,5 +39,11 @@ int main() {
               Average(sf128) / Average(s128), Average(sf256) / Average(s256));
   std::printf("paper: avg 1.189x (sf-128), 1.263x (sf-256); queue factor "
               "~1.074x, FU factor ~1.062x\n");
+
+  telemetry::JsonValue results = telemetry::JsonValue::Object();
+  results.Set("rows", RowsToJson(rows, /*with_sf=*/true));
+  results.Set("avg_speedup_sf128", telemetry::JsonValue(Average(sf128)));
+  results.Set("avg_speedup_sf256", telemetry::JsonValue(Average(sf256)));
+  WriteBenchJson(ctx, "fig7_sf", std::move(results));
   return 0;
 }

@@ -6,12 +6,13 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spear;
   using namespace spear::bench;
 
+  const BenchContext ctx = ParseBenchArgs(argc, argv);
+  const EvalOptions& opt = ctx.options;
   PrintConfigHeader(BaselineConfig(128));
-  EvalOptions opt;
   std::printf("== Figure 8: L1D miss reduction (main thread) ==\n");
   std::printf("%-10s %12s %12s %12s %9s %9s\n", "benchmark", "base misses",
               "SPEAR-128", "SPEAR-256", "red128", "red256");
@@ -38,5 +39,11 @@ int main() {
   std::printf("%-10s %12s %12s %12s %8.1f%% %8.1f%%\n", "average", "", "", "",
               100.0 * Average(red128), 100.0 * Average(red256));
   std::printf("\npaper: avg 19.7%% eliminated (SPEAR-256), best art 38.8%%\n");
+
+  telemetry::JsonValue results = telemetry::JsonValue::Object();
+  results.Set("rows", RowsToJson(rows, /*with_sf=*/false));
+  results.Set("avg_miss_reduction_128", telemetry::JsonValue(Average(red128)));
+  results.Set("avg_miss_reduction_256", telemetry::JsonValue(Average(red256)));
+  WriteBenchJson(ctx, "fig8_missred", std::move(results));
   return 0;
 }

@@ -8,10 +8,12 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spear;
   using namespace spear::bench;
 
+  const BenchContext ctx = ParseBenchArgs(argc, argv);
+  const EvalOptions& opt = ctx.options;
   PrintConfigHeader(BaselineConfig(128));
   const std::vector<std::string> names = {"pointer", "update", "nbh",
                                           "dm", "mcf", "vpr"};
@@ -21,13 +23,13 @@ int main() {
   const LatencyPoint points[] = {{40, 4}, {80, 8}, {120, 12}, {160, 16},
                                  {200, 20}};
 
-  EvalOptions opt;
   std::printf("== Figure 9: IPC under memory-latency sweep ==\n");
   std::printf("%-10s %-10s %8s %8s %8s %8s %8s\n", "benchmark", "model",
               "40/4", "80/8", "120/12", "160/16", "200/20");
 
   // ipc[benchmark][model][point]
   double sum_ipc[3][5] = {};
+  telemetry::JsonValue result_rows = telemetry::JsonValue::Array();
   for (const std::string& name : names) {
     // One compile per benchmark (profiled at the default latencies, as a
     // binary would be shipped once and run on machines of varying speed).
@@ -52,6 +54,21 @@ int main() {
       std::printf("%-10s %-10s %8.3f %8.3f %8.3f %8.3f %8.3f\n", name.c_str(),
                   models[m], ipc[m][0], ipc[m][1], ipc[m][2], ipc[m][3],
                   ipc[m][4]);
+      telemetry::JsonValue row = telemetry::JsonValue::Object();
+      row.Set("name", telemetry::JsonValue(name));
+      row.Set("model", telemetry::JsonValue(models[m]));
+      telemetry::JsonValue curve = telemetry::JsonValue::Array();
+      for (int p = 0; p < 5; ++p) {
+        telemetry::JsonValue pt = telemetry::JsonValue::Object();
+        pt.Set("mem_latency", telemetry::JsonValue(
+                                  static_cast<std::int64_t>(points[p].mem)));
+        pt.Set("l2_latency", telemetry::JsonValue(
+                                 static_cast<std::int64_t>(points[p].l2)));
+        pt.Set("ipc", telemetry::JsonValue(ipc[m][p]));
+        curve.Append(std::move(pt));
+      }
+      row.Set("curve", std::move(curve));
+      result_rows.Append(std::move(row));
     }
     std::fflush(stdout);
   }
@@ -66,5 +83,9 @@ int main() {
   }
   std::printf("paper: baseline loses 48.5%%, SPEAR-128 39.7%%, SPEAR-256 "
               "38.4%%\n");
+
+  telemetry::JsonValue results = telemetry::JsonValue::Object();
+  results.Set("rows", std::move(result_rows));
+  WriteBenchJson(ctx, "fig9_latency", std::move(results));
   return 0;
 }

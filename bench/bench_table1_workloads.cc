@@ -9,16 +9,18 @@
 #include "bench_common.h"
 #include "sim/emulator.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spear;
   using namespace spear::bench;
 
+  const BenchContext ctx = ParseBenchArgs(argc, argv);
+  const EvalOptions& opt = ctx.options;
   PrintConfigHeader(BaselineConfig(128));
   std::printf("== Table 1: benchmark selection ==\n");
   std::printf("%-12s %-14s %12s %10s %8s %10s\n", "name", "suite",
               "sim instrs", "mem-instr%", "halted", "data(KiB)");
 
-  EvalOptions opt;
+  telemetry::JsonValue result_rows = telemetry::JsonValue::Array();
   for (const WorkloadInfo& w : AllWorkloads()) {
     WorkloadConfig cfg;
     cfg.seed = opt.ref_seed;
@@ -41,9 +43,24 @@ int main() {
                     static_cast<double>(executed),
                 emu.halted() ? "yes" : "budget",
                 static_cast<unsigned long long>(data_bytes / 1024));
+
+    telemetry::JsonValue row = telemetry::JsonValue::Object();
+    row.Set("name", telemetry::JsonValue(w.name));
+    row.Set("suite", telemetry::JsonValue(w.suite));
+    row.Set("sim_instrs", telemetry::JsonValue(executed));
+    row.Set("mem_instr_share",
+            telemetry::JsonValue(static_cast<double>(mem_instrs) /
+                                 static_cast<double>(executed)));
+    row.Set("halted", telemetry::JsonValue(emu.halted()));
+    row.Set("data_bytes", telemetry::JsonValue(data_bytes));
+    result_rows.Append(std::move(row));
   }
   std::printf("\n(paper: 53M-1B instructions per benchmark on SimpleScalar "
               "PISA; kernels here are scaled to the same miss regimes, see "
               "EXPERIMENTS.md)\n");
+
+  telemetry::JsonValue results = telemetry::JsonValue::Object();
+  results.Set("rows", std::move(result_rows));
+  WriteBenchJson(ctx, "table1_workloads", std::move(results));
   return 0;
 }

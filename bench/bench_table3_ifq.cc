@@ -7,12 +7,13 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spear;
   using namespace spear::bench;
 
+  const BenchContext ctx = ParseBenchArgs(argc, argv);
+  const EvalOptions& opt = ctx.options;
   PrintConfigHeader(BaselineConfig(128));
-  EvalOptions opt;
   std::printf("== Table 3: SPEAR-256 over SPEAR-128 vs branch behaviour ==\n");
   std::printf("%-10s %14s %16s %8s\n", "benchmark", "s256/s128",
               "branch hit", "IPB");
@@ -43,5 +44,9 @@ int main() {
   }
   std::printf("paper: matrix 1.45x @ 0.9942 hit; update 0.94x @ 0.8865; "
               "longer IFQ effectiveness follows branch prediction\n");
+
+  telemetry::JsonValue results = telemetry::JsonValue::Object();
+  results.Set("rows", RowsToJson(rows, /*with_sf=*/false));
+  WriteBenchJson(ctx, "table3_ifq", std::move(results));
   return 0;
 }

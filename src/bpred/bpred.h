@@ -16,6 +16,7 @@
 #include "common/check.h"
 #include "common/types.h"
 #include "isa/instruction.h"
+#include "telemetry/registry.h"
 
 namespace spear {
 
@@ -53,6 +54,7 @@ class BranchPredictor {
   // speculative structures (RAS push/pop). `fallthrough` = pc + 8.
   BranchPrediction Predict(Pc pc, const Instruction& in) {
     const Pc fallthrough = pc + kInstrBytes;
+    ++predicts_;
     BranchPrediction p;
     if (IsCondBranch(in.op)) {
       p.taken = PredictDirection(pc, in);
@@ -75,6 +77,7 @@ class BranchPredictor {
 
   // Trains the predictor with the resolved outcome (called at commit).
   void Update(Pc pc, const Instruction& in, bool taken, Pc actual_target) {
+    ++updates_;
     if (IsCondBranch(in.op)) {
       std::uint8_t& c = counters_[DirIndex(pc)];
       if (taken) {
@@ -89,6 +92,15 @@ class BranchPredictor {
   }
 
   const BpredConfig& config() const { return config_; }
+
+  // Binds predictor activity under "bpred.*" (direction accuracy lives
+  // with the core, which owns commit-time resolution).
+  void RegisterStats(telemetry::StatRegistry& reg) const {
+    reg.BindCounter("bpred.predicts", &predicts_,
+                    "fetch-time control-flow predictions");
+    reg.BindCounter("bpred.updates", &updates_,
+                    "commit-time predictor trainings");
+  }
 
  private:
   struct BtbEntry {
@@ -141,6 +153,8 @@ class BranchPredictor {
   std::size_t ras_top_ = 0;
   std::vector<BtbEntry> btb_;
   std::uint32_t history_ = 0;
+  std::uint64_t predicts_ = 0;
+  std::uint64_t updates_ = 0;
 };
 
 }  // namespace spear

@@ -4,6 +4,9 @@
 
 namespace spear {
 
+using telemetry::TraceEvent;
+using telemetry::TraceUid;
+
 // ---------------------------------------------------------------------------
 // Dispatch-time architectural state with wrong-path overlay.
 //
@@ -144,6 +147,7 @@ void Core::StepCycle() {
           : 0;
   Dispatch(budget);
   Fetch();
+  telem_.ifq_occupancy.Add(ifq_.size());
 }
 
 RunResult Core::Run(std::uint64_t max_instrs, std::uint64_t max_cycles) {
@@ -190,6 +194,8 @@ void Core::Commit() {
     if (e.exec.out_value) outputs_.push_back(*e.exec.out_value);
     if (trace_commits_) commit_trace_.push_back(e.pc);
     ++stats_.committed;
+    SPEAR_TRACE_EVENT(trace_, TraceEvent::kCommit, now_,
+                      TraceUid(e.fetch_seq, kMainThread), e.pc, kMainThread);
 
     const bool halt = e.exec.halted;
     ruu_.PopFront();
@@ -209,6 +215,9 @@ void Core::Commit() {
 void Core::PThreadRetire() {
   while (!pruu_.empty() && pruu_.Front().completed) {
     const bool was_trigger = pruu_.Front().is_trigger_dload;
+    SPEAR_TRACE_EVENT(trace_, TraceEvent::kPtRetire, now_,
+                      TraceUid(pruu_.Front().fetch_seq, kPThread),
+                      pruu_.Front().pc, kPThread);
     pruu_.PopFront();
     if (was_trigger) {
       EndPreExec(/*completed=*/true);
@@ -227,6 +236,8 @@ void Core::Writeback() {
     RuuEntry& e = pruu_.At(l);
     if (e.issued && !e.completed && e.complete_cycle <= now_) {
       e.completed = true;
+      SPEAR_TRACE_EVENT(trace_, TraceEvent::kComplete, now_,
+                        TraceUid(e.fetch_seq, kPThread), e.pc, kPThread);
     }
   }
 
@@ -235,6 +246,8 @@ void Core::Writeback() {
     RuuEntry& e = ruu_.At(l);
     if (e.issued && !e.completed && e.complete_cycle <= now_) {
       e.completed = true;
+      SPEAR_TRACE_EVENT(trace_, TraceEvent::kComplete, now_,
+                        TraceUid(e.fetch_seq, kMainThread), e.pc, kMainThread);
     }
     if (e.completed && e.mispredict && !e.recovery_done &&
         recover_idx == ruu_.size()) {
@@ -256,6 +269,16 @@ void Core::RecoverFromMispredict(RuuEntry& branch) {
     if (&ruu_.At(idx) == &branch) break;
   }
   SPEAR_CHECK(idx < ruu_.size());
+  stats_.squashed_wrongpath += ruu_.size() - idx - 1;
+  if constexpr (telemetry::kTraceCompiled) {
+    if (trace_ != nullptr) {
+      for (std::size_t l = idx + 1; l < ruu_.size(); ++l) {
+        const RuuEntry& s = ruu_.At(l);
+        trace_->Record(TraceEvent::kSquash, now_,
+                       TraceUid(s.fetch_seq, kMainThread), s.pc, kMainThread);
+      }
+    }
+  }
   ruu_.PopBack(ruu_.size() - idx - 1);
 
   // Discard the wrong-path overlay and rebuild rename state.
@@ -266,6 +289,16 @@ void Core::RecoverFromMispredict(RuuEntry& branch) {
   RebuildRenameMap();
 
   // Redirect the front end.
+  stats_.ifq_flushed += ifq_.size();
+  if constexpr (telemetry::kTraceCompiled) {
+    if (trace_ != nullptr) {
+      for (std::size_t l = 0; l < ifq_.size(); ++l) {
+        const IfqEntry& fe = ifq_.At(l);
+        trace_->Record(TraceEvent::kSquash, now_,
+                       TraceUid(fe.seq, kMainThread), fe.pc, kMainThread);
+      }
+    }
+  }
   ifq_.Clear();
   fetch_pc_ = branch.exec.next_pc;
   dispatch_halted_ = false;
@@ -375,6 +408,7 @@ std::uint32_t Core::ExecLatency(const RuuEntry& e) {
       const std::uint32_t latency =
           hier_.AccessData(e.exec.mem_addr, /*write=*/false, e.tid, now_)
               .latency;
+      telem_.access_latency.Add(latency);
       if (config_.stride_prefetch.enabled && e.tid == kMainThread) {
         // Prefetch traffic is attributed to the helper (kPThread) stats
         // slot so Figure-8-style miss accounting stays demand-only.
@@ -413,6 +447,8 @@ void Core::Issue() {
       e.issued = true;
       e.complete_cycle = now_ + ExecLatency(e);
       ++issued_this_cycle_;
+      SPEAR_TRACE_EVENT(trace_, TraceEvent::kIssue, now_,
+                        TraceUid(e.fetch_seq, e.tid), e.pc, e.tid);
     }
   };
 
@@ -434,6 +470,10 @@ void Core::ArmTrigger(int spec_index, std::uint64_t dload_seq) {
   trigger_dispatch_seq_ = dispatch_seq_;  // drain-to-trigger commit point
   trigger_captured_ = false;
   ++stats_.triggers_fired;
+  SPEAR_TRACE_EVENT(trace_, TraceEvent::kTrigger, now_,
+                    TraceUid(dload_seq, kMainThread),
+                    pt_.spec(spec_index).dload_pc, kMainThread,
+                    static_cast<std::uint16_t>(spec_index));
   switch (config_.spear.drain_policy) {
     case TriggerDrainPolicy::kStallDispatch:
       // Live-ins copied after the full drain; PE activates at pre-exec.
@@ -468,6 +508,10 @@ void Core::SnapshotLiveIns() {
   }
   copy_remaining_ = static_cast<std::uint32_t>(spec.live_ins.size()) *
                     config_.spear.copy_cycles_per_reg;
+  SPEAR_TRACE_EVENT(trace_, TraceEvent::kLiveInCopy, now_,
+                    TraceUid(trigger_dload_seq_, kMainThread), spec.dload_pc,
+                    kMainThread,
+                    static_cast<std::uint16_t>(spec.live_ins.size()));
 }
 
 // Starts PE scanning at the current IFQ head. Extraction may begin right
@@ -497,6 +541,22 @@ void Core::BeginPreExec() {
 }
 
 void Core::EndPreExec(bool completed) {
+  if constexpr (telemetry::kTraceCompiled) {
+    if (trace_ != nullptr) {
+      const Pc dload_pc = active_spec_ >= 0 ? pt_.spec(active_spec_).dload_pc : 0;
+      trace_->Record(TraceEvent::kSessionEnd, now_,
+                     TraceUid(trigger_dload_seq_, kMainThread), dload_pc,
+                     kMainThread, completed ? 1 : 0);
+      // Whatever is still in the p-thread RUU is discarded with the session.
+      for (std::size_t l = 0; l < pruu_.size(); ++l) {
+        const RuuEntry& e = pruu_.At(l);
+        trace_->Record(TraceEvent::kSquash, now_,
+                       TraceUid(e.fetch_seq, kPThread), e.pc, kPThread);
+      }
+    }
+  }
+  telem_.session_len.Add(session_extracted_);
+  session_extracted_ = 0;
   trigger_state_ = TriggerState::kNormal;
   pe_active_ = false;
   active_spec_ = -1;
@@ -578,6 +638,9 @@ int Core::ExtractPThread() {
     }
     ++extracted;
     ++stats_.pthread_extracted;
+    ++session_extracted_;
+    SPEAR_TRACE_EVENT(trace_, TraceEvent::kPtExtract, now_,
+                      TraceUid(en.seq, kPThread), en.pc, kPThread);
   }
   return extracted;
 }
@@ -593,6 +656,7 @@ void Core::DispatchOne(CircularBuffer<RuuEntry>& buffer, const IfqEntry& fe,
   e.pc = fe.pc;
   e.tid = tid;
   e.seq = tid == kPThread ? ++pdispatch_seq_ : ++dispatch_seq_;
+  e.fetch_seq = fe.seq;
   e.predicted_next = fe.predicted_next;
   e.pred_taken = fe.pred_taken;
 
@@ -618,6 +682,10 @@ void Core::DispatchOne(CircularBuffer<RuuEntry>& buffer, const IfqEntry& fe,
     }
     if (IsHalt(fe.instr.op)) dispatch_halted_ = true;
     ++stats_.dispatched_main;
+    if (e.wrongpath) ++stats_.dispatched_wrongpath;
+    SPEAR_TRACE_EVENT(trace_, TraceEvent::kDispatch, now_,
+                      TraceUid(fe.seq, kMainThread), fe.pc, kMainThread,
+                      e.wrongpath ? 1 : 0);
   } else {
     e.exec = ExecuteInstruction(pctx_, fe.instr, fe.pc);
   }
@@ -656,6 +724,9 @@ void Core::MaybeExtractOnPop(const IfqEntry& fe) {
   }
   DispatchOne(pruu_, fe, kPThread);
   ++stats_.pthread_extracted;
+  ++session_extracted_;
+  SPEAR_TRACE_EVENT(trace_, TraceEvent::kPtExtract, now_,
+                    TraceUid(fe.seq, kPThread), fe.pc, kPThread);
   if (is_trigger) {
     pruu_.Back().is_trigger_dload = true;
     trigger_captured_ = true;
@@ -717,6 +788,8 @@ void Core::Fetch() {
 
     ifq_.PushBack(fe);
     ++stats_.fetched;
+    SPEAR_TRACE_EVENT(trace_, TraceEvent::kFetch, now_,
+                      TraceUid(fe.seq, kMainThread), fe.pc, kMainThread);
 
     if (fe.dload_spec >= 0 && config_.spear.enabled) {
       if (trigger_state_ == TriggerState::kNormal &&

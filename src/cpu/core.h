@@ -38,6 +38,8 @@
 #include "mem/stride_prefetcher.h"
 #include "spear/pthread_context.h"
 #include "spear/pthread_table.h"
+#include "telemetry/registry.h"
+#include "telemetry/trace.h"
 
 namespace spear {
 
@@ -66,6 +68,11 @@ struct CoreStats {
   std::uint64_t dispatched_main = 0;
   std::uint64_t dispatch_stall_ruu_full = 0;
   std::uint64_t dispatch_stall_trigger = 0;
+
+  // Wrong-path accounting (recovery cost; see Figure 8 cross-checks).
+  std::uint64_t dispatched_wrongpath = 0;  // executed past a mispredict
+  std::uint64_t squashed_wrongpath = 0;    // RUU entries squashed at recovery
+  std::uint64_t ifq_flushed = 0;           // fetched entries discarded at recovery
 
   // SPEAR.
   std::uint64_t triggers_fired = 0;
@@ -99,6 +106,17 @@ struct CoreStats {
   }
 };
 
+// Distribution stats the core samples while running (cheap integer
+// accumulators; see telemetry/stat.h).
+struct CoreTelemetry {
+  telemetry::Distribution ifq_occupancy{
+      std::vector<std::uint64_t>{8, 16, 32, 64, 128, 256, 512}};
+  telemetry::Distribution access_latency{
+      std::vector<std::uint64_t>{1, 4, 12, 40, 120, 240}};
+  telemetry::Distribution session_len{
+      std::vector<std::uint64_t>{1, 2, 4, 8, 16, 32, 64}};
+};
+
 class Core {
  public:
   Core(const Program& prog, const CoreConfig& config);
@@ -113,9 +131,21 @@ class Core {
 
   bool halted() const { return halted_; }
   const CoreStats& stats() const { return stats_; }
+  const CoreTelemetry& core_telemetry() const { return telem_; }
   const MemoryHierarchy& hierarchy() const { return hier_; }
   const CoreConfig& config() const { return config_; }
   const std::vector<std::uint32_t>& outputs() const { return outputs_; }
+
+  // Binds every counter, distribution and derived stat of this core (and
+  // its substrates) into `reg` under the core/mem/bpred/spear namespaces.
+  // The registry reads live values, so it can be registered once and
+  // emitted after (or during) a run. Implemented in core_stats.cc.
+  void RegisterStats(telemetry::StatRegistry& reg) const;
+
+  // Attaches a pipeline event trace (nullptr detaches). The trace is
+  // passive: it never affects simulated timing, and the hooks compile out
+  // entirely under -DSPEAR_TELEMETRY_TRACE=0.
+  void set_trace(telemetry::PipeTrace* trace) { trace_ = trace; }
 
   // Committed-PC trace capture for oracle tests (off by default).
   void set_trace_commits(bool on) { trace_commits_ = on; }
@@ -245,6 +275,9 @@ class Core {
   bool halted_ = false;
   std::vector<std::uint32_t> outputs_;
   CoreStats stats_;
+  CoreTelemetry telem_;
+  std::uint64_t session_extracted_ = 0;  // extraction count, current session
+  telemetry::PipeTrace* trace_ = nullptr;
   bool trace_commits_ = false;
   std::vector<Pc> commit_trace_;
 };

@@ -1,0 +1,91 @@
+// Core::RegisterStats — binds every counter, distribution and derived
+// stat of a core (and its memory/bpred/SPEAR substrates) into a
+// StatRegistry under the component-scoped namespaces the stats schema
+// documents: core.*, mem.*, bpred.*, spear.*. The registry holds live
+// pointers and formulas capture `this`, so the core must outlive any read
+// of the registry.
+#include "cpu/core.h"
+
+namespace spear {
+
+void Core::RegisterStats(telemetry::StatRegistry& reg) const {
+  const CoreStats& s = stats_;
+
+  // ---- core: cycles and the pipeline stages ----
+  reg.BindCounter("core.cycles", &s.cycles, "elapsed clock cycles");
+  reg.BindCounter("core.fetch.fetched", &s.fetched,
+                  "instructions entered into the IFQ");
+  reg.BindCounter("core.fetch.ifq_flushed", &s.ifq_flushed,
+                  "wrong-path fetches discarded at recovery");
+  reg.BindCounter("core.dispatch.main", &s.dispatched_main,
+                  "main-thread instructions decoded/renamed");
+  reg.BindCounter("core.dispatch.wrongpath", &s.dispatched_wrongpath,
+                  "dispatches past an unresolved mispredict");
+  reg.BindCounter("core.dispatch.stall_ruu_full", &s.dispatch_stall_ruu_full,
+                  "dispatch stalls: RUU full");
+  reg.BindCounter("core.dispatch.stall_trigger", &s.dispatch_stall_trigger,
+                  "dispatch stalls: trigger drain (kStallDispatch)");
+  reg.BindCounter("core.commit.instructions", &s.committed,
+                  "main-thread instructions committed");
+  reg.BindCounter("core.commit.loads", &s.committed_loads);
+  reg.BindCounter("core.commit.stores", &s.committed_stores);
+  reg.BindCounter("core.commit.branches", &s.committed_branches,
+                  "committed control instructions");
+  reg.BindCounter("core.squash.wrongpath", &s.squashed_wrongpath,
+                  "RUU entries squashed at mispredict recovery");
+  reg.BindDistribution("core.ifq.occupancy", &telem_.ifq_occupancy,
+                       "IFQ entries, sampled every cycle");
+  reg.AddFormula(
+      "core.ipc",
+      [&s] {
+        return telemetry::SafeRatio(s.committed, s.cycles);
+      },
+      "committed main-thread instructions per cycle");
+
+  // ---- bpred: prediction volume and commit-time accuracy ----
+  bpred_.RegisterStats(reg);
+  reg.BindCounter("bpred.cond_branches", &s.committed_cond_branches,
+                  "committed conditional branches");
+  reg.BindCounter("bpred.dir_correct", &s.bpred_dir_correct,
+                  "conditional direction hits");
+  reg.BindCounter("bpred.mispredict_recoveries", &s.mispredict_recoveries);
+  reg.AddFormula(
+      "bpred.hit_ratio", [&s] { return s.BranchHitRatio(); },
+      "conditional direction accuracy");
+  reg.AddFormula(
+      "bpred.ipb", [&s] { return s.Ipb(); },
+      "committed instructions per control instruction");
+
+  // ---- mem: both cache levels plus access-latency shape ----
+  hier_.RegisterStats(reg);
+  reg.BindDistribution("mem.access_latency", &telem_.access_latency,
+                       "data-read latency as issued (cycles)");
+  reg.BindCounter("mem.stride.prefetches", &s.stride_prefetches,
+                  "stride-prefetcher baseline issues");
+
+  // ---- spear: trigger, sessions, extraction ----
+  pt_.RegisterStats(reg);
+  reg.BindCounter("spear.trigger.fired", &s.triggers_fired);
+  reg.BindCounter("spear.trigger.suppressed_occupancy",
+                  &s.triggers_suppressed_occupancy,
+                  "d-load seen but IFQ below the occupancy threshold");
+  reg.BindCounter("spear.trigger.aborted", &s.triggers_aborted,
+                  "sessions torn down by recovery or lost capture");
+  reg.BindCounter("spear.trigger.chained", &s.chained_triggers,
+                  "chaining-extension re-arms");
+  reg.BindCounter("spear.session.completed", &s.preexec_sessions_completed,
+                  "sessions ended by the triggering d-load retiring");
+  reg.BindDistribution("spear.session.extracted", &telem_.session_len,
+                       "instructions extracted per session");
+  reg.BindCounter("spear.pt.extracted", &s.pthread_extracted,
+                  "instructions the PE pulled from the IFQ");
+  reg.BindCounter("spear.pt.lost_to_dispatch", &s.pthread_lost_to_dispatch,
+                  "marked entries the PE missed at main dispatch");
+  reg.BindCounter("spear.pt.loads_issued", &s.pthread_loads_issued,
+                  "p-thread loads sent to the hierarchy (the prefetches)");
+  reg.BindCounter("spear.cycles.drain", &s.drain_cycles);
+  reg.BindCounter("spear.cycles.copy", &s.copy_cycles);
+  reg.BindCounter("spear.cycles.preexec", &s.preexec_cycles);
+}
+
+}  // namespace spear

@@ -31,7 +31,8 @@ struct RuuEntry {
   Instruction instr;
   Pc pc = 0;
   ThreadId tid = kMainThread;
-  std::uint64_t seq = 0;  // dispatch sequence, unique per buffer
+  std::uint64_t seq = 0;        // dispatch sequence, unique per buffer
+  std::uint64_t fetch_seq = 0;  // IFQ entry this was decoded from (telemetry)
 
   // Functional result, produced at dispatch (sim-outorder style).
   ExecResult exec;

@@ -31,12 +31,48 @@ RunStats RunConfig(const Program& prog, const CoreConfig& config,
   s.halted = rr.halted;
   s.l1d_misses_main = core.hierarchy().l1d().misses(kMainThread);
   s.l1d_misses_pthread = core.hierarchy().l1d().misses(kPThread);
+  s.l2_misses_main = core.hierarchy().l2().misses(kMainThread);
+  s.l2_misses_pthread = core.hierarchy().l2().misses(kPThread);
   s.branch_hit_ratio = core.stats().BranchHitRatio();
   s.ipb = core.stats().Ipb();
   s.triggers = core.stats().triggers_fired;
   s.sessions = core.stats().preexec_sessions_completed;
   s.extracted = core.stats().pthread_extracted;
+  s.dispatched_wrongpath = core.stats().dispatched_wrongpath;
+  s.squashed_wrongpath = core.stats().squashed_wrongpath;
+  s.ifq_flushed = core.stats().ifq_flushed;
   return s;
+}
+
+telemetry::JsonValue RunStatsToJson(const RunStats& s) {
+  telemetry::JsonValue o = telemetry::JsonValue::Object();
+  o.Set("cycles", telemetry::JsonValue(static_cast<std::int64_t>(s.cycles)));
+  o.Set("instructions",
+        telemetry::JsonValue(static_cast<std::int64_t>(s.instructions)));
+  o.Set("ipc", telemetry::JsonValue(s.ipc));
+  o.Set("l1d_misses_main",
+        telemetry::JsonValue(static_cast<std::int64_t>(s.l1d_misses_main)));
+  o.Set("l1d_misses_pthread",
+        telemetry::JsonValue(static_cast<std::int64_t>(s.l1d_misses_pthread)));
+  o.Set("l2_misses_main",
+        telemetry::JsonValue(static_cast<std::int64_t>(s.l2_misses_main)));
+  o.Set("l2_misses_pthread",
+        telemetry::JsonValue(static_cast<std::int64_t>(s.l2_misses_pthread)));
+  o.Set("branch_hit_ratio", telemetry::JsonValue(s.branch_hit_ratio));
+  o.Set("ipb", telemetry::JsonValue(s.ipb));
+  o.Set("triggers", telemetry::JsonValue(static_cast<std::int64_t>(s.triggers)));
+  o.Set("sessions", telemetry::JsonValue(static_cast<std::int64_t>(s.sessions)));
+  o.Set("extracted",
+        telemetry::JsonValue(static_cast<std::int64_t>(s.extracted)));
+  o.Set("dispatched_wrongpath",
+        telemetry::JsonValue(
+            static_cast<std::int64_t>(s.dispatched_wrongpath)));
+  o.Set("squashed_wrongpath",
+        telemetry::JsonValue(static_cast<std::int64_t>(s.squashed_wrongpath)));
+  o.Set("ifq_flushed",
+        telemetry::JsonValue(static_cast<std::int64_t>(s.ifq_flushed)));
+  o.Set("halted", telemetry::JsonValue(s.halted));
+  return o;
 }
 
 }  // namespace spear

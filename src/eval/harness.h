@@ -10,6 +10,7 @@
 
 #include "compiler/spear_compiler.h"
 #include "cpu/core.h"
+#include "telemetry/json.h"
 #include "workloads/workload.h"
 
 namespace spear {
@@ -41,15 +42,24 @@ struct RunStats {
   double ipc = 0.0;
   std::uint64_t l1d_misses_main = 0;
   std::uint64_t l1d_misses_pthread = 0;
+  std::uint64_t l2_misses_main = 0;
+  std::uint64_t l2_misses_pthread = 0;
   double branch_hit_ratio = 1.0;
   double ipb = 0.0;
   std::uint64_t triggers = 0;
   std::uint64_t sessions = 0;
   std::uint64_t extracted = 0;
+  // Wrong-path cost of control speculation.
+  std::uint64_t dispatched_wrongpath = 0;
+  std::uint64_t squashed_wrongpath = 0;
+  std::uint64_t ifq_flushed = 0;
   bool halted = false;
 };
 
 RunStats RunConfig(const Program& prog, const CoreConfig& config,
                    const EvalOptions& options);
+
+// RunStats as an insertion-ordered JSON object (for bench result files).
+telemetry::JsonValue RunStatsToJson(const RunStats& s);
 
 }  // namespace spear

@@ -10,6 +10,7 @@
 
 #include "common/check.h"
 #include "common/types.h"
+#include "telemetry/registry.h"
 
 namespace spear {
 
@@ -100,6 +101,32 @@ class Cache {
   void ResetStats() {
     hits_[0] = hits_[1] = misses_[0] = misses_[1] = 0;
     writebacks_ = 0;
+  }
+
+  // Binds this cache's counters under `prefix` (e.g. "mem.l1d"): per-thread
+  // hit/miss attribution, writebacks and a derived demand miss ratio.
+  void RegisterStats(telemetry::StatRegistry& reg,
+                     const std::string& prefix) const {
+    reg.BindCounter(prefix + ".hits.main", &hits_[kMainThread]);
+    reg.BindCounter(prefix + ".hits.pthread", &hits_[kPThread]);
+    reg.BindCounter(prefix + ".misses.main", &misses_[kMainThread]);
+    reg.BindCounter(prefix + ".misses.pthread", &misses_[kPThread]);
+    reg.BindCounter(prefix + ".writebacks", &writebacks_);
+    reg.AddFormula(
+        prefix + ".miss_ratio",
+        [this] {
+          return telemetry::SafeRatio(total_misses(),
+                                      total_hits() + total_misses());
+        },
+        "all-thread misses / accesses");
+    reg.AddFormula(
+        prefix + ".miss_ratio.main",
+        [this] {
+          return telemetry::SafeRatio(misses_[kMainThread],
+                                      hits_[kMainThread] +
+                                          misses_[kMainThread]);
+        },
+        "demand (main-thread) miss ratio");
   }
 
  private:

@@ -87,6 +87,12 @@ class MemoryHierarchy {
     l2_.ResetStats();
   }
 
+  // Binds both cache levels under "mem.l1d.*" / "mem.l2.*".
+  void RegisterStats(telemetry::StatRegistry& reg) const {
+    l1d_.RegisterStats(reg, "mem.l1d");
+    l2_.RegisterStats(reg, "mem.l2");
+  }
+
   std::size_t outstanding_fills() const { return outstanding_.size(); }
 
  private:

@@ -13,6 +13,7 @@
 #include "common/check.h"
 #include "common/types.h"
 #include "isa/program.h"
+#include "telemetry/registry.h"
 
 namespace spear {
 
@@ -30,7 +31,20 @@ class PThreadTable {
                                  specs_[i].slice_pcs.end()));
       dload_to_spec_.emplace(specs_[i].dload_pc, i);
       for (Pc pc : specs_[i].slice_pcs) slice_pcs_.insert(pc);
+      slice_len_.Add(specs_[i].slice_pcs.size());
+      livein_count_.Add(specs_[i].live_ins.size());
     }
+    num_specs_ = specs_.size();
+  }
+
+  // Binds the table's static shape under "spear.pt.*".
+  void RegisterStats(telemetry::StatRegistry& reg) const {
+    reg.BindCounter("spear.pt.specs", &num_specs_,
+                    "p-thread specs loaded into the PT");
+    reg.BindDistribution("spear.pt.slice_len", &slice_len_,
+                         "static slice length per spec (instructions)");
+    reg.BindDistribution("spear.pt.livein_count", &livein_count_,
+                         "declared live-in registers per spec");
   }
 
   bool empty() const { return specs_.empty(); }
@@ -55,6 +69,11 @@ class PThreadTable {
   std::vector<PThreadSpec> specs_;
   std::unordered_map<Pc, int> dload_to_spec_;
   std::unordered_set<Pc> slice_pcs_;
+
+  // Static-shape telemetry, filled at construction.
+  std::uint64_t num_specs_ = 0;
+  telemetry::Distribution slice_len_{std::vector<std::uint64_t>{2, 4, 8, 16, 32}};
+  telemetry::Distribution livein_count_{std::vector<std::uint64_t>{1, 2, 4, 8}};
 };
 
 }  // namespace spear

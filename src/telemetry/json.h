@@ -1,0 +1,98 @@
+// Minimal JSON document model, writer and parser used by the telemetry
+// emitters, the bench result files and the spearstats validator. Objects
+// preserve insertion order so emission is deterministic (two identical
+// simulator runs must produce byte-identical stats files).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace spear::telemetry {
+
+class JsonValue {
+ public:
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kInt,     // stored exactly; emitted without a decimal point
+    kDouble,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  JsonValue() : kind_(Kind::kNull) {}
+  JsonValue(bool b) : kind_(Kind::kBool), bool_(b) {}                // NOLINT
+  JsonValue(std::int64_t i) : kind_(Kind::kInt), int_(i) {}          // NOLINT
+  JsonValue(std::uint64_t u)                                         // NOLINT
+      : kind_(Kind::kInt), int_(static_cast<std::int64_t>(u)) {}
+  JsonValue(int i) : kind_(Kind::kInt), int_(i) {}                   // NOLINT
+  JsonValue(double d) : kind_(Kind::kDouble), double_(d) {}          // NOLINT
+  JsonValue(std::string s)                                           // NOLINT
+      : kind_(Kind::kString), string_(std::move(s)) {}
+  JsonValue(const char* s) : kind_(Kind::kString), string_(s) {}     // NOLINT
+
+  static JsonValue Array() {
+    JsonValue v;
+    v.kind_ = Kind::kArray;
+    return v;
+  }
+  static JsonValue Object() {
+    JsonValue v;
+    v.kind_ = Kind::kObject;
+    return v;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_number() const {
+    return kind_ == Kind::kInt || kind_ == Kind::kDouble;
+  }
+
+  bool AsBool() const { return bool_; }
+  std::int64_t AsInt() const {
+    return kind_ == Kind::kDouble ? static_cast<std::int64_t>(double_) : int_;
+  }
+  double AsDouble() const {
+    return kind_ == Kind::kInt ? static_cast<double>(int_) : double_;
+  }
+  const std::string& AsString() const { return string_; }
+
+  // Array access.
+  void Append(JsonValue v) { array_.push_back(std::move(v)); }
+  const std::vector<JsonValue>& items() const { return array_; }
+
+  // Object access (insertion-ordered; Set replaces an existing key).
+  JsonValue& Set(const std::string& key, JsonValue v);
+  const JsonValue* Find(const std::string& key) const;  // nullptr if absent
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return object_;
+  }
+
+  // Convenience: walks a dotted path ("stats.core.cycles") through nested
+  // objects; nullptr if any segment is missing.
+  const JsonValue* FindPath(const std::string& dotted) const;
+
+  // Serializes. indent <= 0 emits the compact single-line form.
+  std::string Dump(int indent = 0) const;
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+// Parses a JSON text. On failure returns null and, when `error` is given,
+// fills it with "offset N: message".
+bool JsonParse(const std::string& text, JsonValue* out, std::string* error);
+
+}  // namespace spear::telemetry

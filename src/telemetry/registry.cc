@@ -1,0 +1,238 @@
+#include "telemetry/registry.h"
+
+#include <cinttypes>
+#include <cmath>
+
+namespace spear::telemetry {
+
+void StatRegistry::BindCounter(const std::string& name, const std::uint64_t* v,
+                               const std::string& desc) {
+  SPEAR_CHECK(v != nullptr);
+  Entry e;
+  e.kind = StatKind::kCounter;
+  e.counter = v;
+  e.desc = desc;
+  stats_[name] = std::move(e);
+}
+
+void StatRegistry::BindDistribution(const std::string& name,
+                                    const Distribution* d,
+                                    const std::string& desc) {
+  SPEAR_CHECK(d != nullptr);
+  Entry e;
+  e.kind = StatKind::kDistribution;
+  e.dist = d;
+  e.desc = desc;
+  stats_[name] = std::move(e);
+}
+
+void StatRegistry::AddFormula(const std::string& name, Formula fn,
+                              const std::string& desc) {
+  SPEAR_CHECK(fn != nullptr);
+  Entry e;
+  e.kind = StatKind::kFormula;
+  e.formula = std::move(fn);
+  e.desc = desc;
+  stats_[name] = std::move(e);
+}
+
+const StatRegistry::Entry& StatRegistry::At(const std::string& name) const {
+  auto it = stats_.find(name);
+  SPEAR_CHECK(it != stats_.end());
+  return it->second;
+}
+
+StatKind StatRegistry::KindOf(const std::string& name) const {
+  return At(name).kind;
+}
+
+std::uint64_t StatRegistry::Counter(const std::string& name) const {
+  const Entry& e = At(name);
+  SPEAR_CHECK(e.kind == StatKind::kCounter);
+  return *e.counter;
+}
+
+const Distribution& StatRegistry::Dist(const std::string& name) const {
+  const Entry& e = At(name);
+  SPEAR_CHECK(e.kind == StatKind::kDistribution);
+  return *e.dist;
+}
+
+double StatRegistry::Eval(const std::string& name) const {
+  const Entry& e = At(name);
+  SPEAR_CHECK(e.kind == StatKind::kFormula);
+  return e.formula();
+}
+
+double StatRegistry::Value(const std::string& name) const {
+  const Entry& e = At(name);
+  switch (e.kind) {
+    case StatKind::kCounter: return static_cast<double>(*e.counter);
+    case StatKind::kFormula: return e.formula();
+    case StatKind::kDistribution: return e.dist->Mean();
+  }
+  return 0.0;
+}
+
+std::vector<std::string> StatRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(stats_.size());
+  for (const auto& [name, entry] : stats_) names.push_back(name);
+  return names;
+}
+
+namespace {
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+JsonValue DistJson(const Distribution& d) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("count", d.count());
+  obj.Set("sum", d.sum());
+  obj.Set("min", d.min());
+  obj.Set("max", d.max());
+  obj.Set("mean", d.Mean());
+  obj.Set("stddev", std::sqrt(d.Variance()));
+  if (!d.buckets().empty()) {
+    JsonValue bounds = JsonValue::Array();
+    for (std::uint64_t b : d.bucket_bounds()) bounds.Append(b);
+    JsonValue counts = JsonValue::Array();
+    for (std::uint64_t c : d.buckets()) counts.Append(c);
+    obj.Set("bucket_le", std::move(bounds));
+    obj.Set("bucket_counts", std::move(counts));
+  }
+  return obj;
+}
+
+}  // namespace
+
+std::string StatRegistry::Text() const {
+  std::size_t width = 0;
+  for (const auto& [name, entry] : stats_) {
+    if (name.size() > width) width = name.size();
+  }
+  std::string out;
+  char buf[160];
+  for (const auto& [name, e] : stats_) {
+    std::string value;
+    switch (e.kind) {
+      case StatKind::kCounter:
+        std::snprintf(buf, sizeof(buf), "%" PRIu64, *e.counter);
+        value = buf;
+        break;
+      case StatKind::kFormula:
+        value = FormatDouble(e.formula());
+        break;
+      case StatKind::kDistribution:
+        std::snprintf(buf, sizeof(buf),
+                      "count=%" PRIu64 " min=%" PRIu64 " max=%" PRIu64
+                      " mean=%s",
+                      e.dist->count(), e.dist->min(), e.dist->max(),
+                      FormatDouble(e.dist->Mean()).c_str());
+        value = buf;
+        break;
+    }
+    std::snprintf(buf, sizeof(buf), "%-*s %20s", static_cast<int>(width),
+                  name.c_str(), value.c_str());
+    out += buf;
+    if (!e.desc.empty()) {
+      out += "  # ";
+      out += e.desc;
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+JsonValue StatRegistry::Json() const {
+  JsonValue root = JsonValue::Object();
+  for (const auto& [name, e] : stats_) {
+    // Walk/create the nested objects for all but the last dotted segment.
+    JsonValue* node = &root;
+    std::size_t start = 0;
+    while (true) {
+      const std::size_t dot = name.find('.', start);
+      if (dot == std::string::npos) break;
+      const std::string seg = name.substr(start, dot - start);
+      JsonValue* next = const_cast<JsonValue*>(node->Find(seg));
+      if (next == nullptr || next->kind() != JsonValue::Kind::kObject) {
+        next = &node->Set(seg, JsonValue::Object());
+      }
+      node = next;
+      start = dot + 1;
+    }
+    const std::string leaf = name.substr(start);
+    switch (e.kind) {
+      case StatKind::kCounter:
+        node->Set(leaf, *e.counter);
+        break;
+      case StatKind::kFormula:
+        node->Set(leaf, e.formula());
+        break;
+      case StatKind::kDistribution:
+        node->Set(leaf, DistJson(*e.dist));
+        break;
+    }
+  }
+  return root;
+}
+
+std::string StatRegistry::Csv() const {
+  std::string out = "name,value\n";
+  char buf[128];
+  for (const auto& [name, e] : stats_) {
+    switch (e.kind) {
+      case StatKind::kCounter:
+        std::snprintf(buf, sizeof(buf), "%s,%" PRIu64 "\n", name.c_str(),
+                      *e.counter);
+        out += buf;
+        break;
+      case StatKind::kFormula:
+        out += name + "," + FormatDouble(e.formula()) + "\n";
+        break;
+      case StatKind::kDistribution:
+        std::snprintf(buf, sizeof(buf),
+                      "%s.count,%" PRIu64 "\n%s.min,%" PRIu64 "\n%s.max,%" PRIu64
+                      "\n",
+                      name.c_str(), e.dist->count(), name.c_str(),
+                      e.dist->min(), name.c_str(), e.dist->max());
+        out += buf;
+        out += name + ".mean," + FormatDouble(e.dist->Mean()) + "\n";
+        break;
+    }
+  }
+  return out;
+}
+
+JsonValue StatsDocument(const StatRegistry& reg, const std::string& kind,
+                        const JsonValue& meta) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("schema_version", kStatsSchemaVersion);
+  doc.Set("kind", kind);
+  if (meta.kind() == JsonValue::Kind::kObject) {
+    for (const auto& [k, v] : meta.members()) doc.Set(k, v);
+  }
+  doc.Set("stats", reg.Json());
+  return doc;
+}
+
+bool WriteFileOrStdout(const std::string& path, const std::string& text) {
+  if (path == "-") {
+    std::fwrite(text.data(), 1, text.size(), stdout);
+    return true;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "telemetry: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace spear::telemetry

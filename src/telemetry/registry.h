@@ -1,0 +1,101 @@
+// Hierarchical statistics registry — the single naming and emission
+// authority for every simulator counter. Components keep plain uint64
+// members for hot-path increments and bind them here under dotted,
+// component-scoped names ("core.fetch.fetched", "mem.l1d.misses.main",
+// "spear.pt.extracted"); distributions and derived formula stats register
+// alongside. Emitters render the whole tree as aligned text, nested JSON
+// (the schema the bench trajectory and CI consume) or flat CSV.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "telemetry/json.h"
+#include "telemetry/stat.h"
+
+namespace spear::telemetry {
+
+// Version of the emitted stats/bench JSON schema. Bump when renaming stats
+// or restructuring the document; spearstats and CI check it.
+inline constexpr int kStatsSchemaVersion = 1;
+
+class StatRegistry {
+ public:
+  // Binds a scalar counter by pointer. The pointee must outlive every read
+  // of the registry. Re-binding an existing name replaces the binding (a
+  // re-registered component keeps one entry, matching the old registry).
+  void BindCounter(const std::string& name, const std::uint64_t* v,
+                   const std::string& desc = "");
+
+  // Binds a distribution owned by the registering component.
+  void BindDistribution(const std::string& name, const Distribution* d,
+                        const std::string& desc = "");
+
+  // Registers a derived stat evaluated at read/emission time.
+  void AddFormula(const std::string& name, Formula fn,
+                  const std::string& desc = "");
+
+  bool Has(const std::string& name) const { return stats_.count(name) > 0; }
+  StatKind KindOf(const std::string& name) const;
+
+  // Typed reads; SPEAR_CHECK-fail on a missing name or kind mismatch.
+  std::uint64_t Counter(const std::string& name) const;
+  const Distribution& Dist(const std::string& name) const;
+  double Eval(const std::string& name) const;  // formula value
+
+  // Numeric read across kinds: counters widen to double, formulas evaluate,
+  // distributions read their mean.
+  double Value(const std::string& name) const;
+
+  // Ratio helper returning 0 when the denominator is zero (backward
+  // compatible with the old flat registry's Ratio()).
+  double Ratio(const std::string& num, const std::string& den) const {
+    return SafeRatio(Counter(num), Counter(den));
+  }
+
+  std::size_t size() const { return stats_.size(); }
+
+  // All registered names, sorted (std::map order).
+  std::vector<std::string> Names() const;
+
+  // ---- emission ----
+
+  // Aligned "name  value  # desc" lines, one stat per line.
+  std::string Text() const;
+
+  // The stats tree as nested JSON: dotted names become nested objects;
+  // counters emit as integers, formulas as doubles, distributions as
+  // {count,min,max,mean,stddev[,buckets]} objects.
+  JsonValue Json() const;
+
+  // Flat "name,value" CSV (distributions expand to .count/.min/.max/.mean).
+  std::string Csv() const;
+
+ private:
+  struct Entry {
+    StatKind kind = StatKind::kCounter;
+    const std::uint64_t* counter = nullptr;
+    const Distribution* dist = nullptr;
+    Formula formula;
+    std::string desc;
+  };
+
+  const Entry& At(const std::string& name) const;
+
+  std::map<std::string, Entry> stats_;
+};
+
+// Wraps the full stats tree in the versioned envelope every emitter uses:
+//   {"schema_version":1, "kind":<kind>, <meta keys...>, "stats":{...}}
+// `meta` members are spliced in between the header and the stats.
+JsonValue StatsDocument(const StatRegistry& reg, const std::string& kind,
+                        const JsonValue& meta);
+
+// Writes `text` to `path` ("-" means stdout). Returns false (with a
+// perror-style message on stderr) if the file cannot be written.
+bool WriteFileOrStdout(const std::string& path, const std::string& text);
+
+}  // namespace spear::telemetry

@@ -1,0 +1,95 @@
+// Statistic value types for the telemetry registry: bound scalar counters,
+// owned distributions (histogram + moments) and derived formula stats.
+//
+// Components keep their hot-path counters as plain uint64 members (zero
+// overhead to increment) and *bind* them into a StatRegistry by pointer;
+// distributions have behaviour (bucketing, moments) so they are owned
+// objects that components update directly. Formulas are evaluated lazily
+// at emission time so derived values (IPC, miss ratios) never go stale.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace spear::telemetry {
+
+enum class StatKind : std::uint8_t { kCounter, kDistribution, kFormula };
+
+// A distribution/histogram over unsigned integer samples. Tracks count,
+// sum, min, max and sum-of-squares (for mean/stddev) plus, when bucket
+// upper bounds are supplied, a bucketed histogram: bucket i counts samples
+// v with v <= bounds[i] (and an implicit overflow bucket at the end).
+// All accumulators are integers so two identical runs produce bit-identical
+// emitted values (the determinism tests rely on this).
+class Distribution {
+ public:
+  Distribution() = default;
+  explicit Distribution(std::vector<std::uint64_t> bucket_bounds)
+      : bounds_(std::move(bucket_bounds)),
+        buckets_(bounds_.size() + 1, 0) {
+    for (std::size_t i = 1; i < bounds_.size(); ++i) {
+      SPEAR_CHECK(bounds_[i - 1] < bounds_[i]);
+    }
+  }
+
+  void Add(std::uint64_t v) {
+    if (count_ == 0 || v < min_) min_ = v;
+    if (count_ == 0 || v > max_) max_ = v;
+    ++count_;
+    sum_ += v;
+    sum_sq_ += static_cast<double>(v) * static_cast<double>(v);
+    if (!buckets_.empty()) {
+      std::size_t b = 0;
+      while (b < bounds_.size() && v > bounds_[b]) ++b;
+      ++buckets_[b];
+    }
+  }
+
+  void Reset() {
+    count_ = sum_ = min_ = max_ = 0;
+    sum_sq_ = 0.0;
+    for (std::uint64_t& b : buckets_) b = 0;
+  }
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  std::uint64_t max() const { return count_ == 0 ? 0 : max_; }
+  double Mean() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+  double Variance() const {
+    if (count_ == 0) return 0.0;
+    const double m = Mean();
+    const double v = sum_sq_ / static_cast<double>(count_) - m * m;
+    return v < 0.0 ? 0.0 : v;  // clamp the usual negative epsilon
+  }
+  const std::vector<std::uint64_t>& bucket_bounds() const { return bounds_; }
+  const std::vector<std::uint64_t>& buckets() const { return buckets_; }
+
+ private:
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+  double sum_sq_ = 0.0;
+  std::vector<std::uint64_t> bounds_;  // bucket upper bounds, ascending
+  std::vector<std::uint64_t> buckets_;  // bounds_.size() + 1 (overflow last)
+};
+
+// A derived statistic computed from other values at emission time.
+using Formula = std::function<double()>;
+
+// Helper for the ubiquitous ratio formula; returns 0 when the denominator
+// is zero (matches the old StatsRegistry::Ratio contract).
+inline double SafeRatio(std::uint64_t num, std::uint64_t den) {
+  return den == 0 ? 0.0
+                  : static_cast<double>(num) / static_cast<double>(den);
+}
+
+}  // namespace spear::telemetry

@@ -1,0 +1,345 @@
+#include "telemetry/trace.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <map>
+
+#include "common/check.h"
+
+namespace spear::telemetry {
+
+const char* TraceEventName(TraceEvent e) {
+  switch (e) {
+    case TraceEvent::kFetch: return "fetch";
+    case TraceEvent::kDispatch: return "dispatch";
+    case TraceEvent::kIssue: return "issue";
+    case TraceEvent::kComplete: return "complete";
+    case TraceEvent::kCommit: return "commit";
+    case TraceEvent::kSquash: return "squash";
+    case TraceEvent::kTrigger: return "spear.trigger";
+    case TraceEvent::kLiveInCopy: return "spear.livein_copy";
+    case TraceEvent::kPtExtract: return "spear.extract";
+    case TraceEvent::kPtRetire: return "spear.pt_retire";
+    case TraceEvent::kSessionEnd: return "spear.session_end";
+  }
+  return "?";
+}
+
+PipeTrace::PipeTrace(const Config& config) : config_(config) {
+  SPEAR_CHECK(config.capacity > 0);
+  ring_.resize(config.capacity);
+}
+
+std::vector<TraceRecord> PipeTrace::Records() const {
+  std::vector<TraceRecord> out;
+  out.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Binary stream.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr char kTraceMagic[8] = {'S', 'P', 'T', 'R', 'A', 'C', 'E', '1'};
+constexpr std::size_t kRecordBytes = 24;
+
+void PutU64(std::string* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+std::uint64_t GetU64(const char* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(p[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+std::string PipeTrace::EncodeBinary() const {
+  std::string out;
+  out.reserve(24 + size_ * kRecordBytes);
+  out.append(kTraceMagic, sizeof(kTraceMagic));
+  PutU64(&out, size_);
+  PutU64(&out, dropped_);
+  for (std::size_t i = 0; i < size_; ++i) {
+    const TraceRecord& r = ring_[(head_ + i) % ring_.size()];
+    PutU64(&out, r.cycle);
+    PutU64(&out, r.uid);
+    // pc (4) + event (1) + tid (1) + aux (2) packed into one u64.
+    PutU64(&out, static_cast<std::uint64_t>(r.pc) |
+                     (static_cast<std::uint64_t>(r.event) << 32) |
+                     (static_cast<std::uint64_t>(r.tid) << 40) |
+                     (static_cast<std::uint64_t>(r.aux) << 48));
+  }
+  return out;
+}
+
+bool PipeTrace::DecodeBinary(const std::string& bytes,
+                             std::vector<TraceRecord>* out,
+                             std::uint64_t* dropped, std::string* error) {
+  auto fail = [error](const char* msg) {
+    if (error != nullptr) *error = msg;
+    return false;
+  };
+  if (bytes.size() < 24) return fail("truncated header");
+  if (std::memcmp(bytes.data(), kTraceMagic, sizeof(kTraceMagic)) != 0) {
+    return fail("bad magic (not a SPTRACE1 stream)");
+  }
+  const std::uint64_t count = GetU64(bytes.data() + 8);
+  if (dropped != nullptr) *dropped = GetU64(bytes.data() + 16);
+  if (bytes.size() != 24 + count * kRecordBytes) {
+    return fail("record payload size mismatch");
+  }
+  out->clear();
+  out->reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const char* p = bytes.data() + 24 + i * kRecordBytes;
+    TraceRecord r;
+    r.cycle = GetU64(p);
+    r.uid = GetU64(p + 8);
+    const std::uint64_t packed = GetU64(p + 16);
+    r.pc = static_cast<Pc>(packed & 0xFFFFFFFFu);
+    r.event = static_cast<TraceEvent>((packed >> 32) & 0xFF);
+    r.tid = static_cast<std::uint8_t>((packed >> 40) & 0xFF);
+    r.aux = static_cast<std::uint16_t>(packed >> 48);
+    if (r.event > TraceEvent::kSessionEnd) return fail("bad event kind");
+    out->push_back(r);
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Kanata exporter (format version 0004, as consumed by the Kanata pipeline
+// viewer). Stage names: F (IFQ residency), Ds (dispatched, waiting), Is
+// (executing), Wb (completed, waiting to retire); p-thread instructions use
+// Xt for their extraction residency. SPEAR session events appear as L
+// (label) annotations on the triggering d-load's row.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct KanataRow {
+  std::int64_t id = -1;       // display id; -1 = not yet introduced
+  std::string stage;          // currently open stage, empty if none
+  bool closed = false;        // retired or flushed
+};
+
+std::string DefaultLabel(Pc pc) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%x", pc);
+  return buf;
+}
+
+}  // namespace
+
+std::string PipeTrace::ExportKanata(const LabelFn& label) const {
+  std::string out = "Kanata\t0004\n";
+  const std::vector<TraceRecord> recs = Records();
+  if (recs.empty()) return out;
+
+  char buf[192];
+  std::snprintf(buf, sizeof(buf), "C=\t%" PRIu64 "\n", recs.front().cycle);
+  out += buf;
+
+  std::map<std::uint64_t, KanataRow> rows;
+  Cycle cur_cycle = recs.front().cycle;
+  std::int64_t next_id = 0;
+  std::int64_t next_retire = 0;
+
+  auto advance_to = [&](Cycle c) {
+    if (c > cur_cycle) {
+      std::snprintf(buf, sizeof(buf), "C\t%" PRIu64 "\n", c - cur_cycle);
+      out += buf;
+      cur_cycle = c;
+    }
+  };
+  auto ensure_row = [&](const TraceRecord& r) -> KanataRow& {
+    KanataRow& row = rows[r.uid];
+    if (row.id < 0) {
+      row.id = next_id++;
+      std::snprintf(buf, sizeof(buf), "I\t%" PRId64 "\t%" PRIu64 "\t%u\n",
+                    row.id, r.uid >> 1, r.tid);
+      out += buf;
+      const std::string text =
+          (label ? label(r.pc) : DefaultLabel(r.pc));
+      std::snprintf(buf, sizeof(buf), "L\t%" PRId64 "\t0\t%s%s\n", row.id,
+                    r.tid == kPThread ? "[pt] " : "", text.c_str());
+      out += buf;
+    }
+    return row;
+  };
+  auto switch_stage = [&](KanataRow& row, const char* stage) {
+    if (!row.stage.empty()) {
+      std::snprintf(buf, sizeof(buf), "E\t%" PRId64 "\t0\t%s\n", row.id,
+                    row.stage.c_str());
+      out += buf;
+    }
+    row.stage = stage;
+    if (!row.stage.empty()) {
+      std::snprintf(buf, sizeof(buf), "S\t%" PRId64 "\t0\t%s\n", row.id,
+                    stage);
+      out += buf;
+    }
+  };
+  auto retire = [&](KanataRow& row, bool flush) {
+    switch_stage(row, "");
+    std::snprintf(buf, sizeof(buf), "R\t%" PRId64 "\t%" PRId64 "\t%d\n",
+                  row.id, flush ? 0 : next_retire++, flush ? 1 : 0);
+    out += buf;
+    row.closed = true;
+  };
+  auto annotate = [&](KanataRow& row, const std::string& text) {
+    std::snprintf(buf, sizeof(buf), "L\t%" PRId64 "\t1\t%s\n", row.id,
+                  text.c_str());
+    out += buf;
+  };
+
+  for (const TraceRecord& r : recs) {
+    advance_to(r.cycle);
+    // A closed row can reappear only on uid reuse after very long runs;
+    // treat it as a fresh instance.
+    if (rows.count(r.uid) != 0 && rows[r.uid].closed) rows.erase(r.uid);
+    KanataRow& row = ensure_row(r);
+    switch (r.event) {
+      case TraceEvent::kFetch: switch_stage(row, "F"); break;
+      case TraceEvent::kPtExtract: switch_stage(row, "Xt"); break;
+      case TraceEvent::kDispatch: switch_stage(row, "Ds"); break;
+      case TraceEvent::kIssue: switch_stage(row, "Is"); break;
+      case TraceEvent::kComplete: switch_stage(row, "Wb"); break;
+      case TraceEvent::kCommit:
+      case TraceEvent::kPtRetire: retire(row, /*flush=*/false); break;
+      case TraceEvent::kSquash: retire(row, /*flush=*/true); break;
+      case TraceEvent::kTrigger:
+        std::snprintf(buf, sizeof(buf), "trigger fired (spec %u)", r.aux);
+        annotate(row, buf);
+        break;
+      case TraceEvent::kLiveInCopy:
+        std::snprintf(buf, sizeof(buf), "live-in copy (%u regs)", r.aux);
+        annotate(row, buf);
+        break;
+      case TraceEvent::kSessionEnd:
+        annotate(row, r.aux != 0 ? "pre-exec session completed"
+                                 : "pre-exec session aborted");
+        break;
+    }
+  }
+  // Close any rows still in flight at the end of the window.
+  for (auto& [uid, row] : rows) {
+    if (!row.closed && !row.stage.empty()) {
+      std::snprintf(buf, sizeof(buf), "E\t%" PRId64 "\t0\t%s\n", row.id,
+                    row.stage.c_str());
+      out += buf;
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// gem5 O3PipeView exporter (consumed by gem5's util/o3-pipeview.py and
+// compatible viewers). One record block per instruction; SPEAR session
+// events become comment lines, which viewers ignore.
+// ---------------------------------------------------------------------------
+
+std::string PipeTrace::ExportO3PipeView(const LabelFn& label) const {
+  struct Inst {
+    Cycle fetch = 0, dispatch = 0, issue = 0, complete = 0, retire = 0;
+    Pc pc = 0;
+    std::uint8_t tid = 0;
+    bool squashed = false;
+    std::uint64_t order = 0;  // first-seen order for stable output
+  };
+  std::map<std::uint64_t, Inst> insts;
+  std::string comments;
+  char buf[192];
+  std::uint64_t order = 0;
+
+  for (const TraceRecord& r : Records()) {
+    switch (r.event) {
+      case TraceEvent::kTrigger:
+      case TraceEvent::kLiveInCopy:
+      case TraceEvent::kSessionEnd:
+        std::snprintf(buf, sizeof(buf),
+                      "# cycle %" PRIu64 ": %s pc=0x%x aux=%u\n", r.cycle,
+                      TraceEventName(r.event), r.pc, r.aux);
+        comments += buf;
+        continue;
+      default:
+        break;
+    }
+    Inst& in = insts[r.uid];
+    if (in.order == 0) {
+      in.order = ++order;
+      in.pc = r.pc;
+      in.tid = r.tid;
+    }
+    switch (r.event) {
+      case TraceEvent::kFetch:
+      case TraceEvent::kPtExtract: in.fetch = r.cycle; break;
+      case TraceEvent::kDispatch: in.dispatch = r.cycle; break;
+      case TraceEvent::kIssue: in.issue = r.cycle; break;
+      case TraceEvent::kComplete: in.complete = r.cycle; break;
+      case TraceEvent::kCommit:
+      case TraceEvent::kPtRetire: in.retire = r.cycle; break;
+      case TraceEvent::kSquash: in.squashed = true; break;
+      default: break;
+    }
+  }
+
+  std::vector<const Inst*> ordered;
+  std::vector<std::uint64_t> uids;
+  ordered.reserve(insts.size());
+  for (const auto& [uid, in] : insts) {
+    ordered.push_back(&in);
+    uids.push_back(uid);
+  }
+  // Sort by first appearance so the stream reads in program-fetch order.
+  std::vector<std::size_t> idx(ordered.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+    return ordered[a]->order < ordered[b]->order;
+  });
+
+  std::string out = comments;
+  for (std::size_t i : idx) {
+    const Inst& in = *ordered[i];
+    const std::string text = label ? label(in.pc) : DefaultLabel(in.pc);
+    std::snprintf(buf, sizeof(buf),
+                  "O3PipeView:fetch:%" PRIu64 ":0x%08x:%u:%" PRIu64 ":%s%s\n",
+                  in.fetch, in.pc, in.tid, uids[i] >> 1,
+                  in.tid == kPThread ? "[pt] " : "", text.c_str());
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "O3PipeView:decode:%" PRIu64 "\n",
+                  in.dispatch);
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "O3PipeView:rename:%" PRIu64 "\n",
+                  in.dispatch);
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "O3PipeView:dispatch:%" PRIu64 "\n",
+                  in.dispatch);
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "O3PipeView:issue:%" PRIu64 "\n",
+                  in.issue);
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "O3PipeView:complete:%" PRIu64 "\n",
+                  in.complete);
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "O3PipeView:retire:%" PRIu64 ":store:0\n",
+                  in.squashed ? 0 : in.retire);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace spear::telemetry

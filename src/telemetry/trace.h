@@ -1,0 +1,145 @@
+// Low-overhead pipeline event trace.
+//
+// The core records one fixed-size binary record per instruction lifecycle
+// event (fetch, dispatch, issue, complete, commit, squash) plus the SPEAR
+// session events (trigger, live-in copy, p-thread extraction/retire,
+// session end) into a bounded ring buffer; exporters convert the drained
+// records to the Kanata or gem5 O3PipeView text formats for pipeline
+// visualization, or to a raw binary stream.
+//
+// Cost model: when no trace is attached the per-event hook is a single
+// null-pointer test; compiling with -DSPEAR_TELEMETRY_TRACE=0 removes even
+// that (the hook expands to nothing), which the determinism test uses to
+// show tracing has zero effect on simulated cycles.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+#ifndef SPEAR_TELEMETRY_TRACE
+#define SPEAR_TELEMETRY_TRACE 1
+#endif
+
+namespace spear::telemetry {
+
+inline constexpr bool kTraceCompiled = SPEAR_TELEMETRY_TRACE != 0;
+
+enum class TraceEvent : std::uint8_t {
+  // Instruction lifecycle (uid identifies the dynamic instance).
+  kFetch = 0,     // entered the IFQ
+  kDispatch = 1,  // decoded/renamed into the RUU (aux: 1 = wrong path)
+  kIssue = 2,     // won a functional unit
+  kComplete = 3,  // wrote back
+  kCommit = 4,    // retired architecturally (main thread)
+  kSquash = 5,    // discarded (wrong path / IFQ flush / session teardown)
+  // SPEAR session lifecycle (uid is the triggering d-load's instance).
+  kTrigger = 6,      // trigger fired (aux: spec index)
+  kLiveInCopy = 7,   // live-in copy began (aux: registers to copy)
+  kPtExtract = 8,    // PE pulled this instruction into the p-thread
+  kPtRetire = 9,     // drained from the p-thread RUU
+  kSessionEnd = 10,  // pre-execution ended (aux: 1 = completed, 0 = aborted)
+};
+
+const char* TraceEventName(TraceEvent e);
+
+// One packed trace record; 24 bytes in the binary encoding.
+struct TraceRecord {
+  Cycle cycle = 0;
+  std::uint64_t uid = 0;  // (fetch seq << 1) | thread id
+  Pc pc = 0;
+  TraceEvent event = TraceEvent::kFetch;
+  std::uint8_t tid = 0;
+  std::uint16_t aux = 0;
+
+  bool operator==(const TraceRecord&) const = default;
+};
+
+// The per-instance trace id: a fetched instruction and its p-thread copy
+// (dual delivery) are distinct instances of the same fetch sequence.
+inline std::uint64_t TraceUid(std::uint64_t fetch_seq, ThreadId tid) {
+  return (fetch_seq << 1) | tid;
+}
+
+class PipeTrace {
+ public:
+  struct Config {
+    std::size_t capacity = 1u << 20;  // ring size in records (24 B each)
+    Cycle start_cycle = 0;            // first traced cycle
+    Cycle num_cycles = UINT64_MAX;    // window length from start_cycle
+  };
+
+  explicit PipeTrace(const Config& config);
+
+  // True when `now` is inside the [start, start+num) trace window.
+  bool Armed(Cycle now) const {
+    return now >= config_.start_cycle &&
+           now - config_.start_cycle < config_.num_cycles;
+  }
+
+  void Record(TraceEvent event, Cycle cycle, std::uint64_t uid, Pc pc,
+              ThreadId tid, std::uint16_t aux = 0) {
+    if (!Armed(cycle)) return;
+    if (size_ == ring_.size()) {
+      head_ = (head_ + 1) % ring_.size();  // overwrite the oldest
+      --size_;
+      ++dropped_;
+    }
+    ring_[(head_ + size_) % ring_.size()] =
+        TraceRecord{cycle, uid, pc, event, tid, aux};
+    ++size_;
+  }
+
+  void Clear() {
+    head_ = size_ = 0;
+    dropped_ = 0;
+  }
+
+  std::size_t size() const { return size_; }
+  std::uint64_t dropped() const { return dropped_; }
+  const Config& config() const { return config_; }
+
+  // Records in chronological order (the ring preserves insertion order).
+  std::vector<TraceRecord> Records() const;
+
+  // ---- binary stream ----
+  // Layout: 8-byte magic "SPTRACE1", u64 record count, u64 dropped count,
+  // then `count` records of 24 little-endian bytes each.
+  std::string EncodeBinary() const;
+  static bool DecodeBinary(const std::string& bytes,
+                           std::vector<TraceRecord>* out,
+                           std::uint64_t* dropped, std::string* error);
+
+  // ---- text exporters ----
+  // `label` renders an instruction for display (e.g. disassembly by pc);
+  // when null, the hex pc is used.
+  using LabelFn = std::function<std::string(Pc)>;
+  std::string ExportKanata(const LabelFn& label = nullptr) const;
+  std::string ExportO3PipeView(const LabelFn& label = nullptr) const;
+
+ private:
+  Config config_;
+  std::vector<TraceRecord> ring_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace spear::telemetry
+
+// Trace hook used by the core's pipeline stages. Compiles to nothing when
+// SPEAR_TELEMETRY_TRACE is 0; otherwise costs one branch when no trace is
+// attached.
+#if SPEAR_TELEMETRY_TRACE
+#define SPEAR_TRACE_EVENT(trace, ...)                        \
+  do {                                                       \
+    if ((trace) != nullptr) (trace)->Record(__VA_ARGS__);    \
+  } while (0)
+#else
+#define SPEAR_TRACE_EVENT(trace, ...) \
+  do {                                \
+  } while (0)
+#endif

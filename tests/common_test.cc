@@ -5,7 +5,6 @@
 
 #include "common/circular_buffer.h"
 #include "common/rng.h"
-#include "common/stats.h"
 
 namespace spear {
 namespace {
@@ -138,26 +137,6 @@ TEST(Rng, NextDoubleInUnitInterval) {
     EXPECT_GE(d, 0.0);
     EXPECT_LT(d, 1.0);
   }
-}
-
-TEST(Stats, RegisterAndRead) {
-  StatsRegistry reg;
-  std::uint64_t counter = 5;
-  reg.Register("cycles", &counter);
-  EXPECT_TRUE(reg.Has("cycles"));
-  EXPECT_EQ(reg.Get("cycles"), 5u);
-  counter = 11;
-  EXPECT_EQ(reg.Get("cycles"), 11u);
-}
-
-TEST(Stats, RatioHandlesZeroDenominator) {
-  StatsRegistry reg;
-  std::uint64_t num = 10, den = 0;
-  reg.Register("n", &num);
-  reg.Register("d", &den);
-  EXPECT_EQ(reg.Ratio("n", "d"), 0.0);
-  den = 4;
-  EXPECT_DOUBLE_EQ(reg.Ratio("n", "d"), 2.5);
 }
 
 }  // namespace

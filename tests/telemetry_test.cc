@@ -1,0 +1,322 @@
+// Telemetry subsystem tests: registry units, JSON round-trip, trace
+// encode/decode, exporter well-formedness on a real SPEAR workload, and the
+// two determinism guarantees (identical runs emit byte-identical JSON;
+// attaching a trace never changes simulated timing).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cpu/core.h"
+#include "eval/harness.h"
+#include "telemetry/json.h"
+#include "telemetry/registry.h"
+#include "telemetry/stat.h"
+#include "telemetry/trace.h"
+
+namespace spear {
+namespace {
+
+using telemetry::Distribution;
+using telemetry::JsonParse;
+using telemetry::JsonValue;
+using telemetry::PipeTrace;
+using telemetry::StatRegistry;
+using telemetry::TraceEvent;
+using telemetry::TraceRecord;
+using telemetry::TraceUid;
+
+// ---- registry units (cover the old flat StatsRegistry contract too) ----
+
+TEST(StatRegistry, BindAndReadCounter) {
+  StatRegistry reg;
+  std::uint64_t counter = 5;
+  reg.BindCounter("core.cycles", &counter);
+  EXPECT_TRUE(reg.Has("core.cycles"));
+  EXPECT_EQ(reg.Counter("core.cycles"), 5u);
+  counter = 11;  // live pointer: later reads see the new value
+  EXPECT_EQ(reg.Counter("core.cycles"), 11u);
+}
+
+TEST(StatRegistry, RatioHandlesZeroDenominator) {
+  StatRegistry reg;
+  std::uint64_t num = 10, den = 0;
+  reg.BindCounter("n", &num);
+  reg.BindCounter("d", &den);
+  EXPECT_EQ(reg.Ratio("n", "d"), 0.0);
+  den = 4;
+  EXPECT_DOUBLE_EQ(reg.Ratio("n", "d"), 2.5);
+}
+
+TEST(StatRegistry, FormulaEvaluatesLazily) {
+  StatRegistry reg;
+  std::uint64_t committed = 0, cycles = 0;
+  reg.BindCounter("committed", &committed);
+  reg.BindCounter("cycles", &cycles);
+  reg.AddFormula("ipc", [&] {
+    return telemetry::SafeRatio(committed, cycles);
+  });
+  EXPECT_EQ(reg.Eval("ipc"), 0.0);
+  committed = 30;
+  cycles = 10;
+  EXPECT_DOUBLE_EQ(reg.Eval("ipc"), 3.0);
+}
+
+TEST(StatRegistry, RebindReplacesInsteadOfDuplicating) {
+  StatRegistry reg;
+  std::uint64_t a = 1, b = 2;
+  reg.BindCounter("x", &a);
+  reg.BindCounter("x", &b);
+  EXPECT_EQ(reg.size(), 1u);
+  EXPECT_EQ(reg.Counter("x"), 2u);
+}
+
+TEST(Distribution, MomentsAndBuckets) {
+  Distribution d{std::vector<std::uint64_t>{2, 4}};
+  for (std::uint64_t v : {1, 2, 3, 4, 10}) d.Add(v);
+  EXPECT_EQ(d.count(), 5u);
+  EXPECT_EQ(d.sum(), 20u);
+  EXPECT_EQ(d.min(), 1u);
+  EXPECT_EQ(d.max(), 10u);
+  EXPECT_DOUBLE_EQ(d.Mean(), 4.0);
+  // buckets: v<=2 -> {1,2}, v<=4 -> {3,4}, overflow -> {10}
+  ASSERT_EQ(d.buckets().size(), 3u);
+  EXPECT_EQ(d.buckets()[0], 2u);
+  EXPECT_EQ(d.buckets()[1], 2u);
+  EXPECT_EQ(d.buckets()[2], 1u);
+}
+
+// ---- JSON emit -> parse round-trip ----
+
+TEST(Json, EmitParseRoundTrip) {
+  StatRegistry reg;
+  std::uint64_t cycles = 1234;
+  Distribution occ{std::vector<std::uint64_t>{8, 64}};
+  occ.Add(3);
+  occ.Add(100);
+  reg.BindCounter("core.cycles", &cycles, "elapsed cycles");
+  reg.BindDistribution("core.ifq.occupancy", &occ);
+  reg.AddFormula("core.ipc", [] { return 1.5; });
+
+  JsonValue meta = JsonValue::Object();
+  meta.Set("binary", JsonValue("prog.bin"));
+  const JsonValue doc = telemetry::StatsDocument(reg, "spearsim", meta);
+  const std::string text = doc.Dump(2);
+
+  JsonValue parsed;
+  std::string error;
+  ASSERT_TRUE(JsonParse(text, &parsed, &error)) << error;
+  EXPECT_EQ(parsed.FindPath("schema_version")->AsInt(),
+            telemetry::kStatsSchemaVersion);
+  EXPECT_EQ(parsed.FindPath("kind")->AsString(), "spearsim");
+  EXPECT_EQ(parsed.FindPath("binary")->AsString(), "prog.bin");
+  EXPECT_EQ(parsed.FindPath("stats.core.cycles")->AsInt(), 1234);
+  EXPECT_DOUBLE_EQ(parsed.FindPath("stats.core.ipc")->AsDouble(), 1.5);
+  EXPECT_EQ(parsed.FindPath("stats.core.ifq.occupancy.count")->AsInt(), 2);
+  // Re-dumping the parsed document reproduces the text (stable writer).
+  EXPECT_EQ(parsed.Dump(2), text);
+}
+
+TEST(Json, ParserRejectsMalformedInput) {
+  JsonValue v;
+  std::string error;
+  EXPECT_FALSE(JsonParse("{\"a\": 1,}", &v, &error));
+  EXPECT_FALSE(JsonParse("{\"a\": 1} trailing", &v, &error));
+  EXPECT_FALSE(JsonParse("[1, 2", &v, &error));
+  EXPECT_FALSE(JsonParse("", &v, &error));
+}
+
+TEST(Json, EscapesAndNumbers) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("s", JsonValue("line\nbreak \"quoted\""));
+  obj.Set("neg", JsonValue(static_cast<std::int64_t>(-42)));
+  obj.Set("frac", JsonValue(0.25));
+  JsonValue parsed;
+  std::string error;
+  ASSERT_TRUE(JsonParse(obj.Dump(), &parsed, &error)) << error;
+  EXPECT_EQ(parsed.Find("s")->AsString(), "line\nbreak \"quoted\"");
+  EXPECT_EQ(parsed.Find("neg")->AsInt(), -42);
+  EXPECT_DOUBLE_EQ(parsed.Find("frac")->AsDouble(), 0.25);
+}
+
+// ---- trace: ring, encode/decode, exporters ----
+
+TEST(PipeTrace, RecordsAndWindow) {
+  PipeTrace::Config cfg;
+  cfg.start_cycle = 100;
+  cfg.num_cycles = 50;
+  PipeTrace trace(cfg);
+  trace.Record(TraceEvent::kFetch, 99, 1, 0x1000, kMainThread);   // before
+  trace.Record(TraceEvent::kFetch, 100, 2, 0x1008, kMainThread);  // inside
+  trace.Record(TraceEvent::kFetch, 149, 3, 0x1010, kMainThread);  // inside
+  trace.Record(TraceEvent::kFetch, 150, 4, 0x1018, kMainThread);  // after
+  const std::vector<TraceRecord> recs = trace.Records();
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs[0].uid, 2u);
+  EXPECT_EQ(recs[1].uid, 3u);
+}
+
+TEST(PipeTrace, RingOverwritesOldestAndCountsDrops) {
+  PipeTrace::Config cfg;
+  cfg.capacity = 4;
+  PipeTrace trace(cfg);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    trace.Record(TraceEvent::kFetch, i, i, 0x1000, kMainThread);
+  }
+  EXPECT_EQ(trace.size(), 4u);
+  EXPECT_EQ(trace.dropped(), 6u);
+  const std::vector<TraceRecord> recs = trace.Records();
+  EXPECT_EQ(recs.front().uid, 6u);
+  EXPECT_EQ(recs.back().uid, 9u);
+}
+
+TEST(PipeTrace, BinaryEncodeDecodeRoundTrip) {
+  PipeTrace trace({});
+  trace.Record(TraceEvent::kFetch, 10, TraceUid(5, kMainThread), 0x1028,
+               kMainThread);
+  trace.Record(TraceEvent::kTrigger, 12, TraceUid(5, kMainThread), 0x1028,
+               kMainThread, 3);
+  trace.Record(TraceEvent::kPtExtract, 14, TraceUid(7, kPThread), 0x1038,
+               kPThread);
+  const std::string bytes = trace.EncodeBinary();
+
+  std::vector<TraceRecord> decoded;
+  std::uint64_t dropped = 99;
+  std::string error;
+  ASSERT_TRUE(PipeTrace::DecodeBinary(bytes, &decoded, &dropped, &error))
+      << error;
+  EXPECT_EQ(dropped, 0u);
+  ASSERT_EQ(decoded.size(), 3u);
+  EXPECT_EQ(decoded[0], trace.Records()[0]);
+  EXPECT_EQ(decoded[1], trace.Records()[1]);
+  EXPECT_EQ(decoded[2], trace.Records()[2]);
+  EXPECT_EQ(decoded[1].aux, 3u);
+
+  // Corruption is detected.
+  std::string bad = bytes;
+  bad[0] ^= 0xff;
+  EXPECT_FALSE(PipeTrace::DecodeBinary(bad, &decoded, &dropped, &error));
+}
+
+// ---- end-to-end on a real SPEAR workload ----
+
+EvalOptions QuickOptions() {
+  EvalOptions opt;
+  opt.sim_instrs = 20'000;
+  return opt;
+}
+
+TEST(Telemetry, CoreRegistersAllNamespaces) {
+  const EvalOptions opt = QuickOptions();
+  const PreparedWorkload pw = PrepareWorkload("mcf", opt);
+  Core core(pw.annotated, SpearCoreConfig(256));
+  core.Run(opt.sim_instrs, opt.max_cycles);
+
+  StatRegistry reg;
+  core.RegisterStats(reg);
+  for (const char* name :
+       {"core.cycles", "core.commit.instructions", "core.ifq.occupancy",
+        "core.ipc", "mem.l1d.misses.main", "mem.l2.misses.main",
+        "mem.l1d.miss_ratio", "bpred.predicts", "bpred.hit_ratio",
+        "spear.trigger.fired", "spear.pt.extracted", "spear.pt.slice_len"}) {
+    EXPECT_TRUE(reg.Has(name)) << name;
+  }
+  EXPECT_EQ(reg.Counter("core.cycles"), core.stats().cycles);
+  EXPECT_GT(reg.Counter("spear.trigger.fired"), 0u);
+  EXPECT_GT(reg.Eval("core.ipc"), 0.0);
+  EXPECT_EQ(reg.Dist("core.ifq.occupancy").count(), core.stats().cycles);
+}
+
+TEST(Telemetry, IdenticalRunsEmitIdenticalJson) {
+  const EvalOptions opt = QuickOptions();
+  const PreparedWorkload pw = PrepareWorkload("mcf", opt);
+
+  auto run_to_json = [&]() {
+    Core core(pw.annotated, SpearCoreConfig(256));
+    core.Run(opt.sim_instrs, opt.max_cycles);
+    StatRegistry reg;
+    core.RegisterStats(reg);
+    return telemetry::StatsDocument(reg, "spearsim", JsonValue::Object())
+        .Dump(2);
+  };
+  EXPECT_EQ(run_to_json(), run_to_json());
+}
+
+TEST(Telemetry, AttachedTraceDoesNotChangeTiming) {
+  const EvalOptions opt = QuickOptions();
+  const PreparedWorkload pw = PrepareWorkload("mcf", opt);
+
+  Core plain(pw.annotated, SpearCoreConfig(256));
+  const RunResult rr_plain = plain.Run(opt.sim_instrs, opt.max_cycles);
+
+  Core traced(pw.annotated, SpearCoreConfig(256));
+  PipeTrace trace({});
+  traced.set_trace(&trace);
+  const RunResult rr_traced = traced.Run(opt.sim_instrs, opt.max_cycles);
+
+  EXPECT_EQ(rr_plain.cycles, rr_traced.cycles);
+  EXPECT_EQ(rr_plain.instructions, rr_traced.instructions);
+  if (telemetry::kTraceCompiled) {
+    EXPECT_GT(trace.size(), 0u);
+  }
+}
+
+TEST(Telemetry, SpearRunTracesSessionEvents) {
+  if (!telemetry::kTraceCompiled) {
+    GTEST_SKIP() << "trace hooks compiled out (SPEAR_ENABLE_TRACE=OFF)";
+  }
+  const EvalOptions opt = QuickOptions();
+  const PreparedWorkload pw = PrepareWorkload("mcf", opt);
+  Core core(pw.annotated, SpearCoreConfig(256));
+  PipeTrace trace({});
+  core.set_trace(&trace);
+  core.Run(opt.sim_instrs, opt.max_cycles);
+
+  bool saw_trigger = false, saw_extract = false, saw_pt_retire = false;
+  bool saw_commit = false;
+  for (const TraceRecord& r : trace.Records()) {
+    saw_trigger |= r.event == TraceEvent::kTrigger;
+    saw_extract |= r.event == TraceEvent::kPtExtract;
+    saw_pt_retire |= r.event == TraceEvent::kPtRetire;
+    saw_commit |= r.event == TraceEvent::kCommit;
+    if (r.event == TraceEvent::kPtExtract) {
+      EXPECT_EQ(r.tid, kPThread);
+    }
+  }
+  EXPECT_TRUE(saw_trigger);
+  EXPECT_TRUE(saw_extract);
+  EXPECT_TRUE(saw_pt_retire);
+  EXPECT_TRUE(saw_commit);
+
+  // The Kanata export is well-formed: version header, and every stage
+  // start refers to an introduced instruction.
+  const std::string kanata = trace.ExportKanata();
+  EXPECT_EQ(kanata.rfind("Kanata\t0004", 0), 0u);
+  EXPECT_NE(kanata.find("trigger fired"), std::string::npos);
+
+  const std::string o3 = trace.ExportO3PipeView();
+  EXPECT_NE(o3.find("O3PipeView:fetch:"), std::string::npos);
+  EXPECT_NE(o3.find("O3PipeView:retire:"), std::string::npos);
+}
+
+// ---- RunStats extensions (satellite: L2 + wrong-path counters) ----
+
+TEST(RunStatsExtensions, L2AndWrongPathCountersFlow) {
+  const EvalOptions opt = QuickOptions();
+  const PreparedWorkload pw = PrepareWorkload("mcf", opt);
+  const RunStats s = RunConfig(pw.annotated, SpearCoreConfig(256), opt);
+  EXPECT_GT(s.l2_misses_main, 0u);
+  // mcf mispredicts some branches, so recovery cost shows up.
+  EXPECT_GT(s.squashed_wrongpath + s.dispatched_wrongpath + s.ifq_flushed, 0u);
+
+  const JsonValue j = RunStatsToJson(s);
+  EXPECT_EQ(j.Find("l2_misses_main")->AsInt(),
+            static_cast<std::int64_t>(s.l2_misses_main));
+  EXPECT_EQ(j.Find("squashed_wrongpath")->AsInt(),
+            static_cast<std::int64_t>(s.squashed_wrongpath));
+  EXPECT_EQ(j.Find("halted")->AsBool(), s.halted);
+}
+
+}  // namespace
+}  // namespace spear

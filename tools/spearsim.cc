@@ -2,12 +2,20 @@
 // emulator) and print statistics.
 //
 //   spearsim prog.spear.bin --spear --ifq 256 [--sf] [--max-instrs N]
+//   spearsim prog.spear.bin --spear --stats-json=stats.json
+//   spearsim prog.spear.bin --spear --trace-out=pipe.kanata \
+//       --trace-start=1000 --trace-cycles=5000
 //   spearsim prog.spearbin --functional
 #include <cstdio>
+#include <memory>
+#include <string>
 
 #include "cpu/core.h"
 #include "isa/binary.h"
+#include "isa/disasm.h"
 #include "sim/emulator.h"
+#include "telemetry/registry.h"
+#include "telemetry/trace.h"
 #include "tool_flags.h"
 
 int main(int argc, char** argv) {
@@ -25,7 +33,13 @@ int main(int argc, char** argv) {
        {"max-instrs", "commit budget (default: run to halt)"},
        {"max-cycles", "cycle budget (default 1e9)"},
        {"strict-specs", "refuse binaries with malformed p-thread specs"},
-       {"trace", "print committed OUT values"}});
+       {"trace", "print committed OUT values"},
+       {"stats-json", "write the full stats tree as JSON ('-' = stdout)"},
+       {"trace-out", "write a pipeline event trace to this file"},
+       {"trace-format", "trace format: kanata (default), o3, bin"},
+       {"trace-start", "first traced cycle (default 0)"},
+       {"trace-cycles", "trace window length in cycles (default: all)"},
+       {"trace-buf", "trace ring capacity in records (default 1M)"}});
 
   if (flags.positional().empty()) {
     std::fprintf(stderr, "spearsim: no input binary (try --help)\n");
@@ -71,6 +85,27 @@ int main(int argc, char** argv) {
   }
 
   Core core(prog, cfg);
+
+  // Optional pipeline event trace.
+  std::unique_ptr<telemetry::PipeTrace> trace;
+  if (flags.Has("trace-out")) {
+    if (!telemetry::kTraceCompiled) {
+      std::fprintf(stderr,
+                   "spearsim: trace hooks compiled out "
+                   "(SPEAR_ENABLE_TRACE=OFF); --trace-out unavailable\n");
+      return 2;
+    }
+    telemetry::PipeTrace::Config tc;
+    tc.capacity =
+        static_cast<std::size_t>(flags.GetInt("trace-buf", 1 << 20));
+    tc.start_cycle = static_cast<Cycle>(flags.GetInt("trace-start", 0));
+    if (flags.Has("trace-cycles")) {
+      tc.num_cycles = static_cast<Cycle>(flags.GetInt("trace-cycles", 0));
+    }
+    trace = std::make_unique<telemetry::PipeTrace>(tc);
+    core.set_trace(trace.get());
+  }
+
   const RunResult rr = core.Run(max_instrs, max_cycles);
   const CoreStats& s = core.stats();
   std::printf("cycles            %llu\n",
@@ -100,6 +135,46 @@ int main(int argc, char** argv) {
   }
   if (flags.GetBool("trace")) {
     for (std::uint32_t v : core.outputs()) std::printf("out: %u\n", v);
+  }
+
+  if (flags.Has("stats-json")) {
+    telemetry::StatRegistry reg;
+    core.RegisterStats(reg);
+    telemetry::JsonValue meta = telemetry::JsonValue::Object();
+    meta.Set("binary", telemetry::JsonValue(flags.positional()[0]));
+    meta.Set("spear", telemetry::JsonValue(flags.GetBool("spear")));
+    meta.Set("ifq_size", telemetry::JsonValue(static_cast<std::int64_t>(
+                             cfg.ifq_size)));
+    const telemetry::JsonValue doc =
+        telemetry::StatsDocument(reg, "spearsim", meta);
+    if (!telemetry::WriteFileOrStdout(flags.Get("stats-json"),
+                                      doc.Dump(2) + "\n")) {
+      return 1;
+    }
+  }
+
+  if (trace) {
+    const std::string format = flags.Get("trace-format", "kanata");
+    const telemetry::PipeTrace::LabelFn label = [&prog](Pc pc) {
+      return prog.ContainsPc(pc) ? Disassemble(prog.At(pc)) : std::string();
+    };
+    std::string text;
+    if (format == "kanata") {
+      text = trace->ExportKanata(label);
+    } else if (format == "o3") {
+      text = trace->ExportO3PipeView(label);
+    } else if (format == "bin") {
+      text = trace->EncodeBinary();
+    } else {
+      std::fprintf(stderr, "spearsim: unknown --trace-format '%s'\n",
+                   format.c_str());
+      return 2;
+    }
+    if (!telemetry::WriteFileOrStdout(flags.Get("trace-out"), text)) return 1;
+    std::fprintf(stderr, "trace: %zu records (%llu dropped) -> %s\n",
+                 trace->size(),
+                 static_cast<unsigned long long>(trace->dropped()),
+                 flags.Get("trace-out").c_str());
   }
   return 0;
 }

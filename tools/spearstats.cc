@@ -1,0 +1,115 @@
+// spearstats — validate and query the JSON files the telemetry subsystem
+// emits (spearsim --stats-json documents and bench/results/*.json).
+//
+//   spearstats stats.json                 # validate, print a summary line
+//   spearstats stats.json --require=stats.core.cycles --require=stats.spear
+//   spearstats stats.json --get=stats.core.ipc
+//
+// Exit status: 0 = valid, 1 = malformed or failed a check. CI runs this
+// against a traced smoke run to keep the schema honest.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "telemetry/json.h"
+#include "telemetry/registry.h"
+#include "tool_flags.h"
+
+int main(int argc, char** argv) {
+  using namespace spear;
+  tools::Flags flags(
+      argc, argv,
+      {{"require", "dotted path that must exist (repeatable via commas)"},
+       {"get", "print the value at this dotted path"},
+       {"kind", "expected document kind (default: any of spearsim/bench)"}});
+
+  if (flags.positional().empty()) {
+    std::fprintf(stderr, "spearstats: no input file (try --help)\n");
+    return 2;
+  }
+  const std::string& path = flags.positional()[0];
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "spearstats: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+
+  telemetry::JsonValue doc;
+  std::string error;
+  if (!telemetry::JsonParse(buf.str(), &doc, &error)) {
+    std::fprintf(stderr, "spearstats: %s: parse error: %s\n", path.c_str(),
+                 error.c_str());
+    return 1;
+  }
+  if (doc.kind() != telemetry::JsonValue::Kind::kObject) {
+    std::fprintf(stderr, "spearstats: %s: top level is not an object\n",
+                 path.c_str());
+    return 1;
+  }
+
+  const telemetry::JsonValue* version = doc.Find("schema_version");
+  if (version == nullptr || !version->is_number() ||
+      version->AsInt() != telemetry::kStatsSchemaVersion) {
+    std::fprintf(stderr,
+                 "spearstats: %s: missing or unsupported schema_version "
+                 "(want %d)\n",
+                 path.c_str(), telemetry::kStatsSchemaVersion);
+    return 1;
+  }
+  const telemetry::JsonValue* kind = doc.Find("kind");
+  if (kind == nullptr ||
+      kind->kind() != telemetry::JsonValue::Kind::kString) {
+    std::fprintf(stderr, "spearstats: %s: missing document kind\n",
+                 path.c_str());
+    return 1;
+  }
+  if (flags.Has("kind") && kind->AsString() != flags.Get("kind")) {
+    std::fprintf(stderr, "spearstats: %s: kind is '%s', want '%s'\n",
+                 path.c_str(), kind->AsString().c_str(),
+                 flags.Get("kind").c_str());
+    return 1;
+  }
+
+  // A spearsim stats document must carry the four component namespaces.
+  std::vector<std::string> required;
+  if (kind->AsString() == "spearsim") {
+    required = {"stats.core", "stats.mem", "stats.bpred", "stats.spear"};
+  } else if (kind->AsString() == "bench") {
+    required = {"bench", "results"};
+  }
+  if (flags.Has("require")) {
+    std::istringstream reqs(flags.Get("require"));
+    std::string item;
+    while (std::getline(reqs, item, ',')) {
+      if (!item.empty()) required.push_back(item);
+    }
+  }
+  for (const std::string& req : required) {
+    if (doc.FindPath(req) == nullptr) {
+      std::fprintf(stderr, "spearstats: %s: missing required path '%s'\n",
+                   path.c_str(), req.c_str());
+      return 1;
+    }
+  }
+
+  if (flags.Has("get")) {
+    const telemetry::JsonValue* v = doc.FindPath(flags.Get("get"));
+    if (v == nullptr) {
+      std::fprintf(stderr, "spearstats: %s: no value at '%s'\n", path.c_str(),
+                   flags.Get("get").c_str());
+      return 1;
+    }
+    std::printf("%s\n", v->Dump().c_str());
+    return 0;
+  }
+
+  std::printf("%s: valid %s document (schema v%lld, %zu top-level members)\n",
+              path.c_str(), kind->AsString().c_str(),
+              static_cast<long long>(version->AsInt()),
+              doc.members().size());
+  return 0;
+}
