@@ -14,47 +14,22 @@ int main(int argc, char** argv) {
   using namespace spear::bench;
 
   const BenchContext ctx = ParseBenchArgs(argc, argv);
-  const EvalOptions& opt = ctx.options;
   PrintConfigHeader(BaselineConfig(128));
-  const std::vector<std::string> names = {"matrix", "mcf", "equake", "art"};
-  struct Policy {
-    TriggerDrainPolicy policy;
-    const char* name;
-  };
-  const Policy policies[] = {
-      {TriggerDrainPolicy::kImmediate, "immediate"},
-      {TriggerDrainPolicy::kDrainToTrigger, "drain-to-trigger"},
-      {TriggerDrainPolicy::kStallDispatch, "stall-dispatch"},
-  };
-
   std::printf("== Ablation D: trigger drain policy (SPEAR-256) ==\n");
-  std::printf("%-10s %-18s %10s %10s %12s\n", "benchmark", "policy", "IPC",
-              "speedup", "sessions");
 
-  telemetry::JsonValue result_rows = telemetry::JsonValue::Array();
-  for (const std::string& name : names) {
-    const PreparedWorkload pw = PrepareWorkload(name, opt);
-    const RunStats base = RunConfig(pw.plain, BaselineConfig(128), opt);
-    for (const Policy& p : policies) {
-      CoreConfig cfg = SpearCoreConfig(256);
-      cfg.spear.drain_policy = p.policy;
-      const RunStats s = RunConfig(pw.annotated, cfg, opt);
-      std::printf("%-10s %-18s %10.3f %9.3fx %12llu\n", name.c_str(), p.name,
-                  s.ipc, s.ipc / base.ipc,
-                  static_cast<unsigned long long>(s.sessions));
-      telemetry::JsonValue row = telemetry::JsonValue::Object();
-      row.Set("name", telemetry::JsonValue(name));
-      row.Set("policy", telemetry::JsonValue(p.name));
-      row.Set("base", RunStatsToJson(base));
-      row.Set("spear", RunStatsToJson(s));
-      result_rows.Append(std::move(row));
-    }
-    std::fflush(stdout);
+  runner::Manifest m = BenchManifest(ctx, "ablation_drain");
+  m.workloads = {"matrix", "mcf", "equake", "art"};
+  m.configs = {BaseModel()};
+  for (const char* policy :
+       {"immediate", "drain_to_trigger", "stall_dispatch"}) {
+    runner::ConfigSpec c = SpearModel(policy, 256);
+    c.drain_policy = policy;
+    m.configs.push_back(c);
   }
-  std::printf("\ndefault: immediate (see DESIGN.md on the interpretation)\n");
 
-  telemetry::JsonValue results = telemetry::JsonValue::Object();
-  results.Set("rows", std::move(result_rows));
-  WriteBenchJson(ctx, "ablation_drain", std::move(results));
-  return 0;
+  const int rc = RunOrEmit(ctx, m, "ablation_drain");
+  if (!ctx.emit_manifest) {
+    std::printf("default: immediate (see DESIGN.md on the interpretation)\n");
+  }
+  return rc;
 }

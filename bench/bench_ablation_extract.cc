@@ -1,8 +1,9 @@
 // Ablation B: P-thread Extractor bandwidth. The paper fixes extraction at
 // half the issue width (4 of 8) "so as not to overly penalize the main
 // thread" — extracted instructions share decode slots with main dispatch.
-// This sweep shows both sides of that trade.
+// This sweep shows both sides of that trade (stats.extracted in the rows).
 #include <cstdio>
+#include <string>
 
 #include "bench_common.h"
 
@@ -11,40 +12,21 @@ int main(int argc, char** argv) {
   using namespace spear::bench;
 
   const BenchContext ctx = ParseBenchArgs(argc, argv);
-  const EvalOptions& opt = ctx.options;
   PrintConfigHeader(BaselineConfig(128));
-  const std::vector<std::string> names = {"matrix", "mcf", "equake"};
-  const std::uint32_t widths[] = {1, 2, 4, 6, 8};
-
   std::printf("== Ablation B: PE extraction bandwidth (instrs/cycle) ==\n");
-  std::printf("%-10s %8s %10s %10s %12s\n", "benchmark", "extract", "IPC",
-              "speedup", "extracted");
 
-  telemetry::JsonValue result_rows = telemetry::JsonValue::Array();
-  for (const std::string& name : names) {
-    const PreparedWorkload pw = PrepareWorkload(name, opt);
-    const RunStats base = RunConfig(pw.plain, BaselineConfig(128), opt);
-    for (std::uint32_t w : widths) {
-      CoreConfig cfg = SpearCoreConfig(128);
-      cfg.spear.extract_per_cycle = w;
-      const RunStats s = RunConfig(pw.annotated, cfg, opt);
-      std::printf("%-10s %8u %10.3f %9.3fx %12llu\n", name.c_str(), w, s.ipc,
-                  s.ipc / base.ipc,
-                  static_cast<unsigned long long>(s.extracted));
-      telemetry::JsonValue row = telemetry::JsonValue::Object();
-      row.Set("name", telemetry::JsonValue(name));
-      row.Set("extract_per_cycle",
-              telemetry::JsonValue(static_cast<std::int64_t>(w)));
-      row.Set("base", RunStatsToJson(base));
-      row.Set("spear", RunStatsToJson(s));
-      result_rows.Append(std::move(row));
-    }
-    std::fflush(stdout);
+  runner::Manifest m = BenchManifest(ctx, "ablation_extract");
+  m.workloads = {"matrix", "mcf", "equake"};
+  m.configs = {BaseModel()};
+  for (std::int32_t w : {1, 2, 4, 6, 8}) {
+    runner::ConfigSpec c = SpearModel("ext" + std::to_string(w), 128);
+    c.extract_per_cycle = w;
+    m.configs.push_back(c);
   }
-  std::printf("\npaper default: issue_width/2 = 4\n");
 
-  telemetry::JsonValue results = telemetry::JsonValue::Object();
-  results.Set("rows", std::move(result_rows));
-  WriteBenchJson(ctx, "ablation_extract", std::move(results));
-  return 0;
+  const int rc = RunOrEmit(ctx, m, "ablation_extract");
+  if (!ctx.emit_manifest) {
+    std::printf("paper default: issue_width/2 = 4\n");
+  }
+  return rc;
 }

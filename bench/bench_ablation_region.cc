@@ -3,8 +3,10 @@
 // the accumulated expected delay stays within a d-cycle budget (paper:
 // 120, empirically chosen; "more algorithms on the region selection" is
 // the paper's named future work). The budget changes which loop level the
-// slice may span and therefore the slice and live-in sizes.
+// slice may span and therefore the slice and live-in sizes — see the
+// compile.specs / compile.slice_instrs members of each job row.
 #include <cstdio>
+#include <string>
 
 #include "bench_common.h"
 
@@ -13,49 +15,29 @@ int main(int argc, char** argv) {
   using namespace spear::bench;
 
   const BenchContext ctx = ParseBenchArgs(argc, argv);
-  const EvalOptions& opt = ctx.options;
   PrintConfigHeader(BaselineConfig(128));
-  const std::vector<std::string> names = {"tr", "matrix", "ray", "equake"};
-  const double budgets[] = {1.0, 60.0, 120.0, 480.0, 1e9};
-
   std::printf("== Ablation C: prefetching-range d-cycle budget ==\n");
-  std::printf("%-10s %10s %8s %12s %10s %10s\n", "benchmark", "budget",
-              "specs", "slice instr", "IPC", "speedup");
 
-  telemetry::JsonValue result_rows = telemetry::JsonValue::Array();
-  for (const std::string& name : names) {
-    EvalOptions base_opt = opt;
-    const PreparedWorkload base_pw = PrepareWorkload(name, base_opt);
-    const RunStats base = RunConfig(base_pw.plain, BaselineConfig(128), opt);
-    for (double budget : budgets) {
-      EvalOptions b_opt = opt;
-      b_opt.compiler.slicer.dcycle_budget = budget;
-      const PreparedWorkload pw = PrepareWorkload(name, b_opt);
-      std::size_t slice_instrs = 0;
-      for (const PThreadSpec& spec : pw.annotated.pthreads) {
-        slice_instrs += spec.slice_pcs.size();
-      }
-      const RunStats s = RunConfig(pw.annotated, SpearCoreConfig(256), opt);
-      std::printf("%-10s %10.0f %8zu %12zu %10.3f %9.3fx\n", name.c_str(),
-                  budget, pw.annotated.pthreads.size(), slice_instrs, s.ipc,
-                  s.ipc / base.ipc);
-      std::fflush(stdout);
-      telemetry::JsonValue row = telemetry::JsonValue::Object();
-      row.Set("name", telemetry::JsonValue(name));
-      row.Set("dcycle_budget", telemetry::JsonValue(budget));
-      row.Set("specs", telemetry::JsonValue(static_cast<std::int64_t>(
-                           pw.annotated.pthreads.size())));
-      row.Set("slice_instrs",
-              telemetry::JsonValue(static_cast<std::int64_t>(slice_instrs)));
-      row.Set("base", RunStatsToJson(base));
-      row.Set("spear", RunStatsToJson(s));
-      result_rows.Append(std::move(row));
-    }
+  runner::Manifest m = BenchManifest(ctx, "ablation_region");
+  m.workloads = {"tr", "matrix", "ray", "equake"};
+  m.configs = {BaseModel()};
+  const struct {
+    const char* label;
+    double budget;
+  } budgets[] = {{"budget1", 1.0},
+                 {"budget60", 60.0},
+                 {"budget120", 120.0},
+                 {"budget480", 480.0},
+                 {"budget_max", 1e9}};
+  for (const auto& b : budgets) {
+    runner::ConfigSpec c = SpearModel(b.label, 256);
+    c.dcycle_budget = b.budget;
+    m.configs.push_back(c);
   }
-  std::printf("\npaper default: 120 (one memory latency)\n");
 
-  telemetry::JsonValue results = telemetry::JsonValue::Object();
-  results.Set("rows", std::move(result_rows));
-  WriteBenchJson(ctx, "ablation_region", std::move(results));
-  return 0;
+  const int rc = RunOrEmit(ctx, m, "ablation_region");
+  if (!ctx.emit_manifest) {
+    std::printf("paper default: 120 (one memory latency)\n");
+  }
+  return rc;
 }

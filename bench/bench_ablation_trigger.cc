@@ -2,8 +2,9 @@
 // half of the IFQ size" as the minimum occupancy before a pre-decoded
 // d-load may trigger. This sweep varies the divisor (ifq_size/div):
 // div=1 demands a full queue (few triggers), large div triggers on nearly
-// every d-load.
+// every d-load. Trigger counts live in the job rows (stats.triggers).
 #include <cstdio>
+#include <string>
 
 #include "bench_common.h"
 
@@ -12,42 +13,21 @@ int main(int argc, char** argv) {
   using namespace spear::bench;
 
   const BenchContext ctx = ParseBenchArgs(argc, argv);
-  const EvalOptions& opt = ctx.options;
   PrintConfigHeader(BaselineConfig(128));
-  const std::vector<std::string> names = {"matrix", "mcf", "equake"};
-  const std::uint32_t divisors[] = {1, 2, 4, 16, 128};
-
   std::printf("== Ablation A: trigger occupancy threshold (IFQ/div) ==\n");
-  std::printf("%-10s %6s %12s %10s %10s %12s\n", "benchmark", "div",
-              "threshold", "IPC", "speedup", "triggers");
 
-  telemetry::JsonValue result_rows = telemetry::JsonValue::Array();
-  for (const std::string& name : names) {
-    const PreparedWorkload pw = PrepareWorkload(name, opt);
-    const RunStats base = RunConfig(pw.plain, BaselineConfig(128), opt);
-    for (std::uint32_t div : divisors) {
-      CoreConfig cfg = SpearCoreConfig(128);
-      cfg.spear.trigger_occupancy_div = div;
-      const RunStats s = RunConfig(pw.annotated, cfg, opt);
-      std::printf("%-10s %6u %12u %10.3f %9.3fx %12llu\n", name.c_str(), div,
-                  cfg.TriggerOccupancy(), s.ipc, s.ipc / base.ipc,
-                  static_cast<unsigned long long>(s.triggers));
-      telemetry::JsonValue row = telemetry::JsonValue::Object();
-      row.Set("name", telemetry::JsonValue(name));
-      row.Set("divisor",
-              telemetry::JsonValue(static_cast<std::int64_t>(div)));
-      row.Set("threshold", telemetry::JsonValue(static_cast<std::int64_t>(
-                               cfg.TriggerOccupancy())));
-      row.Set("base", RunStatsToJson(base));
-      row.Set("spear", RunStatsToJson(s));
-      result_rows.Append(std::move(row));
-    }
-    std::fflush(stdout);
+  runner::Manifest m = BenchManifest(ctx, "ablation_trigger");
+  m.workloads = {"matrix", "mcf", "equake"};
+  m.configs = {BaseModel()};
+  for (std::uint32_t div : {1u, 2u, 4u, 16u, 128u}) {
+    runner::ConfigSpec c = SpearModel("div" + std::to_string(div), 128);
+    c.trigger_occupancy_div = div;
+    m.configs.push_back(c);
   }
-  std::printf("\npaper default: div=2 (half the IFQ), chosen empirically\n");
 
-  telemetry::JsonValue results = telemetry::JsonValue::Object();
-  results.Set("rows", std::move(result_rows));
-  WriteBenchJson(ctx, "ablation_trigger", std::move(results));
-  return 0;
+  const int rc = RunOrEmit(ctx, m, "ablation_trigger");
+  if (!ctx.emit_manifest) {
+    std::printf("paper default: div=2 (half the IFQ), chosen empirically\n");
+  }
+  return rc;
 }

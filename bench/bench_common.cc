@@ -13,7 +13,14 @@ BenchContext ParseBenchArgs(int argc, char** argv) {
                      {{"out", "directory for the JSON result file "
                               "(default bench/results)"},
                       {"quick", "smoke-run budget (40k instrs per config)"},
-                      {"sim-instrs", "exact per-config commit budget"}});
+                      {"sim-instrs", "exact per-config commit budget"},
+                      {"emit-manifest", "write the experiment manifest JSON "
+                                        "instead of running it"},
+                      {"manifest-dir", "where --emit-manifest writes "
+                                       "(default bench/manifests)"},
+                      {"ckpt-dir", "fast-forward checkpoint cache "
+                                   "(default bench/ckpt)"},
+                      {"no-ckpt", "disable the checkpoint cache"}});
   BenchContext ctx;
   ctx.out_dir = flags.Get("out", ctx.out_dir);
   ctx.quick = flags.GetBool("quick");
@@ -22,14 +29,12 @@ BenchContext ParseBenchArgs(int argc, char** argv) {
     ctx.options.sim_instrs =
         static_cast<std::uint64_t>(flags.GetInt("sim-instrs", 400'000));
   }
+  ctx.emit_manifest = flags.GetBool("emit-manifest");
+  ctx.manifest_dir = flags.Get("manifest-dir", ctx.manifest_dir);
+  ctx.runner.ckpt_dir = flags.Get("ckpt-dir", ctx.runner.ckpt_dir);
+  ctx.runner.use_ckpt = !flags.GetBool("no-ckpt");
+  ctx.runner.verbose = true;
   return ctx;
-}
-
-double Average(const std::vector<double>& xs) {
-  if (xs.empty()) return 0.0;
-  double sum = 0.0;
-  for (double x : xs) sum += x;
-  return sum / static_cast<double>(xs.size());
 }
 
 void PrintConfigHeader(const CoreConfig& c) {
@@ -54,58 +59,128 @@ void PrintConfigHeader(const CoreConfig& c) {
   std::printf("#\n");
 }
 
-std::vector<EvalRow> RunMatrix(const std::vector<std::string>& names,
-                               const EvalOptions& options, bool with_sf) {
-  std::vector<EvalRow> rows;
-  rows.reserve(names.size());
-  for (const std::string& name : names) {
-    const PreparedWorkload pw = PrepareWorkload(name, options);
-    EvalRow row;
-    row.name = name;
-    row.compile = pw.compile_report;
-    row.base = RunConfig(pw.plain, BaselineConfig(128), options);
-    row.s128 = RunConfig(pw.annotated, SpearCoreConfig(128), options);
-    row.s256 = RunConfig(pw.annotated, SpearCoreConfig(256), options);
-    if (with_sf) {
-      row.sf128 = RunConfig(pw.annotated, SpearCoreConfig(128, true), options);
-      row.sf256 = RunConfig(pw.annotated, SpearCoreConfig(256, true), options);
-    }
-    rows.push_back(std::move(row));
-    std::fflush(stdout);
-  }
-  return rows;
-}
-
 std::vector<std::string> AllBenchmarkNames() {
   std::vector<std::string> names;
   for (const WorkloadInfo& w : AllWorkloads()) names.emplace_back(w.name);
   return names;
 }
 
-telemetry::JsonValue EvalRowToJson(const EvalRow& row, bool with_sf) {
-  telemetry::JsonValue o = telemetry::JsonValue::Object();
-  o.Set("name", telemetry::JsonValue(row.name));
-  o.Set("base", RunStatsToJson(row.base));
-  o.Set("spear128", RunStatsToJson(row.s128));
-  o.Set("spear256", RunStatsToJson(row.s256));
-  if (with_sf) {
-    o.Set("spear128_sf", RunStatsToJson(row.sf128));
-    o.Set("spear256_sf", RunStatsToJson(row.sf256));
-  }
-  telemetry::JsonValue compile = telemetry::JsonValue::Object();
-  compile.Set("slices", telemetry::JsonValue(static_cast<std::int64_t>(
-                            row.compile.slices.size())));
-  compile.Set("profiled_l1_misses",
-              telemetry::JsonValue(row.compile.profiled_l1_misses));
-  o.Set("compile", std::move(compile));
-  return o;
+runner::Manifest BenchManifest(const BenchContext& ctx,
+                               const std::string& name) {
+  runner::Manifest m;
+  m.name = name;
+  m.defaults.sim_instrs = ctx.options.sim_instrs;
+  m.defaults.max_cycles = ctx.options.max_cycles;
+  m.defaults.ref_seed = ctx.options.ref_seed;
+  m.defaults.profile_seed = ctx.options.profile_seed;
+  // Skip-and-simulate: every sweep warms 50k instructions functionally
+  // and shares the warm state through the checkpoint cache.
+  m.defaults.ff_instrs = 50'000;
+  return m;
 }
 
-telemetry::JsonValue RowsToJson(const std::vector<EvalRow>& rows,
-                                bool with_sf) {
-  telemetry::JsonValue arr = telemetry::JsonValue::Array();
-  for (const EvalRow& row : rows) arr.Append(EvalRowToJson(row, with_sf));
-  return arr;
+runner::ConfigSpec BaseModel(const std::string& label) {
+  runner::ConfigSpec c;
+  c.label = label;
+  return c;
+}
+
+runner::ConfigSpec SpearModel(const std::string& label, std::uint32_t ifq,
+                               bool separate_fu) {
+  runner::ConfigSpec c;
+  c.label = label;
+  c.spear = true;
+  c.ifq = ifq;
+  c.separate_fu = separate_fu;
+  return c;
+}
+
+runner::DerivedSpec MeanRatio(const std::string& name,
+                              const std::string& metric,
+                              const std::string& num,
+                              const std::string& den) {
+  return runner::DerivedSpec{name, "mean_ratio", metric, num, den};
+}
+
+runner::DerivedSpec MeanReduction(const std::string& name,
+                                  const std::string& metric,
+                                  const std::string& num,
+                                  const std::string& den) {
+  return runner::DerivedSpec{name, "mean_reduction", metric, num, den};
+}
+
+namespace {
+
+// Workload x config IPC table from the aggregated document's job rows.
+void PrintSummary(const runner::Manifest& m,
+                  const telemetry::JsonValue& doc) {
+  const telemetry::JsonValue* jobs = doc.Find("jobs");
+  if (jobs == nullptr) return;
+  std::printf("\n%-10s", "benchmark");
+  for (const runner::ConfigSpec& c : m.configs) {
+    std::printf(" %12s", c.label.c_str());
+  }
+  std::printf("  (IPC)\n");
+  for (const std::string& w : m.workloads) {
+    std::printf("%-10s", w.c_str());
+    for (const runner::ConfigSpec& c : m.configs) {
+      const std::string id = w + "/" + c.label;
+      const telemetry::JsonValue* found = nullptr;
+      for (const telemetry::JsonValue& row : jobs->items()) {
+        const telemetry::JsonValue* rid = row.Find("id");
+        if (rid != nullptr && rid->AsString() == id) {
+          found = &row;
+          break;
+        }
+      }
+      const telemetry::JsonValue* ipc =
+          found != nullptr ? found->FindPath("stats.ipc") : nullptr;
+      if (ipc != nullptr) {
+        std::printf(" %12.3f", ipc->AsDouble());
+      } else {
+        std::printf(" %12s", found != nullptr ? "FAIL" : "-");
+      }
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+}
+
+}  // namespace
+
+int RunOrEmit(const BenchContext& ctx, const runner::Manifest& m,
+              const std::string& file_stem) {
+  if (ctx.emit_manifest) {
+    std::filesystem::create_directories(ctx.manifest_dir);
+    const std::string path = ctx.manifest_dir + "/" + file_stem + ".json";
+    std::ofstream out(path, std::ios::binary);
+    out << runner::ManifestToJson(m).Dump(2) << "\n";
+    out.close();
+    std::printf("wrote %s (%zu jobs)\n", path.c_str(),
+                runner::ExpandJobs(m).size());
+    return 0;
+  }
+
+  const runner::ManifestRunResult result =
+      runner::RunManifestInProcess(m, ctx.runner);
+  PrintSummary(m, result.document);
+
+  if (const telemetry::JsonValue* derived = result.document.Find("derived");
+      derived != nullptr && !derived->members().empty()) {
+    std::printf("\n");
+    for (const auto& [name, value] : derived->members()) {
+      std::printf("%-28s %s\n", name.c_str(), value.Dump().c_str());
+    }
+  }
+
+  const std::string path =
+      runner::WriteRunnerDoc(result.document, ctx.out_dir, m.name);
+  std::printf("\nwrote %s\n", path.c_str());
+  if (result.failed_jobs > 0) {
+    std::printf("%d jobs FAILED\n", result.failed_jobs);
+    return 1;
+  }
+  return 0;
 }
 
 std::string WriteBenchJson(const BenchContext& ctx,

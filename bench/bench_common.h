@@ -1,7 +1,10 @@
-// Shared machinery for the experiment-reproduction binaries: the standard
-// five-configuration evaluation (baseline, SPEAR-128/256, SPEAR.sf-128/256)
-// and table formatting. Every binary prints the simulator configuration
-// header (paper Table 2) so runs are self-describing.
+// Shared machinery for the experiment-reproduction binaries. The sweep
+// benches (Figures 6-9, Table 3, the ablations and extensions) are thin
+// wrappers over src/runner: each builds its experiment matrix as a
+// runner::Manifest and either runs it in-process or emits it as JSON
+// (--emit-manifest) so the committed bench/manifests/*.json files can
+// never drift from the C++ definitions. Every binary prints the simulator
+// configuration header (paper Table 2) so runs are self-describing.
 #pragma once
 
 #include <cstdio>
@@ -9,57 +12,69 @@
 #include <vector>
 
 #include "eval/harness.h"
+#include "runner/manifest.h"
+#include "runner/runner.h"
 #include "telemetry/json.h"
 
 namespace spear::bench {
 
 // Options every bench binary accepts: --out=<dir> redirects the JSON
 // result file (default bench/results), --quick shrinks the commit budget
-// for smoke runs (CI), --sim-instrs overrides it exactly.
+// for smoke runs (CI), --sim-instrs overrides it exactly. Sweep benches
+// additionally take --emit-manifest/--manifest-dir (write the manifest
+// instead of running it) and --ckpt-dir/--no-ckpt (checkpoint cache).
 struct BenchContext {
   EvalOptions options;
   std::string out_dir = "bench/results";
   bool quick = false;
+  bool emit_manifest = false;
+  std::string manifest_dir = "bench/manifests";
+  runner::RunnerOptions runner;
 };
 
 BenchContext ParseBenchArgs(int argc, char** argv);
 
-// Geometric mean of per-benchmark speedups is noisy at this scale; the
-// paper reports arithmetic averages of normalized IPC, so we do too.
-double Average(const std::vector<double>& xs);
-
 void PrintConfigHeader(const CoreConfig& reference);
-
-struct EvalRow {
-  std::string name;
-  RunStats base;
-  RunStats s128;
-  RunStats s256;
-  RunStats sf128;
-  RunStats sf256;
-  CompileReport compile;
-};
-
-// Runs the standard configuration matrix over the given workloads.
-// with_sf additionally runs the separate-functional-unit models (Fig. 7).
-std::vector<EvalRow> RunMatrix(const std::vector<std::string>& names,
-                               const EvalOptions& options, bool with_sf);
 
 // All 15 paper benchmarks, in Table 1 order.
 std::vector<std::string> AllBenchmarkNames();
 
-// One EvalRow as a JSON object (per-config RunStats; sf configs only when
-// with_sf ran).
-telemetry::JsonValue EvalRowToJson(const EvalRow& row, bool with_sf);
+// Manifest skeleton with the repo's standard defaults: the bench's commit
+// budget and a 50k-instruction checkpointed fast-forward (skip-and-
+// simulate; see DESIGN.md §"Experiment orchestration").
+runner::Manifest BenchManifest(const BenchContext& ctx,
+                               const std::string& name);
 
-// Standard matrix result payload: array of EvalRowToJson rows.
-telemetry::JsonValue RowsToJson(const std::vector<EvalRow>& rows,
-                                bool with_sf);
+// ConfigSpec shorthands for the standard models.
+runner::ConfigSpec BaseModel(const std::string& label = "base");
+runner::ConfigSpec SpearModel(const std::string& label, std::uint32_t ifq,
+                               bool separate_fu = false);
+
+// DerivedSpec shorthands (metric is a RunStats JSON key, num/den are
+// config labels; the mean runs over the manifest's workloads).
+runner::DerivedSpec MeanRatio(const std::string& name,
+                              const std::string& metric,
+                              const std::string& num, const std::string& den);
+runner::DerivedSpec MeanReduction(const std::string& name,
+                                  const std::string& metric,
+                                  const std::string& num,
+                                  const std::string& den);
+
+// The sweep-bench tail: with --emit-manifest, write the canonical
+// manifest JSON to <manifest_dir>/<file_stem>.json and return 0.
+// Otherwise run the manifest in-process (sharing the runner's document
+// builder, so `spearrun --manifest bench/manifests/<file_stem>.json`
+// reproduces the result byte-identically modulo the "run" member), write
+// the document to <out_dir>/<m.name>.json, print a workload x config IPC
+// table plus the derived metrics, and return nonzero if any job failed.
+int RunOrEmit(const BenchContext& ctx, const runner::Manifest& m,
+              const std::string& file_stem);
 
 // Wraps `results` in the schema-versioned bench envelope
 // {schema_version, kind:"bench", bench, quick, sim_instrs, results},
 // writes it to <out_dir>/<bench_name>.json (creating the directory) and
-// returns the path. Prints a one-line notice to stdout.
+// returns the path. Used by the benches that are not config sweeps
+// (table1). Prints a one-line notice to stdout.
 std::string WriteBenchJson(const BenchContext& ctx,
                            const std::string& bench_name,
                            telemetry::JsonValue results);

@@ -3,6 +3,7 @@
 // (static BTFN, the paper's 2K bimodal, a 16K bimodal, gshare) and measure
 // how SPEAR-256's gain moves with front-end quality.
 #include <cstdio>
+#include <string>
 
 #include "bench_common.h"
 
@@ -11,53 +12,40 @@ int main(int argc, char** argv) {
   using namespace spear::bench;
 
   const BenchContext ctx = ParseBenchArgs(argc, argv);
-  const EvalOptions& opt = ctx.options;
   PrintConfigHeader(BaselineConfig(128));
-  const std::vector<std::string> names = {"mcf", "vpr", "dm", "matrix"};
-  struct Pred {
-    const char* name;
-    BpredKind kind;
-    std::uint32_t entries;
-  };
-  const Pred preds[] = {
-      {"static-btfn", BpredKind::kStaticBtfn, 2048},
-      {"bimodal-2k", BpredKind::kBimodal, 2048},  // paper configuration
-      {"bimodal-16k", BpredKind::kBimodal, 16384},
-      {"gshare-16k", BpredKind::kGshare, 16384},
-  };
-
   std::printf("== Extension: SPEAR-256 gain vs branch predictor ==\n");
-  std::printf("%-10s %-12s %10s %10s %10s\n", "benchmark", "predictor",
-              "hit ratio", "base IPC", "speedup");
 
-  telemetry::JsonValue result_rows = telemetry::JsonValue::Array();
-  for (const std::string& name : names) {
-    const PreparedWorkload pw = PrepareWorkload(name, opt);
-    for (const Pred& p : preds) {
-      CoreConfig base_cfg = BaselineConfig(128);
-      base_cfg.bpred.kind = p.kind;
-      base_cfg.bpred.table_entries = p.entries;
-      CoreConfig spear_cfg = SpearCoreConfig(256);
-      spear_cfg.bpred.kind = p.kind;
-      spear_cfg.bpred.table_entries = p.entries;
-
-      const RunStats base = RunConfig(pw.plain, base_cfg, opt);
-      const RunStats sp = RunConfig(pw.annotated, spear_cfg, opt);
-      std::printf("%-10s %-12s %10.4f %10.3f %9.3fx\n", name.c_str(), p.name,
-                  base.branch_hit_ratio, base.ipc, sp.ipc / base.ipc);
-      std::fflush(stdout);
-      telemetry::JsonValue row = telemetry::JsonValue::Object();
-      row.Set("name", telemetry::JsonValue(name));
-      row.Set("predictor", telemetry::JsonValue(p.name));
-      row.Set("base", RunStatsToJson(base));
-      row.Set("spear", RunStatsToJson(sp));
-      result_rows.Append(std::move(row));
+  runner::Manifest m = BenchManifest(ctx, "ext_bpred");
+  m.workloads = {"mcf", "vpr", "dm", "matrix"};
+  const struct {
+    const char* name;
+    const char* kind;
+    std::uint32_t entries;
+  } preds[] = {
+      {"static_btfn", "static_btfn", 2048},
+      {"bimodal_2k", "bimodal", 2048},  // paper configuration
+      {"bimodal_16k", "bimodal", 16384},
+      {"gshare_16k", "gshare", 16384},
+  };
+  for (const auto& p : preds) {
+    runner::ConfigSpec base = BaseModel(std::string("base_") + p.name);
+    runner::ConfigSpec sp = SpearModel(std::string("spear_") + p.name, 256);
+    for (runner::ConfigSpec* c : {&base, &sp}) {
+      c->bpred_kind = p.kind;
+      c->bpred_entries = p.entries;
     }
+    m.configs.push_back(base);
+    m.configs.push_back(sp);
   }
-  std::printf("\n(paper configuration: bimodal-2k)\n");
+  for (const auto& p : preds) {
+    m.derived.push_back(MeanRatio(std::string("avg_speedup_") + p.name, "ipc",
+                                  std::string("spear_") + p.name,
+                                  std::string("base_") + p.name));
+  }
 
-  telemetry::JsonValue results = telemetry::JsonValue::Object();
-  results.Set("rows", std::move(result_rows));
-  WriteBenchJson(ctx, "ext_bpred", std::move(results));
-  return 0;
+  const int rc = RunOrEmit(ctx, m, "ext_bpred");
+  if (!ctx.emit_manifest) {
+    std::printf("(paper configuration: bimodal_2k)\n");
+  }
+  return rc;
 }

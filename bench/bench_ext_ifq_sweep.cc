@@ -4,6 +4,7 @@
 // curve from 32 to 1024 entries on four representative benchmarks and
 // shows where the window saturates.
 #include <cstdio>
+#include <string>
 
 #include "bench_common.h"
 
@@ -12,42 +13,19 @@ int main(int argc, char** argv) {
   using namespace spear::bench;
 
   const BenchContext ctx = ParseBenchArgs(argc, argv);
-  const EvalOptions& opt = ctx.options;
   PrintConfigHeader(BaselineConfig(128));
-  const std::vector<std::string> names = {"matrix", "mcf", "art", "dm"};
-  const std::uint32_t sizes[] = {32, 64, 128, 256, 512, 1024};
-
   std::printf("== Extension: SPEAR speedup vs IFQ size ==\n");
-  std::printf("%-10s", "benchmark");
-  for (std::uint32_t s : sizes) std::printf(" %8u", s);
-  std::printf("\n");
 
-  telemetry::JsonValue result_rows = telemetry::JsonValue::Array();
-  for (const std::string& name : names) {
-    const PreparedWorkload pw = PrepareWorkload(name, opt);
-    const RunStats base = RunConfig(pw.plain, BaselineConfig(128), opt);
-    std::printf("%-10s", name.c_str());
-    telemetry::JsonValue row = telemetry::JsonValue::Object();
-    row.Set("name", telemetry::JsonValue(name));
-    row.Set("base", RunStatsToJson(base));
-    telemetry::JsonValue curve = telemetry::JsonValue::Array();
-    for (std::uint32_t s : sizes) {
-      const RunStats rs = RunConfig(pw.annotated, SpearCoreConfig(s), opt);
-      std::printf(" %7.3fx", rs.ipc / base.ipc);
-      std::fflush(stdout);
-      telemetry::JsonValue pt = telemetry::JsonValue::Object();
-      pt.Set("ifq_size", telemetry::JsonValue(static_cast<std::int64_t>(s)));
-      pt.Set("spear", RunStatsToJson(rs));
-      curve.Append(std::move(pt));
-    }
-    row.Set("curve", std::move(curve));
-    result_rows.Append(std::move(row));
-    std::printf("\n");
+  runner::Manifest m = BenchManifest(ctx, "ext_ifq_sweep");
+  m.workloads = {"matrix", "mcf", "art", "dm"};
+  m.configs = {BaseModel()};
+  for (std::uint32_t s : {32u, 64u, 128u, 256u, 512u, 1024u}) {
+    m.configs.push_back(SpearModel("spear" + std::to_string(s), s));
   }
-  std::printf("\n(paper evaluates 128 and 256 only)\n");
 
-  telemetry::JsonValue results = telemetry::JsonValue::Object();
-  results.Set("rows", std::move(result_rows));
-  WriteBenchJson(ctx, "ext_ifq_sweep", std::move(results));
-  return 0;
+  const int rc = RunOrEmit(ctx, m, "ext_ifq");
+  if (!ctx.emit_manifest) {
+    std::printf("(paper evaluates 128 and 256 only)\n");
+  }
+  return rc;
 }

@@ -16,46 +16,21 @@ int main(int argc, char** argv) {
   using namespace spear::bench;
 
   const BenchContext ctx = ParseBenchArgs(argc, argv);
-  const EvalOptions& opt = ctx.options;
   PrintConfigHeader(BaselineConfig(128));
   std::printf("== Extension: stride prefetching vs speculative pre-execution ==\n");
-  std::printf("%-10s %9s %9s %9s %9s\n", "benchmark", "stride", "SPEAR",
-              "both", "(norm IPC)");
 
-  telemetry::JsonValue result_rows = telemetry::JsonValue::Array();
-  std::vector<double> stride_spd, spear_spd, both_spd;
-  for (const std::string& name : AllBenchmarkNames()) {
-    const PreparedWorkload pw = PrepareWorkload(name, opt);
-    const RunStats base = RunConfig(pw.plain, BaselineConfig(128), opt);
-    const RunStats stride =
-        RunConfig(pw.plain, StridePrefetchConfig(128, 2), opt);
-    const RunStats spear = RunConfig(pw.annotated, SpearCoreConfig(256), opt);
-    CoreConfig both_cfg = SpearCoreConfig(256);
-    both_cfg.stride_prefetch.enabled = true;
-    const RunStats both = RunConfig(pw.annotated, both_cfg, opt);
+  runner::Manifest m = BenchManifest(ctx, "ext_prefetch");
+  m.workloads = AllBenchmarkNames();
+  runner::ConfigSpec stride = BaseModel("stride");
+  stride.stride_prefetch = true;
+  stride.stride_degree = 2;
+  runner::ConfigSpec both = SpearModel("both", 256);
+  both.stride_prefetch = true;
+  both.stride_degree = 2;
+  m.configs = {BaseModel(), stride, SpearModel("spear256", 256), both};
+  m.derived = {MeanRatio("avg_speedup_stride", "ipc", "stride", "base"),
+               MeanRatio("avg_speedup_spear", "ipc", "spear256", "base"),
+               MeanRatio("avg_speedup_both", "ipc", "both", "base")};
 
-    stride_spd.push_back(stride.ipc / base.ipc);
-    spear_spd.push_back(spear.ipc / base.ipc);
-    both_spd.push_back(both.ipc / base.ipc);
-    std::printf("%-10s %8.3fx %8.3fx %8.3fx\n", name.c_str(),
-                stride_spd.back(), spear_spd.back(), both_spd.back());
-    std::fflush(stdout);
-    telemetry::JsonValue row = telemetry::JsonValue::Object();
-    row.Set("name", telemetry::JsonValue(name));
-    row.Set("base", RunStatsToJson(base));
-    row.Set("stride", RunStatsToJson(stride));
-    row.Set("spear256", RunStatsToJson(spear));
-    row.Set("both", RunStatsToJson(both));
-    result_rows.Append(std::move(row));
-  }
-  std::printf("%-10s %8.3fx %8.3fx %8.3fx\n", "average", Average(stride_spd),
-              Average(spear_spd), Average(both_spd));
-
-  telemetry::JsonValue results = telemetry::JsonValue::Object();
-  results.Set("rows", std::move(result_rows));
-  results.Set("avg_speedup_stride", telemetry::JsonValue(Average(stride_spd)));
-  results.Set("avg_speedup_spear", telemetry::JsonValue(Average(spear_spd)));
-  results.Set("avg_speedup_both", telemetry::JsonValue(Average(both_spd)));
-  WriteBenchJson(ctx, "ext_prefetch", std::move(results));
-  return 0;
+  return RunOrEmit(ctx, m, "ext_prefetch");
 }

@@ -2,6 +2,10 @@
 // SPEAR-256 over the baseline superscalar, per benchmark plus averages.
 // Paper result shape: 11 of 15 benchmarks improve; average +12.7% (128)
 // and +20.1% (256); best mcf (+87.6%); tr/field/fft/gzip lose 1-6.2%.
+//
+// The matrix lives in bench/manifests/fig6.json (--emit-manifest
+// regenerates it); `spearrun --manifest bench/manifests/fig6.json` runs
+// the same jobs in parallel and produces the same document.
 #include <cstdio>
 
 #include "bench_common.h"
@@ -11,38 +15,20 @@ int main(int argc, char** argv) {
   using namespace spear::bench;
 
   const BenchContext ctx = ParseBenchArgs(argc, argv);
-  const EvalOptions& opt = ctx.options;
   PrintConfigHeader(BaselineConfig(128));
   std::printf("== Figure 6: normalized IPC (baseline = 1.00) ==\n");
-  std::printf("%-10s %9s %10s %10s %10s %10s\n", "benchmark", "base IPC",
-              "SPEAR-128", "SPEAR-256", "spd128", "spd256");
 
-  const std::vector<EvalRow> rows =
-      RunMatrix(AllBenchmarkNames(), opt, /*with_sf=*/false);
+  runner::Manifest m = BenchManifest(ctx, "fig6_speedup");
+  m.workloads = AllBenchmarkNames();
+  m.configs = {BaseModel(), SpearModel("spear128", 128),
+               SpearModel("spear256", 256)};
+  m.derived = {MeanRatio("avg_speedup_128", "ipc", "spear128", "base"),
+               MeanRatio("avg_speedup_256", "ipc", "spear256", "base")};
 
-  std::vector<double> spd128, spd256;
-  int improved128 = 0, improved256 = 0;
-  for (const EvalRow& row : rows) {
-    const double s1 = row.s128.ipc / row.base.ipc;
-    const double s2 = row.s256.ipc / row.base.ipc;
-    spd128.push_back(s1);
-    spd256.push_back(s2);
-    improved128 += s1 > 1.005;
-    improved256 += s2 > 1.005;
-    std::printf("%-10s %9.3f %10.3f %10.3f %9.3fx %9.3fx\n", row.name.c_str(),
-                row.base.ipc, row.s128.ipc, row.s256.ipc, s1, s2);
+  const int rc = RunOrEmit(ctx, m, "fig6");
+  if (!ctx.emit_manifest) {
+    std::printf("paper: avg 1.127x (128), 1.201x (256); best mcf 1.876x; "
+                "tr/field/fft/gzip degrade 1-6.2%%\n");
   }
-  std::printf("%-10s %9s %10s %10s %9.3fx %9.3fx\n", "average", "", "", "",
-              Average(spd128), Average(spd256));
-  std::printf("\nimproved benchmarks: %d (SPEAR-128), %d (SPEAR-256) of %zu\n",
-              improved128, improved256, rows.size());
-  std::printf("paper: avg 1.127x (128), 1.201x (256); best mcf 1.876x; "
-              "tr/field/fft/gzip degrade 1-6.2%%\n");
-
-  telemetry::JsonValue results = telemetry::JsonValue::Object();
-  results.Set("rows", RowsToJson(rows, /*with_sf=*/false));
-  results.Set("avg_speedup_128", telemetry::JsonValue(Average(spd128)));
-  results.Set("avg_speedup_256", telemetry::JsonValue(Average(spd256)));
-  WriteBenchJson(ctx, "fig6_speedup", std::move(results));
-  return 0;
+  return rc;
 }

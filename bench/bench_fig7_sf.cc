@@ -2,7 +2,7 @@
 // p-thread — SPEAR.sf-128 and SPEAR.sf-256, the CMP-like configuration.
 // Paper result shape: sf >= shared everywhere it matters; averages +18.9%
 // (sf-128) and +26.3% (sf-256); the longer queue adds ~7.4% and the
-// dedicated FUs ~6.2% independently.
+// dedicated FUs ~6.2% independently (compare the four derived averages).
 #include <cstdio>
 
 #include "bench_common.h"
@@ -12,38 +12,24 @@ int main(int argc, char** argv) {
   using namespace spear::bench;
 
   const BenchContext ctx = ParseBenchArgs(argc, argv);
-  const EvalOptions& opt = ctx.options;
   PrintConfigHeader(BaselineConfig(128));
   std::printf("== Figure 7: normalized IPC with separate functional units ==\n");
-  std::printf("%-10s %9s %9s %9s %9s %9s\n", "benchmark", "s128", "s256",
-              "sf128", "sf256", "base IPC");
 
-  const std::vector<EvalRow> rows =
-      RunMatrix(AllBenchmarkNames(), opt, /*with_sf=*/true);
+  runner::Manifest m = BenchManifest(ctx, "fig7_sf");
+  m.workloads = AllBenchmarkNames();
+  m.configs = {BaseModel(), SpearModel("spear128", 128),
+               SpearModel("spear256", 256),
+               SpearModel("spear128_sf", 128, /*separate_fu=*/true),
+               SpearModel("spear256_sf", 256, /*separate_fu=*/true)};
+  m.derived = {MeanRatio("avg_speedup_128", "ipc", "spear128", "base"),
+               MeanRatio("avg_speedup_256", "ipc", "spear256", "base"),
+               MeanRatio("avg_speedup_sf128", "ipc", "spear128_sf", "base"),
+               MeanRatio("avg_speedup_sf256", "ipc", "spear256_sf", "base")};
 
-  std::vector<double> s128, s256, sf128, sf256;
-  for (const EvalRow& row : rows) {
-    s128.push_back(row.s128.ipc / row.base.ipc);
-    s256.push_back(row.s256.ipc / row.base.ipc);
-    sf128.push_back(row.sf128.ipc / row.base.ipc);
-    sf256.push_back(row.sf256.ipc / row.base.ipc);
-    std::printf("%-10s %8.3fx %8.3fx %8.3fx %8.3fx %9.3f\n", row.name.c_str(),
-                s128.back(), s256.back(), sf128.back(), sf256.back(),
-                row.base.ipc);
+  const int rc = RunOrEmit(ctx, m, "fig7");
+  if (!ctx.emit_manifest) {
+    std::printf("paper: avg 1.189x (sf-128), 1.263x (sf-256); queue factor "
+                "~1.074x, FU factor ~1.062x\n");
   }
-  std::printf("%-10s %8.3fx %8.3fx %8.3fx %8.3fx\n", "average",
-              Average(s128), Average(s256), Average(sf128), Average(sf256));
-  std::printf("\nlonger-IFQ factor : %.3fx (shared) %.3fx (sf)\n",
-              Average(s256) / Average(s128), Average(sf256) / Average(sf128));
-  std::printf("dedicated-FU factor: %.3fx (128) %.3fx (256)\n",
-              Average(sf128) / Average(s128), Average(sf256) / Average(s256));
-  std::printf("paper: avg 1.189x (sf-128), 1.263x (sf-256); queue factor "
-              "~1.074x, FU factor ~1.062x\n");
-
-  telemetry::JsonValue results = telemetry::JsonValue::Object();
-  results.Set("rows", RowsToJson(rows, /*with_sf=*/true));
-  results.Set("avg_speedup_sf128", telemetry::JsonValue(Average(sf128)));
-  results.Set("avg_speedup_sf256", telemetry::JsonValue(Average(sf256)));
-  WriteBenchJson(ctx, "fig7_sf", std::move(results));
-  return 0;
+  return rc;
 }

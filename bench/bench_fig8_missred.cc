@@ -11,39 +11,21 @@ int main(int argc, char** argv) {
   using namespace spear::bench;
 
   const BenchContext ctx = ParseBenchArgs(argc, argv);
-  const EvalOptions& opt = ctx.options;
   PrintConfigHeader(BaselineConfig(128));
   std::printf("== Figure 8: L1D miss reduction (main thread) ==\n");
-  std::printf("%-10s %12s %12s %12s %9s %9s\n", "benchmark", "base misses",
-              "SPEAR-128", "SPEAR-256", "red128", "red256");
 
-  const std::vector<EvalRow> rows =
-      RunMatrix(AllBenchmarkNames(), opt, /*with_sf=*/false);
+  runner::Manifest m = BenchManifest(ctx, "fig8_missred");
+  m.workloads = AllBenchmarkNames();
+  m.configs = {BaseModel(), SpearModel("spear128", 128),
+               SpearModel("spear256", 256)};
+  m.derived = {MeanReduction("avg_miss_reduction_128", "l1d_misses_main",
+                             "spear128", "base"),
+               MeanReduction("avg_miss_reduction_256", "l1d_misses_main",
+                             "spear256", "base")};
 
-  std::vector<double> red128, red256;
-  for (const EvalRow& row : rows) {
-    const auto base = static_cast<double>(row.base.l1d_misses_main);
-    const double r1 =
-        base == 0 ? 0.0 : 1.0 - static_cast<double>(row.s128.l1d_misses_main) / base;
-    const double r2 =
-        base == 0 ? 0.0 : 1.0 - static_cast<double>(row.s256.l1d_misses_main) / base;
-    red128.push_back(r1);
-    red256.push_back(r2);
-    std::printf("%-10s %12llu %12llu %12llu %8.1f%% %8.1f%%\n",
-                row.name.c_str(),
-                static_cast<unsigned long long>(row.base.l1d_misses_main),
-                static_cast<unsigned long long>(row.s128.l1d_misses_main),
-                static_cast<unsigned long long>(row.s256.l1d_misses_main),
-                100.0 * r1, 100.0 * r2);
+  const int rc = RunOrEmit(ctx, m, "fig8");
+  if (!ctx.emit_manifest) {
+    std::printf("paper: avg 19.7%% eliminated (SPEAR-256), best art 38.8%%\n");
   }
-  std::printf("%-10s %12s %12s %12s %8.1f%% %8.1f%%\n", "average", "", "", "",
-              100.0 * Average(red128), 100.0 * Average(red256));
-  std::printf("\npaper: avg 19.7%% eliminated (SPEAR-256), best art 38.8%%\n");
-
-  telemetry::JsonValue results = telemetry::JsonValue::Object();
-  results.Set("rows", RowsToJson(rows, /*with_sf=*/false));
-  results.Set("avg_miss_reduction_128", telemetry::JsonValue(Average(red128)));
-  results.Set("avg_miss_reduction_256", telemetry::JsonValue(Average(red256)));
-  WriteBenchJson(ctx, "fig8_missred", std::move(results));
-  return 0;
+  return rc;
 }

@@ -3,6 +3,8 @@
 // branch hit ratio and IPB (instructions per branch). The paper's point:
 // the long IFQ only pays off when branch prediction keeps the queue on
 // the correct path (matrix at 99.4%/1.45x vs update at 88.7%/0.94x).
+// The per-benchmark branch statistics live in the base config's job rows
+// (stats.branch_hit_ratio, stats.ipb).
 #include <cstdio>
 
 #include "bench_common.h"
@@ -12,41 +14,20 @@ int main(int argc, char** argv) {
   using namespace spear::bench;
 
   const BenchContext ctx = ParseBenchArgs(argc, argv);
-  const EvalOptions& opt = ctx.options;
   PrintConfigHeader(BaselineConfig(128));
   std::printf("== Table 3: SPEAR-256 over SPEAR-128 vs branch behaviour ==\n");
-  std::printf("%-10s %14s %16s %8s\n", "benchmark", "s256/s128",
-              "branch hit", "IPB");
 
-  const std::vector<EvalRow> rows =
-      RunMatrix(AllBenchmarkNames(), opt, /*with_sf=*/false);
+  runner::Manifest m = BenchManifest(ctx, "table3_ifq");
+  m.workloads = AllBenchmarkNames();
+  m.configs = {BaseModel(), SpearModel("spear128", 128),
+               SpearModel("spear256", 256)};
+  m.derived = {
+      MeanRatio("avg_s256_over_s128", "ipc", "spear256", "spear128")};
 
-  // Correlation check: do high-hit-ratio benchmarks gain more from the
-  // longer queue? (Paper's qualitative claim.)
-  double gain_hi = 0, gain_lo = 0;
-  int n_hi = 0, n_lo = 0;
-  for (const EvalRow& row : rows) {
-    const double ratio = row.s256.ipc / row.s128.ipc;
-    std::printf("%-10s %13.2fx %15.4f %8.2f\n", row.name.c_str(), ratio,
-                row.base.branch_hit_ratio, row.base.ipb);
-    if (row.base.branch_hit_ratio >= 0.95) {
-      gain_hi += ratio;
-      ++n_hi;
-    } else {
-      gain_lo += ratio;
-      ++n_lo;
-    }
+  const int rc = RunOrEmit(ctx, m, "table3");
+  if (!ctx.emit_manifest) {
+    std::printf("paper: matrix 1.45x @ 0.9942 hit; update 0.94x @ 0.8865; "
+                "longer IFQ effectiveness follows branch prediction\n");
   }
-  if (n_hi > 0 && n_lo > 0) {
-    std::printf("\nmean s256/s128: %.3fx for hit>=0.95 (%d), %.3fx for "
-                "hit<0.95 (%d)\n",
-                gain_hi / n_hi, n_hi, gain_lo / n_lo, n_lo);
-  }
-  std::printf("paper: matrix 1.45x @ 0.9942 hit; update 0.94x @ 0.8865; "
-              "longer IFQ effectiveness follows branch prediction\n");
-
-  telemetry::JsonValue results = telemetry::JsonValue::Object();
-  results.Set("rows", RowsToJson(rows, /*with_sf=*/false));
-  WriteBenchJson(ctx, "table3_ifq", std::move(results));
-  return 0;
+  return rc;
 }

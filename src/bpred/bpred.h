@@ -39,6 +39,18 @@ struct BranchPrediction {
   Pc target = 0;  // predicted next PC when taken
 };
 
+// Snapshot of the predictor's learned state (direction counters, RAS, BTB,
+// global history) for the checkpoint layer. Activity counters are excluded:
+// a restored run counts only post-restore predictions.
+struct BpredState {
+  std::vector<std::uint8_t> counters;
+  std::vector<Pc> ras;
+  std::uint64_t ras_top = 0;
+  std::vector<Pc> btb_pcs;
+  std::vector<Pc> btb_targets;
+  std::uint32_t history = 0;
+};
+
 class BranchPredictor {
  public:
   explicit BranchPredictor(const BpredConfig& config)
@@ -92,6 +104,39 @@ class BranchPredictor {
   }
 
   const BpredConfig& config() const { return config_; }
+
+  BpredState SaveState() const {
+    BpredState s;
+    s.counters = counters_;
+    s.ras = ras_;
+    s.ras_top = ras_top_;
+    s.btb_pcs.reserve(btb_.size());
+    s.btb_targets.reserve(btb_.size());
+    for (const BtbEntry& e : btb_) {
+      s.btb_pcs.push_back(e.pc);
+      s.btb_targets.push_back(e.target);
+    }
+    s.history = history_;
+    return s;
+  }
+
+  // Installs a snapshot from a predictor of identical geometry. Returns
+  // false (leaving this predictor untouched) on a table-size mismatch.
+  bool RestoreState(const BpredState& s) {
+    if (s.counters.size() != counters_.size() || s.ras.size() != ras_.size() ||
+        s.btb_pcs.size() != btb_.size() ||
+        s.btb_targets.size() != btb_.size() || s.ras_top >= ras_.size()) {
+      return false;
+    }
+    counters_ = s.counters;
+    ras_ = s.ras;
+    ras_top_ = static_cast<std::size_t>(s.ras_top);
+    for (std::size_t i = 0; i < btb_.size(); ++i) {
+      btb_[i] = BtbEntry{s.btb_pcs[i], s.btb_targets[i]};
+    }
+    history_ = s.history;
+    return true;
+  }
 
   // Binds predictor activity under "bpred.*" (direction accuracy lives
   // with the core, which owns commit-time resolution).

@@ -126,6 +126,19 @@ Core::Core(const Program& prog, const CoreConfig& config)
   prename_.Reset();
 }
 
+void Core::InstallWarmState(const WarmState& ws) {
+  SPEAR_CHECK(now_ == 0 && stats_.committed == 0 && ifq_.empty() &&
+              ruu_.empty());
+  SPEAR_CHECK(prog_.ContainsPc(ws.pc));
+  iregs_ = ws.iregs;
+  fregs_ = ws.fregs;
+  fetch_pc_ = ws.pc;
+  mem_.CopyFrom(ws.mem);
+  SPEAR_CHECK(hier_.l1d().RestoreState(ws.l1d));
+  SPEAR_CHECK(hier_.l2().RestoreState(ws.l2));
+  SPEAR_CHECK(bpred_.RestoreState(ws.bpred));
+}
+
 // ---------------------------------------------------------------------------
 // Cycle loop. Stages run in reverse pipeline order, sim-outorder style.
 // ---------------------------------------------------------------------------

@@ -32,6 +32,7 @@
 #include "common/types.h"
 #include "cpu/config.h"
 #include "cpu/pipeline_types.h"
+#include "cpu/warm_state.h"
 #include "isa/program.h"
 #include "mem/hierarchy.h"
 #include "mem/memory.h"
@@ -128,6 +129,12 @@ class Core {
   // instructions have committed, or `max_cycles` elapsed.
   RunResult Run(std::uint64_t max_instrs,
                 std::uint64_t max_cycles = UINT64_MAX);
+
+  // Installs post-warmup state (registers, fetch PC, memory image, cache
+  // tag/LRU arrays, predictor tables) from a functional fast-forward or a
+  // restored checkpoint. Only legal before the first cycle; the warm
+  // state's cache/predictor geometry must match this core's config.
+  void InstallWarmState(const WarmState& ws);
 
   bool halted() const { return halted_; }
   const CoreStats& stats() const { return stats_; }

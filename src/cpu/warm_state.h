@@ -1,0 +1,32 @@
+// Post-warmup machine state produced by functional fast-forward and
+// consumed by Core::InstallWarmState — the paper's skip-and-simulate
+// methodology factored into a first-class object. Holds everything the
+// timed core's behaviour depends on at the switch point: architectural
+// registers, the memory image, cache tag/LRU arrays and predictor tables.
+// The runner's checkpoint layer serializes exactly this struct, so a run
+// restored from a checkpoint and a run warmed live are bit-identical.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "bpred/bpred.h"
+#include "common/types.h"
+#include "mem/cache.h"
+#include "mem/memory.h"
+
+namespace spear {
+
+struct WarmState {
+  std::array<std::uint32_t, kNumIntRegs> iregs{};
+  std::array<double, kNumFpRegs> fregs{};
+  Pc pc = 0;
+  std::uint64_t warmed_instrs = 0;  // instructions actually fast-forwarded
+  bool halted = false;              // program ended during warmup
+  Memory mem;                       // move-only, so WarmState is too
+  CacheState l1d;
+  CacheState l2;
+  BpredState bpred;
+};
+
+}  // namespace spear

@@ -21,8 +21,9 @@ PreparedWorkload PrepareWorkload(const std::string& name,
 }
 
 RunStats RunConfig(const Program& prog, const CoreConfig& config,
-                   const EvalOptions& options) {
+                   const EvalOptions& options, const WarmState* warm) {
   Core core(prog, config);
+  if (warm != nullptr) core.InstallWarmState(*warm);
   const RunResult rr = core.Run(options.sim_instrs, options.max_cycles);
   RunStats s;
   s.cycles = rr.cycles;
@@ -41,6 +42,8 @@ RunStats RunConfig(const Program& prog, const CoreConfig& config,
   s.dispatched_wrongpath = core.stats().dispatched_wrongpath;
   s.squashed_wrongpath = core.stats().squashed_wrongpath;
   s.ifq_flushed = core.stats().ifq_flushed;
+  s.chained_triggers = core.stats().chained_triggers;
+  s.complete = s.halted || s.instructions >= options.sim_instrs;
   return s;
 }
 
@@ -71,7 +74,10 @@ telemetry::JsonValue RunStatsToJson(const RunStats& s) {
         telemetry::JsonValue(static_cast<std::int64_t>(s.squashed_wrongpath)));
   o.Set("ifq_flushed",
         telemetry::JsonValue(static_cast<std::int64_t>(s.ifq_flushed)));
+  o.Set("chained_triggers",
+        telemetry::JsonValue(static_cast<std::int64_t>(s.chained_triggers)));
   o.Set("halted", telemetry::JsonValue(s.halted));
+  o.Set("complete", telemetry::JsonValue(s.complete));
   return o;
 }
 

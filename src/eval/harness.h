@@ -53,11 +53,21 @@ struct RunStats {
   std::uint64_t dispatched_wrongpath = 0;
   std::uint64_t squashed_wrongpath = 0;
   std::uint64_t ifq_flushed = 0;
+  // Chaining-trigger extension re-arms (bench_ext_chaining).
+  std::uint64_t chained_triggers = 0;
   bool halted = false;
+  // A run is complete when it either committed a HALT or exhausted its
+  // commit budget. !complete means the max_cycles safety net fired — the
+  // measurement is bogus, and tools exit nonzero so sweep drivers notice.
+  bool complete = false;
 };
 
+// Runs `prog` on `config` for the options' commit budget. When `warm` is
+// given, the core starts from that post-warmup state instead of cold
+// (skip-and-simulate); stats count post-restore activity only.
 RunStats RunConfig(const Program& prog, const CoreConfig& config,
-                   const EvalOptions& options);
+                   const EvalOptions& options,
+                   const WarmState* warm = nullptr);
 
 // RunStats as an insertion-ordered JSON object (for bench result files).
 telemetry::JsonValue RunStatsToJson(const RunStats& s);

@@ -25,6 +25,17 @@ struct CacheConfig {
   }
 };
 
+// Snapshot of a cache's tag/LRU arrays (not its statistics counters),
+// taken after functional warmup so a checkpointed run can resume with the
+// exact replacement state a live warmup would have produced. `flags` packs
+// valid (bit 0) and dirty (bit 1) per line.
+struct CacheState {
+  std::uint64_t stamp = 0;
+  std::vector<std::uint64_t> tags;
+  std::vector<std::uint64_t> lru;
+  std::vector<std::uint8_t> flags;
+};
+
 class Cache {
  public:
   explicit Cache(const CacheConfig& config)
@@ -89,6 +100,41 @@ class Cache {
 
   void Invalidate() {
     for (Line& line : lines_) line = Line{};
+  }
+
+  // Tag/LRU snapshot for the checkpoint layer. Counters are excluded on
+  // purpose: a restored run's statistics must count only post-restore
+  // activity, exactly like a live run that installed the same warm state.
+  CacheState SaveState() const {
+    CacheState s;
+    s.stamp = stamp_;
+    s.tags.reserve(lines_.size());
+    s.lru.reserve(lines_.size());
+    s.flags.reserve(lines_.size());
+    for (const Line& line : lines_) {
+      s.tags.push_back(line.tag);
+      s.lru.push_back(line.lru);
+      s.flags.push_back(static_cast<std::uint8_t>((line.valid ? 1u : 0u) |
+                                                  (line.dirty ? 2u : 0u)));
+    }
+    return s;
+  }
+
+  // Installs a snapshot taken from a cache of identical geometry. Returns
+  // false (leaving this cache untouched) on a line-count mismatch.
+  bool RestoreState(const CacheState& s) {
+    if (s.tags.size() != lines_.size() || s.lru.size() != lines_.size() ||
+        s.flags.size() != lines_.size()) {
+      return false;
+    }
+    for (std::size_t i = 0; i < lines_.size(); ++i) {
+      lines_[i].tag = s.tags[i];
+      lines_[i].lru = s.lru[i];
+      lines_[i].valid = (s.flags[i] & 1u) != 0;
+      lines_[i].dirty = (s.flags[i] & 2u) != 0;
+    }
+    stamp_ = s.stamp;
+    return true;
   }
 
   const CacheConfig& config() const { return config_; }

@@ -3,11 +3,13 @@
 // pages are allocated on first touch. Unwritten memory reads as zero.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <cstring>
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "common/types.h"
 #include "isa/program.h"
@@ -77,6 +79,37 @@ class Memory {
   }
 
   std::size_t AllocatedPages() const { return pages_.size(); }
+
+  // Replaces this memory's contents with a deep copy of `other` (used to
+  // transfer a fast-forwarded image into the timed core).
+  void CopyFrom(const Memory& other) {
+    pages_.clear();
+    for (const auto& [pn, page] : other.pages_) {
+      pages_[pn] = std::make_unique<Page>(*page);
+    }
+  }
+
+  // Allocated page numbers in ascending order, for deterministic
+  // serialization by the checkpoint layer.
+  std::vector<Addr> PageNumbers() const {
+    std::vector<Addr> out;
+    out.reserve(pages_.size());
+    for (const auto& [pn, page] : pages_) out.push_back(pn);
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  // Raw bytes of an allocated page (nullptr if the page was never touched).
+  const std::uint8_t* PageData(Addr page_number) const {
+    auto it = pages_.find(page_number);
+    return it == pages_.end() ? nullptr : it->second->data();
+  }
+
+  // Installs kPageSize bytes as page `page_number` (checkpoint restore).
+  void InstallPage(Addr page_number, const std::uint8_t* bytes) {
+    Page* page = TouchPage(page_number << kPageBits);
+    std::memcpy(page->data(), bytes, kPageSize);
+  }
 
  private:
   using Page = std::array<std::uint8_t, kPageSize>;

@@ -1,0 +1,374 @@
+#include "runner/checkpoint.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+#include <vector>
+
+#include "isa/regs.h"
+#include "sim/emulator.h"
+
+namespace spear::runner {
+namespace {
+
+constexpr char kMagic[4] = {'S', 'P', 'C', 'K'};
+
+const char* BpredKindName(BpredKind kind) {
+  switch (kind) {
+    case BpredKind::kBimodal:
+      return "bimodal";
+    case BpredKind::kGshare:
+      return "gshare";
+    case BpredKind::kStaticBtfn:
+      return "static_btfn";
+    case BpredKind::kAlwaysTaken:
+      return "always_taken";
+  }
+  return "?";
+}
+
+std::uint64_t Fnv1a64(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+// Little-endian byte-buffer serializer. The whole checkpoint is built (or
+// slurped) in memory; files are a few MiB at most, dominated by the page
+// set of the warmed memory image.
+class Writer {
+ public:
+  void Bytes(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    buf_.insert(buf_.end(), b, b + n);
+  }
+  void U8(std::uint8_t v) { buf_.push_back(v); }
+  void U32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void U64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void F64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    U64(bits);
+  }
+  void Str(const std::string& s) {
+    U32(static_cast<std::uint32_t>(s.size()));
+    Bytes(s.data(), s.size());
+  }
+  const std::vector<std::uint8_t>& buffer() const { return buf_; }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+// Every read checks remaining length; the first failure poisons the reader
+// and the caller reports a (recoverable) miss.
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  bool ok() const { return ok_; }
+  bool AtEnd() const { return pos_ == size_; }
+
+  bool Bytes(void* out, std::size_t n) {
+    if (!ok_ || size_ - pos_ < n) return Fail();
+    std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  std::uint8_t U8() {
+    std::uint8_t v = 0;
+    Bytes(&v, 1);
+    return v;
+  }
+  std::uint32_t U32() {
+    std::uint8_t b[4] = {};
+    Bytes(b, 4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(b[i]) << (8 * i);
+    return v;
+  }
+  std::uint64_t U64() {
+    std::uint8_t b[8] = {};
+    Bytes(b, 8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(b[i]) << (8 * i);
+    return v;
+  }
+  double F64() {
+    const std::uint64_t bits = U64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  std::string Str() {
+    const std::uint32_t n = U32();
+    if (!ok_ || size_ - pos_ < n) {
+      Fail();
+      return {};
+    }
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+ private:
+  bool Fail() {
+    ok_ = false;
+    return false;
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+void WriteCacheState(Writer& w, const CacheState& s) {
+  w.U64(s.stamp);
+  w.U64(s.tags.size());
+  for (std::size_t i = 0; i < s.tags.size(); ++i) {
+    w.U64(s.tags[i]);
+    w.U64(s.lru[i]);
+    w.U8(s.flags[i]);
+  }
+}
+
+bool ReadCacheState(Reader& r, CacheState* s) {
+  s->stamp = r.U64();
+  const std::uint64_t n = r.U64();
+  if (!r.ok() || n > (1ull << 28)) return false;  // implausible line count
+  s->tags.resize(n);
+  s->lru.resize(n);
+  s->flags.resize(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    s->tags[i] = r.U64();
+    s->lru[i] = r.U64();
+    s->flags[i] = r.U8();
+  }
+  return r.ok();
+}
+
+}  // namespace
+
+std::string KeyString(const CheckpointKey& key) {
+  std::ostringstream os;
+  os << "workload=" << key.workload << "|seed=" << key.seed
+     << "|ff=" << key.ff_instrs << "|l1d=" << key.l1d.sets << "x"
+     << key.l1d.block_bytes << "x" << key.l1d.assoc << "|l2=" << key.l2.sets
+     << "x" << key.l2.block_bytes << "x" << key.l2.assoc
+     << "|bpred=" << BpredKindName(key.bpred.kind) << ":"
+     << key.bpred.table_entries << ":" << key.bpred.ras_entries << ":"
+     << key.bpred.btb_entries;
+  return os.str();
+}
+
+std::string CheckpointPath(const std::string& dir, const CheckpointKey& key) {
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(Fnv1a64(KeyString(key))));
+  return dir + "/" + hex + ".spck";
+}
+
+FastForwardResult FastForward(const Program& prog, const CheckpointKey& key) {
+  // Latencies don't affect tag/LRU or predictor contents, so the defaults
+  // are fine regardless of which latency sweep the timed run belongs to.
+  HierarchyConfig hcfg;
+  hcfg.l1d = key.l1d;
+  hcfg.l2 = key.l2;
+  MemoryHierarchy hier(hcfg);
+  BranchPredictor bpred(key.bpred);
+  Emulator emu(prog);
+
+  FastForwardResult out;
+  while (!emu.halted() && out.executed < key.ff_instrs) {
+    const StepInfo info = emu.Step();
+    ++out.executed;
+    // Mirror the timed core's warming protocol: every data access walks
+    // the hierarchy, every control instruction is predicted at fetch and
+    // trained at commit (Predict also maintains the RAS speculatively; on
+    // the functional path fetch and commit coincide).
+    if (info.result.is_load || info.result.is_store) {
+      hier.AccessData(info.result.mem_addr, info.result.is_store, kMainThread,
+                      info.icount);
+    }
+    if (info.result.is_control) {
+      bpred.Predict(info.pc, info.instr);
+      bpred.Update(info.pc, info.instr, info.result.taken,
+                   info.result.next_pc);
+    }
+  }
+
+  WarmState& ws = out.state;
+  for (int i = 0; i < kNumIntRegs; ++i) ws.iregs[i] = emu.ReadIntReg(IntReg(i));
+  for (int i = 0; i < kNumFpRegs; ++i) ws.fregs[i] = emu.ReadFpReg(FpReg(i));
+  ws.pc = emu.pc();
+  ws.warmed_instrs = out.executed;
+  ws.halted = emu.halted();
+  ws.mem.CopyFrom(emu.memory());
+  ws.l1d = hier.l1d().SaveState();
+  ws.l2 = hier.l2().SaveState();
+  ws.bpred = bpred.SaveState();
+  return out;
+}
+
+bool SaveCheckpoint(const std::string& dir, const CheckpointKey& key,
+                    const WarmState& state, std::string* error) {
+  Writer w;
+  w.Bytes(kMagic, sizeof(kMagic));
+  w.U32(kCheckpointFormatVersion);
+  w.Str(KeyString(key));
+
+  w.U8(state.halted ? 1 : 0);
+  w.U32(state.pc);
+  w.U64(state.warmed_instrs);
+  for (std::uint32_t r : state.iregs) w.U32(r);
+  for (double f : state.fregs) w.F64(f);
+
+  const std::vector<Addr> pages = state.mem.PageNumbers();
+  w.U32(static_cast<std::uint32_t>(pages.size()));
+  for (Addr pn : pages) {
+    w.U32(pn);
+    w.Bytes(state.mem.PageData(pn), Memory::kPageSize);
+  }
+
+  WriteCacheState(w, state.l1d);
+  WriteCacheState(w, state.l2);
+
+  const BpredState& b = state.bpred;
+  w.U32(static_cast<std::uint32_t>(b.counters.size()));
+  w.Bytes(b.counters.data(), b.counters.size());
+  w.U32(static_cast<std::uint32_t>(b.ras.size()));
+  for (Pc p : b.ras) w.U32(p);
+  w.U64(b.ras_top);
+  w.U32(static_cast<std::uint32_t>(b.btb_pcs.size()));
+  for (std::size_t i = 0; i < b.btb_pcs.size(); ++i) {
+    w.U32(b.btb_pcs[i]);
+    w.U32(b.btb_targets[i]);
+  }
+  w.U32(b.history);
+
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  const std::string path = CheckpointPath(dir, key);
+  // Unique temp name per writer so parallel workers computing the same
+  // checkpoint never see each other's partial files; the rename makes the
+  // final path appear atomically.
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    if (error != nullptr) {
+      *error = "cannot open " + tmp + ": " + std::strerror(errno);
+    }
+    return false;
+  }
+  const std::vector<std::uint8_t>& buf = w.buffer();
+  const bool wrote = std::fwrite(buf.data(), 1, buf.size(), f) == buf.size();
+  const bool closed = std::fclose(f) == 0;
+  if (!wrote || !closed) {
+    if (error != nullptr) *error = "short write to " + tmp;
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    if (error != nullptr) {
+      *error = "rename " + tmp + " -> " + path + ": " + std::strerror(errno);
+    }
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool LoadCheckpoint(const std::string& dir, const CheckpointKey& key,
+                    WarmState* state, std::string* error) {
+  const std::string path = CheckpointPath(dir, key);
+  auto miss = [error](const std::string& why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return miss("no checkpoint at " + path);
+  std::vector<std::uint8_t> buf;
+  std::uint8_t chunk[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+    buf.insert(buf.end(), chunk, chunk + n);
+  }
+  std::fclose(f);
+
+  Reader r(buf.data(), buf.size());
+  char magic[4] = {};
+  r.Bytes(magic, sizeof(magic));
+  if (!r.ok() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return miss(path + ": bad magic");
+  }
+  if (r.U32() != kCheckpointFormatVersion) {
+    return miss(path + ": format version mismatch");
+  }
+  // The hash names the file but the full key string decides: a hash
+  // collision (or a stale cache dir) must read as a miss, not a wrong warm
+  // state.
+  if (r.Str() != KeyString(key)) return miss(path + ": key mismatch");
+
+  WarmState ws;
+  ws.halted = r.U8() != 0;
+  ws.pc = r.U32();
+  ws.warmed_instrs = r.U64();
+  for (int i = 0; i < kNumIntRegs; ++i) ws.iregs[i] = r.U32();
+  for (int i = 0; i < kNumFpRegs; ++i) ws.fregs[i] = r.F64();
+
+  const std::uint32_t npages = r.U32();
+  if (!r.ok()) return miss(path + ": truncated");
+  std::vector<std::uint8_t> page(Memory::kPageSize);
+  for (std::uint32_t i = 0; i < npages; ++i) {
+    const Addr pn = r.U32();
+    if (!r.Bytes(page.data(), page.size())) return miss(path + ": truncated");
+    ws.mem.InstallPage(pn, page.data());
+  }
+
+  if (!ReadCacheState(r, &ws.l1d) || !ReadCacheState(r, &ws.l2)) {
+    return miss(path + ": truncated cache state");
+  }
+
+  BpredState& b = ws.bpred;
+  const std::uint32_t ncounters = r.U32();
+  if (!r.ok() || ncounters > (1u << 28)) return miss(path + ": truncated");
+  b.counters.resize(ncounters);
+  if (ncounters > 0 && !r.Bytes(b.counters.data(), ncounters)) {
+    return miss(path + ": truncated");
+  }
+  const std::uint32_t nras = r.U32();
+  if (!r.ok() || nras > (1u << 20)) return miss(path + ": truncated");
+  b.ras.resize(nras);
+  for (std::uint32_t i = 0; i < nras; ++i) b.ras[i] = r.U32();
+  b.ras_top = r.U64();
+  const std::uint32_t nbtb = r.U32();
+  if (!r.ok() || nbtb > (1u << 24)) return miss(path + ": truncated");
+  b.btb_pcs.resize(nbtb);
+  b.btb_targets.resize(nbtb);
+  for (std::uint32_t i = 0; i < nbtb; ++i) {
+    b.btb_pcs[i] = r.U32();
+    b.btb_targets[i] = r.U32();
+  }
+  b.history = r.U32();
+
+  if (!r.ok() || !r.AtEnd()) return miss(path + ": truncated or oversized");
+  *state = std::move(ws);
+  return true;
+}
+
+}  // namespace spear::runner

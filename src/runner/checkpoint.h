@@ -1,0 +1,73 @@
+// Checkpointed fast-forward: the expensive half of the paper's
+// skip-and-simulate methodology (functional warmup of architectural state,
+// caches and the branch predictor) done once per (workload, seed,
+// warmup-instrs) and reused across every configuration that sweeps it.
+//
+// FastForward() runs the functional emulator for N instructions while
+// warming a private cache hierarchy and branch predictor of the target
+// geometry; the resulting WarmState transfers into a timed Core via
+// Core::InstallWarmState. Save/Load serialize WarmState to a versioned
+// binary file in a content-addressed cache directory, keyed by the warmup
+// inputs plus the cache/predictor geometry (the only config knobs the warm
+// state depends on — latencies, IFQ size etc. do not change it, so one
+// checkpoint serves a whole sweep). A format or geometry mismatch is
+// reported as a plain miss, never an error: the caller recomputes and
+// overwrites. Writes go through a temp file + rename so concurrent workers
+// racing on the same key are safe.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "bpred/bpred.h"
+#include "cpu/warm_state.h"
+#include "isa/program.h"
+#include "mem/hierarchy.h"
+
+namespace spear::runner {
+
+// Bump when the serialized layout changes; old files then read as misses
+// and are transparently regenerated (see DESIGN.md "Experiment
+// orchestration" for the version policy).
+inline constexpr std::uint32_t kCheckpointFormatVersion = 1;
+
+// Inputs that determine a warm state, and therefore the cache key.
+struct CheckpointKey {
+  std::string workload;       // diagnostic; the program comes from the caller
+  std::uint64_t seed = 0;     // workload input seed
+  std::uint64_t ff_instrs = 0;
+  CacheConfig l1d;
+  CacheConfig l2;
+  BpredConfig bpred;
+};
+
+// Canonical "field=value|..." form of the key (hashed for the filename,
+// stored verbatim in the file and verified on load).
+std::string KeyString(const CheckpointKey& key);
+
+// Content-addressed path inside `dir`: <fnv1a64(KeyString)>.spck.
+std::string CheckpointPath(const std::string& dir, const CheckpointKey& key);
+
+struct FastForwardResult {
+  WarmState state;
+  std::uint64_t executed = 0;  // < ff_instrs iff the program halted early
+};
+
+// Executes `ff_instrs` instructions of `prog` on the functional emulator,
+// routing every data access through a cache hierarchy and every control
+// instruction through a branch predictor of the key's geometry (predict at
+// fetch, train at commit — the same protocol the timed core follows).
+FastForwardResult FastForward(const Program& prog, const CheckpointKey& key);
+
+// Serializes `state` to CheckpointPath(dir, key), creating `dir` if
+// needed. Returns false (with a message in *error) on I/O failure.
+bool SaveCheckpoint(const std::string& dir, const CheckpointKey& key,
+                    const WarmState& state, std::string* error = nullptr);
+
+// Loads the checkpoint for `key` from `dir` into *state. Returns false on
+// any mismatch — absent file, bad magic, other format version, different
+// key, truncation — all of which the caller treats as a cache miss.
+bool LoadCheckpoint(const std::string& dir, const CheckpointKey& key,
+                    WarmState* state, std::string* error = nullptr);
+
+}  // namespace spear::runner

@@ -1,0 +1,570 @@
+#include "runner/manifest.h"
+
+#include <fstream>
+#include <set>
+#include <sstream>
+
+namespace spear::runner {
+namespace {
+
+using telemetry::JsonValue;
+
+// Accumulates the first error with its JSON path, parser-combinator
+// style: every accessor is a no-op once an error is recorded, so parse
+// code reads straight-line and the caller gets one precise diagnostic.
+class Ctx {
+ public:
+  bool failed() const { return !error_.empty(); }
+  const std::string& error() const { return error_; }
+
+  void Fail(const std::string& path, const std::string& message) {
+    if (error_.empty()) error_ = path + ": " + message;
+  }
+
+  const JsonValue* Object(const JsonValue& v, const std::string& path) {
+    if (failed()) return nullptr;
+    if (v.kind() != JsonValue::Kind::kObject) {
+      Fail(path, "expected an object");
+      return nullptr;
+    }
+    return &v;
+  }
+
+  // Rejects members of `obj` outside `known` (typo protection).
+  void CheckKeys(const JsonValue& obj, const std::string& path,
+                 const std::set<std::string>& known) {
+    if (failed()) return;
+    for (const auto& [key, value] : obj.members()) {
+      if (!known.count(key)) {
+        Fail(path.empty() ? key : path + "." + key, "unknown key");
+        return;
+      }
+    }
+  }
+
+  std::string Str(const JsonValue& obj, const std::string& path,
+                  const std::string& key, const std::string& def = "") {
+    const JsonValue* v = obj.Find(key);
+    if (failed() || v == nullptr) return def;
+    if (v->kind() != JsonValue::Kind::kString) {
+      Fail(Join(path, key), "expected a string");
+      return def;
+    }
+    return v->AsString();
+  }
+
+  std::int64_t Int(const JsonValue& obj, const std::string& path,
+                   const std::string& key, std::int64_t def) {
+    const JsonValue* v = obj.Find(key);
+    if (failed() || v == nullptr) return def;
+    if (v->kind() != JsonValue::Kind::kInt) {
+      Fail(Join(path, key), "expected an integer");
+      return def;
+    }
+    return v->AsInt();
+  }
+
+  std::uint64_t U64(const JsonValue& obj, const std::string& path,
+                    const std::string& key, std::uint64_t def) {
+    const std::int64_t v = Int(obj, path, key, static_cast<std::int64_t>(def));
+    if (!failed() && v < 0) {
+      Fail(Join(path, key), "must be >= 0");
+      return def;
+    }
+    return static_cast<std::uint64_t>(v);
+  }
+
+  double Num(const JsonValue& obj, const std::string& path,
+             const std::string& key, double def) {
+    const JsonValue* v = obj.Find(key);
+    if (failed() || v == nullptr) return def;
+    if (!v->is_number()) {
+      Fail(Join(path, key), "expected a number");
+      return def;
+    }
+    return v->AsDouble();
+  }
+
+  bool Bool(const JsonValue& obj, const std::string& path,
+            const std::string& key, bool def) {
+    const JsonValue* v = obj.Find(key);
+    if (failed() || v == nullptr) return def;
+    if (v->kind() != JsonValue::Kind::kBool) {
+      Fail(Join(path, key), "expected true or false");
+      return def;
+    }
+    return v->AsBool();
+  }
+
+  static std::string Join(const std::string& path, const std::string& key) {
+    return path.empty() ? key : path + "." + key;
+  }
+
+ private:
+  std::string error_;
+};
+
+std::string Elem(const std::string& base, std::size_t i) {
+  return base + "[" + std::to_string(i) + "]";
+}
+
+const std::set<std::string> kDefaultsKeys = {
+    "sim_instrs", "max_cycles", "ref_seed",    "profile_seed",
+    "ff_instrs",  "timeout_ms", "max_retries", "backoff_ms"};
+
+const std::set<std::string> kConfigKeys = {
+    "label",         "binary",
+    "spear",         "separate_fu",
+    "ifq",           "mem_latency",
+    "l2_latency",    "bpred_kind",
+    "bpred_entries", "trigger_occupancy_div",
+    "extract_per_cycle", "drain_policy",
+    "chaining_trigger",  "stride_prefetch",
+    "stride_degree",     "dcycle_budget"};
+
+const std::set<std::string> kJobKeys = {"workload", "config", "debug_hang",
+                                        "timeout_ms", "max_retries"};
+
+const std::set<std::string> kDerivedKeys = {"name", "op", "metric", "num",
+                                            "den"};
+
+const std::set<std::string> kTopKeys = {
+    "manifest_version", "name",     "defaults", "workloads",
+    "configs",          "jobs",     "derived"};
+
+void ParseDefaults(Ctx& ctx, const JsonValue& obj, ManifestDefaults* d) {
+  const std::string path = "defaults";
+  ctx.CheckKeys(obj, path, kDefaultsKeys);
+  d->sim_instrs = ctx.U64(obj, path, "sim_instrs", d->sim_instrs);
+  d->max_cycles = ctx.U64(obj, path, "max_cycles", d->max_cycles);
+  d->ref_seed = ctx.U64(obj, path, "ref_seed", d->ref_seed);
+  d->profile_seed = ctx.U64(obj, path, "profile_seed", d->profile_seed);
+  d->ff_instrs = ctx.U64(obj, path, "ff_instrs", d->ff_instrs);
+  d->timeout_ms = ctx.U64(obj, path, "timeout_ms", d->timeout_ms);
+  d->max_retries = static_cast<int>(ctx.Int(obj, path, "max_retries",
+                                            d->max_retries));
+  d->backoff_ms = ctx.U64(obj, path, "backoff_ms", d->backoff_ms);
+}
+
+void ParseConfig(Ctx& ctx, const JsonValue& obj, const std::string& path,
+                 ConfigSpec* c) {
+  ctx.CheckKeys(obj, path, kConfigKeys);
+  c->label = ctx.Str(obj, path, "label");
+  if (!ctx.failed() && c->label.empty()) {
+    ctx.Fail(path + ".label", "missing or empty");
+    return;
+  }
+  c->binary = ctx.Str(obj, path, "binary");
+  if (!ctx.failed() && !c->binary.empty() && c->binary != "plain" &&
+      c->binary != "annotated") {
+    ctx.Fail(path + ".binary", "must be 'plain' or 'annotated', got '" +
+                                   c->binary + "'");
+    return;
+  }
+  c->spear = ctx.Bool(obj, path, "spear", false);
+  c->separate_fu = ctx.Bool(obj, path, "separate_fu", false);
+  c->ifq = static_cast<std::uint32_t>(ctx.U64(obj, path, "ifq", 128));
+  c->mem_latency =
+      static_cast<std::uint32_t>(ctx.U64(obj, path, "mem_latency", 0));
+  c->l2_latency =
+      static_cast<std::uint32_t>(ctx.U64(obj, path, "l2_latency", 0));
+  c->bpred_kind = ctx.Str(obj, path, "bpred_kind");
+  if (!ctx.failed() && !c->bpred_kind.empty() && c->bpred_kind != "bimodal" &&
+      c->bpred_kind != "gshare" && c->bpred_kind != "static_btfn" &&
+      c->bpred_kind != "always_taken") {
+    ctx.Fail(path + ".bpred_kind",
+             "unknown predictor '" + c->bpred_kind + "'");
+    return;
+  }
+  c->bpred_entries =
+      static_cast<std::uint32_t>(ctx.U64(obj, path, "bpred_entries", 0));
+  c->trigger_occupancy_div = static_cast<std::uint32_t>(
+      ctx.U64(obj, path, "trigger_occupancy_div", 0));
+  c->extract_per_cycle = static_cast<std::int32_t>(
+      ctx.Int(obj, path, "extract_per_cycle", -1));
+  c->drain_policy = ctx.Str(obj, path, "drain_policy");
+  if (!ctx.failed() && !c->drain_policy.empty() &&
+      c->drain_policy != "immediate" &&
+      c->drain_policy != "drain_to_trigger" &&
+      c->drain_policy != "stall_dispatch") {
+    ctx.Fail(path + ".drain_policy",
+             "unknown policy '" + c->drain_policy + "'");
+    return;
+  }
+  c->chaining_trigger = ctx.Bool(obj, path, "chaining_trigger", false);
+  c->stride_prefetch = ctx.Bool(obj, path, "stride_prefetch", false);
+  c->stride_degree =
+      static_cast<std::uint32_t>(ctx.U64(obj, path, "stride_degree", 0));
+  c->dcycle_budget = ctx.Num(obj, path, "dcycle_budget", 0.0);
+}
+
+void ParseJob(Ctx& ctx, const JsonValue& obj, const std::string& path,
+              const Manifest& m, JobSpec* j) {
+  ctx.CheckKeys(obj, path, kJobKeys);
+  j->workload = ctx.Str(obj, path, "workload");
+  if (!ctx.failed() && j->workload.empty()) {
+    ctx.Fail(path + ".workload", "missing or empty");
+    return;
+  }
+  const std::string label = ctx.Str(obj, path, "config");
+  if (ctx.failed()) return;
+  j->config = -1;
+  for (std::size_t i = 0; i < m.configs.size(); ++i) {
+    if (m.configs[i].label == label) j->config = static_cast<int>(i);
+  }
+  if (j->config < 0) {
+    ctx.Fail(path + ".config", "no config labeled '" + label + "'");
+    return;
+  }
+  j->debug_hang = ctx.Bool(obj, path, "debug_hang", false);
+  j->timeout_ms = ctx.U64(obj, path, "timeout_ms", 0);
+  j->max_retries = static_cast<int>(ctx.Int(obj, path, "max_retries", -1));
+}
+
+void ParseDerived(Ctx& ctx, const JsonValue& obj, const std::string& path,
+                  const Manifest& m, DerivedSpec* d) {
+  ctx.CheckKeys(obj, path, kDerivedKeys);
+  d->name = ctx.Str(obj, path, "name");
+  d->op = ctx.Str(obj, path, "op");
+  d->metric = ctx.Str(obj, path, "metric");
+  d->num = ctx.Str(obj, path, "num");
+  d->den = ctx.Str(obj, path, "den");
+  if (ctx.failed()) return;
+  if (d->name.empty()) {
+    ctx.Fail(path + ".name", "missing or empty");
+    return;
+  }
+  if (d->op != "mean_ratio" && d->op != "mean_reduction") {
+    ctx.Fail(path + ".op", "must be 'mean_ratio' or 'mean_reduction', got '" +
+                               d->op + "'");
+    return;
+  }
+  if (d->metric.empty()) {
+    ctx.Fail(path + ".metric", "missing or empty");
+    return;
+  }
+  for (const std::string* label : {&d->num, &d->den}) {
+    bool found = false;
+    for (const ConfigSpec& c : m.configs) found |= c.label == *label;
+    if (!found) {
+      ctx.Fail(path + (label == &d->num ? ".num" : ".den"),
+               "no config labeled '" + *label + "'");
+      return;
+    }
+  }
+}
+
+// --- emission helpers (only non-default fields, fixed key order) ---
+
+JsonValue DefaultsToJson(const ManifestDefaults& d) {
+  const ManifestDefaults def;
+  JsonValue o = JsonValue::Object();
+  o.Set("sim_instrs", JsonValue(d.sim_instrs));
+  o.Set("max_cycles", JsonValue(d.max_cycles));
+  o.Set("ref_seed", JsonValue(d.ref_seed));
+  o.Set("profile_seed", JsonValue(d.profile_seed));
+  if (d.ff_instrs != def.ff_instrs) o.Set("ff_instrs", JsonValue(d.ff_instrs));
+  if (d.timeout_ms != def.timeout_ms) {
+    o.Set("timeout_ms", JsonValue(d.timeout_ms));
+  }
+  if (d.max_retries != def.max_retries) {
+    o.Set("max_retries", JsonValue(static_cast<std::int64_t>(d.max_retries)));
+  }
+  if (d.backoff_ms != def.backoff_ms) {
+    o.Set("backoff_ms", JsonValue(d.backoff_ms));
+  }
+  return o;
+}
+
+JsonValue ConfigToJson(const ConfigSpec& c) {
+  JsonValue o = JsonValue::Object();
+  o.Set("label", JsonValue(c.label));
+  if (!c.binary.empty()) o.Set("binary", JsonValue(c.binary));
+  if (c.spear) o.Set("spear", JsonValue(true));
+  if (c.separate_fu) o.Set("separate_fu", JsonValue(true));
+  if (c.ifq != 128) {
+    o.Set("ifq", JsonValue(static_cast<std::int64_t>(c.ifq)));
+  }
+  if (c.mem_latency != 0) {
+    o.Set("mem_latency", JsonValue(static_cast<std::int64_t>(c.mem_latency)));
+  }
+  if (c.l2_latency != 0) {
+    o.Set("l2_latency", JsonValue(static_cast<std::int64_t>(c.l2_latency)));
+  }
+  if (!c.bpred_kind.empty()) o.Set("bpred_kind", JsonValue(c.bpred_kind));
+  if (c.bpred_entries != 0) {
+    o.Set("bpred_entries",
+          JsonValue(static_cast<std::int64_t>(c.bpred_entries)));
+  }
+  if (c.trigger_occupancy_div != 0) {
+    o.Set("trigger_occupancy_div",
+          JsonValue(static_cast<std::int64_t>(c.trigger_occupancy_div)));
+  }
+  if (c.extract_per_cycle >= 0) {
+    o.Set("extract_per_cycle",
+          JsonValue(static_cast<std::int64_t>(c.extract_per_cycle)));
+  }
+  if (!c.drain_policy.empty()) {
+    o.Set("drain_policy", JsonValue(c.drain_policy));
+  }
+  if (c.chaining_trigger) o.Set("chaining_trigger", JsonValue(true));
+  if (c.stride_prefetch) o.Set("stride_prefetch", JsonValue(true));
+  if (c.stride_degree != 0) {
+    o.Set("stride_degree",
+          JsonValue(static_cast<std::int64_t>(c.stride_degree)));
+  }
+  if (c.dcycle_budget != 0.0) {
+    o.Set("dcycle_budget", JsonValue(c.dcycle_budget));
+  }
+  return o;
+}
+
+}  // namespace
+
+std::vector<JobSpec> ExpandJobs(const Manifest& m) {
+  std::vector<JobSpec> jobs;
+  jobs.reserve(m.workloads.size() * m.configs.size() + m.extra_jobs.size());
+  for (const std::string& w : m.workloads) {
+    for (std::size_t c = 0; c < m.configs.size(); ++c) {
+      JobSpec j;
+      j.workload = w;
+      j.config = static_cast<int>(c);
+      jobs.push_back(std::move(j));
+    }
+  }
+  jobs.insert(jobs.end(), m.extra_jobs.begin(), m.extra_jobs.end());
+  return jobs;
+}
+
+std::string JobId(const Manifest& m, const JobSpec& job) {
+  return job.workload + "/" + m.configs[job.config].label;
+}
+
+bool ParseManifest(const std::string& text, Manifest* out,
+                   std::string* error) {
+  JsonValue doc;
+  std::string parse_error;
+  if (!telemetry::JsonParse(text, &doc, &parse_error)) {
+    if (error != nullptr) *error = "not valid JSON: " + parse_error;
+    return false;
+  }
+
+  Ctx ctx;
+  Manifest m;
+  if (ctx.Object(doc, "(top level)") == nullptr) {
+    *error = ctx.error();
+    return false;
+  }
+  ctx.CheckKeys(doc, "", kTopKeys);
+
+  const std::int64_t version =
+      ctx.Int(doc, "", "manifest_version", -1);
+  if (!ctx.failed() && version != kManifestVersion) {
+    ctx.Fail("manifest_version",
+             "missing or unsupported (want " +
+                 std::to_string(kManifestVersion) + ")");
+  }
+  m.name = ctx.Str(doc, "", "name");
+  if (!ctx.failed() && m.name.empty()) ctx.Fail("name", "missing or empty");
+
+  if (const JsonValue* d = doc.Find("defaults"); d != nullptr) {
+    if (ctx.Object(*d, "defaults") != nullptr) {
+      ParseDefaults(ctx, *d, &m.defaults);
+    }
+  }
+
+  if (const JsonValue* w = doc.Find("workloads"); w != nullptr) {
+    if (!ctx.failed() && w->kind() != JsonValue::Kind::kArray) {
+      ctx.Fail("workloads", "expected an array");
+    } else {
+      for (std::size_t i = 0; i < w->items().size(); ++i) {
+        const JsonValue& item = w->items()[i];
+        if (item.kind() != JsonValue::Kind::kString) {
+          ctx.Fail(Elem("workloads", i), "expected a workload name string");
+          break;
+        }
+        m.workloads.push_back(item.AsString());
+      }
+    }
+  }
+
+  if (const JsonValue* cs = doc.Find("configs"); cs != nullptr) {
+    if (!ctx.failed() && cs->kind() != JsonValue::Kind::kArray) {
+      ctx.Fail("configs", "expected an array");
+    } else {
+      for (std::size_t i = 0; i < cs->items().size(); ++i) {
+        const std::string path = Elem("configs", i);
+        if (ctx.Object(cs->items()[i], path) == nullptr) break;
+        ConfigSpec c;
+        ParseConfig(ctx, cs->items()[i], path, &c);
+        if (ctx.failed()) break;
+        for (const ConfigSpec& prev : m.configs) {
+          if (prev.label == c.label) {
+            ctx.Fail(path + ".label", "duplicate label '" + c.label + "'");
+            break;
+          }
+        }
+        m.configs.push_back(std::move(c));
+      }
+    }
+  }
+  if (!ctx.failed() && m.configs.empty()) {
+    ctx.Fail("configs", "a manifest needs at least one config");
+  }
+
+  if (const JsonValue* js = doc.Find("jobs"); js != nullptr) {
+    if (!ctx.failed() && js->kind() != JsonValue::Kind::kArray) {
+      ctx.Fail("jobs", "expected an array");
+    } else {
+      for (std::size_t i = 0; i < js->items().size(); ++i) {
+        const std::string path = Elem("jobs", i);
+        if (ctx.Object(js->items()[i], path) == nullptr) break;
+        JobSpec j;
+        ParseJob(ctx, js->items()[i], path, m, &j);
+        if (ctx.failed()) break;
+        m.extra_jobs.push_back(std::move(j));
+      }
+    }
+  }
+  if (!ctx.failed() && m.workloads.empty() && m.extra_jobs.empty()) {
+    ctx.Fail("workloads", "manifest declares no jobs (empty matrix, no "
+                          "explicit jobs)");
+  }
+
+  if (const JsonValue* ds = doc.Find("derived"); ds != nullptr) {
+    if (!ctx.failed() && ds->kind() != JsonValue::Kind::kArray) {
+      ctx.Fail("derived", "expected an array");
+    } else {
+      for (std::size_t i = 0; i < ds->items().size(); ++i) {
+        const std::string path = Elem("derived", i);
+        if (ctx.Object(ds->items()[i], path) == nullptr) break;
+        DerivedSpec d;
+        ParseDerived(ctx, ds->items()[i], path, m, &d);
+        if (ctx.failed()) break;
+        m.derived.push_back(std::move(d));
+      }
+    }
+  }
+
+  if (ctx.failed()) {
+    if (error != nullptr) *error = ctx.error();
+    return false;
+  }
+  *out = std::move(m);
+  return true;
+}
+
+bool LoadManifestFile(const std::string& path, Manifest* out,
+                      std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (!ParseManifest(buf.str(), out, error)) {
+    if (error != nullptr) *error = path + ": " + *error;
+    return false;
+  }
+  return true;
+}
+
+telemetry::JsonValue ManifestToJson(const Manifest& m) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("manifest_version", JsonValue(kManifestVersion));
+  doc.Set("name", JsonValue(m.name));
+  doc.Set("defaults", DefaultsToJson(m.defaults));
+
+  JsonValue workloads = JsonValue::Array();
+  for (const std::string& w : m.workloads) workloads.Append(JsonValue(w));
+  doc.Set("workloads", std::move(workloads));
+
+  JsonValue configs = JsonValue::Array();
+  for (const ConfigSpec& c : m.configs) configs.Append(ConfigToJson(c));
+  doc.Set("configs", std::move(configs));
+
+  if (!m.extra_jobs.empty()) {
+    JsonValue jobs = JsonValue::Array();
+    for (const JobSpec& j : m.extra_jobs) {
+      JsonValue o = JsonValue::Object();
+      o.Set("workload", JsonValue(j.workload));
+      o.Set("config", JsonValue(m.configs[j.config].label));
+      if (j.debug_hang) o.Set("debug_hang", JsonValue(true));
+      if (j.timeout_ms != 0) o.Set("timeout_ms", JsonValue(j.timeout_ms));
+      if (j.max_retries >= 0) {
+        o.Set("max_retries",
+              JsonValue(static_cast<std::int64_t>(j.max_retries)));
+      }
+      jobs.Append(std::move(o));
+    }
+    doc.Set("jobs", std::move(jobs));
+  }
+
+  if (!m.derived.empty()) {
+    JsonValue derived = JsonValue::Array();
+    for (const DerivedSpec& d : m.derived) {
+      JsonValue o = JsonValue::Object();
+      o.Set("name", JsonValue(d.name));
+      o.Set("op", JsonValue(d.op));
+      o.Set("metric", JsonValue(d.metric));
+      o.Set("num", JsonValue(d.num));
+      o.Set("den", JsonValue(d.den));
+      derived.Append(std::move(o));
+    }
+    doc.Set("derived", std::move(derived));
+  }
+  return doc;
+}
+
+CoreConfig MakeCoreConfig(const ConfigSpec& c) {
+  CoreConfig cfg = c.spear ? SpearCoreConfig(c.ifq, c.separate_fu)
+                           : BaselineConfig(c.ifq);
+  if (c.mem_latency != 0) cfg.mem.mem_latency = c.mem_latency;
+  if (c.l2_latency != 0) cfg.mem.l2_latency = c.l2_latency;
+  if (c.bpred_kind == "gshare") {
+    cfg.bpred.kind = BpredKind::kGshare;
+  } else if (c.bpred_kind == "static_btfn") {
+    cfg.bpred.kind = BpredKind::kStaticBtfn;
+  } else if (c.bpred_kind == "always_taken") {
+    cfg.bpred.kind = BpredKind::kAlwaysTaken;
+  } else if (c.bpred_kind == "bimodal" || c.bpred_kind.empty()) {
+    cfg.bpred.kind = BpredKind::kBimodal;
+  }
+  if (c.bpred_entries != 0) cfg.bpred.table_entries = c.bpred_entries;
+  if (c.trigger_occupancy_div != 0) {
+    cfg.spear.trigger_occupancy_div = c.trigger_occupancy_div;
+  }
+  if (c.extract_per_cycle >= 0) {
+    cfg.spear.extract_per_cycle =
+        static_cast<std::uint32_t>(c.extract_per_cycle);
+  }
+  if (c.drain_policy == "drain_to_trigger") {
+    cfg.spear.drain_policy = TriggerDrainPolicy::kDrainToTrigger;
+  } else if (c.drain_policy == "stall_dispatch") {
+    cfg.spear.drain_policy = TriggerDrainPolicy::kStallDispatch;
+  }
+  cfg.spear.chaining_trigger = c.chaining_trigger;
+  cfg.stride_prefetch.enabled = c.stride_prefetch;
+  if (c.stride_degree != 0) cfg.stride_prefetch.degree = c.stride_degree;
+  return cfg;
+}
+
+EvalOptions MakeEvalOptions(const ManifestDefaults& d, const ConfigSpec& c) {
+  EvalOptions opt;
+  opt.sim_instrs = d.sim_instrs;
+  opt.max_cycles = d.max_cycles;
+  opt.ref_seed = d.ref_seed;
+  opt.profile_seed = d.profile_seed;
+  if (c.dcycle_budget != 0.0) {
+    opt.compiler.slicer.dcycle_budget = c.dcycle_budget;
+  }
+  return opt;
+}
+
+std::string ResolveBinary(const ConfigSpec& c) {
+  if (!c.binary.empty()) return c.binary;
+  return c.spear ? "annotated" : "plain";
+}
+
+}  // namespace spear::runner

@@ -1,0 +1,123 @@
+// Job manifests: the declarative form of an experiment matrix. A manifest
+// names a set of workloads, a set of labeled simulator configurations and
+// optional derived metrics; the job list is the workload x config cross
+// product (workload-major, so every sweep the bench binaries used to
+// hardcode is a data file), optionally followed by explicit extra jobs
+// (used by CI to inject deliberate failures). The runner executes the
+// list; bench binaries both emit manifests (--emit-manifest) and run them
+// in-process, so the committed bench/manifests/*.json files and the C++
+// matrices can never drift apart unnoticed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cpu/config.h"
+#include "eval/harness.h"
+#include "telemetry/json.h"
+
+namespace spear::runner {
+
+// Bump when the manifest JSON shape changes incompatibly; the parser
+// rejects other versions with a clear message.
+inline constexpr int kManifestVersion = 1;
+
+struct ManifestDefaults {
+  std::uint64_t sim_instrs = 400'000;
+  std::uint64_t max_cycles = 80'000'000;
+  std::uint64_t ref_seed = 42;
+  std::uint64_t profile_seed = 20040426;
+  // Functional fast-forward before the timed run (0 = start cold). The
+  // warm state is checkpointed and shared by every config whose cache and
+  // predictor geometry matches.
+  std::uint64_t ff_instrs = 0;
+  // Worker-pool failure policy (0 timeout = no deadline).
+  std::uint64_t timeout_ms = 0;
+  int max_retries = 2;
+  std::uint64_t backoff_ms = 250;
+};
+
+// One labeled simulator configuration. Fields at their zero/empty value
+// mean "leave the simulator default alone"; ManifestToJson emits only the
+// overridden fields, so manifests stay readable.
+struct ConfigSpec {
+  std::string label;
+  std::string binary;  // "plain" | "annotated" | "" = derived from `spear`
+  bool spear = false;
+  bool separate_fu = false;
+  std::uint32_t ifq = 128;
+  std::uint32_t mem_latency = 0;
+  std::uint32_t l2_latency = 0;
+  std::string bpred_kind;  // bimodal | gshare | static_btfn | always_taken
+  std::uint32_t bpred_entries = 0;
+  std::uint32_t trigger_occupancy_div = 0;
+  std::int32_t extract_per_cycle = -1;  // -1 = core default (issue/2)
+  std::string drain_policy;  // immediate | drain_to_trigger | stall_dispatch
+  bool chaining_trigger = false;
+  bool stride_prefetch = false;
+  std::uint32_t stride_degree = 0;
+  // Compiler knob (affects PrepareWorkload, not the core): 0 = default.
+  double dcycle_budget = 0.0;
+};
+
+// One run. `config` indexes Manifest::configs. Matrix jobs inherit the
+// defaults' failure policy; explicit jobs may override it, and debug_hang
+// makes the worker sleep forever (CI's forced-timeout probe).
+struct JobSpec {
+  std::string workload;
+  int config = -1;
+  bool debug_hang = false;
+  std::uint64_t timeout_ms = 0;  // 0 = inherit defaults
+  int max_retries = -1;          // -1 = inherit defaults
+};
+
+// A metric aggregated over the manifest's workloads from two configs'
+// job rows: mean_ratio = mean(num.metric / den.metric), mean_reduction =
+// mean(1 - num.metric / den.metric). `metric` is a RunStats JSON key.
+struct DerivedSpec {
+  std::string name;
+  std::string op;  // "mean_ratio" | "mean_reduction"
+  std::string metric;
+  std::string num;  // config label
+  std::string den;  // config label
+};
+
+struct Manifest {
+  std::string name;
+  ManifestDefaults defaults;
+  std::vector<std::string> workloads;
+  std::vector<ConfigSpec> configs;
+  std::vector<JobSpec> extra_jobs;
+  std::vector<DerivedSpec> derived;
+};
+
+// The full flattened job list: workloads x configs (workload-major), then
+// extra_jobs. Job indices used by `spearrun --worker --job N` index this.
+std::vector<JobSpec> ExpandJobs(const Manifest& m);
+
+// "workload/config-label" — the stable identifier used in result rows.
+std::string JobId(const Manifest& m, const JobSpec& job);
+
+// Parses a manifest document. On failure returns false and fills *error
+// with a path-annotated diagnostic ("configs[2].bpred_kind: unknown
+// predictor 'foo'"). Unknown keys are rejected, not ignored: a typoed
+// knob must not silently run the default configuration.
+bool ParseManifest(const std::string& text, Manifest* out,
+                   std::string* error);
+bool LoadManifestFile(const std::string& path, Manifest* out,
+                      std::string* error);
+
+// Canonical JSON form (what --emit-manifest writes). Parse(Emit(m)) is an
+// identity, and Emit only writes non-default fields.
+telemetry::JsonValue ManifestToJson(const Manifest& m);
+
+// Materializes a ConfigSpec into the simulator structs.
+CoreConfig MakeCoreConfig(const ConfigSpec& c);
+EvalOptions MakeEvalOptions(const ManifestDefaults& d, const ConfigSpec& c);
+
+// Which program the config runs: "plain" or "annotated" (explicit binary
+// field wins; otherwise SPEAR-enabled configs run the annotated binary).
+std::string ResolveBinary(const ConfigSpec& c);
+
+}  // namespace spear::runner

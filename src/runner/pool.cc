@@ -1,0 +1,177 @@
+#include "runner/pool.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <thread>
+
+namespace spear::runner {
+namespace {
+
+std::uint64_t NowMs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+pid_t Spawn(const PoolJob& job) {
+  const pid_t pid = ::fork();
+  if (pid != 0) return pid;  // parent (or fork failure, -1)
+
+  // Child: exec or die. _exit (not exit) so no parent-side state flushes.
+  if (job.silence_stdio) {
+    const int null_fd = ::open("/dev/null", O_WRONLY);
+    if (null_fd >= 0) {
+      ::dup2(null_fd, STDOUT_FILENO);
+      ::dup2(null_fd, STDERR_FILENO);
+      ::close(null_fd);
+    }
+  }
+  std::vector<char*> argv;
+  argv.reserve(job.argv.size() + 1);
+  for (const std::string& a : job.argv) {
+    argv.push_back(const_cast<char*>(a.c_str()));
+  }
+  argv.push_back(nullptr);
+  ::execvp(argv[0], argv.data());
+  ::_exit(127);
+}
+
+struct Running {
+  std::size_t job = 0;
+  int attempt = 1;
+  std::uint64_t started_ms = 0;
+  std::uint64_t deadline_ms = 0;  // 0 = none
+  bool killed_for_timeout = false;
+  std::uint64_t prior_elapsed_ms = 0;  // earlier attempts of this job
+};
+
+bool FailFast(const PoolJob& job, int exit_code) {
+  return std::find(job.fail_fast_exits.begin(), job.fail_fast_exits.end(),
+                   exit_code) != job.fail_fast_exits.end();
+}
+
+}  // namespace
+
+ProcessPool::ProcessPool(int workers) : workers_(workers < 1 ? 1 : workers) {}
+
+std::vector<PoolResult> ProcessPool::Run(
+    const std::vector<PoolJob>& jobs,
+    const std::function<void(std::size_t, const PoolResult&)>& on_done) {
+  std::vector<PoolResult> results(jobs.size());
+  if (jobs.empty()) return results;
+
+  struct Ready {
+    std::size_t job;
+    int attempt;
+    std::uint64_t ready_at_ms;  // backoff gate
+    std::uint64_t prior_elapsed_ms;
+  };
+  // The shared queue: every idle slot pulls the first eligible entry, so
+  // a slot that finishes early steals whatever work remains.
+  std::vector<Ready> queue;
+  queue.reserve(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    queue.push_back(Ready{i, 1, 0, 0});
+  }
+  std::map<pid_t, Running> running;
+  std::size_t outstanding = jobs.size();
+
+  auto finish = [&](std::size_t job, PoolResult r) {
+    results[job] = r;
+    --outstanding;
+    if (on_done) on_done(job, results[job]);
+  };
+
+  while (outstanding > 0) {
+    const std::uint64_t now = NowMs();
+
+    // Launch while slots are free and someone is past their backoff.
+    while (running.size() < static_cast<std::size_t>(workers_)) {
+      auto it = std::find_if(queue.begin(), queue.end(), [now](const Ready& r) {
+        return r.ready_at_ms <= now;
+      });
+      if (it == queue.end()) break;
+      const Ready ready = *it;
+      queue.erase(it);
+      const PoolJob& job = jobs[ready.job];
+      const pid_t pid = Spawn(job);
+      if (pid < 0) {
+        // fork failed (resource exhaustion): report as a non-ok result
+        // rather than aborting the whole batch.
+        PoolResult r;
+        r.attempts = ready.attempt;
+        r.elapsed_ms = ready.prior_elapsed_ms;
+        finish(ready.job, r);
+        continue;
+      }
+      Running run;
+      run.job = ready.job;
+      run.attempt = ready.attempt;
+      run.started_ms = now;
+      run.deadline_ms = job.timeout_ms == 0 ? 0 : now + job.timeout_ms;
+      run.prior_elapsed_ms = ready.prior_elapsed_ms;
+      running[pid] = run;
+    }
+
+    // Enforce deadlines. SIGKILL, then reap through the normal wait path.
+    for (auto& [pid, run] : running) {
+      if (run.deadline_ms != 0 && now >= run.deadline_ms &&
+          !run.killed_for_timeout) {
+        run.killed_for_timeout = true;
+        ::kill(pid, SIGKILL);
+      }
+    }
+
+    // Reap everything that has finished.
+    int status = 0;
+    pid_t pid;
+    bool reaped = false;
+    while ((pid = ::waitpid(-1, &status, WNOHANG)) > 0) {
+      auto it = running.find(pid);
+      if (it == running.end()) continue;  // not ours (shouldn't happen)
+      reaped = true;
+      const Running run = it->second;
+      running.erase(it);
+      const PoolJob& job = jobs[run.job];
+      const std::uint64_t elapsed =
+          run.prior_elapsed_ms + (NowMs() - run.started_ms);
+
+      PoolResult r;
+      r.attempts = run.attempt;
+      r.elapsed_ms = elapsed;
+      r.timed_out = run.killed_for_timeout;
+      if (WIFEXITED(status)) {
+        r.exit_code = WEXITSTATUS(status);
+        r.ok = r.exit_code == 0;
+      } else if (WIFSIGNALED(status)) {
+        r.term_signal = WTERMSIG(status);
+      }
+      if (r.ok || FailFast(job, r.exit_code) ||
+          run.attempt > job.max_retries) {
+        finish(run.job, r);
+        continue;
+      }
+      // Retry with exponential backoff: base << (attempt-1).
+      const std::uint64_t delay =
+          job.backoff_ms == 0
+              ? 0
+              : job.backoff_ms << static_cast<unsigned>(run.attempt - 1);
+      queue.push_back(Ready{run.job, run.attempt + 1, NowMs() + delay,
+                            elapsed});
+    }
+
+    if (!reaped && outstanding > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+  return results;
+}
+
+}  // namespace spear::runner

@@ -1,0 +1,60 @@
+// Multi-process worker pool: fork/exec one child per job, with a shared
+// ready queue the parent hands out as slots free up (work stealing between
+// worker slots falls out of the single queue), per-job wall-clock
+// deadlines enforced by SIGKILL, and bounded retry with exponential
+// backoff. A crashed, hung or failing child loses only its own job — the
+// pool records the failure and keeps draining the queue. The pool is
+// deliberately simulator-agnostic (argv in, exit status out) so the tests
+// can drive it with /bin/sh instead of multi-second simulator runs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace spear::runner {
+
+struct PoolJob {
+  std::vector<std::string> argv;  // argv[0] = executable (PATH-resolved)
+  std::uint64_t timeout_ms = 0;   // 0 = no deadline
+  int max_retries = 0;            // extra attempts after the first
+  std::uint64_t backoff_ms = 0;   // delay before attempt k: backoff << (k-1)
+  // Exit codes that mean "deterministic failure, retrying is pointless"
+  // (e.g. the worker's usage and incomplete-run codes). Timeouts, signals
+  // and other nonzero exits are retried up to max_retries.
+  std::vector<int> fail_fast_exits;
+  // Child stdout/stderr go to /dev/null by default so parallel workers
+  // don't interleave garbage through the parent's output.
+  bool silence_stdio = true;
+};
+
+struct PoolResult {
+  bool ok = false;
+  int exit_code = -1;   // -1 when the child died by signal
+  int term_signal = 0;  // 0 when the child exited normally
+  bool timed_out = false;  // last attempt hit its deadline
+  int attempts = 0;
+  std::uint64_t elapsed_ms = 0;  // wall time across all attempts
+};
+
+class ProcessPool {
+ public:
+  // `workers` <= 0 means one.
+  explicit ProcessPool(int workers);
+
+  // Runs every job to completion (including retries) and returns results
+  // parallel to `jobs`. `on_done` (optional) fires in the parent as each
+  // job reaches its final outcome, in completion order.
+  std::vector<PoolResult> Run(
+      const std::vector<PoolJob>& jobs,
+      const std::function<void(std::size_t, const PoolResult&)>& on_done =
+          nullptr);
+
+  int workers() const { return workers_; }
+
+ private:
+  int workers_;
+};
+
+}  // namespace spear::runner

@@ -1,0 +1,441 @@
+#include "runner/runner.h"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "runner/checkpoint.h"
+#include "runner/pool.h"
+
+namespace spear::runner {
+namespace {
+
+using telemetry::JsonValue;
+
+std::uint64_t NowMs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+JsonValue FailureRow(const Manifest& m, const JobSpec& job,
+                     const std::string& error) {
+  JsonValue row = JsonValue::Object();
+  row.Set("id", JsonValue(JobId(m, job)));
+  row.Set("workload", JsonValue(job.workload));
+  row.Set("config", JsonValue(m.configs[job.config].label));
+  row.Set("failed", JsonValue(true));
+  row.Set("error", JsonValue(error));
+  return row;
+}
+
+// Echo of the deterministic run parameters (not the failure policy —
+// timeouts and retries shape the run, never the numbers).
+JsonValue DefaultsEcho(const ManifestDefaults& d) {
+  JsonValue o = JsonValue::Object();
+  o.Set("sim_instrs", JsonValue(d.sim_instrs));
+  o.Set("max_cycles", JsonValue(d.max_cycles));
+  o.Set("ref_seed", JsonValue(d.ref_seed));
+  o.Set("profile_seed", JsonValue(d.profile_seed));
+  o.Set("ff_instrs", JsonValue(d.ff_instrs));
+  return o;
+}
+
+const JsonValue* FindRow(const JsonValue& jobs, const std::string& id) {
+  for (const JsonValue& row : jobs.items()) {
+    const JsonValue* rid = row.Find("id");
+    if (rid != nullptr && rid->AsString() == id) return &row;
+  }
+  return nullptr;
+}
+
+// Derived metrics, computed from the final jobs array so the in-process
+// and parallel paths cannot diverge. A workload whose numerator or
+// denominator row is missing or failed drops out of the mean; if every
+// workload drops out the metric is null.
+JsonValue ComputeDerived(const Manifest& m, const JsonValue& jobs) {
+  JsonValue out = JsonValue::Object();
+  for (const DerivedSpec& d : m.derived) {
+    double sum = 0.0;
+    int n = 0;
+    for (const std::string& w : m.workloads) {
+      const JsonValue* num = FindRow(jobs, w + "/" + d.num);
+      const JsonValue* den = FindRow(jobs, w + "/" + d.den);
+      if (num == nullptr || den == nullptr) continue;
+      if (num->Find("failed") != nullptr || den->Find("failed") != nullptr) {
+        continue;
+      }
+      const JsonValue* nv = num->FindPath("stats." + d.metric);
+      const JsonValue* dv = den->FindPath("stats." + d.metric);
+      if (nv == nullptr || dv == nullptr || !nv->is_number() ||
+          !dv->is_number()) {
+        continue;
+      }
+      const double denom = dv->AsDouble();
+      if (d.op == "mean_reduction") {
+        // Convention from the Figure 8 bench: zero base misses = nothing
+        // to reduce = 0 reduction, not a dropped sample.
+        sum += denom == 0.0 ? 0.0 : 1.0 - nv->AsDouble() / denom;
+        ++n;
+      } else {  // mean_ratio
+        if (denom == 0.0) continue;
+        sum += nv->AsDouble() / denom;
+        ++n;
+      }
+    }
+    out.Set(d.name,
+            n == 0 ? JsonValue() : JsonValue(sum / static_cast<double>(n)));
+  }
+  return out;
+}
+
+// The deterministic document: everything except the "run" member.
+JsonValue BuildDocument(const Manifest& m, JsonValue jobs) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("schema_version", JsonValue(telemetry::kStatsSchemaVersion));
+  doc.Set("kind", JsonValue("runner"));
+  doc.Set("manifest", JsonValue(m.name));
+  doc.Set("defaults", DefaultsEcho(m.defaults));
+  const JsonValue derived = ComputeDerived(m, jobs);
+  doc.Set("jobs", std::move(jobs));
+  if (!m.derived.empty()) doc.Set("derived", derived);
+  return doc;
+}
+
+struct RunnerStats {
+  std::uint64_t jobs_total = 0;
+  std::uint64_t jobs_ok = 0;
+  std::uint64_t jobs_failed = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t ckpt_hits = 0;
+  std::uint64_t ckpt_misses = 0;
+
+  void Register(telemetry::StatRegistry& reg) const {
+    reg.BindCounter("runner.jobs.total", &jobs_total, "jobs in the manifest");
+    reg.BindCounter("runner.jobs.ok", &jobs_ok, "jobs that completed");
+    reg.BindCounter("runner.jobs.failed", &jobs_failed,
+                    "jobs that failed after retries");
+    reg.BindCounter("runner.jobs.retries", &retries,
+                    "extra attempts across all jobs");
+    reg.BindCounter("runner.ckpt.hits", &ckpt_hits,
+                    "fast-forward checkpoints reused");
+    reg.BindCounter("runner.ckpt.misses", &ckpt_misses,
+                    "fast-forward checkpoints computed");
+  }
+};
+
+struct JobRunMeta {
+  std::string id;
+  int attempts = 1;
+  std::uint64_t ms = 0;
+  std::string ckpt = "off";
+};
+
+JsonValue RunMember(int workers, std::uint64_t elapsed_ms,
+                    const std::vector<JobRunMeta>& metas,
+                    const RunnerStats& stats) {
+  JsonValue run = JsonValue::Object();
+  run.Set("workers", JsonValue(static_cast<std::int64_t>(workers)));
+  run.Set("elapsed_ms", JsonValue(elapsed_ms));
+  JsonValue jobs = JsonValue::Array();
+  for (const JobRunMeta& meta : metas) {
+    JsonValue o = JsonValue::Object();
+    o.Set("id", JsonValue(meta.id));
+    o.Set("attempts", JsonValue(static_cast<std::int64_t>(meta.attempts)));
+    o.Set("ms", JsonValue(meta.ms));
+    o.Set("ckpt", JsonValue(meta.ckpt));
+    jobs.Append(std::move(o));
+  }
+  run.Set("jobs", std::move(jobs));
+  telemetry::StatRegistry reg;
+  stats.Register(reg);
+  run.Set("stats", reg.Json());
+  return run;
+}
+
+}  // namespace
+
+const PreparedWorkload& WorkloadCache::Get(const std::string& name,
+                                           const EvalOptions& options) {
+  std::ostringstream key;
+  key << name << "|" << options.ref_seed << "|" << options.profile_seed << "|"
+      << options.compiler.slicer.dcycle_budget << "|"
+      << options.compiler.profiler.max_instrs;
+  auto it = cache_.find(key.str());
+  if (it == cache_.end()) {
+    it = cache_
+             .emplace(key.str(), std::make_unique<PreparedWorkload>(
+                                     PrepareWorkload(name, options)))
+             .first;
+  }
+  return *it->second;
+}
+
+void ApplyOverrides(Manifest* m, const RunnerOptions& opts) {
+  if (opts.sim_instrs_override) {
+    m->defaults.sim_instrs = *opts.sim_instrs_override;
+  }
+}
+
+JobRun ExecuteJob(const Manifest& m, const JobSpec& job, WorkloadCache& cache,
+                  const RunnerOptions& opts) {
+  JobRun out;
+  const std::uint64_t t0 = NowMs();
+  if (job.debug_hang) {
+    out.row = FailureRow(m, job, "debug_hang");
+    out.failed = true;
+    return out;
+  }
+
+  const ConfigSpec& spec = m.configs[job.config];
+  const EvalOptions options = MakeEvalOptions(m.defaults, spec);
+  const PreparedWorkload& pw = cache.Get(job.workload, options);
+  const CoreConfig cfg = MakeCoreConfig(spec);
+  const Program& prog =
+      ResolveBinary(spec) == "plain" ? pw.plain : pw.annotated;
+
+  WarmState warm;
+  const WarmState* warm_ptr = nullptr;
+  if (m.defaults.ff_instrs > 0) {
+    CheckpointKey key;
+    key.workload = job.workload;
+    key.seed = m.defaults.ref_seed;
+    key.ff_instrs = m.defaults.ff_instrs;
+    key.l1d = cfg.mem.l1d;
+    key.l2 = cfg.mem.l2;
+    key.bpred = cfg.bpred;
+    // Warm on the plain binary: the annotated one shares its text, so the
+    // functional path (and therefore the checkpoint) is identical.
+    if (opts.use_ckpt && LoadCheckpoint(opts.ckpt_dir, key, &warm)) {
+      out.ckpt = "hit";
+    } else {
+      warm = std::move(FastForward(pw.plain, key).state);
+      out.ckpt = opts.use_ckpt ? "miss" : "off";
+      if (opts.use_ckpt) SaveCheckpoint(opts.ckpt_dir, key, warm);
+    }
+    if (warm.halted) {
+      out.row = FailureRow(m, job, "workload halted during fast-forward");
+      out.failed = true;
+      out.ms = NowMs() - t0;
+      return out;
+    }
+    warm_ptr = &warm;
+  }
+
+  const RunStats stats = RunConfig(prog, cfg, options, warm_ptr);
+
+  JsonValue row = JsonValue::Object();
+  row.Set("id", JsonValue(JobId(m, job)));
+  row.Set("workload", JsonValue(job.workload));
+  row.Set("config", JsonValue(spec.label));
+  if (!stats.complete) {
+    row.Set("failed", JsonValue(true));
+    row.Set("error", JsonValue("incomplete: max_cycles fired before the "
+                               "commit budget"));
+    out.failed = true;
+  }
+  row.Set("stats", RunStatsToJson(stats));
+  JsonValue compile = JsonValue::Object();
+  compile.Set("specs", JsonValue(static_cast<std::int64_t>(
+                           pw.annotated.pthreads.size())));
+  std::size_t slice_instrs = 0;
+  for (const PThreadSpec& s : pw.annotated.pthreads) {
+    slice_instrs += s.slice_pcs.size();
+  }
+  compile.Set("slice_instrs",
+              JsonValue(static_cast<std::int64_t>(slice_instrs)));
+  compile.Set("profiled_l1_misses",
+              JsonValue(pw.compile_report.profiled_l1_misses));
+  row.Set("compile", std::move(compile));
+  out.row = std::move(row);
+  out.ms = NowMs() - t0;
+  return out;
+}
+
+ManifestRunResult RunManifestInProcess(const Manifest& m,
+                                       const RunnerOptions& opts) {
+  const std::uint64_t t0 = NowMs();
+  const std::vector<JobSpec> jobs = ExpandJobs(m);
+  WorkloadCache cache;
+  RunnerStats stats;
+  stats.jobs_total = jobs.size();
+
+  JsonValue rows = JsonValue::Array();
+  std::vector<JobRunMeta> metas;
+  int failed = 0;
+  for (const JobSpec& job : jobs) {
+    JobRun run = ExecuteJob(m, job, cache, opts);
+    if (run.failed) {
+      ++failed;
+      ++stats.jobs_failed;
+    } else {
+      ++stats.jobs_ok;
+    }
+    if (run.ckpt == "hit") ++stats.ckpt_hits;
+    if (run.ckpt == "miss") ++stats.ckpt_misses;
+    JobRunMeta meta;
+    meta.id = JobId(m, job);
+    meta.ms = run.ms;
+    meta.ckpt = run.ckpt;
+    metas.push_back(std::move(meta));
+    if (opts.verbose) {
+      std::printf("[%zu/%zu] %-28s %s (%llu ms)\n", metas.size(), jobs.size(),
+                  JobId(m, job).c_str(), run.failed ? "FAILED" : "ok",
+                  static_cast<unsigned long long>(run.ms));
+      std::fflush(stdout);
+    }
+    rows.Append(std::move(run.row));
+  }
+
+  ManifestRunResult result;
+  result.document = BuildDocument(m, std::move(rows));
+  result.document.Set("run", RunMember(1, NowMs() - t0, metas, stats));
+  result.failed_jobs = failed;
+  return result;
+}
+
+ManifestRunResult RunManifestParallel(const Manifest& m,
+                                      const std::string& manifest_path,
+                                      const std::string& exe_path,
+                                      const RunnerOptions& opts) {
+  const std::uint64_t t0 = NowMs();
+  const std::vector<JobSpec> jobs = ExpandJobs(m);
+
+  const std::string tmp_dir =
+      (std::filesystem::temp_directory_path() /
+       ("spearrun." + std::to_string(static_cast<long>(::getpid()))))
+          .string();
+  std::filesystem::create_directories(tmp_dir);
+
+  std::vector<PoolJob> pool_jobs;
+  std::vector<std::string> job_outs;
+  pool_jobs.reserve(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const JobSpec& job = jobs[i];
+    PoolJob pj;
+    pj.argv = {exe_path,
+               "--worker",
+               "--manifest=" + manifest_path,
+               "--job=" + std::to_string(i),
+               "--job-out=" + tmp_dir + "/job" + std::to_string(i) + ".json",
+               "--ckpt-dir=" + opts.ckpt_dir};
+    if (!opts.use_ckpt) pj.argv.push_back("--no-ckpt");
+    if (opts.sim_instrs_override) {
+      pj.argv.push_back("--sim-instrs=" +
+                        std::to_string(*opts.sim_instrs_override));
+    }
+    pj.timeout_ms =
+        job.timeout_ms != 0 ? job.timeout_ms : m.defaults.timeout_ms;
+    pj.max_retries =
+        job.max_retries >= 0 ? job.max_retries : m.defaults.max_retries;
+    pj.backoff_ms = m.defaults.backoff_ms;
+    pj.fail_fast_exits = {kExitUsage, kExitIncomplete};
+    job_outs.push_back(pj.argv[4].substr(std::string("--job-out=").size()));
+    pool_jobs.push_back(std::move(pj));
+  }
+
+  ProcessPool pool(opts.workers);
+  std::size_t done = 0;
+  const std::vector<PoolResult> results = pool.Run(
+      pool_jobs, [&](std::size_t i, const PoolResult& r) {
+        ++done;
+        if (!opts.verbose) return;
+        const char* what = r.ok          ? "ok"
+                           : r.timed_out ? "TIMEOUT"
+                           : r.term_signal != 0
+                               ? "CRASHED"
+                               : r.exit_code == kExitIncomplete ? "INCOMPLETE"
+                                                                : "FAILED";
+        std::printf("[%zu/%zu] %-28s %s (attempt %d, %llu ms)\n", done,
+                    pool_jobs.size(), JobId(m, jobs[i]).c_str(), what,
+                    r.attempts, static_cast<unsigned long long>(r.elapsed_ms));
+        std::fflush(stdout);
+      });
+
+  RunnerStats stats;
+  stats.jobs_total = jobs.size();
+  JsonValue rows = JsonValue::Array();
+  std::vector<JobRunMeta> metas;
+  int failed = 0;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const PoolResult& r = results[i];
+    stats.retries += static_cast<std::uint64_t>(
+        r.attempts > 1 ? r.attempts - 1 : 0);
+    JobRunMeta meta;
+    meta.id = JobId(m, jobs[i]);
+    meta.attempts = r.attempts;
+    meta.ms = r.elapsed_ms;
+
+    // A worker that ran to a verdict (ok or deterministic incomplete)
+    // wrote {"job": <row>, "run": {...}}; embed its row verbatim so the
+    // parallel document matches the in-process one byte for byte.
+    JsonValue worker_doc;
+    bool have_row = false;
+    if (r.ok || r.exit_code == kExitIncomplete) {
+      std::ifstream in(job_outs[i], std::ios::binary);
+      if (in) {
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        std::string perr;
+        if (telemetry::JsonParse(buf.str(), &worker_doc, &perr)) {
+          const JsonValue* row = worker_doc.Find("job");
+          if (row != nullptr) {
+            rows.Append(*row);
+            have_row = true;
+            if (const JsonValue* wr = worker_doc.FindPath("run.ckpt");
+                wr != nullptr) {
+              meta.ckpt = wr->AsString();
+            }
+          }
+        }
+      }
+    }
+    if (!have_row) {
+      const std::string why = r.timed_out ? "timeout"
+                              : r.term_signal != 0
+                                  ? "crashed (signal " +
+                                        std::to_string(r.term_signal) + ")"
+                                  : r.ok ? "worker output lost"
+                                         : "worker exited " +
+                                               std::to_string(r.exit_code);
+      rows.Append(FailureRow(m, jobs[i], why));
+    }
+    const bool job_failed = !r.ok;
+    if (job_failed) {
+      ++failed;
+      ++stats.jobs_failed;
+    } else {
+      ++stats.jobs_ok;
+    }
+    if (meta.ckpt == "hit") ++stats.ckpt_hits;
+    if (meta.ckpt == "miss") ++stats.ckpt_misses;
+    metas.push_back(std::move(meta));
+  }
+
+  std::error_code ec;
+  std::filesystem::remove_all(tmp_dir, ec);
+
+  ManifestRunResult result;
+  result.document = BuildDocument(m, std::move(rows));
+  result.document.Set(
+      "run", RunMember(pool.workers(), NowMs() - t0, metas, stats));
+  result.failed_jobs = failed;
+  return result;
+}
+
+std::string WriteRunnerDoc(const telemetry::JsonValue& doc,
+                           const std::string& out_dir,
+                           const std::string& name) {
+  std::filesystem::create_directories(out_dir);
+  const std::string path = out_dir + "/" + name + ".json";
+  std::ofstream out(path, std::ios::binary);
+  out << doc.Dump(2) << "\n";
+  return path;
+}
+
+}  // namespace spear::runner

@@ -1,0 +1,98 @@
+// Manifest execution: turns a parsed Manifest into the schema-versioned
+// results document under bench/results/. Two drivers share every
+// deterministic code path (job -> row, row ordering, derived metrics):
+//
+//   RunManifestInProcess — sequential, used by the bench binaries and
+//     tests; no fork, but the same checkpoint cache.
+//   RunManifestParallel  — the spearrun parent: forks `spearrun --worker`
+//     children through the ProcessPool, one per job, and embeds each
+//     worker's row verbatim.
+//
+// Everything nondeterministic (wall times, attempt counts, checkpoint
+// hit/miss tallies, worker count) is confined to the document's top-level
+// "run" member, so `spearstats --strip=run` of a parallel run and of an
+// in-process run of the same manifest are byte-identical.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "runner/manifest.h"
+#include "telemetry/registry.h"
+
+namespace spear::runner {
+
+// Worker/tool exit codes. kExitUsage and kExitIncomplete are
+// deterministic — the pool fails fast on them instead of retrying.
+inline constexpr int kExitOk = 0;
+inline constexpr int kExitFailure = 1;
+inline constexpr int kExitUsage = 2;
+inline constexpr int kExitIncomplete = 3;  // max_cycles fired before budget
+
+struct RunnerOptions {
+  int workers = 1;
+  std::string ckpt_dir = "bench/ckpt";
+  bool use_ckpt = true;
+  bool verbose = false;  // per-job progress lines (spearrun parent)
+  // --quick / --sim-instrs override, applied identically by parent and
+  // workers so their rows agree.
+  std::optional<std::uint64_t> sim_instrs_override;
+};
+
+// Caches PrepareWorkload results within one process; keyed by everything
+// compilation depends on, so a manifest that sweeps compiler knobs (e.g.
+// dcycle_budget) still compiles each variant exactly once.
+class WorkloadCache {
+ public:
+  const PreparedWorkload& Get(const std::string& name,
+                              const EvalOptions& options);
+
+ private:
+  std::map<std::string, std::unique_ptr<PreparedWorkload>> cache_;
+};
+
+// One executed job. `row` is the deterministic result row; the rest is
+// run metadata destined for the "run" member.
+struct JobRun {
+  telemetry::JsonValue row;
+  bool failed = false;
+  std::string ckpt = "off";  // "hit" | "miss" | "off"
+  std::uint64_t ms = 0;
+};
+
+// Executes one job in this process: compile (cached), fast-forward via
+// the checkpoint cache when ff_instrs > 0, timed run, row assembly. A
+// debug_hang job is not run — it fails deterministically (the hang is a
+// worker-process behaviour for exercising pool timeouts).
+JobRun ExecuteJob(const Manifest& m, const JobSpec& job, WorkloadCache& cache,
+                  const RunnerOptions& opts);
+
+struct ManifestRunResult {
+  telemetry::JsonValue document;
+  int failed_jobs = 0;
+};
+
+ManifestRunResult RunManifestInProcess(const Manifest& m,
+                                       const RunnerOptions& opts);
+
+// The spearrun parent. `manifest_path` and `exe_path` are what the worker
+// argv needs to re-load the same manifest in the child.
+ManifestRunResult RunManifestParallel(const Manifest& m,
+                                      const std::string& manifest_path,
+                                      const std::string& exe_path,
+                                      const RunnerOptions& opts);
+
+// Applies opts.sim_instrs_override to the manifest defaults (parent and
+// worker both call this before executing anything).
+void ApplyOverrides(Manifest* m, const RunnerOptions& opts);
+
+// Writes `doc` (pretty-printed, trailing newline) to <out_dir>/<name>.json,
+// creating the directory. Returns the path.
+std::string WriteRunnerDoc(const telemetry::JsonValue& doc,
+                           const std::string& out_dir,
+                           const std::string& name);
+
+}  // namespace spear::runner

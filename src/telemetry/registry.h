@@ -20,7 +20,7 @@ namespace spear::telemetry {
 
 // Version of the emitted stats/bench JSON schema. Bump when renaming stats
 // or restructuring the document; spearstats and CI check it.
-inline constexpr int kStatsSchemaVersion = 1;
+inline constexpr int kStatsSchemaVersion = 2;
 
 class StatRegistry {
  public:
@@ -89,7 +89,7 @@ class StatRegistry {
 };
 
 // Wraps the full stats tree in the versioned envelope every emitter uses:
-//   {"schema_version":1, "kind":<kind>, <meta keys...>, "stats":{...}}
+//   {"schema_version":2, "kind":<kind>, <meta keys...>, "stats":{...}}
 // `meta` members are spliced in between the header and the stats.
 JsonValue StatsDocument(const StatRegistry& reg, const std::string& kind,
                         const JsonValue& meta);

@@ -1,0 +1,389 @@
+// Tests for the experiment-orchestration subsystem (src/runner): the
+// checkpointed fast-forward layer (save/load round trips must reproduce a
+// live-warmed run bit-identically), the multi-process worker pool
+// (timeout, bounded retry with backoff, fail-fast exits, crash isolation
+// — driven with /bin/sh so no test forks a multi-second simulator), and
+// the manifest parser's path-annotated rejection diagnostics.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "cpu/config.h"
+#include "eval/harness.h"
+#include "runner/checkpoint.h"
+#include "runner/manifest.h"
+#include "runner/pool.h"
+#include "runner/runner.h"
+#include "workloads/workload.h"
+
+namespace spear::runner {
+namespace {
+
+std::string TempDir(const std::string& tag) {
+  static int counter = 0;
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("spear_runner_test." + std::to_string(::getpid()) + "." + tag + "." +
+        std::to_string(counter++)))
+          .string();
+  std::filesystem::create_directories(path);
+  return path;
+}
+
+CheckpointKey MatrixKey(std::uint64_t ff_instrs) {
+  const CoreConfig cfg = BaselineConfig(128);
+  CheckpointKey key;
+  key.workload = "matrix";
+  key.seed = 42;
+  key.ff_instrs = ff_instrs;
+  key.l1d = cfg.mem.l1d;
+  key.l2 = cfg.mem.l2;
+  key.bpred = cfg.bpred;
+  return key;
+}
+
+Program MatrixProgram() {
+  WorkloadConfig wc;
+  wc.seed = 42;
+  return BuildWorkloadProgram("matrix", wc);
+}
+
+// --- checkpoint layer ---
+
+TEST(CheckpointKeyTest, KeyStringCoversWarmupInputs) {
+  const CheckpointKey a = MatrixKey(10'000);
+  CheckpointKey b = MatrixKey(10'000);
+  EXPECT_EQ(KeyString(a), KeyString(b));
+  EXPECT_EQ(CheckpointPath("d", a), CheckpointPath("d", b));
+
+  b.ff_instrs = 20'000;
+  EXPECT_NE(KeyString(a), KeyString(b));
+  b = MatrixKey(10'000);
+  b.seed = 7;
+  EXPECT_NE(KeyString(a), KeyString(b));
+  b = MatrixKey(10'000);
+  b.l1d.sets *= 2;
+  EXPECT_NE(KeyString(a), KeyString(b));
+  b = MatrixKey(10'000);
+  b.bpred.table_entries *= 2;
+  EXPECT_NE(KeyString(a), KeyString(b));
+}
+
+TEST(CheckpointTest, SaveLoadRoundTripsWarmState) {
+  const std::string dir = TempDir("roundtrip");
+  const CheckpointKey key = MatrixKey(20'000);
+  const Program prog = MatrixProgram();
+
+  const FastForwardResult ff = FastForward(prog, key);
+  ASSERT_FALSE(ff.state.halted);
+  EXPECT_EQ(ff.executed, 20'000u);
+
+  std::string error;
+  ASSERT_TRUE(SaveCheckpoint(dir, key, ff.state, &error)) << error;
+
+  WarmState loaded;
+  ASSERT_TRUE(LoadCheckpoint(dir, key, &loaded, &error)) << error;
+  EXPECT_EQ(loaded.pc, ff.state.pc);
+  EXPECT_EQ(loaded.warmed_instrs, ff.state.warmed_instrs);
+  EXPECT_EQ(loaded.iregs, ff.state.iregs);
+  EXPECT_EQ(loaded.fregs, ff.state.fregs);
+  EXPECT_EQ(loaded.l1d.stamp, ff.state.l1d.stamp);
+  EXPECT_EQ(loaded.l1d.tags, ff.state.l1d.tags);
+  EXPECT_EQ(loaded.l1d.lru, ff.state.l1d.lru);
+  EXPECT_EQ(loaded.l2.tags, ff.state.l2.tags);
+  EXPECT_EQ(loaded.bpred.counters, ff.state.bpred.counters);
+  EXPECT_EQ(loaded.bpred.btb_pcs, ff.state.bpred.btb_pcs);
+
+  // The ISSUE's equivalence bar: a run restored from the checkpoint and a
+  // run warmed live must produce bit-identical stats JSON.
+  EvalOptions opt;
+  opt.sim_instrs = 20'000;
+  const RunStats live = RunConfig(prog, BaselineConfig(128), opt, &ff.state);
+  const RunStats restored = RunConfig(prog, BaselineConfig(128), opt, &loaded);
+  EXPECT_EQ(RunStatsToJson(live).Dump(2), RunStatsToJson(restored).Dump(2));
+}
+
+TEST(CheckpointTest, MismatchesReadAsMisses) {
+  const std::string dir = TempDir("miss");
+  const CheckpointKey key = MatrixKey(5'000);
+  WarmState state;
+
+  // Absent file.
+  EXPECT_FALSE(LoadCheckpoint(dir, key, &state));
+
+  const FastForwardResult ff = FastForward(MatrixProgram(), key);
+  ASSERT_TRUE(SaveCheckpoint(dir, key, ff.state));
+
+  // A different geometry hashes to a different path: miss, not collision.
+  CheckpointKey other = key;
+  other.l2.assoc *= 2;
+  EXPECT_FALSE(LoadCheckpoint(dir, other, &state));
+
+  // Garbage where the file should be: bad magic is a miss, not an error.
+  {
+    std::ofstream out(CheckpointPath(dir, key), std::ios::binary);
+    out << "not a checkpoint";
+  }
+  EXPECT_FALSE(LoadCheckpoint(dir, key, &state));
+
+  // Truncation (simulating a torn write without the tmp+rename dance).
+  ASSERT_TRUE(SaveCheckpoint(dir, key, ff.state));
+  const std::string path = CheckpointPath(dir, key);
+  const auto full = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, full / 2);
+  EXPECT_FALSE(LoadCheckpoint(dir, key, &state));
+}
+
+// --- worker pool ---
+
+TEST(ProcessPoolTest, TimeoutKillsAndRetriesWithBackoff) {
+  const std::string marker = TempDir("pool") + "/attempts";
+  PoolJob job;
+  job.argv = {"/bin/sh", "-c", "echo x >> " + marker + "; sleep 30"};
+  job.timeout_ms = 300;
+  job.max_retries = 2;
+  job.backoff_ms = 50;
+
+  const std::vector<PoolResult> results = ProcessPool(2).Run({job});
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_FALSE(results[0].ok);
+  EXPECT_TRUE(results[0].timed_out);
+  EXPECT_EQ(results[0].attempts, 3);
+
+  // Every attempt actually started a child (the hang is real, not queued).
+  std::ifstream in(marker);
+  int lines = 0;
+  for (std::string line; std::getline(in, line);) ++lines;
+  EXPECT_EQ(lines, 3);
+}
+
+TEST(ProcessPoolTest, RetryBackoffDelaysReattempts) {
+  PoolJob job;
+  job.argv = {"/bin/sh", "-c", "exit 1"};
+  job.max_retries = 2;
+  job.backoff_ms = 100;  // attempt 2 waits 100ms, attempt 3 waits 200ms
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::vector<PoolResult> results = ProcessPool(1).Run({job});
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_FALSE(results[0].ok);
+  EXPECT_EQ(results[0].exit_code, 1);
+  EXPECT_EQ(results[0].attempts, 3);
+  EXPECT_GE(elapsed, 250);  // 100 + 200 of backoff, minus scheduling slack
+}
+
+TEST(ProcessPoolTest, FailFastExitsAreNotRetried) {
+  PoolJob job;
+  job.argv = {"/bin/sh", "-c", "exit 3"};
+  job.max_retries = 5;
+  job.fail_fast_exits = {kExitUsage, kExitIncomplete};
+
+  const std::vector<PoolResult> results = ProcessPool(1).Run({job});
+  EXPECT_FALSE(results[0].ok);
+  EXPECT_EQ(results[0].exit_code, kExitIncomplete);
+  EXPECT_EQ(results[0].attempts, 1);
+}
+
+TEST(ProcessPoolTest, CrashedWorkerFailsOnlyItsJob) {
+  PoolJob crash;
+  crash.argv = {"/bin/sh", "-c", "kill -9 $$"};
+  PoolJob fine;
+  fine.argv = {"/bin/sh", "-c", "exit 0"};
+
+  const std::vector<PoolResult> results = ProcessPool(2).Run({crash, fine});
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_FALSE(results[0].ok);
+  EXPECT_EQ(results[0].exit_code, -1);
+  EXPECT_EQ(results[0].term_signal, 9);
+  EXPECT_TRUE(results[1].ok);
+  EXPECT_EQ(results[1].exit_code, 0);
+}
+
+// --- manifest parsing ---
+
+constexpr const char* kMinimalManifest = R"({
+  "manifest_version": 1,
+  "name": "t",
+  "workloads": ["matrix", "mcf"],
+  "configs": [{"label": "base"}, {"label": "spear", "spear": true}]
+})";
+
+TEST(ManifestTest, ParsesAndExpandsWorkloadMajor) {
+  Manifest m;
+  std::string error;
+  ASSERT_TRUE(ParseManifest(kMinimalManifest, &m, &error)) << error;
+  EXPECT_EQ(m.name, "t");
+  const std::vector<JobSpec> jobs = ExpandJobs(m);
+  ASSERT_EQ(jobs.size(), 4u);
+  EXPECT_EQ(JobId(m, jobs[0]), "matrix/base");
+  EXPECT_EQ(JobId(m, jobs[1]), "matrix/spear");
+  EXPECT_EQ(JobId(m, jobs[2]), "mcf/base");
+  EXPECT_EQ(JobId(m, jobs[3]), "mcf/spear");
+}
+
+TEST(ManifestTest, RejectionDiagnosticsNameThePath) {
+  Manifest m;
+  std::string error;
+
+  EXPECT_FALSE(ParseManifest(
+      R"({"manifest_version": 9, "name": "t", "workloads": ["w"],
+          "configs": [{"label": "a"}]})",
+      &m, &error));
+  EXPECT_NE(error.find("manifest_version"), std::string::npos) << error;
+
+  EXPECT_FALSE(ParseManifest(
+      R"({"manifest_version": 1, "name": "t", "workloads": ["w"],
+          "configs": [{"label": "a"}], "frobnicate": 1})",
+      &m, &error));
+  EXPECT_NE(error.find("frobnicate"), std::string::npos) << error;
+
+  EXPECT_FALSE(ParseManifest(
+      R"({"manifest_version": 1, "name": "t", "workloads": ["w"],
+          "configs": [{"label": "a"}, {"label": "b", "bpred_kind": "oracle"}]})",
+      &m, &error));
+  EXPECT_NE(error.find("configs[1].bpred_kind"), std::string::npos) << error;
+  EXPECT_NE(error.find("oracle"), std::string::npos) << error;
+
+  EXPECT_FALSE(ParseManifest(
+      R"({"manifest_version": 1, "name": "t", "workloads": ["w"],
+          "configs": [{"label": "a"}, {"label": "a"}]})",
+      &m, &error));
+  EXPECT_NE(error.find("duplicate label 'a'"), std::string::npos) << error;
+
+  EXPECT_FALSE(ParseManifest(
+      R"({"manifest_version": 1, "name": "t", "workloads": ["w"],
+          "configs": [{"label": "a"}],
+          "jobs": [{"workload": "w", "config": "nope"}]})",
+      &m, &error));
+  EXPECT_NE(error.find("jobs[0].config"), std::string::npos) << error;
+  EXPECT_NE(error.find("nope"), std::string::npos) << error;
+
+  EXPECT_FALSE(ParseManifest(
+      R"({"manifest_version": 1, "name": "t", "workloads": ["w"],
+          "configs": [{"label": "a"}],
+          "derived": [{"name": "d", "op": "median", "metric": "ipc",
+                       "num": "a", "den": "a"}]})",
+      &m, &error));
+  EXPECT_NE(error.find("derived[0].op"), std::string::npos) << error;
+}
+
+TEST(ManifestTest, EmitParseIsAnIdentity) {
+  Manifest m;
+  m.name = "ident";
+  m.defaults.sim_instrs = 1234;
+  m.defaults.ff_instrs = 999;
+  m.defaults.timeout_ms = 5000;
+  m.workloads = {"matrix", "art"};
+  ConfigSpec base;
+  base.label = "base";
+  ConfigSpec tuned;
+  tuned.label = "tuned";
+  tuned.spear = true;
+  tuned.ifq = 256;
+  tuned.separate_fu = true;
+  tuned.mem_latency = 200;
+  tuned.l2_latency = 20;
+  tuned.bpred_kind = "gshare";
+  tuned.bpred_entries = 16384;
+  tuned.trigger_occupancy_div = 4;
+  tuned.extract_per_cycle = 2;
+  tuned.drain_policy = "drain_to_trigger";
+  tuned.chaining_trigger = true;
+  tuned.stride_prefetch = true;
+  tuned.stride_degree = 3;
+  tuned.dcycle_budget = 60.0;
+  m.configs = {base, tuned};
+  JobSpec hang;
+  hang.workload = "matrix";
+  hang.config = 0;
+  hang.debug_hang = true;
+  hang.timeout_ms = 1000;
+  hang.max_retries = 0;
+  m.extra_jobs = {hang};
+  m.derived = {DerivedSpec{"spd", "mean_ratio", "ipc", "tuned", "base"}};
+
+  const std::string a = ManifestToJson(m).Dump(2);
+  Manifest m2;
+  std::string error;
+  ASSERT_TRUE(ParseManifest(a, &m2, &error)) << error;
+  EXPECT_EQ(a, ManifestToJson(m2).Dump(2));
+  EXPECT_EQ(ExpandJobs(m2).size(), 5u);
+}
+
+// --- in-process execution ---
+
+TEST(RunnerTest, InProcessRunIsDeterministicAcrossCheckpointReuse) {
+  Manifest m;
+  std::string error;
+  ASSERT_TRUE(ParseManifest(
+      R"({"manifest_version": 1, "name": "smoke",
+          "defaults": {"sim_instrs": 20000, "ff_instrs": 10000},
+          "workloads": ["matrix"],
+          "configs": [{"label": "base"}, {"label": "spear", "spear": true}],
+          "derived": [{"name": "spd", "op": "mean_ratio", "metric": "ipc",
+                       "num": "spear", "den": "base"}]})",
+      &m, &error))
+      << error;
+
+  RunnerOptions opts;
+  opts.ckpt_dir = TempDir("inproc");
+
+  // First run warms live and saves checkpoints; the second restores them.
+  // The deterministic document must not change either way.
+  const ManifestRunResult cold = RunManifestInProcess(m, opts);
+  EXPECT_EQ(cold.failed_jobs, 0);
+  const ManifestRunResult warm = RunManifestInProcess(m, opts);
+  EXPECT_EQ(warm.failed_jobs, 0);
+
+  telemetry::JsonValue a = cold.document;
+  telemetry::JsonValue b = warm.document;
+  // Hit/miss tallies and wall times live in "run" and differ by design.
+  // Both configs share one checkpoint (the key excludes the IFQ size and
+  // binary flavor), so the cold run misses once and hits once.
+  EXPECT_EQ(a.FindPath("run.stats.runner.ckpt.misses")->AsInt(), 1);
+  EXPECT_EQ(a.FindPath("run.stats.runner.ckpt.hits")->AsInt(), 1);
+  EXPECT_EQ(b.FindPath("run.stats.runner.ckpt.hits")->AsInt(), 2);
+  a.Set("run", telemetry::JsonValue());
+  b.Set("run", telemetry::JsonValue());
+  EXPECT_EQ(a.Dump(2), b.Dump(2));
+
+  const telemetry::JsonValue* spd = cold.document.FindPath("derived.spd");
+  ASSERT_NE(spd, nullptr);
+  EXPECT_GT(spd->AsDouble(), 0.0);
+}
+
+TEST(RunnerTest, DebugHangJobFailsDeterministicallyInProcess) {
+  Manifest m;
+  std::string error;
+  ASSERT_TRUE(ParseManifest(
+      R"({"manifest_version": 1, "name": "hang",
+          "defaults": {"sim_instrs": 2000},
+          "workloads": [],
+          "configs": [{"label": "base"}],
+          "jobs": [{"workload": "matrix", "config": "base",
+                    "debug_hang": true}]})",
+      &m, &error))
+      << error;
+
+  RunnerOptions opts;
+  opts.use_ckpt = false;
+  const ManifestRunResult result = RunManifestInProcess(m, opts);
+  EXPECT_EQ(result.failed_jobs, 1);
+  const telemetry::JsonValue* err = result.document.FindPath("jobs");
+  ASSERT_NE(err, nullptr);
+  ASSERT_EQ(err->items().size(), 1u);
+  EXPECT_TRUE(err->items()[0].Find("failed")->AsBool());
+  EXPECT_EQ(err->items()[0].Find("error")->AsString(), "debug_hang");
+}
+
+}  // namespace
+}  // namespace spear::runner

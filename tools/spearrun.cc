@@ -1,0 +1,179 @@
+// spearrun — run an experiment manifest end-to-end: expand the job
+// matrix, execute every job across a pool of worker processes (with
+// checkpointed fast-forward, per-job timeouts and bounded retry), and
+// aggregate the rows into one results document under bench/results/.
+//
+//   spearrun --manifest bench/manifests/fig6.json -j $(nproc)
+//   spearrun --manifest bench/manifests/ci_quick.json -j 4 --quick \
+//       --tolerate-failures
+//   spearrun --manifest m.json --list          # show the expanded jobs
+//   spearrun --manifest m.json --in-process    # no fork (debugging)
+//
+// The same binary is its own worker: the parent forks
+// `spearrun --worker --job N`, each worker runs exactly one job and
+// writes its result row to --job-out. Exit codes: 0 ok, 1 failure,
+// 2 usage/manifest error, 3 deterministic incomplete run (not retried).
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runner/runner.h"
+#include "tool_flags.h"
+
+namespace {
+
+using namespace spear;
+using namespace spear::runner;
+
+std::string SelfExePath(const char* argv0) {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n > 0) {
+    buf[n] = '\0';
+    return std::string(buf);
+  }
+  return std::string(argv0);
+}
+
+int WorkerMain(const Manifest& manifest, const tools::Flags& flags,
+               const RunnerOptions& opts) {
+  const long index = flags.GetInt("job", -1);
+  const std::string job_out = flags.Get("job-out");
+  const std::vector<JobSpec> jobs = ExpandJobs(manifest);
+  if (index < 0 || static_cast<std::size_t>(index) >= jobs.size() ||
+      job_out.empty()) {
+    std::fprintf(stderr, "spearrun: --worker needs --job <0..%zu> and "
+                         "--job-out\n",
+                 jobs.size() - 1);
+    return kExitUsage;
+  }
+  const JobSpec& job = jobs[static_cast<std::size_t>(index)];
+  if (job.debug_hang) {
+    // CI's forced-timeout probe: hang until the parent's deadline kills us.
+    for (;;) std::this_thread::sleep_for(std::chrono::seconds(3600));
+  }
+
+  WorkloadCache cache;
+  const JobRun run = ExecuteJob(manifest, job, cache, opts);
+
+  telemetry::JsonValue out = telemetry::JsonValue::Object();
+  out.Set("job", run.row);
+  telemetry::JsonValue meta = telemetry::JsonValue::Object();
+  meta.Set("ckpt", telemetry::JsonValue(run.ckpt));
+  meta.Set("ms", telemetry::JsonValue(run.ms));
+  out.Set("run", std::move(meta));
+  if (!telemetry::WriteFileOrStdout(job_out, out.Dump(2) + "\n")) {
+    return kExitFailure;
+  }
+  if (!run.failed) return kExitOk;
+  // Distinguish the deterministic incomplete-run verdict (fail fast, the
+  // row is still valid diagnostics) from other failures.
+  const telemetry::JsonValue* err = run.row.Find("error");
+  const bool incomplete =
+      err != nullptr && err->AsString().rfind("incomplete", 0) == 0;
+  return incomplete ? kExitIncomplete : kExitFailure;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tools::Flags flags(
+      argc, argv,
+      {{"manifest", "manifest JSON file to run (required)"},
+       {"j", "worker processes (default: 1)"},
+       {"out", "directory for the results document (default bench/results)"},
+       {"ckpt-dir", "fast-forward checkpoint cache (default bench/ckpt)"},
+       {"no-ckpt", "disable the checkpoint cache (always warm up live)"},
+       {"quick", "smoke-run budget (40k instrs per job)"},
+       {"sim-instrs", "exact per-job commit budget override"},
+       {"tolerate-failures", "exit 0 even when jobs failed (CI probes)"},
+       {"list", "print the expanded job list and exit"},
+       {"in-process", "run jobs sequentially in this process (no fork)"},
+       {"worker", "internal: run one job and exit"},
+       {"job", "internal: job index for --worker"},
+       {"job-out", "internal: result file for --worker"}});
+
+  const std::string manifest_path = flags.Get("manifest");
+  if (manifest_path.empty()) {
+    std::fprintf(stderr, "spearrun: --manifest is required (try --help)\n");
+    return spear::runner::kExitUsage;
+  }
+
+  spear::runner::Manifest manifest;
+  std::string error;
+  if (!spear::runner::LoadManifestFile(manifest_path, &manifest, &error)) {
+    std::fprintf(stderr, "spearrun: %s\n", error.c_str());
+    return spear::runner::kExitUsage;
+  }
+
+  spear::runner::RunnerOptions opts;
+  opts.workers = static_cast<int>(flags.GetInt("j", 1));
+  opts.ckpt_dir = flags.Get("ckpt-dir", opts.ckpt_dir);
+  opts.use_ckpt = !flags.GetBool("no-ckpt");
+  opts.verbose = true;
+  if (flags.GetBool("quick")) opts.sim_instrs_override = 40'000;
+  if (flags.Has("sim-instrs")) {
+    opts.sim_instrs_override =
+        static_cast<std::uint64_t>(flags.GetInt("sim-instrs", 400'000));
+  }
+  spear::runner::ApplyOverrides(&manifest, opts);
+
+  if (flags.GetBool("worker")) {
+    opts.verbose = false;
+    return WorkerMain(manifest, flags, opts);
+  }
+
+  const std::vector<spear::runner::JobSpec> jobs =
+      spear::runner::ExpandJobs(manifest);
+  if (flags.GetBool("list")) {
+    std::printf("manifest %s: %zu jobs (%zu workloads x %zu configs",
+                manifest.name.c_str(), jobs.size(),
+                manifest.workloads.size(), manifest.configs.size());
+    if (!manifest.extra_jobs.empty()) {
+      std::printf(" + %zu explicit", manifest.extra_jobs.size());
+    }
+    std::printf(")\n");
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      std::printf("  [%3zu] %s%s\n", i,
+                  spear::runner::JobId(manifest, jobs[i]).c_str(),
+                  jobs[i].debug_hang ? "  (debug_hang)" : "");
+    }
+    return spear::runner::kExitOk;
+  }
+
+  std::printf("spearrun: %s — %zu jobs, %d worker%s, ff=%llu, ckpt %s\n",
+              manifest.name.c_str(), jobs.size(), opts.workers,
+              opts.workers == 1 ? "" : "s",
+              static_cast<unsigned long long>(manifest.defaults.ff_instrs),
+              opts.use_ckpt ? opts.ckpt_dir.c_str() : "off");
+
+  const spear::runner::ManifestRunResult result =
+      flags.GetBool("in-process")
+          ? spear::runner::RunManifestInProcess(manifest, opts)
+          : spear::runner::RunManifestParallel(
+                manifest, manifest_path, SelfExePath(argv[0]), opts);
+
+  const std::string path = spear::runner::WriteRunnerDoc(
+      result.document, flags.Get("out", "bench/results"), manifest.name);
+  std::printf("wrote %s\n", path.c_str());
+
+  if (const spear::telemetry::JsonValue* derived =
+          result.document.Find("derived");
+      derived != nullptr) {
+    for (const auto& [name, value] : derived->members()) {
+      std::printf("  %-28s %s\n", name.c_str(), value.Dump().c_str());
+    }
+  }
+  if (result.failed_jobs > 0) {
+    std::printf("%d of %zu jobs FAILED%s\n", result.failed_jobs, jobs.size(),
+                flags.GetBool("tolerate-failures") ? " (tolerated)" : "");
+    if (!flags.GetBool("tolerate-failures")) {
+      return spear::runner::kExitFailure;
+    }
+  }
+  return spear::runner::kExitOk;
+}

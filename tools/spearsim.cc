@@ -13,6 +13,7 @@
 #include "cpu/core.h"
 #include "isa/binary.h"
 #include "isa/disasm.h"
+#include "runner/checkpoint.h"
 #include "sim/emulator.h"
 #include "telemetry/registry.h"
 #include "telemetry/trace.h"
@@ -32,6 +33,8 @@ int main(int argc, char** argv) {
        {"l2-latency", "L2 latency in cycles (default 12)"},
        {"max-instrs", "commit budget (default: run to halt)"},
        {"max-cycles", "cycle budget (default 1e9)"},
+       {"ff-instrs", "functionally fast-forward N instructions (warming "
+                     "caches and predictor) before the timed run"},
        {"strict-specs", "refuse binaries with malformed p-thread specs"},
        {"trace", "print committed OUT values"},
        {"stats-json", "write the full stats tree as JSON ('-' = stdout)"},
@@ -86,6 +89,33 @@ int main(int argc, char** argv) {
 
   Core core(prog, cfg);
 
+  // Skip-and-simulate: functionally execute the first N instructions
+  // (warming the caches and the branch predictor along the way), then
+  // start the timed core from that state.
+  const auto ff_instrs =
+      static_cast<std::uint64_t>(flags.GetInt("ff-instrs", 0));
+  if (ff_instrs > 0) {
+    runner::CheckpointKey key;
+    key.workload = flags.positional()[0];
+    key.ff_instrs = ff_instrs;
+    key.l1d = cfg.mem.l1d;
+    key.l2 = cfg.mem.l2;
+    key.bpred = cfg.bpred;
+    const runner::FastForwardResult ff = runner::FastForward(prog, key);
+    if (ff.state.halted) {
+      std::fprintf(stderr,
+                   "spearsim: program halted after %llu instructions, inside "
+                   "the --ff-instrs=%llu warmup — nothing left to measure\n",
+                   static_cast<unsigned long long>(ff.executed),
+                   static_cast<unsigned long long>(ff_instrs));
+      return 3;
+    }
+    core.InstallWarmState(ff.state);
+    std::printf("fast-forwarded    %llu instructions (resume pc 0x%08x)\n",
+                static_cast<unsigned long long>(ff.executed),
+                static_cast<unsigned>(ff.state.pc));
+  }
+
   // Optional pipeline event trace.
   std::unique_ptr<telemetry::PipeTrace> trace;
   if (flags.Has("trace-out")) {
@@ -107,6 +137,19 @@ int main(int argc, char** argv) {
   }
 
   const RunResult rr = core.Run(max_instrs, max_cycles);
+  // A run is complete when it committed a HALT or its full budget; a stop
+  // forced by max_cycles means the measurement is bogus, so the process
+  // exits 3 (after still emitting its diagnostics) and sweep drivers and
+  // CI catch it instead of averaging garbage.
+  const bool complete = rr.halted || rr.instructions >= max_instrs;
+  if (!complete) {
+    std::fprintf(stderr,
+                 "spearsim: INCOMPLETE — max_cycles (%llu) elapsed after "
+                 "only %llu of %llu budgeted instructions\n",
+                 static_cast<unsigned long long>(max_cycles),
+                 static_cast<unsigned long long>(rr.instructions),
+                 static_cast<unsigned long long>(max_instrs));
+  }
   const CoreStats& s = core.stats();
   std::printf("cycles            %llu\n",
               static_cast<unsigned long long>(rr.cycles));
@@ -145,6 +188,10 @@ int main(int argc, char** argv) {
     meta.Set("spear", telemetry::JsonValue(flags.GetBool("spear")));
     meta.Set("ifq_size", telemetry::JsonValue(static_cast<std::int64_t>(
                              cfg.ifq_size)));
+    if (ff_instrs > 0) {
+      meta.Set("ff_instrs", telemetry::JsonValue(ff_instrs));
+    }
+    meta.Set("complete", telemetry::JsonValue(complete));
     const telemetry::JsonValue doc =
         telemetry::StatsDocument(reg, "spearsim", meta);
     if (!telemetry::WriteFileOrStdout(flags.Get("stats-json"),
@@ -176,5 +223,5 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(trace->dropped()),
                  flags.Get("trace-out").c_str());
   }
-  return 0;
+  return complete ? 0 : 3;
 }

@@ -23,7 +23,12 @@ int main(int argc, char** argv) {
       argc, argv,
       {{"require", "dotted path that must exist (repeatable via commas)"},
        {"get", "print the value at this dotted path"},
-       {"kind", "expected document kind (default: any of spearsim/bench)"}});
+       {"kind",
+        "expected document kind (default: any of spearsim/bench/runner)"},
+       {"strip", "drop these top-level members (comma list) before "
+                 "validating/printing — e.g. --strip=run compares runner "
+                 "documents modulo run metadata"},
+       {"dump", "print the (post-strip) document as canonical pretty JSON"}});
 
   if (flags.positional().empty()) {
     std::fprintf(stderr, "spearstats: no input file (try --help)\n");
@@ -49,6 +54,24 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "spearstats: %s: top level is not an object\n",
                  path.c_str());
     return 1;
+  }
+
+  // --strip removes run metadata (or any member) so two documents that
+  // should agree modulo nondeterministic fields can be diffed directly.
+  if (flags.Has("strip")) {
+    std::vector<std::string> strip;
+    std::istringstream names(flags.Get("strip"));
+    std::string item;
+    while (std::getline(names, item, ',')) {
+      if (!item.empty()) strip.push_back(item);
+    }
+    telemetry::JsonValue kept = telemetry::JsonValue::Object();
+    for (const auto& [key, value] : doc.members()) {
+      bool drop = false;
+      for (const std::string& s : strip) drop |= key == s;
+      if (!drop) kept.Set(key, value);
+    }
+    doc = std::move(kept);
   }
 
   const telemetry::JsonValue* version = doc.Find("schema_version");
@@ -80,6 +103,8 @@ int main(int argc, char** argv) {
     required = {"stats.core", "stats.mem", "stats.bpred", "stats.spear"};
   } else if (kind->AsString() == "bench") {
     required = {"bench", "results"};
+  } else if (kind->AsString() == "runner") {
+    required = {"manifest", "defaults", "jobs"};
   }
   if (flags.Has("require")) {
     std::istringstream reqs(flags.Get("require"));
@@ -94,6 +119,11 @@ int main(int argc, char** argv) {
                    path.c_str(), req.c_str());
       return 1;
     }
+  }
+
+  if (flags.GetBool("dump")) {
+    std::printf("%s\n", doc.Dump(2).c_str());
+    return 0;
   }
 
   if (flags.Has("get")) {
