@@ -1,0 +1,164 @@
+// Host-throughput benchmark for the event-driven scheduler: wall-clock
+// times every workload under the two headline models (baseline and
+// SPEAR-256) and reports simulated MIPS (committed instructions per host
+// second, timing only the cycle loop — workload build, compile and
+// fast-forward are excluded). The CI gate compares the aggregate against
+// the conservative floor in bench/simspeed_baseline.json and fails on a
+// >15% regression; bench/manifests/simspeed.json describes the same
+// matrix for spearrun (--emit-manifest regenerates it).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "bench_common.h"
+#include "tool_flags.h"
+
+namespace {
+
+// ParseBenchArgs owns the standard bench flag set but aborts on unknown
+// flags, so the gate flags are parsed here alongside a replica of it.
+spear::bench::BenchContext ContextFromFlags(const spear::tools::Flags& flags) {
+  spear::bench::BenchContext ctx;
+  ctx.out_dir = flags.Get("out", ctx.out_dir);
+  ctx.quick = flags.GetBool("quick");
+  if (ctx.quick) ctx.options.sim_instrs = 40'000;
+  if (flags.Has("sim-instrs")) {
+    ctx.options.sim_instrs =
+        static_cast<std::uint64_t>(flags.GetInt("sim-instrs", 400'000));
+  }
+  ctx.emit_manifest = flags.GetBool("emit-manifest");
+  ctx.manifest_dir = flags.Get("manifest-dir", ctx.manifest_dir);
+  return ctx;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace spear;
+  using namespace spear::bench;
+  using Clock = std::chrono::steady_clock;
+
+  tools::Flags flags(
+      argc, argv,
+      {{"out", "directory for the JSON result file (default bench/results)"},
+       {"quick", "smoke-run budget (40k instrs per config)"},
+       {"sim-instrs", "exact per-config commit budget"},
+       {"emit-manifest",
+        "write the experiment manifest JSON instead of running it"},
+       {"manifest-dir", "where --emit-manifest writes "
+                        "(default bench/manifests)"},
+       {"baseline", "simspeed_baseline.json to gate against"},
+       {"tolerance", "allowed fractional regression vs the baseline "
+                     "(default 0.15)"}});
+  const BenchContext ctx = ContextFromFlags(flags);
+
+  runner::Manifest m = BenchManifest(ctx, "simspeed");
+  m.workloads = AllBenchmarkNames();
+  m.configs = {BaseModel(), SpearModel("spear256", 256)};
+  if (ctx.emit_manifest) {
+    return RunOrEmit(ctx, m, "simspeed");
+  }
+
+  PrintConfigHeader(BaselineConfig(128));
+  std::printf("== simspeed: host simulation throughput ==\n");
+  std::printf("%-10s %-10s %12s %12s %10s\n", "benchmark", "config",
+              "instrs", "host_ms", "MIPS");
+
+  telemetry::JsonValue rows = telemetry::JsonValue::Array();
+  std::uint64_t total_instrs = 0;
+  double total_seconds = 0.0;
+  bool all_complete = true;
+  for (const std::string& name : m.workloads) {
+    const PreparedWorkload pw = PrepareWorkload(name, ctx.options);
+    for (const runner::ConfigSpec& cs : m.configs) {
+      const CoreConfig cfg = cs.spear ? SpearCoreConfig(cs.ifq)
+                                      : BaselineConfig(cs.ifq);
+      const Program& prog = cs.spear ? pw.annotated : pw.plain;
+      const Clock::time_point t0 = Clock::now();
+      const RunStats s = RunConfig(prog, cfg, ctx.options);
+      const double seconds =
+          std::chrono::duration<double>(Clock::now() - t0).count();
+      const double mips =
+          seconds > 0.0
+              ? static_cast<double>(s.instructions) / seconds / 1e6
+              : 0.0;
+      all_complete = all_complete && s.complete;
+      total_instrs += s.instructions;
+      total_seconds += seconds;
+
+      telemetry::JsonValue row = telemetry::JsonValue::Object();
+      row.Set("workload", telemetry::JsonValue(name));
+      row.Set("config", telemetry::JsonValue(cs.label));
+      row.Set("instructions", telemetry::JsonValue(s.instructions));
+      row.Set("cycles", telemetry::JsonValue(
+                            static_cast<std::uint64_t>(s.cycles)));
+      row.Set("host_seconds", telemetry::JsonValue(seconds));
+      row.Set("mips", telemetry::JsonValue(mips));
+      row.Set("complete", telemetry::JsonValue(s.complete));
+      rows.Append(std::move(row));
+      std::printf("%-10s %-10s %12llu %12.1f %10.2f\n", name.c_str(),
+                  cs.label.c_str(),
+                  static_cast<unsigned long long>(s.instructions),
+                  seconds * 1e3, mips);
+      std::fflush(stdout);
+    }
+  }
+
+  const double aggregate_mips =
+      total_seconds > 0.0
+          ? static_cast<double>(total_instrs) / total_seconds / 1e6
+          : 0.0;
+  std::printf("%-10s %-10s %12llu %12.1f %10.2f\n", "TOTAL", "-",
+              static_cast<unsigned long long>(total_instrs),
+              total_seconds * 1e3, aggregate_mips);
+
+  telemetry::JsonValue results = telemetry::JsonValue::Object();
+  results.Set("runs", std::move(rows));
+  telemetry::JsonValue agg = telemetry::JsonValue::Object();
+  agg.Set("instructions", telemetry::JsonValue(total_instrs));
+  agg.Set("host_seconds", telemetry::JsonValue(total_seconds));
+  agg.Set("mips", telemetry::JsonValue(aggregate_mips));
+  results.Set("aggregate", std::move(agg));
+  WriteBenchJson(ctx, "simspeed", std::move(results));
+
+  if (!all_complete) {
+    std::printf("simspeed: some runs hit the max_cycles safety net\n");
+    return 1;
+  }
+
+  if (flags.Has("baseline")) {
+    std::ifstream in(flags.Get("baseline"), std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    telemetry::JsonValue doc;
+    std::string error;
+    if (!in || !telemetry::JsonParse(buf.str(), &doc, &error)) {
+      std::fprintf(stderr, "simspeed: cannot read baseline %s: %s\n",
+                   flags.Get("baseline").c_str(), error.c_str());
+      return 1;
+    }
+    const telemetry::JsonValue* floor = doc.FindPath("aggregate_mips");
+    if (floor == nullptr) {
+      std::fprintf(stderr, "simspeed: baseline lacks aggregate_mips\n");
+      return 1;
+    }
+    const double tolerance =
+        flags.Has("tolerance")
+            ? std::strtod(flags.Get("tolerance").c_str(), nullptr)
+            : 0.15;
+    const double gate = floor->AsDouble() * (1.0 - tolerance);
+    std::printf("gate: %.2f MIPS measured vs %.2f floor "
+                "(baseline %.2f - %.0f%%)\n",
+                aggregate_mips, gate, floor->AsDouble(), tolerance * 100);
+    if (aggregate_mips < gate) {
+      std::fprintf(stderr,
+                   "simspeed: REGRESSION: %.2f MIPS < %.2f gate\n",
+                   aggregate_mips, gate);
+      return 1;
+    }
+  }
+  return 0;
+}

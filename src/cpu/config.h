@@ -38,6 +38,11 @@ struct CoreConfig {
   std::uint32_t issue_width = 8;
   std::uint32_t commit_width = 8;
 
+  // Forward-progress watchdog: abort the run (pipeline bug) if commit
+  // makes no progress for this many cycles. No workload legitimately
+  // stalls commit this long with a 120-cycle memory.
+  std::uint64_t commit_watchdog_cycles = 1'000'000;
+
   FuPoolConfig fu;
   FuLatencies lat;
   BpredConfig bpred;

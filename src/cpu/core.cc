@@ -129,6 +129,10 @@ Core::Core(const Program& prog, const CoreConfig& config)
 void Core::InstallWarmState(const WarmState& ws) {
   SPEAR_CHECK(now_ == 0 && stats_.committed == 0 && ifq_.empty() &&
               ruu_.empty());
+  // Checkpoints (SPCK) carry no scheduler state on purpose: install is
+  // only legal before the first cycle, where the event scheduler is
+  // reconstructible as "all empty". Keep that contract checked.
+  SPEAR_CHECK(sched_.empty() && psched_.empty());
   SPEAR_CHECK(prog_.ContainsPc(ws.pc));
   iregs_ = ws.iregs;
   fregs_ = ws.fregs;
@@ -172,9 +176,7 @@ RunResult Core::Run(std::uint64_t max_instrs, std::uint64_t max_cycles) {
       last_committed = stats_.committed;
       last_commit_cycle = now_;
     }
-    // Forward-progress watchdog: no workload legitimately stalls commit
-    // for 10^6 cycles with a 120-cycle memory; treat it as a pipeline bug.
-    SPEAR_CHECK(now_ - last_commit_cycle < 1'000'000);
+    SPEAR_CHECK(now_ - last_commit_cycle < config_.commit_watchdog_cycles);
   }
   RunResult r;
   r.cycles = now_;
@@ -240,48 +242,99 @@ void Core::PThreadRetire() {
 }
 
 // ---------------------------------------------------------------------------
-// Writeback: mark completions; resolve at most one mispredicted branch per
-// cycle (the oldest), triggering recovery.
+// Writeback: drain this cycle's completion events (marking completions and
+// waking dependents); resolve at most one mispredicted branch per cycle
+// (the oldest completed one), triggering recovery.
 // ---------------------------------------------------------------------------
 
-void Core::Writeback() {
-  for (std::size_t l = 0; l < pruu_.size(); ++l) {
-    RuuEntry& e = pruu_.At(l);
-    if (e.issued && !e.completed && e.complete_cycle <= now_) {
-      e.completed = true;
-      SPEAR_TRACE_EVENT(trace_, TraceEvent::kComplete, now_,
-                        TraceUid(e.fetch_seq, kPThread), e.pc, kPThread);
+void Core::DrainCompletions(EventScheduler& sched,
+                            CircularBuffer<RuuEntry>& buf, ThreadId tid) {
+  const std::vector<SchedRef> bucket = sched.TakeCompletions(now_);
+  // Everything the old per-cycle writeback scan would have walked and the
+  // event list didn't touch counts as saved scan work.
+  stats_.sched_scan_saved +=
+      buf.size() > bucket.size() ? buf.size() - bucket.size() : 0;
+  for (const SchedRef r : bucket) {
+    if (!buf.SlotLive(r.slot) || buf.Slot(r.slot).seq != r.seq) {
+      continue;  // squashed after issue; slot possibly reused
     }
-  }
-
-  std::size_t recover_idx = ruu_.size();
-  for (std::size_t l = 0; l < ruu_.size(); ++l) {
-    RuuEntry& e = ruu_.At(l);
-    if (e.issued && !e.completed && e.complete_cycle <= now_) {
-      e.completed = true;
-      SPEAR_TRACE_EVENT(trace_, TraceEvent::kComplete, now_,
-                        TraceUid(e.fetch_seq, kMainThread), e.pc, kMainThread);
+    RuuEntry& e = buf.Slot(r.slot);
+    SPEAR_DCHECK(e.issued && !e.completed && e.complete_cycle == now_);
+    e.completed = true;
+    SPEAR_TRACE_EVENT(trace_, TraceEvent::kComplete, now_,
+                      TraceUid(e.fetch_seq, tid), e.pc, tid);
+    if (const auto rd = DestOf(e.instr)) {
+      WakeConsumers(sched, buf, *rd, e.seq);
     }
-    if (e.completed && e.mispredict && !e.recovery_done &&
-        recover_idx == ruu_.size()) {
-      recover_idx = l;
+    if (tid == kMainThread && e.mispredict && !e.recovery_done) {
+      sched.pending_recovery().push_back(r);
     }
-  }
-  if (recover_idx < ruu_.size()) {
-    RecoverFromMispredict(ruu_.At(recover_idx));
   }
 }
 
-void Core::RecoverFromMispredict(RuuEntry& branch) {
+void Core::WakeConsumers(EventScheduler& sched, CircularBuffer<RuuEntry>& buf,
+                         RegId reg, std::uint64_t producer_seq) {
+  std::vector<EventScheduler::Waiter>& list = sched.waiters(reg);
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    const EventScheduler::Waiter w = list[i];
+    const bool consumer_live = buf.SlotLive(w.consumer_slot) &&
+                               buf.Slot(w.consumer_slot).seq == w.consumer_seq;
+    if (w.producer_seq != producer_seq) {
+      // Someone else's waiter; keep it unless its consumer was squashed.
+      if (consumer_live) list[out++] = w;
+      continue;
+    }
+    if (!consumer_live) continue;  // consumer squashed while waiting
+    RuuEntry& c = buf.Slot(w.consumer_slot);
+    SPEAR_DCHECK(c.pending_deps > 0);
+    ++stats_.sched_wakeups;
+    if (--c.pending_deps == 0) {
+      sched.InsertReady({w.consumer_seq, w.consumer_slot});
+      ++stats_.sched_ready_enqueued;
+    }
+  }
+  list.resize(out);
+}
+
+void Core::Writeback() {
+  DrainCompletions(psched_, pruu_, kPThread);
+  DrainCompletions(sched_, ruu_, kMainThread);
+
+  // Resolve the oldest completed, still-unrecovered mispredict (one per
+  // cycle). Stale refs — branches squashed by an older branch's recovery
+  // — are dropped here.
+  std::vector<SchedRef>& pend = sched_.pending_recovery();
+  if (!pend.empty()) {
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < pend.size(); ++i) {
+      const SchedRef r = pend[i];
+      if (!ruu_.SlotLive(r.slot)) continue;
+      const RuuEntry& e = ruu_.Slot(r.slot);
+      if (e.seq != r.seq || e.recovery_done) continue;
+      pend[out++] = r;
+    }
+    pend.resize(out);
+    if (out > 0) {
+      std::size_t oldest = 0;
+      for (std::size_t i = 1; i < out; ++i) {
+        if (pend[i].seq < pend[oldest].seq) oldest = i;
+      }
+      const SchedRef r = pend[oldest];
+      pend.erase(pend.begin() + static_cast<std::ptrdiff_t>(oldest));
+      RecoverFromMispredict(r.slot);
+    }
+  }
+}
+
+void Core::RecoverFromMispredict(std::size_t branch_slot) {
+  RuuEntry& branch = ruu_.Slot(branch_slot);
   branch.recovery_done = true;
   ++stats_.mispredict_recoveries;
 
-  // Squash everything younger than the branch (all wrong-path).
-  std::size_t idx = 0;
-  for (; idx < ruu_.size(); ++idx) {
-    if (&ruu_.At(idx) == &branch) break;
-  }
-  SPEAR_CHECK(idx < ruu_.size());
+  // Squash everything younger than the branch (all wrong-path). The slot
+  // maps straight to the branch's queue position — no head-to-tail rescan.
+  const std::size_t idx = ruu_.LogicalIndex(branch_slot);
   stats_.squashed_wrongpath += ruu_.size() - idx - 1;
   if constexpr (telemetry::kTraceCompiled) {
     if (trace_ != nullptr) {
@@ -300,6 +353,11 @@ void Core::RecoverFromMispredict(RuuEntry& branch) {
   spec_fregs_.clear();
   spec_mem_.clear();
   RebuildRenameMap();
+  // Drop scheduler references killed by the squash so they cannot pile up
+  // across recoveries. (In-flight completion events for squashed entries
+  // are validated lazily when their bucket fires — each issued entry owns
+  // exactly one event, so those cannot accumulate.)
+  PurgeDeadRefs(sched_, ruu_);
 
   // Redirect the front end.
   stats_.ifq_flushed += ifq_.size();
@@ -335,6 +393,29 @@ void Core::RebuildRenameMap() {
       rename_.slot[*rd] = static_cast<std::int32_t>(ruu_.PhysicalIndex(l));
       rename_.seq[*rd] = e.seq;
     }
+  }
+}
+
+void Core::PurgeDeadRefs(EventScheduler& sched, CircularBuffer<RuuEntry>& buf) {
+  auto live = [&buf](std::uint32_t slot, std::uint64_t seq) {
+    return buf.SlotLive(slot) && buf.Slot(slot).seq == seq;
+  };
+  std::vector<SchedRef>& ready = sched.ready();
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < ready.size(); ++i) {
+    if (live(ready[i].slot, ready[i].seq)) ready[out++] = ready[i];
+  }
+  ready.resize(out);
+  for (int r = 0; r < kNumArchRegs; ++r) {
+    std::vector<EventScheduler::Waiter>& list =
+        sched.waiters(static_cast<RegId>(r));
+    out = 0;
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      if (live(list[i].consumer_slot, list[i].consumer_seq)) {
+        list[out++] = list[i];
+      }
+    }
+    list.resize(out);
   }
 }
 
@@ -446,30 +527,47 @@ std::uint32_t Core::ExecLatency(const RuuEntry& e) {
   return 1;
 }
 
+void Core::IssueReady(EventScheduler& sched, CircularBuffer<RuuEntry>& buf) {
+  std::vector<SchedRef>& ready = sched.ready();
+  stats_.sched_scan_saved +=
+      buf.size() > ready.size() ? buf.size() - ready.size() : 0;
+  if (ready.empty()) return;
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < ready.size(); ++i) {
+    const SchedRef r = ready[i];
+    if (!buf.SlotLive(r.slot) || buf.Slot(r.slot).seq != r.seq) continue;
+    RuuEntry& e = buf.Slot(r.slot);
+    SPEAR_DCHECK(!e.issued && !e.completed && e.pending_deps == 0);
+    SPEAR_DCHECK(DepsReady(e));
+    // Width exhaustion short-circuits before the FU probe, mirroring the
+    // old scan's early return: FU slots are not consumed past the width.
+    if (issued_this_cycle_ >= config_.issue_width ||
+        !AcquireFu(GetOpInfo(e.instr.op).fu, e.tid)) {
+      ready[out++] = r;  // stays ready; retried next cycle
+      continue;
+    }
+    e.issued = true;
+    e.complete_cycle = now_ + ExecLatency(e);
+    sched.ScheduleCompletion(e.complete_cycle, r);
+    ++issued_this_cycle_;
+    SPEAR_TRACE_EVENT(trace_, TraceEvent::kIssue, now_,
+                      TraceUid(e.fetch_seq, e.tid), e.pc, e.tid);
+  }
+  ready.resize(out);
+}
+
 void Core::Issue() {
   fu_use_[0] = FuUse{};
   fu_use_[1] = FuUse{};
   issued_this_cycle_ = 0;
-
-  auto issue_from = [this](CircularBuffer<RuuEntry>& buf) {
-    for (std::size_t l = 0; l < buf.size(); ++l) {
-      if (issued_this_cycle_ >= config_.issue_width) return;
-      RuuEntry& e = buf.At(l);
-      if (e.issued || !DepsReady(e)) continue;
-      if (!AcquireFu(GetOpInfo(e.instr.op).fu, e.tid)) continue;
-      e.issued = true;
-      e.complete_cycle = now_ + ExecLatency(e);
-      ++issued_this_cycle_;
-      SPEAR_TRACE_EVENT(trace_, TraceEvent::kIssue, now_,
-                        TraceUid(e.fetch_seq, e.tid), e.pc, e.tid);
-    }
-  };
+  telem_.sched_ready_occupancy.Add(sched_.ready().size() +
+                                   psched_.ready().size());
 
   // P-thread issue waits for the deterministic-state drain and live-in
   // copy to finish; until then extracted entries sit dormant in the
   // p-thread RUU. Once running, the p-thread has scheduling priority.
-  if (trigger_state_ == TriggerState::kPreExec) issue_from(pruu_);
-  issue_from(ruu_);
+  if (trigger_state_ == TriggerState::kPreExec) IssueReady(psched_, pruu_);
+  IssueReady(sched_, ruu_);
 }
 
 // ---------------------------------------------------------------------------
@@ -574,6 +672,7 @@ void Core::EndPreExec(bool completed) {
   pe_active_ = false;
   active_spec_ = -1;
   pruu_.Clear();
+  psched_.Reset();  // every p-thread scheduler ref died with the buffer
   pctx_.Reset();
   copy_remaining_ = 0;
   if (completed) {
@@ -623,7 +722,14 @@ int Core::ExtractPThread() {
   while (extracted < limit && pe_active_) {
     if (ifq_.empty()) break;
     const std::uint64_t front_seq = ifq_.Front().seq;
-    if (pe_scan_seq_ < front_seq) pe_scan_seq_ = front_seq;  // defensive
+    if (pe_scan_seq_ < front_seq) {
+      // Every IFQ pop advances the scan pointer via MaybeExtractOnPop, so
+      // the pointer can never trail the head; if it does, an IFQ pop
+      // bypassed the PE. Count + resync in release, loud in debug.
+      SPEAR_DCHECK(false);
+      ++stats_.pe_scan_resyncs;
+      pe_scan_seq_ = front_seq;
+    }
     const std::uint64_t offset = pe_scan_seq_ - front_seq;
     if (offset >= ifq_.size()) break;  // caught up with fetch; resume later
     IfqEntry& en = ifq_.At(static_cast<std::size_t>(offset));
@@ -674,6 +780,7 @@ void Core::DispatchOne(CircularBuffer<RuuEntry>& buffer, const IfqEntry& fe,
   e.pred_taken = fe.pred_taken;
 
   RenameMap& rm = tid == kPThread ? prename_ : rename_;
+  EventScheduler& sc = tid == kPThread ? psched_ : sched_;
   const SrcRegs srcs = SourcesOf(fe.instr);
   for (int i = 0; i < srcs.count; ++i) {
     const RegId reg = srcs.reg[i];
@@ -681,6 +788,15 @@ void Core::DispatchOne(CircularBuffer<RuuEntry>& buffer, const IfqEntry& fe,
     if (rm.slot[reg] >= 0) {
       e.dep[e.ndeps].slot = rm.slot[reg];
       e.dep[e.ndeps].producer_seq = rm.seq[reg];
+      e.dep[e.ndeps].reg = reg;
+      // A dep is outstanding only while its producer still occupies the
+      // renamed slot and has not completed; anything else is already
+      // architectural (same predicate the old per-cycle poll applied).
+      const auto pslot = static_cast<std::size_t>(rm.slot[reg]);
+      if (buffer.SlotLive(pslot) && buffer.Slot(pslot).seq == rm.seq[reg] &&
+          !buffer.Slot(pslot).completed) {
+        ++e.pending_deps;
+      }
       ++e.ndeps;
     }
   }
@@ -704,6 +820,22 @@ void Core::DispatchOne(CircularBuffer<RuuEntry>& buffer, const IfqEntry& fe,
   }
 
   const std::size_t slot = buffer.PushBack(e);
+  // Register one wakeup-table waiter per outstanding operand; an entry
+  // with none is ready the moment it dispatches.
+  for (int i = 0; i < e.ndeps; ++i) {
+    const RuuEntry::SrcDep& d = e.dep[i];
+    if (d.slot < 0) continue;
+    const auto pslot = static_cast<std::size_t>(d.slot);
+    if (buffer.SlotLive(pslot) && buffer.Slot(pslot).seq == d.producer_seq &&
+        !buffer.Slot(pslot).completed) {
+      sc.waiters(d.reg).push_back(
+          {d.producer_seq, e.seq, static_cast<std::uint32_t>(slot)});
+    }
+  }
+  if (e.pending_deps == 0) {
+    sc.InsertReady({e.seq, static_cast<std::uint32_t>(slot)});
+    ++stats_.sched_ready_enqueued;
+  }
   if (auto rd = DestOf(fe.instr)) {
     rm.slot[*rd] = static_cast<std::int32_t>(slot);
     rm.seq[*rd] = e.seq;
@@ -716,9 +848,14 @@ void Core::DispatchOne(CircularBuffer<RuuEntry>& buffer, const IfqEntry& fe,
 // main thread is executing it anyway, so only prefetch reach is affected,
 // never correctness.
 void Core::MaybeExtractOnPop(const IfqEntry& fe) {
-  if (!pe_active_ || !fe.pthread_indicator) return;
+  if (!pe_active_) return;
   if (fe.seq < pe_scan_seq_) return;  // PE already scanned this entry
+  // Advance the scan pointer past every unscanned pop, marked or not.
+  // Unmarked pops used to skip this (the early indicator check), leaving
+  // the pointer trailing the IFQ head whenever the PE stalled — the
+  // trigger for the old silent resync clamp in ExtractPThread.
   pe_scan_seq_ = fe.seq + 1;
+  if (!fe.pthread_indicator) return;
   const bool is_trigger = fe.seq == trigger_dload_seq_;
   if (IsControl(fe.instr.op)) {
     if (is_trigger) pe_active_ = false;

@@ -32,6 +32,7 @@
 #include "common/types.h"
 #include "cpu/config.h"
 #include "cpu/pipeline_types.h"
+#include "cpu/scheduler.h"
 #include "cpu/warm_state.h"
 #include "isa/program.h"
 #include "mem/hierarchy.h"
@@ -93,6 +94,19 @@ struct CoreStats {
   // Chaining-trigger extension.
   std::uint64_t chained_triggers = 0;
 
+  // Event scheduler (core.sched.*): operand-completion wakeups delivered,
+  // ready-queue insertions, and an estimate of the per-cycle RUU scan work
+  // the event lists avoided relative to the old linear loops.
+  std::uint64_t sched_wakeups = 0;
+  std::uint64_t sched_ready_enqueued = 0;
+  std::uint64_t sched_scan_saved = 0;
+
+  // PE scan-pointer resyncs (spear.pe_scan_resync). Dispatch keeps the
+  // pointer ahead of the IFQ head as it pops, so this must stay 0; a
+  // nonzero count means the sequencing bug the old silent clamp hid is
+  // back (SPEAR_DCHECKed in debug builds).
+  std::uint64_t pe_scan_resyncs = 0;
+
   double BranchHitRatio() const {
     return committed_cond_branches == 0
                ? 1.0
@@ -100,8 +114,11 @@ struct CoreStats {
                      static_cast<double>(committed_cond_branches);
   }
   double Ipb() const {  // instructions per branch
+    // 0/0 convention matches Ipc() and telemetry::SafeRatio: a run that
+    // committed no branches reports 0, not `committed` (which leaked a
+    // count into a ratio slot and blew up downstream geomeans).
     return committed_branches == 0
-               ? static_cast<double>(committed)
+               ? 0.0
                : static_cast<double>(committed) /
                      static_cast<double>(committed_branches);
   }
@@ -115,6 +132,8 @@ struct CoreTelemetry {
   telemetry::Distribution access_latency{
       std::vector<std::uint64_t>{1, 4, 12, 40, 120, 240}};
   telemetry::Distribution session_len{
+      std::vector<std::uint64_t>{1, 2, 4, 8, 16, 32, 64}};
+  telemetry::Distribution sched_ready_occupancy{
       std::vector<std::uint64_t>{1, 2, 4, 8, 16, 32, 64}};
 };
 
@@ -169,9 +188,17 @@ class Core {
   void Dispatch(std::uint32_t budget);
   void Fetch();
 
+  // ---- event scheduler ----
+  void IssueReady(EventScheduler& sched, CircularBuffer<RuuEntry>& buf);
+  void DrainCompletions(EventScheduler& sched, CircularBuffer<RuuEntry>& buf,
+                        ThreadId tid);
+  void WakeConsumers(EventScheduler& sched, CircularBuffer<RuuEntry>& buf,
+                     RegId reg, std::uint64_t producer_seq);
+
   // ---- speculation ----
-  void RecoverFromMispredict(RuuEntry& branch);
+  void RecoverFromMispredict(std::size_t branch_slot);
   void RebuildRenameMap();
+  void PurgeDeadRefs(EventScheduler& sched, CircularBuffer<RuuEntry>& buf);
 
   // ---- SPEAR state machine ----
   enum class TriggerState : std::uint8_t {
@@ -244,10 +271,13 @@ class Core {
   std::unordered_map<Addr, std::uint8_t> spec_mem_;
   bool dispatch_halted_ = false;
 
-  // Back end.
+  // Back end. The event scheduler replaces the per-cycle linear RUU scans
+  // of Issue()/Writeback(); see cpu/scheduler.h.
   CircularBuffer<RuuEntry> ruu_;
   RenameMap rename_;
   std::uint64_t dispatch_seq_ = 0;
+  EventScheduler sched_;
+  EventScheduler psched_;  // p-thread RUU shares the machinery
 
   // P-thread machinery.
   PThreadTable pt_;

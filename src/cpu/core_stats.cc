@@ -35,6 +35,15 @@ void Core::RegisterStats(telemetry::StatRegistry& reg) const {
                   "RUU entries squashed at mispredict recovery");
   reg.BindDistribution("core.ifq.occupancy", &telem_.ifq_occupancy,
                        "IFQ entries, sampled every cycle");
+  reg.BindCounter("core.sched.wakeups", &s.sched_wakeups,
+                  "operand-completion wakeups delivered");
+  reg.BindCounter("core.sched.ready_enqueued", &s.sched_ready_enqueued,
+                  "entries entered into a ready queue");
+  reg.BindCounter("core.sched.scan_ops_saved", &s.sched_scan_saved,
+                  "RUU walk steps the event scheduler avoided");
+  reg.BindDistribution("core.sched.ready_occupancy",
+                       &telem_.sched_ready_occupancy,
+                       "ready-queue entries (both threads), per cycle");
   reg.AddFormula(
       "core.ipc",
       [&s] {
@@ -83,6 +92,8 @@ void Core::RegisterStats(telemetry::StatRegistry& reg) const {
                   "marked entries the PE missed at main dispatch");
   reg.BindCounter("spear.pt.loads_issued", &s.pthread_loads_issued,
                   "p-thread loads sent to the hierarchy (the prefetches)");
+  reg.BindCounter("spear.pe_scan_resync", &s.pe_scan_resyncs,
+                  "PE scan pointer found trailing the IFQ head (bug)");
   reg.BindCounter("spear.cycles.drain", &s.drain_cycles);
   reg.BindCounter("spear.cycles.copy", &s.copy_cycles);
   reg.BindCounter("spear.cycles.preexec", &s.preexec_cycles);

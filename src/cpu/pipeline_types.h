@@ -46,13 +46,19 @@ struct RuuEntry {
 
   // Scheduling state. Sources wait on producer RUU slots in the *same*
   // thread's buffer; a dep is satisfied once the producer slot no longer
-  // holds that seq or has completed.
+  // holds that seq or has completed. `reg` is the architectural register
+  // the dep renames — the index into the scheduler's wakeup table.
   struct SrcDep {
     std::int32_t slot = -1;  // -1 = value already architectural
     std::uint64_t producer_seq = 0;
+    RegId reg = 0;
   };
   SrcDep dep[2];
   int ndeps = 0;
+
+  // Operands still outstanding (producer not yet completed), maintained by
+  // the event scheduler: counted down by wakeups; 0 means ready to issue.
+  std::uint8_t pending_deps = 0;
 
   bool issued = false;
   bool completed = false;

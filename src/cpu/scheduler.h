@@ -1,0 +1,135 @@
+// Event-driven issue/wakeup scheduler state for one RUU (either thread's
+// buffer — the p-thread RUU shares the machinery).
+//
+// The old core re-derived readiness every cycle by walking the full RUU in
+// Issue(), Writeback() and recovery — O(ruu_size) per cycle even when
+// nothing was ready, the classic SimpleScalar-descendant sim slowdown.
+// This header holds the three structures that replace those scans:
+//
+//   * a ready queue (age-ordered) an entry enters exactly when its last
+//     outstanding operand completes — or at dispatch, if none were
+//     outstanding;
+//   * a completion event list bucketed by cycle for in-flight FU/memory
+//     ops, drained with a single hash lookup per cycle;
+//   * a per-architectural-register wakeup table: each entry is a consumer
+//     waiting for a specific producer (identified by dispatch seq) of that
+//     register, appended at dispatch and consumed when the producer's
+//     completion event fires.
+//
+// Everything here is *derived* scheduling state: it refers to RUU slots by
+// {physical slot, dispatch seq} pairs (SchedRef). Slots are reused after
+// commit/squash but seqs never are, so a stale reference is detected by a
+// seq mismatch and dropped lazily — squash (mispredict recovery, p-thread
+// session teardown) does not have to hunt down every reference it kills.
+// Because nothing in here is architectural and the timed core only ever
+// starts from an empty pipeline (Core::InstallWarmState requires cycle 0),
+// SPCK checkpoints carry no scheduler state: it is trivially reconstructed
+// as "all empty" at install (see runner/checkpoint.h).
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace spear {
+
+// Reference to an RUU occupant: physical slot + the dispatch seq that
+// validates it. Holders must re-check `Slot(slot).seq == seq` before use.
+struct SchedRef {
+  std::uint64_t seq = 0;
+  std::uint32_t slot = 0;
+};
+
+class EventScheduler {
+ public:
+  // One consumer waiting on one outstanding source operand. producer_seq
+  // identifies which in-flight writer of the register this waiter belongs
+  // to (a register can have several renamed writers in flight at once).
+  struct Waiter {
+    std::uint64_t producer_seq = 0;
+    std::uint64_t consumer_seq = 0;
+    std::uint32_t consumer_slot = 0;
+  };
+
+  // ---- ready queue -------------------------------------------------------
+  // Kept sorted by seq so issue scans it oldest-first, exactly like the
+  // old full-RUU age-order walk. Dispatch-time insertions are always the
+  // youngest seq (O(1) append); wakeup-time insertions may interleave with
+  // older FU-blocked entries and take the sorted-insert path.
+  void InsertReady(SchedRef r) {
+    if (ready_.empty() || ready_.back().seq < r.seq) {
+      ready_.push_back(r);
+      return;
+    }
+    const auto it = std::lower_bound(
+        ready_.begin(), ready_.end(), r,
+        [](const SchedRef& a, const SchedRef& b) { return a.seq < b.seq; });
+    ready_.insert(it, r);
+  }
+  std::vector<SchedRef>& ready() { return ready_; }
+  const std::vector<SchedRef>& ready() const { return ready_; }
+
+  // ---- completion events -------------------------------------------------
+  void ScheduleCompletion(Cycle cycle, SchedRef r) {
+    events_[cycle].push_back(r);
+    ++pending_events_;
+  }
+
+  // Removes and returns the completion bucket for `cycle`, sorted
+  // oldest-first so completions (and their trace records / wakeups) happen
+  // in the same age order the old linear writeback scan produced.
+  std::vector<SchedRef> TakeCompletions(Cycle cycle) {
+    std::vector<SchedRef> bucket;
+    if (pending_events_ == 0) return bucket;
+    const auto it = events_.find(cycle);
+    if (it == events_.end()) return bucket;
+    bucket = std::move(it->second);
+    events_.erase(it);
+    pending_events_ -= bucket.size();
+    std::sort(bucket.begin(), bucket.end(),
+              [](const SchedRef& a, const SchedRef& b) { return a.seq < b.seq; });
+    return bucket;
+  }
+
+  // ---- per-architectural-register wakeup table ---------------------------
+  std::vector<Waiter>& waiters(RegId reg) {
+    SPEAR_DCHECK(reg < kNumArchRegs);
+    return wakeup_[reg];
+  }
+
+  // Completed-but-unrecovered mispredicted branches (main thread only);
+  // writeback resolves the oldest valid one per cycle.
+  std::vector<SchedRef>& pending_recovery() { return pending_recovery_; }
+
+  bool empty() const {
+    if (!ready_.empty() || pending_events_ != 0 || !pending_recovery_.empty()) {
+      return false;
+    }
+    for (const std::vector<Waiter>& w : wakeup_) {
+      if (!w.empty()) return false;
+    }
+    return true;
+  }
+
+  void Reset() {
+    ready_.clear();
+    events_.clear();
+    pending_events_ = 0;
+    for (std::vector<Waiter>& w : wakeup_) w.clear();
+    pending_recovery_.clear();
+  }
+
+ private:
+  std::vector<SchedRef> ready_;
+  std::unordered_map<Cycle, std::vector<SchedRef>> events_;
+  std::size_t pending_events_ = 0;
+  std::array<std::vector<Waiter>, kNumArchRegs> wakeup_;
+  std::vector<SchedRef> pending_recovery_;
+};
+
+}  // namespace spear

@@ -5,6 +5,10 @@
 // registers, the memory image, cache tag/LRU arrays and predictor tables.
 // The runner's checkpoint layer serializes exactly this struct, so a run
 // restored from a checkpoint and a run warmed live are bit-identical.
+// Deliberately absent: pipeline and scheduler state. Warm state installs
+// only at cycle 0, where the RUU, IFQ and the event scheduler's wakeup /
+// ready / completion structures are empty by construction (enforced by
+// Core::InstallWarmState), so checkpoints need not carry them.
 #pragma once
 
 #include <array>

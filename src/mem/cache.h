@@ -67,14 +67,23 @@ class Cache {
       }
     }
 
-    // Miss: evict LRU way.
-    Line* victim = base;
-    for (std::uint32_t w = 1; w < config_.assoc; ++w) {
+    // Miss: fill an invalid way if any, else evict the LRU way. Way 0
+    // needs the explicit validity probe too — the old scan seeded the
+    // victim with way 0 and only checked validity from way 1, so a set
+    // restored with an invalid way 0 carrying a nonzero stamp (legal in a
+    // CacheState) evicted a live line while free space sat unused.
+    Line* victim = nullptr;
+    for (std::uint32_t w = 0; w < config_.assoc; ++w) {
       if (!base[w].valid) {
         victim = &base[w];
         break;
       }
-      if (base[w].lru < victim->lru) victim = &base[w];
+    }
+    if (victim == nullptr) {
+      victim = base;
+      for (std::uint32_t w = 1; w < config_.assoc; ++w) {
+        if (base[w].lru < victim->lru) victim = &base[w];
+      }
     }
     if (victim->valid && victim->dirty) ++writebacks_;
     victim->valid = true;

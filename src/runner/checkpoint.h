@@ -14,6 +14,11 @@
 // reported as a plain miss, never an error: the caller recomputes and
 // overwrites. Writes go through a temp file + rename so concurrent workers
 // racing on the same key are safe.
+//
+// Checkpoints carry no pipeline or scheduler state: WarmState installs
+// only into a cycle-0 core, where those structures are empty (see
+// warm_state.h and DESIGN.md §10), so format v1 stays valid across the
+// event-driven scheduler.
 #pragma once
 
 #include <cstdint>

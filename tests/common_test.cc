@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <deque>
 #include <set>
 #include <vector>
 
@@ -88,6 +89,102 @@ TEST(CircularBuffer, AtIsOldestFirst) {
   EXPECT_EQ(q.At(1), 8);
   EXPECT_EQ(q.Front(), 7);
   EXPECT_EQ(q.Back(), 8);
+}
+
+// Checks every accessor of `q` against a std::deque reference model:
+// logical order, logical<->physical index round trip, slot liveness and
+// slot-addressed reads.
+void ExpectMatchesModel(CircularBuffer<int>& q, const std::deque<int>& model) {
+  ASSERT_EQ(q.size(), model.size());
+  EXPECT_EQ(q.empty(), model.empty());
+  EXPECT_EQ(q.full(), model.size() == q.capacity());
+  std::size_t live_slots = 0;
+  for (std::size_t l = 0; l < model.size(); ++l) {
+    ASSERT_EQ(q.At(l), model[l]);
+    const std::size_t slot = q.PhysicalIndex(l);
+    ASSERT_LT(slot, q.capacity());
+    ASSERT_EQ(q.LogicalIndex(slot), l);
+    ASSERT_TRUE(q.SlotLive(slot));
+    ASSERT_EQ(q.Slot(slot), model[l]);
+  }
+  for (std::size_t s = 0; s < q.capacity(); ++s) {
+    if (q.SlotLive(s)) ++live_slots;
+  }
+  ASSERT_EQ(live_slots, model.size());
+  if (!model.empty()) {
+    EXPECT_EQ(q.Front(), model.front());
+    EXPECT_EQ(q.Back(), model.back());
+  }
+}
+
+// Deterministic sweep of the head_ + size_ == capacity boundary: for
+// every head position, fill until the newest element occupies the LAST
+// physical slot (where PhysicalIndex must wrap to 0 on the next push and
+// LogicalIndex / SlotLive must un-wrap), verify every accessor, then push
+// one more to confirm the wrap lands in slot 0.
+TEST(CircularBuffer, WrapBoundaryEveryHeadPosition) {
+  for (const std::size_t cap : {1u, 2u, 3u, 5u, 8u, 128u}) {
+    CircularBuffer<int> q(cap);
+    std::deque<int> model;
+    int v = 0;
+    for (std::size_t h = 0; h < cap; ++h) {
+      for (std::size_t i = 0; i < h; ++i) {  // walk the head to position h
+        q.PushBack(-1);
+        q.PopFront();
+      }
+      const std::size_t fill = cap - h;  // newest lands in slot cap-1
+      for (std::size_t i = 0; i < fill; ++i) {
+        const std::size_t slot = q.PushBack(v);
+        ASSERT_EQ(slot, (h + i) % cap);
+        model.push_back(v);
+        ++v;
+      }
+      ASSERT_EQ(q.PhysicalIndex(q.size() - 1), cap - 1);
+      ExpectMatchesModel(q, model);
+      if (h > 0) {  // buffer not full: the next push must wrap to slot 0
+        ASSERT_EQ(q.PushBack(v), 0u);
+        model.push_back(v);
+        ++v;
+        ExpectMatchesModel(q, model);
+      }
+      q.Clear();
+      model.clear();
+      ExpectMatchesModel(q, model);
+    }
+  }
+}
+
+// Model-based property test: drive the ring through randomized
+// push/pop/squash/clear sequences and check every accessor against the
+// std::deque reference model after each step.
+TEST(CircularBuffer, RandomizedOpsMatchDequeModel) {
+  Rng rng(20040426);
+  for (const std::size_t cap : {1u, 2u, 3u, 5u, 8u, 128u}) {
+    CircularBuffer<int> q(cap);
+    std::deque<int> model;
+    int next_value = 0;
+    for (int step = 0; step < 4000; ++step) {
+      const std::uint64_t op = rng.Below(10);
+      if (op < 4 && !q.full()) {
+        const std::size_t slot = q.PushBack(next_value);
+        EXPECT_EQ(slot, q.PhysicalIndex(q.size() - 1));
+        model.push_back(next_value);
+        ++next_value;
+      } else if (op < 7 && !q.empty()) {
+        EXPECT_EQ(q.PopFront(), model.front());
+        model.pop_front();
+      } else if (op < 9 && !q.empty()) {
+        const std::size_t n = rng.Below(q.size()) + 1;
+        q.PopBack(n);
+        model.erase(model.end() - static_cast<std::ptrdiff_t>(n),
+                    model.end());
+      } else if (op == 9 && rng.Chance(0.05)) {
+        q.Clear();
+        model.clear();
+      }
+      ExpectMatchesModel(q, model);
+    }
+  }
 }
 
 TEST(Rng, DeterministicForSameSeed) {

@@ -3,13 +3,19 @@
 // stream and OUT values must match the emulator exactly, regardless of
 // branch mispredictions, wrong-path execution or cache behaviour.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
+#include <filesystem>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
 #include "cpu/core.h"
 #include "isa/assembler.h"
+#include "runner/checkpoint.h"
 #include "sim/emulator.h"
+#include "telemetry/registry.h"
+#include "workloads/workload.h"
 
 namespace spear {
 namespace {
@@ -405,6 +411,101 @@ TEST(CoreRun, CycleBudgetStopsSimulation) {
   const RunResult rr = core.Run(UINT64_MAX, 5'000);
   EXPECT_FALSE(rr.halted);
   EXPECT_EQ(rr.cycles, 5'000u);
+}
+
+// A zero-commit-budget run executes no cycles; every ratio stat must
+// report 0 (the 0/0 convention of Ipc/Ipb/SafeRatio), not a division
+// artifact or a raw count leaking into a ratio slot.
+TEST(CoreRun, ZeroBudgetRunReportsZeroRatios) {
+  Program prog;
+  Assembler a(&prog);
+  a.addi(r(1), r(1), 1);
+  a.halt();
+  a.Finish();
+  Core core(prog, BaselineConfig());
+  const RunResult rr = core.Run(0);
+  EXPECT_EQ(rr.cycles, 0u);
+  EXPECT_EQ(rr.instructions, 0u);
+  EXPECT_EQ(rr.Ipc(), 0.0);
+  EXPECT_EQ(core.stats().Ipb(), 0.0);
+  EXPECT_EQ(core.stats().BranchHitRatio(), 1.0);
+
+  telemetry::StatRegistry reg;
+  core.RegisterStats(reg);
+  const std::string json = reg.Json().Dump(2);
+  EXPECT_EQ(json.find("nan"), std::string::npos) << json;
+  EXPECT_EQ(json.find("inf"), std::string::npos) << json;
+}
+
+// A committed loop with no branches (straight-line then halt) must report
+// ipb = 0 rather than the committed-instruction count.
+TEST(CoreRun, BranchFreeRunReportsZeroIpb) {
+  Program prog;
+  Assembler a(&prog);
+  for (int i = 0; i < 32; ++i) a.addi(r(1), r(1), 1);
+  a.halt();
+  a.Finish();
+  Core core(prog, BaselineConfig());
+  const RunResult rr = core.Run(UINT64_MAX, 1'000'000);
+  ASSERT_TRUE(rr.halted);
+  EXPECT_EQ(core.stats().committed_branches, 0u);
+  EXPECT_EQ(core.stats().Ipb(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism across checkpoint restore. The event scheduler is derived
+// state and is deliberately absent from SPCK checkpoints: a restored core
+// starts from an empty pipeline at cycle 0 and rebuilds every ready-queue
+// entry, wakeup waiter and completion event as it runs. A fresh
+// FastForward-warmed run and a save/load-restored run of every workload
+// must therefore agree cycle-for-cycle and stat-for-stat.
+// ---------------------------------------------------------------------------
+
+std::string StatsJson(const Core& core) {
+  telemetry::StatRegistry reg;
+  core.RegisterStats(reg);
+  return reg.Json().Dump(2);
+}
+
+TEST(CoreDeterminism, CheckpointRestoredSchedulerMatchesFreshRun) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("spear_core_determinism." + std::to_string(::getpid())))
+          .string();
+  std::filesystem::create_directories(dir);
+  const CoreConfig cfg = BaselineConfig(128);
+
+  for (const WorkloadInfo& w : AllWorkloads()) {
+    WorkloadConfig wc;
+    wc.seed = 42;
+    const Program prog = BuildWorkloadProgram(w.name, wc);
+
+    runner::CheckpointKey key;
+    key.workload = w.name;
+    key.seed = wc.seed;
+    key.ff_instrs = 20'000;
+    key.l1d = cfg.mem.l1d;
+    key.l2 = cfg.mem.l2;
+    key.bpred = cfg.bpred;
+    const runner::FastForwardResult ff = runner::FastForward(prog, key);
+
+    Core fresh(prog, cfg);
+    fresh.InstallWarmState(ff.state);
+    const RunResult ra = fresh.Run(30'000, 10'000'000);
+
+    std::string err;
+    ASSERT_TRUE(runner::SaveCheckpoint(dir, key, ff.state, &err)) << err;
+    WarmState restored;
+    ASSERT_TRUE(runner::LoadCheckpoint(dir, key, &restored, &err)) << err;
+    Core resumed(prog, cfg);
+    resumed.InstallWarmState(restored);
+    const RunResult rb = resumed.Run(30'000, 10'000'000);
+
+    EXPECT_EQ(ra.cycles, rb.cycles) << w.name;
+    EXPECT_EQ(ra.instructions, rb.instructions) << w.name;
+    EXPECT_EQ(StatsJson(fresh), StatsJson(resumed)) << w.name;
+  }
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

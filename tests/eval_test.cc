@@ -133,5 +133,23 @@ TEST(Harness, RunConfigHonorsBudget) {
   EXPECT_LT(s.instructions, opt.sim_instrs + 100);
 }
 
+// A zero-commit-budget run must produce clean zeros in every derived
+// ratio (ipc, ipb), not NaN/inf or a count masquerading as a ratio.
+TEST(Harness, ZeroBudgetRunYieldsZeroRatios) {
+  EvalOptions opt = FastOptions();
+  opt.sim_instrs = 0;
+  const PreparedWorkload pw = PrepareWorkload("vpr", opt);
+  const RunStats s = RunConfig(pw.plain, BaselineConfig(128), opt);
+  EXPECT_EQ(s.cycles, 0u);
+  EXPECT_EQ(s.instructions, 0u);
+  EXPECT_EQ(s.ipc, 0.0);
+  EXPECT_EQ(s.ipb, 0.0);
+  EXPECT_EQ(s.branch_hit_ratio, 1.0);
+  EXPECT_TRUE(s.complete);  // budget exhausted counts as complete
+  const std::string json = RunStatsToJson(s).Dump(2);
+  EXPECT_EQ(json.find("nan"), std::string::npos) << json;
+  EXPECT_EQ(json.find("inf"), std::string::npos) << json;
+}
+
 }  // namespace
 }  // namespace spear

@@ -109,6 +109,31 @@ TEST(Cache, InvalidateEmptiesAllSets) {
   EXPECT_FALSE(c.Contains(0x210));
 }
 
+// Regression: the victim scan seeded its LRU argmin with way 0 and only
+// probed validity from way 1, so a restored set whose way 0 was invalid
+// but carried a nonzero stale stamp evicted a live line while free space
+// sat unused. A CacheState is allowed to hold such lines (RestoreState
+// installs lru for invalid ways verbatim).
+TEST(Cache, MissPrefersInvalidWayZeroOverValidLruLine) {
+  Cache donor(SmallCache());  // 2-way, 4 sets; set 0 = lines 0 and 1
+  CacheState s = donor.SaveState();
+  s.stamp = 100;
+  s.tags[0] = 0;
+  s.lru[0] = 50;   // invalid, but stale stamp outranks the live way's
+  s.flags[0] = 0;  // way 0: invalid
+  s.tags[1] = 0x040 >> 4;
+  s.lru[1] = 3;
+  s.flags[1] = 3;  // way 1: valid + dirty
+
+  Cache c(SmallCache());
+  ASSERT_TRUE(c.RestoreState(s));
+  ASSERT_TRUE(c.Contains(0x040));
+  EXPECT_FALSE(c.Access(0x080, false, kMainThread));  // miss into set 0
+  EXPECT_TRUE(c.Contains(0x040)) << "live line evicted past an empty way";
+  EXPECT_TRUE(c.Contains(0x080));
+  EXPECT_EQ(c.writebacks(), 0u) << "spurious dirty writeback";
+}
+
 TEST(Cache, ContainsDoesNotAllocate) {
   Cache c(SmallCache());
   EXPECT_FALSE(c.Contains(0x700));

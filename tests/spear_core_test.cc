@@ -121,6 +121,27 @@ TEST(SpearCore, TriggersFireAndSessionsComplete) {
   EXPECT_GT(s.preexec_cycles, 0u);
 }
 
+// Regression for the PE scan-pointer desync the old silent clamp hid:
+// when the PE stalls (1-wide extraction, tiny p-thread RUU), main
+// dispatch pops unmarked IFQ entries the PE has not scanned yet, and the
+// pointer must advance with every pop — marked or not — or it ends up
+// trailing the IFQ head. A starved PE makes the stall constant, so this
+// configuration tripped the clamp on the old code; it must now never
+// resync, and the session machinery must keep working regardless.
+TEST(SpearCore, StalledExtractorNeverDesyncsScanPointer) {
+  const GatherProgram g = BigGather();
+  CoreConfig cfg = SpearCoreConfig(128);
+  cfg.spear.extract_per_cycle = 1;
+  cfg.spear.pthread_ruu_size = 4;
+  Core core(g.prog, cfg);
+  core.Run(UINT64_MAX, 100'000'000);
+  const CoreStats& s = core.stats();
+  EXPECT_EQ(s.pe_scan_resyncs, 0u);
+  EXPECT_GT(s.triggers_fired, 0u);
+  EXPECT_GT(s.pthread_extracted, 0u);
+  EXPECT_GT(s.preexec_sessions_completed, 0u);
+}
+
 TEST(SpearCore, PrefetchingReducesMainThreadMisses) {
   const GatherProgram g = BigGather();
   Core base(g.prog, BaselineConfig(128));
