@@ -1,0 +1,244 @@
+#include "cosim/cosim.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+#include "isa/disasm.h"
+
+namespace spear::cosim {
+namespace {
+
+std::string Hex32(std::uint32_t v) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "0x%08x", v);
+  return buf;
+}
+
+std::string FmtF64(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.17g (bits 0x%016" PRIx64 ")", v, bits);
+  return buf;
+}
+
+// FP compares are bitwise: the emulator and the dispatch path run the
+// identical ExecuteInstruction code, so even NaNs must match exactly.
+bool SameBits(double a, double b) {
+  std::uint64_t ab, bb;
+  std::memcpy(&ab, &a, sizeof(ab));
+  std::memcpy(&bb, &b, sizeof(bb));
+  return ab == bb;
+}
+
+std::string FmtOut(const std::optional<std::uint32_t>& v) {
+  return v ? Hex32(*v) : std::string("(none)");
+}
+
+}  // namespace
+
+CosimChecker::CosimChecker(const Program& prog)
+    : CosimChecker(prog, Config{}) {}
+
+CosimChecker::CosimChecker(const Program& prog, Config cfg)
+    : prog_(&prog), cfg_(cfg), emu_(prog) {}
+
+void CosimChecker::SyncToWarmState(const WarmState& ws) {
+  emu_.Restore(ws.iregs, ws.fregs, ws.pc, ws.mem, ws.warmed_instrs);
+}
+
+bool CosimChecker::Fail(const CommitRecord& rec, DivergentField field,
+                        std::string oracle, std::string pipeline) {
+  ++stats_.divergences;
+  Divergence d;
+  d.field = field;
+  d.oracle = std::move(oracle);
+  d.pipeline = std::move(pipeline);
+  d.record = rec;
+  d.commit_index = stats_.commits_checked + stats_.pthread_commits_checked;
+  div_ = std::move(d);
+  return false;
+}
+
+void CosimChecker::PushWindow(const CommitRecord& rec) {
+  window_.push_back(rec);
+  if (window_.size() > cfg_.window) window_.pop_front();
+}
+
+bool CosimChecker::OnCommit(const CommitRecord& rec) {
+  if (div_) return false;  // latched: the first divergence is the verdict
+
+  if (rec.tid == kPThread) {
+    PushWindow(rec);
+    ++stats_.pthread_commits_checked;
+    if (rec.pthread_arch_clobber) {
+      return Fail(rec, DivergentField::kPThreadArchWrite,
+                  "main architectural state unchanged",
+                  "p-thread write reached the main register file");
+    }
+    return true;
+  }
+
+  CommitRecord checked = rec;
+  ++stats_.commits_checked;
+  if (cfg_.inject_at != 0 && stats_.commits_checked == cfg_.inject_at) {
+    // Self-test: flip the captured destination value (or, for stores, the
+    // payload; for pure control flow, the successor) so the comparison
+    // below must trip.
+    if (DestOf(checked.instr).has_value()) {
+      checked.int_dest ^= 0x1;
+      std::uint64_t bits;
+      std::memcpy(&bits, &checked.fp_dest, sizeof(bits));
+      bits ^= 0x1;
+      std::memcpy(&checked.fp_dest, &bits, sizeof(bits));
+    } else if (checked.exec.is_store) {
+      checked.store_u32 ^= 0x1;
+      std::uint64_t bits;
+      std::memcpy(&bits, &checked.store_f64, sizeof(bits));
+      bits ^= 0x1;
+      std::memcpy(&checked.store_f64, &bits, sizeof(bits));
+    } else {
+      checked.exec.next_pc ^= kInstrBytes;
+    }
+  }
+  PushWindow(checked);
+  return CheckMain(checked);
+}
+
+bool CosimChecker::CheckMain(const CommitRecord& rec) {
+  if (emu_.halted()) {
+    return Fail(rec, DivergentField::kHaltedPastEnd, "program halted",
+                "committed " + Hex32(rec.pc));
+  }
+  if (emu_.pc() != rec.pc) {
+    return Fail(rec, DivergentField::kPc, Hex32(emu_.pc()), Hex32(rec.pc));
+  }
+
+  const StepInfo si = emu_.Step();
+  const ExecResult& want = si.result;
+
+  if (want.next_pc != rec.exec.next_pc) {
+    return Fail(rec, DivergentField::kNextPc, Hex32(want.next_pc),
+                Hex32(rec.exec.next_pc));
+  }
+  if (want.taken != rec.exec.taken) {
+    return Fail(rec, DivergentField::kTaken, want.taken ? "taken" : "not taken",
+                rec.exec.taken ? "taken" : "not taken");
+  }
+  if (want.is_load != rec.exec.is_load || want.is_store != rec.exec.is_store ||
+      ((want.is_load || want.is_store) && want.mem_addr != rec.exec.mem_addr)) {
+    return Fail(rec, DivergentField::kMemAccess,
+                (want.is_load ? "load @ " : want.is_store ? "store @ " : "") +
+                    Hex32(want.mem_addr),
+                (rec.exec.is_load    ? "load @ "
+                 : rec.exec.is_store ? "store @ "
+                                     : "") +
+                    Hex32(rec.exec.mem_addr));
+  }
+  if (want.out_value != rec.exec.out_value) {
+    return Fail(rec, DivergentField::kOutValue, FmtOut(want.out_value),
+                FmtOut(rec.exec.out_value));
+  }
+
+  if (const auto rd = DestOf(rec.instr)) {
+    if (IsFpReg(*rd)) {
+      const double want_v = emu_.ReadFpReg(*rd);
+      if (!SameBits(want_v, rec.fp_dest)) {
+        return Fail(rec, DivergentField::kFpDest, FmtF64(want_v),
+                    FmtF64(rec.fp_dest));
+      }
+    } else {
+      const std::uint32_t want_v = emu_.ReadIntReg(*rd);
+      if (want_v != rec.int_dest) {
+        return Fail(rec, DivergentField::kIntDest, Hex32(want_v),
+                    Hex32(rec.int_dest));
+      }
+    }
+  }
+
+  if (rec.exec.is_store) {
+    // The oracle already performed the store; read its memory back.
+    switch (rec.instr.op) {
+      case Opcode::kSw: {
+        const std::uint32_t want_v = emu_.memory().ReadU32(rec.exec.mem_addr);
+        if (want_v != rec.store_u32) {
+          return Fail(rec, DivergentField::kStoreData, Hex32(want_v),
+                      Hex32(rec.store_u32));
+        }
+        break;
+      }
+      case Opcode::kSb: {
+        const std::uint32_t want_v = emu_.memory().ReadU8(rec.exec.mem_addr);
+        if (want_v != (rec.store_u32 & 0xffu)) {
+          return Fail(rec, DivergentField::kStoreData, Hex32(want_v),
+                      Hex32(rec.store_u32 & 0xffu));
+        }
+        break;
+      }
+      case Opcode::kStf: {
+        const double want_v = emu_.memory().ReadF64(rec.exec.mem_addr);
+        if (!SameBits(want_v, rec.store_f64)) {
+          return Fail(rec, DivergentField::kStoreData, FmtF64(want_v),
+                      FmtF64(rec.store_f64));
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return true;
+}
+
+std::string CosimChecker::Summary() const {
+  if (!div_) return "";
+  std::ostringstream os;
+  os << "cosim divergence: " << FieldName(div_->field) << " at pc "
+     << Hex32(div_->record.pc) << " (commit #" << div_->commit_index << ")";
+  return os.str();
+}
+
+std::string CosimChecker::Report() const {
+  std::ostringstream os;
+  if (!div_) {
+    os << "cosim: OK — " << stats_.commits_checked << " main + "
+       << stats_.pthread_commits_checked << " p-thread commits checked\n";
+    return os.str();
+  }
+  const Divergence& d = *div_;
+  os << "=== COSIM DIVERGENCE ===\n";
+  os << "field:    " << FieldName(d.field) << "\n";
+  os << "at:       pc " << Hex32(d.record.pc) << "  `"
+     << Disassemble(d.record.instr) << "`"
+     << (d.record.tid == kPThread ? "  [p-thread]" : "") << "\n";
+  os << "commit:   #" << d.commit_index << ", cycle " << d.record.cycle
+     << "\n";
+  os << "oracle:   " << d.oracle << "\n";
+  os << "pipeline: " << d.pipeline << "\n";
+  os << "occupancy: RUU " << d.record.ruu_occupancy << ", IFQ "
+     << d.record.ifq_occupancy << "\n";
+  os << "last " << window_.size() << " commits (oldest first):\n";
+  for (const CommitRecord& r : window_) {
+    os << "  [" << (r.tid == kPThread ? "PT" : "MT") << "] " << Hex32(r.pc)
+       << "  " << Disassemble(r.instr) << "\n";
+  }
+  os << "telemetry: core.cosim.commits_checked=" << stats_.commits_checked
+     << " core.cosim.pthread_commits_checked="
+     << stats_.pthread_commits_checked
+     << " core.cosim.divergences=" << stats_.divergences << "\n";
+  return os.str();
+}
+
+void CosimChecker::RegisterStats(telemetry::StatRegistry& reg) const {
+  reg.BindCounter("core.cosim.commits_checked", &stats_.commits_checked,
+                  "main-thread commits compared against the oracle");
+  reg.BindCounter("core.cosim.pthread_commits_checked",
+                  &stats_.pthread_commits_checked,
+                  "p-thread retires audited for arch-state writes");
+  reg.BindCounter("core.cosim.divergences", &stats_.divergences,
+                  "lockstep divergences detected (first one stops the run)");
+}
+
+}  // namespace spear::cosim

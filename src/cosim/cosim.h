@@ -1,0 +1,99 @@
+// Lockstep co-simulation checker (DESIGN.md §11): a shadow functional
+// emulator stepped once per main-thread commit, comparing the pipeline's
+// committed architectural effects field by field — PC, control-flow
+// successor and direction, effective address, destination-register
+// writeback (int and FP), store payload, OUT values — and asserting the
+// paper's p-thread safety invariant (pre-execution never mutates checked
+// architectural state).
+//
+// The checker is a CommitSink; attach with Core::set_cosim. On the first
+// divergence it latches a structured verdict (field, oracle vs pipeline
+// value, the last-N commit window with disassembly) and returns false,
+// which stops the core's run. Divergence is deterministic, so tools exit
+// with the dedicated cosim code (see tools/tool_flags.h) and runners fail
+// fast instead of retrying.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+
+#include "cosim/commit_record.h"
+#include "cpu/warm_state.h"
+#include "isa/program.h"
+#include "sim/emulator.h"
+#include "telemetry/registry.h"
+
+namespace spear::cosim {
+
+// core.cosim.* counters; bound into a StatRegistry via RegisterStats.
+struct CosimStats {
+  std::uint64_t commits_checked = 0;          // main-thread commits compared
+  std::uint64_t pthread_commits_checked = 0;  // p-thread retires audited
+  std::uint64_t divergences = 0;              // 0 or 1 (first one latches)
+};
+
+// The latched verdict for the first diverging commit.
+struct Divergence {
+  DivergentField field = DivergentField::kNone;
+  std::string oracle;    // expected value, formatted
+  std::string pipeline;  // observed value, formatted
+  CommitRecord record;   // the diverging commit
+  std::uint64_t commit_index = 0;  // 1-based, counting checked commits
+};
+
+class CosimChecker : public CommitSink {
+ public:
+  struct Config {
+    std::size_t window = 16;  // commits kept for the divergence report
+    // Self-test fault injection: corrupt the Nth (1-based) main-thread
+    // record before checking, so the full divergence path — report, core
+    // stop, exit code — can be exercised without a real pipeline bug.
+    std::uint64_t inject_at = 0;
+  };
+
+  // Two overloads rather than `Config cfg = {}`: GCC rejects a braced
+  // default argument of a nested class before the enclosing class is
+  // complete.
+  explicit CosimChecker(const Program& prog);
+  CosimChecker(const Program& prog, Config cfg);
+
+  // Re-seats the shadow emulator at a post-warmup state so checking can
+  // follow a fast-forwarded (--ff-instrs / checkpointed) run.
+  void SyncToWarmState(const WarmState& ws);
+
+  // CommitSink. Returns false on (latched) divergence.
+  bool OnCommit(const CommitRecord& rec) override;
+
+  bool ok() const { return !div_.has_value(); }
+  const std::optional<Divergence>& divergence() const { return div_; }
+  const CosimStats& stats() const { return stats_; }
+
+  // One-line verdict ("cosim divergence: int_dest at pc 0x... ") — used as
+  // the runner row error; empty while ok().
+  std::string Summary() const;
+
+  // Full human-readable report: divergent field with oracle/pipeline
+  // values, pipeline occupancy, the last-N commits disassembled, and the
+  // core.cosim.* counter block.
+  std::string Report() const;
+
+  // Binds the core.cosim.* counters.
+  void RegisterStats(telemetry::StatRegistry& reg) const;
+
+ private:
+  bool Fail(const CommitRecord& rec, DivergentField field,
+            std::string oracle, std::string pipeline);
+  void PushWindow(const CommitRecord& rec);
+  bool CheckMain(const CommitRecord& rec);
+
+  const Program* prog_;
+  Config cfg_;
+  Emulator emu_;
+  CosimStats stats_;
+  std::deque<CommitRecord> window_;
+  std::optional<Divergence> div_;
+};
+
+}  // namespace spear::cosim

@@ -52,6 +52,12 @@ struct CoreConfig {
   // compares it against SPEAR per the paper's Section 1 argument).
   StridePrefetcherConfig stride_prefetch;
 
+  // Lockstep co-simulation: when set, RunConfig (and the tools) attach a
+  // CosimChecker that compares every commit against the functional
+  // emulator and aborts the run on divergence (see src/cosim). The core
+  // itself only carries the flag — zero cost when off.
+  bool cosim_check = false;
+
   std::uint32_t ExtractPerCycle() const {
     return spear.extract_per_cycle != 0 ? spear.extract_per_cycle
                                         : issue_width / 2;

@@ -152,7 +152,7 @@ void Core::StepCycle() {
   stats_.cycles = now_;
 
   Commit();
-  if (halted_) return;
+  if (halted_ || cosim_diverged_) return;
   PThreadRetire();
   Writeback();
   Issue();
@@ -170,7 +170,8 @@ void Core::StepCycle() {
 RunResult Core::Run(std::uint64_t max_instrs, std::uint64_t max_cycles) {
   Cycle last_commit_cycle = now_;
   std::uint64_t last_committed = stats_.committed;
-  while (!halted_ && stats_.committed < max_instrs && now_ < max_cycles) {
+  while (!halted_ && !cosim_diverged_ && stats_.committed < max_instrs &&
+         now_ < max_cycles) {
     StepCycle();
     if (stats_.committed != last_committed) {
       last_committed = stats_.committed;
@@ -189,11 +190,58 @@ RunResult Core::Run(std::uint64_t max_instrs, std::uint64_t max_cycles) {
 // Commit (main thread).
 // ---------------------------------------------------------------------------
 
+// Builds a CommitRecord from a retiring entry and delivers it to the
+// attached checker. Returns false (and latches cosim_diverged_) on
+// divergence, in which case the entry must NOT retire: the run is over and
+// the diverging instruction stays at the RUU head for post-mortems.
+bool Core::DeliverCommit(const RuuEntry& e) {
+  if constexpr (!cosim::kCosimCompiled) return true;
+  cosim::CommitRecord rec;
+  rec.pc = e.pc;
+  rec.instr = e.instr;
+  rec.tid = e.tid;
+  rec.exec = e.exec;
+  rec.int_dest = e.cosim_int_dest;
+  rec.fp_dest = e.cosim_fp_dest;
+  rec.store_u32 = e.cosim_store_u32;
+  rec.store_f64 = e.cosim_store_f64;
+  rec.pthread_arch_clobber = e.cosim_arch_clobber;
+  rec.cycle = now_;
+  rec.ruu_occupancy = static_cast<std::uint32_t>(ruu_.size());
+  rec.ifq_occupancy = static_cast<std::uint32_t>(ifq_.size());
+  if (cosim_->OnCommit(rec)) return true;
+  cosim_diverged_ = true;
+  return false;
+}
+
+// Bounded committed-PC ring (oracle tests): grow until the cap, then
+// overwrite the oldest slot.
+void Core::RecordTraceCommit(Pc pc) {
+  if (commit_trace_.size() < commit_trace_cap_) {
+    commit_trace_.push_back(pc);
+    return;
+  }
+  commit_trace_[commit_trace_head_] = pc;
+  commit_trace_head_ = (commit_trace_head_ + 1) % commit_trace_cap_;
+  ++commit_trace_dropped_;
+}
+
+std::vector<Pc> Core::commit_trace() const {
+  std::vector<Pc> out;
+  out.reserve(commit_trace_.size());
+  out.insert(out.end(), commit_trace_.begin() + commit_trace_head_,
+             commit_trace_.end());
+  out.insert(out.end(), commit_trace_.begin(),
+             commit_trace_.begin() + commit_trace_head_);
+  return out;
+}
+
 void Core::Commit() {
   for (std::uint32_t n = 0; n < config_.commit_width && !ruu_.empty(); ++n) {
     RuuEntry& e = ruu_.Front();
     if (!e.completed) break;
     SPEAR_CHECK(!e.wrongpath);  // wrong-path entries are squashed at recovery
+    if (cosim_ != nullptr && !DeliverCommit(e)) return;
 
     if (IsCondBranch(e.instr.op)) {
       bpred_.Update(e.pc, e.instr, e.exec.taken, e.exec.next_pc);
@@ -207,7 +255,7 @@ void Core::Commit() {
     if (e.exec.is_load) ++stats_.committed_loads;
     if (e.exec.is_store) ++stats_.committed_stores;
     if (e.exec.out_value) outputs_.push_back(*e.exec.out_value);
-    if (trace_commits_) commit_trace_.push_back(e.pc);
+    if (trace_commits_) RecordTraceCommit(e.pc);
     ++stats_.committed;
     SPEAR_TRACE_EVENT(trace_, TraceEvent::kCommit, now_,
                       TraceUid(e.fetch_seq, kMainThread), e.pc, kMainThread);
@@ -229,6 +277,10 @@ void Core::Commit() {
 
 void Core::PThreadRetire() {
   while (!pruu_.empty() && pruu_.Front().completed) {
+    // Audit the p-thread safety invariant: retires are delivered to the
+    // checker too (tid = kPThread), which asserts no main architectural
+    // state was touched. The oracle is NOT stepped for these.
+    if (cosim_ != nullptr && !DeliverCommit(pruu_.Front())) return;
     const bool was_trigger = pruu_.Front().is_trigger_dload;
     SPEAR_TRACE_EVENT(trace_, TraceEvent::kPtRetire, now_,
                       TraceUid(pruu_.Front().fetch_seq, kPThread),
@@ -805,6 +857,33 @@ void Core::DispatchOne(CircularBuffer<RuuEntry>& buffer, const IfqEntry& fe,
     e.wrongpath = spec_mode_;
     MainState st{this};
     e.exec = ExecuteInstruction(st, fe.instr, fe.pc);
+    if (cosim::kCosimCompiled && cosim_ != nullptr && !e.wrongpath) {
+      // Lockstep capture: correct-path dispatch just updated the in-order
+      // register file and memory image, so reading them back here yields
+      // exactly the values this instruction committed architecturally.
+      if (const auto rd = DestOf(fe.instr)) {
+        if (IsFpReg(*rd)) {
+          e.cosim_fp_dest = fregs_[FpIndex(*rd)];
+        } else {
+          e.cosim_int_dest = iregs_[*rd];
+        }
+      }
+      if (e.exec.is_store) {
+        switch (fe.instr.op) {
+          case Opcode::kSw:
+            e.cosim_store_u32 = mem_.ReadU32(e.exec.mem_addr);
+            break;
+          case Opcode::kSb:
+            e.cosim_store_u32 = mem_.ReadU8(e.exec.mem_addr);
+            break;
+          case Opcode::kStf:
+            e.cosim_store_f64 = mem_.ReadF64(e.exec.mem_addr);
+            break;
+          default:
+            break;
+        }
+      }
+    }
     if (!e.wrongpath && e.exec.next_pc != fe.predicted_next) {
       e.mispredict = true;
       spec_mode_ = true;  // younger dispatches go to the overlay
@@ -815,6 +894,36 @@ void Core::DispatchOne(CircularBuffer<RuuEntry>& buffer, const IfqEntry& fe,
     SPEAR_TRACE_EVENT(trace_, TraceEvent::kDispatch, now_,
                       TraceUid(fe.seq, kMainThread), fe.pc, kMainThread,
                       e.wrongpath ? 1 : 0);
+  } else if (cosim::kCosimCompiled && cosim_ != nullptr) {
+    // P-thread invariant probe: snapshot the would-be destination in the
+    // *main* register file around the p-thread execution. PThreadContext
+    // routes all effects into its private registers and store buffer, so
+    // any change here is a safety-invariant violation the checker flags at
+    // retire. (P-thread stores structurally cannot reach dispatch memory;
+    // a leak there would surface as a main-thread store/dest divergence.)
+    const auto rd = DestOf(fe.instr);
+    std::uint32_t before_int = 0;
+    double before_fp = 0.0;
+    if (rd) {
+      if (IsFpReg(*rd)) {
+        before_fp = fregs_[FpIndex(*rd)];
+      } else {
+        before_int = iregs_[*rd];
+      }
+    }
+    e.exec = ExecuteInstruction(pctx_, fe.instr, fe.pc);
+    if (rd) {
+      if (IsFpReg(*rd)) {
+        // Bitwise: a NaN parked in the main register file must still
+        // compare equal to itself.
+        std::uint64_t was, now;
+        __builtin_memcpy(&was, &before_fp, sizeof(was));
+        __builtin_memcpy(&now, &fregs_[FpIndex(*rd)], sizeof(now));
+        e.cosim_arch_clobber = was != now;
+      } else {
+        e.cosim_arch_clobber = iregs_[*rd] != before_int;
+      }
+    }
   } else {
     e.exec = ExecuteInstruction(pctx_, fe.instr, fe.pc);
   }

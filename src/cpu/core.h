@@ -30,6 +30,7 @@
 #include "bpred/bpred.h"
 #include "common/circular_buffer.h"
 #include "common/types.h"
+#include "cosim/commit_record.h"
 #include "cpu/config.h"
 #include "cpu/pipeline_types.h"
 #include "cpu/scheduler.h"
@@ -173,9 +174,27 @@ class Core {
   // entirely under -DSPEAR_TELEMETRY_TRACE=0.
   void set_trace(telemetry::PipeTrace* trace) { trace_ = trace; }
 
-  // Committed-PC trace capture for oracle tests (off by default).
-  void set_trace_commits(bool on) { trace_commits_ = on; }
-  const std::vector<Pc>& commit_trace() const { return commit_trace_; }
+  // Attaches a lockstep co-simulation sink (nullptr detaches): every
+  // main-thread commit and p-thread retire is delivered as a CommitRecord.
+  // When the sink reports divergence the core latches cosim_diverged() and
+  // the run stops (deterministically — see src/cosim). Costs one pointer
+  // test per commit when detached; compiles out under
+  // -DSPEAR_ENABLE_COSIM=0.
+  void set_cosim(cosim::CommitSink* sink) { cosim_ = sink; }
+  bool cosim_diverged() const { return cosim_diverged_; }
+
+  // Committed-PC trace capture for oracle tests (off by default). The
+  // backing store is a bounded ring holding the most recent `cap` commits,
+  // so arbitrarily long runs stay O(cap) in memory; evicted entries are
+  // tallied in commit_trace_dropped().
+  static constexpr std::size_t kDefaultCommitTraceCap = 1u << 16;
+  void set_trace_commits(bool on, std::size_t cap = kDefaultCommitTraceCap) {
+    trace_commits_ = on;
+    commit_trace_cap_ = cap == 0 ? 1 : cap;
+  }
+  // The retained trace, oldest to newest (materialized from the ring).
+  std::vector<Pc> commit_trace() const;
+  std::uint64_t commit_trace_dropped() const { return commit_trace_dropped_; }
 
  private:
   // ---- pipeline stages (called in reverse order each cycle) ----
@@ -315,7 +334,19 @@ class Core {
   CoreTelemetry telem_;
   std::uint64_t session_extracted_ = 0;  // extraction count, current session
   telemetry::PipeTrace* trace_ = nullptr;
+
+  // Lockstep co-simulation (see cosim/commit_record.h).
+  cosim::CommitSink* cosim_ = nullptr;
+  bool cosim_diverged_ = false;
+  bool DeliverCommit(const RuuEntry& e);
+  void RecordTraceCommit(Pc pc);
+
+  // Bounded committed-PC ring: commit_trace_ fills to commit_trace_cap_,
+  // then commit_trace_head_ marks the oldest slot to overwrite.
   bool trace_commits_ = false;
+  std::size_t commit_trace_cap_ = kDefaultCommitTraceCap;
+  std::size_t commit_trace_head_ = 0;
+  std::uint64_t commit_trace_dropped_ = 0;
   std::vector<Pc> commit_trace_;
 };
 

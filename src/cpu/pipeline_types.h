@@ -66,6 +66,16 @@ struct RuuEntry {
 
   // P-thread specifics.
   bool is_trigger_dload = false;  // retiring this ends pre-execution mode
+
+  // Lockstep co-simulation capture (populated at dispatch only while a
+  // checker is attached; see cosim/commit_record.h). Dest values are read
+  // back from the dispatch register file right after functional execution,
+  // store payloads from dispatch memory at exec.mem_addr.
+  std::uint32_t cosim_int_dest = 0;
+  double cosim_fp_dest = 0.0;
+  std::uint32_t cosim_store_u32 = 0;
+  double cosim_store_f64 = 0.0;
+  bool cosim_arch_clobber = false;  // p-thread wrote a main arch register
 };
 
 }  // namespace spear

@@ -1,5 +1,9 @@
 #include "eval/harness.h"
 
+#include <memory>
+
+#include "cosim/cosim.h"
+
 namespace spear {
 
 PreparedWorkload PrepareWorkload(const std::string& name,
@@ -24,6 +28,12 @@ RunStats RunConfig(const Program& prog, const CoreConfig& config,
                    const EvalOptions& options, const WarmState* warm) {
   Core core(prog, config);
   if (warm != nullptr) core.InstallWarmState(*warm);
+  std::unique_ptr<cosim::CosimChecker> checker;
+  if (config.cosim_check) {
+    checker = std::make_unique<cosim::CosimChecker>(prog);
+    if (warm != nullptr) checker->SyncToWarmState(*warm);
+    core.set_cosim(checker.get());
+  }
   const RunResult rr = core.Run(options.sim_instrs, options.max_cycles);
   RunStats s;
   s.cycles = rr.cycles;
@@ -44,6 +54,16 @@ RunStats RunConfig(const Program& prog, const CoreConfig& config,
   s.ifq_flushed = core.stats().ifq_flushed;
   s.chained_triggers = core.stats().chained_triggers;
   s.complete = s.halted || s.instructions >= options.sim_instrs;
+  if (checker != nullptr) {
+    s.cosim_checked = checker->stats().commits_checked +
+                      checker->stats().pthread_commits_checked;
+    s.cosim_diverged = !checker->ok();
+    if (s.cosim_diverged) {
+      s.cosim_summary = checker->Summary();
+      s.cosim_report = checker->Report();
+      s.complete = false;  // the run was cut short at the divergence
+    }
+  }
   return s;
 }
 
@@ -78,6 +98,13 @@ telemetry::JsonValue RunStatsToJson(const RunStats& s) {
         telemetry::JsonValue(static_cast<std::int64_t>(s.chained_triggers)));
   o.Set("halted", telemetry::JsonValue(s.halted));
   o.Set("complete", telemetry::JsonValue(s.complete));
+  // Emitted only when checking actually ran, so documents from non-cosim
+  // runs (the byte-identity CI comparisons) keep their exact shape.
+  if (s.cosim_checked > 0 || s.cosim_diverged) {
+    o.Set("cosim_checked",
+          telemetry::JsonValue(static_cast<std::int64_t>(s.cosim_checked)));
+    o.Set("cosim_diverged", telemetry::JsonValue(s.cosim_diverged));
+  }
   return o;
 }
 

@@ -60,6 +60,15 @@ struct RunStats {
   // commit budget. !complete means the max_cycles safety net fired — the
   // measurement is bogus, and tools exit nonzero so sweep drivers notice.
   bool complete = false;
+
+  // Lockstep co-simulation (config.cosim_check; see src/cosim). When the
+  // run diverged, `cosim_summary` carries the one-line verdict (used as
+  // the runner row error — its "cosim" prefix maps to the dedicated exit
+  // code) and `cosim_report` the full structured report.
+  std::uint64_t cosim_checked = 0;  // main + p-thread commits compared
+  bool cosim_diverged = false;
+  std::string cosim_summary;
+  std::string cosim_report;
 };
 
 // Runs `prog` on `config` for the options' commit budget. When `warm` is

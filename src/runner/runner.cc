@@ -195,7 +195,8 @@ JobRun ExecuteJob(const Manifest& m, const JobSpec& job, WorkloadCache& cache,
   const ConfigSpec& spec = m.configs[job.config];
   const EvalOptions options = MakeEvalOptions(m.defaults, spec);
   const PreparedWorkload& pw = cache.Get(job.workload, options);
-  const CoreConfig cfg = MakeCoreConfig(spec);
+  CoreConfig cfg = MakeCoreConfig(spec);
+  if (opts.cosim) cfg.cosim_check = true;
   const Program& prog =
       ResolveBinary(spec) == "plain" ? pw.plain : pw.annotated;
 
@@ -233,7 +234,14 @@ JobRun ExecuteJob(const Manifest& m, const JobSpec& job, WorkloadCache& cache,
   row.Set("id", JsonValue(JobId(m, job)));
   row.Set("workload", JsonValue(job.workload));
   row.Set("config", JsonValue(spec.label));
-  if (!stats.complete) {
+  if (stats.cosim_diverged) {
+    // Deterministic pipeline-vs-oracle contradiction: the error string
+    // starts with "cosim" so the worker maps it to kExitCosim.
+    row.Set("failed", JsonValue(true));
+    row.Set("error", JsonValue(stats.cosim_summary));
+    std::fputs(stats.cosim_report.c_str(), stderr);
+    out.failed = true;
+  } else if (!stats.complete) {
     row.Set("failed", JsonValue(true));
     row.Set("error", JsonValue("incomplete: max_cycles fired before the "
                                "commit budget"));
@@ -325,6 +333,7 @@ ManifestRunResult RunManifestParallel(const Manifest& m,
                "--job-out=" + tmp_dir + "/job" + std::to_string(i) + ".json",
                "--ckpt-dir=" + opts.ckpt_dir};
     if (!opts.use_ckpt) pj.argv.push_back("--no-ckpt");
+    if (opts.cosim) pj.argv.push_back("--cosim");
     if (opts.sim_instrs_override) {
       pj.argv.push_back("--sim-instrs=" +
                         std::to_string(*opts.sim_instrs_override));
@@ -334,7 +343,7 @@ ManifestRunResult RunManifestParallel(const Manifest& m,
     pj.max_retries =
         job.max_retries >= 0 ? job.max_retries : m.defaults.max_retries;
     pj.backoff_ms = m.defaults.backoff_ms;
-    pj.fail_fast_exits = {kExitUsage, kExitIncomplete};
+    pj.fail_fast_exits = {kExitUsage, kExitIncomplete, kExitCosim};
     job_outs.push_back(pj.argv[4].substr(std::string("--job-out=").size()));
     pool_jobs.push_back(std::move(pj));
   }
@@ -349,8 +358,11 @@ ManifestRunResult RunManifestParallel(const Manifest& m,
                            : r.timed_out ? "TIMEOUT"
                            : r.term_signal != 0
                                ? "CRASHED"
-                               : r.exit_code == kExitIncomplete ? "INCOMPLETE"
-                                                                : "FAILED";
+                               : r.exit_code == kExitIncomplete
+                                     ? "INCOMPLETE"
+                                     : r.exit_code == kExitCosim
+                                           ? "COSIM-DIVERGED"
+                                           : "FAILED";
         std::printf("[%zu/%zu] %-28s %s (attempt %d, %llu ms)\n", done,
                     pool_jobs.size(), JobId(m, jobs[i]).c_str(), what,
                     r.attempts, static_cast<unsigned long long>(r.elapsed_ms));
@@ -371,12 +383,13 @@ ManifestRunResult RunManifestParallel(const Manifest& m,
     meta.attempts = r.attempts;
     meta.ms = r.elapsed_ms;
 
-    // A worker that ran to a verdict (ok or deterministic incomplete)
-    // wrote {"job": <row>, "run": {...}}; embed its row verbatim so the
-    // parallel document matches the in-process one byte for byte.
+    // A worker that ran to a verdict (ok, deterministic incomplete, or
+    // cosim divergence) wrote {"job": <row>, "run": {...}}; embed its row
+    // verbatim so the parallel document matches the in-process one byte
+    // for byte.
     JsonValue worker_doc;
     bool have_row = false;
-    if (r.ok || r.exit_code == kExitIncomplete) {
+    if (r.ok || r.exit_code == kExitIncomplete || r.exit_code == kExitCosim) {
       std::ifstream in(job_outs[i], std::ios::binary);
       if (in) {
         std::ostringstream buf;

@@ -25,12 +25,15 @@
 
 namespace spear::runner {
 
-// Worker/tool exit codes. kExitUsage and kExitIncomplete are
-// deterministic — the pool fails fast on them instead of retrying.
+// Worker/tool exit codes. kExitUsage, kExitIncomplete and kExitCosim are
+// deterministic — the pool fails fast on them instead of retrying. This
+// mirrors the canonical table in tools/tool_flags.h (which src/ cannot
+// include); keep the two in sync.
 inline constexpr int kExitOk = 0;
 inline constexpr int kExitFailure = 1;
 inline constexpr int kExitUsage = 2;
 inline constexpr int kExitIncomplete = 3;  // max_cycles fired before budget
+inline constexpr int kExitCosim = 4;       // lockstep cosim divergence
 
 struct RunnerOptions {
   int workers = 1;
@@ -40,6 +43,9 @@ struct RunnerOptions {
   // --quick / --sim-instrs override, applied identically by parent and
   // workers so their rows agree.
   std::optional<std::uint64_t> sim_instrs_override;
+  // Run every job under the lockstep cosim checker (src/cosim). A
+  // divergence fails the job deterministically with kExitCosim.
+  bool cosim = false;
 };
 
 // Caches PrepareWorkload results within one process; keyed by everything

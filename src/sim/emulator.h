@@ -84,11 +84,38 @@ class Emulator {
     return n;
   }
 
+  // Re-seats the emulator at an externally produced architectural state
+  // (a functional fast-forward or a restored checkpoint), so it can shadow
+  // a warm-started core from the switch point onward. `icount` is the
+  // instruction count already consumed producing that state.
+  void Restore(const std::array<std::uint32_t, kNumIntRegs>& iregs,
+               const std::array<double, kNumFpRegs>& fregs, Pc pc,
+               const Memory& mem, std::uint64_t icount) {
+    SPEAR_CHECK(prog_->ContainsPc(pc));
+    iregs_ = iregs;
+    iregs_[kRegZero] = 0;  // r0 stays hardwired whatever the source held
+    fregs_ = fregs;
+    pc_ = pc;
+    mem_.CopyFrom(mem);
+    icount_ = icount;
+    halted_ = false;
+    outputs_.clear();
+  }
+
  private:
+  // The state-concept adapter handed to ExecuteInstruction. r0 is masked
+  // here as well as in the exec helpers: a state object must never expose
+  // a stale r0 value (or accept one), even to a caller that bypasses the
+  // rint/wint guards — that's the contract warm-state restore and any
+  // future direct user rely on.
   struct ArchState {
     Emulator* e;
-    std::uint32_t ReadInt(RegId reg) { return e->iregs_[reg]; }
-    void WriteInt(RegId reg, std::uint32_t v) { e->iregs_[reg] = v; }
+    std::uint32_t ReadInt(RegId reg) {
+      return reg == kRegZero ? 0 : e->iregs_[reg];
+    }
+    void WriteInt(RegId reg, std::uint32_t v) {
+      if (reg != kRegZero) e->iregs_[reg] = v;
+    }
     double ReadFp(RegId reg) { return e->fregs_[FpIndex(reg)]; }
     void WriteFp(RegId reg, double v) { e->fregs_[FpIndex(reg)] = v; }
     std::uint32_t LoadU32(Addr a) { return e->mem_.ReadU32(a); }

@@ -72,8 +72,11 @@ ExecResult ExecuteInstruction(State& st, const Instruction& in, Pc pc) {
     if (reg != kRegZero) st.WriteInt(reg, v);
   };
 
-  const std::uint32_t s = rint(in.rs);
-  const std::uint32_t t = rint(in.rt);
+  // FP opcodes carry FP register ids in rs/rt; reading those through the
+  // integer file would index past its 32 entries, so the eager operand
+  // reads (dead for such opcodes anyway) must skip them.
+  const std::uint32_t s = IsFpReg(in.rs) ? 0u : rint(in.rs);
+  const std::uint32_t t = IsFpReg(in.rt) ? 0u : rint(in.rt);
   const auto imm = static_cast<std::uint32_t>(in.imm);
 
   switch (in.op) {

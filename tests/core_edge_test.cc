@@ -25,7 +25,9 @@ void ExpectOracleExact(const Program& prog, const CoreConfig& cfg) {
   }
   ASSERT_TRUE(emu.halted());
   Core core(prog, cfg);
-  core.set_trace_commits(true);
+  // Full-trace exactness: raise the ring cap to the oracle length (the
+  // test already holds the whole oracle, so this costs nothing extra).
+  core.set_trace_commits(true, oracle.size());
   const RunResult rr = core.Run(UINT64_MAX, 400'000'000);
   ASSERT_TRUE(rr.halted);
   ASSERT_EQ(core.commit_trace().size(), oracle.size());

@@ -43,7 +43,7 @@ void ExpectCoreMatchesOracle(const Program& prog,
                              const CoreConfig& cfg = BaselineConfig()) {
   const OracleResult oracle = RunOracle(prog);
   Core core(prog, cfg);
-  core.set_trace_commits(true);
+  core.set_trace_commits(true, oracle.pcs.size() + 1);
   const RunResult rr = core.Run(UINT64_MAX, 50'000'000);
   ASSERT_TRUE(rr.halted) << "pipeline did not halt";
   EXPECT_EQ(core.outputs(), oracle.outputs);

@@ -1,0 +1,346 @@
+// Lockstep co-simulation checker tests (DESIGN.md §11): truthful commit
+// records pass, every corrupted field is pinpointed, the checker latches,
+// a real Core run checks clean end to end, fault injection proves the
+// whole divergence path can fire, and the commit trace stays bounded.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <optional>
+#include <vector>
+
+#include "cosim/cosim.h"
+#include "cpu/core.h"
+#include "eval/harness.h"
+#include "isa/assembler.h"
+#include "sim/emulator.h"
+#include "workloads/workload.h"
+
+namespace spear {
+namespace {
+
+using cosim::CommitRecord;
+using cosim::CosimChecker;
+using cosim::DivergentField;
+
+// Mixed int/FP/memory/branch kernel with a store the tests can corrupt.
+Program MixedProgram() {
+  Program prog;
+  Assembler a(&prog);
+  DataSegment& seg = prog.AddSegment(0x8000, 64);
+  PokeU32(seg, 0x8000, 11);
+  PokeU32(seg, 0x8004, 22);
+  PokeF64(seg, 0x8010, 2.5);
+
+  a.la(r(10), 0x8000);
+  a.li(r(1), 5);
+  a.li(r(2), 0);
+  Label loop = a.NewLabel();
+  a.Bind(loop);
+  a.lw(r(3), r(10), 0);
+  a.add(r(2), r(2), r(3));
+  a.sw(r(2), r(10), 4);
+  a.ldf(f(1), r(10), 16);
+  a.fadd(f(2), f(2), f(1));
+  a.stf(f(2), r(10), 24);
+  a.addi(r(1), r(1), -1);
+  a.bne(r(1), r(0), loop);
+  a.cvtfi(r(4), f(2));
+  a.out(r(4));
+  a.halt();
+  a.Finish();
+  return prog;
+}
+
+// Replays `prog` on a reference emulator and produces the records the
+// core would deliver: dispatch-time functional result plus the dest value
+// and store payload read back right after execution.
+std::vector<CommitRecord> TruthfulRecords(const Program& prog) {
+  std::vector<CommitRecord> recs;
+  Emulator emu(prog);
+  while (!emu.halted() && recs.size() < 100'000) {
+    CommitRecord rec;
+    rec.pc = emu.pc();
+    const StepInfo si = emu.Step();
+    rec.instr = si.instr;
+    rec.exec = si.result;
+    if (const auto rd = DestOf(rec.instr)) {
+      if (IsFpReg(*rd)) {
+        rec.fp_dest = emu.ReadFpReg(*rd);
+      } else {
+        rec.int_dest = emu.ReadIntReg(*rd);
+      }
+    }
+    if (rec.exec.is_store) {
+      switch (rec.instr.op) {
+        case Opcode::kSw:
+          rec.store_u32 = emu.memory().ReadU32(rec.exec.mem_addr);
+          break;
+        case Opcode::kSb:
+          rec.store_u32 = emu.memory().ReadU8(rec.exec.mem_addr);
+          break;
+        case Opcode::kStf:
+          rec.store_f64 = emu.memory().ReadF64(rec.exec.mem_addr);
+          break;
+        default:
+          break;
+      }
+    }
+    recs.push_back(rec);
+  }
+  EXPECT_TRUE(emu.halted());
+  return recs;
+}
+
+// Feeds records, optionally corrupting one first, and returns the field
+// the checker blamed (kNone when it stayed clean).
+DivergentField FeedWithCorruption(
+    const Program& prog, std::vector<CommitRecord> recs, std::size_t at,
+    void (*corrupt)(CommitRecord&)) {
+  CosimChecker checker(prog);
+  if (corrupt != nullptr) corrupt(recs[at]);
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    const bool accepted = checker.OnCommit(recs[i]);
+    if (corrupt != nullptr && i == at) {
+      EXPECT_FALSE(accepted) << "corrupted record #" << i << " accepted";
+    } else if (checker.ok()) {
+      EXPECT_TRUE(accepted) << "truthful record #" << i << " rejected";
+    }
+  }
+  if (!checker.ok()) {
+    EXPECT_FALSE(checker.Summary().empty());
+    EXPECT_EQ(checker.Summary().rfind("cosim divergence: ", 0), 0u)
+        << checker.Summary();
+    EXPECT_NE(checker.Report().find("=== COSIM DIVERGENCE ==="),
+              std::string::npos);
+    return checker.divergence()->field;
+  }
+  return DivergentField::kNone;
+}
+
+TEST(CosimChecker, TruthfulStreamPassesAndCounts) {
+  const Program prog = MixedProgram();
+  const std::vector<CommitRecord> recs = TruthfulRecords(prog);
+  ASSERT_GT(recs.size(), 20u);
+  CosimChecker checker(prog);
+  for (const CommitRecord& rec : recs) {
+    ASSERT_TRUE(checker.OnCommit(rec));
+  }
+  EXPECT_TRUE(checker.ok());
+  EXPECT_EQ(checker.stats().commits_checked, recs.size());
+  EXPECT_EQ(checker.stats().pthread_commits_checked, 0u);
+  EXPECT_EQ(checker.stats().divergences, 0u);
+  EXPECT_TRUE(checker.Summary().empty());
+  EXPECT_NE(checker.Report().find("OK"), std::string::npos);
+}
+
+TEST(CosimChecker, WrongIntDestValueIsPinpointed) {
+  const Program prog = MixedProgram();
+  std::vector<CommitRecord> recs = TruthfulRecords(prog);
+  // Find a committed lw (int dest) and flip one result bit.
+  std::size_t at = 0;
+  while (recs[at].instr.op != Opcode::kLw) ++at;
+  EXPECT_EQ(FeedWithCorruption(prog, recs, at,
+                               [](CommitRecord& r) { r.int_dest ^= 0x4; }),
+            DivergentField::kIntDest);
+}
+
+TEST(CosimChecker, WrongFpDestValueIsPinpointedBitwise) {
+  const Program prog = MixedProgram();
+  std::vector<CommitRecord> recs = TruthfulRecords(prog);
+  std::size_t at = 0;
+  while (recs[at].instr.op != Opcode::kFadd) ++at;
+  EXPECT_EQ(FeedWithCorruption(prog, recs, at,
+                               [](CommitRecord& r) {
+                                 std::uint64_t bits;
+                                 std::memcpy(&bits, &r.fp_dest, sizeof(bits));
+                                 bits ^= 1;  // one ulp: bitwise compare trips
+                                 std::memcpy(&r.fp_dest, &bits, sizeof(bits));
+                               }),
+            DivergentField::kFpDest);
+}
+
+TEST(CosimChecker, WrongStoreDataIsPinpointed) {
+  const Program prog = MixedProgram();
+  std::vector<CommitRecord> recs = TruthfulRecords(prog);
+  std::size_t at = 0;
+  while (recs[at].instr.op != Opcode::kSw) ++at;
+  EXPECT_EQ(FeedWithCorruption(prog, recs, at,
+                               [](CommitRecord& r) { r.store_u32 += 1; }),
+            DivergentField::kStoreData);
+}
+
+TEST(CosimChecker, WrongBranchSuccessorIsPinpointed) {
+  const Program prog = MixedProgram();
+  std::vector<CommitRecord> recs = TruthfulRecords(prog);
+  std::size_t at = 0;
+  while (recs[at].instr.op != Opcode::kBne) ++at;
+  EXPECT_EQ(FeedWithCorruption(prog, recs, at,
+                               [](CommitRecord& r) {
+                                 r.exec.next_pc += kInstrBytes;
+                               }),
+            DivergentField::kNextPc);
+}
+
+TEST(CosimChecker, WrongCommitPcIsPinpointed) {
+  const Program prog = MixedProgram();
+  std::vector<CommitRecord> recs = TruthfulRecords(prog);
+  EXPECT_EQ(FeedWithCorruption(prog, recs, 5,
+                               [](CommitRecord& r) { r.pc += kInstrBytes; }),
+            DivergentField::kPc);
+}
+
+TEST(CosimChecker, PThreadArchWriteTripsTheInvariant) {
+  const Program prog = MixedProgram();
+  const std::vector<CommitRecord> recs = TruthfulRecords(prog);
+  CosimChecker checker(prog);
+  // Interleave a clean p-thread retire: audited, not stepped.
+  CommitRecord pt = recs[0];
+  pt.tid = kPThread;
+  pt.pthread_arch_clobber = false;
+  ASSERT_TRUE(checker.OnCommit(pt));
+  EXPECT_EQ(checker.stats().pthread_commits_checked, 1u);
+  EXPECT_EQ(checker.stats().commits_checked, 0u);
+  // A clobbering one must trip the invariant.
+  pt.pthread_arch_clobber = true;
+  EXPECT_FALSE(checker.OnCommit(pt));
+  ASSERT_FALSE(checker.ok());
+  EXPECT_EQ(checker.divergence()->field, DivergentField::kPThreadArchWrite);
+}
+
+TEST(CosimChecker, CommitPastHaltIsCaught) {
+  const Program prog = MixedProgram();
+  std::vector<CommitRecord> recs = TruthfulRecords(prog);
+  CosimChecker checker(prog);
+  for (const CommitRecord& rec : recs) ASSERT_TRUE(checker.OnCommit(rec));
+  // The oracle has halted; any further commit is bogus.
+  EXPECT_FALSE(checker.OnCommit(recs.front()));
+  ASSERT_FALSE(checker.ok());
+  EXPECT_EQ(checker.divergence()->field, DivergentField::kHaltedPastEnd);
+}
+
+TEST(CosimChecker, FirstDivergenceLatches) {
+  const Program prog = MixedProgram();
+  std::vector<CommitRecord> recs = TruthfulRecords(prog);
+  CosimChecker checker(prog);
+  CommitRecord bad = recs[0];
+  bad.pc += kInstrBytes;
+  EXPECT_FALSE(checker.OnCommit(bad));
+  const DivergentField first = checker.divergence()->field;
+  // Later records — even truthful ones — are refused and don't re-judge.
+  EXPECT_FALSE(checker.OnCommit(recs[0]));
+  EXPECT_EQ(checker.divergence()->field, first);
+  EXPECT_EQ(checker.stats().divergences, 1u);
+}
+
+TEST(CosimCore, CleanRunChecksEveryCommit) {
+  const Program prog = MixedProgram();
+  Core core(prog, BaselineConfig(16));
+  CosimChecker checker(prog);
+  core.set_cosim(&checker);
+  const RunResult rr = core.Run(UINT64_MAX, 1'000'000);
+  ASSERT_TRUE(rr.halted);
+  EXPECT_FALSE(core.cosim_diverged());
+  EXPECT_TRUE(checker.ok());
+  EXPECT_EQ(checker.stats().commits_checked, rr.instructions);
+}
+
+TEST(CosimCore, WorkloadRunsCleanUnderChecker) {
+  WorkloadConfig wcfg;
+  wcfg.seed = 42;
+  const Program prog = BuildWorkloadProgram("mcf", wcfg);
+  Core core(prog, BaselineConfig(128));
+  CosimChecker checker(prog);
+  core.set_cosim(&checker);
+  core.Run(20'000, 10'000'000);
+  EXPECT_TRUE(checker.ok()) << checker.Report();
+  EXPECT_GE(checker.stats().commits_checked, 20'000u);
+}
+
+// A sink that vetoes the Kth commit, standing in for a divergence: the
+// core must stop committing and latch the verdict.
+class VetoSink : public cosim::CommitSink {
+ public:
+  explicit VetoSink(std::uint64_t veto_at) : veto_at_(veto_at) {}
+  bool OnCommit(const CommitRecord&) override {
+    return ++seen_ != veto_at_;
+  }
+  std::uint64_t seen() const { return seen_; }
+
+ private:
+  std::uint64_t veto_at_;
+  std::uint64_t seen_ = 0;
+};
+
+TEST(CosimCore, DivergenceStopsTheRun) {
+  const Program prog = MixedProgram();
+  VetoSink sink(10);
+  Core core(prog, BaselineConfig(16));
+  core.set_cosim(&sink);
+  const RunResult rr = core.Run(UINT64_MAX, 1'000'000);
+  EXPECT_TRUE(core.cosim_diverged());
+  EXPECT_FALSE(rr.halted);
+  // The vetoed instruction did not retire; nothing after it committed.
+  EXPECT_EQ(rr.instructions, 9u);
+  EXPECT_EQ(sink.seen(), 10u);
+}
+
+TEST(CosimCore, FaultInjectionFiresTheChecker) {
+  const Program prog = MixedProgram();
+  CosimChecker::Config cc;
+  cc.inject_at = 7;
+  CosimChecker checker(prog, cc);
+  Core core(prog, BaselineConfig(16));
+  core.set_cosim(&checker);
+  core.Run(UINT64_MAX, 1'000'000);
+  EXPECT_TRUE(core.cosim_diverged());
+  ASSERT_FALSE(checker.ok());
+  EXPECT_EQ(checker.divergence()->commit_index, 7u);
+  EXPECT_NE(checker.divergence()->field, DivergentField::kNone);
+}
+
+TEST(CosimHarness, RunConfigAttachesCheckerAndReportsDivergence) {
+  EvalOptions opt;
+  opt.sim_instrs = 15'000;
+  opt.compiler.profiler.max_instrs = 100'000;
+  const PreparedWorkload pw = PrepareWorkload("pointer", opt);
+
+  CoreConfig base = BaselineConfig(128);
+  base.cosim_check = true;
+  const RunStats clean = RunConfig(pw.plain, base, opt);
+  EXPECT_FALSE(clean.cosim_diverged);
+  EXPECT_GE(clean.cosim_checked, opt.sim_instrs);
+  EXPECT_TRUE(clean.complete);
+
+  // The spear config must audit p-thread retires on top of main commits.
+  CoreConfig spear = SpearCoreConfig(256);
+  spear.cosim_check = true;
+  const RunStats helper = RunConfig(pw.annotated, spear, opt);
+  EXPECT_FALSE(helper.cosim_diverged) << helper.cosim_report;
+  EXPECT_TRUE(helper.complete);
+}
+
+TEST(CommitTrace, RingStaysBoundedAndKeepsTheTail) {
+  const Program prog = MixedProgram();
+  // Oracle commit stream for the whole program.
+  std::vector<Pc> oracle;
+  Emulator emu(prog);
+  while (!emu.halted()) {
+    oracle.push_back(emu.pc());
+    emu.Step();
+  }
+  ASSERT_GT(oracle.size(), 8u);
+
+  Core core(prog, BaselineConfig(16));
+  core.set_trace_commits(true, 8);
+  const RunResult rr = core.Run(UINT64_MAX, 1'000'000);
+  ASSERT_TRUE(rr.halted);
+  const std::vector<Pc> trace = core.commit_trace();
+  ASSERT_EQ(trace.size(), 8u);
+  EXPECT_EQ(core.commit_trace_dropped(), oracle.size() - 8);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(trace[i], oracle[oracle.size() - 8 + i]) << "tail slot " << i;
+  }
+}
+
+}  // namespace
+}  // namespace spear

@@ -44,6 +44,25 @@ TEST(Emulator, RegZeroIsImmutable) {
   EXPECT_EQ(RunProgram(prog).outputs()[0], 0u);
 }
 
+// Regression: ArchState::ReadInt once bypassed the r0 guard, so state
+// read *through the state object* could observe a value another path had
+// parked in slot 0. r0 must read as zero both architecturally (as a
+// source operand of a later instruction) and through the register-file
+// accessor.
+TEST(Emulator, RegZeroReadsAsZeroBothWays) {
+  Program prog;
+  Assembler a(&prog);
+  a.li(r(1), 41);
+  a.addi(r(0), r(1), 5);  // attempted write: r0 would become 46
+  a.addi(r(2), r(0), 7);  // architectural read of r0
+  a.out(r(2));
+  a.halt();
+  a.Finish();
+  Emulator emu = RunProgram(prog);
+  EXPECT_EQ(emu.outputs()[0], 7u);             // r0 read as source = 0
+  EXPECT_EQ(emu.ReadIntReg(kRegZero), 0u);     // accessor read = 0
+}
+
 TEST(Emulator, DivByZeroYieldsZeroNotTrap) {
   Program prog;
   Assembler a(&prog);

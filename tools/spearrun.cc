@@ -12,7 +12,9 @@
 // The same binary is its own worker: the parent forks
 // `spearrun --worker --job N`, each worker runs exactly one job and
 // writes its result row to --job-out. Exit codes: 0 ok, 1 failure,
-// 2 usage/manifest error, 3 deterministic incomplete run (not retried).
+// 2 usage/manifest error, 3 deterministic incomplete run (not retried),
+// 4 cosim divergence under --cosim (not retried). Canonical table in
+// tool_flags.h.
 #include <unistd.h>
 
 #include <chrono>
@@ -70,9 +72,13 @@ int WorkerMain(const Manifest& manifest, const tools::Flags& flags,
     return kExitFailure;
   }
   if (!run.failed) return kExitOk;
-  // Distinguish the deterministic incomplete-run verdict (fail fast, the
-  // row is still valid diagnostics) from other failures.
+  // Distinguish the deterministic verdicts (fail fast, the row is still
+  // valid diagnostics) from other failures: a cosim divergence or an
+  // incomplete run is the same every attempt, so retrying is pointless.
   const telemetry::JsonValue* err = run.row.Find("error");
+  if (err != nullptr && err->AsString().rfind("cosim", 0) == 0) {
+    return kExitCosim;
+  }
   const bool incomplete =
       err != nullptr && err->AsString().rfind("incomplete", 0) == 0;
   return incomplete ? kExitIncomplete : kExitFailure;
@@ -89,6 +95,8 @@ int main(int argc, char** argv) {
        {"ckpt-dir", "fast-forward checkpoint cache (default bench/ckpt)"},
        {"no-ckpt", "disable the checkpoint cache (always warm up live)"},
        {"quick", "smoke-run budget (40k instrs per job)"},
+       {"cosim", "lockstep-check every job against the functional emulator "
+                 "(exit 4 on divergence, not retried)"},
        {"sim-instrs", "exact per-job commit budget override"},
        {"tolerate-failures", "exit 0 even when jobs failed (CI probes)"},
        {"list", "print the expanded job list and exit"},
@@ -114,6 +122,7 @@ int main(int argc, char** argv) {
   opts.workers = static_cast<int>(flags.GetInt("j", 1));
   opts.ckpt_dir = flags.Get("ckpt-dir", opts.ckpt_dir);
   opts.use_ckpt = !flags.GetBool("no-ckpt");
+  opts.cosim = flags.GetBool("cosim");
   opts.verbose = true;
   if (flags.GetBool("quick")) opts.sim_instrs_override = 40'000;
   if (flags.Has("sim-instrs")) {

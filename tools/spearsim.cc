@@ -6,10 +6,15 @@
 //   spearsim prog.spear.bin --spear --trace-out=pipe.kanata \
 //       --trace-start=1000 --trace-cycles=5000
 //   spearsim prog.spearbin --functional
+//   spearsim prog.spear.bin --spear --cosim       # lockstep oracle check
+//
+// Exit codes follow the shared table in tool_flags.h (4 = cosim
+// divergence).
 #include <cstdio>
 #include <memory>
 #include <string>
 
+#include "cosim/cosim.h"
 #include "cpu/core.h"
 #include "isa/binary.h"
 #include "isa/disasm.h"
@@ -35,6 +40,12 @@ int main(int argc, char** argv) {
        {"max-cycles", "cycle budget (default 1e9)"},
        {"ff-instrs", "functionally fast-forward N instructions (warming "
                      "caches and predictor) before the timed run"},
+       {"cosim", "lockstep-compare every commit against the functional "
+                 "emulator; divergence aborts with exit code 4"},
+       {"cosim-report", "also write the divergence report to this file "
+                        "(default: stderr only)"},
+       {"cosim-inject", "self-test: corrupt the Nth checked commit so the "
+                        "divergence path must fire"},
        {"strict-specs", "refuse binaries with malformed p-thread specs"},
        {"trace", "print committed OUT values"},
        {"stats-json", "write the full stats tree as JSON ('-' = stdout)"},
@@ -89,6 +100,22 @@ int main(int argc, char** argv) {
 
   Core core(prog, cfg);
 
+  // Lockstep co-simulation: a shadow emulator checks every commit.
+  std::unique_ptr<cosim::CosimChecker> checker;
+  if (flags.GetBool("cosim") || flags.Has("cosim-inject")) {
+    if (!cosim::kCosimCompiled) {
+      std::fprintf(stderr,
+                   "spearsim: cosim hooks compiled out "
+                   "(SPEAR_ENABLE_COSIM=0); --cosim unavailable\n");
+      return tools::kExitUsage;
+    }
+    cosim::CosimChecker::Config cc;
+    cc.inject_at =
+        static_cast<std::uint64_t>(flags.GetInt("cosim-inject", 0));
+    checker = std::make_unique<cosim::CosimChecker>(prog, cc);
+    core.set_cosim(checker.get());
+  }
+
   // Skip-and-simulate: functionally execute the first N instructions
   // (warming the caches and the branch predictor along the way), then
   // start the timed core from that state.
@@ -111,6 +138,7 @@ int main(int argc, char** argv) {
       return 3;
     }
     core.InstallWarmState(ff.state);
+    if (checker) checker->SyncToWarmState(ff.state);
     std::printf("fast-forwarded    %llu instructions (resume pc 0x%08x)\n",
                 static_cast<unsigned long long>(ff.executed),
                 static_cast<unsigned>(ff.state.pc));
@@ -137,6 +165,27 @@ int main(int argc, char** argv) {
   }
 
   const RunResult rr = core.Run(max_instrs, max_cycles);
+  // Cosim divergence preempts every other verdict: the run is over, the
+  // report is the diagnosis, and exit code 4 tells drivers the failure is
+  // deterministic (never retry).
+  if (checker && !checker->ok()) {
+    const std::string report = checker->Report();
+    std::fputs(report.c_str(), stderr);
+    if (flags.Has("cosim-report")) {
+      telemetry::WriteFileOrStdout(flags.Get("cosim-report"), report);
+      std::fprintf(stderr, "cosim report -> %s\n",
+                   flags.Get("cosim-report").c_str());
+    }
+    return tools::kExitCosimDivergence;
+  }
+  if (checker) {
+    std::printf("cosim             OK — %llu main + %llu p-thread commits "
+                "checked\n",
+                static_cast<unsigned long long>(
+                    checker->stats().commits_checked),
+                static_cast<unsigned long long>(
+                    checker->stats().pthread_commits_checked));
+  }
   // A run is complete when it committed a HALT or its full budget; a stop
   // forced by max_cycles means the measurement is bogus, so the process
   // exits 3 (after still emitting its diagnostics) and sweep drivers and
@@ -183,6 +232,7 @@ int main(int argc, char** argv) {
   if (flags.Has("stats-json")) {
     telemetry::StatRegistry reg;
     core.RegisterStats(reg);
+    if (checker) checker->RegisterStats(reg);
     telemetry::JsonValue meta = telemetry::JsonValue::Object();
     meta.Set("binary", telemetry::JsonValue(flags.positional()[0]));
     meta.Set("spear", telemetry::JsonValue(flags.GetBool("spear")));

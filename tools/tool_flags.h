@@ -11,6 +11,27 @@
 
 namespace spear::tools {
 
+// Shared tool exit codes — the one table (mirrored in README.md). The
+// runner library re-declares 0–4 in runner/runner.h (it cannot include
+// tools/ headers); keep the two in sync.
+//
+//   code | meaning                                        | retried by pool?
+//   -----+------------------------------------------------+-----------------
+//     0  | success                                        | —
+//     1  | failure (I/O error, bad binary, crashed job)   | yes
+//     2  | usage error (unknown flag, bad manifest)       | no (fail fast)
+//     3  | incomplete run: max_cycles fired before the    | no (fail fast,
+//        | commit budget — the measurement is bogus       |  deterministic)
+//     4  | cosim divergence: the lockstep checker caught  | no (fail fast,
+//        | the pipeline contradicting the functional      |  deterministic)
+//        | oracle (spearsim --cosim, spearrun --cosim,    |
+//        | spearfuzz)                                     |
+inline constexpr int kExitOk = 0;
+inline constexpr int kExitFailure = 1;
+inline constexpr int kExitUsage = 2;
+inline constexpr int kExitIncomplete = 3;
+inline constexpr int kExitCosimDivergence = 4;
+
 class Flags {
  public:
   Flags(int argc, char** argv, const std::map<std::string, std::string>& known)
