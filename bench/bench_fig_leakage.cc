@@ -1,0 +1,46 @@
+// Speculative-leakage surface sweep (security evaluation, beyond the
+// paper's figures): every config runs with the taint observer attached
+// and the leakage surface is the count of cache lines touched *only* by
+// wrong-path or p-thread execution (spec_leak_lines_spec_only). Three
+// models: the plain baseline, SPEAR-256 (whose p-thread adds speculative
+// touches by design — that is the mechanism's cost in attack surface),
+// and a fenced BasicBlocker-style baseline that refuses to issue loads
+// past unresolved branches (the mitigation's surface floor, paid in
+// cycles).
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace spear;
+  using namespace spear::bench;
+
+  const BenchContext ctx = ParseBenchArgs(argc, argv);
+  PrintConfigHeader(BaselineConfig(128));
+  std::printf("== Leakage figure: speculative-only cache-line surface ==\n");
+
+  runner::Manifest m = BenchManifest(ctx, "fig_leakage");
+  m.workloads = AllBenchmarkNames();
+
+  runner::ConfigSpec base = BaseModel();
+  base.taint = true;
+  runner::ConfigSpec spear256 = SpearModel("spear256", 256);
+  spear256.taint = true;
+  runner::ConfigSpec fenced = BaseModel("fenced");
+  fenced.taint = true;
+  fenced.fence_spec_loads = true;
+  m.configs = {base, spear256, fenced};
+
+  m.derived = {MeanRatio("surface_ratio_spear256", "spec_leak_lines_spec_only",
+                         "spear256", "base"),
+               MeanReduction("surface_reduction_fenced",
+                             "spec_leak_lines_spec_only", "fenced", "base"),
+               MeanRatio("slowdown_fenced", "cycles", "fenced", "base")};
+
+  const int rc = RunOrEmit(ctx, m, "fig_leakage");
+  if (!ctx.emit_manifest) {
+    std::printf("surface = cache lines touched only speculatively; the "
+                "fenced model is the mitigation floor\n");
+  }
+  return rc;
+}

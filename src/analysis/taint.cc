@@ -1,0 +1,243 @@
+#include "analysis/taint.h"
+
+#include <array>
+#include <cstdio>
+#include <optional>
+
+#include "common/check.h"
+#include "isa/instruction.h"
+#include "isa/regs.h"
+
+namespace spear {
+namespace {
+
+std::string HexPc(Pc pc) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "0x%x", pc);
+  return buf;
+}
+
+// Abstract state over the unified 64-register namespace: two taint bits per
+// register (secret-sourced / load-sourced), the pc of the load that sourced
+// the taint (diagnostics only), and a flat constant lattice over the integer
+// registers for resolving statically known addresses against the @secret
+// ranges. FP registers are never constant; r0 is handled inline as the
+// constant 0 and never carries taint.
+struct TaintState {
+  std::uint64_t secret = 0;
+  std::uint64_t spec = 0;
+  std::array<Pc, 64> origin{};
+  std::array<std::optional<std::uint32_t>, 64> consts{};
+};
+
+bool Bit(std::uint64_t mask, RegId r) { return (mask >> (r & 63)) & 1; }
+void SetBit(std::uint64_t& mask, RegId r, bool v) {
+  const std::uint64_t bit = 1ull << (r & 63);
+  mask = v ? (mask | bit) : (mask & ~bit);
+}
+
+std::int32_t AsSigned(std::uint32_t v) { return static_cast<std::int32_t>(v); }
+
+// Constant transfer for the integer ALU, mirroring sim/exec.h exactly
+// (including the defined-division-by-zero and shift-masking choices).
+// Anything not modeled — loads, FP-sourced writes, the link writes control
+// ops would make (structurally excluded from slices anyway) — is Unknown.
+std::optional<std::uint32_t> EvalInt(const Instruction& in,
+                                     std::optional<std::uint32_t> s,
+                                     std::optional<std::uint32_t> t) {
+  const auto imm = static_cast<std::uint32_t>(in.imm);
+  switch (in.op) {
+    case Opcode::kLui:
+      return imm << 16;
+    case Opcode::kAddi:
+    case Opcode::kAndi:
+    case Opcode::kOri:
+    case Opcode::kXori:
+    case Opcode::kSlli:
+    case Opcode::kSrli:
+    case Opcode::kSrai:
+    case Opcode::kSlti:
+      if (!s) return std::nullopt;
+      switch (in.op) {
+        case Opcode::kAddi: return *s + imm;
+        case Opcode::kAndi: return *s & imm;
+        case Opcode::kOri: return *s | imm;
+        case Opcode::kXori: return *s ^ imm;
+        case Opcode::kSlli: return *s << (imm & 31);
+        case Opcode::kSrli: return *s >> (imm & 31);
+        case Opcode::kSrai:
+          return static_cast<std::uint32_t>(AsSigned(*s) >> (imm & 31));
+        case Opcode::kSlti: return AsSigned(*s) < AsSigned(imm) ? 1u : 0u;
+        default: return std::nullopt;
+      }
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kMul:
+    case Opcode::kDiv:
+    case Opcode::kRem:
+    case Opcode::kAnd:
+    case Opcode::kOr:
+    case Opcode::kXor:
+    case Opcode::kSll:
+    case Opcode::kSrl:
+    case Opcode::kSra:
+    case Opcode::kSlt:
+    case Opcode::kSltu:
+      if (!s || !t) return std::nullopt;
+      switch (in.op) {
+        case Opcode::kAdd: return *s + *t;
+        case Opcode::kSub: return *s - *t;
+        case Opcode::kMul: return *s * *t;
+        case Opcode::kDiv:
+          if (AsSigned(*t) == 0) return 0u;
+          return static_cast<std::uint32_t>(
+              static_cast<std::int64_t>(AsSigned(*s)) / AsSigned(*t));
+        case Opcode::kRem:
+          if (AsSigned(*t) == 0) return 0u;
+          return static_cast<std::uint32_t>(
+              static_cast<std::int64_t>(AsSigned(*s)) % AsSigned(*t));
+        case Opcode::kAnd: return *s & *t;
+        case Opcode::kOr: return *s | *t;
+        case Opcode::kXor: return *s ^ *t;
+        case Opcode::kSll: return *s << (*t & 31);
+        case Opcode::kSrl: return *s >> (*t & 31);
+        case Opcode::kSra:
+          return static_cast<std::uint32_t>(AsSigned(*s) >> (*t & 31));
+        case Opcode::kSlt: return AsSigned(*s) < AsSigned(*t) ? 1u : 0u;
+        case Opcode::kSltu: return *s < *t ? 1u : 0u;
+        default: return std::nullopt;
+      }
+    default:
+      return std::nullopt;
+  }
+}
+
+std::optional<std::uint32_t> ConstOf(const TaintState& st, RegId r) {
+  if (r == kRegZero) return 0u;
+  if (IsFpReg(r)) return std::nullopt;
+  return st.consts[r];
+}
+
+// One instruction's transfer function. When `diags` is non-null this is the
+// reporting pass: sink hits are emitted, most severe first, one per load.
+void Transfer(const Program& prog, const Instruction& in, Pc pc,
+              const TaintOptions& options, TaintState& st,
+              std::vector<SpecDiag>* diags) {
+  const SrcRegs srcs = SourcesOf(in);
+  bool secret_src = false;
+  bool spec_src = false;
+  Pc src_origin = 0;
+  for (int i = 0; i < srcs.count; ++i) {
+    const RegId r = srcs.reg[i];
+    if (r == kRegZero) continue;
+    if (Bit(st.secret, r)) {
+      secret_src = true;
+      src_origin = st.origin[r];
+    }
+    if (Bit(st.spec, r)) {
+      spec_src = true;
+      if (src_origin == 0) src_origin = st.origin[r];
+    }
+  }
+
+  const auto rd = DestOf(in);
+
+  if (IsLoad(in.op)) {
+    const RegId base = in.rs;
+    const bool addr_secret = base != kRegZero && Bit(st.secret, base);
+    const bool addr_spec = base != kRegZero && Bit(st.spec, base);
+    if (diags != nullptr && addr_secret) {
+      diags->push_back(
+          {SpecDiagCode::kSecretTaintedAddress, pc,
+           "speculative load address in " + RegName(base) +
+               " derives from a @secret-region load at " +
+               HexPc(st.origin[base]) + "; its cache footprint leaks the secret"});
+    } else if (diags != nullptr && addr_spec) {
+      diags->push_back(
+          {SpecDiagCode::kSpecTaintedAddress, pc,
+           "speculative load address in " + RegName(base) +
+               " derives from a value loaded speculatively at " +
+               HexPc(st.origin[base])});
+    }
+
+    // Source rules (may-analysis): a statically resolved address is
+    // checked against the @secret ranges exactly; an unresolvable address
+    // may point anywhere, so once the program declares any secret region
+    // every such load conservatively sources secret taint. Programs
+    // without @secret annotations never see it. Under the default policy
+    // any loaded value is additionally load-tainted, and address taint
+    // flows through to the result either way (mem[secret] is as secret as
+    // the index).
+    const std::optional<std::uint32_t> addr_base = ConstOf(st, base);
+    const bool secret_hit =
+        !prog.secret_ranges.empty() &&
+        (!addr_base.has_value() ||
+         prog.IsSecretAddr(*addr_base + static_cast<std::uint32_t>(in.imm),
+                           GetOpInfo(in.op).access_bytes));
+    if (rd) {
+      SetBit(st.secret, *rd, secret_hit || addr_secret);
+      SetBit(st.spec, *rd, options.spec_load_sources || addr_spec);
+      st.origin[*rd] = (secret_hit || options.spec_load_sources)
+                           ? pc
+                           : (base != kRegZero ? st.origin[base] : pc);
+      if (!IsFpReg(*rd)) st.consts[*rd] = std::nullopt;
+    }
+    return;
+  }
+
+  if (!rd) return;  // nop/out; stores and control are structurally excluded
+
+  SetBit(st.secret, *rd, secret_src);
+  SetBit(st.spec, *rd, spec_src);
+  st.origin[*rd] = (secret_src || spec_src) ? src_origin : 0;
+  if (!IsFpReg(*rd)) {
+    st.consts[*rd] =
+        EvalInt(in, ConstOf(st, in.rs),
+                srcs.count > 1 ? ConstOf(st, in.rt) : std::nullopt);
+  }
+}
+
+}  // namespace
+
+std::vector<SpecDiag> CheckSliceTaint(const Program& prog,
+                                      const PThreadSpec& spec,
+                                      const TaintOptions& options) {
+  std::vector<Instruction> line;
+  line.reserve(spec.slice_pcs.size());
+  for (Pc pc : spec.slice_pcs) line.push_back(prog.At(pc));
+
+  auto run = [&](TaintState& st, std::vector<SpecDiag>* diags) {
+    for (std::size_t k = 0; k < line.size(); ++k) {
+      Transfer(prog, line[k], spec.slice_pcs[k], options, st, diags);
+    }
+  };
+
+  // A p-thread session crosses region iterations (same back edge the dead-
+  // instruction lint models), so taint at the end of one pass feeds the
+  // entry of the next: iterate to a fixpoint over the 128 taint bits.
+  // Constants stay Unknown at entry — a value is only known if the slice
+  // re-establishes it each iteration, which is exactly when relying on it
+  // is sound.
+  TaintState entry;
+  for (;;) {
+    TaintState st = entry;
+    run(st, nullptr);
+    const std::uint64_t nsecret = entry.secret | st.secret;
+    const std::uint64_t nspec = entry.spec | st.spec;
+    if (nsecret == entry.secret && nspec == entry.spec) break;
+    for (RegId r = 0; r < 64; ++r) {
+      const bool was = Bit(entry.secret, r) || Bit(entry.spec, r);
+      const bool now = Bit(nsecret, r) || Bit(nspec, r);
+      if (!was && now) entry.origin[r] = st.origin[r];
+    }
+    entry.secret = nsecret;
+    entry.spec = nspec;
+  }
+
+  std::vector<SpecDiag> diags;
+  TaintState st = entry;
+  run(st, &diags);
+  return diags;
+}
+
+}  // namespace spear

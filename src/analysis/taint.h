@@ -1,0 +1,49 @@
+// Static taint-dataflow pass over p-thread slices: the analysis half of the
+// speculative-leakage story (ROADMAP item 5).
+//
+// A p-thread executes speculatively and its loads warm the D-cache, so the
+// *addresses* it touches are observable through timing even though no value
+// ever reaches architectural state. If an address is computed from data the
+// program considers secret, the slice is a ready-made Spectre gadget. The
+// pass runs a forward taint analysis over the straight-line slice (with the
+// region back edge folded in, matching the looped-liveness lint):
+//
+//   sources — loads from a declared `@secret` region (Program::secret_ranges,
+//             resolved via intra-slice constant propagation mirroring
+//             sim/exec.h), and, by default, *every* load the slice executes,
+//             since any speculatively loaded value is attacker-influenced;
+//   propagation — through every int/FP ALU op, conversions included, with
+//             strong updates (a constant overwrite kills taint);
+//   sink    — a load whose address register is tainted. Secret-sourced
+//             taint raises kSecretTaintedAddress (error); load-sourced
+//             taint raises kSpecTaintedAddress (warning).
+//
+// Run by analysis/verifier.h under VerifyOptions::security, surfaced as
+// `spearverify --security` / `spearc --security`.
+#pragma once
+
+#include <vector>
+
+#include "isa/program.h"
+#include "isa/spec_check.h"
+
+namespace spear {
+
+struct TaintOptions {
+  // Treat every load in the slice as a taint source, not only loads that
+  // provably read a @secret range. Any value a p-thread loads arrives on a
+  // speculative path, so an address derived from it is a leakage channel
+  // regardless of labelling; turning this off limits the pass to declared
+  // secrets.
+  bool spec_load_sources = true;
+};
+
+// Taint analysis over one slice. The caller must have established the
+// structural contract first (CheckSpecStructure with no errors): the pass
+// assumes every slice pc decodes and that the slice is store- and
+// control-free. Returns only security diagnostics (IsSecurityDiag).
+std::vector<SpecDiag> CheckSliceTaint(const Program& prog,
+                                      const PThreadSpec& spec,
+                                      const TaintOptions& options = {});
+
+}  // namespace spear

@@ -4,6 +4,7 @@
 
 #include "analysis/cfg.h"
 #include "analysis/dataflow.h"
+#include "analysis/taint.h"
 #include "isa/regs.h"
 
 namespace spear {
@@ -170,6 +171,10 @@ SpecVerifyResult VerifySpec(const Program& prog, const PThreadSpec& spec,
   const Program line = SliceProgram(prog, spec);
   CheckLiveIns(line, spec, &res.diags);
   if (options.lints) CheckLints(line, spec, options, &res.diags);
+  if (options.security) {
+    std::vector<SpecDiag> taint = CheckSliceTaint(prog, spec);
+    res.diags.insert(res.diags.end(), taint.begin(), taint.end());
+  }
   return res;
 }
 

@@ -25,6 +25,9 @@ struct VerifyOptions {
   // every entry beyond this budget delays the p-thread launch by a cycle.
   int live_in_budget = 8;
   bool lints = true;  // emit warnings in addition to errors
+  // Run the speculative-leakage taint pass (analysis/taint.h) as well:
+  // secret-tainted load addresses are errors, load-tainted ones warnings.
+  bool security = false;
 };
 
 struct SpecVerifyResult {

@@ -58,6 +58,18 @@ struct CoreConfig {
   // itself only carries the flag — zero cost when off.
   bool cosim_check = false;
 
+  // Speculative-leakage taint observer: when set, RunConfig (and the
+  // tools) attach a TaintObserver that shadows taint through execution and
+  // emits core.spec_leak.* stats (see spear/taint_observer.h). Purely
+  // observational — never changes timing.
+  bool taint_observe = false;
+
+  // BasicBlocker-style speculation fence: a load may not issue while any
+  // older branch in the RUU is unresolved (p-thread loads wait on the whole
+  // main-thread window). Closes the speculative cache side channel at the
+  // cost of load-issue latency; the leakage bench's "fenced" variant.
+  bool fence_spec_loads = false;
+
   std::uint32_t ExtractPerCycle() const {
     return spear.extract_per_cycle != 0 ? spear.extract_per_cycle
                                         : issue_width / 2;

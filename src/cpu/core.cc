@@ -404,6 +404,10 @@ void Core::RecoverFromMispredict(std::size_t branch_slot) {
   spec_iregs_.clear();
   spec_fregs_.clear();
   spec_mem_.clear();
+  if constexpr (taint::kTaintCompiled) {
+    // The observer's wrong-path taint overlay dies with the squash.
+    if (taint_ != nullptr) taint_->OnWrongPathEnd();
+  }
   RebuildRenameMap();
   // Drop scheduler references killed by the squash so they cannot pile up
   // across recoveries. (In-flight completion events for squashed entries
@@ -555,6 +559,14 @@ std::uint32_t Core::ExecLatency(const RuuEntry& e) {
           hier_.AccessData(e.exec.mem_addr, /*write=*/false, e.tid, now_)
               .latency;
       telem_.access_latency.Add(latency);
+      if constexpr (taint::kTaintCompiled) {
+        // The demand access only; stride-prefetch probes below are cache
+        // warming, not program-observable footprint attribution.
+        if (taint_ != nullptr) {
+          taint_->OnCacheAccess(e.exec.mem_addr, e.tid == kPThread,
+                                e.wrongpath);
+        }
+      }
       if (config_.stride_prefetch.enabled && e.tid == kMainThread) {
         // Prefetch traffic is attributed to the helper (kPThread) stats
         // slot so Figure-8-style miss accounting stays demand-only.
@@ -572,6 +584,12 @@ std::uint32_t Core::ExecLatency(const RuuEntry& e) {
       // now. P-thread stores never touch memory or cache (private buffer).
       if (e.tid == kMainThread) {
         hier_.AccessData(e.exec.mem_addr, /*write=*/true, e.tid, now_);
+        if constexpr (taint::kTaintCompiled) {
+          if (taint_ != nullptr) {
+            taint_->OnCacheAccess(e.exec.mem_addr, /*pthread=*/false,
+                                  e.wrongpath);
+          }
+        }
       }
       return 1;
     }
@@ -591,6 +609,27 @@ void Core::IssueReady(EventScheduler& sched, CircularBuffer<RuuEntry>& buf) {
     RuuEntry& e = buf.Slot(r.slot);
     SPEAR_DCHECK(!e.issued && !e.completed && e.pending_deps == 0);
     SPEAR_DCHECK(DepsReady(e));
+    // BasicBlocker-style fence: a load is speculative until every older
+    // branch has resolved, so it may not touch the cache before then. Main-
+    // thread loads wait on older main-RUU branches; p-thread loads are
+    // speculative by construction and wait on the whole main window.
+    if (config_.fence_spec_loads && IsLoad(e.instr.op)) {
+      const std::size_t limit =
+          e.tid == kPThread ? ruu_.size() : ruu_.LogicalIndex(r.slot);
+      bool blocked = false;
+      for (std::size_t l = 0; l < limit; ++l) {
+        const RuuEntry& older = ruu_.At(l);
+        if (IsControl(older.instr.op) && !older.completed) {
+          blocked = true;
+          break;
+        }
+      }
+      if (blocked) {
+        ++stats_.fence_load_stalls;
+        ready[out++] = r;  // stays ready; retried next cycle
+        continue;
+      }
+    }
     // Width exhaustion short-circuits before the FU probe, mirroring the
     // old scan's early return: FU slots are not consumed past the width.
     if (issued_this_cycle_ >= config_.issue_width ||
@@ -671,6 +710,10 @@ void Core::SnapshotLiveIns() {
   }
   copy_remaining_ = static_cast<std::uint32_t>(spec.live_ins.size()) *
                     config_.spear.copy_cycles_per_reg;
+  if constexpr (taint::kTaintCompiled) {
+    // The p-thread session inherits exactly the copied registers' taint.
+    if (taint_ != nullptr) taint_->OnPThreadSessionStart(spec.live_ins);
+  }
   SPEAR_TRACE_EVENT(trace_, TraceEvent::kLiveInCopy, now_,
                     TraceUid(trigger_dload_seq_, kMainThread), spec.dload_pc,
                     kMainThread,
@@ -720,6 +763,9 @@ void Core::EndPreExec(bool completed) {
   }
   telem_.session_len.Add(session_extracted_);
   session_extracted_ = 0;
+  if constexpr (taint::kTaintCompiled) {
+    if (taint_ != nullptr) taint_->OnPThreadSessionEnd();
+  }
   trigger_state_ = TriggerState::kNormal;
   pe_active_ = false;
   active_spec_ = -1;
@@ -926,6 +972,16 @@ void Core::DispatchOne(CircularBuffer<RuuEntry>& buffer, const IfqEntry& fe,
     }
   } else {
     e.exec = ExecuteInstruction(pctx_, fe.instr, fe.pc);
+  }
+
+  if constexpr (taint::kTaintCompiled) {
+    if (taint_ != nullptr) {
+      if (tid == kPThread) {
+        taint_->OnPThreadExec(fe.instr, e.exec);
+      } else {
+        taint_->OnMainExec(fe.instr, e.exec, e.wrongpath);
+      }
+    }
   }
 
   const std::size_t slot = buffer.PushBack(e);

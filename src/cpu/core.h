@@ -41,6 +41,7 @@
 #include "mem/stride_prefetcher.h"
 #include "spear/pthread_context.h"
 #include "spear/pthread_table.h"
+#include "spear/taint_observer.h"
 #include "telemetry/registry.h"
 #include "telemetry/trace.h"
 
@@ -91,6 +92,10 @@ struct CoreStats {
 
   // Stride-prefetcher baseline.
   std::uint64_t stride_prefetches = 0;
+
+  // BasicBlocker-style fence (CoreConfig::fence_spec_loads): issue slots a
+  // load lost to an older unresolved branch. Bound only when fencing is on.
+  std::uint64_t fence_load_stalls = 0;
 
   // Chaining-trigger extension.
   std::uint64_t chained_triggers = 0;
@@ -182,6 +187,15 @@ class Core {
   // -DSPEAR_ENABLE_COSIM=0.
   void set_cosim(cosim::CommitSink* sink) { cosim_ = sink; }
   bool cosim_diverged() const { return cosim_diverged_; }
+
+  // Attaches the speculative-leakage taint observer (nullptr detaches).
+  // Purely observational: it sees execute-at-dispatch results, issue-time
+  // cache accesses and episode boundaries, and never feeds timing back.
+  // Costs one pointer test per event when detached; compiles out under
+  // -DSPEAR_ENABLE_TAINT=0.
+  void set_taint_observer(taint::TaintObserver* observer) {
+    taint_ = observer;
+  }
 
   // Committed-PC trace capture for oracle tests (off by default). The
   // backing store is a bounded ring holding the most recent `cap` commits,
@@ -338,6 +352,9 @@ class Core {
   // Lockstep co-simulation (see cosim/commit_record.h).
   cosim::CommitSink* cosim_ = nullptr;
   bool cosim_diverged_ = false;
+
+  // Speculative-leakage observer (see spear/taint_observer.h).
+  taint::TaintObserver* taint_ = nullptr;
   bool DeliverCommit(const RuuEntry& e);
   void RecordTraceCommit(Pc pc);
 

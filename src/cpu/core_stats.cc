@@ -71,6 +71,12 @@ void Core::RegisterStats(telemetry::StatRegistry& reg) const {
                        "data-read latency as issued (cycles)");
   reg.BindCounter("mem.stride.prefetches", &s.stride_prefetches,
                   "stride-prefetcher baseline issues");
+  if (config_.fence_spec_loads) {
+    // Bound only when fencing is on so default-config stats JSONs stay
+    // byte-identical to the reference set.
+    reg.BindCounter("core.fence.load_stalls", &s.fence_load_stalls,
+                    "issue slots a load lost to an older unresolved branch");
+  }
 
   // ---- spear: trigger, sessions, extraction ----
   pt_.RegisterStats(reg);

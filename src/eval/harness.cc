@@ -34,6 +34,12 @@ RunStats RunConfig(const Program& prog, const CoreConfig& config,
     if (warm != nullptr) checker->SyncToWarmState(*warm);
     core.set_cosim(checker.get());
   }
+  std::unique_ptr<taint::TaintObserver> taint_obs;
+  if (config.taint_observe && taint::kTaintCompiled) {
+    taint_obs =
+        std::make_unique<taint::TaintObserver>(prog, config.mem.l1d.block_bytes);
+    core.set_taint_observer(taint_obs.get());
+  }
   const RunResult rr = core.Run(options.sim_instrs, options.max_cycles);
   RunStats s;
   s.cycles = rr.cycles;
@@ -63,6 +69,15 @@ RunStats RunConfig(const Program& prog, const CoreConfig& config,
       s.cosim_report = checker->Report();
       s.complete = false;  // the run was cut short at the divergence
     }
+  }
+  if (taint_obs != nullptr) {
+    s.taint_observed = true;
+    s.spec_loads = taint_obs->spec_loads();
+    s.tainted_addr_loads = taint_obs->tainted_addr_loads();
+    s.secret_loads = taint_obs->secret_loads();
+    s.lines_spec = taint_obs->spec_line_count();
+    s.lines_demand = taint_obs->demand_line_count();
+    s.lines_spec_only = taint_obs->SpecOnlyLines();
   }
   return s;
 }
@@ -104,6 +119,22 @@ telemetry::JsonValue RunStatsToJson(const RunStats& s) {
     o.Set("cosim_checked",
           telemetry::JsonValue(static_cast<std::int64_t>(s.cosim_checked)));
     o.Set("cosim_diverged", telemetry::JsonValue(s.cosim_diverged));
+  }
+  // Same conditional-emission discipline for the leakage observation.
+  if (s.taint_observed) {
+    o.Set("spec_leak_loads",
+          telemetry::JsonValue(static_cast<std::int64_t>(s.spec_loads)));
+    o.Set("spec_leak_tainted_addr",
+          telemetry::JsonValue(
+              static_cast<std::int64_t>(s.tainted_addr_loads)));
+    o.Set("spec_leak_secret_loads",
+          telemetry::JsonValue(static_cast<std::int64_t>(s.secret_loads)));
+    o.Set("spec_leak_lines_spec",
+          telemetry::JsonValue(static_cast<std::int64_t>(s.lines_spec)));
+    o.Set("spec_leak_lines_demand",
+          telemetry::JsonValue(static_cast<std::int64_t>(s.lines_demand)));
+    o.Set("spec_leak_lines_spec_only",
+          telemetry::JsonValue(static_cast<std::int64_t>(s.lines_spec_only)));
   }
   return o;
 }

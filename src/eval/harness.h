@@ -69,6 +69,17 @@ struct RunStats {
   bool cosim_diverged = false;
   std::string cosim_summary;
   std::string cosim_report;
+
+  // Speculative-leakage observation (config.taint_observe; see
+  // spear/taint_observer.h). `taint_observed` gates JSON emission so
+  // documents from unobserved runs keep their exact shape.
+  bool taint_observed = false;
+  std::uint64_t spec_loads = 0;          // loads on wrong-path/p-thread
+  std::uint64_t tainted_addr_loads = 0;  // address register carried taint
+  std::uint64_t secret_loads = 0;        // loads reading a @secret range
+  std::uint64_t lines_spec = 0;          // lines touched speculatively
+  std::uint64_t lines_demand = 0;        // lines touched by committed path
+  std::uint64_t lines_spec_only = 0;     // the leakage surface
 };
 
 // Runs `prog` on `config` for the options' commit budget. When `warm` is

@@ -103,13 +103,20 @@ std::vector<std::uint8_t> SerializeProgram(const Program& prog) {
     w.U32(static_cast<std::uint32_t>(spec.slice_pcs.size()));
     for (Pc pc : spec.slice_pcs) w.U32(pc);
   }
+
+  w.U32(static_cast<std::uint32_t>(prog.secret_ranges.size()));
+  for (const SecretRange& r : prog.secret_ranges) {
+    w.U32(r.base);
+    w.U32(r.size);
+  }
   return w.Take();
 }
 
 Program DeserializeProgram(const std::vector<std::uint8_t>& bytes) {
   Reader rd(bytes);
   for (char c : kMagic) SPEAR_CHECK(rd.U8() == static_cast<std::uint8_t>(c));
-  SPEAR_CHECK(rd.U32() == kSpearBinVersion);
+  const std::uint32_t version = rd.U32();
+  SPEAR_CHECK(version >= kSpearBinMinVersion && version <= kSpearBinVersion);
 
   Program prog;
   prog.text_base = rd.U32();
@@ -141,6 +148,16 @@ Program DeserializeProgram(const std::vector<std::uint8_t>& bytes) {
     const std::uint32_t nslice = rd.U32();
     for (std::uint32_t k = 0; k < nslice; ++k) spec.slice_pcs.push_back(rd.U32());
     prog.pthreads.push_back(std::move(spec));
+  }
+
+  if (version >= 3) {
+    const std::uint32_t nsecret = rd.U32();
+    for (std::uint32_t i = 0; i < nsecret; ++i) {
+      SecretRange r;
+      r.base = rd.U32();
+      r.size = rd.U32();
+      prog.secret_ranges.push_back(r);
+    }
   }
   SPEAR_CHECK(rd.AtEnd());
   return prog;

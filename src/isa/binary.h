@@ -12,6 +12,10 @@
 //       dload_pc u32, region_start u32, region_end u32,
 //       profile_misses u64, region_dcycles f64,
 //       nlive u32 + nlive * u8, nslice u32 + nslice * u32 }
+//   secrets (v3+): nsecret u32, per range { base u32, size u32 }
+//
+// Version 2 binaries (no secrets section) still load; the writer always
+// emits the current version.
 #pragma once
 
 #include <cstdint>
@@ -22,7 +26,10 @@
 
 namespace spear {
 
-inline constexpr std::uint32_t kSpearBinVersion = 2;
+inline constexpr std::uint32_t kSpearBinVersion = 3;
+// Oldest version DeserializeProgram still accepts (v2 predates @secret
+// region annotations).
+inline constexpr std::uint32_t kSpearBinMinVersion = 2;
 
 // In-memory (de)serialization.
 std::vector<std::uint8_t> SerializeProgram(const Program& prog);

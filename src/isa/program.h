@@ -18,6 +18,18 @@ struct DataSegment {
   std::vector<std::uint8_t> bytes;
 };
 
+// A `@secret` region annotation: bytes in [base, base + size) hold secret
+// data, so a load from the range taints its result for the leakage analysis
+// (analysis/taint.h and the runtime observer in spear/taint_observer.h).
+struct SecretRange {
+  Addr base = 0;
+  std::uint32_t size = 0;
+
+  bool Contains(Addr addr, std::uint32_t bytes) const {
+    return addr < base + size && addr + bytes > base;
+  }
+};
+
 class Program {
  public:
   static constexpr Addr kDefaultTextBase = 0x1000;
@@ -29,6 +41,14 @@ class Program {
   std::deque<DataSegment> data;
   Pc entry = kDefaultTextBase;
   std::vector<PThreadSpec> pthreads;
+  std::vector<SecretRange> secret_ranges;
+
+  bool IsSecretAddr(Addr addr, std::uint32_t bytes) const {
+    for (const SecretRange& r : secret_ranges) {
+      if (r.Contains(addr, bytes)) return true;
+    }
+    return false;
+  }
 
   Pc PcOf(InstrIndex index) const {
     return text_base + static_cast<Addr>(index) * kInstrBytes;

@@ -18,39 +18,72 @@ std::string HexPc(Pc pc) {
 
 }  // namespace
 
-const char* SpecDiagCodeName(SpecDiagCode code) {
-  switch (code) {
-    case SpecDiagCode::kEmptySlice: return "empty-slice";
-    case SpecDiagCode::kUnsortedSlicePcs: return "unsorted-slice-pcs";
-    case SpecDiagCode::kSlicePcNotInText: return "slice-pc-not-in-text";
-    case SpecDiagCode::kBadRegion: return "bad-region";
-    case SpecDiagCode::kSlicePcOutsideRegion: return "slice-pc-outside-region";
-    case SpecDiagCode::kDloadNotInSlice: return "dload-not-in-slice";
-    case SpecDiagCode::kDloadNotALoad: return "dload-not-a-load";
-    case SpecDiagCode::kStoreInSlice: return "store-in-slice";
-    case SpecDiagCode::kControlInSlice: return "control-in-slice";
-    case SpecDiagCode::kSideEffectInSlice: return "side-effect-in-slice";
-    case SpecDiagCode::kBadLiveIn: return "bad-live-in";
-    case SpecDiagCode::kUnsortedLiveIns: return "unsorted-live-ins";
-    case SpecDiagCode::kMissingLiveIn: return "missing-live-in";
-    case SpecDiagCode::kSpuriousLiveIn: return "spurious-live-in";
-    case SpecDiagCode::kUncoveredRead: return "uncovered-read";
-    case SpecDiagCode::kDeadSliceInstr: return "dead-slice-instr";
-    case SpecDiagCode::kOversizedLiveIns: return "oversized-live-ins";
-    case SpecDiagCode::kEmptyRegion: return "empty-region";
-  }
-  SPEAR_CHECK(false);
+const std::vector<SpecDiagInfo>& AllSpecDiagInfos() {
+  using C = SpecDiagCode;
+  using S = SpecDiagSeverity;
+  static const std::vector<SpecDiagInfo> kTable = {
+      {C::kEmptySlice, "empty-slice", S::kError,
+       "slice has no instructions"},
+      {C::kUnsortedSlicePcs, "unsorted-slice-pcs", S::kError,
+       "slice_pcs are not strictly ascending"},
+      {C::kSlicePcNotInText, "slice-pc-not-in-text", S::kError,
+       "a slice pc does not decode (outside the text section or misaligned)"},
+      {C::kBadRegion, "bad-region", S::kError,
+       "region bounds are invalid or outside the text"},
+      {C::kSlicePcOutsideRegion, "slice-pc-outside-region", S::kError,
+       "a slice pc lies outside [region_start, region_end]"},
+      {C::kDloadNotInSlice, "dload-not-in-slice", S::kError,
+       "the triggering d-load is not part of its own slice"},
+      {C::kDloadNotALoad, "dload-not-a-load", S::kError,
+       "dload_pc does not name a load instruction"},
+      {C::kStoreInSlice, "store-in-slice", S::kError,
+       "architectural-state escape: memory write in the slice"},
+      {C::kControlInSlice, "control-in-slice", S::kError,
+       "architectural-state escape: control transfer in the slice"},
+      {C::kSideEffectInSlice, "side-effect-in-slice", S::kError,
+       "architectural-state escape: halt/out in the slice"},
+      {C::kBadLiveIn, "bad-live-in", S::kError,
+       "live-in register id is invalid (r0 or out of range)"},
+      {C::kUnsortedLiveIns, "unsorted-live-ins", S::kError,
+       "live_ins are not strictly ascending"},
+      {C::kMissingLiveIn, "missing-live-in", S::kError,
+       "slice reads a register that is not a declared live-in"},
+      {C::kSpuriousLiveIn, "spurious-live-in", S::kError,
+       "declared live-in is never read before being defined"},
+      {C::kUncoveredRead, "uncovered-read", S::kError,
+       "read covered by neither the live-ins nor a slice definition"},
+      {C::kDeadSliceInstr, "dead-slice-instr", S::kWarning,
+       "slice instruction feeds nothing downstream"},
+      {C::kOversizedLiveIns, "oversized-live-ins", S::kWarning,
+       "live-in set exceeds the 1-reg/cycle copy budget"},
+      {C::kEmptyRegion, "empty-region", S::kWarning,
+       "slice is just the d-load: nothing pre-executes"},
+      {C::kSecretTaintedAddress, "secret-tainted-address", S::kError,
+       "speculative load address derives from a @secret-region load"},
+      {C::kSpecTaintedAddress, "spec-tainted-address", S::kWarning,
+       "speculative load address derives from a speculatively loaded value"},
+  };
+  return kTable;
 }
 
-SpecDiagSeverity SeverityOf(SpecDiagCode code) {
-  switch (code) {
-    case SpecDiagCode::kDeadSliceInstr:
-    case SpecDiagCode::kOversizedLiveIns:
-    case SpecDiagCode::kEmptyRegion:
-      return SpecDiagSeverity::kWarning;
-    default:
-      return SpecDiagSeverity::kError;
-  }
+namespace {
+
+const SpecDiagInfo& InfoOf(SpecDiagCode code) {
+  const std::vector<SpecDiagInfo>& table = AllSpecDiagInfos();
+  const auto idx = static_cast<std::size_t>(code);
+  SPEAR_CHECK(idx < table.size() && table[idx].code == code);
+  return table[idx];
+}
+
+}  // namespace
+
+const char* SpecDiagCodeName(SpecDiagCode code) { return InfoOf(code).name; }
+
+SpecDiagSeverity SeverityOf(SpecDiagCode code) { return InfoOf(code).severity; }
+
+bool IsSecurityDiag(SpecDiagCode code) {
+  return code == SpecDiagCode::kSecretTaintedAddress ||
+         code == SpecDiagCode::kSpecTaintedAddress;
 }
 
 bool HasSpecErrors(const std::vector<SpecDiag>& diags) {

@@ -41,6 +41,11 @@ enum class SpecDiagCode {
   kDeadSliceInstr,        // slice instruction feeds nothing downstream
   kOversizedLiveIns,      // live-in copy (1 reg/cycle) delays the trigger
   kEmptyRegion,           // slice is just the d-load: nothing runs ahead
+  // Security lints (analysis/taint.h; spearverify --security). A p-thread
+  // executes speculatively and its loads leave cache footprints, so an
+  // address derived from loaded data is a leakage channel.
+  kSecretTaintedAddress,  // address derives from a @secret-region load
+  kSpecTaintedAddress,    // address derives from a speculatively loaded value
 };
 
 enum class SpecDiagSeverity { kError, kWarning };
@@ -48,6 +53,22 @@ enum class SpecDiagSeverity { kError, kWarning };
 // Stable kebab-case name, printed in brackets after each diagnostic.
 const char* SpecDiagCodeName(SpecDiagCode code);
 SpecDiagSeverity SeverityOf(SpecDiagCode code);
+
+// True for the taint-analysis diagnostics: failures map to the dedicated
+// security exit code (tools/tool_flags.h) instead of the generic failure.
+bool IsSecurityDiag(SpecDiagCode code);
+
+// One row of the diagnostic vocabulary (spearverify --list-diagnostics).
+struct SpecDiagInfo {
+  SpecDiagCode code;
+  const char* name;         // stable kebab-case string id
+  SpecDiagSeverity severity;
+  const char* description;  // one line, human readable
+};
+
+// Every diagnostic, in enum order. The table is the single source of truth
+// behind SpecDiagCodeName/SeverityOf, so the dump can never drift.
+const std::vector<SpecDiagInfo>& AllSpecDiagInfos();
 
 struct SpecDiag {
   SpecDiagCode code;

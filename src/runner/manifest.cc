@@ -120,7 +120,8 @@ const std::set<std::string> kConfigKeys = {
     "bpred_entries", "trigger_occupancy_div",
     "extract_per_cycle", "drain_policy",
     "chaining_trigger",  "stride_prefetch",
-    "stride_degree",     "dcycle_budget"};
+    "stride_degree",     "dcycle_budget",
+    "taint",             "fence_spec_loads"};
 
 const std::set<std::string> kJobKeys = {"workload", "config", "debug_hang",
                                         "timeout_ms", "max_retries"};
@@ -196,6 +197,8 @@ void ParseConfig(Ctx& ctx, const JsonValue& obj, const std::string& path,
   c->stride_degree =
       static_cast<std::uint32_t>(ctx.U64(obj, path, "stride_degree", 0));
   c->dcycle_budget = ctx.Num(obj, path, "dcycle_budget", 0.0);
+  c->taint = ctx.Bool(obj, path, "taint", false);
+  c->fence_spec_loads = ctx.Bool(obj, path, "fence_spec_loads", false);
 }
 
 void ParseJob(Ctx& ctx, const JsonValue& obj, const std::string& path,
@@ -316,6 +319,8 @@ JsonValue ConfigToJson(const ConfigSpec& c) {
   if (c.dcycle_budget != 0.0) {
     o.Set("dcycle_budget", JsonValue(c.dcycle_budget));
   }
+  if (c.taint) o.Set("taint", JsonValue(true));
+  if (c.fence_spec_loads) o.Set("fence_spec_loads", JsonValue(true));
   return o;
 }
 
@@ -547,6 +552,8 @@ CoreConfig MakeCoreConfig(const ConfigSpec& c) {
   cfg.spear.chaining_trigger = c.chaining_trigger;
   cfg.stride_prefetch.enabled = c.stride_prefetch;
   if (c.stride_degree != 0) cfg.stride_prefetch.degree = c.stride_degree;
+  cfg.taint_observe = c.taint;
+  cfg.fence_spec_loads = c.fence_spec_loads;
   return cfg;
 }
 

@@ -57,6 +57,10 @@ struct ConfigSpec {
   bool chaining_trigger = false;
   bool stride_prefetch = false;
   std::uint32_t stride_degree = 0;
+  // Speculative-leakage evaluation (bench_fig_leakage): attach the taint
+  // observer, and/or fence speculative loads behind unresolved branches.
+  bool taint = false;
+  bool fence_spec_loads = false;
   // Compiler knob (affects PrepareWorkload, not the core): 0 = default.
   double dcycle_budget = 0.0;
 };

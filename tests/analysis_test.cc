@@ -10,6 +10,7 @@
 
 #include "analysis/cfg.h"
 #include "analysis/dataflow.h"
+#include "analysis/taint.h"
 #include "analysis/verifier.h"
 #include "compiler/slicer.h"
 #include "eval/harness.h"
@@ -477,8 +478,224 @@ TEST(PThreadSpecInSlice, BinarySearchSemantics) {
 }
 
 // ---------------------------------------------------------------------------
+// Speculative-leakage taint pass (analysis/taint.h): one adversarial slice
+// per sink rule, plus the false-positive guards.
+// ---------------------------------------------------------------------------
+
+// Pointer-chase slice: the spine load's value becomes the next load's
+// address. Without @secret ranges that is the load-tainted-address warning;
+// with the data declared secret it escalates to the error.
+struct ChaseFixture {
+  Program prog;
+  PThreadSpec spec;
+
+  ChaseFixture() {
+    Assembler a(&prog);
+    a.li(r(4), 0x2000);          // 0  chase pointer
+    a.li(r(1), 64);              // 1  trip count
+    Label loop = a.BindNew();
+    a.lw(r(2), r(4), 0);         // 2  slice: load next pointer
+    a.slli(r(3), r(2), 2);       // 3  slice: ALU chain on the loaded value
+    a.add(r(3), r(3), r(6));     // 4  slice: + table base (live-in)
+    a.lw(r(5), r(3), 0);         // 5  slice: dload, address from the chain
+    a.add(r(7), r(7), r(5));     // 6  consumer (outside the slice)
+    a.addi(r(4), r(4), 4);       // 7  slice: spine advance
+    a.addi(r(1), r(1), -1);      // 8
+    a.bne(r(1), r(0), loop);     // 9
+    a.halt();                    // 10
+    a.Finish();
+
+    spec.dload_pc = prog.PcOf(5);
+    spec.slice_pcs = {prog.PcOf(2), prog.PcOf(3), prog.PcOf(4), prog.PcOf(5),
+                      prog.PcOf(7)};
+    spec.live_ins = {r(4), r(6)};
+    spec.region_start = prog.PcOf(2);
+    spec.region_end = prog.PcOf(9);
+  }
+};
+
+TEST(Taint, LoadedValueReachingAddressWarns) {
+  ChaseFixture fx;
+  const std::vector<SpecDiag> diags = CheckSliceTaint(fx.prog, fx.spec);
+  EXPECT_TRUE(HasCode(diags, SpecDiagCode::kSpecTaintedAddress));
+  EXPECT_FALSE(HasCode(diags, SpecDiagCode::kSecretTaintedAddress));
+}
+
+TEST(Taint, SecretThroughAluChainIsError) {
+  ChaseFixture fx;
+  fx.prog.secret_ranges.push_back({0x2000, 0x1000});
+  const std::vector<SpecDiag> diags = CheckSliceTaint(fx.prog, fx.spec);
+  // The spine load may read the secret region; the value flows through
+  // slli/add into the dload's address.
+  EXPECT_TRUE(HasCode(diags, SpecDiagCode::kSecretTaintedAddress));
+}
+
+TEST(Taint, SpecSourcesCanBeDisabled) {
+  ChaseFixture fx;
+  TaintOptions opt;
+  opt.spec_load_sources = false;
+  EXPECT_TRUE(CheckSliceTaint(fx.prog, fx.spec, opt).empty());
+}
+
+TEST(Taint, ConstantOverwriteKillsTaint) {
+  // The loaded value is clobbered by an immediate before the address
+  // computation, so the dload's address derives from live-ins only.
+  Program prog;
+  Assembler a(&prog);
+  a.li(r(4), 0x2000);          // 0
+  Label loop = a.BindNew();
+  a.lw(r(2), r(4), 0);         // 1  slice: taints r2
+  a.li(r(2), 8);               // 2  slice: strong update kills the taint
+  a.add(r(3), r(2), r(6));     // 3  slice: address from constant + live-in
+  a.lw(r(5), r(3), 0);         // 4  slice: dload — untainted address
+  a.addi(r(4), r(4), 4);       // 5  slice: spine advance
+  a.bne(r(4), r(7), loop);     // 6
+  a.halt();                    // 7
+  a.Finish();
+
+  PThreadSpec spec;
+  spec.dload_pc = prog.PcOf(4);
+  spec.slice_pcs = {prog.PcOf(1), prog.PcOf(2), prog.PcOf(3), prog.PcOf(4),
+                    prog.PcOf(5)};
+  spec.live_ins = {r(4), r(6)};
+  spec.region_start = prog.PcOf(1);
+  spec.region_end = prog.PcOf(6);
+
+  const std::vector<SpecDiag> diags = CheckSliceTaint(prog, spec);
+  // pc 4's address is clean; pc 1's own address (r4, live-in ALU only)
+  // is clean too — the whole slice must be quiet even across the back
+  // edge (r2 is re-killed every iteration).
+  EXPECT_TRUE(diags.empty()) << diags.size() << " diagnostics";
+}
+
+TEST(Taint, FpPathCarriesTaint) {
+  // Taint must survive a float detour: ldf -> fadd -> cvtfi -> address.
+  Program prog;
+  Assembler a(&prog);
+  a.li(r(4), 0x2000);          // 0
+  Label loop = a.BindNew();
+  a.ldf(f(1), r(4), 0);        // 1  slice: FP load (secret source)
+  a.fadd(f(2), f(1), f(1));    // 2  slice: FP ALU
+  a.cvtfi(r(3), f(2));         // 3  slice: back to int
+  a.add(r(3), r(3), r(6));     // 4  slice: + table base
+  a.lw(r(5), r(3), 0);         // 5  slice: dload
+  a.addi(r(4), r(4), 8);       // 6  slice: spine advance
+  a.bne(r(4), r(7), loop);     // 7
+  a.halt();                    // 8
+  a.Finish();
+
+  PThreadSpec spec;
+  spec.dload_pc = prog.PcOf(5);
+  spec.slice_pcs = {prog.PcOf(1), prog.PcOf(2), prog.PcOf(3), prog.PcOf(4),
+                    prog.PcOf(5), prog.PcOf(6)};
+  spec.live_ins = {r(4), r(6)};
+  spec.region_start = prog.PcOf(1);
+  spec.region_end = prog.PcOf(7);
+
+  prog.secret_ranges.push_back({0x2000, 0x100});
+  const std::vector<SpecDiag> diags = CheckSliceTaint(prog, spec);
+  EXPECT_TRUE(HasCode(diags, SpecDiagCode::kSecretTaintedAddress));
+}
+
+TEST(Taint, LiveInOnlyAddressHasNoFalsePositive) {
+  // Index-fed gather where the dload address never touches a loaded
+  // value: strictly live-in + immediate arithmetic. Zero diagnostics even
+  // with secrets declared elsewhere.
+  Program prog;
+  Assembler a(&prog);
+  a.li(r(4), 0x2000);          // 0
+  Label loop = a.BindNew();
+  a.slli(r(3), r(4), 1);       // 1  slice: pure live-in arithmetic
+  a.add(r(3), r(3), r(6));     // 2  slice
+  a.lw(r(5), r(3), 0);         // 3  slice: dload
+  a.addi(r(4), r(4), 1);       // 4  slice: index advance
+  a.bne(r(4), r(7), loop);     // 5
+  a.halt();                    // 6
+  a.Finish();
+
+  PThreadSpec spec;
+  spec.dload_pc = prog.PcOf(3);
+  spec.slice_pcs = {prog.PcOf(1), prog.PcOf(2), prog.PcOf(3), prog.PcOf(4)};
+  spec.live_ins = {r(4), r(6)};
+  spec.region_start = prog.PcOf(1);
+  spec.region_end = prog.PcOf(5);
+
+  prog.secret_ranges.push_back({0x9000, 0x100});
+  EXPECT_TRUE(CheckSliceTaint(prog, spec).empty());
+}
+
+TEST(Taint, ConstantAddressOutsideSecretRangeStaysClean) {
+  // A statically resolved load address outside every @secret range must
+  // not source secret taint (the may-analysis is exact when it can be) —
+  // the loaded value still warns as a speculative source, but never
+  // escalates to the error.
+  Program prog;
+  Assembler a(&prog);
+  a.li(r(1), 64);              // 0
+  Label loop = a.BindNew();
+  a.li(r(4), 0x3000);          // 1  slice: constant base, re-established
+                               //    every iteration (so relying on it is
+                               //    sound across the back edge)
+  a.lw(r(2), r(4), 0);         // 2  slice: address provably 0x3000
+  a.add(r(3), r(2), r(6));     // 3  slice
+  a.lw(r(5), r(3), 0);         // 4  slice: dload
+  a.addi(r(1), r(1), -1);      // 5
+  a.bne(r(1), r(0), loop);     // 6
+  a.halt();                    // 7
+  a.Finish();
+
+  PThreadSpec spec;
+  spec.dload_pc = prog.PcOf(4);
+  spec.slice_pcs = {prog.PcOf(1), prog.PcOf(2), prog.PcOf(3), prog.PcOf(4)};
+  spec.live_ins = {r(6)};
+  spec.region_start = prog.PcOf(1);
+  spec.region_end = prog.PcOf(6);
+
+  prog.secret_ranges.push_back({0x2000, 0x100});
+  const std::vector<SpecDiag> diags = CheckSliceTaint(prog, spec);
+  EXPECT_TRUE(HasCode(diags, SpecDiagCode::kSpecTaintedAddress));
+  EXPECT_FALSE(HasCode(diags, SpecDiagCode::kSecretTaintedAddress));
+
+  // Widen the range over 0x3000 and the same slice must escalate.
+  prog.secret_ranges[0] = {0x3000, 0x10};
+  EXPECT_TRUE(
+      HasCode(CheckSliceTaint(prog, spec), SpecDiagCode::kSecretTaintedAddress));
+}
+
+TEST(Taint, VerifierRunsTaintOnlyUnderSecurityOption) {
+  ChaseFixture fx;
+  const SpecVerifyResult plain = VerifySpec(fx.prog, fx.spec);
+  EXPECT_FALSE(HasCode(plain.diags, SpecDiagCode::kSpecTaintedAddress));
+
+  VerifyOptions vopt;
+  vopt.security = true;
+  const SpecVerifyResult sec = VerifySpec(fx.prog, fx.spec, vopt);
+  EXPECT_TRUE(HasCode(sec.diags, SpecDiagCode::kSpecTaintedAddress));
+  EXPECT_TRUE(sec.ok()) << "warnings alone must not fail verification";
+
+  fx.prog.secret_ranges.push_back({0x2000, 0x1000});
+  const SpecVerifyResult leak = VerifySpec(fx.prog, fx.spec, vopt);
+  EXPECT_TRUE(HasCode(leak.diags, SpecDiagCode::kSecretTaintedAddress));
+  EXPECT_FALSE(leak.ok()) << "secret-tainted addresses are errors";
+}
+
+TEST(SpecDiagTable, NamesSeveritiesAndSecurityFlagAgree) {
+  const std::vector<SpecDiagInfo>& infos = AllSpecDiagInfos();
+  ASSERT_FALSE(infos.empty());
+  for (const SpecDiagInfo& info : infos) {
+    EXPECT_STREQ(SpecDiagCodeName(info.code), info.name);
+    EXPECT_EQ(SeverityOf(info.code), info.severity);
+  }
+  EXPECT_TRUE(IsSecurityDiag(SpecDiagCode::kSecretTaintedAddress));
+  EXPECT_TRUE(IsSecurityDiag(SpecDiagCode::kSpecTaintedAddress));
+  EXPECT_FALSE(IsSecurityDiag(SpecDiagCode::kStoreInSlice));
+}
+
+// ---------------------------------------------------------------------------
 // End to end: every spec the post-compiler emits for every workload must
-// verify with zero errors (the slicer's gate and the verifier agree).
+// verify with zero errors (the slicer's gate and the verifier agree) —
+// including the security taint pass, which may warn but never error on
+// the shipped workloads (none declare @secret regions).
 // ---------------------------------------------------------------------------
 
 class EveryWorkloadVerifies : public testing::TestWithParam<const char*> {};
@@ -490,6 +707,11 @@ TEST_P(EveryWorkloadVerifies, CompilerOutputIsContractClean) {
   const VerifyResult vr = VerifyProgram(pw.annotated);
   EXPECT_TRUE(vr.ok()) << vr.ToString(GetParam());
   EXPECT_EQ(vr.specs.size(), pw.annotated.pthreads.size());
+
+  VerifyOptions security;
+  security.security = true;
+  const VerifyResult sec = VerifyProgram(pw.annotated, security);
+  EXPECT_TRUE(sec.ok()) << sec.ToString(GetParam());
 }
 
 INSTANTIATE_TEST_SUITE_P(

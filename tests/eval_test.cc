@@ -135,6 +135,78 @@ TEST(Harness, RunConfigHonorsBudget) {
 
 // A zero-commit-budget run must produce clean zeros in every derived
 // ratio (ipc, ipb), not NaN/inf or a count masquerading as a ratio.
+TEST(SpecLeakage, ObserverDoesNotPerturbTimingOrState) {
+  // The taint observer is passive: attaching it must change no
+  // architectural or microarchitectural outcome (only add spec_leak_*
+  // members), and the run must stay cosim-clean.
+  if (!taint::kTaintCompiled) GTEST_SKIP() << "SPEAR_ENABLE_TAINT=0";
+  const EvalOptions opt = FastOptions();
+  const PreparedWorkload pw = PrepareWorkload("pointer", opt);
+
+  CoreConfig plain_cfg = SpearCoreConfig(256);
+  CoreConfig taint_cfg = plain_cfg;
+  taint_cfg.taint_observe = true;
+  taint_cfg.cosim_check = true;
+  const RunStats off = RunConfig(pw.annotated, plain_cfg, opt);
+  const RunStats on = RunConfig(pw.annotated, taint_cfg, opt);
+
+  EXPECT_FALSE(on.cosim_diverged) << on.cosim_summary;
+  EXPECT_EQ(on.cycles, off.cycles);
+  EXPECT_EQ(on.instructions, off.instructions);
+  EXPECT_EQ(on.l1d_misses_main, off.l1d_misses_main);
+  EXPECT_EQ(on.l1d_misses_pthread, off.l1d_misses_pthread);
+  EXPECT_EQ(on.triggers, off.triggers);
+  EXPECT_EQ(on.sessions, off.sessions);
+  EXPECT_FALSE(off.taint_observed);
+  EXPECT_TRUE(on.taint_observed);
+  // A pointer chase pre-executed by p-threads must show a speculative
+  // footprint with tainted addresses (the chase loads feed each other).
+  EXPECT_GT(on.spec_loads, 0u);
+  EXPECT_GT(on.tainted_addr_loads, 0u);
+  EXPECT_GT(on.lines_spec, 0u);
+  EXPECT_GT(on.lines_demand, 0u);
+}
+
+TEST(SpecLeakage, ObservationIsDeterministic) {
+  if (!taint::kTaintCompiled) GTEST_SKIP() << "SPEAR_ENABLE_TAINT=0";
+  const EvalOptions opt = FastOptions();
+  const PreparedWorkload pw = PrepareWorkload("mcf", opt);
+  CoreConfig cfg = SpearCoreConfig(256);
+  cfg.taint_observe = true;
+  const RunStats a = RunConfig(pw.annotated, cfg, opt);
+  const RunStats b = RunConfig(pw.annotated, cfg, opt);
+  EXPECT_EQ(a.spec_loads, b.spec_loads);
+  EXPECT_EQ(a.tainted_addr_loads, b.tainted_addr_loads);
+  EXPECT_EQ(a.secret_loads, b.secret_loads);
+  EXPECT_EQ(a.lines_spec, b.lines_spec);
+  EXPECT_EQ(a.lines_demand, b.lines_demand);
+  EXPECT_EQ(a.lines_spec_only, b.lines_spec_only);
+}
+
+TEST(SpecLeakage, FenceShrinksSurfaceAndCostsCycles) {
+  // The BasicBlocker-style fence holds loads behind unresolved branches:
+  // same architectural results, fewer speculative-only lines, more
+  // cycles. Cosim proves the stall logic never corrupts execution.
+  if (!taint::kTaintCompiled) GTEST_SKIP() << "SPEAR_ENABLE_TAINT=0";
+  const EvalOptions opt = FastOptions();
+  const PreparedWorkload pw = PrepareWorkload("mcf", opt);
+
+  CoreConfig base_cfg = BaselineConfig(128);
+  base_cfg.taint_observe = true;
+  CoreConfig fence_cfg = base_cfg;
+  fence_cfg.fence_spec_loads = true;
+  fence_cfg.cosim_check = true;
+  const RunStats base = RunConfig(pw.plain, base_cfg, opt);
+  const RunStats fenced = RunConfig(pw.plain, fence_cfg, opt);
+
+  EXPECT_FALSE(fenced.cosim_diverged) << fenced.cosim_summary;
+  EXPECT_TRUE(fenced.complete) << "fence must not wedge the pipeline";
+  EXPECT_GE(fenced.cycles, base.cycles);
+  EXPECT_LE(fenced.lines_spec_only, base.lines_spec_only);
+  // mcf speculates heavily: the fence must actually engage.
+  EXPECT_LT(fenced.lines_spec, base.lines_spec);
+}
+
 TEST(Harness, ZeroBudgetRunYieldsZeroRatios) {
   EvalOptions opt = FastOptions();
   opt.sim_instrs = 0;

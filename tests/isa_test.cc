@@ -209,6 +209,45 @@ TEST(Binary, FileRoundTrip) {
   std::remove(path.c_str());
 }
 
+TEST(Binary, SecretRangesRoundTrip) {
+  Program prog = MakeRichProgram();
+  prog.secret_ranges.push_back({0x2000, 0x100});
+  prog.secret_ranges.push_back({0x400000, 64});
+  const Program back = DeserializeProgram(SerializeProgram(prog));
+  ASSERT_EQ(back.secret_ranges.size(), 2u);
+  EXPECT_EQ(back.secret_ranges[0].base, 0x2000u);
+  EXPECT_EQ(back.secret_ranges[0].size, 0x100u);
+  EXPECT_EQ(back.secret_ranges[1].base, 0x400000u);
+  EXPECT_EQ(back.secret_ranges[1].size, 64u);
+}
+
+TEST(Binary, Version2WithoutSecretsSectionStillLoads) {
+  // A v3 binary with no secrets is a v2 binary plus a trailing zero u32:
+  // patch the version field down and drop the tail to reconstruct the old
+  // format on the wire.
+  const Program prog = MakeRichProgram();
+  std::vector<std::uint8_t> bytes = SerializeProgram(prog);
+  ASSERT_GE(bytes.size(), 16u);
+  bytes[8] = 2;  // version u32 (little-endian) follows the 8-byte magic
+  bytes.resize(bytes.size() - 4);  // drop "nsecret = 0"
+  const Program back = DeserializeProgram(bytes);
+  EXPECT_EQ(back.text.size(), prog.text.size());
+  EXPECT_EQ(back.pthreads.size(), prog.pthreads.size());
+  EXPECT_TRUE(back.secret_ranges.empty());
+}
+
+TEST(Program, IsSecretAddrOverlapSemantics) {
+  Program prog;
+  prog.secret_ranges.push_back({0x1000, 0x10});
+  EXPECT_TRUE(prog.IsSecretAddr(0x1000, 4));
+  EXPECT_TRUE(prog.IsSecretAddr(0x100c, 4));
+  EXPECT_FALSE(prog.IsSecretAddr(0x1010, 4));   // one past the end
+  EXPECT_FALSE(prog.IsSecretAddr(0x0ffc, 4));   // ends at the base
+  EXPECT_TRUE(prog.IsSecretAddr(0x0ffd, 4));    // straddles the base
+  EXPECT_TRUE(prog.IsSecretAddr(0x100e, 4));    // straddles the end
+  EXPECT_FALSE(prog.IsSecretAddr(0x2000, 4));
+}
+
 TEST(PThreadSpec, InSliceUsesSortedOrder) {
   PThreadSpec spec;
   spec.slice_pcs = {0x1000, 0x1010, 0x1030};

@@ -5,7 +5,7 @@
 //   spearc input.spearbin -o input.spear.bin
 //       [--profile-input other.spearbin] [--profile-instrs 2000000]
 //       [--miss-threshold 500] [--max-dloads 8] [--inclusion 0.25]
-//       [--budget 120] [--report] [--verify]
+//       [--budget 120] [--report] [--verify] [--security]
 #include <cstdio>
 #include <cstdlib>
 
@@ -26,7 +26,10 @@ int main(int argc, char** argv) {
        {"inclusion", "slice-membership vote share (default 0.25)"},
        {"budget", "region d-cycle budget (default 120)"},
        {"report", "print the compile report"},
-       {"verify", "re-verify the attached p-threads before writing"}});
+       {"verify", "re-verify the attached p-threads before writing"},
+       {"security",
+        "run the speculative-leakage taint pass on the attached p-threads; "
+        "a secret-tainted address blocks the write"}});
 
   if (flags.positional().empty()) {
     std::fprintf(stderr, "spearc: no input binary (try --help)\n");
@@ -56,15 +59,30 @@ int main(int argc, char** argv) {
       CompileSpear(profile_input, target, options, &report);
 
   // The slicer already gates every spec (compiler/slicer.cc); --verify
-  // re-runs the full analysis on the final program as an independent check.
-  if (flags.GetBool("verify")) {
-    const VerifyResult vr = VerifyProgram(annotated);
+  // re-runs the full analysis on the final program as an independent check,
+  // and --security adds the speculative-leakage taint pass on top.
+  if (flags.GetBool("verify") || flags.GetBool("security")) {
+    VerifyOptions vopts;
+    vopts.security = flags.GetBool("security");
+    const VerifyResult vr = VerifyProgram(annotated, vopts);
     const std::string diags = vr.ToString(input);
     if (!diags.empty()) std::fputs(diags.c_str(), stderr);
+    bool security_error = false;
+    for (const SpecVerifyResult& s : vr.specs) {
+      for (const SpecDiag& d : s.diags) {
+        security_error |= IsSecurityDiag(d.code) &&
+                          d.severity() == SpecDiagSeverity::kError;
+      }
+    }
+    if (security_error) {
+      std::fprintf(stderr, "%s: p-thread leaks secret-tainted addresses, "
+                           "not writing\n", input.c_str());
+      return tools::kExitSecurity;
+    }
     if (!vr.ok()) {
       std::fprintf(stderr, "%s: p-thread verification failed, not writing\n",
                    input.c_str());
-      return 1;
+      return tools::kExitFailure;
     }
   }
 

@@ -258,10 +258,15 @@ struct Outcome {
   std::string report;
 };
 
+// --taint attaches the speculative-leakage observer to every cosim run,
+// proving the observer hooks never perturb the commit stream.
+bool g_taint = false;
+
 Outcome RunCosim(const Program& prog, bool spear, std::uint64_t sim_instrs,
                  std::uint64_t max_cycles) {
   CoreConfig cfg = spear ? SpearCoreConfig(256) : BaselineConfig(128);
   cfg.cosim_check = true;
+  cfg.taint_observe = g_taint;
   EvalOptions opt;
   opt.sim_instrs = sim_instrs;
   opt.max_cycles = max_cycles;
@@ -358,6 +363,8 @@ int main(int argc, char** argv) {
        {"corpus", "reproducer directory, replayed first "
                   "(default tests/corpus)"},
        {"replay-only", "only replay the corpus, generate nothing"},
+       {"taint", "attach the speculative-leakage taint observer to every "
+                 "run (checks the hooks don't perturb cosim)"},
        {"no-shrink", "persist failing programs without shrinking"}});
   if (!flags.positional().empty()) {
     std::fprintf(stderr, "spearfuzz: unexpected positional argument\n");
@@ -368,6 +375,15 @@ int main(int argc, char** argv) {
                  "spearfuzz: built with SPEAR_ENABLE_COSIM=0 — the checker "
                  "is compiled out\n");
     return tools::kExitUsage;
+  }
+  if (flags.GetBool("taint")) {
+    if (!spear::taint::kTaintCompiled) {
+      std::fprintf(stderr,
+                   "spearfuzz: taint hooks compiled out "
+                   "(SPEAR_ENABLE_TAINT=0); --taint unavailable\n");
+      return tools::kExitUsage;
+    }
+    g_taint = true;
   }
 
   const std::uint64_t sim_instrs =

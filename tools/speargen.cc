@@ -1,12 +1,45 @@
 // speargen — emit a workload from the built-in suite as a SPEARBIN file.
 //
 //   speargen mcf --seed=42 --scale=1 -o mcf.spearbin
+//   speargen mcf --secret 0x20000:256 -o mcf.spearbin
 //   speargen --list
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 
 #include "isa/binary.h"
 #include "tool_flags.h"
 #include "workloads/workload.h"
+
+namespace {
+
+// Parse "base:size[,base:size...]" (0x-prefixed hex accepted) into @secret
+// region annotations.
+std::vector<spear::SecretRange> ParseSecretRanges(const std::string& arg) {
+  std::vector<spear::SecretRange> ranges;
+  std::size_t pos = 0;
+  while (pos < arg.size()) {
+    std::size_t comma = arg.find(',', pos);
+    if (comma == std::string::npos) comma = arg.size();
+    const std::string item = arg.substr(pos, comma - pos);
+    const std::size_t colon = item.find(':');
+    if (colon == std::string::npos) {
+      std::fprintf(stderr, "speargen: --secret expects base:size, got '%s'\n",
+                   item.c_str());
+      std::exit(2);
+    }
+    spear::SecretRange r;
+    r.base = static_cast<spear::Addr>(
+        std::strtoul(item.substr(0, colon).c_str(), nullptr, 0));
+    r.size = static_cast<std::uint32_t>(
+        std::strtoul(item.substr(colon + 1).c_str(), nullptr, 0));
+    ranges.push_back(r);
+    pos = comma + 1;
+  }
+  return ranges;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace spear;
@@ -14,6 +47,8 @@ int main(int argc, char** argv) {
                      {{"seed", "data seed (default 42)"},
                       {"scale", "working-set scale factor (default 1)"},
                       {"o", "output path (default <name>.spearbin)"},
+                      {"secret",
+                       "@secret region annotations, base:size[,base:size...]"},
                       {"list", "list available workloads"}});
 
   if (flags.GetBool("list") || flags.positional().empty()) {
@@ -28,7 +63,10 @@ int main(int argc, char** argv) {
   WorkloadConfig cfg;
   cfg.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
   cfg.scale = static_cast<int>(flags.GetInt("scale", 1));
-  const Program prog = BuildWorkloadProgram(name, cfg);
+  Program prog = BuildWorkloadProgram(name, cfg);
+  if (flags.Has("secret")) {
+    prog.secret_ranges = ParseSecretRanges(flags.Get("secret"));
+  }
 
   const std::string out = flags.Get("o", name + ".spearbin");
   WriteProgram(prog, out);

@@ -47,6 +47,10 @@ int main(int argc, char** argv) {
        {"cosim-inject", "self-test: corrupt the Nth checked commit so the "
                         "divergence path must fire"},
        {"strict-specs", "refuse binaries with malformed p-thread specs"},
+       {"taint", "attach the speculative-leakage taint observer "
+                 "(core.spec_leak.* stats)"},
+       {"fence", "fence speculative loads behind unresolved branches "
+                 "(BasicBlocker-style)"},
        {"trace", "print committed OUT values"},
        {"stats-json", "write the full stats tree as JSON ('-' = stdout)"},
        {"trace-out", "write a pipeline event trace to this file"},
@@ -91,6 +95,7 @@ int main(int argc, char** argv) {
       static_cast<std::uint32_t>(flags.GetInt("mem-latency", 120));
   cfg.mem.l2_latency =
       static_cast<std::uint32_t>(flags.GetInt("l2-latency", 12));
+  cfg.fence_spec_loads = flags.GetBool("fence");
 
   if (flags.GetBool("spear") && prog.pthreads.empty()) {
     std::fprintf(stderr,
@@ -114,6 +119,21 @@ int main(int argc, char** argv) {
         static_cast<std::uint64_t>(flags.GetInt("cosim-inject", 0));
     checker = std::make_unique<cosim::CosimChecker>(prog, cc);
     core.set_cosim(checker.get());
+  }
+
+  // Speculative-leakage observation: shadow taint over wrong-path and
+  // p-thread execution (core.spec_leak.* in --stats-json).
+  std::unique_ptr<taint::TaintObserver> taint_obs;
+  if (flags.GetBool("taint")) {
+    if (!taint::kTaintCompiled) {
+      std::fprintf(stderr,
+                   "spearsim: taint hooks compiled out "
+                   "(SPEAR_ENABLE_TAINT=0); --taint unavailable\n");
+      return tools::kExitUsage;
+    }
+    taint_obs =
+        std::make_unique<taint::TaintObserver>(prog, cfg.mem.l1d.block_bytes);
+    core.set_taint_observer(taint_obs.get());
   }
 
   // Skip-and-simulate: functionally execute the first N instructions
@@ -225,6 +245,14 @@ int main(int argc, char** argv) {
     std::printf("stride prefetches %llu\n",
                 static_cast<unsigned long long>(s.stride_prefetches));
   }
+  if (taint_obs) {
+    std::printf("leakage surface   %llu spec-only lines (%llu spec / %llu "
+                "demand), %llu tainted-addr loads\n",
+                static_cast<unsigned long long>(taint_obs->SpecOnlyLines()),
+                static_cast<unsigned long long>(taint_obs->spec_line_count()),
+                static_cast<unsigned long long>(taint_obs->demand_line_count()),
+                static_cast<unsigned long long>(taint_obs->tainted_addr_loads()));
+  }
   if (flags.GetBool("trace")) {
     for (std::uint32_t v : core.outputs()) std::printf("out: %u\n", v);
   }
@@ -233,6 +261,7 @@ int main(int argc, char** argv) {
     telemetry::StatRegistry reg;
     core.RegisterStats(reg);
     if (checker) checker->RegisterStats(reg);
+    if (taint_obs) taint_obs->RegisterStats(reg);
     telemetry::JsonValue meta = telemetry::JsonValue::Object();
     meta.Set("binary", telemetry::JsonValue(flags.positional()[0]));
     meta.Set("spear", telemetry::JsonValue(flags.GetBool("spear")));

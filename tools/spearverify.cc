@@ -1,37 +1,157 @@
 // spearverify — statically verify the p-thread section of SPEAR binaries
 // before they ever reach the (simulated) hardware: slice well-formedness,
-// no architectural-state escape, live-in exactness, self-containment, and
-// lint-grade efficiency warnings. Diagnostics are file:pc formatted.
+// no architectural-state escape, live-in exactness, self-containment,
+// lint-grade efficiency warnings, and (with --security) the speculative-
+// leakage taint pass. Diagnostics are file:pc formatted.
 //
-//   spearverify a.spear.bin [b.spear.bin ...]
+//   spearverify a.spear.bin dir/ [...]
 //       [--budget 8] [--no-lints] [--quiet]
+//       [--security] [--security-policy warn|reject]
+//       [--list-diagnostics]
 //
-// Exit codes: 0 = every spec verifies, 1 = contract violations, 2 = usage.
+// Directory arguments expand to every *.bin / *.spearbin inside, sorted.
+// All inputs are checked even when an early one fails; the exit code
+// reflects the worst finding: 0 = every spec verifies, 1 = contract
+// violations or unreadable input, 2 = usage, 5 = security rejection
+// (secret-tainted address, or any tainted address under --security-policy
+// reject).
+#include <algorithm>
 #include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
 
 #include "analysis/verifier.h"
 #include "isa/binary.h"
 #include "tool_flags.h"
 
+namespace {
+
+using namespace spear;
+
+// Expand directories to their binaries; pass files through untouched.
+std::vector<std::string> ExpandInputs(const std::vector<std::string>& args) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> paths;
+  for (const std::string& arg : args) {
+    std::error_code ec;
+    if (!fs::is_directory(arg, ec)) {
+      paths.push_back(arg);
+      continue;
+    }
+    std::vector<std::string> found;
+    for (const fs::directory_entry& e : fs::directory_iterator(arg, ec)) {
+      if (!e.is_regular_file()) continue;
+      const std::string ext = e.path().extension().string();
+      if (ext == ".bin" || ext == ".spearbin") {
+        found.push_back(e.path().string());
+      }
+    }
+    std::sort(found.begin(), found.end());
+    paths.insert(paths.end(), found.begin(), found.end());
+  }
+  return paths;
+}
+
+// ReadProgram aborts via SPEAR_CHECK on malformed input, which would kill
+// the whole batch; probe the header first so a bad file is a per-file
+// failure instead.
+bool ProbeHeader(const std::string& path, std::string* why) {
+  std::FILE* fp = std::fopen(path.c_str(), "rb");
+  if (fp == nullptr) {
+    *why = "cannot open";
+    return false;
+  }
+  unsigned char hdr[12];
+  const std::size_t n = std::fread(hdr, 1, sizeof(hdr), fp);
+  std::fclose(fp);
+  if (n < sizeof(hdr)) {
+    *why = "truncated header";
+    return false;
+  }
+  static constexpr char kMagic[8] = {'S', 'P', 'E', 'A', 'R', 'B', 'I', 'N'};
+  for (int i = 0; i < 8; ++i) {
+    if (hdr[i] != static_cast<unsigned char>(kMagic[i])) {
+      *why = "not a SPEARBIN file";
+      return false;
+    }
+  }
+  std::uint32_t version = 0;
+  for (int i = 0; i < 4; ++i) {
+    version |= static_cast<std::uint32_t>(hdr[8 + i]) << (8 * i);
+  }
+  if (version < kSpearBinMinVersion || version > kSpearBinVersion) {
+    *why = "unsupported SPEARBIN version " + std::to_string(version);
+    return false;
+  }
+  return true;
+}
+
+int ListDiagnostics() {
+  std::printf("%-26s %-8s %s\n", "id", "severity", "description");
+  for (const SpecDiagInfo& info : AllSpecDiagInfos()) {
+    std::printf("%-26s %-8s %s%s\n", info.name,
+                info.severity == SpecDiagSeverity::kError ? "error" : "warning",
+                info.description,
+                IsSecurityDiag(info.code) ? " [security]" : "");
+  }
+  return tools::kExitOk;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  using namespace spear;
   tools::Flags flags(
       argc, argv,
       {{"budget", "live-in copy budget for the oversized lint (default 8)"},
        {"no-lints", "report contract violations only, no warnings"},
-       {"quiet", "per-file summary lines only"}});
+       {"quiet", "per-file summary lines only"},
+       {"security", "run the speculative-leakage taint pass as well"},
+       {"security-policy",
+        "warn (default) or reject: reject escalates every tainted-address "
+        "finding to a security failure"},
+       {"list-diagnostics",
+        "print the diagnostic vocabulary (stable ids) and exit"}});
+
+  if (flags.GetBool("list-diagnostics")) return ListDiagnostics();
 
   if (flags.positional().empty()) {
     std::fprintf(stderr, "spearverify: no input binary (try --help)\n");
-    return 2;
+    return tools::kExitUsage;
   }
 
   VerifyOptions options;
   options.live_in_budget = static_cast<int>(flags.GetInt("budget", 8));
   options.lints = !flags.GetBool("no-lints");
+  options.security = flags.GetBool("security");
 
-  bool any_errors = false;
-  for (const std::string& path : flags.positional()) {
+  const std::string policy = flags.Get("security-policy", "warn");
+  if (policy != "warn" && policy != "reject") {
+    std::fprintf(stderr, "spearverify: --security-policy must be warn or "
+                         "reject, got '%s'\n", policy.c_str());
+    return tools::kExitUsage;
+  }
+  const bool reject = policy == "reject";
+
+  const std::vector<std::string> paths = ExpandInputs(flags.positional());
+  if (paths.empty()) {
+    std::fprintf(stderr, "spearverify: no binaries found\n");
+    return tools::kExitUsage;
+  }
+
+  int files_failed = 0;
+  int total_errors = 0;
+  int total_warnings = 0;
+  bool any_failure = false;
+  bool any_security = false;
+  for (const std::string& path : paths) {
+    std::string why;
+    if (!ProbeHeader(path, &why)) {
+      std::printf("%s: FAILED (%s)\n", path.c_str(), why.c_str());
+      ++files_failed;
+      any_failure = true;
+      continue;
+    }
     // kTrust: the structural load check is a subset of what runs below.
     const Program prog = ReadProgram(path, SpecLoadPolicy::kTrust);
     const VerifyResult vr = VerifyProgram(prog, options);
@@ -39,9 +159,31 @@ int main(int argc, char** argv) {
       const std::string diags = vr.ToString(path);
       if (!diags.empty()) std::fputs(diags.c_str(), stdout);
     }
-    std::printf("%s: %zu p-thread spec(s), %d error(s), %d warning(s)\n",
-                path.c_str(), vr.specs.size(), vr.errors(), vr.warnings());
-    any_errors |= !vr.ok();
+    bool file_security = false;
+    bool file_failure = !vr.ok();
+    for (const SpecVerifyResult& s : vr.specs) {
+      for (const SpecDiag& d : s.diags) {
+        if (!IsSecurityDiag(d.code)) continue;
+        if (d.severity() == SpecDiagSeverity::kError || reject) {
+          file_security = true;
+        }
+      }
+    }
+    std::printf("%s: %zu p-thread spec(s), %d error(s), %d warning(s)%s\n",
+                path.c_str(), vr.specs.size(), vr.errors(), vr.warnings(),
+                file_security ? " [security]" : "");
+    total_errors += vr.errors();
+    total_warnings += vr.warnings();
+    files_failed += file_failure || file_security;
+    any_failure |= file_failure;
+    any_security |= file_security;
   }
-  return any_errors ? 1 : 0;
+
+  if (paths.size() > 1) {
+    std::printf("spearverify: %zu file(s), %d failed, %d error(s), "
+                "%d warning(s)\n",
+                paths.size(), files_failed, total_errors, total_warnings);
+  }
+  if (any_security) return tools::kExitSecurity;
+  return any_failure ? tools::kExitFailure : tools::kExitOk;
 }

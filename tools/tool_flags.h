@@ -26,11 +26,15 @@ namespace spear::tools {
 //        | the pipeline contradicting the functional      |  deterministic)
 //        | oracle (spearsim --cosim, spearrun --cosim,    |
 //        | spearfuzz)                                     |
+//     5  | security rejection: the speculative-leakage    | no (fail fast,
+//        | taint pass found a leakage-contract violation  |  deterministic)
+//        | (spearverify --security, spearc --security)    |
 inline constexpr int kExitOk = 0;
 inline constexpr int kExitFailure = 1;
 inline constexpr int kExitUsage = 2;
 inline constexpr int kExitIncomplete = 3;
 inline constexpr int kExitCosimDivergence = 4;
+inline constexpr int kExitSecurity = 5;
 
 class Flags {
  public:
