@@ -1,0 +1,158 @@
+#include "farm/cache.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "isa/binary.h"
+#include "telemetry/registry.h"
+
+namespace spear::farm {
+namespace {
+
+std::uint64_t Fnv1a64(const void* data, std::size_t n,
+                      std::uint64_t h = 14695981039346656037ull) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string HexHash(std::uint64_t h) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+}  // namespace
+
+std::uint64_t BinaryFingerprint(const PreparedWorkload& pw) {
+  const std::vector<std::uint8_t> plain = SerializeProgram(pw.plain);
+  const std::vector<std::uint8_t> annotated = SerializeProgram(pw.annotated);
+  return Fnv1a64(annotated.data(), annotated.size(),
+                 Fnv1a64(plain.data(), plain.size()));
+}
+
+ResultCacheKey MakeResultKey(const runner::Manifest& m,
+                             const runner::JobSpec& job,
+                             std::uint64_t binary_fingerprint, bool cosim) {
+  // The canonical compact config JSON covers every simulator/compiler
+  // knob plus the label (the label is part of the row's bytes). Emitting
+  // through a one-config manifest reuses ConfigToJson's only-non-default
+  // canonical form.
+  runner::Manifest probe;
+  probe.configs.push_back(m.configs[job.config]);
+  const telemetry::JsonValue probe_json = runner::ManifestToJson(probe);
+  const std::string config_json = probe_json.Find("configs")->items()[0].Dump();
+
+  ResultCacheKey out;
+  std::ostringstream full;
+  full << "rcache=" << kResultCacheVersion
+       << "|schema=" << telemetry::kStatsSchemaVersion
+       << "|fp=" << HexHash(binary_fingerprint)
+       << "|cosim=" << (cosim ? 1 : 0)
+       << "|sim_instrs=" << m.defaults.sim_instrs
+       << "|max_cycles=" << m.defaults.max_cycles
+       << "|ref_seed=" << m.defaults.ref_seed
+       << "|profile_seed=" << m.defaults.profile_seed
+       << "|ff_instrs=" << m.defaults.ff_instrs
+       << "|workload=" << job.workload
+       << "|debug_hang=" << (job.debug_hang ? 1 : 0)
+       << "|config=" << config_json;
+  out.key = full.str();
+  out.hash = Fnv1a64(out.key.data(), out.key.size());
+  return out;
+}
+
+std::string ResultCachePath(const std::string& dir,
+                            const ResultCacheKey& key) {
+  return dir + "/" + HexHash(key.hash) + ".row.json";
+}
+
+bool StoreResult(const std::string& dir, const ResultCacheKey& key,
+                 const telemetry::JsonValue& row, const std::string& ckpt,
+                 std::string* error) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+
+  telemetry::JsonValue doc = telemetry::JsonValue::Object();
+  doc.Set("result_cache_version", telemetry::JsonValue(kResultCacheVersion));
+  doc.Set("key", telemetry::JsonValue(key.key));
+  doc.Set("ckpt", telemetry::JsonValue(ckpt));
+  doc.Set("row", row);
+
+  const std::string path = ResultCachePath(dir, key);
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      if (error != nullptr) *error = "cannot write " + tmp;
+      return false;
+    }
+    out << doc.Dump(2) << "\n";
+    if (!out.good()) {
+      if (error != nullptr) *error = "short write to " + tmp;
+      return false;
+    }
+  }
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    if (error != nullptr) {
+      *error = "rename " + tmp + " -> " + path + ": " + ec.message();
+    }
+    std::filesystem::remove(tmp, ec);
+    return false;
+  }
+  return true;
+}
+
+bool LoadResult(const std::string& dir, const ResultCacheKey& key,
+                telemetry::JsonValue* row, std::string* ckpt,
+                std::uint64_t* bytes) {
+  const std::string path = ResultCachePath(dir, key);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  telemetry::JsonValue doc;
+  std::string perr;
+  if (!telemetry::JsonParse(text, &doc, &perr)) return false;
+  const telemetry::JsonValue* version = doc.Find("result_cache_version");
+  if (version == nullptr || version->AsInt() != kResultCacheVersion) {
+    return false;
+  }
+  // The hash names the file but the full key string decides: a hash
+  // collision reads as a miss, exactly like the SPCK cache.
+  const telemetry::JsonValue* stored_key = doc.Find("key");
+  if (stored_key == nullptr || stored_key->AsString() != key.key) {
+    return false;
+  }
+  const telemetry::JsonValue* stored_row = doc.Find("row");
+  if (stored_row == nullptr) return false;
+  if (row != nullptr) *row = *stored_row;
+  if (ckpt != nullptr) {
+    const telemetry::JsonValue* c = doc.Find("ckpt");
+    *ckpt = c != nullptr ? c->AsString() : "off";
+  }
+  if (bytes != nullptr) *bytes = text.size();
+  return true;
+}
+
+bool ProbeResult(const std::string& dir, const ResultCacheKey& key,
+                 std::uint64_t* bytes) {
+  // A probe answers the same question a load would, so it verifies the
+  // stored key too — just without handing the row back.
+  telemetry::JsonValue row;
+  return LoadResult(dir, key, &row, nullptr, bytes);
+}
+
+}  // namespace spear::farm

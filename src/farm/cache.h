@@ -1,0 +1,75 @@
+// Content-addressed result cache: full deterministic job rows stored on
+// disk, keyed on everything the row's bytes depend on — the manifest
+// row's deterministic inputs (workload + canonical config JSON + the
+// deterministic defaults), a fingerprint of the compiled SPEARBIN pair
+// the job would simulate, the cosim flag and the stats schema version.
+// The failure policy (timeouts, retries, backoff) is deliberately
+// excluded: it shapes the run, never the numbers.
+//
+// Soundness: since PR 3 every runner document confines nondeterminism to
+// the strippable "run" member, so a job row is a pure function of this
+// key and replaying it from the cache is byte-identical to re-simulating.
+// The SPEARBIN fingerprint covers the code-generation half of that
+// function — a compiler or workload-generator change produces different
+// binaries, a different fingerprint, and therefore a clean miss instead
+// of a stale row.
+//
+// On-disk protocol mirrors the SPCK checkpoint cache: the key hash names
+// the file, the full key string is stored inside and verified on load (a
+// hash collision or any mismatch reads as a miss, never an error), and
+// writes go through a temp file + rename so concurrent writers racing the
+// same key can never expose a torn entry.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "eval/harness.h"
+#include "runner/manifest.h"
+#include "telemetry/json.h"
+
+namespace spear::farm {
+
+// Bump when the stored-entry layout changes; old entries then read as
+// misses and are transparently regenerated.
+inline constexpr int kResultCacheVersion = 1;
+
+// FNV-1a over the serialized SPEARBIN bytes of both binaries the job
+// could run (plain ++ annotated — the config's binary choice is part of
+// the key string, the fingerprint covers the code itself).
+std::uint64_t BinaryFingerprint(const PreparedWorkload& pw);
+
+struct ResultCacheKey {
+  std::string key;          // canonical "field=value|..." form
+  std::uint64_t hash = 0;   // fnv1a64(key), names the file
+};
+
+// Derives the cache key for one manifest job. `binary_fingerprint` comes
+// from BinaryFingerprint over the job's prepared workload.
+ResultCacheKey MakeResultKey(const runner::Manifest& m,
+                             const runner::JobSpec& job,
+                             std::uint64_t binary_fingerprint, bool cosim);
+
+// <dir>/<hex hash>.row.json
+std::string ResultCachePath(const std::string& dir,
+                            const ResultCacheKey& key);
+
+// Stores `row` (plus its ckpt provenance) under the key, creating `dir`.
+// Temp-file + rename; returns false with *error on I/O failure.
+bool StoreResult(const std::string& dir, const ResultCacheKey& key,
+                 const telemetry::JsonValue& row, const std::string& ckpt,
+                 std::string* error = nullptr);
+
+// Loads the row for `key`. Any mismatch — absent file, other cache
+// version, different key string, malformed JSON — is a miss. `ckpt`
+// and `bytes` (on-disk entry size) are optional out-params.
+bool LoadResult(const std::string& dir, const ResultCacheKey& key,
+                telemetry::JsonValue* row, std::string* ckpt = nullptr,
+                std::uint64_t* bytes = nullptr);
+
+// Hit/miss + on-disk size without reading the entry (spearrun's
+// --cache-audit dry mode).
+bool ProbeResult(const std::string& dir, const ResultCacheKey& key,
+                 std::uint64_t* bytes);
+
+}  // namespace spear::farm

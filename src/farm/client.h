@@ -1,0 +1,55 @@
+// Farm client: the `spearrun --farm` side. FarmClient is a thin framed
+// connection (submit / events / control ops); RunManifestFarm drives a
+// whole manifest through the daemon and assembles the same deterministic
+// results document the fork/exec path produces — byte-identical modulo
+// the strippable "run" member, which here records farm cache telemetry
+// (runner.farm.cache.hits / .misses from this client's point of view).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "runner/runner.h"
+#include "telemetry/json.h"
+
+namespace spear::farm {
+
+class FarmClient {
+ public:
+  FarmClient() = default;
+  ~FarmClient() { Close(); }
+  FarmClient(const FarmClient&) = delete;
+  FarmClient& operator=(const FarmClient&) = delete;
+
+  bool Connect(const std::string& socket_path, std::string* error);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  bool Send(const telemetry::JsonValue& frame, std::string* error);
+  // Blocking read of the next event frame. False on error or EOF (EOF
+  // leaves *error empty).
+  bool Recv(telemetry::JsonValue* frame, std::string* error);
+
+  // Control ops (send + wait for the matching reply, skipping unrelated
+  // job events).
+  bool Ping(std::string* error);
+  bool Status(telemetry::JsonValue* status, std::string* error);
+  bool Drain(std::int64_t* persisted, std::string* error);
+
+ private:
+  int fd_ = -1;
+};
+
+// Runs every job of `m` through the daemon at `socket_path` and builds
+// the runner document (rows in ExpandJobs order, derived metrics, "run"
+// member with farm telemetry). Transport failures — cannot connect, the
+// daemon dies mid-run — return false with *error set; job-level failures
+// (timeouts, crashes) are failure rows in the document, exactly like the
+// fork/exec path. opts.workers is ignored (the daemon owns the pool);
+// opts.sim_instrs_override is applied to the manifest before submission
+// so daemon workers run the identical defaults.
+bool RunManifestFarm(const runner::Manifest& m, const std::string& socket_path,
+                     const runner::RunnerOptions& opts,
+                     runner::ManifestRunResult* out, std::string* error);
+
+}  // namespace spear::farm

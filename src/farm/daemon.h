@@ -1,0 +1,219 @@
+// spearfarm: simulation-as-a-service. One long-lived daemon owns the
+// worker pool; many concurrent clients submit manifest jobs over a
+// Unix-domain socket and stream progress events back. The daemon fronts
+// every simulation with the content-addressed result cache (farm/cache.h)
+// so a row is simulated at most once per (binaries, config, defaults,
+// schema) key — concurrent submitters racing the same key coalesce onto
+// one in-flight job and each receive the finished document.
+//
+// Single-threaded design: one poll() loop multiplexes the listening
+// socket, every client connection (non-blocking reads through
+// FrameBuffer) and the executor pump. No locks, no data races; the pool's
+// fork/exec children provide the actual parallelism.
+//
+// Fairness + admission: queued jobs are drained round-robin across the
+// submitting clients (one greedy client cannot starve the rest), and the
+// queue depth is capped — beyond it submits answer
+// {"event":"rejected","reason":"queue-full"}.
+//
+// Drain: stop admitting, finish in-flight jobs (their results still land
+// in the cache), persist the queued remainder to <state-dir>/queue.json
+// (temp + rename, like every cache write) and exit 0. The next daemon
+// restores the persisted queue on startup, so a restart loses no work.
+#pragma once
+
+#include <csignal>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "farm/cache.h"
+#include "farm/proto.h"
+#include "runner/runner.h"
+#include "telemetry/registry.h"
+
+namespace spear::farm {
+
+// How the daemon actually executes one admitted job. The production
+// implementation (PoolExecutor) forks `spearrun --worker` children via
+// runner::ProcessPool; tests substitute a deterministic fake so protocol
+// behaviour (fairness, coalescing, drain, cancel) is testable without
+// simulations.
+class JobExecutor {
+ public:
+  struct Launch {
+    std::string manifest_path;  // on-disk manifest the worker re-loads
+    std::size_t job_index = 0;  // into runner::ExpandJobs order
+    bool cosim = false;
+    std::uint64_t timeout_ms = 0;
+    int max_retries = 0;
+    std::uint64_t backoff_ms = 0;
+  };
+  struct Completion {
+    std::uint64_t ticket = 0;
+    runner::PoolResult result;
+    std::string job_out_path;  // worker's {"job":row,"run":{...}} file
+  };
+
+  virtual ~JobExecutor() = default;
+  virtual std::uint64_t Start(const Launch& launch) = 0;
+  virtual void Cancel(std::uint64_t ticket) = 0;
+  // Advances children (launch/deadline/reap) and returns finished jobs.
+  // Must never block.
+  virtual std::vector<Completion> Pump() = 0;
+  virtual std::size_t in_flight() const = 0;
+};
+
+// Fork/exec executor: one `spearrun --worker` child per job, same argv
+// contract as runner::RunManifestParallel.
+class PoolExecutor : public JobExecutor {
+ public:
+  PoolExecutor(std::string spearrun_path, std::string ckpt_dir, bool use_ckpt,
+               std::string tmp_dir, int workers);
+  std::uint64_t Start(const Launch& launch) override;
+  void Cancel(std::uint64_t ticket) override;
+  std::vector<Completion> Pump() override;
+  std::size_t in_flight() const override;
+
+ private:
+  runner::ProcessPool pool_;
+  std::string spearrun_path_;
+  std::string ckpt_dir_;
+  bool use_ckpt_;
+  std::string tmp_dir_;
+  std::map<std::uint64_t, std::string> job_outs_;
+};
+
+// Everything under runner.farm.* — the daemon's own StatRegistry
+// namespace, reported by the "status" op and printed on exit.
+struct FarmStats {
+  std::uint64_t submits = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_coalesced = 0;
+  std::uint64_t cache_stores = 0;
+  std::uint64_t jobs_ok = 0;
+  std::uint64_t jobs_failed = 0;
+  std::uint64_t jobs_canceled = 0;
+  std::uint64_t queue_peak = 0;
+  std::uint64_t clients_total = 0;
+  std::uint64_t frames_bad = 0;
+
+  void Register(telemetry::StatRegistry& reg) const;
+  telemetry::JsonValue Json() const;
+};
+
+struct FarmOptions {
+  std::string socket_path;
+  std::string state_dir;  // queue.json, manifests/, tmp/; also default cache
+  std::string cache_dir;  // defaults to <state_dir>/cache
+  int workers = 2;
+  std::size_t max_queued = 256;
+  // PoolExecutor knobs (ignored when a test injects its own executor).
+  std::string spearrun_path;
+  std::string ckpt_dir = "bench/ckpt";
+  bool use_ckpt = true;
+  bool verbose = false;
+  // Optional async-signal stop: when *stop_flag becomes nonzero the loop
+  // persists the queue and exits 0 (same path as drain, minus the reply).
+  const volatile std::sig_atomic_t* stop_flag = nullptr;
+};
+
+class FarmDaemon {
+ public:
+  // `executor` may be null: the daemon then owns a PoolExecutor built
+  // from the options. A non-null executor is borrowed (tests).
+  explicit FarmDaemon(FarmOptions opts, JobExecutor* executor = nullptr);
+  ~FarmDaemon();
+
+  // Creates state directories, restores a persisted queue, binds the
+  // socket. False + *error on failure.
+  bool Init(std::string* error);
+
+  // Runs the poll loop until a drain completes or *stop_flag fires.
+  // Returns a process exit code (0 clean, kExitFarm on fatal I/O).
+  int Serve();
+
+  const FarmStats& stats() const { return stats_; }
+  std::size_t queue_depth() const { return queued_count_; }
+
+ private:
+  struct StoredManifest {
+    runner::Manifest m;
+    std::string path;
+    std::vector<runner::JobSpec> jobs;  // ExpandJobs(m), index = wire "job"
+  };
+  struct Subscriber {
+    std::uint64_t client = 0;
+    std::int64_t job_echo = -1;  // the client's submitted job index
+  };
+  struct FarmJob {
+    std::uint64_t ticket = 0;
+    std::shared_ptr<StoredManifest> man;
+    std::size_t job_index = 0;
+    bool cosim = false;
+    ResultCacheKey key;  // key.key empty = uncacheable (debug_hang)
+    std::uint64_t owner = 0;
+    std::vector<Subscriber> subs;
+    bool running = false;
+    std::uint64_t exec_ticket = 0;
+  };
+  struct Client {
+    int fd = -1;
+    std::uint64_t id = 0;
+    FrameBuffer in;
+  };
+
+  void AcceptClients();
+  bool ReadClient(Client& c);  // false = drop the connection
+  void DropClient(std::uint64_t id);
+  void HandleFrame(Client& c, const telemetry::JsonValue& frame);
+  void HandleSubmit(Client& c, const telemetry::JsonValue& frame);
+  void HandleCancel(Client& c, const telemetry::JsonValue& frame);
+  void HandleStatus(Client& c);
+  void HandleDrain(Client& c);
+  std::shared_ptr<StoredManifest> InternManifest(
+      const telemetry::JsonValue& manifest_json, std::string* error);
+  void DispatchQueued();
+  void HandleCompletions();
+  void SendEvent(std::uint64_t client_id, const telemetry::JsonValue& event);
+  void SendJobEvent(const FarmJob& job, const char* event,
+                    const telemetry::JsonValue* row, bool cached, bool failed,
+                    const std::string& ckpt);
+  void EnqueueTicket(std::uint64_t ticket, std::uint64_t owner);
+  std::uint64_t DequeueNextFair();  // 0 = nothing queued
+  bool RemoveQueuedTicket(std::uint64_t ticket);
+  std::size_t PersistQueue();
+  void RestoreQueue();
+  telemetry::JsonValue* FindOrError(Client& c,
+                                    const telemetry::JsonValue& frame,
+                                    const char* field);
+
+  FarmOptions opts_;
+  std::unique_ptr<JobExecutor> owned_executor_;
+  JobExecutor* executor_ = nullptr;
+  int listen_fd_ = -1;
+  std::map<std::uint64_t, Client> clients_;  // by client id
+  std::uint64_t next_client_ = 1;
+  std::uint64_t next_ticket_ = 1;
+  std::map<std::uint64_t, FarmJob> jobs_;            // by ticket
+  std::map<std::uint64_t, std::uint64_t> by_exec_;   // exec ticket -> ticket
+  std::map<std::string, std::uint64_t> inflight_by_key_;
+  std::map<std::string, std::shared_ptr<StoredManifest>> manifests_;
+  // Round-robin fair queue: per-owner FIFO + rotation order.
+  std::map<std::uint64_t, std::deque<std::uint64_t>> queues_;
+  std::deque<std::uint64_t> rr_;
+  std::size_t queued_count_ = 0;
+  runner::WorkloadCache workloads_;  // fingerprint compilation, memoized
+  std::map<std::string, std::uint64_t> fingerprints_;
+  FarmStats stats_;
+  bool draining_ = false;
+  std::uint64_t drain_requester_ = 0;
+};
+
+}  // namespace spear::farm

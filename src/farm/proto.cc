@@ -1,0 +1,186 @@
+#include "farm/proto.h"
+
+#include <errno.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace spear::farm {
+namespace {
+
+bool SendAll(int fd, const char* data, std::size_t n, std::string* error) {
+  while (n > 0) {
+    const ssize_t w = ::send(fd, data, n, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      if (error != nullptr) {
+        *error = std::string("send: ") + ::strerror(errno);
+      }
+      return false;
+    }
+    data += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+// Returns 1 on success, 0 on clean EOF before any byte, -1 on error/short
+// read (error filled).
+int RecvAll(int fd, char* data, std::size_t n, std::string* error) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd, data + got, n - got, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      if (error != nullptr) {
+        *error = std::string("recv: ") + ::strerror(errno);
+      }
+      return -1;
+    }
+    if (r == 0) {
+      if (got == 0) return 0;
+      if (error != nullptr) *error = "connection closed mid-frame";
+      return -1;
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return 1;
+}
+
+}  // namespace
+
+bool ReadFrame(int fd, telemetry::JsonValue* out, std::string* error) {
+  if (error != nullptr) error->clear();
+  unsigned char len_bytes[4];
+  const int rc = RecvAll(fd, reinterpret_cast<char*>(len_bytes),
+                         sizeof(len_bytes), error);
+  if (rc <= 0) return false;  // clean EOF leaves *error empty
+  const std::uint32_t len = static_cast<std::uint32_t>(len_bytes[0]) |
+                            static_cast<std::uint32_t>(len_bytes[1]) << 8 |
+                            static_cast<std::uint32_t>(len_bytes[2]) << 16 |
+                            static_cast<std::uint32_t>(len_bytes[3]) << 24;
+  if (len == 0 || len > kMaxFrameBytes) {
+    if (error != nullptr) {
+      *error = "oversized frame: " + std::to_string(len) + " bytes (max " +
+               std::to_string(kMaxFrameBytes) + ")";
+    }
+    return false;
+  }
+  std::string payload(len, '\0');
+  if (RecvAll(fd, payload.data(), len, error) <= 0) {
+    if (error != nullptr && error->empty()) {
+      *error = "connection closed mid-frame";
+    }
+    return false;
+  }
+  std::string parse_error;
+  if (!telemetry::JsonParse(payload, out, &parse_error)) {
+    if (error != nullptr) *error = "malformed frame: " + parse_error;
+    return false;
+  }
+  return true;
+}
+
+bool WriteFrame(int fd, const telemetry::JsonValue& frame,
+                std::string* error) {
+  const std::string payload = frame.Dump();
+  if (payload.size() > kMaxFrameBytes) {
+    if (error != nullptr) {
+      *error = "frame too large to send: " + std::to_string(payload.size()) +
+               " bytes";
+    }
+    return false;
+  }
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  const char len_bytes[4] = {
+      static_cast<char>(len & 0xff), static_cast<char>((len >> 8) & 0xff),
+      static_cast<char>((len >> 16) & 0xff),
+      static_cast<char>((len >> 24) & 0xff)};
+  return SendAll(fd, len_bytes, sizeof(len_bytes), error) &&
+         SendAll(fd, payload.data(), payload.size(), error);
+}
+
+bool FrameBuffer::Next(telemetry::JsonValue* out, std::string* error) {
+  if (error != nullptr) error->clear();
+  if (buf_.size() < 4) return false;
+  const auto* b = reinterpret_cast<const unsigned char*>(buf_.data());
+  const std::uint32_t len = static_cast<std::uint32_t>(b[0]) |
+                            static_cast<std::uint32_t>(b[1]) << 8 |
+                            static_cast<std::uint32_t>(b[2]) << 16 |
+                            static_cast<std::uint32_t>(b[3]) << 24;
+  if (len == 0 || len > kMaxFrameBytes) {
+    if (error != nullptr) {
+      *error = "oversized frame: " + std::to_string(len) + " bytes (max " +
+               std::to_string(kMaxFrameBytes) + ")";
+    }
+    return false;
+  }
+  if (buf_.size() < 4u + len) return false;
+  const std::string payload = buf_.substr(4, len);
+  buf_.erase(0, 4u + len);
+  std::string parse_error;
+  if (!telemetry::JsonParse(payload, out, &parse_error)) {
+    if (error != nullptr) *error = "malformed frame: " + parse_error;
+    return false;
+  }
+  return true;
+}
+
+int ListenUnix(const std::string& path, int backlog, std::string* error) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    if (error != nullptr) *error = "socket path too long: " + path;
+    return -1;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error != nullptr) {
+      *error = std::string("socket: ") + ::strerror(errno);
+    }
+    return -1;
+  }
+  ::unlink(path.c_str());  // stale socket from a previous daemon
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd, backlog) < 0) {
+    if (error != nullptr) {
+      *error = "bind/listen " + path + ": " + ::strerror(errno);
+    }
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int ConnectUnix(const std::string& path, std::string* error) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    if (error != nullptr) *error = "socket path too long: " + path;
+    return -1;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error != nullptr) {
+      *error = std::string("socket: ") + ::strerror(errno);
+    }
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    if (error != nullptr) {
+      *error = "connect " + path + ": " + ::strerror(errno);
+    }
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+}  // namespace spear::farm

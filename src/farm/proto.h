@@ -1,0 +1,70 @@
+// spearfarm wire protocol: length-prefixed JSON frames over a Unix-domain
+// stream socket. Every frame is a 4-byte little-endian payload length
+// followed by that many bytes of compact JSON (the telemetry/json.h
+// model, so emission is deterministic). Frames above kMaxFrameBytes are a
+// protocol error — the daemon answers with an "error" event and closes
+// the connection rather than allocating unbounded memory.
+//
+// Requests (client -> daemon), keyed by "op":
+//   {"op":"submit","manifest":{...},"job":N,"cosim":false}
+//       -> {"event":"result", ...} immediately on a cache hit, else
+//          {"event":"queued","ticket":T[,"coalesced":true]} followed
+//          later by {"event":"started","ticket":T} and
+//          {"event":"result","ticket":T,"cached":false,"ckpt":...,
+//           "failed":B,"row":{...}}; admission control answers
+//          {"event":"rejected","reason":"queue-full"|"draining", ...}
+//   {"op":"status"}  -> {"event":"status","queue_depth":..,"in_flight":..,
+//                        "draining":B,"stats":{runner.farm.*}}
+//   {"op":"ping"}    -> {"event":"pong","protocol":1}
+//   {"op":"cancel","ticket":T} -> {"event":"canceled","ticket":T} (queued
+//       jobs are dropped; a running job is killed and reports a canceled
+//       result to every subscriber)
+//   {"op":"drain"}   -> daemon stops admitting, finishes in-flight jobs,
+//       persists the queued remainder to <state-dir>/queue.json and
+//       answers {"event":"drained","persisted":K} before exiting cleanly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "telemetry/json.h"
+
+namespace spear::farm {
+
+inline constexpr int kFarmProtocolVersion = 1;
+inline constexpr std::uint32_t kMaxFrameBytes = 8u << 20;  // 8 MiB
+
+// Exit code for farm transport failures (cannot bind/connect/talk to the
+// daemon). Mirrors kExitFarm in tools/tool_flags.h — keep in sync.
+inline constexpr int kExitFarm = 6;
+
+// Blocking frame I/O (clients, tests). ReadFrame returns false on close
+// or error; a clean EOF at a frame boundary leaves *error empty, anything
+// else (short read, oversized length, bad JSON) fills it. Writes use
+// MSG_NOSIGNAL so a dead peer reads as an error, not SIGPIPE.
+bool ReadFrame(int fd, telemetry::JsonValue* out, std::string* error);
+bool WriteFrame(int fd, const telemetry::JsonValue& frame,
+                std::string* error);
+
+// Incremental frame decoder for the daemon's non-blocking reads: feed
+// whatever bytes arrived, pull complete frames out. Next() returns false
+// with *error empty when more bytes are needed, and false with *error set
+// on a malformed or oversized frame (the connection is unusable then —
+// the length prefix can no longer be trusted).
+class FrameBuffer {
+ public:
+  void Append(const char* data, std::size_t n) { buf_.append(data, n); }
+  bool Next(telemetry::JsonValue* out, std::string* error);
+  std::size_t pending_bytes() const { return buf_.size(); }
+
+ private:
+  std::string buf_;
+};
+
+// Unix-domain socket helpers. Both return -1 with *error filled on
+// failure. ListenUnix unlinks a stale socket file first; ConnectUnix
+// leaves timeouts to the caller.
+int ListenUnix(const std::string& path, int backlog, std::string* error);
+int ConnectUnix(const std::string& path, std::string* error);
+
+}  // namespace spear::farm

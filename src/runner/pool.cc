@@ -2,12 +2,15 @@
 
 #include <fcntl.h>
 #include <signal.h>
+#include <sys/stat.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <chrono>
-#include <map>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <thread>
 
 namespace spear::runner {
@@ -20,7 +23,7 @@ std::uint64_t NowMs() {
           .count());
 }
 
-pid_t Spawn(const PoolJob& job) {
+pid_t Spawn(const PoolJob& job, const std::string& stderr_path) {
   const pid_t pid = ::fork();
   if (pid != 0) return pid;  // parent (or fork failure, -1)
 
@@ -29,8 +32,18 @@ pid_t Spawn(const PoolJob& job) {
     const int null_fd = ::open("/dev/null", O_WRONLY);
     if (null_fd >= 0) {
       ::dup2(null_fd, STDOUT_FILENO);
-      ::dup2(null_fd, STDERR_FILENO);
+      if (stderr_path.empty()) ::dup2(null_fd, STDERR_FILENO);
       ::close(null_fd);
+    }
+  }
+  if (!stderr_path.empty()) {
+    // O_TRUNC: every attempt starts its capture from scratch, so whatever
+    // the file holds at reap time is the *last* attempt's stderr.
+    const int err_fd =
+        ::open(stderr_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0600);
+    if (err_fd >= 0) {
+      ::dup2(err_fd, STDERR_FILENO);
+      ::close(err_fd);
     }
   }
   std::vector<char*> argv;
@@ -43,23 +56,180 @@ pid_t Spawn(const PoolJob& job) {
   ::_exit(127);
 }
 
-struct Running {
-  std::size_t job = 0;
-  int attempt = 1;
-  std::uint64_t started_ms = 0;
-  std::uint64_t deadline_ms = 0;  // 0 = none
-  bool killed_for_timeout = false;
-  std::uint64_t prior_elapsed_ms = 0;  // earlier attempts of this job
-};
-
 bool FailFast(const PoolJob& job, int exit_code) {
   return std::find(job.fail_fast_exits.begin(), job.fail_fast_exits.end(),
                    exit_code) != job.fail_fast_exits.end();
 }
 
+std::string StderrCapturePath(std::uint64_t ticket) {
+  return (std::filesystem::temp_directory_path() /
+          ("spearpool." + std::to_string(static_cast<long>(::getpid())) + "." +
+           std::to_string(ticket) + ".stderr"))
+      .string();
+}
+
+std::string ReadTail(const std::string& path, std::uint32_t max_bytes) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return "";
+  in.seekg(0, std::ios::end);
+  const std::streamoff size = in.tellg();
+  if (size <= 0) return "";
+  const std::streamoff keep =
+      std::min<std::streamoff>(size, static_cast<std::streamoff>(max_bytes));
+  in.seekg(size - keep);
+  std::string tail(static_cast<std::size_t>(keep), '\0');
+  in.read(tail.data(), keep);
+  tail.resize(static_cast<std::size_t>(in.gcount()));
+  return tail;
+}
+
 }  // namespace
 
 ProcessPool::ProcessPool(int workers) : workers_(workers < 1 ? 1 : workers) {}
+
+ProcessPool::~ProcessPool() {
+  // Abandon outstanding work: kill and reap our children so nothing leaks
+  // past the pool's lifetime, and remove stray capture files.
+  for (auto& [pid, run] : running_) {
+    ::kill(pid, SIGKILL);
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    if (!run.stderr_path.empty()) ::unlink(run.stderr_path.c_str());
+  }
+}
+
+std::uint64_t ProcessPool::Submit(PoolJob job) {
+  const std::uint64_t ticket = next_ticket_++;
+  jobs_.emplace(ticket, std::move(job));
+  queued_.push_back(Queued{ticket, 1, 0, 0});
+  return ticket;
+}
+
+void ProcessPool::Cancel(std::uint64_t ticket) {
+  if (!jobs_.count(ticket)) return;
+  const auto it = std::find_if(
+      queued_.begin(), queued_.end(),
+      [ticket](const Queued& q) { return q.ticket == ticket; });
+  if (it != queued_.end()) {
+    PoolResult r;
+    r.canceled = true;
+    r.attempts = it->attempt - 1;
+    r.elapsed_ms = it->prior_elapsed_ms;
+    queued_.erase(it);
+    Finish(ticket, std::move(r), nullptr);
+    return;
+  }
+  for (auto& [pid, run] : running_) {
+    if (run.ticket == ticket && !run.killed_for_cancel) {
+      run.killed_for_cancel = true;
+      ::kill(pid, SIGKILL);  // reaped by the next Pump
+    }
+  }
+}
+
+void ProcessPool::Finish(std::uint64_t ticket, PoolResult r,
+                         const Running* run) {
+  if (run != nullptr && !run->stderr_path.empty()) {
+    const auto jt = jobs_.find(ticket);
+    if (jt != jobs_.end() && jt->second.stderr_tail_bytes > 0) {
+      r.stderr_tail = ReadTail(run->stderr_path, jt->second.stderr_tail_bytes);
+    }
+    ::unlink(run->stderr_path.c_str());
+  }
+  jobs_.erase(ticket);
+  completions_.emplace_back(ticket, std::move(r));
+}
+
+std::size_t ProcessPool::Pump() {
+  const std::uint64_t now = NowMs();
+
+  // Launch while slots are free and someone is past their backoff.
+  while (running_.size() < static_cast<std::size_t>(workers_)) {
+    auto it = std::find_if(queued_.begin(), queued_.end(), [now](const Queued& q) {
+      return q.ready_at_ms <= now;
+    });
+    if (it == queued_.end()) break;
+    const Queued ready = *it;
+    queued_.erase(it);
+    const PoolJob& job = jobs_.at(ready.ticket);
+    const std::string stderr_path =
+        job.stderr_tail_bytes > 0 ? StderrCapturePath(ready.ticket) : "";
+    const pid_t pid = Spawn(job, stderr_path);
+    if (pid < 0) {
+      // fork failed (resource exhaustion): report as a non-ok result
+      // rather than aborting the whole batch.
+      PoolResult r;
+      r.attempts = ready.attempt;
+      r.elapsed_ms = ready.prior_elapsed_ms;
+      Finish(ready.ticket, std::move(r), nullptr);
+      continue;
+    }
+    Running run;
+    run.ticket = ready.ticket;
+    run.attempt = ready.attempt;
+    run.started_ms = now;
+    run.deadline_ms = job.timeout_ms == 0 ? 0 : now + job.timeout_ms;
+    run.prior_elapsed_ms = ready.prior_elapsed_ms;
+    run.stderr_path = stderr_path;
+    running_[pid] = run;
+  }
+
+  // Enforce deadlines. SIGKILL, then reap through the normal wait path.
+  for (auto& [pid, run] : running_) {
+    if (run.deadline_ms != 0 && now >= run.deadline_ms &&
+        !run.killed_for_timeout && !run.killed_for_cancel) {
+      run.killed_for_timeout = true;
+      ::kill(pid, SIGKILL);
+    }
+  }
+
+  // Reap everything that has finished.
+  int status = 0;
+  pid_t pid;
+  while ((pid = ::waitpid(-1, &status, WNOHANG)) > 0) {
+    auto it = running_.find(pid);
+    if (it == running_.end()) continue;  // not ours (shouldn't happen)
+    const Running run = it->second;
+    running_.erase(it);
+    const PoolJob& job = jobs_.at(run.ticket);
+    const std::uint64_t elapsed =
+        run.prior_elapsed_ms + (NowMs() - run.started_ms);
+
+    PoolResult r;
+    r.attempts = run.attempt;
+    r.elapsed_ms = elapsed;
+    r.timed_out = run.killed_for_timeout;
+    r.canceled = run.killed_for_cancel;
+    if (WIFEXITED(status)) {
+      r.exit_code = WEXITSTATUS(status);
+      r.ok = r.exit_code == 0 && !r.canceled;
+    } else if (WIFSIGNALED(status)) {
+      r.term_signal = WTERMSIG(status);
+    }
+    if (r.ok || r.canceled || FailFast(job, r.exit_code) ||
+        run.attempt > job.max_retries) {
+      Finish(run.ticket, std::move(r), &run);
+      continue;
+    }
+    // Retry with exponential backoff: base << (attempt-1). The capture
+    // file is left in place — the next attempt truncates it, keeping the
+    // last-attempt-wins stderr contract.
+    const std::uint64_t delay =
+        job.backoff_ms == 0
+            ? 0
+            : job.backoff_ms << static_cast<unsigned>(run.attempt - 1);
+    queued_.push_back(
+        Queued{run.ticket, run.attempt + 1, NowMs() + delay, elapsed});
+  }
+  return outstanding();
+}
+
+std::vector<std::pair<std::uint64_t, PoolResult>>
+ProcessPool::TakeCompletions() {
+  std::vector<std::pair<std::uint64_t, PoolResult>> out;
+  out.swap(completions_);
+  return out;
+}
 
 std::vector<PoolResult> ProcessPool::Run(
     const std::vector<PoolJob>& jobs,
@@ -67,107 +237,22 @@ std::vector<PoolResult> ProcessPool::Run(
   std::vector<PoolResult> results(jobs.size());
   if (jobs.empty()) return results;
 
-  struct Ready {
-    std::size_t job;
-    int attempt;
-    std::uint64_t ready_at_ms;  // backoff gate
-    std::uint64_t prior_elapsed_ms;
-  };
-  // The shared queue: every idle slot pulls the first eligible entry, so
-  // a slot that finishes early steals whatever work remains.
-  std::vector<Ready> queue;
-  queue.reserve(jobs.size());
+  std::map<std::uint64_t, std::size_t> index_of;
   for (std::size_t i = 0; i < jobs.size(); ++i) {
-    queue.push_back(Ready{i, 1, 0, 0});
+    index_of[Submit(jobs[i])] = i;
   }
-  std::map<pid_t, Running> running;
+
   std::size_t outstanding = jobs.size();
-
-  auto finish = [&](std::size_t job, PoolResult r) {
-    results[job] = r;
-    --outstanding;
-    if (on_done) on_done(job, results[job]);
-  };
-
   while (outstanding > 0) {
-    const std::uint64_t now = NowMs();
-
-    // Launch while slots are free and someone is past their backoff.
-    while (running.size() < static_cast<std::size_t>(workers_)) {
-      auto it = std::find_if(queue.begin(), queue.end(), [now](const Ready& r) {
-        return r.ready_at_ms <= now;
-      });
-      if (it == queue.end()) break;
-      const Ready ready = *it;
-      queue.erase(it);
-      const PoolJob& job = jobs[ready.job];
-      const pid_t pid = Spawn(job);
-      if (pid < 0) {
-        // fork failed (resource exhaustion): report as a non-ok result
-        // rather than aborting the whole batch.
-        PoolResult r;
-        r.attempts = ready.attempt;
-        r.elapsed_ms = ready.prior_elapsed_ms;
-        finish(ready.job, r);
-        continue;
-      }
-      Running run;
-      run.job = ready.job;
-      run.attempt = ready.attempt;
-      run.started_ms = now;
-      run.deadline_ms = job.timeout_ms == 0 ? 0 : now + job.timeout_ms;
-      run.prior_elapsed_ms = ready.prior_elapsed_ms;
-      running[pid] = run;
+    Pump();
+    const auto done = TakeCompletions();
+    for (const auto& [ticket, result] : done) {
+      const std::size_t i = index_of.at(ticket);
+      results[i] = result;
+      --outstanding;
+      if (on_done) on_done(i, results[i]);
     }
-
-    // Enforce deadlines. SIGKILL, then reap through the normal wait path.
-    for (auto& [pid, run] : running) {
-      if (run.deadline_ms != 0 && now >= run.deadline_ms &&
-          !run.killed_for_timeout) {
-        run.killed_for_timeout = true;
-        ::kill(pid, SIGKILL);
-      }
-    }
-
-    // Reap everything that has finished.
-    int status = 0;
-    pid_t pid;
-    bool reaped = false;
-    while ((pid = ::waitpid(-1, &status, WNOHANG)) > 0) {
-      auto it = running.find(pid);
-      if (it == running.end()) continue;  // not ours (shouldn't happen)
-      reaped = true;
-      const Running run = it->second;
-      running.erase(it);
-      const PoolJob& job = jobs[run.job];
-      const std::uint64_t elapsed =
-          run.prior_elapsed_ms + (NowMs() - run.started_ms);
-
-      PoolResult r;
-      r.attempts = run.attempt;
-      r.elapsed_ms = elapsed;
-      r.timed_out = run.killed_for_timeout;
-      if (WIFEXITED(status)) {
-        r.exit_code = WEXITSTATUS(status);
-        r.ok = r.exit_code == 0;
-      } else if (WIFSIGNALED(status)) {
-        r.term_signal = WTERMSIG(status);
-      }
-      if (r.ok || FailFast(job, r.exit_code) ||
-          run.attempt > job.max_retries) {
-        finish(run.job, r);
-        continue;
-      }
-      // Retry with exponential backoff: base << (attempt-1).
-      const std::uint64_t delay =
-          job.backoff_ms == 0
-              ? 0
-              : job.backoff_ms << static_cast<unsigned>(run.attempt - 1);
-      queue.push_back(Ready{run.job, run.attempt + 1, NowMs() + delay,
-                            elapsed});
-    }
-
-    if (!reaped && outstanding > 0) {
+    if (done.empty() && outstanding > 0) {
       std::this_thread::sleep_for(std::chrono::milliseconds(2));
     }
   }

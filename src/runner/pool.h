@@ -6,11 +6,23 @@
 // pool records the failure and keeps draining the queue. The pool is
 // deliberately simulator-agnostic (argv in, exit status out) so the tests
 // can drive it with /bin/sh instead of multi-second simulator runs.
+//
+// Two driving styles share one engine:
+//
+//   Run()                      — batch: submit a job list, block until every
+//                                job reached its final outcome (spearrun's
+//                                fork/exec path, tests).
+//   Submit()/Pump()/Take...()  — incremental: enqueue jobs at any time,
+//                                pump the launch/deadline/reap step from an
+//                                event loop, and collect completions as
+//                                they land (the spearfarm daemon).
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace spear::runner {
@@ -27,6 +39,11 @@ struct PoolJob {
   // Child stdout/stderr go to /dev/null by default so parallel workers
   // don't interleave garbage through the parent's output.
   bool silence_stdio = true;
+  // > 0: capture up to this many trailing bytes of the child's stderr into
+  // PoolResult::stderr_tail. Each attempt gets a fresh capture file, so a
+  // retried job reports the stderr of its *last* attempt — the one whose
+  // exit status the result describes — not a stale first-attempt message.
+  std::uint32_t stderr_tail_bytes = 0;
 };
 
 struct PoolResult {
@@ -34,14 +51,47 @@ struct PoolResult {
   int exit_code = -1;   // -1 when the child died by signal
   int term_signal = 0;  // 0 when the child exited normally
   bool timed_out = false;  // last attempt hit its deadline
+  bool canceled = false;   // Cancel() reached it before a final outcome
   int attempts = 0;
   std::uint64_t elapsed_ms = 0;  // wall time across all attempts
+  // Trailing stderr of the final attempt (empty unless the job asked for
+  // capture via PoolJob::stderr_tail_bytes).
+  std::string stderr_tail;
 };
 
 class ProcessPool {
  public:
   // `workers` <= 0 means one.
   explicit ProcessPool(int workers);
+  ~ProcessPool();
+
+  ProcessPool(const ProcessPool&) = delete;
+  ProcessPool& operator=(const ProcessPool&) = delete;
+
+  // --- incremental interface (event-loop callers) ---
+
+  // Enqueues a job; returns its ticket. The job starts on a later Pump()
+  // when a worker slot is free.
+  std::uint64_t Submit(PoolJob job);
+
+  // Kills the job if running (SIGKILL) and drops it if queued. Its final
+  // PoolResult arrives through TakeCompletions with canceled=true. A
+  // ticket already completed (or unknown) is a no-op.
+  void Cancel(std::uint64_t ticket);
+
+  // One engine step: launch eligible jobs into free slots, enforce
+  // deadlines, reap finished children. Never blocks. Returns the number of
+  // jobs still outstanding (queued + running).
+  std::size_t Pump();
+
+  // Completions since the last call, in completion order.
+  std::vector<std::pair<std::uint64_t, PoolResult>> TakeCompletions();
+
+  std::size_t outstanding() const { return queued_.size() + running_.size(); }
+  std::size_t running() const { return running_.size(); }
+  int workers() const { return workers_; }
+
+  // --- batch interface ---
 
   // Runs every job to completion (including retries) and returns results
   // parallel to `jobs`. `on_done` (optional) fires in the parent as each
@@ -51,10 +101,32 @@ class ProcessPool {
       const std::function<void(std::size_t, const PoolResult&)>& on_done =
           nullptr);
 
-  int workers() const { return workers_; }
-
  private:
+  struct Queued {
+    std::uint64_t ticket = 0;
+    int attempt = 1;
+    std::uint64_t ready_at_ms = 0;  // backoff gate
+    std::uint64_t prior_elapsed_ms = 0;
+  };
+  struct Running {
+    std::uint64_t ticket = 0;
+    int attempt = 1;
+    std::uint64_t started_ms = 0;
+    std::uint64_t deadline_ms = 0;  // 0 = none
+    bool killed_for_timeout = false;
+    bool killed_for_cancel = false;
+    std::uint64_t prior_elapsed_ms = 0;
+    std::string stderr_path;  // this attempt's capture file ("" = off)
+  };
+
+  void Finish(std::uint64_t ticket, PoolResult r, const Running* run);
+
   int workers_;
+  std::uint64_t next_ticket_ = 1;
+  std::map<std::uint64_t, PoolJob> jobs_;  // outstanding tickets only
+  std::vector<Queued> queued_;
+  std::map<int, Running> running_;  // keyed by pid
+  std::vector<std::pair<std::uint64_t, PoolResult>> completions_;
 };
 
 }  // namespace spear::runner

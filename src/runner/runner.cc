@@ -23,17 +23,6 @@ std::uint64_t NowMs() {
           .count());
 }
 
-JsonValue FailureRow(const Manifest& m, const JobSpec& job,
-                     const std::string& error) {
-  JsonValue row = JsonValue::Object();
-  row.Set("id", JsonValue(JobId(m, job)));
-  row.Set("workload", JsonValue(job.workload));
-  row.Set("config", JsonValue(m.configs[job.config].label));
-  row.Set("failed", JsonValue(true));
-  row.Set("error", JsonValue(error));
-  return row;
-}
-
 // Echo of the deterministic run parameters (not the failure policy —
 // timeouts and retries shape the run, never the numbers).
 JsonValue DefaultsEcho(const ManifestDefaults& d) {
@@ -94,19 +83,6 @@ JsonValue ComputeDerived(const Manifest& m, const JsonValue& jobs) {
   return out;
 }
 
-// The deterministic document: everything except the "run" member.
-JsonValue BuildDocument(const Manifest& m, JsonValue jobs) {
-  JsonValue doc = JsonValue::Object();
-  doc.Set("schema_version", JsonValue(telemetry::kStatsSchemaVersion));
-  doc.Set("kind", JsonValue("runner"));
-  doc.Set("manifest", JsonValue(m.name));
-  doc.Set("defaults", DefaultsEcho(m.defaults));
-  const JsonValue derived = ComputeDerived(m, jobs);
-  doc.Set("jobs", std::move(jobs));
-  if (!m.derived.empty()) doc.Set("derived", derived);
-  return doc;
-}
-
 struct RunnerStats {
   std::uint64_t jobs_total = 0;
   std::uint64_t jobs_ok = 0;
@@ -160,6 +136,76 @@ JsonValue RunMember(int workers, std::uint64_t elapsed_ms,
 
 }  // namespace
 
+JsonValue MakeFailureRow(const Manifest& m, const JobSpec& job,
+                         const std::string& error) {
+  JsonValue row = JsonValue::Object();
+  row.Set("id", JsonValue(JobId(m, job)));
+  row.Set("workload", JsonValue(job.workload));
+  row.Set("config", JsonValue(m.configs[job.config].label));
+  row.Set("failed", JsonValue(true));
+  row.Set("error", JsonValue(error));
+  return row;
+}
+
+JsonValue BuildRunnerDocument(const Manifest& m, JsonValue jobs) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("schema_version", JsonValue(telemetry::kStatsSchemaVersion));
+  doc.Set("kind", JsonValue("runner"));
+  doc.Set("manifest", JsonValue(m.name));
+  doc.Set("defaults", DefaultsEcho(m.defaults));
+  const JsonValue derived = ComputeDerived(m, jobs);
+  doc.Set("jobs", std::move(jobs));
+  if (!m.derived.empty()) doc.Set("derived", derived);
+  return doc;
+}
+
+WorkerRow RecoverWorkerRow(const Manifest& m, const JobSpec& job,
+                           const PoolResult& r,
+                           const std::string& job_out_path) {
+  WorkerRow out;
+  // A worker that ran to a verdict (ok, deterministic incomplete, or
+  // cosim divergence) wrote {"job": <row>, "run": {...}}; embed its row
+  // verbatim so every driver's document matches the in-process one byte
+  // for byte.
+  if (r.ok || r.exit_code == kExitIncomplete || r.exit_code == kExitCosim) {
+    std::ifstream in(job_out_path, std::ios::binary);
+    if (in) {
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      std::string perr;
+      JsonValue worker_doc;
+      if (telemetry::JsonParse(buf.str(), &worker_doc, &perr)) {
+        const JsonValue* row = worker_doc.Find("job");
+        if (row != nullptr) {
+          out.row = *row;
+          out.from_worker = true;
+          if (const JsonValue* wr = worker_doc.FindPath("run.ckpt");
+              wr != nullptr) {
+            out.ckpt = wr->AsString();
+          }
+          return out;
+        }
+      }
+    }
+  }
+  const std::string why = r.canceled ? "canceled"
+                          : r.timed_out
+                              ? "timeout"
+                              : r.term_signal != 0
+                                    ? "crashed (signal " +
+                                          std::to_string(r.term_signal) + ")"
+                                    : r.ok ? "worker output lost"
+                                           : "worker exited " +
+                                                 std::to_string(r.exit_code);
+  out.row = MakeFailureRow(m, job, why);
+  // Surface the failing attempt's stderr (the pool captures the *last*
+  // attempt — the one this exit status belongs to).
+  if (!r.stderr_tail.empty()) {
+    out.row.Set("stderr", JsonValue(r.stderr_tail));
+  }
+  return out;
+}
+
 const PreparedWorkload& WorkloadCache::Get(const std::string& name,
                                            const EvalOptions& options) {
   std::ostringstream key;
@@ -187,7 +233,7 @@ JobRun ExecuteJob(const Manifest& m, const JobSpec& job, WorkloadCache& cache,
   JobRun out;
   const std::uint64_t t0 = NowMs();
   if (job.debug_hang) {
-    out.row = FailureRow(m, job, "debug_hang");
+    out.row = MakeFailureRow(m, job, "debug_hang");
     out.failed = true;
     return out;
   }
@@ -220,7 +266,7 @@ JobRun ExecuteJob(const Manifest& m, const JobSpec& job, WorkloadCache& cache,
       if (opts.use_ckpt) SaveCheckpoint(opts.ckpt_dir, key, warm);
     }
     if (warm.halted) {
-      out.row = FailureRow(m, job, "workload halted during fast-forward");
+      out.row = MakeFailureRow(m, job, "workload halted during fast-forward");
       out.failed = true;
       out.ms = NowMs() - t0;
       return out;
@@ -301,7 +347,7 @@ ManifestRunResult RunManifestInProcess(const Manifest& m,
   }
 
   ManifestRunResult result;
-  result.document = BuildDocument(m, std::move(rows));
+  result.document = BuildRunnerDocument(m, std::move(rows));
   result.document.Set("run", RunMember(1, NowMs() - t0, metas, stats));
   result.failed_jobs = failed;
   return result;
@@ -344,6 +390,7 @@ ManifestRunResult RunManifestParallel(const Manifest& m,
         job.max_retries >= 0 ? job.max_retries : m.defaults.max_retries;
     pj.backoff_ms = m.defaults.backoff_ms;
     pj.fail_fast_exits = {kExitUsage, kExitIncomplete, kExitCosim};
+    pj.stderr_tail_bytes = 4096;  // surfaced in the failure row
     job_outs.push_back(pj.argv[4].substr(std::string("--job-out=").size()));
     pool_jobs.push_back(std::move(pj));
   }
@@ -383,41 +430,9 @@ ManifestRunResult RunManifestParallel(const Manifest& m,
     meta.attempts = r.attempts;
     meta.ms = r.elapsed_ms;
 
-    // A worker that ran to a verdict (ok, deterministic incomplete, or
-    // cosim divergence) wrote {"job": <row>, "run": {...}}; embed its row
-    // verbatim so the parallel document matches the in-process one byte
-    // for byte.
-    JsonValue worker_doc;
-    bool have_row = false;
-    if (r.ok || r.exit_code == kExitIncomplete || r.exit_code == kExitCosim) {
-      std::ifstream in(job_outs[i], std::ios::binary);
-      if (in) {
-        std::ostringstream buf;
-        buf << in.rdbuf();
-        std::string perr;
-        if (telemetry::JsonParse(buf.str(), &worker_doc, &perr)) {
-          const JsonValue* row = worker_doc.Find("job");
-          if (row != nullptr) {
-            rows.Append(*row);
-            have_row = true;
-            if (const JsonValue* wr = worker_doc.FindPath("run.ckpt");
-                wr != nullptr) {
-              meta.ckpt = wr->AsString();
-            }
-          }
-        }
-      }
-    }
-    if (!have_row) {
-      const std::string why = r.timed_out ? "timeout"
-                              : r.term_signal != 0
-                                  ? "crashed (signal " +
-                                        std::to_string(r.term_signal) + ")"
-                                  : r.ok ? "worker output lost"
-                                         : "worker exited " +
-                                               std::to_string(r.exit_code);
-      rows.Append(FailureRow(m, jobs[i], why));
-    }
+    WorkerRow recovered = RecoverWorkerRow(m, jobs[i], r, job_outs[i]);
+    meta.ckpt = recovered.ckpt;
+    rows.Append(std::move(recovered.row));
     const bool job_failed = !r.ok;
     if (job_failed) {
       ++failed;
@@ -434,7 +449,7 @@ ManifestRunResult RunManifestParallel(const Manifest& m,
   std::filesystem::remove_all(tmp_dir, ec);
 
   ManifestRunResult result;
-  result.document = BuildDocument(m, std::move(rows));
+  result.document = BuildRunnerDocument(m, std::move(rows));
   result.document.Set(
       "run", RunMember(pool.workers(), NowMs() - t0, metas, stats));
   result.failed_jobs = failed;

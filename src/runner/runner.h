@@ -21,6 +21,7 @@
 #include <string>
 
 #include "runner/manifest.h"
+#include "runner/pool.h"
 #include "telemetry/registry.h"
 
 namespace spear::runner {
@@ -34,6 +35,7 @@ inline constexpr int kExitFailure = 1;
 inline constexpr int kExitUsage = 2;
 inline constexpr int kExitIncomplete = 3;  // max_cycles fired before budget
 inline constexpr int kExitCosim = 4;       // lockstep cosim divergence
+inline constexpr int kExitFarm = 6;        // farm client/daemon failure
 
 struct RunnerOptions {
   int workers = 1;
@@ -80,6 +82,33 @@ struct ManifestRunResult {
   telemetry::JsonValue document;
   int failed_jobs = 0;
 };
+
+// The canonical failure row every driver emits for a job that produced no
+// worker row (timeout, crash, lost output). Shared so the fork/exec path,
+// the in-process path and the spearfarm daemon stay byte-identical.
+telemetry::JsonValue MakeFailureRow(const Manifest& m, const JobSpec& job,
+                                    const std::string& error);
+
+// The deterministic document: schema envelope, manifest echo, the final
+// jobs array and derived metrics — everything except the "run" member,
+// which each driver attaches itself.
+telemetry::JsonValue BuildRunnerDocument(const Manifest& m,
+                                         telemetry::JsonValue jobs);
+
+// Reconstructs the deterministic row for a finished worker process. When
+// the exit status represents a verdict (ok, deterministic incomplete,
+// cosim divergence) the row the worker wrote to `job_out_path` is embedded
+// verbatim; otherwise the canonical failure row is synthesized ("timeout",
+// "crashed (signal N)", "worker exited N"), carrying the worker's
+// last-attempt stderr tail when one was captured.
+struct WorkerRow {
+  telemetry::JsonValue row;
+  bool from_worker = false;  // row came from the worker's --job-out file
+  std::string ckpt = "off";
+};
+WorkerRow RecoverWorkerRow(const Manifest& m, const JobSpec& job,
+                           const PoolResult& r,
+                           const std::string& job_out_path);
 
 ManifestRunResult RunManifestInProcess(const Manifest& m,
                                        const RunnerOptions& opts);

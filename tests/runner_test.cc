@@ -11,7 +11,9 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cpu/config.h"
@@ -206,6 +208,170 @@ TEST(ProcessPoolTest, CrashedWorkerFailsOnlyItsJob) {
   EXPECT_EQ(results[0].term_signal, 9);
   EXPECT_TRUE(results[1].ok);
   EXPECT_EQ(results[1].exit_code, 0);
+}
+
+TEST(ProcessPoolTest, StderrTailSurvivesFailThenSucceedRetry) {
+  // Regression: the retry path must surface the *last* attempt's stderr.
+  // Attempt 1 writes a scary message and fails; attempt 2 writes its own
+  // message and succeeds — the result must carry attempt 2's stderr, not
+  // the stale first-attempt one.
+  const std::string marker = TempDir("stderr") + "/marker";
+  PoolJob job;
+  job.argv = {"/bin/sh", "-c",
+              "if [ -e " + marker +
+                  " ]; then echo second-attempt-stderr >&2; exit 0; "
+                  "else touch " +
+                  marker + "; echo first-attempt-stderr >&2; exit 1; fi"};
+  job.max_retries = 1;
+  job.stderr_tail_bytes = 4096;
+
+  const std::vector<PoolResult> results = ProcessPool(1).Run({job});
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].ok);
+  EXPECT_EQ(results[0].attempts, 2);
+  EXPECT_NE(results[0].stderr_tail.find("second-attempt-stderr"),
+            std::string::npos)
+      << results[0].stderr_tail;
+  EXPECT_EQ(results[0].stderr_tail.find("first-attempt-stderr"),
+            std::string::npos)
+      << results[0].stderr_tail;
+}
+
+TEST(ProcessPoolTest, StderrTailOfRepeatedFailureIsTheLastAttempts) {
+  const std::string marker = TempDir("stderr2") + "/marker";
+  PoolJob job;
+  job.argv = {"/bin/sh", "-c",
+              "if [ -e " + marker +
+                  " ]; then echo final-failure >&2; exit 7; "
+                  "else touch " +
+                  marker + "; echo first-failure >&2; exit 1; fi"};
+  job.max_retries = 1;
+  job.stderr_tail_bytes = 4096;
+
+  const std::vector<PoolResult> results = ProcessPool(1).Run({job});
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_FALSE(results[0].ok);
+  EXPECT_EQ(results[0].exit_code, 7);
+  EXPECT_NE(results[0].stderr_tail.find("final-failure"), std::string::npos);
+  EXPECT_EQ(results[0].stderr_tail.find("first-failure"), std::string::npos);
+}
+
+TEST(ProcessPoolTest, StderrTailKeepsOnlyTheTrailingBytes) {
+  PoolJob job;
+  job.argv = {"/bin/sh", "-c",
+              "i=0; while [ $i -lt 200 ]; do echo line$i >&2; "
+              "i=$((i+1)); done; echo THE-END >&2; exit 1"};
+  job.stderr_tail_bytes = 64;
+
+  const std::vector<PoolResult> results = ProcessPool(1).Run({job});
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_LE(results[0].stderr_tail.size(), 64u);
+  EXPECT_NE(results[0].stderr_tail.find("THE-END"), std::string::npos);
+}
+
+TEST(ProcessPoolTest, IncrementalSubmitPumpCollectsCompletions) {
+  ProcessPool pool(2);
+  PoolJob ok;
+  ok.argv = {"/bin/sh", "-c", "exit 0"};
+  PoolJob fail;
+  fail.argv = {"/bin/sh", "-c", "exit 1"};
+  const std::uint64_t t_ok = pool.Submit(ok);
+  const std::uint64_t t_fail = pool.Submit(fail);
+  ASSERT_NE(t_ok, t_fail);
+  EXPECT_EQ(pool.outstanding(), 2u);
+
+  std::map<std::uint64_t, PoolResult> done;
+  for (int spin = 0; spin < 2000 && done.size() < 2; ++spin) {
+    pool.Pump();
+    for (auto& [ticket, result] : pool.TakeCompletions()) {
+      done.emplace(ticket, std::move(result));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(pool.outstanding(), 0u);
+  EXPECT_TRUE(done.at(t_ok).ok);
+  EXPECT_FALSE(done.at(t_fail).ok);
+  EXPECT_EQ(done.at(t_fail).exit_code, 1);
+}
+
+TEST(ProcessPoolTest, CancelKillsRunningAndDropsQueued) {
+  ProcessPool pool(1);
+  PoolJob hang;
+  hang.argv = {"/bin/sh", "-c", "sleep 30"};
+  const std::uint64_t t_running = pool.Submit(hang);
+  pool.Pump();  // launches the hang into the only slot
+  const std::uint64_t t_queued = pool.Submit(hang);
+
+  pool.Cancel(t_running);
+  pool.Cancel(t_queued);
+  std::map<std::uint64_t, PoolResult> done;
+  for (int spin = 0; spin < 2000 && done.size() < 2; ++spin) {
+    pool.Pump();
+    for (auto& [ticket, result] : pool.TakeCompletions()) {
+      done.emplace(ticket, std::move(result));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_TRUE(done.at(t_running).canceled);
+  EXPECT_FALSE(done.at(t_running).ok);
+  EXPECT_TRUE(done.at(t_queued).canceled);
+}
+
+// --- worker-row recovery (shared by spearrun and the spearfarm daemon) ---
+
+TEST(RecoverWorkerRowTest, EmbedsWorkerRowVerbatimOrSynthesizesFailure) {
+  Manifest m;
+  std::string error;
+  ASSERT_TRUE(ParseManifest(R"({
+    "manifest_version": 1,
+    "name": "t",
+    "workloads": ["matrix"],
+    "configs": [{"label": "base"}]
+  })",
+                            &m, &error))
+      << error;
+  const std::vector<JobSpec> jobs = ExpandJobs(m);
+
+  // Verdict path: the worker's row is embedded byte-for-byte.
+  const std::string job_out = TempDir("recover") + "/job0.json";
+  {
+    std::ofstream out(job_out);
+    out << R"({"job": {"id": "matrix/base", "stats": {"cycles": 5}},)"
+        << R"( "run": {"ckpt": "hit", "ms": 3}})" << "\n";
+  }
+  PoolResult ok;
+  ok.ok = true;
+  ok.exit_code = 0;
+  const WorkerRow from_worker = RecoverWorkerRow(m, jobs[0], ok, job_out);
+  EXPECT_TRUE(from_worker.from_worker);
+  EXPECT_EQ(from_worker.ckpt, "hit");
+  EXPECT_EQ(from_worker.row.FindPath("stats.cycles")->AsInt(), 5);
+
+  // Timeout: canonical failure row carrying the last attempt's stderr.
+  PoolResult timeout;
+  timeout.timed_out = true;
+  timeout.stderr_tail = "sim stuck at cycle 999";
+  const WorkerRow timed = RecoverWorkerRow(m, jobs[0], timeout, "/no/file");
+  EXPECT_FALSE(timed.from_worker);
+  EXPECT_EQ(timed.row.Find("error")->AsString(), "timeout");
+  EXPECT_EQ(timed.row.Find("stderr")->AsString(), "sim stuck at cycle 999");
+
+  // Crash by signal, no stderr captured: no stderr member at all (the
+  // deterministic row shape must not change with capture settings).
+  PoolResult crash;
+  crash.term_signal = 9;
+  crash.exit_code = -1;
+  const WorkerRow crashed = RecoverWorkerRow(m, jobs[0], crash, "/no/file");
+  EXPECT_EQ(crashed.row.Find("error")->AsString(), "crashed (signal 9)");
+  EXPECT_EQ(crashed.row.Find("stderr"), nullptr);
+
+  // Cancellation.
+  PoolResult canceled;
+  canceled.canceled = true;
+  const WorkerRow dropped = RecoverWorkerRow(m, jobs[0], canceled, "/no/file");
+  EXPECT_EQ(dropped.row.Find("error")->AsString(), "canceled");
 }
 
 // --- manifest parsing ---

@@ -1,0 +1,152 @@
+// spearfarm — simulation-as-a-service: one long-lived daemon owns the
+// worker pool and a content-addressed result cache; any number of
+// concurrent `spearrun --farm` clients submit manifest jobs over the
+// Unix-domain socket and a row is simulated at most once per cache key.
+//
+//   spearfarm --socket /tmp/farm.sock --state-dir bench/farm -j 4
+//       run the daemon (SIGINT/SIGTERM persist the queue and exit 0)
+//   spearfarm --socket /tmp/farm.sock --ping --wait-ms 5000
+//       wait until the daemon answers (CI startup gate)
+//   spearfarm --socket /tmp/farm.sock --status
+//       print queue depth, in-flight count and runner.farm.* stats
+//   spearfarm --socket /tmp/farm.sock --drain
+//       stop admissions, finish in-flight jobs, persist the queue, exit
+//
+// Exit codes: 0 ok, 6 farm transport failure (cannot bind/connect/talk
+// to the daemon) — canonical table in tool_flags.h.
+#include <signal.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#include "farm/client.h"
+#include "farm/daemon.h"
+#include "tool_flags.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void OnStop(int) { g_stop = 1; }
+
+std::string SelfExeDir(const char* argv0) {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  std::string path = n > 0 ? (buf[n] = '\0', std::string(buf))
+                           : std::string(argv0);
+  const std::size_t slash = path.rfind('/');
+  return slash == std::string::npos ? "." : path.substr(0, slash);
+}
+
+std::uint64_t NowMs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  spear::tools::Flags flags(
+      argc, argv,
+      {{"socket", "Unix-domain socket path (required)"},
+       {"state-dir", "queue/manifest/cache state (default bench/farm)"},
+       {"cache-dir", "result cache override (default <state-dir>/cache)"},
+       {"j", "worker processes (default: 2)"},
+       {"max-queued", "admission-control queue cap (default 256)"},
+       {"spearrun", "worker binary (default: spearrun next to this tool)"},
+       {"ckpt-dir", "fast-forward checkpoint cache (default bench/ckpt)"},
+       {"no-ckpt", "disable the checkpoint cache"},
+       {"verbose", "per-job progress lines"},
+       {"ping", "client: check the daemon is alive"},
+       {"wait-ms", "with --ping: keep retrying for this long"},
+       {"status", "client: print daemon status JSON"},
+       {"drain", "client: drain the daemon (persist queue, clean exit)"}});
+
+  const std::string socket_path = flags.Get("socket");
+  if (socket_path.empty()) {
+    std::fprintf(stderr, "spearfarm: --socket is required (try --help)\n");
+    return spear::tools::kExitUsage;
+  }
+
+  if (flags.GetBool("ping")) {
+    const std::uint64_t deadline =
+        NowMs() + static_cast<std::uint64_t>(flags.GetInt("wait-ms", 0));
+    std::string error;
+    while (true) {
+      spear::farm::FarmClient client;
+      if (client.Connect(socket_path, &error) && client.Ping(&error)) {
+        std::printf("pong\n");
+        return spear::tools::kExitOk;
+      }
+      if (NowMs() >= deadline) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    std::fprintf(stderr, "spearfarm: %s\n", error.c_str());
+    return spear::tools::kExitFarm;
+  }
+
+  if (flags.GetBool("status")) {
+    spear::farm::FarmClient client;
+    spear::telemetry::JsonValue status;
+    std::string error;
+    if (!client.Connect(socket_path, &error) ||
+        !client.Status(&status, &error)) {
+      std::fprintf(stderr, "spearfarm: %s\n", error.c_str());
+      return spear::tools::kExitFarm;
+    }
+    std::printf("%s\n", status.Dump(2).c_str());
+    return spear::tools::kExitOk;
+  }
+
+  if (flags.GetBool("drain")) {
+    spear::farm::FarmClient client;
+    std::int64_t persisted = 0;
+    std::string error;
+    if (!client.Connect(socket_path, &error) ||
+        !client.Drain(&persisted, &error)) {
+      std::fprintf(stderr, "spearfarm: %s\n", error.c_str());
+      return spear::tools::kExitFarm;
+    }
+    std::printf("drained: %lld queued job%s persisted\n",
+                static_cast<long long>(persisted),
+                persisted == 1 ? "" : "s");
+    return spear::tools::kExitOk;
+  }
+
+  spear::farm::FarmOptions opts;
+  opts.socket_path = socket_path;
+  opts.state_dir = flags.Get("state-dir", "bench/farm");
+  opts.cache_dir = flags.Get("cache-dir");  // empty = <state-dir>/cache
+  opts.workers = static_cast<int>(flags.GetInt("j", 2));
+  opts.max_queued =
+      static_cast<std::size_t>(flags.GetInt("max-queued", 256));
+  opts.spearrun_path =
+      flags.Get("spearrun", SelfExeDir(argv[0]) + "/spearrun");
+  opts.ckpt_dir = flags.Get("ckpt-dir", opts.ckpt_dir);
+  opts.use_ckpt = !flags.GetBool("no-ckpt");
+  opts.verbose = flags.GetBool("verbose");
+  opts.stop_flag = &g_stop;
+
+  std::signal(SIGINT, OnStop);
+  std::signal(SIGTERM, OnStop);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  spear::farm::FarmDaemon daemon(opts);
+  std::string error;
+  if (!daemon.Init(&error)) {
+    std::fprintf(stderr, "spearfarm: %s\n", error.c_str());
+    return spear::tools::kExitFarm;
+  }
+  std::printf("spearfarm: serving %s (state %s, %d workers)\n",
+              socket_path.c_str(), opts.state_dir.c_str(), opts.workers);
+  std::fflush(stdout);
+  const int rc = daemon.Serve();
+  std::printf("spearfarm: exiting\n%s\n",
+              daemon.stats().Json().Dump(2).c_str());
+  return rc;
+}

@@ -8,13 +8,15 @@
 //       --tolerate-failures
 //   spearrun --manifest m.json --list          # show the expanded jobs
 //   spearrun --manifest m.json --in-process    # no fork (debugging)
+//   spearrun --manifest m.json --farm /run/spearfarm.sock   # via daemon
+//   spearrun --manifest m.json --cache-audit --cache-dir d  # dry audit
 //
 // The same binary is its own worker: the parent forks
 // `spearrun --worker --job N`, each worker runs exactly one job and
 // writes its result row to --job-out. Exit codes: 0 ok, 1 failure,
 // 2 usage/manifest error, 3 deterministic incomplete run (not retried),
-// 4 cosim divergence under --cosim (not retried). Canonical table in
-// tool_flags.h.
+// 4 cosim divergence under --cosim (not retried), 6 farm transport
+// failure under --farm. Canonical table in tool_flags.h.
 #include <unistd.h>
 
 #include <chrono>
@@ -23,6 +25,8 @@
 #include <thread>
 #include <vector>
 
+#include "farm/cache.h"
+#include "farm/client.h"
 #include "runner/runner.h"
 #include "tool_flags.h"
 
@@ -101,6 +105,12 @@ int main(int argc, char** argv) {
        {"tolerate-failures", "exit 0 even when jobs failed (CI probes)"},
        {"list", "print the expanded job list and exit"},
        {"in-process", "run jobs sequentially in this process (no fork)"},
+       {"farm", "submit jobs to the spearfarm daemon at this socket "
+                "instead of forking workers"},
+       {"cache-audit", "dry mode: print cache key, hit/miss and on-disk "
+                       "size per manifest row, run nothing"},
+       {"cache-dir", "farm result cache for --cache-audit (default "
+                     "bench/farm/cache)"},
        {"worker", "internal: run one job and exit"},
        {"job", "internal: job index for --worker"},
        {"job-out", "internal: result file for --worker"}});
@@ -154,17 +164,69 @@ int main(int argc, char** argv) {
     return spear::runner::kExitOk;
   }
 
-  std::printf("spearrun: %s — %zu jobs, %d worker%s, ff=%llu, ckpt %s\n",
-              manifest.name.c_str(), jobs.size(), opts.workers,
-              opts.workers == 1 ? "" : "s",
-              static_cast<unsigned long long>(manifest.defaults.ff_instrs),
-              opts.use_ckpt ? opts.ckpt_dir.c_str() : "off");
+  if (flags.GetBool("cache-audit")) {
+    // Dry audit: derive each row's farm cache key (same derivation as the
+    // daemon, including any --quick/--sim-instrs override applied above)
+    // and report hit/miss + on-disk size without running anything.
+    const std::string cache_dir =
+        flags.Get("cache-dir", "bench/farm/cache");
+    std::printf("cache audit: %s against %s (%zu rows)\n",
+                manifest.name.c_str(), cache_dir.c_str(), jobs.size());
+    spear::runner::WorkloadCache cache;
+    std::size_t hits = 0;
+    std::uint64_t total_bytes = 0;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      const spear::runner::JobSpec& job = jobs[i];
+      const std::string id = spear::runner::JobId(manifest, jobs[i]);
+      if (job.debug_hang) {
+        std::printf("  [%3zu] %-6s %10s  %-28s (debug_hang, uncacheable)\n",
+                    i, "skip", "-", id.c_str());
+        continue;
+      }
+      const spear::EvalOptions eopts = spear::runner::MakeEvalOptions(
+          manifest.defaults, manifest.configs[job.config]);
+      const spear::farm::ResultCacheKey key = spear::farm::MakeResultKey(
+          manifest, job,
+          spear::farm::BinaryFingerprint(cache.Get(job.workload, eopts)),
+          opts.cosim);
+      std::uint64_t bytes = 0;
+      const bool hit = spear::farm::ProbeResult(cache_dir, key, &bytes);
+      if (hit) {
+        ++hits;
+        total_bytes += bytes;
+      }
+      std::printf("  [%3zu] %-6s %10s  %-28s %s\n", i, hit ? "HIT" : "MISS",
+                  hit ? (std::to_string(bytes) + " B").c_str() : "-",
+                  id.c_str(),
+                  spear::farm::ResultCachePath(cache_dir, key).c_str());
+    }
+    std::printf("%zu of %zu rows cached, %llu bytes on disk\n", hits,
+                jobs.size(), static_cast<unsigned long long>(total_bytes));
+    return spear::runner::kExitOk;
+  }
 
-  const spear::runner::ManifestRunResult result =
-      flags.GetBool("in-process")
-          ? spear::runner::RunManifestInProcess(manifest, opts)
-          : spear::runner::RunManifestParallel(
-                manifest, manifest_path, SelfExePath(argv[0]), opts);
+  spear::runner::ManifestRunResult result;
+  const std::string farm_socket = flags.Get("farm");
+  if (!farm_socket.empty()) {
+    std::printf("spearrun: %s — %zu jobs via farm %s\n",
+                manifest.name.c_str(), jobs.size(), farm_socket.c_str());
+    std::string farm_error;
+    if (!spear::farm::RunManifestFarm(manifest, farm_socket, opts, &result,
+                                      &farm_error)) {
+      std::fprintf(stderr, "spearrun: farm: %s\n", farm_error.c_str());
+      return spear::tools::kExitFarm;
+    }
+  } else {
+    std::printf("spearrun: %s — %zu jobs, %d worker%s, ff=%llu, ckpt %s\n",
+                manifest.name.c_str(), jobs.size(), opts.workers,
+                opts.workers == 1 ? "" : "s",
+                static_cast<unsigned long long>(manifest.defaults.ff_instrs),
+                opts.use_ckpt ? opts.ckpt_dir.c_str() : "off");
+    result = flags.GetBool("in-process")
+                 ? spear::runner::RunManifestInProcess(manifest, opts)
+                 : spear::runner::RunManifestParallel(
+                       manifest, manifest_path, SelfExePath(argv[0]), opts);
+  }
 
   const std::string path = spear::runner::WriteRunnerDoc(
       result.document, flags.Get("out", "bench/results"), manifest.name);

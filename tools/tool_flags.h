@@ -29,12 +29,17 @@ namespace spear::tools {
 //     5  | security rejection: the speculative-leakage    | no (fail fast,
 //        | taint pass found a leakage-contract violation  |  deterministic)
 //        | (spearverify --security, spearc --security)    |
+//     6  | farm transport failure: cannot bind, connect   | no
+//        | to, or talk to the spearfarm daemon (spearfarm,|
+//        | spearrun --farm); job-level failures still use |
+//        | codes 1/3/4 through the results document       |
 inline constexpr int kExitOk = 0;
 inline constexpr int kExitFailure = 1;
 inline constexpr int kExitUsage = 2;
 inline constexpr int kExitIncomplete = 3;
 inline constexpr int kExitCosimDivergence = 4;
 inline constexpr int kExitSecurity = 5;
+inline constexpr int kExitFarm = 6;
 
 class Flags {
  public:
