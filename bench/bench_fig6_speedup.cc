@@ -29,6 +29,20 @@ int main(int argc, char** argv) {
   if (!ctx.emit_manifest) {
     std::printf("paper: avg 1.127x (128), 1.201x (256); best mcf 1.876x; "
                 "tr/field/fft/gzip degrade 1-6.2%%\n");
+    return rc;
   }
-  return rc;
+
+  // Sampled companion matrix: the same headline sweep under SMARTS
+  // interval sampling (period 20k / warmup 4k / detail 2k keeps ~20
+  // detailed intervals inside the 400k budget). CI runs it through
+  // spearrun and checks that every sampled row's 95% IPC CI brackets the
+  // full-detail IPC from fig6.json; emitting it here keeps the committed
+  // manifest in sync with this C++ definition.
+  runner::Manifest sampled = m;
+  sampled.name = "fig6_sampled";
+  sampled.defaults.sampling.period = 20'000;
+  sampled.defaults.sampling.warmup = 4'000;
+  sampled.defaults.sampling.detail = 2'000;
+  const int rc2 = RunOrEmit(ctx, sampled, "fig6_sampled");
+  return rc != 0 ? rc : rc2;
 }

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "bench_common.h"
+#include "sim/emulator.h"
 #include "tool_flags.h"
 
 namespace {
@@ -29,9 +30,46 @@ spear::bench::BenchContext ContextFromFlags(const spear::tools::Flags& flags) {
     ctx.options.sim_instrs =
         static_cast<std::uint64_t>(flags.GetInt("sim-instrs", 400'000));
   }
+  ctx.options.scale = static_cast<int>(flags.GetInt("scale", 1));
   ctx.emit_manifest = flags.GetBool("emit-manifest");
   ctx.manifest_dir = flags.Get("manifest-dir", ctx.manifest_dir);
   return ctx;
+}
+
+// Gates `measured` against the named floor key in --baseline (if given):
+// prints the comparison and returns 1 on regression, 0 otherwise.
+int GateAgainstBaseline(const spear::tools::Flags& flags, const char* key,
+                        double measured) {
+  if (!flags.Has("baseline")) return 0;
+  std::ifstream in(flags.Get("baseline"), std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  spear::telemetry::JsonValue doc;
+  std::string error;
+  if (!in || !spear::telemetry::JsonParse(buf.str(), &doc, &error)) {
+    std::fprintf(stderr, "simspeed: cannot read baseline %s: %s\n",
+                 flags.Get("baseline").c_str(), error.c_str());
+    return 1;
+  }
+  const spear::telemetry::JsonValue* floor = doc.FindPath(key);
+  if (floor == nullptr) {
+    std::fprintf(stderr, "simspeed: baseline lacks %s\n", key);
+    return 1;
+  }
+  const double tolerance =
+      flags.Has("tolerance")
+          ? std::strtod(flags.Get("tolerance").c_str(), nullptr)
+          : 0.15;
+  const double gate = floor->AsDouble() * (1.0 - tolerance);
+  std::printf("gate: %.2f MIPS measured vs %.2f floor "
+              "(baseline %.2f - %.0f%%)\n",
+              measured, gate, floor->AsDouble(), tolerance * 100);
+  if (measured < gate) {
+    std::fprintf(stderr, "simspeed: REGRESSION: %.2f MIPS < %.2f gate\n",
+                 measured, gate);
+    return 1;
+  }
+  return 0;
 }
 
 }  // namespace
@@ -50,6 +88,9 @@ int main(int argc, char** argv) {
         "write the experiment manifest JSON instead of running it"},
        {"manifest-dir", "where --emit-manifest writes "
                         "(default bench/manifests)"},
+       {"functional", "time the pure-Emulator substrate instead of the "
+                      "detailed core (sampling fast-forward speed)"},
+       {"scale", "workload working-set scale factor (default 1)"},
        {"baseline", "simspeed_baseline.json to gate against"},
        {"tolerance", "allowed fractional regression vs the baseline "
                      "(default 0.15)"}});
@@ -60,6 +101,62 @@ int main(int argc, char** argv) {
   m.configs = {BaseModel(), SpearModel("spear256", 256)};
   if (ctx.emit_manifest) {
     return RunOrEmit(ctx, m, "simspeed");
+  }
+
+  if (flags.GetBool("functional")) {
+    // Pure-Emulator throughput: the speed the sampling orchestrator
+    // fast-executes between detailed intervals, so this number decides
+    // how far billion-instruction sampled runs can reach. No core, no
+    // cache/bpred warming — just the architectural emulator.
+    PrintConfigHeader(BaselineConfig(128));
+    std::printf("== simspeed --functional: pure-emulator throughput ==\n");
+    std::printf("%-10s %12s %12s %10s\n", "benchmark", "instrs", "host_ms",
+                "MIPS");
+
+    telemetry::JsonValue rows = telemetry::JsonValue::Array();
+    std::uint64_t total_instrs = 0;
+    double total_seconds = 0.0;
+    for (const std::string& name : m.workloads) {
+      const PreparedWorkload pw = PrepareWorkload(name, ctx.options);
+      Emulator emu(pw.plain);
+      const Clock::time_point t0 = Clock::now();
+      const std::uint64_t executed = emu.Run(ctx.options.sim_instrs);
+      const double seconds =
+          std::chrono::duration<double>(Clock::now() - t0).count();
+      const double mips =
+          seconds > 0.0 ? static_cast<double>(executed) / seconds / 1e6
+                        : 0.0;
+      total_instrs += executed;
+      total_seconds += seconds;
+
+      telemetry::JsonValue row = telemetry::JsonValue::Object();
+      row.Set("workload", telemetry::JsonValue(name));
+      row.Set("instructions", telemetry::JsonValue(executed));
+      row.Set("host_seconds", telemetry::JsonValue(seconds));
+      row.Set("mips", telemetry::JsonValue(mips));
+      rows.Append(std::move(row));
+      std::printf("%-10s %12llu %12.1f %10.2f\n", name.c_str(),
+                  static_cast<unsigned long long>(executed), seconds * 1e3,
+                  mips);
+      std::fflush(stdout);
+    }
+    const double aggregate_mips =
+        total_seconds > 0.0
+            ? static_cast<double>(total_instrs) / total_seconds / 1e6
+            : 0.0;
+    std::printf("%-10s %12llu %12.1f %10.2f\n", "TOTAL",
+                static_cast<unsigned long long>(total_instrs),
+                total_seconds * 1e3, aggregate_mips);
+
+    telemetry::JsonValue results = telemetry::JsonValue::Object();
+    results.Set("runs", std::move(rows));
+    telemetry::JsonValue agg = telemetry::JsonValue::Object();
+    agg.Set("instructions", telemetry::JsonValue(total_instrs));
+    agg.Set("host_seconds", telemetry::JsonValue(total_seconds));
+    agg.Set("mips", telemetry::JsonValue(aggregate_mips));
+    results.Set("aggregate", std::move(agg));
+    WriteBenchJson(ctx, "simspeed_functional", std::move(results));
+    return GateAgainstBaseline(flags, "functional_mips", aggregate_mips);
   }
 
   PrintConfigHeader(BaselineConfig(128));
@@ -129,36 +226,5 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  if (flags.Has("baseline")) {
-    std::ifstream in(flags.Get("baseline"), std::ios::binary);
-    std::ostringstream buf;
-    buf << in.rdbuf();
-    telemetry::JsonValue doc;
-    std::string error;
-    if (!in || !telemetry::JsonParse(buf.str(), &doc, &error)) {
-      std::fprintf(stderr, "simspeed: cannot read baseline %s: %s\n",
-                   flags.Get("baseline").c_str(), error.c_str());
-      return 1;
-    }
-    const telemetry::JsonValue* floor = doc.FindPath("aggregate_mips");
-    if (floor == nullptr) {
-      std::fprintf(stderr, "simspeed: baseline lacks aggregate_mips\n");
-      return 1;
-    }
-    const double tolerance =
-        flags.Has("tolerance")
-            ? std::strtod(flags.Get("tolerance").c_str(), nullptr)
-            : 0.15;
-    const double gate = floor->AsDouble() * (1.0 - tolerance);
-    std::printf("gate: %.2f MIPS measured vs %.2f floor "
-                "(baseline %.2f - %.0f%%)\n",
-                aggregate_mips, gate, floor->AsDouble(), tolerance * 100);
-    if (aggregate_mips < gate) {
-      std::fprintf(stderr,
-                   "simspeed: REGRESSION: %.2f MIPS < %.2f gate\n",
-                   aggregate_mips, gate);
-      return 1;
-    }
-  }
-  return 0;
+  return GateAgainstBaseline(flags, "aggregate_mips", aggregate_mips);
 }

@@ -13,10 +13,12 @@ PreparedWorkload PrepareWorkload(const std::string& name,
 
   WorkloadConfig ref_cfg;
   ref_cfg.seed = options.ref_seed;
+  ref_cfg.scale = options.scale;
   out.plain = BuildWorkloadProgram(name, ref_cfg);
 
   WorkloadConfig prof_cfg;
   prof_cfg.seed = options.profile_seed;
+  prof_cfg.scale = options.scale;
   const Program profile_input = BuildWorkloadProgram(name, prof_cfg);
 
   out.annotated = CompileSpear(profile_input, out.plain, options.compiler,

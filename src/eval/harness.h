@@ -20,6 +20,10 @@ struct EvalOptions {
   std::uint64_t max_cycles = 80'000'000;    // safety net
   std::uint64_t ref_seed = 42;              // simulated input
   std::uint64_t profile_seed = 20040426;    // profiling input (different)
+  // Workload working-set / iteration scale (WorkloadConfig::scale),
+  // applied to both the reference and the profiling build. >1 grows
+  // dynamic instruction counts toward sampled billion-instruction runs.
+  int scale = 1;
   CompilerOptions compiler;
 };
 

@@ -62,6 +62,9 @@ ResultCacheKey MakeResultKey(const runner::Manifest& m,
        << "|ref_seed=" << m.defaults.ref_seed
        << "|profile_seed=" << m.defaults.profile_seed
        << "|ff_instrs=" << m.defaults.ff_instrs
+       << "|scale=" << m.defaults.scale
+       << "|sampling=" << m.defaults.sampling.period << ":"
+       << m.defaults.sampling.detail << ":" << m.defaults.sampling.warmup
        << "|workload=" << job.workload
        << "|debug_hang=" << (job.debug_hang ? 1 : 0)
        << "|config=" << config_json;

@@ -30,9 +30,11 @@
 
 namespace spear::farm {
 
-// Bump when the stored-entry layout changes; old entries then read as
-// misses and are transparently regenerated.
-inline constexpr int kResultCacheVersion = 1;
+// Bump when the stored-entry layout or the key composition changes; old
+// entries then read as misses and are transparently regenerated. v2 added
+// the workload scale and sampling-plan fields to the key, so sampled and
+// full-detail rows (and different scales) can never collide.
+inline constexpr int kResultCacheVersion = 2;
 
 // FNV-1a over the serialized SPEARBIN bytes of both binaries the job
 // could run (plain ++ annotated — the config's binary choice is part of

@@ -76,6 +76,14 @@ class MemoryHierarchy {
     return out;
   }
 
+  // Warming-only access: updates tag/LRU/dirty state exactly like
+  // AccessData but skips the latency and MSHR-merge bookkeeping, none of
+  // which is part of a WarmState. The fast-forward and sampling
+  // substrates drive this once per load/store, so it must stay lean.
+  void WarmData(Addr addr, bool write, ThreadId tid) {
+    if (!l1d_.Access(addr, write, tid)) l2_.Access(addr, write, tid);
+  }
+
   const HierarchyConfig& config() const { return config_; }
   Cache& l1d() { return l1d_; }
   const Cache& l1d() const { return l1d_; }

@@ -135,6 +135,25 @@ class Reader {
   bool ok_ = true;
 };
 
+// Wrong-format-version diagnostic, shared by both readers so the marker
+// substring IsCheckpointVersionMismatch() keys on stays in one place.
+std::string VersionMismatchError(const std::string& path, std::uint32_t got,
+                                 std::uint32_t want) {
+  std::ostringstream os;
+  os << path << ": SPCK format version " << got << ", this reader expects "
+     << want;
+  if (got == kCheckpointTreeFormatVersion &&
+      want == kCheckpointFormatVersion) {
+    os << " (checkpoint tree handed to the flat-checkpoint reader — use "
+          "LoadCheckpointTree)";
+  } else if (got == kCheckpointFormatVersion &&
+             want == kCheckpointTreeFormatVersion) {
+    os << " (flat checkpoint handed to the tree reader — use "
+          "LoadCheckpoint)";
+  }
+  return os.str();
+}
+
 void WriteCacheState(Writer& w, const CacheState& s) {
   w.U64(s.stamp);
   w.U64(s.tags.size());
@@ -160,6 +179,167 @@ bool ReadCacheState(Reader& r, CacheState* s) {
   return r.ok();
 }
 
+void WriteBpredState(Writer& w, const BpredState& b) {
+  w.U32(static_cast<std::uint32_t>(b.counters.size()));
+  w.Bytes(b.counters.data(), b.counters.size());
+  w.U32(static_cast<std::uint32_t>(b.ras.size()));
+  for (Pc p : b.ras) w.U32(p);
+  w.U64(b.ras_top);
+  w.U32(static_cast<std::uint32_t>(b.btb_pcs.size()));
+  for (std::size_t i = 0; i < b.btb_pcs.size(); ++i) {
+    w.U32(b.btb_pcs[i]);
+    w.U32(b.btb_targets[i]);
+  }
+  w.U32(b.history);
+}
+
+bool ReadBpredState(Reader& r, BpredState* b) {
+  const std::uint32_t ncounters = r.U32();
+  if (!r.ok() || ncounters > (1u << 28)) return false;
+  b->counters.resize(ncounters);
+  if (ncounters > 0 && !r.Bytes(b->counters.data(), ncounters)) return false;
+  const std::uint32_t nras = r.U32();
+  if (!r.ok() || nras > (1u << 20)) return false;
+  b->ras.resize(nras);
+  for (std::uint32_t i = 0; i < nras; ++i) b->ras[i] = r.U32();
+  b->ras_top = r.U64();
+  const std::uint32_t nbtb = r.U32();
+  if (!r.ok() || nbtb > (1u << 24)) return false;
+  b->btb_pcs.resize(nbtb);
+  b->btb_targets.resize(nbtb);
+  for (std::uint32_t i = 0; i < nbtb; ++i) {
+    b->btb_pcs[i] = r.U32();
+    b->btb_targets[i] = r.U32();
+  }
+  b->history = r.U32();
+  return r.ok();
+}
+
+// The v1 file body (everything after magic+version+key). The tree format
+// reuses it verbatim for the root, so the byte layout of a v1 file is a
+// strict prefix-compatible subset of a v2 file's root section.
+void WriteWarmStateBody(Writer& w, const WarmState& state) {
+  w.U8(state.halted ? 1 : 0);
+  w.U32(state.pc);
+  w.U64(state.warmed_instrs);
+  for (std::uint32_t r : state.iregs) w.U32(r);
+  for (double f : state.fregs) w.F64(f);
+
+  const std::vector<Addr> pages = state.mem.PageNumbers();
+  w.U32(static_cast<std::uint32_t>(pages.size()));
+  for (Addr pn : pages) {
+    w.U32(pn);
+    w.Bytes(state.mem.PageData(pn), Memory::kPageSize);
+  }
+
+  WriteCacheState(w, state.l1d);
+  WriteCacheState(w, state.l2);
+  WriteBpredState(w, state.bpred);
+}
+
+bool ReadWarmStateBody(Reader& r, WarmState* out) {
+  WarmState ws;
+  ws.halted = r.U8() != 0;
+  ws.pc = r.U32();
+  ws.warmed_instrs = r.U64();
+  for (int i = 0; i < kNumIntRegs; ++i) ws.iregs[i] = r.U32();
+  for (int i = 0; i < kNumFpRegs; ++i) ws.fregs[i] = r.F64();
+
+  const std::uint32_t npages = r.U32();
+  if (!r.ok()) return false;
+  std::vector<std::uint8_t> page(Memory::kPageSize);
+  for (std::uint32_t i = 0; i < npages; ++i) {
+    const Addr pn = r.U32();
+    if (!r.Bytes(page.data(), page.size())) return false;
+    ws.mem.InstallPage(pn, page.data());
+  }
+
+  if (!ReadCacheState(r, &ws.l1d) || !ReadCacheState(r, &ws.l2)) return false;
+  if (!ReadBpredState(r, &ws.bpred)) return false;
+  *out = std::move(ws);
+  return true;
+}
+
+// Slurps the file at `path` and validates the SPCK envelope (magic,
+// `version`, key string). On success *body_off is the offset of the first
+// body byte; on any failure fills *why with the miss diagnostic.
+bool OpenSpck(const std::string& path, std::uint32_t version,
+              const std::string& key_string, std::vector<std::uint8_t>* buf,
+              std::size_t* body_off, std::string* why) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    *why = "no checkpoint at " + path;
+    return false;
+  }
+  std::uint8_t chunk[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+    buf->insert(buf->end(), chunk, chunk + n);
+  }
+  std::fclose(f);
+
+  Reader r(buf->data(), buf->size());
+  char magic[4] = {};
+  r.Bytes(magic, sizeof(magic));
+  if (!r.ok() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    *why = path + ": bad magic";
+    return false;
+  }
+  const std::uint32_t got = r.U32();
+  if (!r.ok()) {
+    *why = path + ": truncated";
+    return false;
+  }
+  if (got != version) {
+    *why = VersionMismatchError(path, got, version);
+    return false;
+  }
+  // The hash names the file but the full key string decides: a hash
+  // collision (or a stale cache dir) must read as a miss, not a wrong warm
+  // state.
+  if (r.Str() != key_string) {
+    *why = path + ": key mismatch";
+    return false;
+  }
+  // magic + version + length-prefixed key string.
+  *body_off = sizeof(kMagic) + sizeof(std::uint32_t) +
+              sizeof(std::uint32_t) + key_string.size();
+  return true;
+}
+
+// Writes `buf` to `path` via a pid-unique temp file + rename, so parallel
+// workers racing on the same key never see a partial file.
+bool AtomicWriteFile(const std::string& dir, const std::string& path,
+                     const std::vector<std::uint8_t>& buf,
+                     std::string* error) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    if (error != nullptr) {
+      *error = "cannot open " + tmp + ": " + std::strerror(errno);
+    }
+    return false;
+  }
+  const bool wrote = std::fwrite(buf.data(), 1, buf.size(), f) == buf.size();
+  const bool closed = std::fclose(f) == 0;
+  if (!wrote || !closed) {
+    if (error != nullptr) *error = "short write to " + tmp;
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    if (error != nullptr) {
+      *error = "rename " + tmp + " -> " + path + ": " + std::strerror(errno);
+    }
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 std::string KeyString(const CheckpointKey& key) {
@@ -171,6 +351,9 @@ std::string KeyString(const CheckpointKey& key) {
      << "|bpred=" << BpredKindName(key.bpred.kind) << ":"
      << key.bpred.table_entries << ":" << key.bpred.ras_entries << ":"
      << key.bpred.btb_entries;
+  // Appended only when non-default so the checkpoints committed under
+  // bench/ckpt (written before the scale knob existed) keep their keys.
+  if (key.scale != 1) os << "|scale=" << key.scale;
   return os.str();
 }
 
@@ -196,12 +379,13 @@ FastForwardResult FastForward(const Program& prog, const CheckpointKey& key) {
     const StepInfo info = emu.Step();
     ++out.executed;
     // Mirror the timed core's warming protocol: every data access walks
-    // the hierarchy, every control instruction is predicted at fetch and
-    // trained at commit (Predict also maintains the RAS speculatively; on
-    // the functional path fetch and commit coincide).
+    // the hierarchy (WarmData — tag/LRU updates without the latency/MSHR
+    // bookkeeping a WarmState doesn't carry), every control instruction
+    // is predicted at fetch and trained at commit (Predict also maintains
+    // the RAS speculatively; on the functional path fetch and commit
+    // coincide).
     if (info.result.is_load || info.result.is_store) {
-      hier.AccessData(info.result.mem_addr, info.result.is_store, kMainThread,
-                      info.icount);
+      hier.WarmData(info.result.mem_addr, info.result.is_store, kMainThread);
     }
     if (info.result.is_control) {
       bpred.Predict(info.pc, info.instr);
@@ -229,67 +413,8 @@ bool SaveCheckpoint(const std::string& dir, const CheckpointKey& key,
   w.Bytes(kMagic, sizeof(kMagic));
   w.U32(kCheckpointFormatVersion);
   w.Str(KeyString(key));
-
-  w.U8(state.halted ? 1 : 0);
-  w.U32(state.pc);
-  w.U64(state.warmed_instrs);
-  for (std::uint32_t r : state.iregs) w.U32(r);
-  for (double f : state.fregs) w.F64(f);
-
-  const std::vector<Addr> pages = state.mem.PageNumbers();
-  w.U32(static_cast<std::uint32_t>(pages.size()));
-  for (Addr pn : pages) {
-    w.U32(pn);
-    w.Bytes(state.mem.PageData(pn), Memory::kPageSize);
-  }
-
-  WriteCacheState(w, state.l1d);
-  WriteCacheState(w, state.l2);
-
-  const BpredState& b = state.bpred;
-  w.U32(static_cast<std::uint32_t>(b.counters.size()));
-  w.Bytes(b.counters.data(), b.counters.size());
-  w.U32(static_cast<std::uint32_t>(b.ras.size()));
-  for (Pc p : b.ras) w.U32(p);
-  w.U64(b.ras_top);
-  w.U32(static_cast<std::uint32_t>(b.btb_pcs.size()));
-  for (std::size_t i = 0; i < b.btb_pcs.size(); ++i) {
-    w.U32(b.btb_pcs[i]);
-    w.U32(b.btb_targets[i]);
-  }
-  w.U32(b.history);
-
-  std::error_code ec;
-  std::filesystem::create_directories(dir, ec);
-  const std::string path = CheckpointPath(dir, key);
-  // Unique temp name per writer so parallel workers computing the same
-  // checkpoint never see each other's partial files; the rename makes the
-  // final path appear atomically.
-  const std::string tmp =
-      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
-  std::FILE* f = std::fopen(tmp.c_str(), "wb");
-  if (f == nullptr) {
-    if (error != nullptr) {
-      *error = "cannot open " + tmp + ": " + std::strerror(errno);
-    }
-    return false;
-  }
-  const std::vector<std::uint8_t>& buf = w.buffer();
-  const bool wrote = std::fwrite(buf.data(), 1, buf.size(), f) == buf.size();
-  const bool closed = std::fclose(f) == 0;
-  if (!wrote || !closed) {
-    if (error != nullptr) *error = "short write to " + tmp;
-    std::remove(tmp.c_str());
-    return false;
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    if (error != nullptr) {
-      *error = "rename " + tmp + " -> " + path + ": " + std::strerror(errno);
-    }
-    std::remove(tmp.c_str());
-    return false;
-  }
-  return true;
+  WriteWarmStateBody(w, state);
+  return AtomicWriteFile(dir, CheckpointPath(dir, key), w.buffer(), error);
 }
 
 bool LoadCheckpoint(const std::string& dir, const CheckpointKey& key,
@@ -300,74 +425,172 @@ bool LoadCheckpoint(const std::string& dir, const CheckpointKey& key,
     return false;
   };
 
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return miss("no checkpoint at " + path);
   std::vector<std::uint8_t> buf;
-  std::uint8_t chunk[1 << 16];
-  std::size_t n;
-  while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
-    buf.insert(buf.end(), chunk, chunk + n);
+  std::size_t body_off = 0;
+  std::string why;
+  if (!OpenSpck(path, kCheckpointFormatVersion, KeyString(key), &buf,
+                &body_off, &why)) {
+    return miss(why);
   }
-  std::fclose(f);
 
-  Reader r(buf.data(), buf.size());
-  char magic[4] = {};
-  r.Bytes(magic, sizeof(magic));
-  if (!r.ok() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    return miss(path + ": bad magic");
-  }
-  if (r.U32() != kCheckpointFormatVersion) {
-    return miss(path + ": format version mismatch");
-  }
-  // The hash names the file but the full key string decides: a hash
-  // collision (or a stale cache dir) must read as a miss, not a wrong warm
-  // state.
-  if (r.Str() != KeyString(key)) return miss(path + ": key mismatch");
-
+  Reader r(buf.data() + body_off, buf.size() - body_off);
   WarmState ws;
-  ws.halted = r.U8() != 0;
-  ws.pc = r.U32();
-  ws.warmed_instrs = r.U64();
-  for (int i = 0; i < kNumIntRegs; ++i) ws.iregs[i] = r.U32();
-  for (int i = 0; i < kNumFpRegs; ++i) ws.fregs[i] = r.F64();
-
-  const std::uint32_t npages = r.U32();
-  if (!r.ok()) return miss(path + ": truncated");
-  std::vector<std::uint8_t> page(Memory::kPageSize);
-  for (std::uint32_t i = 0; i < npages; ++i) {
-    const Addr pn = r.U32();
-    if (!r.Bytes(page.data(), page.size())) return miss(path + ": truncated");
-    ws.mem.InstallPage(pn, page.data());
-  }
-
-  if (!ReadCacheState(r, &ws.l1d) || !ReadCacheState(r, &ws.l2)) {
-    return miss(path + ": truncated cache state");
-  }
-
-  BpredState& b = ws.bpred;
-  const std::uint32_t ncounters = r.U32();
-  if (!r.ok() || ncounters > (1u << 28)) return miss(path + ": truncated");
-  b.counters.resize(ncounters);
-  if (ncounters > 0 && !r.Bytes(b.counters.data(), ncounters)) {
-    return miss(path + ": truncated");
-  }
-  const std::uint32_t nras = r.U32();
-  if (!r.ok() || nras > (1u << 20)) return miss(path + ": truncated");
-  b.ras.resize(nras);
-  for (std::uint32_t i = 0; i < nras; ++i) b.ras[i] = r.U32();
-  b.ras_top = r.U64();
-  const std::uint32_t nbtb = r.U32();
-  if (!r.ok() || nbtb > (1u << 24)) return miss(path + ": truncated");
-  b.btb_pcs.resize(nbtb);
-  b.btb_targets.resize(nbtb);
-  for (std::uint32_t i = 0; i < nbtb; ++i) {
-    b.btb_pcs[i] = r.U32();
-    b.btb_targets[i] = r.U32();
-  }
-  b.history = r.U32();
-
+  if (!ReadWarmStateBody(r, &ws)) return miss(path + ": truncated");
   if (!r.ok() || !r.AtEnd()) return miss(path + ": truncated or oversized");
   *state = std::move(ws);
+  return true;
+}
+
+bool IsCheckpointVersionMismatch(const std::string& error) {
+  return error.find(": SPCK format version ") != std::string::npos;
+}
+
+// --- SPCK v2 checkpoint trees --------------------------------------------
+
+std::string TreeKeyString(const CheckpointTreeKey& key) {
+  std::ostringstream os;
+  os << KeyString(key.base) << "|sim=" << key.sim_instrs
+     << "|sampling=" << key.period << ":" << key.detail << ":" << key.warmup;
+  return os.str();
+}
+
+std::string CheckpointTreePath(const std::string& dir,
+                               const CheckpointTreeKey& key) {
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(Fnv1a64(TreeKeyString(key))));
+  return dir + "/" + hex + ".spck";
+}
+
+WarmState CheckpointTree::MaterializeChild(std::size_t i) const {
+  const CheckpointTreeChild& c = children[i];
+  WarmState ws;
+  ws.iregs = c.iregs;
+  ws.fregs = c.fregs;
+  ws.pc = c.pc;
+  ws.warmed_instrs = c.start_icount;
+  ws.halted = false;  // a halted point is never snapshotted as a child
+  ws.mem.CopyFrom(root.mem);
+  for (const auto& [pn, bytes] : c.delta_pages) {
+    ws.mem.InstallPage(pn, bytes.data());
+  }
+  ws.l1d = c.l1d;
+  ws.l2 = c.l2;
+  ws.bpred = c.bpred;
+  return ws;
+}
+
+void CheckpointTree::AddChild(const WarmState& ws) {
+  CheckpointTreeChild c;
+  c.start_icount = ws.warmed_instrs;
+  c.iregs = ws.iregs;
+  c.fregs = ws.fregs;
+  c.pc = ws.pc;
+  // Pages only ever appear (the sparse Memory never frees), so the child's
+  // page set is a superset of the root's: store each page that the root
+  // lacks or whose bytes changed.
+  for (Addr pn : ws.mem.PageNumbers()) {
+    const std::uint8_t* cur = ws.mem.PageData(pn);
+    const std::uint8_t* base = root.mem.PageData(pn);
+    if (base != nullptr &&
+        std::memcmp(cur, base, Memory::kPageSize) == 0) {
+      continue;
+    }
+    c.delta_pages.emplace_back(
+        pn, std::vector<std::uint8_t>(cur, cur + Memory::kPageSize));
+  }
+  c.l1d = ws.l1d;
+  c.l2 = ws.l2;
+  c.bpred = ws.bpred;
+  children.push_back(std::move(c));
+}
+
+bool SaveCheckpointTree(const std::string& dir, const CheckpointTreeKey& key,
+                        const CheckpointTree& tree, std::string* error) {
+  Writer w;
+  w.Bytes(kMagic, sizeof(kMagic));
+  w.U32(kCheckpointTreeFormatVersion);
+  w.Str(TreeKeyString(key));
+
+  w.U64(tree.covered_instrs);
+  w.U8(tree.halted ? 1 : 0);
+  WriteWarmStateBody(w, tree.root);
+
+  w.U32(static_cast<std::uint32_t>(tree.children.size()));
+  for (const CheckpointTreeChild& c : tree.children) {
+    w.U64(c.start_icount);
+    w.U32(c.pc);
+    for (std::uint32_t r : c.iregs) w.U32(r);
+    for (double f : c.fregs) w.F64(f);
+    w.U32(static_cast<std::uint32_t>(c.delta_pages.size()));
+    for (const auto& [pn, bytes] : c.delta_pages) {
+      w.U32(pn);
+      w.Bytes(bytes.data(), bytes.size());
+    }
+    WriteCacheState(w, c.l1d);
+    WriteCacheState(w, c.l2);
+    WriteBpredState(w, c.bpred);
+  }
+  return AtomicWriteFile(dir, CheckpointTreePath(dir, key), w.buffer(),
+                         error);
+}
+
+bool LoadCheckpointTree(const std::string& dir, const CheckpointTreeKey& key,
+                        CheckpointTree* tree, std::string* error) {
+  const std::string path = CheckpointTreePath(dir, key);
+  auto miss = [error](const std::string& why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+
+  std::vector<std::uint8_t> buf;
+  std::size_t body_off = 0;
+  std::string why;
+  if (!OpenSpck(path, kCheckpointTreeFormatVersion, TreeKeyString(key), &buf,
+                &body_off, &why)) {
+    return miss(why);
+  }
+
+  Reader r(buf.data() + body_off, buf.size() - body_off);
+  CheckpointTree t;
+  t.covered_instrs = r.U64();
+  t.halted = r.U8() != 0;
+  if (!ReadWarmStateBody(r, &t.root)) {
+    return miss(path + ": truncated root state");
+  }
+
+  const std::uint32_t nchildren = r.U32();
+  if (!r.ok() || nchildren > (1u << 24)) return miss(path + ": truncated");
+  t.children.reserve(nchildren);
+  for (std::uint32_t i = 0; i < nchildren; ++i) {
+    CheckpointTreeChild c;
+    c.start_icount = r.U64();
+    c.pc = r.U32();
+    for (int j = 0; j < kNumIntRegs; ++j) c.iregs[j] = r.U32();
+    for (int j = 0; j < kNumFpRegs; ++j) c.fregs[j] = r.F64();
+    const std::uint32_t npages = r.U32();
+    if (!r.ok() || npages > (1u << 24)) {
+      return miss(path + ": truncated child");
+    }
+    c.delta_pages.reserve(npages);
+    for (std::uint32_t p = 0; p < npages; ++p) {
+      const Addr pn = r.U32();
+      std::vector<std::uint8_t> bytes(Memory::kPageSize);
+      if (!r.Bytes(bytes.data(), bytes.size())) {
+        return miss(path + ": truncated child page");
+      }
+      c.delta_pages.emplace_back(pn, std::move(bytes));
+    }
+    if (!ReadCacheState(r, &c.l1d) || !ReadCacheState(r, &c.l2)) {
+      return miss(path + ": truncated child cache state");
+    }
+    if (!ReadBpredState(r, &c.bpred)) {
+      return miss(path + ": truncated child predictor state");
+    }
+    t.children.push_back(std::move(c));
+  }
+  if (!r.ok() || !r.AtEnd()) return miss(path + ": truncated or oversized");
+  *tree = std::move(t);
   return true;
 }
 

@@ -21,26 +21,41 @@
 // event-driven scheduler.
 #pragma once
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "bpred/bpred.h"
+#include "common/types.h"
 #include "cpu/warm_state.h"
 #include "isa/program.h"
+#include "isa/regs.h"
 #include "mem/hierarchy.h"
 
 namespace spear::runner {
 
 // Bump when the serialized layout changes; old files then read as misses
 // and are transparently regenerated (see DESIGN.md "Experiment
-// orchestration" for the version policy).
+// orchestration" for the version policy). Version 2 is the checkpoint
+// *tree* layout (one warmup root plus delta-encoded per-interval
+// children, written by SaveCheckpointTree); flat single-state files stay
+// at version 1, and each reader names both versions in its diagnostic
+// when handed the other layout (see IsCheckpointVersionMismatch).
 inline constexpr std::uint32_t kCheckpointFormatVersion = 1;
+inline constexpr std::uint32_t kCheckpointTreeFormatVersion = 2;
 
 // Inputs that determine a warm state, and therefore the cache key.
 struct CheckpointKey {
   std::string workload;       // diagnostic; the program comes from the caller
   std::uint64_t seed = 0;     // workload input seed
   std::uint64_t ff_instrs = 0;
+  // Workload working-set scale (WorkloadConfig::scale). Appended to the
+  // key string only when != 1 so checkpoints cached before the knob
+  // existed keep their keys.
+  int scale = 1;
   CacheConfig l1d;
   CacheConfig l2;
   BpredConfig bpred;
@@ -72,7 +87,85 @@ bool SaveCheckpoint(const std::string& dir, const CheckpointKey& key,
 // Loads the checkpoint for `key` from `dir` into *state. Returns false on
 // any mismatch — absent file, bad magic, other format version, different
 // key, truncation — all of which the caller treats as a cache miss.
+// A wrong-format-version file is still a miss for control flow, but the
+// error message names both versions (see IsCheckpointVersionMismatch) so
+// callers can warn instead of silently recomputing.
 bool LoadCheckpoint(const std::string& dir, const CheckpointKey& key,
                     WarmState* state, std::string* error = nullptr);
+
+// True when an error string from LoadCheckpoint/LoadCheckpointTree
+// reports a well-formed SPCK file of the *other* format version — i.e.
+// the file is not corrupt, the reader is just the wrong one. Callers
+// should surface these (they indicate a version skew or a mis-shared
+// cache directory), unlike ordinary misses.
+bool IsCheckpointVersionMismatch(const std::string& error);
+
+// --- SPCK v2 checkpoint trees (sampled simulation) -----------------------
+//
+// A sampled run (src/sampling) fast-forwards once to the measurement
+// region, then alternates functional gaps with short detailed intervals.
+// The tree caches that whole structure: the root is the post-fast-forward
+// WarmState (stored in full), and each child is the architectural +
+// microarchitectural state at one detailed interval's start, delta-encoded
+// against the root where cheap (memory pages are stored only when they
+// differ from the root's image; registers, cache tags and predictor
+// tables are small and stored whole). Restoring the tree replays the
+// detailed intervals without re-running the functional gaps, making a
+// sampled row resumable and farm-cacheable per interval.
+
+// Inputs that determine a checkpoint tree, and therefore its cache key:
+// the flat warmup key plus the sampled-region budget and the sampling
+// plan geometry (interval starts move whenever any of these move).
+struct CheckpointTreeKey {
+  CheckpointKey base;
+  std::uint64_t sim_instrs = 0;  // sampled-region instruction budget
+  std::uint64_t period = 0;
+  std::uint64_t detail = 0;
+  std::uint64_t warmup = 0;
+};
+
+std::string TreeKeyString(const CheckpointTreeKey& key);
+std::string CheckpointTreePath(const std::string& dir,
+                               const CheckpointTreeKey& key);
+
+// One detailed interval's start state, delta-encoded against the root.
+struct CheckpointTreeChild {
+  std::uint64_t start_icount = 0;  // absolute instrs executed at snapshot
+  std::array<std::uint32_t, kNumIntRegs> iregs{};
+  std::array<double, kNumFpRegs> fregs{};
+  Pc pc = 0;
+  // Memory pages whose bytes differ from (or don't exist in) the root
+  // image; each is a full kPageSize-byte page keyed by page number.
+  std::vector<std::pair<Addr, std::vector<std::uint8_t>>> delta_pages;
+  CacheState l1d;
+  CacheState l2;
+  BpredState bpred;
+};
+
+struct CheckpointTree {
+  WarmState root;
+  // Region coverage recorded at save time, so a restored run reproduces
+  // the fresh run's totals without re-executing the functional gaps.
+  std::uint64_t covered_instrs = 0;
+  bool halted = false;  // the program halted inside the sampled region
+  std::vector<CheckpointTreeChild> children;
+
+  // Reconstructs child `i` as a full WarmState: the root memory image
+  // with the child's delta pages applied, plus the child's registers,
+  // cache and predictor state.
+  WarmState MaterializeChild(std::size_t i) const;
+
+  // Delta-encodes `ws` (an interval-start snapshot) against `root` and
+  // appends it as a child.
+  void AddChild(const WarmState& ws);
+};
+
+// Serialization mirrors Save/LoadCheckpoint: content-addressed path from
+// TreeKeyString, temp-file + rename writes, every mismatch a miss.
+bool SaveCheckpointTree(const std::string& dir, const CheckpointTreeKey& key,
+                        const CheckpointTree& tree,
+                        std::string* error = nullptr);
+bool LoadCheckpointTree(const std::string& dir, const CheckpointTreeKey& key,
+                        CheckpointTree* tree, std::string* error = nullptr);
 
 }  // namespace spear::runner

@@ -110,7 +110,10 @@ std::string Elem(const std::string& base, std::size_t i) {
 
 const std::set<std::string> kDefaultsKeys = {
     "sim_instrs", "max_cycles", "ref_seed",    "profile_seed",
-    "ff_instrs",  "timeout_ms", "max_retries", "backoff_ms"};
+    "ff_instrs",  "timeout_ms", "max_retries", "backoff_ms",
+    "scale",      "sampling"};
+
+const std::set<std::string> kSamplingKeys = {"period", "detail", "warmup"};
 
 const std::set<std::string> kConfigKeys = {
     "label",         "binary",
@@ -145,6 +148,21 @@ void ParseDefaults(Ctx& ctx, const JsonValue& obj, ManifestDefaults* d) {
   d->max_retries = static_cast<int>(ctx.Int(obj, path, "max_retries",
                                             d->max_retries));
   d->backoff_ms = ctx.U64(obj, path, "backoff_ms", d->backoff_ms);
+  d->scale = static_cast<int>(ctx.Int(obj, path, "scale", d->scale));
+  if (!ctx.failed() && d->scale < 1) {
+    ctx.Fail(path + ".scale", "must be >= 1");
+    return;
+  }
+  if (const JsonValue* s = obj.Find("sampling"); s != nullptr) {
+    const std::string spath = path + ".sampling";
+    if (ctx.Object(*s, spath) == nullptr) return;
+    ctx.CheckKeys(*s, spath, kSamplingKeys);
+    d->sampling.period = ctx.U64(*s, spath, "period", d->sampling.period);
+    d->sampling.detail = ctx.U64(*s, spath, "detail", d->sampling.detail);
+    d->sampling.warmup = ctx.U64(*s, spath, "warmup", d->sampling.warmup);
+    std::string why;
+    if (!ctx.failed() && !d->sampling.Validate(&why)) ctx.Fail(spath, why);
+  }
 }
 
 void ParseConfig(Ctx& ctx, const JsonValue& obj, const std::string& path,
@@ -275,6 +293,16 @@ JsonValue DefaultsToJson(const ManifestDefaults& d) {
   }
   if (d.backoff_ms != def.backoff_ms) {
     o.Set("backoff_ms", JsonValue(d.backoff_ms));
+  }
+  if (d.scale != def.scale) {
+    o.Set("scale", JsonValue(static_cast<std::int64_t>(d.scale)));
+  }
+  if (d.sampling.enabled()) {
+    JsonValue s = JsonValue::Object();
+    s.Set("period", JsonValue(d.sampling.period));
+    s.Set("detail", JsonValue(d.sampling.detail));
+    s.Set("warmup", JsonValue(d.sampling.warmup));
+    o.Set("sampling", std::move(s));
   }
   return o;
 }
@@ -563,6 +591,7 @@ EvalOptions MakeEvalOptions(const ManifestDefaults& d, const ConfigSpec& c) {
   opt.max_cycles = d.max_cycles;
   opt.ref_seed = d.ref_seed;
   opt.profile_seed = d.profile_seed;
+  opt.scale = d.scale;
   if (c.dcycle_budget != 0.0) {
     opt.compiler.slicer.dcycle_budget = c.dcycle_budget;
   }

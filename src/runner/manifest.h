@@ -15,6 +15,7 @@
 
 #include "cpu/config.h"
 #include "eval/harness.h"
+#include "sampling/sampling.h"
 #include "telemetry/json.h"
 
 namespace spear::runner {
@@ -36,6 +37,14 @@ struct ManifestDefaults {
   std::uint64_t timeout_ms = 0;
   int max_retries = 2;
   std::uint64_t backoff_ms = 250;
+  // Workload working-set / iteration scale (EvalOptions::scale). >1 grows
+  // dynamic instruction counts toward billion-instruction sampled runs;
+  // emitted (and appended to cache keys) only when != 1.
+  int scale = 1;
+  // Interval sampling (src/sampling). period == 0 = full-detail runs; when
+  // enabled, every row becomes a sampled estimate with CIs and the rows
+  // carry a "sampling" member (stats schema v3).
+  sampling::SamplingPlan sampling;
 };
 
 // One labeled simulator configuration. Fields at their zero/empty value

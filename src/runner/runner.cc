@@ -10,6 +10,7 @@
 
 #include "runner/checkpoint.h"
 #include "runner/pool.h"
+#include "sampling/sampled_run.h"
 
 namespace spear::runner {
 namespace {
@@ -32,6 +33,17 @@ JsonValue DefaultsEcho(const ManifestDefaults& d) {
   o.Set("ref_seed", JsonValue(d.ref_seed));
   o.Set("profile_seed", JsonValue(d.profile_seed));
   o.Set("ff_instrs", JsonValue(d.ff_instrs));
+  // Conditional members keep pre-sampling documents byte-identical.
+  if (d.scale != 1) {
+    o.Set("scale", JsonValue(static_cast<std::int64_t>(d.scale)));
+  }
+  if (d.sampling.enabled()) {
+    JsonValue s = JsonValue::Object();
+    s.Set("period", JsonValue(d.sampling.period));
+    s.Set("detail", JsonValue(d.sampling.detail));
+    s.Set("warmup", JsonValue(d.sampling.warmup));
+    o.Set("sampling", std::move(s));
+  }
   return o;
 }
 
@@ -211,7 +223,7 @@ const PreparedWorkload& WorkloadCache::Get(const std::string& name,
   std::ostringstream key;
   key << name << "|" << options.ref_seed << "|" << options.profile_seed << "|"
       << options.compiler.slicer.dcycle_budget << "|"
-      << options.compiler.profiler.max_instrs;
+      << options.compiler.profiler.max_instrs << "|scale=" << options.scale;
   auto it = cache_.find(key.str());
   if (it == cache_.end()) {
     it = cache_
@@ -246,35 +258,94 @@ JobRun ExecuteJob(const Manifest& m, const JobSpec& job, WorkloadCache& cache,
   const Program& prog =
       ResolveBinary(spec) == "plain" ? pw.plain : pw.annotated;
 
-  WarmState warm;
-  const WarmState* warm_ptr = nullptr;
-  if (m.defaults.ff_instrs > 0) {
-    CheckpointKey key;
-    key.workload = job.workload;
-    key.seed = m.defaults.ref_seed;
-    key.ff_instrs = m.defaults.ff_instrs;
-    key.l1d = cfg.mem.l1d;
-    key.l2 = cfg.mem.l2;
-    key.bpred = cfg.bpred;
-    // Warm on the plain binary: the annotated one shares its text, so the
-    // functional path (and therefore the checkpoint) is identical.
-    if (opts.use_ckpt && LoadCheckpoint(opts.ckpt_dir, key, &warm)) {
+  RunStats stats;
+  JsonValue stats_json;
+  if (m.defaults.sampling.enabled()) {
+    // Sampled row: the checkpoint unit is the whole interval tree (root
+    // warm state + per-interval snapshots), keyed by the flat warmup key
+    // plus the region budget and the plan geometry.
+    const sampling::SamplingPlan& plan = m.defaults.sampling;
+    CheckpointTreeKey tkey;
+    tkey.base.workload = job.workload;
+    tkey.base.seed = m.defaults.ref_seed;
+    tkey.base.ff_instrs = m.defaults.ff_instrs;
+    tkey.base.scale = m.defaults.scale;
+    tkey.base.l1d = cfg.mem.l1d;
+    tkey.base.l2 = cfg.mem.l2;
+    tkey.base.bpred = cfg.bpred;
+    tkey.sim_instrs = options.sim_instrs;
+    tkey.period = plan.period;
+    tkey.detail = plan.detail;
+    tkey.warmup = plan.warmup;
+
+    CheckpointTree tree;
+    sampling::SampledStats ss;
+    std::string load_err;
+    if (opts.use_ckpt &&
+        LoadCheckpointTree(opts.ckpt_dir, tkey, &tree, &load_err)) {
       out.ckpt = "hit";
+      ss = sampling::RunSampledFromTree(prog, cfg, options, plan, tree);
     } else {
-      warm = std::move(FastForward(pw.plain, key).state);
+      // A version-skewed file is a miss for control flow, but never a
+      // silent one (unlike an absent or stale-key file).
+      if (opts.use_ckpt && IsCheckpointVersionMismatch(load_err)) {
+        std::fprintf(stderr, "warning: %s\n", load_err.c_str());
+      }
+      ss = sampling::RunSampled(pw.plain, prog, cfg, options, plan,
+                                m.defaults.ff_instrs,
+                                opts.use_ckpt ? &tree : nullptr);
       out.ckpt = opts.use_ckpt ? "miss" : "off";
-      if (opts.use_ckpt) SaveCheckpoint(opts.ckpt_dir, key, warm);
+      // A partial tree (cycle cap or divergence cut the region short)
+      // must not poison the cache.
+      if (opts.use_ckpt && ss.stats.complete) {
+        SaveCheckpointTree(opts.ckpt_dir, tkey, tree);
+      }
     }
-    if (warm.halted) {
+    if (ss.covered_instrs == 0 && ss.stats.halted) {
       out.row = MakeFailureRow(m, job, "workload halted during fast-forward");
       out.failed = true;
       out.ms = NowMs() - t0;
       return out;
     }
-    warm_ptr = &warm;
+    stats = ss.stats;
+    stats_json = sampling::SampledStatsToJson(ss);
+  } else {
+    WarmState warm;
+    const WarmState* warm_ptr = nullptr;
+    if (m.defaults.ff_instrs > 0) {
+      CheckpointKey key;
+      key.workload = job.workload;
+      key.seed = m.defaults.ref_seed;
+      key.ff_instrs = m.defaults.ff_instrs;
+      key.scale = m.defaults.scale;
+      key.l1d = cfg.mem.l1d;
+      key.l2 = cfg.mem.l2;
+      key.bpred = cfg.bpred;
+      // Warm on the plain binary: the annotated one shares its text, so the
+      // functional path (and therefore the checkpoint) is identical.
+      std::string load_err;
+      if (opts.use_ckpt && LoadCheckpoint(opts.ckpt_dir, key, &warm,
+                                          &load_err)) {
+        out.ckpt = "hit";
+      } else {
+        if (opts.use_ckpt && IsCheckpointVersionMismatch(load_err)) {
+          std::fprintf(stderr, "warning: %s\n", load_err.c_str());
+        }
+        warm = std::move(FastForward(pw.plain, key).state);
+        out.ckpt = opts.use_ckpt ? "miss" : "off";
+        if (opts.use_ckpt) SaveCheckpoint(opts.ckpt_dir, key, warm);
+      }
+      if (warm.halted) {
+        out.row = MakeFailureRow(m, job, "workload halted during fast-forward");
+        out.failed = true;
+        out.ms = NowMs() - t0;
+        return out;
+      }
+      warm_ptr = &warm;
+    }
+    stats = RunConfig(prog, cfg, options, warm_ptr);
+    stats_json = RunStatsToJson(stats);
   }
-
-  const RunStats stats = RunConfig(prog, cfg, options, warm_ptr);
 
   JsonValue row = JsonValue::Object();
   row.Set("id", JsonValue(JobId(m, job)));
@@ -293,7 +364,7 @@ JobRun ExecuteJob(const Manifest& m, const JobSpec& job, WorkloadCache& cache,
                                "commit budget"));
     out.failed = true;
   }
-  row.Set("stats", RunStatsToJson(stats));
+  row.Set("stats", std::move(stats_json));
   JsonValue compile = JsonValue::Object();
   compile.Set("specs", JsonValue(static_cast<std::int64_t>(
                            pw.annotated.pthreads.size())));

@@ -1,0 +1,243 @@
+#include "sampling/sampling.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spear::sampling {
+namespace {
+
+using telemetry::JsonValue;
+
+// total/total aggregate over the measured windows: the deterministic
+// point value used for the scaled RunStats summary fields.
+double WindowRatio(std::uint64_t num, std::uint64_t den) {
+  return den == 0 ? 0.0
+                  : static_cast<double>(num) / static_cast<double>(den);
+}
+
+std::int64_t ScaleToRegion(std::uint64_t num, std::uint64_t sampled,
+                           std::uint64_t covered) {
+  return static_cast<std::int64_t>(
+      std::llround(WindowRatio(num, sampled) * static_cast<double>(covered)));
+}
+
+JsonValue EstimateJson(const Estimate& e) {
+  JsonValue o = JsonValue::Object();
+  o.Set("mean", JsonValue(e.mean));
+  o.Set("se", JsonValue(e.se));
+  o.Set("ci_lo", JsonValue(e.ci_lo));
+  o.Set("ci_hi", JsonValue(e.ci_hi));
+  o.Set("n", JsonValue(static_cast<std::int64_t>(e.n)));
+  return o;
+}
+
+}  // namespace
+
+bool SamplingPlan::Validate(std::string* error) const {
+  auto fail = [error](const std::string& why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+  if (!enabled()) {
+    if (detail != 0 || warmup != 0) {
+      return fail("sampling disabled (period 0) but detail/warmup set");
+    }
+    return true;
+  }
+  if (detail == 0) return fail("detail must be > 0 when period is set");
+  if (warmup + detail > period) {
+    return fail("warmup + detail must fit inside one period (" +
+                std::to_string(warmup) + " + " + std::to_string(detail) +
+                " > " + std::to_string(period) + ")");
+  }
+  return true;
+}
+
+double TQuantile975(std::uint64_t dof) {
+  static constexpr double kTable[] = {
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+      2.228,  2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101,
+      2.093,  2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052,
+      2.048,  2.045, 2.042};
+  if (dof == 0) return 0.0;
+  if (dof <= 30) return kTable[dof - 1];
+  if (dof <= 40) return 2.021;
+  if (dof <= 60) return 2.000;
+  if (dof <= 120) return 1.980;
+  return 1.960;
+}
+
+Estimate Estimate95(const std::vector<double>& values) {
+  Estimate e;
+  e.n = values.size();
+  if (values.empty()) return e;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  e.mean = sum / static_cast<double>(values.size());
+  if (values.size() < 2) {
+    e.ci_lo = e.ci_hi = e.mean;
+    return e;
+  }
+  double ss = 0.0;
+  for (double v : values) ss += (v - e.mean) * (v - e.mean);
+  const double s2 = ss / static_cast<double>(values.size() - 1);
+  e.se = std::sqrt(s2 / static_cast<double>(values.size()));
+  const double t = TQuantile975(values.size() - 1);
+  e.ci_lo = e.mean - t * e.se;
+  e.ci_hi = e.mean + t * e.se;
+  return e;
+}
+
+SampledStats Summarize(const SamplingPlan& plan,
+                       const std::vector<IntervalSample>& samples,
+                       std::uint64_t covered, bool halted) {
+  SampledStats out;
+  out.period = plan.period;
+  out.detail = plan.detail;
+  out.warmup = plan.warmup;
+  out.intervals = samples.size();
+  out.covered_instrs = covered;
+
+  std::vector<double> cpi, l1d_rate, l2_rate, bhr, trig_rate, extr_rate;
+  cpi.reserve(samples.size());
+  IntervalSample total;
+  for (const IntervalSample& s : samples) {
+    out.sampled_instrs += s.instrs;
+    const double instrs = static_cast<double>(s.instrs);
+    cpi.push_back(static_cast<double>(s.cycles) / instrs);
+    l1d_rate.push_back(static_cast<double>(s.l1d_misses_main) * 1e3 / instrs);
+    l2_rate.push_back(static_cast<double>(s.l2_misses_main) * 1e3 / instrs);
+    // 0/0 convention matches CoreStats::BranchHitRatio: no conditional
+    // branches in the window = a perfect 1.0, not a dropped sample.
+    bhr.push_back(s.committed_cond_branches == 0
+                      ? 1.0
+                      : static_cast<double>(s.bpred_dir_correct) /
+                            static_cast<double>(s.committed_cond_branches));
+    trig_rate.push_back(static_cast<double>(s.triggers) * 1e3 / instrs);
+    extr_rate.push_back(static_cast<double>(s.extracted) * 1e3 / instrs);
+
+    total.cycles += s.cycles;
+    total.l1d_misses_main += s.l1d_misses_main;
+    total.l1d_misses_pthread += s.l1d_misses_pthread;
+    total.l2_misses_main += s.l2_misses_main;
+    total.l2_misses_pthread += s.l2_misses_pthread;
+    total.committed_branches += s.committed_branches;
+    total.committed_cond_branches += s.committed_cond_branches;
+    total.bpred_dir_correct += s.bpred_dir_correct;
+    total.triggers += s.triggers;
+    total.sessions += s.sessions;
+    total.extracted += s.extracted;
+    total.dispatched_wrongpath += s.dispatched_wrongpath;
+    total.squashed_wrongpath += s.squashed_wrongpath;
+    total.ifq_flushed += s.ifq_flushed;
+    total.chained_triggers += s.chained_triggers;
+  }
+
+  out.cpi = Estimate95(cpi);
+  out.l1d_miss_per_kinstr = Estimate95(l1d_rate);
+  out.l2_miss_per_kinstr = Estimate95(l2_rate);
+  out.branch_hit_ratio = Estimate95(bhr);
+  out.triggers_per_kinstr = Estimate95(trig_rate);
+  out.extracted_per_kinstr = Estimate95(extr_rate);
+
+  // IPC = 1/CPI is monotone decreasing, so the interval bounds swap. The
+  // standard error comes from the delta method (d(1/x)/dx = -1/x^2).
+  // When the CPI interval is not strictly positive (tiny n with a huge
+  // t-quantile can push ci_lo below zero), the transform is undefined;
+  // fall back to the symmetric delta-method interval clamped at zero so
+  // the IPC CI always satisfies ci_lo <= mean <= ci_hi.
+  out.ipc.n = out.cpi.n;
+  if (out.cpi.mean > 0.0) {
+    out.ipc.mean = 1.0 / out.cpi.mean;
+    out.ipc.se = out.cpi.se / (out.cpi.mean * out.cpi.mean);
+    if (out.cpi.ci_lo > 0.0) {
+      out.ipc.ci_lo = 1.0 / out.cpi.ci_hi;
+      out.ipc.ci_hi = 1.0 / out.cpi.ci_lo;
+    } else {
+      const double t =
+          out.ipc.se > 0.0 ? (out.cpi.ci_hi - out.cpi.mean) / out.cpi.se
+                           : 0.0;
+      out.ipc.ci_lo = std::max(0.0, out.ipc.mean - t * out.ipc.se);
+      out.ipc.ci_hi = out.ipc.mean + t * out.ipc.se;
+    }
+  }
+
+  // The RunStats-compatible summary: counts extrapolate the measured
+  // windows' aggregate rates onto the whole covered region, so sampled
+  // and full-detail rows read on the same scale (and the derived
+  // mean_ratio/mean_reduction metrics stay meaningful).
+  const std::uint64_t sampled = out.sampled_instrs;
+  RunStats& rs = out.stats;
+  rs.instructions = covered;
+  rs.ipc = out.ipc.mean;
+  rs.cycles = static_cast<Cycle>(
+      std::llround(out.cpi.mean * static_cast<double>(covered)));
+  rs.l1d_misses_main = static_cast<std::uint64_t>(
+      ScaleToRegion(total.l1d_misses_main, sampled, covered));
+  rs.l1d_misses_pthread = static_cast<std::uint64_t>(
+      ScaleToRegion(total.l1d_misses_pthread, sampled, covered));
+  rs.l2_misses_main = static_cast<std::uint64_t>(
+      ScaleToRegion(total.l2_misses_main, sampled, covered));
+  rs.l2_misses_pthread = static_cast<std::uint64_t>(
+      ScaleToRegion(total.l2_misses_pthread, sampled, covered));
+  rs.branch_hit_ratio =
+      total.committed_cond_branches == 0
+          ? 1.0
+          : WindowRatio(total.bpred_dir_correct,
+                        total.committed_cond_branches);
+  rs.ipb = total.committed_branches == 0
+               ? 0.0
+               : WindowRatio(sampled, total.committed_branches);
+  rs.triggers = static_cast<std::uint64_t>(
+      ScaleToRegion(total.triggers, sampled, covered));
+  rs.sessions = static_cast<std::uint64_t>(
+      ScaleToRegion(total.sessions, sampled, covered));
+  rs.extracted = static_cast<std::uint64_t>(
+      ScaleToRegion(total.extracted, sampled, covered));
+  rs.dispatched_wrongpath = static_cast<std::uint64_t>(
+      ScaleToRegion(total.dispatched_wrongpath, sampled, covered));
+  rs.squashed_wrongpath = static_cast<std::uint64_t>(
+      ScaleToRegion(total.squashed_wrongpath, sampled, covered));
+  rs.ifq_flushed = static_cast<std::uint64_t>(
+      ScaleToRegion(total.ifq_flushed, sampled, covered));
+  rs.chained_triggers = static_cast<std::uint64_t>(
+      ScaleToRegion(total.chained_triggers, sampled, covered));
+  rs.halted = halted;
+  rs.complete = true;  // callers override on incomplete/diverged intervals
+  return out;
+}
+
+telemetry::JsonValue SampledStatsToJson(const SampledStats& s) {
+  JsonValue o = RunStatsToJson(s.stats);
+  JsonValue sampling = JsonValue::Object();
+  sampling.Set("period", JsonValue(s.period));
+  sampling.Set("detail", JsonValue(s.detail));
+  sampling.Set("warmup", JsonValue(s.warmup));
+  sampling.Set("intervals", JsonValue(static_cast<std::int64_t>(s.intervals)));
+  sampling.Set("covered_instrs", JsonValue(s.covered_instrs));
+  sampling.Set("sampled_instrs", JsonValue(s.sampled_instrs));
+  sampling.Set("ipc", EstimateJson(s.ipc));
+  sampling.Set("cpi", EstimateJson(s.cpi));
+  sampling.Set("l1d_miss_per_kinstr", EstimateJson(s.l1d_miss_per_kinstr));
+  sampling.Set("l2_miss_per_kinstr", EstimateJson(s.l2_miss_per_kinstr));
+  sampling.Set("branch_hit_ratio", EstimateJson(s.branch_hit_ratio));
+  sampling.Set("triggers_per_kinstr", EstimateJson(s.triggers_per_kinstr));
+  sampling.Set("extracted_per_kinstr", EstimateJson(s.extracted_per_kinstr));
+
+  JsonValue ifq = JsonValue::Object();
+  ifq.Set("count", JsonValue(s.ifq_occupancy.count()));
+  ifq.Set("sum", JsonValue(s.ifq_occupancy.sum()));
+  ifq.Set("min", JsonValue(s.ifq_occupancy.min()));
+  ifq.Set("max", JsonValue(s.ifq_occupancy.max()));
+  JsonValue buckets = JsonValue::Array();
+  for (std::uint64_t b : s.ifq_occupancy.buckets()) {
+    buckets.Append(JsonValue(b));
+  }
+  ifq.Set("buckets", std::move(buckets));
+  sampling.Set("ifq_occupancy", std::move(ifq));
+
+  o.Set("sampling", std::move(sampling));
+  return o;
+}
+
+}  // namespace spear::sampling

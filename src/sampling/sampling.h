@@ -1,0 +1,121 @@
+// SMARTS-style systematic interval sampling (DESIGN.md §14): the plan
+// geometry, the per-interval sample record, and the population estimator
+// that turns interval measurements into point estimates with standard
+// errors and 95% confidence intervals.
+//
+// The sampled unit is the per-interval CPI (and per-instruction rates for
+// the other headline stats). Intervals are equal-sized systematic picks
+// from the instruction stream, so the mean of per-interval CPIs equals
+// the CPI over all sampled instructions, and the usual SMARTS standard
+// error sqrt(s^2/n) applies directly. IPC bounds come from transforming
+// the CPI interval (IPC = 1/CPI is monotone), which respects the
+// harmonic-mean structure of IPC instead of pretending interval IPCs
+// average arithmetically.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "eval/harness.h"
+#include "telemetry/json.h"
+#include "telemetry/stat.h"
+
+namespace spear::sampling {
+
+// Systematic sampling geometry, in instructions. Every `period` committed
+// instructions, one detailed interval runs on the timed core: `warmup`
+// instructions to re-establish pipeline/p-thread state after the
+// functional gap (measured stats discard them), then `detail` measured
+// instructions. The rest of the period executes functionally.
+struct SamplingPlan {
+  std::uint64_t period = 0;  // 0 = sampling disabled
+  std::uint64_t detail = 0;
+  std::uint64_t warmup = 0;
+
+  bool enabled() const { return period > 0; }
+
+  // Validation shared by the manifest parser and the spearsim flags; the
+  // message is path-free (callers prepend their own path/flag context).
+  bool Validate(std::string* error) const;
+};
+
+// Measured deltas over one detailed interval's `detail` window.
+struct IntervalSample {
+  std::uint64_t instrs = 0;  // == plan.detail except a halt-truncated tail
+  std::uint64_t cycles = 0;
+  std::uint64_t l1d_misses_main = 0;
+  std::uint64_t l1d_misses_pthread = 0;
+  std::uint64_t l2_misses_main = 0;
+  std::uint64_t l2_misses_pthread = 0;
+  std::uint64_t committed_branches = 0;
+  std::uint64_t committed_cond_branches = 0;
+  std::uint64_t bpred_dir_correct = 0;
+  std::uint64_t triggers = 0;
+  std::uint64_t sessions = 0;
+  std::uint64_t extracted = 0;
+  std::uint64_t dispatched_wrongpath = 0;
+  std::uint64_t squashed_wrongpath = 0;
+  std::uint64_t ifq_flushed = 0;
+  std::uint64_t chained_triggers = 0;
+};
+
+// A population estimate: sample mean, standard error of the mean, and the
+// Student-t 95% confidence interval.
+struct Estimate {
+  double mean = 0.0;
+  double se = 0.0;
+  double ci_lo = 0.0;
+  double ci_hi = 0.0;
+  std::uint64_t n = 0;
+};
+
+// 97.5% Student-t quantile for `dof` degrees of freedom (two-sided 95%
+// interval half-width multiplier). Tabulated for small dof, asymptotic
+// 1.96 beyond.
+double TQuantile975(std::uint64_t dof);
+
+// Mean/SE/CI95 over a vector of per-interval values.
+Estimate Estimate95(const std::vector<double>& values);
+
+// Everything a sampled run produces: a RunStats-compatible summary (point
+// estimates scaled to the covered region, so derived metrics and result
+// tables keep working), plus the interval estimates with CIs.
+struct SampledStats {
+  // Scaled summary. `instructions` is the covered region,
+  // `cycles`/miss counts/trigger counts are point estimates extrapolated
+  // from the measured windows, `ipc` is the sampled point estimate.
+  RunStats stats;
+
+  std::uint64_t period = 0;
+  std::uint64_t detail = 0;
+  std::uint64_t warmup = 0;
+  std::uint64_t intervals = 0;        // measured intervals (n)
+  std::uint64_t covered_instrs = 0;   // region instructions covered
+  std::uint64_t sampled_instrs = 0;   // sum of measured windows
+  Estimate cpi;                        // per-interval CPI (the sampled unit)
+  Estimate ipc;                        // 1 / CPI with transformed bounds
+  Estimate l1d_miss_per_kinstr;        // main-thread misses per 1k instrs
+  Estimate l2_miss_per_kinstr;
+  Estimate branch_hit_ratio;
+  Estimate triggers_per_kinstr;
+  Estimate extracted_per_kinstr;
+  // Per-interval core IFQ occupancy distributions merged across intervals
+  // (telemetry::Distribution::Merge).
+  telemetry::Distribution ifq_occupancy;
+};
+
+// Computes every estimate and the scaled RunStats summary from the raw
+// interval samples. `covered` is the number of region instructions the
+// run covered (functional + detailed), `halted` whether the program
+// halted inside the region.
+SampledStats Summarize(const SamplingPlan& plan,
+                       const std::vector<IntervalSample>& samples,
+                       std::uint64_t covered, bool halted);
+
+// RunStatsToJson(stats) plus the "sampling" member — the schema-v3 row
+// shape for sampled runs. Non-sampled rows never carry the member, so
+// full-detail documents keep their exact bytes.
+telemetry::JsonValue SampledStatsToJson(const SampledStats& s);
+
+}  // namespace spear::sampling

@@ -20,7 +20,9 @@ namespace spear::telemetry {
 
 // Version of the emitted stats/bench JSON schema. Bump when renaming stats
 // or restructuring the document; spearstats and CI check it.
-inline constexpr int kStatsSchemaVersion = 2;
+// v3: sampled runs add a "sampling" member (interval estimates with
+// confidence intervals) to runner rows and spearsim stats documents.
+inline constexpr int kStatsSchemaVersion = 3;
 
 class StatRegistry {
  public:

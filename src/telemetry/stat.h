@@ -55,6 +55,25 @@ class Distribution {
     for (std::uint64_t& b : buckets_) b = 0;
   }
 
+  // Folds `other` into this distribution: counts, sums, extrema,
+  // sum-of-squares and (when both are bucketed) per-bucket tallies.
+  // Merge(a, b) equals feeding every sample of both through Add(), so
+  // per-interval distributions (sampled simulation) aggregate exactly.
+  // The bucket bounds must match — merging histograms with different
+  // bucketing has no exact answer.
+  void Merge(const Distribution& other) {
+    SPEAR_CHECK(bounds_ == other.bounds_);
+    if (other.count_ == 0) return;
+    if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+    if (count_ == 0 || other.max_ > max_) max_ = other.max_;
+    count_ += other.count_;
+    sum_ += other.sum_;
+    sum_sq_ += other.sum_sq_;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+      buckets_[i] += other.buckets_[i];
+    }
+  }
+
   std::uint64_t count() const { return count_; }
   std::uint64_t sum() const { return sum_; }
   std::uint64_t min() const { return count_ == 0 ? 0 : min_; }

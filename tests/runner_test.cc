@@ -9,6 +9,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -140,6 +141,156 @@ TEST(CheckpointTest, MismatchesReadAsMisses) {
   const auto full = std::filesystem::file_size(path);
   std::filesystem::resize_file(path, full / 2);
   EXPECT_FALSE(LoadCheckpoint(dir, key, &state));
+}
+
+// --- SPCK v2 checkpoint trees ---
+
+CheckpointTreeKey MatrixTreeKey(std::uint64_t ff_instrs) {
+  CheckpointTreeKey tk;
+  tk.base = MatrixKey(ff_instrs);
+  tk.sim_instrs = 100'000;
+  tk.period = 20'000;
+  tk.detail = 2'000;
+  tk.warmup = 4'000;
+  return tk;
+}
+
+TEST(CheckpointTreeTest, TreeKeyCoversPlanGeometry) {
+  const CheckpointTreeKey a = MatrixTreeKey(10'000);
+  CheckpointTreeKey b = MatrixTreeKey(10'000);
+  EXPECT_EQ(TreeKeyString(a), TreeKeyString(b));
+  EXPECT_EQ(CheckpointTreePath("d", a), CheckpointTreePath("d", b));
+
+  b.sim_instrs = 200'000;
+  EXPECT_NE(TreeKeyString(a), TreeKeyString(b));
+  b = MatrixTreeKey(10'000);
+  b.period = 10'000;
+  EXPECT_NE(TreeKeyString(a), TreeKeyString(b));
+  b = MatrixTreeKey(10'000);
+  b.detail = 1'000;
+  EXPECT_NE(TreeKeyString(a), TreeKeyString(b));
+  b = MatrixTreeKey(10'000);
+  b.warmup = 8'000;
+  EXPECT_NE(TreeKeyString(a), TreeKeyString(b));
+  // The flat warmup key is embedded: any of its fields moves the tree key.
+  b = MatrixTreeKey(20'000);
+  EXPECT_NE(TreeKeyString(a), TreeKeyString(b));
+  // A tree never shares a path with its own flat warmup checkpoint.
+  EXPECT_NE(CheckpointTreePath("d", a), CheckpointPath("d", a.base));
+}
+
+TEST(CheckpointTreeTest, SaveLoadRoundTripsTreeWithDeltaPages) {
+  const std::string dir = TempDir("tree");
+  const CheckpointTreeKey tk = MatrixTreeKey(10'000);
+  const Program prog = MatrixProgram();
+
+  CheckpointTree tree;
+  FastForwardResult root = FastForward(prog, tk.base);
+  ASSERT_FALSE(root.state.halted);
+  tree.root = std::move(root.state);
+
+  // A later point of the same execution doubles as an interval-start
+  // snapshot: same program, more instructions, a strictly evolved image.
+  CheckpointKey child_key = tk.base;
+  child_key.ff_instrs = 30'000;
+  const FastForwardResult child = FastForward(prog, child_key);
+  ASSERT_FALSE(child.state.halted);
+  tree.AddChild(child.state);
+  tree.covered_instrs = 100'000;
+  tree.halted = false;
+
+  // The matrix kernel writes memory between 10k and 30k instructions, so
+  // the delta encoding must carry pages — but fewer than the full image.
+  ASSERT_EQ(tree.children.size(), 1u);
+  EXPECT_FALSE(tree.children[0].delta_pages.empty());
+  EXPECT_LT(tree.children[0].delta_pages.size(),
+            child.state.mem.PageNumbers().size());
+
+  std::string error;
+  ASSERT_TRUE(SaveCheckpointTree(dir, tk, tree, &error)) << error;
+
+  CheckpointTree loaded;
+  ASSERT_TRUE(LoadCheckpointTree(dir, tk, &loaded, &error)) << error;
+  EXPECT_EQ(loaded.covered_instrs, 100'000u);
+  EXPECT_FALSE(loaded.halted);
+  EXPECT_EQ(loaded.root.pc, tree.root.pc);
+  EXPECT_EQ(loaded.root.warmed_instrs, tree.root.warmed_instrs);
+  EXPECT_EQ(loaded.root.iregs, tree.root.iregs);
+  EXPECT_EQ(loaded.root.l1d.tags, tree.root.l1d.tags);
+  EXPECT_EQ(loaded.root.bpred.counters, tree.root.bpred.counters);
+
+  ASSERT_EQ(loaded.children.size(), 1u);
+  const WarmState mc = loaded.MaterializeChild(0);
+  EXPECT_EQ(mc.pc, child.state.pc);
+  EXPECT_EQ(mc.warmed_instrs, child.state.warmed_instrs);
+  EXPECT_EQ(mc.iregs, child.state.iregs);
+  EXPECT_EQ(mc.fregs, child.state.fregs);
+  EXPECT_EQ(mc.l1d.stamp, child.state.l1d.stamp);
+  EXPECT_EQ(mc.l1d.tags, child.state.l1d.tags);
+  EXPECT_EQ(mc.l1d.lru, child.state.l1d.lru);
+  EXPECT_EQ(mc.l2.tags, child.state.l2.tags);
+  EXPECT_EQ(mc.bpred.counters, child.state.bpred.counters);
+  EXPECT_EQ(mc.bpred.btb_pcs, child.state.bpred.btb_pcs);
+  // The materialized image must reproduce every page of the snapshot —
+  // both the delta-carried pages and the ones inherited from the root.
+  for (const Addr pn : child.state.mem.PageNumbers()) {
+    const std::uint8_t* want = child.state.mem.PageData(pn);
+    const std::uint8_t* got = mc.mem.PageData(pn);
+    ASSERT_NE(got, nullptr) << "page " << pn << " missing";
+    EXPECT_EQ(std::memcmp(got, want, Memory::kPageSize), 0)
+        << "page " << pn << " differs";
+  }
+}
+
+TEST(CheckpointTreeTest, FlatReaderOnTreeFileNamesBothVersions) {
+  const std::string dir = TempDir("vskew1");
+  const CheckpointTreeKey tk = MatrixTreeKey(5'000);
+
+  CheckpointTree tree;
+  FastForwardResult ff = FastForward(MatrixProgram(), tk.base);
+  tree.root = std::move(ff.state);
+  ASSERT_TRUE(SaveCheckpointTree(dir, tk, tree));
+
+  // Simulate a mis-shared cache directory: the v2 tree file sits where
+  // the v1 flat reader looks. Still a miss for control flow, but the
+  // diagnostic must name both versions and the right reader.
+  std::filesystem::copy_file(CheckpointTreePath(dir, tk),
+                             CheckpointPath(dir, tk.base));
+  WarmState state;
+  std::string error;
+  EXPECT_FALSE(LoadCheckpoint(dir, tk.base, &state, &error));
+  EXPECT_TRUE(IsCheckpointVersionMismatch(error)) << error;
+  EXPECT_NE(error.find("SPCK format version 2"), std::string::npos) << error;
+  EXPECT_NE(error.find("expects 1"), std::string::npos) << error;
+  EXPECT_NE(error.find("LoadCheckpointTree"), std::string::npos) << error;
+}
+
+TEST(CheckpointTreeTest, TreeReaderOnFlatFileNamesBothVersions) {
+  const std::string dir = TempDir("vskew2");
+  const CheckpointTreeKey tk = MatrixTreeKey(5'000);
+
+  const FastForwardResult ff = FastForward(MatrixProgram(), tk.base);
+  ASSERT_TRUE(SaveCheckpoint(dir, tk.base, ff.state));
+
+  std::filesystem::copy_file(CheckpointPath(dir, tk.base),
+                             CheckpointTreePath(dir, tk));
+  CheckpointTree tree;
+  std::string error;
+  EXPECT_FALSE(LoadCheckpointTree(dir, tk, &tree, &error));
+  EXPECT_TRUE(IsCheckpointVersionMismatch(error)) << error;
+  EXPECT_NE(error.find("SPCK format version 1"), std::string::npos) << error;
+  EXPECT_NE(error.find("expects 2"), std::string::npos) << error;
+  EXPECT_NE(error.find("LoadCheckpoint"), std::string::npos) << error;
+
+  // Ordinary corruption is NOT a version mismatch: the warning path must
+  // stay silent for garbage files.
+  {
+    std::ofstream out(CheckpointTreePath(dir, tk), std::ios::binary);
+    out << "not a checkpoint";
+  }
+  error.clear();
+  EXPECT_FALSE(LoadCheckpointTree(dir, tk, &tree, &error));
+  EXPECT_FALSE(IsCheckpointVersionMismatch(error)) << error;
 }
 
 // --- worker pool ---

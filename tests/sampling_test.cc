@@ -1,0 +1,233 @@
+// Tests for the interval-sampling subsystem (src/sampling): the plan
+// validator, the SMARTS population estimator (Student-t CIs, the
+// monotone CPI -> IPC bound transform, the RunStats extrapolation), and
+// the end-to-end property the ISSUE demands — a sampled manifest run is
+// byte-identical modulo "run" whether its detailed intervals are warmed
+// fresh or restored from an SPCK v2 checkpoint tree.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "runner/manifest.h"
+#include "runner/runner.h"
+#include "sampling/sampling.h"
+
+namespace spear::sampling {
+namespace {
+
+std::string TempDir(const std::string& tag) {
+  static int counter = 0;
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("spear_sampling_test." + std::to_string(::getpid()) + "." + tag +
+        "." + std::to_string(counter++)))
+          .string();
+  std::filesystem::create_directories(path);
+  return path;
+}
+
+// --- plan validation ---
+
+TEST(SamplingPlanTest, ValidatesGeometry) {
+  std::string why;
+  SamplingPlan off;
+  EXPECT_FALSE(off.enabled());
+  EXPECT_TRUE(off.Validate(&why)) << why;
+
+  // Disabled plans must not smuggle in detail/warmup.
+  off.detail = 100;
+  EXPECT_FALSE(off.Validate(&why));
+
+  SamplingPlan p;
+  p.period = 10'000;
+  p.detail = 1'000;
+  p.warmup = 2'000;
+  EXPECT_TRUE(p.enabled());
+  EXPECT_TRUE(p.Validate(&why)) << why;
+
+  // Enabled needs a measured window...
+  p.detail = 0;
+  EXPECT_FALSE(p.Validate(&why));
+  // ...that fits in the period together with its warmup.
+  p.detail = 9'000;
+  EXPECT_FALSE(p.Validate(&why));
+  EXPECT_NE(why.find("10000"), std::string::npos) << why;
+}
+
+// --- estimator math ---
+
+TEST(EstimateTest, TQuantileTableAndAsymptote) {
+  EXPECT_DOUBLE_EQ(TQuantile975(1), 12.706);
+  EXPECT_DOUBLE_EQ(TQuantile975(4), 2.776);
+  EXPECT_DOUBLE_EQ(TQuantile975(30), 2.042);
+  EXPECT_DOUBLE_EQ(TQuantile975(35), 2.021);
+  EXPECT_DOUBLE_EQ(TQuantile975(60), 2.000);
+  EXPECT_DOUBLE_EQ(TQuantile975(100), 1.980);
+  EXPECT_DOUBLE_EQ(TQuantile975(10'000), 1.960);
+}
+
+TEST(EstimateTest, Estimate95MatchesHandComputation) {
+  // {1..5}: mean 3, sample variance 2.5, se = sqrt(2.5/5), t(4) = 2.776.
+  const Estimate e = Estimate95({1, 2, 3, 4, 5});
+  EXPECT_EQ(e.n, 5u);
+  EXPECT_DOUBLE_EQ(e.mean, 3.0);
+  EXPECT_DOUBLE_EQ(e.se, std::sqrt(0.5));
+  EXPECT_DOUBLE_EQ(e.ci_lo, 3.0 - 2.776 * std::sqrt(0.5));
+  EXPECT_DOUBLE_EQ(e.ci_hi, 3.0 + 2.776 * std::sqrt(0.5));
+
+  // One sample: a point, not an interval.
+  const Estimate one = Estimate95({7.0});
+  EXPECT_EQ(one.n, 1u);
+  EXPECT_DOUBLE_EQ(one.mean, 7.0);
+  EXPECT_DOUBLE_EQ(one.se, 0.0);
+  EXPECT_DOUBLE_EQ(one.ci_lo, 7.0);
+  EXPECT_DOUBLE_EQ(one.ci_hi, 7.0);
+
+  const Estimate none = Estimate95({});
+  EXPECT_EQ(none.n, 0u);
+  EXPECT_DOUBLE_EQ(none.mean, 0.0);
+}
+
+TEST(SummarizeTest, IpcBoundsAreTransformedCpiBounds) {
+  SamplingPlan plan;
+  plan.period = 10'000;
+  plan.detail = 1'000;
+  plan.warmup = 1'000;
+
+  // Three intervals with CPIs 2.0, 3.0 and 4.0: se = 1/sqrt(3), t(2) =
+  // 4.303, so the CPI interval stays strictly positive and the monotone
+  // transform applies.
+  std::vector<IntervalSample> samples(3);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    samples[i].instrs = 1'000;
+    samples[i].cycles = 2'000 + 1'000 * i;
+  }
+
+  const SampledStats s = Summarize(plan, samples, 30'000, false);
+  EXPECT_EQ(s.intervals, 3u);
+  EXPECT_EQ(s.covered_instrs, 30'000u);
+  EXPECT_EQ(s.sampled_instrs, 3'000u);
+  EXPECT_DOUBLE_EQ(s.cpi.mean, 3.0);
+  ASSERT_GT(s.cpi.ci_lo, 0.0);
+
+  // IPC = 1/CPI is monotone decreasing, so the bounds swap sides.
+  EXPECT_DOUBLE_EQ(s.ipc.mean, 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(s.ipc.ci_lo, 1.0 / s.cpi.ci_hi);
+  EXPECT_DOUBLE_EQ(s.ipc.ci_hi, 1.0 / s.cpi.ci_lo);
+  // Delta-method SE: se(1/x) = se(x) / x^2.
+  EXPECT_DOUBLE_EQ(s.ipc.se, s.cpi.se / (s.cpi.mean * s.cpi.mean));
+
+  // The RunStats summary extrapolates onto the covered region: 30k
+  // instructions at the window-aggregate CPI of 3.0.
+  EXPECT_EQ(s.stats.instructions, 30'000u);
+  EXPECT_EQ(s.stats.cycles, 90'000);
+  EXPECT_TRUE(s.stats.complete);
+
+  // The row JSON carries the estimates under "sampling".
+  const telemetry::JsonValue row = SampledStatsToJson(s);
+  ASSERT_NE(row.FindPath("sampling.ipc.ci_lo"), nullptr);
+  EXPECT_DOUBLE_EQ(row.FindPath("sampling.cpi.mean")->AsDouble(), 3.0);
+  EXPECT_EQ(row.FindPath("sampling.intervals")->AsInt(), 3);
+}
+
+TEST(SummarizeTest, DegenerateCpiIntervalFallsBackToSymmetricCi) {
+  SamplingPlan plan;
+  plan.period = 10'000;
+  plan.detail = 1'000;
+
+  // Two wildly different intervals: t(1) = 12.706 pushes the CPI lower
+  // bound below zero, where 1/x is undefined. The IPC CI must still be a
+  // well-formed interval around the mean, clamped at zero.
+  std::vector<IntervalSample> samples(2);
+  samples[0].instrs = 1'000;
+  samples[0].cycles = 2'000;
+  samples[1].instrs = 1'000;
+  samples[1].cycles = 4'000;
+
+  const SampledStats s = Summarize(plan, samples, 20'000, false);
+  EXPECT_LT(s.cpi.ci_lo, 0.0);
+  EXPECT_GE(s.ipc.ci_lo, 0.0);
+  EXPECT_LE(s.ipc.ci_lo, s.ipc.mean);
+  EXPECT_GE(s.ipc.ci_hi, s.ipc.mean);
+}
+
+TEST(SummarizeTest, PerInstructionRatesComeFromWindows) {
+  SamplingPlan plan;
+  plan.period = 5'000;
+  plan.detail = 1'000;
+
+  std::vector<IntervalSample> samples(2);
+  samples[0].instrs = 1'000;
+  samples[0].cycles = 1'000;
+  samples[0].l1d_misses_main = 10;  // 10 per kinstr
+  samples[0].committed_cond_branches = 100;
+  samples[0].bpred_dir_correct = 90;
+  samples[1].instrs = 1'000;
+  samples[1].cycles = 1'000;
+  samples[1].l1d_misses_main = 30;  // 30 per kinstr
+  samples[1].committed_cond_branches = 100;
+  samples[1].bpred_dir_correct = 80;
+
+  const SampledStats s = Summarize(plan, samples, 10'000, false);
+  EXPECT_DOUBLE_EQ(s.l1d_miss_per_kinstr.mean, 20.0);
+  EXPECT_DOUBLE_EQ(s.branch_hit_ratio.mean, 0.85);
+  // Extrapolated counts: 20 misses / kinstr over a 10k region = 200.
+  EXPECT_EQ(s.stats.l1d_misses_main, 200u);
+}
+
+// --- fresh vs tree-restored byte identity ---
+
+TEST(SampledRunnerTest, FreshAndTreeRestoredDocumentsMatchModuloRun) {
+  runner::Manifest m;
+  std::string error;
+  ASSERT_TRUE(runner::ParseManifest(
+      R"({"manifest_version": 1, "name": "sampled_smoke",
+          "defaults": {"sim_instrs": 60000, "ff_instrs": 10000,
+                       "sampling": {"period": 12000, "detail": 1500,
+                                    "warmup": 2000}},
+          "workloads": ["matrix", "mcf", "update"],
+          "configs": [{"label": "base"},
+                      {"label": "spear256", "spear": true, "ifq": 256}],
+          "derived": [{"name": "spd", "op": "mean_ratio", "metric": "ipc",
+                       "num": "spear256", "den": "base"}]})",
+      &m, &error))
+      << error;
+
+  runner::RunnerOptions opts;
+  opts.ckpt_dir = TempDir("sampled");
+
+  // Cold builds the SPCK v2 trees, warm restores every interval from
+  // them; the deterministic document must not notice.
+  const runner::ManifestRunResult cold = runner::RunManifestInProcess(m, opts);
+  EXPECT_EQ(cold.failed_jobs, 0);
+  const runner::ManifestRunResult warm = runner::RunManifestInProcess(m, opts);
+  EXPECT_EQ(warm.failed_jobs, 0);
+
+  telemetry::JsonValue a = cold.document;
+  telemetry::JsonValue b = warm.document;
+  EXPECT_EQ(a.FindPath("run.stats.runner.ckpt.misses")->AsInt(), 3);
+  EXPECT_GE(b.FindPath("run.stats.runner.ckpt.hits")->AsInt(), 3);
+  a.Set("run", telemetry::JsonValue());
+  b.Set("run", telemetry::JsonValue());
+  EXPECT_EQ(a.Dump(2), b.Dump(2));
+
+  // Every row is a sampled row: the manifest echo and each job's stats
+  // carry the sampling members, and the derived metric still evaluates.
+  ASSERT_NE(cold.document.FindPath("defaults.sampling.period"), nullptr);
+  const telemetry::JsonValue* jobs = cold.document.Find("jobs");
+  ASSERT_NE(jobs, nullptr);
+  for (const telemetry::JsonValue& row : jobs->items()) {
+    const telemetry::JsonValue* n = row.FindPath("stats.sampling.intervals");
+    ASSERT_NE(n, nullptr);
+    EXPECT_GT(n->AsInt(), 0);
+    EXPECT_TRUE(row.FindPath("stats.complete")->AsBool());
+  }
+  EXPECT_GT(cold.document.FindPath("derived.spd")->AsDouble(), 0.0);
+}
+
+}  // namespace
+}  // namespace spear::sampling

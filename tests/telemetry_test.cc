@@ -87,6 +87,53 @@ TEST(Distribution, MomentsAndBuckets) {
   EXPECT_EQ(d.buckets()[2], 1u);
 }
 
+TEST(Distribution, MergeMatchesFeedingEverySample) {
+  const std::vector<std::uint64_t> bounds{2, 4};
+  Distribution a{bounds}, b{bounds}, all{bounds};
+  for (std::uint64_t v : {1, 4, 10}) {
+    a.Add(v);
+    all.Add(v);
+  }
+  for (std::uint64_t v : {2, 3}) {
+    b.Add(v);
+    all.Add(v);
+  }
+
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_EQ(a.sum(), all.sum());
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+  EXPECT_DOUBLE_EQ(a.Mean(), all.Mean());
+  EXPECT_DOUBLE_EQ(a.Variance(), all.Variance());
+  ASSERT_EQ(a.buckets().size(), all.buckets().size());
+  for (std::size_t i = 0; i < a.buckets().size(); ++i) {
+    EXPECT_EQ(a.buckets()[i], all.buckets()[i]) << "bucket " << i;
+  }
+}
+
+TEST(Distribution, MergeEmptySides) {
+  const std::vector<std::uint64_t> bounds{8};
+  Distribution a{bounds}, empty{bounds};
+  a.Add(5);
+  a.Add(9);
+
+  // Merging an empty distribution changes nothing — including the
+  // extrema, which an empty side must not contribute to.
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 5u);
+  EXPECT_EQ(a.max(), 9u);
+
+  // Merging INTO an empty one adopts the other side wholesale.
+  Distribution into{bounds};
+  into.Merge(a);
+  EXPECT_EQ(into.count(), 2u);
+  EXPECT_EQ(into.sum(), 14u);
+  EXPECT_EQ(into.min(), 5u);
+  EXPECT_EQ(into.max(), 9u);
+}
+
 // ---- JSON emit -> parse round-trip ----
 
 TEST(Json, EmitParseRoundTrip) {

@@ -100,6 +100,27 @@ int main(int argc, char** argv) {
       return spear::tools::kExitFarm;
     }
     std::printf("%s\n", status.Dump(2).c_str());
+    // Human summary of the result cache's cumulative counters (since
+    // daemon start) under the JSON, so a glance answers "is the cache
+    // earning its keep" without jq.
+    const auto* hits = status.FindPath("stats.runner.farm.cache.hits");
+    const auto* misses = status.FindPath("stats.runner.farm.cache.misses");
+    const auto* coalesced =
+        status.FindPath("stats.runner.farm.cache.coalesced");
+    if (hits != nullptr && misses != nullptr && coalesced != nullptr) {
+      const std::int64_t h = hits->AsInt();
+      const std::int64_t m = misses->AsInt();
+      const std::int64_t co = coalesced->AsInt();
+      const double rate =
+          h + m == 0 ? 0.0
+                     : 100.0 * static_cast<double>(h) /
+                           static_cast<double>(h + m);
+      std::printf("cache since start: %lld hit%s, %lld miss%s, %lld "
+                  "coalesced (hit rate %.1f%%)\n",
+                  static_cast<long long>(h), h == 1 ? "" : "s",
+                  static_cast<long long>(m), m == 1 ? "" : "es",
+                  static_cast<long long>(co), rate);
+    }
     return spear::tools::kExitOk;
   }
 

@@ -19,6 +19,7 @@
 #include "isa/binary.h"
 #include "isa/disasm.h"
 #include "runner/checkpoint.h"
+#include "sampling/sampled_run.h"
 #include "sim/emulator.h"
 #include "telemetry/registry.h"
 #include "telemetry/trace.h"
@@ -40,6 +41,11 @@ int main(int argc, char** argv) {
        {"max-cycles", "cycle budget (default 1e9)"},
        {"ff-instrs", "functionally fast-forward N instructions (warming "
                      "caches and predictor) before the timed run"},
+       {"sampling-period", "SMARTS interval sampling: one detailed interval "
+                           "every N instructions (0 = full detail)"},
+       {"sampling-detail", "measured instructions per detailed interval"},
+       {"sampling-warmup", "detailed-but-unmeasured instructions before "
+                           "each measured window"},
        {"cosim", "lockstep-compare every commit against the functional "
                  "emulator; divergence aborts with exit code 4"},
        {"cosim-report", "also write the divergence report to this file "
@@ -101,6 +107,111 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "warning: --spear but the binary has no p-thread section "
                  "(run spearc first)\n");
+  }
+
+  // Interval sampling (DESIGN.md §14): its own run path — the region
+  // alternates functional execution with detailed intervals, and the
+  // headline numbers become estimates with 95% confidence intervals.
+  sampling::SamplingPlan plan;
+  plan.period =
+      static_cast<std::uint64_t>(flags.GetInt("sampling-period", 0));
+  plan.detail =
+      static_cast<std::uint64_t>(flags.GetInt("sampling-detail", 0));
+  plan.warmup =
+      static_cast<std::uint64_t>(flags.GetInt("sampling-warmup", 0));
+  std::string plan_err;
+  if (!plan.Validate(&plan_err)) {
+    std::fprintf(stderr, "spearsim: --sampling-*: %s\n", plan_err.c_str());
+    return tools::kExitUsage;
+  }
+  if (plan.enabled()) {
+    if (!flags.Has("max-instrs")) {
+      std::fprintf(stderr,
+                   "spearsim: sampling needs an explicit region budget "
+                   "(--max-instrs)\n");
+      return tools::kExitUsage;
+    }
+    if (flags.Has("trace-out")) {
+      std::fprintf(stderr,
+                   "spearsim: --trace-out is incompatible with sampling "
+                   "(detailed intervals run on throwaway cores)\n");
+      return tools::kExitUsage;
+    }
+    if (flags.GetBool("cosim") && !cosim::kCosimCompiled) {
+      std::fprintf(stderr,
+                   "spearsim: cosim hooks compiled out "
+                   "(SPEAR_ENABLE_COSIM=0); --cosim unavailable\n");
+      return tools::kExitUsage;
+    }
+    cfg.cosim_check = flags.GetBool("cosim");
+    EvalOptions opt;
+    opt.sim_instrs = max_instrs;
+    opt.max_cycles = max_cycles;  // per detailed interval
+    const auto ff = static_cast<std::uint64_t>(flags.GetInt("ff-instrs", 0));
+    const sampling::SampledStats ss =
+        sampling::RunSampled(prog, prog, cfg, opt, plan, ff);
+    if (ss.covered_instrs == 0 && ss.stats.halted) {
+      std::fprintf(stderr,
+                   "spearsim: program halted inside the --ff-instrs=%llu "
+                   "warmup — nothing left to sample\n",
+                   static_cast<unsigned long long>(ff));
+      return 3;
+    }
+    if (ss.stats.cosim_diverged) {
+      std::fputs(ss.stats.cosim_report.c_str(), stderr);
+      return tools::kExitCosimDivergence;
+    }
+    if (cfg.cosim_check) {
+      std::printf("cosim             OK — %llu commits checked across "
+                  "intervals\n",
+                  static_cast<unsigned long long>(ss.stats.cosim_checked));
+    }
+    if (!ss.stats.complete) {
+      std::fprintf(stderr,
+                   "spearsim: INCOMPLETE — max_cycles (%llu) elapsed inside "
+                   "a detailed interval\n",
+                   static_cast<unsigned long long>(max_cycles));
+    }
+    std::printf("sampling          period %llu / warmup %llu / detail %llu\n",
+                static_cast<unsigned long long>(plan.period),
+                static_cast<unsigned long long>(plan.warmup),
+                static_cast<unsigned long long>(plan.detail));
+    std::printf("covered           %llu instructions (halted=%d), %llu "
+                "measured in %llu intervals\n",
+                static_cast<unsigned long long>(ss.covered_instrs),
+                ss.stats.halted,
+                static_cast<unsigned long long>(ss.sampled_instrs),
+                static_cast<unsigned long long>(ss.intervals));
+    std::printf("IPC               %.4f ± %.4f (95%% CI [%.4f, %.4f], n=%llu)\n",
+                ss.ipc.mean, ss.ipc.ci_hi - ss.ipc.mean, ss.ipc.ci_lo,
+                ss.ipc.ci_hi, static_cast<unsigned long long>(ss.ipc.n));
+    std::printf("CPI               %.4f ± %.4f\n", ss.cpi.mean,
+                ss.cpi.ci_hi - ss.cpi.mean);
+    std::printf("L1D main misses   %.3f/kinstr (95%% CI [%.3f, %.3f])\n",
+                ss.l1d_miss_per_kinstr.mean, ss.l1d_miss_per_kinstr.ci_lo,
+                ss.l1d_miss_per_kinstr.ci_hi);
+    if (flags.GetBool("spear")) {
+      std::printf("triggers          %.3f/kinstr, extracted %.3f/kinstr\n",
+                  ss.triggers_per_kinstr.mean, ss.extracted_per_kinstr.mean);
+    }
+    if (flags.Has("stats-json")) {
+      telemetry::JsonValue doc = telemetry::JsonValue::Object();
+      doc.Set("schema_version",
+              telemetry::JsonValue(telemetry::kStatsSchemaVersion));
+      doc.Set("kind", telemetry::JsonValue("spearsim"));
+      doc.Set("binary", telemetry::JsonValue(flags.positional()[0]));
+      doc.Set("spear", telemetry::JsonValue(flags.GetBool("spear")));
+      doc.Set("ifq_size",
+              telemetry::JsonValue(static_cast<std::int64_t>(cfg.ifq_size)));
+      if (ff > 0) doc.Set("ff_instrs", telemetry::JsonValue(ff));
+      doc.Set("complete", telemetry::JsonValue(ss.stats.complete));
+      doc.Set("stats", sampling::SampledStatsToJson(ss));
+      if (!telemetry::WriteFileOrStdout(flags.Get("stats-json"),
+                                        doc.Dump(2) + "\n")) {
+        return 1;
+      }
+    }
+    return ss.stats.complete ? 0 : 3;
   }
 
   Core core(prog, cfg);

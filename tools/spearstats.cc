@@ -97,10 +97,17 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  // A spearsim stats document must carry the four component namespaces.
+  // A spearsim stats document must carry the four component namespaces —
+  // unless it came from a sampled run, whose stats member is the flat
+  // aggregate plus the interval estimates.
   std::vector<std::string> required;
   if (kind->AsString() == "spearsim") {
-    required = {"stats.core", "stats.mem", "stats.bpred", "stats.spear"};
+    if (doc.FindPath("stats.sampling") != nullptr) {
+      required = {"stats.ipc", "stats.sampling.ipc.mean",
+                  "stats.sampling.ipc.ci_lo", "stats.sampling.intervals"};
+    } else {
+      required = {"stats.core", "stats.mem", "stats.bpred", "stats.spear"};
+    }
   } else if (kind->AsString() == "bench") {
     required = {"bench", "results"};
   } else if (kind->AsString() == "runner") {
