@@ -62,7 +62,7 @@ void BM_EmulatorStep(benchmark::State& state) {
   const Program prog = BuildWorkloadProgram("matrix", cfg);
   Emulator emu(prog);
   for (auto _ : state) {
-    if (emu.halted()) state.SkipWithError("halted");
+    if (emu.halted() || emu.faulted()) state.SkipWithError("halted");
     benchmark::DoNotOptimize(emu.Step());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));

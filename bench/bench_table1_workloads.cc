@@ -32,8 +32,9 @@ int main(int argc, char** argv) {
     Emulator emu(prog);
     std::uint64_t mem_instrs = 0;
     std::uint64_t executed = 0;
-    while (!emu.halted() && executed < opt.sim_instrs) {
+    while (!emu.halted() && !emu.faulted() && executed < opt.sim_instrs) {
       const StepInfo step = emu.Step();
+      if (emu.faulted()) break;
       ++executed;
       mem_instrs += step.result.is_load || step.result.is_store;
     }

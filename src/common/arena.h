@@ -1,0 +1,85 @@
+// Bump-pointer arena for trivially-destructible records that live and die
+// together. The decoded-block cache allocates one record run per built
+// block and frees them all at once on a fingerprint flush; individual
+// frees never happen, so allocation is a pointer add and deallocation is
+// O(chunks). Not thread-safe (neither are its owners).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include "common/check.h"
+
+namespace spear {
+
+class Arena {
+ public:
+  static constexpr std::size_t kDefaultChunkBytes = 64 * 1024;
+
+  explicit Arena(std::size_t chunk_bytes = kDefaultChunkBytes)
+      : chunk_bytes_(chunk_bytes) {}
+
+  // Uninitialized storage for `count` objects of T, aligned for T.
+  // Oversized requests get a dedicated chunk, so there is no per-request
+  // size ceiling beyond available memory.
+  template <typename T>
+  T* AllocArray(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena never runs destructors");
+    if (count == 0) return nullptr;
+    const std::size_t bytes = count * sizeof(T);
+    void* p = AllocBytes(bytes, alignof(T));
+    return static_cast<T*>(p);
+  }
+
+  // Releases every allocation but keeps the first chunk for reuse, so a
+  // flush-then-rebuild cycle (cache invalidation) does not churn malloc.
+  void Reset() {
+    if (chunks_.size() > 1) chunks_.resize(1);
+    used_ = 0;
+    total_allocated_ = 0;
+  }
+
+  std::size_t total_allocated() const { return total_allocated_; }
+
+ private:
+  void* AllocBytes(std::size_t bytes, std::size_t align) {
+    SPEAR_DCHECK((align & (align - 1)) == 0);
+    if (chunks_.empty()) {
+      chunks_.push_back(NewChunk(std::max(bytes, chunk_bytes_)));
+      used_ = 0;
+    }
+    Chunk& back = chunks_.back();
+    std::size_t off = (used_ + align - 1) & ~(align - 1);
+    if (off + bytes > back.size) {
+      chunks_.push_back(NewChunk(std::max(bytes, chunk_bytes_)));
+      used_ = 0;
+      off = 0;
+    }
+    Chunk& c = chunks_.back();
+    used_ = off + bytes;
+    total_allocated_ += bytes;
+    return c.data.get() + off;
+  }
+
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  static Chunk NewChunk(std::size_t size) {
+    // max_align_t alignment from new[] covers every record type we store.
+    return Chunk{std::make_unique<std::byte[]>(size), size};
+  }
+
+  std::size_t chunk_bytes_;
+  std::vector<Chunk> chunks_;
+  std::size_t used_ = 0;  // bytes consumed in chunks_.back()
+  std::size_t total_allocated_ = 0;
+};
+
+}  // namespace spear

@@ -33,3 +33,13 @@ namespace spear::detail {
 #else
 #define SPEAR_DCHECK(cond) SPEAR_CHECK(cond)
 #endif
+
+// Inline the annotated function's entire call tree where the compiler can.
+// Reserved for the few per-retired-instruction dispatch loops where an
+// out-of-line ExecuteInstruction call (and the by-value ExecResult it
+// returns) is measurable; everything else keeps default inlining.
+#if defined(__GNUC__) || defined(__clang__)
+#define SPEAR_FLATTEN __attribute__((flatten))
+#else
+#define SPEAR_FLATTEN
+#endif

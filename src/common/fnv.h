@@ -1,0 +1,39 @@
+// FNV-1a 64-bit hashing, shared by every fingerprint/key consumer (farm
+// result cache, SPCK checkpoint filenames, decoded-block cache). One
+// definition so two subsystems can never disagree about what a "program
+// fingerprint" is.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <type_traits>
+
+namespace spear {
+
+inline constexpr std::uint64_t kFnv1a64Seed = 14695981039346656037ull;
+inline constexpr std::uint64_t kFnv1a64Prime = 1099511628211ull;
+
+inline std::uint64_t Fnv1a64(const void* data, std::size_t n,
+                             std::uint64_t h = kFnv1a64Seed) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnv1a64Prime;
+  }
+  return h;
+}
+
+inline std::uint64_t Fnv1a64(const std::string& s,
+                             std::uint64_t h = kFnv1a64Seed) {
+  return Fnv1a64(s.data(), s.size(), h);
+}
+
+// Hashes a trivially-copyable value by its object representation.
+template <typename T>
+std::uint64_t Fnv1a64Value(const T& v, std::uint64_t h = kFnv1a64Seed) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  return Fnv1a64(&v, sizeof(v), h);
+}
+
+}  // namespace spear

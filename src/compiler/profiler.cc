@@ -41,8 +41,10 @@ ProfileResult ProfileProgram(const Program& prog, const Cfg& cfg,
   std::vector<std::uint64_t> visited_stamp(window, 0);
   std::uint64_t walk_id = 0;
 
-  while (!emu.halted() && result.instrs < options.max_instrs) {
+  while (!emu.halted() && !emu.faulted() &&
+         result.instrs < options.max_instrs) {
     const StepInfo step = emu.Step();
+    if (emu.faulted()) break;  // wild PC: profile what we saw so far
     ++result.instrs;
 
     // --- cost model & loop accounting ---

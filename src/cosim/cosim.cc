@@ -112,11 +112,23 @@ bool CosimChecker::CheckMain(const CommitRecord& rec) {
     return Fail(rec, DivergentField::kHaltedPastEnd, "program halted",
                 "committed " + Hex32(rec.pc));
   }
+  if (emu_.faulted()) {
+    // The reference emulator's PC left the text section: the core cannot
+    // legitimately have committed anything past that point.
+    return Fail(rec, DivergentField::kHaltedPastEnd,
+                "reference faulted @ " + Hex32(emu_.fault_pc()),
+                "committed " + Hex32(rec.pc));
+  }
   if (emu_.pc() != rec.pc) {
     return Fail(rec, DivergentField::kPc, Hex32(emu_.pc()), Hex32(rec.pc));
   }
 
   const StepInfo si = emu_.Step();
+  if (emu_.faulted()) {
+    return Fail(rec, DivergentField::kHaltedPastEnd,
+                "reference faulted @ " + Hex32(emu_.fault_pc()),
+                "committed " + Hex32(rec.pc));
+  }
   const ExecResult& want = si.result;
 
   if (want.next_pc != rec.exec.next_pc) {

@@ -12,52 +12,57 @@ using telemetry::TraceUid;
 //
 // On the correct path, reads/writes go straight to the in-order dispatch
 // register file and memory image. After a mispredicted branch dispatches,
-// spec_mode_ routes writes into overlay maps that are discarded at
-// recovery, so wrong-path execution can never corrupt correct-path state.
+// spec_mode_ routes writes into an epoch-tagged overlay that is discarded
+// at recovery, so wrong-path execution can never corrupt correct-path
+// state. Recovery is an epoch bump, not a clear — see core.h.
 // ---------------------------------------------------------------------------
 
 std::uint32_t Core::MainState::ReadInt(RegId reg) {
-  if (c->spec_mode_) {
-    auto it = c->spec_iregs_.find(reg);
-    if (it != c->spec_iregs_.end()) return it->second;
+  if (c->spec_mode_ && c->spec_ireg_epoch_[reg] == c->spec_epoch_) {
+    return c->spec_ireg_val_[reg];
   }
   return c->iregs_[reg];
 }
 
 void Core::MainState::WriteInt(RegId reg, std::uint32_t v) {
   if (c->spec_mode_) {
-    c->spec_iregs_[reg] = v;
+    c->spec_ireg_val_[reg] = v;
+    c->spec_ireg_epoch_[reg] = c->spec_epoch_;
   } else {
     c->iregs_[reg] = v;
   }
 }
 
 double Core::MainState::ReadFp(RegId reg) {
-  if (c->spec_mode_) {
-    auto it = c->spec_fregs_.find(reg);
-    if (it != c->spec_fregs_.end()) return it->second;
+  const int f = FpIndex(reg);
+  if (c->spec_mode_ && c->spec_freg_epoch_[f] == c->spec_epoch_) {
+    return c->spec_freg_val_[f];
   }
-  return c->fregs_[FpIndex(reg)];
+  return c->fregs_[f];
 }
 
 void Core::MainState::WriteFp(RegId reg, double v) {
   if (c->spec_mode_) {
-    c->spec_fregs_[reg] = v;
+    const int f = FpIndex(reg);
+    c->spec_freg_val_[f] = v;
+    c->spec_freg_epoch_[f] = c->spec_epoch_;
   } else {
     c->fregs_[FpIndex(reg)] = v;
   }
 }
 
 std::uint8_t Core::MainState::LoadU8(Addr a) {
-  if (c->spec_mode_) {
-    auto it = c->spec_mem_.find(a);
-    if (it != c->spec_mem_.end()) return it->second;
+  if (c->spec_mode_ && c->spec_mem_count_ != 0) {
+    std::uint8_t v;
+    if (c->SpecMemFind(a, &v)) return v;
   }
   return c->mem_.ReadU8(a);
 }
 
 std::uint32_t Core::MainState::LoadU32(Addr a) {
-  if (!c->spec_mode_) return c->mem_.ReadU32(a);
+  // Until the wrong path stores something, the overlay is empty and loads
+  // can take the word-wide fast path on the dispatch memory image.
+  if (!c->spec_mode_ || c->spec_mem_count_ == 0) return c->mem_.ReadU32(a);
   std::uint32_t v = 0;
   for (int i = 0; i < 4; ++i) {
     v |= static_cast<std::uint32_t>(LoadU8(a + static_cast<Addr>(i)))
@@ -67,7 +72,7 @@ std::uint32_t Core::MainState::LoadU32(Addr a) {
 }
 
 double Core::MainState::LoadF64(Addr a) {
-  if (!c->spec_mode_) return c->mem_.ReadF64(a);
+  if (!c->spec_mode_ || c->spec_mem_count_ == 0) return c->mem_.ReadF64(a);
   std::uint64_t bits = 0;
   for (int i = 0; i < 8; ++i) {
     bits |= static_cast<std::uint64_t>(LoadU8(a + static_cast<Addr>(i)))
@@ -80,7 +85,7 @@ double Core::MainState::LoadF64(Addr a) {
 
 void Core::MainState::StoreU8(Addr a, std::uint8_t v) {
   if (c->spec_mode_) {
-    c->spec_mem_[a] = v;
+    c->SpecMemInsert(a, v);
   } else {
     c->mem_.WriteU8(a, v);
   }
@@ -101,11 +106,66 @@ void Core::MainState::StoreF64(Addr a, double v) {
   }
 }
 
+// Wrong-path store overlay: open addressing with linear probing. A slot
+// whose epoch differs from spec_epoch_ is empty, both for probe
+// termination and for insertion, which is what makes recovery an O(1)
+// epoch bump. Entries are never deleted within an epoch, so the probe
+// chain invariant holds.
+namespace {
+inline std::size_t SpecMemHash(Addr a) {
+  std::uint32_t h = a * 2654435761u;  // Knuth multiplicative
+  h ^= h >> 16;
+  return h;
+}
+}  // namespace
+
+bool Core::SpecMemFind(Addr a, std::uint8_t* out) const {
+  const std::size_t mask = spec_mem_.size() - 1;
+  std::size_t i = SpecMemHash(a) & mask;
+  while (spec_mem_[i].epoch == spec_epoch_) {
+    if (spec_mem_[i].addr == a) {
+      *out = spec_mem_[i].val;
+      return true;
+    }
+    i = (i + 1) & mask;
+  }
+  return false;
+}
+
+void Core::SpecMemInsert(Addr a, std::uint8_t v) {
+  // Grow at 50% load so probes always terminate at an empty slot.
+  if ((spec_mem_count_ + 1) * 2 > spec_mem_.size()) SpecMemGrow();
+  const std::size_t mask = spec_mem_.size() - 1;
+  std::size_t i = SpecMemHash(a) & mask;
+  while (spec_mem_[i].epoch == spec_epoch_) {
+    if (spec_mem_[i].addr == a) {
+      spec_mem_[i].val = v;
+      return;
+    }
+    i = (i + 1) & mask;
+  }
+  spec_mem_[i] = SpecMemSlot{a, spec_epoch_, v};
+  ++spec_mem_count_;
+}
+
+void Core::SpecMemGrow() {
+  std::vector<SpecMemSlot> old = std::move(spec_mem_);
+  spec_mem_.assign(old.empty() ? 1024 : old.size() * 2, SpecMemSlot{});
+  const std::size_t mask = spec_mem_.size() - 1;
+  for (const SpecMemSlot& s : old) {
+    if (s.epoch != spec_epoch_) continue;  // stale epochs stay dead
+    std::size_t i = SpecMemHash(s.addr) & mask;
+    while (spec_mem_[i].epoch == spec_epoch_) i = (i + 1) & mask;
+    spec_mem_[i] = s;
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Construction.
 // ---------------------------------------------------------------------------
 
-Core::Core(const Program& prog, const CoreConfig& config)
+Core::Core(const Program& prog, const CoreConfig& config,
+           BlockCache* shared_block_cache)
     : prog_(prog),
       config_(config),
       hier_(config.mem),
@@ -113,6 +173,8 @@ Core::Core(const Program& prog, const CoreConfig& config)
       stride_(config.stride_prefetch),
       ifq_(config.ifq_size),
       fetch_pc_(prog.entry),
+      bcache_(shared_block_cache != nullptr ? shared_block_cache
+                                            : &own_bcache_),
       ruu_(config.ruu_size),
       pt_(config.spear.enabled ? PThreadTable(prog.pthreads)
                                : PThreadTable()),
@@ -120,8 +182,16 @@ Core::Core(const Program& prog, const CoreConfig& config)
       pruu_(config.spear.pthread_ruu_size) {
   iregs_.fill(0);
   fregs_.fill(0.0);
-  iregs_[kRegSp] = 0x0fff0000u;  // match the functional emulator's ABI
+  // Match the functional emulator's ABI (same relocation rules, or the
+  // lockstep cosim would diverge on the first sp-relative access).
+  iregs_[kRegSp] = InitialStackPointer(prog);
   mem_.LoadProgram(prog);
+  // Bake the pre-decoder's PT marks into the decoded records exactly when
+  // the per-instruction pre-decoder would consult the PT.
+  bcache_->Attach(prog_,
+                  config_.spear.enabled && !pt_.empty() ? &pt_ : nullptr);
+  sched_.SetSlotCount(ruu_.capacity());
+  psched_.SetSlotCount(pruu_.capacity());
   rename_.Reset();
   prename_.Reset();
 }
@@ -301,7 +371,8 @@ void Core::PThreadRetire() {
 
 void Core::DrainCompletions(EventScheduler& sched,
                             CircularBuffer<RuuEntry>& buf, ThreadId tid) {
-  const std::vector<SchedRef> bucket = sched.TakeCompletions(now_);
+  std::vector<SchedRef>& bucket = completion_scratch_;
+  sched.TakeCompletionsInto(now_, bucket);
   // Everything the old per-cycle writeback scan would have walked and the
   // event list didn't touch counts as saved scan work.
   stats_.sched_scan_saved +=
@@ -315,9 +386,7 @@ void Core::DrainCompletions(EventScheduler& sched,
     e.completed = true;
     SPEAR_TRACE_EVENT(trace_, TraceEvent::kComplete, now_,
                       TraceUid(e.fetch_seq, tid), e.pc, tid);
-    if (const auto rd = DestOf(e.instr)) {
-      WakeConsumers(sched, buf, *rd, e.seq);
-    }
+    WakeConsumers(sched, buf, r.slot, e.seq);
     if (tid == kMainThread && e.mispredict && !e.recovery_done) {
       sched.pending_recovery().push_back(r);
     }
@@ -325,19 +394,20 @@ void Core::DrainCompletions(EventScheduler& sched,
 }
 
 void Core::WakeConsumers(EventScheduler& sched, CircularBuffer<RuuEntry>& buf,
-                         RegId reg, std::uint64_t producer_seq) {
-  std::vector<EventScheduler::Waiter>& list = sched.waiters(reg);
-  std::size_t out = 0;
-  for (std::size_t i = 0; i < list.size(); ++i) {
-    const EventScheduler::Waiter w = list[i];
-    const bool consumer_live = buf.SlotLive(w.consumer_slot) &&
-                               buf.Slot(w.consumer_slot).seq == w.consumer_seq;
-    if (w.producer_seq != producer_seq) {
-      // Someone else's waiter; keep it unless its consumer was squashed.
-      if (consumer_live) list[out++] = w;
-      continue;
+                         std::uint32_t producer_slot,
+                         std::uint64_t producer_seq) {
+  // A slot's list holds only its occupants' waiters: the current
+  // producer's (seq match) plus possibly a squashed predecessor's. A
+  // squash kills everything younger than the squashed producer, so those
+  // stale waiters' consumers are dead too and the whole list drains here.
+  std::vector<EventScheduler::Waiter>& list = sched.waiters(producer_slot);
+  if (list.empty()) return;
+  for (const EventScheduler::Waiter w : list) {
+    if (w.producer_seq != producer_seq) continue;  // stale (squashed) waiter
+    if (!buf.SlotLive(w.consumer_slot) ||
+        buf.Slot(w.consumer_slot).seq != w.consumer_seq) {
+      continue;  // consumer squashed while waiting
     }
-    if (!consumer_live) continue;  // consumer squashed while waiting
     RuuEntry& c = buf.Slot(w.consumer_slot);
     SPEAR_DCHECK(c.pending_deps > 0);
     ++stats_.sched_wakeups;
@@ -346,7 +416,7 @@ void Core::WakeConsumers(EventScheduler& sched, CircularBuffer<RuuEntry>& buf,
       ++stats_.sched_ready_enqueued;
     }
   }
-  list.resize(out);
+  list.clear();
 }
 
 void Core::Writeback() {
@@ -399,11 +469,11 @@ void Core::RecoverFromMispredict(std::size_t branch_slot) {
   }
   ruu_.PopBack(ruu_.size() - idx - 1);
 
-  // Discard the wrong-path overlay and rebuild rename state.
+  // Discard the wrong-path overlay and rebuild rename state. Bumping the
+  // epoch orphans every overlay slot at once; nothing is walked.
   spec_mode_ = false;
-  spec_iregs_.clear();
-  spec_fregs_.clear();
-  spec_mem_.clear();
+  ++spec_epoch_;
+  spec_mem_count_ = 0;
   if constexpr (taint::kTaintCompiled) {
     // The observer's wrong-path taint overlay dies with the squash.
     if (taint_ != nullptr) taint_->OnWrongPathEnd();
@@ -462,9 +532,8 @@ void Core::PurgeDeadRefs(EventScheduler& sched, CircularBuffer<RuuEntry>& buf) {
     if (live(ready[i].slot, ready[i].seq)) ready[out++] = ready[i];
   }
   ready.resize(out);
-  for (int r = 0; r < kNumArchRegs; ++r) {
-    std::vector<EventScheduler::Waiter>& list =
-        sched.waiters(static_cast<RegId>(r));
+  for (std::size_t s = 0; s < buf.capacity(); ++s) {
+    std::vector<EventScheduler::Waiter>& list = sched.waiters(s);
     out = 0;
     for (std::size_t i = 0; i < list.size(); ++i) {
       if (live(list[i].consumer_slot, list[i].consumer_seq)) {
@@ -639,7 +708,7 @@ void Core::IssueReady(EventScheduler& sched, CircularBuffer<RuuEntry>& buf) {
     }
     e.issued = true;
     e.complete_cycle = now_ + ExecLatency(e);
-    sched.ScheduleCompletion(e.complete_cycle, r);
+    sched.ScheduleCompletion(now_, e.complete_cycle, r);
     ++issued_this_cycle_;
     SPEAR_TRACE_EVENT(trace_, TraceEvent::kIssue, now_,
                       TraceUid(e.fetch_seq, e.tid), e.pc, e.tid);
@@ -886,7 +955,6 @@ void Core::DispatchOne(CircularBuffer<RuuEntry>& buffer, const IfqEntry& fe,
     if (rm.slot[reg] >= 0) {
       e.dep[e.ndeps].slot = rm.slot[reg];
       e.dep[e.ndeps].producer_seq = rm.seq[reg];
-      e.dep[e.ndeps].reg = reg;
       // A dep is outstanding only while its producer still occupies the
       // renamed slot and has not completed; anything else is already
       // architectural (same predicate the old per-cycle poll applied).
@@ -993,7 +1061,7 @@ void Core::DispatchOne(CircularBuffer<RuuEntry>& buffer, const IfqEntry& fe,
     const auto pslot = static_cast<std::size_t>(d.slot);
     if (buffer.SlotLive(pslot) && buffer.Slot(pslot).seq == d.producer_seq &&
         !buffer.Slot(pslot).completed) {
-      sc.waiters(d.reg).push_back(
+      sc.waiters(pslot).push_back(
           {d.producer_seq, e.seq, static_cast<std::uint32_t>(slot)});
     }
   }
@@ -1079,26 +1147,39 @@ void Core::Dispatch(std::uint32_t budget) {
 
 void Core::Fetch() {
   for (std::uint32_t n = 0; n < config_.fetch_width && !ifq_.full(); ++n) {
-    if (!prog_.ContainsPc(fetch_pc_)) break;  // stalled (wrong path / end)
-    const Instruction& in = prog_.At(fetch_pc_);
-
     IfqEntry fe;
-    fe.instr = in;
+    bool is_control;
+    if (kBlockCacheEnabled) {
+      // One decoded-record lookup replaces the per-fetch text containment
+      // check, text-table read, opcode-table probe and the two PT hash
+      // probes of the pre-decoder — the marks were baked in at decode.
+      const DecodedInstr* rec = bcache_->Record(fetch_pc_);
+      if (rec == nullptr) break;  // stalled (wrong path / end)
+      fe.instr = rec->instr;
+      is_control = rec->is_control();
+      fe.pthread_indicator = rec->pthread_indicator;
+      fe.dload_spec = rec->dload_spec;
+    } else {
+      // Per-instruction probe path (-DSPEAR_ENABLE_BLOCK_CACHE=0).
+      if (!prog_.ContainsPc(fetch_pc_)) break;  // stalled (wrong path / end)
+      fe.instr = prog_.At(fetch_pc_);
+      is_control = IsControl(fe.instr.op);
+      if (config_.spear.enabled && !pt_.empty()) {  // pre-decoder (PD)
+        fe.pthread_indicator = pt_.InAnySlice(fetch_pc_);
+        fe.dload_spec = pt_.DloadSpec(fetch_pc_);
+      }
+    }
+
     fe.pc = fetch_pc_;
     fe.seq = fetch_seq_++;
     bool taken = false;
-    if (IsControl(in.op)) {
-      const BranchPrediction p = bpred_.Predict(fetch_pc_, in);
+    if (is_control) {
+      const BranchPrediction p = bpred_.Predict(fetch_pc_, fe.instr);
       fe.pred_taken = p.taken;
       fe.predicted_next = p.target;
       taken = p.taken;
     } else {
       fe.predicted_next = fetch_pc_ + kInstrBytes;
-    }
-
-    if (config_.spear.enabled && !pt_.empty()) {  // pre-decoder (PD)
-      fe.pthread_indicator = pt_.InAnySlice(fetch_pc_);
-      fe.dload_spec = pt_.DloadSpec(fetch_pc_);
     }
 
     ifq_.PushBack(fe);

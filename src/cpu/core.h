@@ -24,7 +24,6 @@
 #include <array>
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "bpred/bpred.h"
@@ -39,6 +38,7 @@
 #include "mem/hierarchy.h"
 #include "mem/memory.h"
 #include "mem/stride_prefetcher.h"
+#include "sim/block_cache.h"
 #include "spear/pthread_context.h"
 #include "spear/pthread_table.h"
 #include "spear/taint_observer.h"
@@ -145,7 +145,13 @@ struct CoreTelemetry {
 
 class Core {
  public:
-  Core(const Program& prog, const CoreConfig& config);
+  // `shared_block_cache` lets same-program cores (the sampled-run
+  // orchestrator constructs one per detailed interval) reuse one decoded
+  // code image; nullptr gives the core a private cache. The cache is
+  // (re-)attached in the constructor, so a shared cache keyed to a
+  // different program or P-thread Table flushes automatically.
+  Core(const Program& prog, const CoreConfig& config,
+       BlockCache* shared_block_cache = nullptr);
 
   // Advances one clock cycle.
   void StepCycle();
@@ -226,7 +232,7 @@ class Core {
   void DrainCompletions(EventScheduler& sched, CircularBuffer<RuuEntry>& buf,
                         ThreadId tid);
   void WakeConsumers(EventScheduler& sched, CircularBuffer<RuuEntry>& buf,
-                     RegId reg, std::uint64_t producer_seq);
+                     std::uint32_t producer_slot, std::uint64_t producer_seq);
 
   // ---- speculation ----
   void RecoverFromMispredict(std::size_t branch_slot);
@@ -290,18 +296,42 @@ class Core {
   StridePrefetcher stride_;
   Memory mem_;  // dispatch-time memory image (correct path)
 
-  // Front end.
+  // Front end. Fetch + pre-decode read decoded records (instruction,
+  // control classification, PT marks) from the block cache instead of
+  // probing text/PT tables per fetched instruction.
   CircularBuffer<IfqEntry> ifq_;
   Pc fetch_pc_;
   std::uint64_t fetch_seq_ = 0;
+  BlockCache own_bcache_;
+  BlockCache* bcache_;
 
   // Main-thread machine state at dispatch.
   std::array<std::uint32_t, kNumIntRegs> iregs_;
   std::array<double, kNumFpRegs> fregs_;
   bool spec_mode_ = false;
-  std::unordered_map<RegId, std::uint32_t> spec_iregs_;
-  std::unordered_map<RegId, double> spec_fregs_;
-  std::unordered_map<Addr, std::uint8_t> spec_mem_;
+  // Wrong-path overlay. Every wrong-path register/memory access funnels
+  // through here (vpr dispatches ~2 wrong-path instructions per committed
+  // one), so the overlay must not hash per access. Registers are
+  // epoch-tagged flat arrays: a slot belongs to the overlay iff its epoch
+  // matches spec_epoch_, and RecoverFromMispredict discards everything by
+  // bumping the epoch. Stores land in an open-addressed linear-probe byte
+  // table where stale-epoch slots read as empty, so it too clears in O(1).
+  // The epoch is 64-bit: it never wraps within any feasible run.
+  std::uint64_t spec_epoch_ = 1;
+  std::array<std::uint32_t, kNumIntRegs> spec_ireg_val_{};
+  std::array<std::uint64_t, kNumIntRegs> spec_ireg_epoch_{};
+  std::array<double, kNumFpRegs> spec_freg_val_{};
+  std::array<std::uint64_t, kNumFpRegs> spec_freg_epoch_{};
+  struct SpecMemSlot {
+    Addr addr = 0;
+    std::uint64_t epoch = 0;
+    std::uint8_t val = 0;
+  };
+  std::vector<SpecMemSlot> spec_mem_;   // power-of-two open-addressed table
+  std::size_t spec_mem_count_ = 0;      // live entries in the current epoch
+  bool SpecMemFind(Addr a, std::uint8_t* out) const;
+  void SpecMemInsert(Addr a, std::uint8_t v);
+  void SpecMemGrow();
   bool dispatch_halted_ = false;
 
   // Back end. The event scheduler replaces the per-cycle linear RUU scans
@@ -311,6 +341,9 @@ class Core {
   std::uint64_t dispatch_seq_ = 0;
   EventScheduler sched_;
   EventScheduler psched_;  // p-thread RUU shares the machinery
+  // Reused completion-drain buffer: DrainCompletions runs twice per cycle
+  // and must not allocate a fresh vector each time.
+  std::vector<SchedRef> completion_scratch_;
 
   // P-thread machinery.
   PThreadTable pt_;

@@ -46,12 +46,11 @@ struct RuuEntry {
 
   // Scheduling state. Sources wait on producer RUU slots in the *same*
   // thread's buffer; a dep is satisfied once the producer slot no longer
-  // holds that seq or has completed. `reg` is the architectural register
-  // the dep renames — the index into the scheduler's wakeup table.
+  // holds that seq or has completed. The producer slot doubles as the
+  // index into the scheduler's wakeup table.
   struct SrcDep {
     std::int32_t slot = -1;  // -1 = value already architectural
     std::uint64_t producer_seq = 0;
-    RegId reg = 0;
   };
   SrcDep dep[2];
   int ndeps = 0;

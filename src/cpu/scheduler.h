@@ -9,12 +9,16 @@
 //   * a ready queue (age-ordered) an entry enters exactly when its last
 //     outstanding operand completes — or at dispatch, if none were
 //     outstanding;
-//   * a completion event list bucketed by cycle for in-flight FU/memory
-//     ops, drained with a single hash lookup per cycle;
-//   * a per-architectural-register wakeup table: each entry is a consumer
-//     waiting for a specific producer (identified by dispatch seq) of that
-//     register, appended at dispatch and consumed when the producer's
-//     completion event fires.
+//   * a completion event calendar ring for in-flight FU/memory ops,
+//     drained with a single masked array index per cycle;
+//   * a per-producer-slot wakeup table: each entry is a consumer waiting
+//     on the occupant of one physical RUU slot (validated by dispatch
+//     seq), appended at dispatch and consumed when that producer's
+//     completion event fires. Keying by producer slot instead of
+//     architectural register means a completion walks exactly its own
+//     consumers, never every waiter of a hot register; stale entries left
+//     by a squashed producer are dropped by the seq check the next time
+//     the slot's occupant completes.
 //
 // Everything here is *derived* scheduling state: it refers to RUU slots by
 // {physical slot, dispatch seq} pairs (SchedRef). Slots are reused after
@@ -75,31 +79,70 @@ class EventScheduler {
   const std::vector<SchedRef>& ready() const { return ready_; }
 
   // ---- completion events -------------------------------------------------
-  void ScheduleCompletion(Cycle cycle, SchedRef r) {
-    events_[cycle].push_back(r);
+  // Calendar ring: bucket index is the completion cycle masked into a
+  // power-of-two ring. The drain visits every cycle in order, so a bucket
+  // can never hold two distinct live cycles as long as every in-flight
+  // latency is below the ring span — true for all real FU/memory configs.
+  // Anything farther out (pathological --mem-latency tests) spills into a
+  // map keyed by absolute cycle. No hashing, no node allocation, and no
+  // bucket churn on the per-cycle path.
+  static constexpr std::size_t kRingBuckets = 512;  // > max completion latency
+  static constexpr std::size_t kRingMask = kRingBuckets - 1;
+
+  void ScheduleCompletion(Cycle now, Cycle cycle, SchedRef r) {
+    SPEAR_DCHECK(cycle > now);
+    if (cycle - now < kRingBuckets) {
+      ring_[cycle & kRingMask].push_back(r);
+    } else {
+      far_events_[cycle].push_back(r);
+    }
     ++pending_events_;
   }
 
-  // Removes and returns the completion bucket for `cycle`, sorted
+  // Removes the completion bucket for `cycle` into `out`, sorted
   // oldest-first so completions (and their trace records / wakeups) happen
-  // in the same age order the old linear writeback scan produced.
+  // in the same age order the old linear writeback scan produced. `out` is
+  // cleared in all cases; callers keep a scratch vector across cycles so
+  // the drain is allocation-free in steady state (bucket and scratch
+  // capacities circulate via swap).
+  void TakeCompletionsInto(Cycle cycle, std::vector<SchedRef>& out) {
+    out.clear();
+    if (pending_events_ == 0) return;
+    std::vector<SchedRef>& bucket = ring_[cycle & kRingMask];
+    if (!bucket.empty()) {
+      out.swap(bucket);
+      bucket.clear();  // swap left out's stale contents behind
+    }
+    if (!far_events_.empty()) {
+      const auto it = far_events_.find(cycle);
+      if (it != far_events_.end()) {
+        out.insert(out.end(), it->second.begin(), it->second.end());
+        far_events_.erase(it);
+      }
+    }
+    pending_events_ -= out.size();
+    if (out.size() > 1) {
+      std::sort(out.begin(), out.end(), [](const SchedRef& a,
+                                           const SchedRef& b) {
+        return a.seq < b.seq;
+      });
+    }
+  }
+
+  // Compatibility wrapper around TakeCompletionsInto.
   std::vector<SchedRef> TakeCompletions(Cycle cycle) {
     std::vector<SchedRef> bucket;
-    if (pending_events_ == 0) return bucket;
-    const auto it = events_.find(cycle);
-    if (it == events_.end()) return bucket;
-    bucket = std::move(it->second);
-    events_.erase(it);
-    pending_events_ -= bucket.size();
-    std::sort(bucket.begin(), bucket.end(),
-              [](const SchedRef& a, const SchedRef& b) { return a.seq < b.seq; });
+    TakeCompletionsInto(cycle, bucket);
     return bucket;
   }
 
-  // ---- per-architectural-register wakeup table ---------------------------
-  std::vector<Waiter>& waiters(RegId reg) {
-    SPEAR_DCHECK(reg < kNumArchRegs);
-    return wakeup_[reg];
+  // ---- per-producer-slot wakeup table ------------------------------------
+  // Sized once to the owning RUU's slot count (Core construction).
+  void SetSlotCount(std::size_t slots) { wakeup_.resize(slots); }
+
+  std::vector<Waiter>& waiters(std::size_t producer_slot) {
+    SPEAR_DCHECK(producer_slot < wakeup_.size());
+    return wakeup_[producer_slot];
   }
 
   // Completed-but-unrecovered mispredicted branches (main thread only);
@@ -118,7 +161,8 @@ class EventScheduler {
 
   void Reset() {
     ready_.clear();
-    events_.clear();
+    for (std::vector<SchedRef>& b : ring_) b.clear();
+    far_events_.clear();
     pending_events_ = 0;
     for (std::vector<Waiter>& w : wakeup_) w.clear();
     pending_recovery_.clear();
@@ -126,9 +170,10 @@ class EventScheduler {
 
  private:
   std::vector<SchedRef> ready_;
-  std::unordered_map<Cycle, std::vector<SchedRef>> events_;
+  std::array<std::vector<SchedRef>, kRingBuckets> ring_;
+  std::unordered_map<Cycle, std::vector<SchedRef>> far_events_;
   std::size_t pending_events_ = 0;
-  std::array<std::vector<Waiter>, kNumArchRegs> wakeup_;
+  std::vector<std::vector<Waiter>> wakeup_;  // indexed by producer slot
   std::vector<SchedRef> pending_recovery_;
 };
 

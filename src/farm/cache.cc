@@ -7,21 +7,12 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/fnv.h"
 #include "isa/binary.h"
 #include "telemetry/registry.h"
 
 namespace spear::farm {
 namespace {
-
-std::uint64_t Fnv1a64(const void* data, std::size_t n,
-                      std::uint64_t h = 14695981039346656037ull) {
-  const auto* p = static_cast<const unsigned char*>(data);
-  for (std::size_t i = 0; i < n; ++i) {
-    h ^= p[i];
-    h *= 1099511628211ull;
-  }
-  return h;
-}
 
 std::string HexHash(std::uint64_t h) {
   char buf[17];

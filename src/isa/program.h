@@ -77,6 +77,48 @@ class Program {
   }
 };
 
+// Conventional stack base: the stack grows down from just under 256 MiB.
+// Both the functional emulator and the timed core seed sp from
+// InitialStackPointer below — they must agree or lockstep cosim diverges
+// on the first sp-relative access.
+inline constexpr Addr kStackBase = 0x0fff0000u;
+// Band reserved below the stack base; a data segment reaching into it
+// forces relocation (workloads never legitimately need this much stack,
+// but a scaled working set can legitimately grow up into the band).
+inline constexpr Addr kStackGuardBytes = 1u << 20;
+
+// Initial sp for `prog`: kStackBase, unless a data segment overlaps the
+// reserved band [kStackBase - guard, kStackBase) — the old unconditional
+// seed silently let the stack clobber such segments. The stack is then
+// relocated above every offending segment (keeping the guard band), and a
+// program whose data reaches the top of the address space fails a CHECK
+// rather than wrapping.
+inline Addr InitialStackPointer(const Program& prog) {
+  std::uint64_t sp = kStackBase;
+  // A relocation can land the stack in yet another segment, so iterate to
+  // a fixpoint; each pass either leaves sp alone or raises it past some
+  // segment, so this terminates after at most prog.data.size() passes.
+  bool moved = true;
+  while (moved) {
+    moved = false;
+    for (const DataSegment& seg : prog.data) {
+      const std::uint64_t seg_end =
+          static_cast<std::uint64_t>(seg.base) + seg.bytes.size();
+      if (seg.base < sp && seg_end > sp - kStackGuardBytes) {
+        const std::uint64_t cand =
+            ((seg_end + kInstrBytes - 1) & ~std::uint64_t{kInstrBytes - 1}) +
+            kStackGuardBytes;
+        if (cand > sp) {
+          sp = cand;
+          moved = true;
+        }
+      }
+    }
+  }
+  SPEAR_CHECK(sp <= 0xfff00000ull);  // no room left for a stack: refuse
+  return static_cast<Addr>(sp);
+}
+
 // Typed accessors for building initialized data images.
 inline void PokeU32(DataSegment& seg, Addr addr, std::uint32_t value) {
   SPEAR_CHECK(addr >= seg.base && addr + 4 <= seg.base + seg.bytes.size());

@@ -58,20 +58,41 @@ class MemoryHierarchy {
       }
     }
 
-    auto it = outstanding_.find(block);
-    if (it != outstanding_.end()) {
-      if (it->second > now) {
-        // Merge into the in-flight fill: pay the remaining time.
-        const auto remaining = static_cast<std::uint32_t>(it->second - now);
-        out.latency = remaining > config_.l1_latency ? remaining
-                                                     : config_.l1_latency;
-        return out;
+    // In-flight fill probe. Open addressing with linear probing: a slot
+    // that was never used terminates the chain; an expired slot (ready <=
+    // now) stays in the chain but is semantically absent — exactly the
+    // behaviour of the old map, where expired entries were erased on
+    // touch and never observable. This runs once per data access, so it
+    // must not hash-allocate.
+    const std::size_t mask = fills_.size() - 1;
+    std::size_t i = FillHash(block) & mask;
+    std::size_t reuse = fills_.size();  // first expired slot on the chain
+    bool found = false;
+    while (fills_[i].used) {
+      if (fills_[i].block == block) {
+        found = true;
+        break;
       }
-      outstanding_.erase(it);
+      if (reuse == fills_.size() && fills_[i].ready <= now) reuse = i;
+      i = (i + 1) & mask;
+    }
+    if (found && fills_[i].ready > now) {
+      // Merge into the in-flight fill: pay the remaining time.
+      const auto remaining = static_cast<std::uint32_t>(fills_[i].ready - now);
+      out.latency = remaining > config_.l1_latency ? remaining
+                                                   : config_.l1_latency;
+      return out;
     }
     if (out.latency > config_.l1_latency) {
-      outstanding_[block] = now + out.latency;
-      if (outstanding_.size() > kOutstandingSweep) SweepOutstanding(now);
+      const Cycle ready = now + out.latency;
+      if (found) {
+        fills_[i].ready = ready;  // expired entry for this block: refresh
+      } else if (reuse != fills_.size()) {
+        fills_[reuse] = FillSlot{block, ready, true};
+      } else {
+        fills_[i] = FillSlot{block, ready, true};
+        if (++fills_used_ * 2 > fills_.size()) RebuildFills(now);
+      }
     }
     return out;
   }
@@ -101,14 +122,32 @@ class MemoryHierarchy {
     l2_.RegisterStats(reg, "mem.l2");
   }
 
-  std::size_t outstanding_fills() const { return outstanding_.size(); }
-
  private:
-  static constexpr std::size_t kOutstandingSweep = 4096;
+  struct FillSlot {
+    std::uint64_t block = 0;
+    Cycle ready = 0;
+    bool used = false;
+  };
 
-  void SweepOutstanding(Cycle now) {
-    for (auto it = outstanding_.begin(); it != outstanding_.end();) {
-      it = it->second <= now ? outstanding_.erase(it) : std::next(it);
+  static std::size_t FillHash(std::uint64_t block) {
+    return static_cast<std::size_t>((block * 0x9E3779B97F4A7C15ull) >> 32);
+  }
+
+  // Compacts the table once half its slots have ever been used: expired
+  // entries drop out, live fills (a few dozen at most — bounded by issue
+  // bandwidth times memory latency) re-home. Amortized cost per miss is
+  // a fraction of the hash lookup this table replaced.
+  void RebuildFills(Cycle now) {
+    std::vector<FillSlot> old(fills_.size());
+    old.swap(fills_);
+    fills_used_ = 0;
+    const std::size_t mask = fills_.size() - 1;
+    for (const FillSlot& s : old) {
+      if (!s.used || s.ready <= now) continue;
+      std::size_t i = FillHash(s.block) & mask;
+      while (fills_[i].used) i = (i + 1) & mask;
+      fills_[i] = s;
+      ++fills_used_;
     }
   }
 
@@ -116,7 +155,9 @@ class MemoryHierarchy {
   Cache l1d_;
   Cache l2_;
   unsigned block_shift_ = 5;
-  std::unordered_map<std::uint64_t, Cycle> outstanding_;  // block -> ready
+  // Outstanding-fill table (block -> fill-complete cycle); see AccessData.
+  std::vector<FillSlot> fills_{2048};
+  std::size_t fills_used_ = 0;
 };
 
 }  // namespace spear

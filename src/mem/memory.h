@@ -1,6 +1,12 @@
 // Sparse paged physical memory for a 32-bit address space. Pointer-chasing
 // workloads touch tens of megabytes scattered across the address space, so
 // pages are allocated on first touch. Unwritten memory reads as zero.
+//
+// Pages live in a two-level radix table (1024-entry directory of
+// 1024-entry leaves) rather than a hash map: scattered access patterns
+// defeat the one-entry page memos, and on those misses two dependent
+// loads beat a hash probe by a wide margin in the functional substrate's
+// per-instruction loop.
 #pragma once
 
 #include <algorithm>
@@ -8,7 +14,6 @@
 #include <cstdint>
 #include <cstring>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "common/types.h"
@@ -22,15 +27,31 @@ class Memory {
   static constexpr Addr kPageSize = 1u << kPageBits;
 
   std::uint8_t ReadU8(Addr addr) const {
-    const Page* page = FindPage(addr);
+    const Page* page = FindPageCached(addr);
     return page ? (*page)[Offset(addr)] : 0;
   }
 
   void WriteU8(Addr addr, std::uint8_t value) {
-    (*TouchPage(addr))[Offset(addr)] = value;
+    (*TouchPageCached(addr))[Offset(addr)] = value;
   }
 
+  // Multi-byte accesses take one page lookup (not one per byte) when the
+  // access sits inside a single page — the overwhelmingly common case the
+  // old byte loops paid 4–8 hash probes for. Byte order is unchanged:
+  // little-endian composition from the page bytes, which the compiler
+  // lowers to a plain load/store on LE hosts. Page-crossing accesses fall
+  // back to the byte loop.
   std::uint32_t ReadU32(Addr addr) const {
+    const Addr off = Offset(addr);
+    if (off <= kPageSize - 4) {
+      const Page* page = FindPageCached(addr);
+      if (page == nullptr) return 0;
+      const std::uint8_t* p = page->data() + off;
+      return static_cast<std::uint32_t>(p[0]) |
+             (static_cast<std::uint32_t>(p[1]) << 8) |
+             (static_cast<std::uint32_t>(p[2]) << 16) |
+             (static_cast<std::uint32_t>(p[3]) << 24);
+    }
     std::uint32_t v = 0;
     for (int i = 0; i < 4; ++i) {
       v |= static_cast<std::uint32_t>(ReadU8(addr + static_cast<Addr>(i)))
@@ -40,6 +61,15 @@ class Memory {
   }
 
   void WriteU32(Addr addr, std::uint32_t value) {
+    const Addr off = Offset(addr);
+    if (off <= kPageSize - 4) {
+      std::uint8_t* p = TouchPageCached(addr)->data() + off;
+      p[0] = static_cast<std::uint8_t>(value);
+      p[1] = static_cast<std::uint8_t>(value >> 8);
+      p[2] = static_cast<std::uint8_t>(value >> 16);
+      p[3] = static_cast<std::uint8_t>(value >> 24);
+      return;
+    }
     for (int i = 0; i < 4; ++i) {
       WriteU8(addr + static_cast<Addr>(i),
               static_cast<std::uint8_t>(value >> (8 * i)));
@@ -47,11 +77,30 @@ class Memory {
   }
 
   std::uint64_t ReadU64(Addr addr) const {
+    const Addr off = Offset(addr);
+    if (off <= kPageSize - 8) {
+      const Page* page = FindPageCached(addr);
+      if (page == nullptr) return 0;
+      const std::uint8_t* p = page->data() + off;
+      std::uint64_t v = 0;
+      for (int i = 0; i < 8; ++i) {
+        v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+      }
+      return v;
+    }
     return static_cast<std::uint64_t>(ReadU32(addr)) |
            (static_cast<std::uint64_t>(ReadU32(addr + 4)) << 32);
   }
 
   void WriteU64(Addr addr, std::uint64_t value) {
+    const Addr off = Offset(addr);
+    if (off <= kPageSize - 8) {
+      std::uint8_t* p = TouchPageCached(addr)->data() + off;
+      for (int i = 0; i < 8; ++i) {
+        p[i] = static_cast<std::uint8_t>(value >> (8 * i));
+      }
+      return;
+    }
     WriteU32(addr, static_cast<std::uint32_t>(value));
     WriteU32(addr + 4, static_cast<std::uint32_t>(value >> 32));
   }
@@ -91,31 +140,58 @@ class Memory {
     }
   }
 
-  std::size_t AllocatedPages() const { return pages_.size(); }
+  std::size_t AllocatedPages() const { return page_count_; }
 
   // Replaces this memory's contents with a deep copy of `other` (used to
   // transfer a fast-forwarded image into the timed core).
   void CopyFrom(const Memory& other) {
-    pages_.clear();
-    for (const auto& [pn, page] : other.pages_) {
-      pages_[pn] = std::make_unique<Page>(*page);
+    InvalidateMemos();  // memoized pages may be dropped or rewritten below
+    page_count_ = other.page_count_;
+    for (std::size_t d = 0; d < kFanout; ++d) {
+      const Leaf* src = other.dir_[d].get();
+      if (src == nullptr) {
+        dir_[d].reset();
+        continue;
+      }
+      if (!dir_[d]) dir_[d] = std::make_unique<Leaf>();
+      Leaf& dst = *dir_[d];
+      for (std::size_t l = 0; l < kFanout; ++l) {
+        const Page* page = (*src)[l].get();
+        if (page == nullptr) {
+          dst[l].reset();
+        } else if (dst[l]) {
+          *dst[l] = *page;
+        } else {
+          dst[l] = std::make_unique<Page>(*page);
+        }
+      }
     }
   }
 
   // Allocated page numbers in ascending order, for deterministic
-  // serialization by the checkpoint layer.
+  // serialization by the checkpoint layer. Ascending falls out of the
+  // radix-table walk.
   std::vector<Addr> PageNumbers() const {
     std::vector<Addr> out;
-    out.reserve(pages_.size());
-    for (const auto& [pn, page] : pages_) out.push_back(pn);
-    std::sort(out.begin(), out.end());
+    out.reserve(page_count_);
+    for (std::size_t d = 0; d < kFanout; ++d) {
+      const Leaf* leaf = dir_[d].get();
+      if (leaf == nullptr) continue;
+      for (std::size_t l = 0; l < kFanout; ++l) {
+        if ((*leaf)[l]) {
+          out.push_back(static_cast<Addr>((d << kLeafBits) | l));
+        }
+      }
+    }
     return out;
   }
 
   // Raw bytes of an allocated page (nullptr if the page was never touched).
   const std::uint8_t* PageData(Addr page_number) const {
-    auto it = pages_.find(page_number);
-    return it == pages_.end() ? nullptr : it->second->data();
+    const Leaf* leaf = dir_[page_number >> kLeafBits].get();
+    if (leaf == nullptr) return nullptr;
+    const Page* page = (*leaf)[page_number & (kFanout - 1)].get();
+    return page == nullptr ? nullptr : page->data();
   }
 
   // Installs kPageSize bytes as page `page_number` (checkpoint restore).
@@ -127,24 +203,81 @@ class Memory {
  private:
   using Page = std::array<std::uint8_t, kPageSize>;
 
+  // 20-bit page numbers (32-bit addresses, 4 KiB pages) split 10/10 over
+  // a directory of on-demand leaves. The directory itself is 8 KiB of
+  // inline storage per Memory — cheap enough for the transient Emulator
+  // instances tests and sampling intervals create.
+  static constexpr unsigned kLeafBits = 10;
+  static constexpr std::size_t kFanout = 1u << kLeafBits;
+  using Leaf = std::array<std::unique_ptr<Page>, kFanout>;
+
   static Addr PageNumber(Addr addr) { return addr >> kPageBits; }
   static Addr Offset(Addr addr) { return addr & (kPageSize - 1); }
 
   const Page* FindPage(Addr addr) const {
-    auto it = pages_.find(PageNumber(addr));
-    return it == pages_.end() ? nullptr : it->second.get();
+    const Addr pn = PageNumber(addr);
+    const Leaf* leaf = dir_[pn >> kLeafBits].get();
+    if (leaf == nullptr) return nullptr;
+    return (*leaf)[pn & (kFanout - 1)].get();
   }
 
   Page* TouchPage(Addr addr) {
-    std::unique_ptr<Page>& slot = pages_[PageNumber(addr)];
+    const Addr pn = PageNumber(addr);
+    std::unique_ptr<Leaf>& leaf = dir_[pn >> kLeafBits];
+    if (!leaf) leaf = std::make_unique<Leaf>();
+    std::unique_ptr<Page>& slot = (*leaf)[pn & (kFanout - 1)];
     if (!slot) {
       slot = std::make_unique<Page>();
       slot->fill(0);
+      ++page_count_;
     }
     return slot.get();
   }
 
-  std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
+  // One-entry page memos for the read and write paths: loops and stack
+  // traffic hit the same page for long runs, so most accesses skip the
+  // hash probe entirely. Pages are heap-allocated and never freed except
+  // in CopyFrom (which invalidates), so the cached pointers stay valid
+  // across rehashes. Absent pages are not memoized — a later write may
+  // create them.
+  const Page* FindPageCached(Addr addr) const {
+    const Addr pn = PageNumber(addr);
+    if (pn == rmemo_pn_) return rmemo_page_;
+    const Page* page = FindPage(addr);
+    if (page != nullptr) {
+      rmemo_pn_ = pn;
+      rmemo_page_ = page;
+    }
+    return page;
+  }
+
+  Page* TouchPageCached(Addr addr) {
+    const Addr pn = PageNumber(addr);
+    if (pn == wmemo_pn_) return wmemo_page_;
+    Page* page = TouchPage(addr);
+    wmemo_pn_ = pn;
+    wmemo_page_ = page;
+    return page;
+  }
+
+  void InvalidateMemos() {
+    rmemo_pn_ = kNoMemo;
+    rmemo_page_ = nullptr;
+    wmemo_pn_ = kNoMemo;
+    wmemo_page_ = nullptr;
+  }
+
+  // No valid page number has the top bits set (4 KiB pages in a 32-bit
+  // space cap page numbers at 2^20).
+  static constexpr Addr kNoMemo = ~Addr{0};
+
+  mutable Addr rmemo_pn_ = kNoMemo;
+  mutable const Page* rmemo_page_ = nullptr;
+  Addr wmemo_pn_ = kNoMemo;
+  Page* wmemo_page_ = nullptr;
+
+  std::array<std::unique_ptr<Leaf>, kFanout> dir_;
+  std::size_t page_count_ = 0;
 };
 
 }  // namespace spear

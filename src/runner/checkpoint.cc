@@ -9,6 +9,7 @@
 #include <sstream>
 #include <vector>
 
+#include "common/fnv.h"
 #include "isa/regs.h"
 #include "sim/emulator.h"
 
@@ -29,15 +30,6 @@ const char* BpredKindName(BpredKind kind) {
       return "always_taken";
   }
   return "?";
-}
-
-std::uint64_t Fnv1a64(const std::string& s) {
-  std::uint64_t h = 0xcbf29ce484222325ull;
-  for (unsigned char c : s) {
-    h ^= c;
-    h *= 0x100000001b3ull;
-  }
-  return h;
 }
 
 // Little-endian byte-buffer serializer. The whole checkpoint is built (or
@@ -375,8 +367,9 @@ FastForwardResult FastForward(const Program& prog, const CheckpointKey& key) {
   Emulator emu(prog);
 
   FastForwardResult out;
-  while (!emu.halted() && out.executed < key.ff_instrs) {
+  while (!emu.halted() && !emu.faulted() && out.executed < key.ff_instrs) {
     const StepInfo info = emu.Step();
+    if (emu.faulted()) break;  // wild PC: stop warming, keep what we have
     ++out.executed;
     // Mirror the timed core's warming protocol: every data access walks
     // the hierarchy (WarmData — tag/LRU updates without the latency/MSHR

@@ -22,10 +22,11 @@ class Substrate {
       : hier_(config.mem), bpred_(config.bpred), emu_(prog) {}
 
   // Executes up to `n` instructions, warming caches and predictor.
-  // Returns the number actually executed (< n iff the program halted).
+  // Returns the number actually executed (< n iff the program halted or
+  // faulted).
   std::uint64_t Advance(std::uint64_t n) {
     std::uint64_t done = 0;
-    while (!emu_.halted() && done < n) {
+    while (!emu_.halted() && !emu_.faulted() && done < n) {
       const StepInfo info = emu_.Step();
       ++done;
       if (info.result.is_load || info.result.is_store) {
@@ -42,6 +43,7 @@ class Substrate {
   }
 
   bool halted() const { return emu_.halted(); }
+  bool faulted() const { return emu_.faulted(); }
 
   WarmState Snapshot() const {
     WarmState ws;
@@ -146,9 +148,12 @@ IntervalOutcome RunDetailedInterval(const Program& timed,
                                     const WarmState& ws,
                                     cosim::CosimChecker* checker,
                                     telemetry::Distribution* ifq,
-                                    bool* ifq_init) {
+                                    bool* ifq_init, BlockCache* bcache) {
   IntervalOutcome out;
-  Core core(timed, config);
+  // Per-interval cores share the orchestrator's decoded-block cache: the
+  // program and PT never change across intervals, so every core after the
+  // first warm-attaches and fetches from already-built blocks.
+  Core core(timed, config, bcache);
   core.InstallWarmState(ws);
   if (checker != nullptr) {
     checker->SyncToWarmState(ws);
@@ -219,10 +224,11 @@ SampledStats RunSampled(const Program& plain, const Program& timed,
   bool ifq_init = false;
   std::uint64_t covered = 0;
   bool halted = sub.halted();  // halted during fast-forward: empty region
-  bool incomplete = false;
+  bool incomplete = sub.faulted();  // wild PC during fast-forward
+  BlockCache core_cache;  // shared by every detailed interval's core
 
   const std::uint64_t budget = options.sim_instrs;
-  while (!halted && covered < budget) {
+  while (!halted && !incomplete && covered < budget) {
     const std::uint64_t remaining = budget - covered;
     // A detailed interval only runs where a full warmup+detail window
     // fits; a shorter tail stays functional. The restored path replays
@@ -232,7 +238,7 @@ SampledStats RunSampled(const Program& plain, const Program& timed,
       const WarmState ws = sub.Snapshot();
       const IntervalOutcome o =
           RunDetailedInterval(timed, config, plan, options.max_cycles, ws,
-                              checker.get(), &ifq, &ifq_init);
+                              checker.get(), &ifq, &ifq_init, &core_cache);
       if (o.sample.instrs > 0) samples.push_back(o.sample);
       if (tree_out != nullptr) tree_out->AddChild(ws);
       if (o.diverged) break;
@@ -245,6 +251,9 @@ SampledStats RunSampled(const Program& plain, const Program& timed,
                                                          remaining);
     covered += sub.Advance(stride);
     halted = sub.halted();
+    // A substrate fault (PC left the text section) makes the remaining
+    // region unmeasurable: surface it as an incomplete run, not a hang.
+    if (sub.faulted()) incomplete = true;
   }
 
   if (tree_out != nullptr) {
@@ -269,11 +278,12 @@ SampledStats RunSampledFromTree(const Program& timed, const CoreConfig& config,
   telemetry::Distribution ifq;
   bool ifq_init = false;
   bool incomplete = false;
+  BlockCache core_cache;  // shared by every replayed interval's core
   for (std::size_t i = 0; i < tree.children.size(); ++i) {
     const WarmState ws = tree.MaterializeChild(i);
     const IntervalOutcome o =
         RunDetailedInterval(timed, config, plan, options.max_cycles, ws,
-                            checker.get(), &ifq, &ifq_init);
+                            checker.get(), &ifq, &ifq_init, &core_cache);
     if (o.sample.instrs > 0) samples.push_back(o.sample);
     if (o.diverged) break;
     if (o.hit_cycle_cap) {

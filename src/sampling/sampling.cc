@@ -28,6 +28,9 @@ JsonValue EstimateJson(const Estimate& e) {
   o.Set("ci_lo", JsonValue(e.ci_lo));
   o.Set("ci_hi", JsonValue(e.ci_hi));
   o.Set("n", JsonValue(static_cast<std::int64_t>(e.n)));
+  // Emitted only for the degenerate n<=1 case so existing well-formed
+  // rows keep their exact bytes (every defined estimate stays implicit).
+  if (!e.ci_defined) o.Set("ci_defined", JsonValue(false));
   return o;
 }
 
@@ -75,6 +78,9 @@ Estimate Estimate95(const std::vector<double>& values) {
   for (double v : values) sum += v;
   e.mean = sum / static_cast<double>(values.size());
   if (values.size() < 2) {
+    // One sample: the variance estimator has zero degrees of freedom, so
+    // no finite interval exists. Pin the bounds to the mean and leave
+    // ci_defined false — a degenerate marker, not a claim of certainty.
     e.ci_lo = e.ci_hi = e.mean;
     return e;
   }
@@ -85,6 +91,7 @@ Estimate Estimate95(const std::vector<double>& values) {
   const double t = TQuantile975(values.size() - 1);
   e.ci_lo = e.mean - t * e.se;
   e.ci_hi = e.mean + t * e.se;
+  e.ci_defined = true;
   return e;
 }
 
@@ -147,6 +154,7 @@ SampledStats Summarize(const SamplingPlan& plan,
   // fall back to the symmetric delta-method interval clamped at zero so
   // the IPC CI always satisfies ci_lo <= mean <= ci_hi.
   out.ipc.n = out.cpi.n;
+  out.ipc.ci_defined = out.cpi.ci_defined;  // same sample set, same dof
   if (out.cpi.mean > 0.0) {
     out.ipc.mean = 1.0 / out.cpi.mean;
     out.ipc.se = out.cpi.se / (out.cpi.mean * out.cpi.mean);

@@ -68,6 +68,11 @@ struct Estimate {
   double ci_lo = 0.0;
   double ci_hi = 0.0;
   std::uint64_t n = 0;
+  // A CI needs at least two samples (sample variance has n-1 degrees of
+  // freedom). With n <= 1 the interval is degenerate — ci_lo/ci_hi are
+  // pinned to the mean and this flag marks them as not-a-real-interval so
+  // consumers don't read a zero-width CI as "perfectly converged".
+  bool ci_defined = false;
 };
 
 // 97.5% Student-t quantile for `dof` degrees of freedom (two-sided 95%

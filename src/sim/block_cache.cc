@@ -1,0 +1,103 @@
+#include "sim/block_cache.h"
+
+#include <new>
+
+#include "common/fnv.h"
+#include "isa/opcode.h"
+
+namespace spear {
+namespace {
+
+std::uint8_t TagOf(const Instruction& in) {
+  const OpInfo& info = GetOpInfo(in.op);
+  std::uint8_t tag = 0;
+  if (info.flags & (kFlagCondBranch | kFlagUncondJump)) tag |= kTagControl;
+  if (info.flags & kFlagCondBranch) tag |= kTagCondBranch;
+  if (info.flags & kFlagHalt) tag |= kTagHalt;
+  if (info.flags & kFlagLoad) tag |= kTagLoad;
+  if (info.flags & kFlagStore) tag |= kTagStore;
+  if (info.flags & kFlagOut) tag |= kTagOut;
+  return tag;
+}
+
+}  // namespace
+
+std::uint64_t BlockCache::CodeFingerprint(const Program& prog, bool marks) {
+  std::uint64_t h = Fnv1a64Value(prog.text_base);
+  h = Fnv1a64Value(prog.entry, h);
+  h = Fnv1a64Value(static_cast<std::uint64_t>(prog.text.size()), h);
+  for (const Instruction& in : prog.text) {
+    h = Fnv1a64Value(Encode(in), h);
+  }
+  h = Fnv1a64Value(marks, h);
+  if (marks) {
+    h = Fnv1a64Value(static_cast<std::uint64_t>(prog.pthreads.size()), h);
+    for (const PThreadSpec& spec : prog.pthreads) {
+      h = Fnv1a64Value(spec.dload_pc, h);
+      h = Fnv1a64Value(static_cast<std::uint64_t>(spec.slice_pcs.size()), h);
+      for (Pc pc : spec.slice_pcs) h = Fnv1a64Value(pc, h);
+    }
+  }
+  return h;
+}
+
+void BlockCache::Attach(const Program& prog, const PThreadTable* pt) {
+  const bool marks = pt != nullptr && !pt->empty();
+  const std::uint64_t fp = CodeFingerprint(prog, marks);
+  if (prog_ != nullptr && fp == fingerprint_) {
+    // Warm re-attach: same code image and marks source, so every built
+    // record is still valid (possibly through a different Program copy).
+    prog_ = &prog;
+    pt_ = marks ? pt : nullptr;
+    return;
+  }
+  if (prog_ != nullptr) ++stats_.flushes;
+  prog_ = &prog;
+  pt_ = marks ? pt : nullptr;
+  fingerprint_ = fp;
+  text_base_ = prog.text_base;
+  text_end_ = prog.EndPc();
+  arena_.Reset();
+  recs_.assign(prog.text.size(), nullptr);
+  len_.assign(prog.text.size(), 0);
+}
+
+const DecodedInstr* BlockCache::Build(std::uint32_t idx) {
+  SPEAR_DCHECK(prog_ != nullptr && idx < recs_.size());
+  // Pass 1: find the run end — a terminator (control/HALT, inclusive),
+  // the text boundary, or the edge of an already-built region.
+  const std::uint32_t n = static_cast<std::uint32_t>(recs_.size());
+  std::uint32_t end = idx;
+  while (end < n && recs_[end] == nullptr) {
+    const Instruction& in = prog_->text[end];
+    ++end;
+    if (IsControl(in.op) || IsHalt(in.op)) break;
+  }
+  const std::uint32_t len = end - idx;
+
+  // Pass 2: decode into one contiguous arena run and point every covered
+  // index at its record (a later branch into the middle of this run hits
+  // the cache directly).
+  DecodedInstr* run = arena_.AllocArray<DecodedInstr>(len);
+  for (std::uint32_t i = 0; i < len; ++i) {
+    DecodedInstr& r = *new (&run[i]) DecodedInstr();
+    r.instr = prog_->text[idx + i];
+    r.tag = TagOf(r.instr);
+    if (pt_ != nullptr) {
+      const Pc pc = text_base_ + static_cast<Pc>(idx + i) * kInstrBytes;
+      r.pthread_indicator = pt_->InAnySlice(pc);
+      r.dload_spec = pt_->DloadSpec(pc);
+    } else {
+      r.pthread_indicator = false;
+      r.dload_spec = PThreadTable::kNoSpec;
+    }
+    recs_[idx + i] = &run[i];
+    len_[idx + i] = len - i;
+  }
+  ++stats_.misses;
+  ++stats_.blocks_built;
+  stats_.instrs_decoded += len;
+  return run;
+}
+
+}  // namespace spear

@@ -5,16 +5,26 @@
 //      compare final register/output state against.
 //   2. Substrate for the SPEAR profiling tool (per-step observation hook).
 //   3. Fast workload validation during development.
+//
+// Run() executes block-at-a-time through a decoded basic-block cache
+// (sim/block_cache.h): one cache lookup per straight-line run instead of a
+// PC containment check and text-table probe per instruction. Step() keeps
+// the per-instruction observation contract the profiler/cosim/warming
+// consumers need. Semantics stay single-sourced in ExecuteInstruction —
+// the cache only stores decode/classification results, so the two paths
+// cannot diverge.
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/check.h"
 #include "common/types.h"
 #include "isa/program.h"
 #include "mem/memory.h"
+#include "sim/block_cache.h"
 #include "sim/exec.h"
 
 namespace spear {
@@ -30,15 +40,26 @@ struct StepInfo {
 
 class Emulator {
  public:
-  explicit Emulator(const Program& prog) : prog_(&prog), pc_(prog.entry) {
+  // `shared_cache` lets several same-program consumers (e.g. per-interval
+  // shadow emulators) reuse one decoded-block cache; the emulator attaches
+  // it on first Run(). Default: a private cache, created lazily so pure
+  // Step() users (lockstep cosim) pay nothing for it.
+  explicit Emulator(const Program& prog, BlockCache* shared_cache = nullptr)
+      : prog_(&prog), pc_(prog.entry), shared_cache_(shared_cache) {
     iregs_.fill(0);
     fregs_.fill(0.0);
     mem_.LoadProgram(prog);
-    // Conventional stack: grows down from just under 256 MiB.
-    iregs_[kRegSp] = 0x0fff0000u;
+    // Conventional stack: grows down from just under 256 MiB — relocated
+    // above any data segment that reaches the stack band (isa/program.h).
+    iregs_[kRegSp] = InitialStackPointer(prog);
   }
 
   bool halted() const { return halted_; }
+  // The PC left the text section (wild jr target, corrupt return address):
+  // a structured error instead of the old CHECK-abort, so orchestrators
+  // can surface the run as a failed row. fault_pc() is the offending PC.
+  bool faulted() const { return faulted_; }
+  Pc fault_pc() const { return fault_pc_; }
   Pc pc() const { return pc_; }
   std::uint64_t icount() const { return icount_; }
   const std::vector<std::uint32_t>& outputs() const { return outputs_; }
@@ -56,12 +77,23 @@ class Emulator {
   Memory& memory() { return mem_; }
   const Memory& memory() const { return mem_; }
 
-  // Executes one instruction; undefined if already halted.
+  // The decoded-block cache backing Run() (nullptr until first use).
+  const BlockCache* block_cache() const { return cache_; }
+
+  // Executes one instruction; undefined if already halted or faulted.
+  // On an out-of-text PC the emulator latches faulted() and returns a
+  // StepInfo with a default (no-effect) result — callers' loops must test
+  // faulted() alongside halted().
   StepInfo Step() {
-    SPEAR_CHECK(!halted_);
-    SPEAR_CHECK(prog_->ContainsPc(pc_));
+    SPEAR_CHECK(!halted_ && !faulted_);
     StepInfo info;
     info.pc = pc_;
+    if (!prog_->ContainsPc(pc_)) {
+      faulted_ = true;
+      fault_pc_ = pc_;
+      info.icount = icount_;
+      return info;
+    }
     info.instr = prog_->At(pc_);
     ArchState st{this};
     info.result = ExecuteInstruction(st, info.instr, pc_);
@@ -73,13 +105,40 @@ class Emulator {
     return info;
   }
 
-  // Runs until halt or the instruction budget is exhausted. Returns the
-  // number of instructions executed by this call.
-  std::uint64_t Run(std::uint64_t max_instrs) {
+  // Runs until halt, fault, or the instruction budget is exhausted.
+  // Returns the number of instructions executed by this call. Flattened:
+  // ExecuteInstruction must inline here so the per-instruction ExecResult
+  // never materializes in memory.
+  SPEAR_FLATTEN std::uint64_t Run(std::uint64_t max_instrs) {
+    if (!kBlockCacheEnabled) return RunPerInstruction(max_instrs);
+    BlockCache& bc = EnsureCache();
     std::uint64_t n = 0;
-    while (!halted_ && n < max_instrs) {
-      Step();
-      ++n;
+    ArchState st{this};
+    while (!halted_ && !faulted_ && n < max_instrs) {
+      const BlockCache::Block b = bc.Lookup(pc_);
+      if (b.len == 0) {  // pc outside text: structured fault
+        faulted_ = true;
+        fault_pc_ = pc_;
+        break;
+      }
+      const std::uint64_t budget = max_instrs - n;
+      const std::uint32_t take =
+          b.len <= budget ? b.len : static_cast<std::uint32_t>(budget);
+      Pc pc = pc_;
+      std::uint32_t i = 0;
+      while (i < take) {
+        const ExecResult res = ExecuteInstruction(st, b.recs[i].instr, pc);
+        ++i;
+        pc = res.next_pc;
+        if (res.out_value) outputs_.push_back(*res.out_value);
+        if (res.halted) {
+          halted_ = true;
+          break;
+        }
+      }
+      n += i;
+      icount_ += i;
+      pc_ = pc;
     }
     return n;
   }
@@ -99,6 +158,7 @@ class Emulator {
     mem_.CopyFrom(mem);
     icount_ = icount;
     halted_ = false;
+    faulted_ = false;
     outputs_.clear();
   }
 
@@ -126,14 +186,45 @@ class Emulator {
     void StoreF64(Addr a, double v) { e->mem_.WriteF64(a, v); }
   };
 
+  // Legacy per-instruction loop: the compiled-out fallback for
+  // -DSPEAR_ENABLE_BLOCK_CACHE=0 builds (kept compiled unconditionally).
+  std::uint64_t RunPerInstruction(std::uint64_t max_instrs) {
+    std::uint64_t n = 0;
+    while (!halted_ && !faulted_ && n < max_instrs) {
+      Step();
+      if (!faulted_) ++n;
+    }
+    return n;
+  }
+
+  BlockCache& EnsureCache() {
+    if (cache_ == nullptr) {
+      if (shared_cache_ != nullptr) {
+        cache_ = shared_cache_;
+      } else {
+        own_cache_ = std::make_unique<BlockCache>();
+        cache_ = own_cache_.get();
+      }
+      // No PT marks: the emulator never pre-decodes. A shared cache must
+      // therefore only be shared between mark-less consumers.
+      cache_->Attach(*prog_, nullptr);
+    }
+    return *cache_;
+  }
+
   const Program* prog_;
   Memory mem_;
   std::array<std::uint32_t, kNumIntRegs> iregs_;
   std::array<double, kNumFpRegs> fregs_;
   Pc pc_;
   bool halted_ = false;
+  bool faulted_ = false;
+  Pc fault_pc_ = 0;
   std::uint64_t icount_ = 0;
   std::vector<std::uint32_t> outputs_;
+  BlockCache* shared_cache_ = nullptr;
+  BlockCache* cache_ = nullptr;
+  std::unique_ptr<BlockCache> own_cache_;
 };
 
 }  // namespace spear

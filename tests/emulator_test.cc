@@ -2,7 +2,9 @@
 
 #include <vector>
 
+#include "cpu/core.h"
 #include "isa/assembler.h"
+#include "isa/program.h"
 #include "sim/emulator.h"
 
 namespace spear {
@@ -296,6 +298,146 @@ TEST(Emulator, RunRespectsBudget) {
   EXPECT_EQ(emu.Run(1000), 1000u);
   EXPECT_FALSE(emu.halted());
   EXPECT_EQ(emu.icount(), 1000u);
+}
+
+// --- out-of-text PC: structured fault, not a CHECK-abort ----------------
+
+TEST(EmulatorFault, WildJumpTargetLatchesFault) {
+  Program prog;
+  Assembler a(&prog);
+  a.li(r(1), 0x00deadb8);  // not a text PC
+  a.jr(r(1));
+  a.halt();  // never reached
+  a.Finish();
+  Emulator emu(prog);
+  emu.Run(1000);
+  EXPECT_FALSE(emu.halted());
+  EXPECT_TRUE(emu.faulted());
+  EXPECT_EQ(emu.fault_pc(), 0x00deadb8u);
+  EXPECT_EQ(emu.icount(), 2u);  // li + jr executed, nothing after
+}
+
+TEST(EmulatorFault, RunningOffTextEndFaultsAtEndPc) {
+  Program prog;
+  Assembler a(&prog);
+  a.li(r(1), 1);  // no halt: execution falls off the end of text
+  a.Finish();
+  Emulator emu(prog);
+  emu.Run(1000);
+  EXPECT_TRUE(emu.faulted());
+  EXPECT_EQ(emu.fault_pc(), prog.EndPc());
+
+  // Step() on the wild PC is the latch point: it reports the offending
+  // PC, executes nothing, and leaves icount where it was.
+  Emulator step(prog);
+  step.Step();  // li
+  ASSERT_FALSE(step.faulted());
+  const StepInfo info = step.Step();
+  EXPECT_TRUE(step.faulted());
+  EXPECT_EQ(info.pc, prog.EndPc());
+  EXPECT_EQ(step.icount(), 1u);
+}
+
+// --- stack seeding vs adversarial data segments -------------------------
+
+TEST(EmulatorStack, SpSeedsToStackBaseWithoutOverlap) {
+  Program prog;
+  Assembler a(&prog);
+  a.halt();
+  a.Finish();
+  prog.AddSegment(0x400000, 64);  // nowhere near the stack band
+  EXPECT_EQ(InitialStackPointer(prog), kStackBase);
+  Emulator emu(prog);
+  EXPECT_EQ(emu.ReadIntReg(kRegSp), kStackBase);
+}
+
+TEST(EmulatorStack, SpRelocatesAboveSegmentInStackBand) {
+  Program prog;
+  Assembler a(&prog);
+  // Store through sp, then read back the segment's sentinel word: a
+  // non-relocated stack would clobber the segment it sits on.
+  a.la(r(1), kStackBase - 8);
+  a.lw(r(2), r(1), 0);
+  a.sw(r(3), kRegSp, -4);
+  a.lw(r(4), r(1), 0);
+  a.out(r(2));
+  a.out(r(4));
+  a.halt();
+  a.Finish();
+  // Segment straddling the old seed: [kStackBase - 4 KiB, kStackBase + 4 KiB).
+  DataSegment& seg = prog.AddSegment(kStackBase - 4096, 8192);
+  PokeU32(seg, kStackBase - 8, 0xfeedface);
+
+  const Addr sp = InitialStackPointer(prog);
+  const Addr seg_end = kStackBase + 4096;
+  EXPECT_GE(sp, seg_end + kStackGuardBytes);
+  EXPECT_EQ(sp % kInstrBytes, 0u);
+
+  Emulator emu(prog);
+  EXPECT_EQ(emu.ReadIntReg(kRegSp), sp);
+  emu.Run(100);
+  ASSERT_TRUE(emu.halted());
+  EXPECT_EQ(emu.outputs()[0], 0xfeedfaceu);
+  EXPECT_EQ(emu.outputs()[1], 0xfeedfaceu);  // survived the sp-relative store
+}
+
+TEST(EmulatorStack, SpRelocationIteratesToFixpoint) {
+  Program prog;
+  Assembler a(&prog);
+  a.halt();
+  a.Finish();
+  // First segment pushes sp up; the second sits exactly where the first
+  // relocation would land, forcing another pass.
+  prog.AddSegment(kStackBase - 4096, 8192);
+  const Addr first_sp = InitialStackPointer(prog);
+  prog.AddSegment(first_sp - 16, 4096);
+  const Addr sp = InitialStackPointer(prog);
+  EXPECT_GE(sp, first_sp - 16 + 4096 + kStackGuardBytes);
+  for (const DataSegment& seg : prog.data) {
+    const std::uint64_t seg_end =
+        static_cast<std::uint64_t>(seg.base) + seg.bytes.size();
+    EXPECT_FALSE(seg.base < sp && seg_end > sp - kStackGuardBytes)
+        << "segment at " << seg.base << " still overlaps the stack band";
+  }
+}
+
+TEST(EmulatorStack, SpSeedRefusedWhenNoRoomLeft) {
+  Program prog;
+  Assembler a(&prog);
+  a.halt();
+  a.Finish();
+  // A chain of tiny segments, each sitting exactly where the previous
+  // relocation lands, walks the fixpoint to the top of the usable range:
+  // no band is left for the stack, so the seed must refuse loudly
+  // instead of wrapping.
+  std::uint64_t sp = kStackBase;
+  while (sp <= 0xfff00000ull) {
+    prog.AddSegment(static_cast<Addr>(sp - 8), 16);
+    sp = sp + 8 + kStackGuardBytes;  // the relocation this segment forces
+  }
+  EXPECT_DEATH(InitialStackPointer(prog), "SPEAR_CHECK failed");
+}
+
+TEST(EmulatorStack, EmulatorAndCoreAgreeOnRelocatedSp) {
+  Program prog;
+  Assembler a(&prog);
+  a.out(kRegSp);  // whatever sp seeds to is the first OUT value
+  a.halt();
+  a.Finish();
+  DataSegment& seg = prog.AddSegment(kStackBase - 512, 1024);
+  PokeU32(seg, kStackBase - 512, 1);  // keep the segment non-trivial
+
+  Emulator emu(prog);
+  emu.Run(100);
+  ASSERT_TRUE(emu.halted());
+
+  Core core(prog, BaselineConfig());
+  core.Run(UINT64_MAX, 1'000'000);
+  ASSERT_TRUE(core.halted());
+
+  ASSERT_EQ(emu.outputs().size(), 1u);
+  EXPECT_EQ(core.outputs(), emu.outputs());
+  EXPECT_EQ(emu.outputs()[0], InitialStackPointer(prog));
 }
 
 TEST(Emulator, CvtfiSaturates) {

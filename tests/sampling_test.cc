@@ -92,6 +92,52 @@ TEST(EstimateTest, Estimate95MatchesHandComputation) {
   EXPECT_DOUBLE_EQ(none.mean, 0.0);
 }
 
+// Regression: a single interval used to produce {mean, ci_lo == ci_hi ==
+// mean} indistinguishable from a genuinely tight interval. The estimator
+// now marks the degenerate case explicitly: ci_defined is true iff the
+// variance estimator has at least one degree of freedom (n >= 2).
+TEST(EstimateTest, Estimate95MarksDegenerateIntervals) {
+  EXPECT_FALSE(Estimate95({}).ci_defined);
+  EXPECT_FALSE(Estimate95({7.0}).ci_defined);
+  EXPECT_TRUE(Estimate95({7.0, 7.0}).ci_defined);  // dof 1, even if se = 0
+  EXPECT_TRUE(Estimate95({1, 2, 3, 4, 5}).ci_defined);
+}
+
+TEST(SummarizeTest, SingleIntervalRowCarriesDegenerateCiMarker) {
+  SamplingPlan plan;
+  plan.period = 10'000;
+  plan.detail = 1'000;
+
+  std::vector<IntervalSample> samples(1);
+  samples[0].instrs = 1'000;
+  samples[0].cycles = 3'000;
+
+  const SampledStats s = Summarize(plan, samples, 10'000, false);
+  EXPECT_FALSE(s.cpi.ci_defined);
+  EXPECT_FALSE(s.ipc.ci_defined);  // inherits the CPI sample set's dof
+  EXPECT_DOUBLE_EQ(s.cpi.ci_lo, s.cpi.mean);
+  EXPECT_DOUBLE_EQ(s.cpi.ci_hi, s.cpi.mean);
+
+  // The JSON marker is emitted only for the degenerate case...
+  const telemetry::JsonValue row = SampledStatsToJson(s);
+  const telemetry::JsonValue* marker = row.FindPath("sampling.cpi.ci_defined");
+  ASSERT_NE(marker, nullptr);
+  EXPECT_FALSE(marker->AsBool());
+  ASSERT_NE(row.FindPath("sampling.ipc.ci_defined"), nullptr);
+
+  // ...so well-formed multi-interval rows keep their exact shape.
+  std::vector<IntervalSample> three(3);
+  for (std::size_t i = 0; i < three.size(); ++i) {
+    three[i].instrs = 1'000;
+    three[i].cycles = 2'000 + 1'000 * i;
+  }
+  const SampledStats ok = Summarize(plan, three, 30'000, false);
+  EXPECT_TRUE(ok.cpi.ci_defined);
+  const telemetry::JsonValue okrow = SampledStatsToJson(ok);
+  EXPECT_EQ(okrow.FindPath("sampling.cpi.ci_defined"), nullptr);
+  EXPECT_EQ(okrow.FindPath("sampling.ipc.ci_defined"), nullptr);
+}
+
 TEST(SummarizeTest, IpcBoundsAreTransformedCpiBounds) {
   SamplingPlan plan;
   plan.period = 10'000;

@@ -81,6 +81,17 @@ int main(int argc, char** argv) {
   if (flags.GetBool("functional")) {
     Emulator emu(prog);
     const std::uint64_t n = emu.Run(max_instrs);
+    if (emu.faulted()) {
+      // Structured failure (exit-code table in tools/tool_flags.h): the
+      // orchestrator records the row as failed instead of the old
+      // CHECK-abort, and a rerun will not fare better.
+      std::fprintf(stderr,
+                   "spearsim: functional fault: pc 0x%08llx left the text "
+                   "section after %llu instructions\n",
+                   static_cast<unsigned long long>(emu.fault_pc()),
+                   static_cast<unsigned long long>(n));
+      return tools::kExitFailure;
+    }
     std::printf("functional: %llu instructions, halted=%d\n",
                 static_cast<unsigned long long>(n), emu.halted());
     if (flags.GetBool("trace")) {
