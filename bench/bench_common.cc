@@ -109,13 +109,68 @@ runner::DerivedSpec MeanReduction(const std::string& name,
   return runner::DerivedSpec{name, "mean_reduction", metric, num, den};
 }
 
+runner::JobSpec MixJob(const runner::Manifest& m,
+                       std::vector<std::string> workloads,
+                       const std::string& config_label) {
+  runner::JobSpec j;
+  j.workloads = std::move(workloads);
+  j.config = -1;
+  for (std::size_t i = 0; i < m.configs.size(); ++i) {
+    if (m.configs[i].label == config_label) j.config = static_cast<int>(i);
+  }
+  SPEAR_CHECK(j.config >= 0);  // bench matrices are static; a typo is a bug
+  return j;
+}
+
 namespace {
 
 // Workload x config IPC table from the aggregated document's job rows.
+const telemetry::JsonValue* FindJobRow(const telemetry::JsonValue& jobs,
+                                       const std::string& id) {
+  for (const telemetry::JsonValue& row : jobs.items()) {
+    const telemetry::JsonValue* rid = row.Find("id");
+    if (rid != nullptr && rid->AsString() == id) return &row;
+  }
+  return nullptr;
+}
+
+// Per-mix table for multiprogram manifests: throughput plus the derived
+// figures of merit each row already carries.
+void PrintMixSummary(const runner::Manifest& m,
+                     const telemetry::JsonValue& jobs) {
+  bool any = false;
+  for (const runner::JobSpec& j : m.extra_jobs) any = any || j.is_mix();
+  if (!any) return;
+  std::printf("\n%-28s %10s %10s %10s\n", "mix/config", "thru IPC",
+              "w.speedup", "fairness");
+  for (const runner::JobSpec& j : m.extra_jobs) {
+    if (!j.is_mix()) continue;
+    const std::string id = runner::JobId(m, j);
+    const telemetry::JsonValue* row = FindJobRow(jobs, id);
+    const telemetry::JsonValue* thru =
+        row != nullptr ? row->FindPath("stats.throughput_ipc") : nullptr;
+    if (thru == nullptr) {
+      std::printf("%-28s %10s\n", id.c_str(),
+                  row != nullptr ? "FAIL" : "-");
+      continue;
+    }
+    const telemetry::JsonValue* ws = row->FindPath("stats.weighted_speedup");
+    const telemetry::JsonValue* hf = row->FindPath("stats.hmean_fairness");
+    std::printf("%-28s %10.3f %10.3f %10.3f\n", id.c_str(), thru->AsDouble(),
+                ws != nullptr ? ws->AsDouble() : 0.0,
+                hf != nullptr ? hf->AsDouble() : 0.0);
+  }
+  std::fflush(stdout);
+}
+
 void PrintSummary(const runner::Manifest& m,
                   const telemetry::JsonValue& doc) {
   const telemetry::JsonValue* jobs = doc.Find("jobs");
   if (jobs == nullptr) return;
+  if (m.workloads.empty()) {  // mix-only manifest: no workload matrix
+    PrintMixSummary(m, *jobs);
+    return;
+  }
   std::printf("\n%-10s", "benchmark");
   for (const runner::ConfigSpec& c : m.configs) {
     std::printf(" %12s", c.label.c_str());
@@ -124,15 +179,8 @@ void PrintSummary(const runner::Manifest& m,
   for (const std::string& w : m.workloads) {
     std::printf("%-10s", w.c_str());
     for (const runner::ConfigSpec& c : m.configs) {
-      const std::string id = w + "/" + c.label;
-      const telemetry::JsonValue* found = nullptr;
-      for (const telemetry::JsonValue& row : jobs->items()) {
-        const telemetry::JsonValue* rid = row.Find("id");
-        if (rid != nullptr && rid->AsString() == id) {
-          found = &row;
-          break;
-        }
-      }
+      const telemetry::JsonValue* found =
+          FindJobRow(*jobs, w + "/" + c.label);
       const telemetry::JsonValue* ipc =
           found != nullptr ? found->FindPath("stats.ipc") : nullptr;
       if (ipc != nullptr) {
@@ -144,6 +192,7 @@ void PrintSummary(const runner::Manifest& m,
     std::printf("\n");
     std::fflush(stdout);
   }
+  PrintMixSummary(m, *jobs);
 }
 
 }  // namespace

@@ -60,6 +60,13 @@ runner::DerivedSpec MeanReduction(const std::string& name,
                                   const std::string& num,
                                   const std::string& den);
 
+// Explicit multiprogram job: `workloads` co-scheduled under the config
+// labeled `config_label` (which must already be in m.configs; the
+// topology — SMT or CMP — comes from that config's `cores`).
+runner::JobSpec MixJob(const runner::Manifest& m,
+                       std::vector<std::string> workloads,
+                       const std::string& config_label);
+
 // The sweep-bench tail: with --emit-manifest, write the canonical
 // manifest JSON to <manifest_dir>/<file_stem>.json and return 0.
 // Otherwise run the manifest in-process (sharing the runner's document

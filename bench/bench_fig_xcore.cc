@@ -1,0 +1,62 @@
+// Same-core vs cross-core pre-execution (DESIGN.md §17): 2-program CMP
+// mixes over a shared L2, comparing three machines —
+//
+//   cmp2-base   two plain cores, no pre-execution
+//   cmp2-spear  SPEAR-256 per core, p-threads run on their own core
+//   cmp2-xcore  SPEAR-256 per core, p-threads spawn on the idle partner
+//               core (xcore_pthreads): loads skip the triggering core's
+//               private L1 and warm the shared L2 only, live-in copies
+//               pay the cross-core per-register cost
+//
+// plus the same mixes under single-core SMT SPEAR-256 as the
+// resource-sharing reference point. Cross-core pre-execution trades
+// prefetch depth (L2-only warming) for zero main-thread contention; the
+// comparison shows which side wins per mix.
+//
+// The matrix lives in bench/manifests/xcore.json (--emit-manifest
+// regenerates it).
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace spear;
+  using namespace spear::bench;
+
+  const BenchContext ctx = ParseBenchArgs(argc, argv);
+  PrintConfigHeader(BaselineConfig(128));
+  std::printf("== Cross-core pre-execution: CMP mixes over a shared L2 ==\n");
+
+  runner::Manifest m = BenchManifest(ctx, "xcore");
+  m.defaults.ff_instrs = 0;  // mixes run full-detail from cold state
+
+  runner::ConfigSpec smt = SpearModel("smt-spear", 256);
+  runner::ConfigSpec cmp_base = BaseModel("cmp2-base");
+  cmp_base.cores = 2;
+  runner::ConfigSpec cmp_spear = SpearModel("cmp2-spear", 256);
+  cmp_spear.cores = 2;
+  runner::ConfigSpec cmp_xcore = SpearModel("cmp2-xcore", 256);
+  cmp_xcore.cores = 2;
+  cmp_xcore.xcore_pthreads = true;
+  m.configs = {smt, cmp_base, cmp_spear, cmp_xcore};
+
+  const std::vector<std::vector<std::string>> mixes = {
+      {"mcf", "art"},     // both memory-bound: donors are rarely idle
+      {"mcf", "gzip"},    // memory-bound + compute-bound donor
+      {"equake", "fft"},  // memory-bound + compute-bound donor
+  };
+  for (const std::vector<std::string>& mix : mixes) {
+    for (const runner::ConfigSpec& c : m.configs) {
+      m.extra_jobs.push_back(MixJob(m, mix, c.label));
+    }
+  }
+
+  const int rc = RunOrEmit(ctx, m, "xcore");
+  if (!ctx.emit_manifest) {
+    std::printf("expectation: cmp2-spear beats cmp2-base everywhere; "
+                "cmp2-xcore helps most when the partner core is "
+                "compute-bound (an idle donor) and least when both "
+                "programs trigger constantly\n");
+  }
+  return rc;
+}

@@ -7,6 +7,8 @@
 
 #include <cstdint>
 
+#include "common/check.h"
+
 namespace spear {
 
 class Rng {
@@ -28,12 +30,22 @@ class Rng {
   }
 
   // Uniform in [0, bound). bound must be > 0.
-  std::uint64_t Below(std::uint64_t bound) { return Next() % bound; }
+  std::uint64_t Below(std::uint64_t bound) {
+    SPEAR_DCHECK(bound > 0);
+    return Next() % bound;
+  }
 
-  // Uniform in [lo, hi].
+  // Uniform in [lo, hi]. The span is computed in unsigned arithmetic:
+  // `hi - lo + 1` as int64 is UB for the full span (INT64_MIN..INT64_MAX)
+  // and a wrapped span used to reach Below(0), a modulo-by-zero. A span of
+  // 0 here means the request covers all 2^64 residues, so the raw draw is
+  // already uniform.
   std::int64_t Range(std::int64_t lo, std::int64_t hi) {
-    return lo + static_cast<std::int64_t>(
-                    Below(static_cast<std::uint64_t>(hi - lo + 1)));
+    SPEAR_DCHECK(lo <= hi);
+    const std::uint64_t span = static_cast<std::uint64_t>(hi) -
+                               static_cast<std::uint64_t>(lo) + 1;
+    const std::uint64_t draw = span == 0 ? Next() : Below(span);
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) + draw);
   }
 
   double NextDouble() {  // [0, 1)

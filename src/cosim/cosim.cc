@@ -43,10 +43,27 @@ CosimChecker::CosimChecker(const Program& prog)
     : CosimChecker(prog, Config{}) {}
 
 CosimChecker::CosimChecker(const Program& prog, Config cfg)
-    : prog_(&prog), cfg_(cfg), emu_(prog) {}
+    : CosimChecker(std::vector<const Program*>{&prog}, cfg) {}
+
+CosimChecker::CosimChecker(const std::vector<const Program*>& progs)
+    : CosimChecker(progs, Config{}) {}
+
+CosimChecker::CosimChecker(const std::vector<const Program*>& progs,
+                           Config cfg)
+    : cfg_(cfg), checked_by_tid_(progs.size(), 0) {
+  emus_.reserve(progs.size());
+  for (const Program* p : progs) emus_.push_back(std::make_unique<Emulator>(*p));
+}
 
 void CosimChecker::SyncToWarmState(const WarmState& ws) {
-  emu_.Restore(ws.iregs, ws.fregs, ws.pc, ws.mem, ws.warmed_instrs);
+  SPEAR_CHECK(emus_.size() == 1);
+  emus_[0]->Restore(ws.iregs, ws.fregs, ws.pc, ws.mem, ws.warmed_instrs);
+}
+
+std::string CosimChecker::TidTag(ThreadId tid) const {
+  if (tid >= emus_.size()) return "PT";
+  if (emus_.size() == 1) return "MT";
+  return "T" + std::to_string(static_cast<unsigned>(tid));
 }
 
 bool CosimChecker::Fail(const CommitRecord& rec, DivergentField field,
@@ -70,7 +87,7 @@ void CosimChecker::PushWindow(const CommitRecord& rec) {
 bool CosimChecker::OnCommit(const CommitRecord& rec) {
   if (div_) return false;  // latched: the first divergence is the verdict
 
-  if (rec.tid == kPThread) {
+  if (rec.tid >= emus_.size()) {  // the p-thread is always the highest tid
     PushWindow(rec);
     ++stats_.pthread_commits_checked;
     if (rec.pthread_arch_clobber) {
@@ -83,7 +100,14 @@ bool CosimChecker::OnCommit(const CommitRecord& rec) {
 
   CommitRecord checked = rec;
   ++stats_.commits_checked;
-  if (cfg_.inject_at != 0 && stats_.commits_checked == cfg_.inject_at) {
+  ++checked_by_tid_[rec.tid];
+  const std::uint64_t inject_count =
+      cfg_.inject_tid >= 0 ? checked_by_tid_[rec.tid] : stats_.commits_checked;
+  const bool inject_match =
+      cfg_.inject_tid < 0 ||
+      static_cast<std::int32_t>(rec.tid) == cfg_.inject_tid;
+  if (cfg_.inject_at != 0 && inject_match &&
+      inject_count == cfg_.inject_at) {
     // Self-test: flip the captured destination value (or, for stores, the
     // payload; for pure control flow, the successor) so the comparison
     // below must trip.
@@ -104,29 +128,29 @@ bool CosimChecker::OnCommit(const CommitRecord& rec) {
     }
   }
   PushWindow(checked);
-  return CheckMain(checked);
+  return CheckMain(*emus_[rec.tid], checked);
 }
 
-bool CosimChecker::CheckMain(const CommitRecord& rec) {
-  if (emu_.halted()) {
+bool CosimChecker::CheckMain(Emulator& emu, const CommitRecord& rec) {
+  if (emu.halted()) {
     return Fail(rec, DivergentField::kHaltedPastEnd, "program halted",
                 "committed " + Hex32(rec.pc));
   }
-  if (emu_.faulted()) {
+  if (emu.faulted()) {
     // The reference emulator's PC left the text section: the core cannot
     // legitimately have committed anything past that point.
     return Fail(rec, DivergentField::kHaltedPastEnd,
-                "reference faulted @ " + Hex32(emu_.fault_pc()),
+                "reference faulted @ " + Hex32(emu.fault_pc()),
                 "committed " + Hex32(rec.pc));
   }
-  if (emu_.pc() != rec.pc) {
-    return Fail(rec, DivergentField::kPc, Hex32(emu_.pc()), Hex32(rec.pc));
+  if (emu.pc() != rec.pc) {
+    return Fail(rec, DivergentField::kPc, Hex32(emu.pc()), Hex32(rec.pc));
   }
 
-  const StepInfo si = emu_.Step();
-  if (emu_.faulted()) {
+  const StepInfo si = emu.Step();
+  if (emu.faulted()) {
     return Fail(rec, DivergentField::kHaltedPastEnd,
-                "reference faulted @ " + Hex32(emu_.fault_pc()),
+                "reference faulted @ " + Hex32(emu.fault_pc()),
                 "committed " + Hex32(rec.pc));
   }
   const ExecResult& want = si.result;
@@ -156,13 +180,13 @@ bool CosimChecker::CheckMain(const CommitRecord& rec) {
 
   if (const auto rd = DestOf(rec.instr)) {
     if (IsFpReg(*rd)) {
-      const double want_v = emu_.ReadFpReg(*rd);
+      const double want_v = emu.ReadFpReg(*rd);
       if (!SameBits(want_v, rec.fp_dest)) {
         return Fail(rec, DivergentField::kFpDest, FmtF64(want_v),
                     FmtF64(rec.fp_dest));
       }
     } else {
-      const std::uint32_t want_v = emu_.ReadIntReg(*rd);
+      const std::uint32_t want_v = emu.ReadIntReg(*rd);
       if (want_v != rec.int_dest) {
         return Fail(rec, DivergentField::kIntDest, Hex32(want_v),
                     Hex32(rec.int_dest));
@@ -174,7 +198,7 @@ bool CosimChecker::CheckMain(const CommitRecord& rec) {
     // The oracle already performed the store; read its memory back.
     switch (rec.instr.op) {
       case Opcode::kSw: {
-        const std::uint32_t want_v = emu_.memory().ReadU32(rec.exec.mem_addr);
+        const std::uint32_t want_v = emu.memory().ReadU32(rec.exec.mem_addr);
         if (want_v != rec.store_u32) {
           return Fail(rec, DivergentField::kStoreData, Hex32(want_v),
                       Hex32(rec.store_u32));
@@ -182,7 +206,7 @@ bool CosimChecker::CheckMain(const CommitRecord& rec) {
         break;
       }
       case Opcode::kSb: {
-        const std::uint32_t want_v = emu_.memory().ReadU8(rec.exec.mem_addr);
+        const std::uint32_t want_v = emu.memory().ReadU8(rec.exec.mem_addr);
         if (want_v != (rec.store_u32 & 0xffu)) {
           return Fail(rec, DivergentField::kStoreData, Hex32(want_v),
                       Hex32(rec.store_u32 & 0xffu));
@@ -190,7 +214,7 @@ bool CosimChecker::CheckMain(const CommitRecord& rec) {
         break;
       }
       case Opcode::kStf: {
-        const double want_v = emu_.memory().ReadF64(rec.exec.mem_addr);
+        const double want_v = emu.memory().ReadF64(rec.exec.mem_addr);
         if (!SameBits(want_v, rec.store_f64)) {
           return Fail(rec, DivergentField::kStoreData, FmtF64(want_v),
                       FmtF64(rec.store_f64));
@@ -209,6 +233,9 @@ std::string CosimChecker::Summary() const {
   std::ostringstream os;
   os << "cosim divergence: " << FieldName(div_->field) << " at pc "
      << Hex32(div_->record.pc) << " (commit #" << div_->commit_index << ")";
+  if (emus_.size() > 1) {
+    os << " [thread " << static_cast<unsigned>(div_->record.tid) << "]";
+  }
   return os.str();
 }
 
@@ -224,7 +251,14 @@ std::string CosimChecker::Report() const {
   os << "field:    " << FieldName(d.field) << "\n";
   os << "at:       pc " << Hex32(d.record.pc) << "  `"
      << Disassemble(d.record.instr) << "`"
-     << (d.record.tid == kPThread ? "  [p-thread]" : "") << "\n";
+     << (d.record.tid >= emus_.size()
+             ? "  [p-thread]"
+             : emus_.size() > 1
+                   ? "  [thread " +
+                         std::to_string(static_cast<unsigned>(d.record.tid)) +
+                         "]"
+                   : "")
+     << "\n";
   os << "commit:   #" << d.commit_index << ", cycle " << d.record.cycle
      << "\n";
   os << "oracle:   " << d.oracle << "\n";
@@ -233,7 +267,7 @@ std::string CosimChecker::Report() const {
      << d.record.ifq_occupancy << "\n";
   os << "last " << window_.size() << " commits (oldest first):\n";
   for (const CommitRecord& r : window_) {
-    os << "  [" << (r.tid == kPThread ? "PT" : "MT") << "] " << Hex32(r.pc)
+    os << "  [" << TidTag(r.tid) << "] " << Hex32(r.pc)
        << "  " << Disassemble(r.instr) << "\n";
   }
   os << "telemetry: core.cosim.commits_checked=" << stats_.commits_checked
@@ -251,6 +285,13 @@ void CosimChecker::RegisterStats(telemetry::StatRegistry& reg) const {
                   "p-thread retires audited for arch-state writes");
   reg.BindCounter("core.cosim.divergences", &stats_.divergences,
                   "lockstep divergences detected (first one stops the run)");
+  if (emus_.size() > 1) {
+    for (std::size_t t = 0; t < emus_.size(); ++t) {
+      reg.BindCounter("core.cosim.thread" + std::to_string(t) + ".checked",
+                      &checked_by_tid_[t],
+                      "commits compared for this context");
+    }
+  }
 }
 
 }  // namespace spear::cosim

@@ -6,6 +6,11 @@
 // paper's p-thread safety invariant (pre-execution never mutates checked
 // architectural state).
 //
+// Multiprogram runs (DESIGN.md §17) keep one shadow emulator per main
+// thread, keyed by the CommitRecord's tid; any tid at or past the main
+// count is the p-thread and takes the arch-clobber audit path. A detected
+// divergence is attributed to the committing thread.
+//
 // The checker is a CommitSink; attach with Core::set_cosim. On the first
 // divergence it latches a structured verdict (field, oracle vs pipeline
 // value, the last-N commit window with disassembly) and returns false,
@@ -16,8 +21,10 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "cosim/commit_record.h"
 #include "cpu/warm_state.h"
@@ -39,7 +46,7 @@ struct Divergence {
   DivergentField field = DivergentField::kNone;
   std::string oracle;    // expected value, formatted
   std::string pipeline;  // observed value, formatted
-  CommitRecord record;   // the diverging commit
+  CommitRecord record;   // the diverging commit (record.tid = culprit thread)
   std::uint64_t commit_index = 0;  // 1-based, counting checked commits
 };
 
@@ -51,6 +58,10 @@ class CosimChecker : public CommitSink {
     // record before checking, so the full divergence path — report, core
     // stop, exit code — can be exercised without a real pipeline bug.
     std::uint64_t inject_at = 0;
+    // When >= 0, inject_at counts only the named thread's commits, so a
+    // multiprogram self-test can verify the verdict is attributed to
+    // exactly the corrupted thread. -1 counts commits of every thread.
+    std::int32_t inject_tid = -1;
   };
 
   // Two overloads rather than `Config cfg = {}`: GCC rejects a braced
@@ -59,8 +70,13 @@ class CosimChecker : public CommitSink {
   explicit CosimChecker(const Program& prog);
   CosimChecker(const Program& prog, Config cfg);
 
+  // Multiprogram: one shadow emulator per main thread, in tid order.
+  explicit CosimChecker(const std::vector<const Program*>& progs);
+  CosimChecker(const std::vector<const Program*>& progs, Config cfg);
+
   // Re-seats the shadow emulator at a post-warmup state so checking can
-  // follow a fast-forwarded (--ff-instrs / checkpointed) run.
+  // follow a fast-forwarded (--ff-instrs / checkpointed) run. Only legal
+  // single-program (warm starts are, too).
   void SyncToWarmState(const WarmState& ws);
 
   // CommitSink. Returns false on (latched) divergence.
@@ -69,9 +85,13 @@ class CosimChecker : public CommitSink {
   bool ok() const { return !div_.has_value(); }
   const std::optional<Divergence>& divergence() const { return div_; }
   const CosimStats& stats() const { return stats_; }
+  std::uint64_t commits_checked(ThreadId tid) const {
+    return checked_by_tid_[tid];
+  }
 
   // One-line verdict ("cosim divergence: int_dest at pc 0x... ") — used as
-  // the runner row error; empty while ok().
+  // the runner row error; empty while ok(). Multiprogram verdicts name the
+  // diverging thread.
   std::string Summary() const;
 
   // Full human-readable report: divergent field with oracle/pipeline
@@ -86,12 +106,13 @@ class CosimChecker : public CommitSink {
   bool Fail(const CommitRecord& rec, DivergentField field,
             std::string oracle, std::string pipeline);
   void PushWindow(const CommitRecord& rec);
-  bool CheckMain(const CommitRecord& rec);
+  bool CheckMain(Emulator& emu, const CommitRecord& rec);
+  std::string TidTag(ThreadId tid) const;  // "MT"/"PT", or "T<k>"/"PT"
 
-  const Program* prog_;
   Config cfg_;
-  Emulator emu_;
+  std::vector<std::unique_ptr<Emulator>> emus_;  // one per main thread
   CosimStats stats_;
+  std::vector<std::uint64_t> checked_by_tid_;  // per main thread
   std::deque<CommitRecord> window_;
   std::optional<Divergence> div_;
 };

@@ -1,0 +1,136 @@
+#include "cpu/cmp.h"
+
+#include <algorithm>
+
+namespace spear {
+
+CmpSystem::CmpSystem(const std::vector<const Program*>& progs,
+                     const CoreConfig& config)
+    : config_(config),
+      progs_(progs),
+      shared_l2_(config.mem.l2),
+      donating_(progs.size(), false) {
+  SPEAR_CHECK(!progs.empty());
+  // Slot 0 aggregates every core's main thread; slot 1 every p-thread.
+  // (Per-core attribution for the shared level lives in each core's
+  // private-L1 tree; the shared L2 only needs the demand/helper split.)
+  shared_l2_.ConfigureThreadSlots(2);
+  cores_.reserve(progs.size());
+  for (std::size_t i = 0; i < progs.size(); ++i) {
+    cores_.push_back(std::make_unique<Core>(*progs[i], config));
+    Core& c = *cores_.back();
+    c.hierarchy().AttachShared(&shared_l2_, &shared_fills_);
+    // One main thread per core, so core i's single asid is just i.
+    c.set_asid_base(static_cast<std::uint32_t>(i));
+    c.set_xcore_arbiter(this, static_cast<int>(i));
+  }
+}
+
+void CmpSystem::EnableCosim(cosim::CosimChecker::Config inject,
+                            int target_core) {
+  SPEAR_CHECK(now_ == 0);
+  inject.inject_tid = -1;  // each per-core checker sees one thread
+  const std::size_t target =
+      target_core < 0 ? 0
+                      : std::min<std::size_t>(
+                            static_cast<std::size_t>(target_core),
+                            cores_.size() - 1);
+  checkers_.clear();
+  for (std::size_t i = 0; i < cores_.size(); ++i) {
+    cosim::CosimChecker::Config cc = i == target ? inject
+                                                 : cosim::CosimChecker::Config{};
+    checkers_.push_back(
+        std::make_unique<cosim::CosimChecker>(*progs_[i], cc));
+    cores_[i]->set_cosim(checkers_.back().get());
+  }
+}
+
+bool CmpSystem::cosim_diverged() const {
+  for (const auto& c : cores_) {
+    if (c->cosim_diverged()) return true;
+  }
+  return false;
+}
+
+std::uint64_t CmpSystem::cosim_checked() const {
+  std::uint64_t n = 0;
+  for (const auto& ck : checkers_) {
+    n += ck->stats().commits_checked + ck->stats().pthread_commits_checked;
+  }
+  return n;
+}
+
+std::string CmpSystem::CosimReport() const {
+  for (std::size_t i = 0; i < cores_.size(); ++i) {
+    if (cores_[i]->cosim_diverged() && i < checkers_.size()) {
+      return "core " + std::to_string(i) + ":\n" + checkers_[i]->Report();
+    }
+  }
+  return "";
+}
+
+RunResult CmpSystem::Run(std::uint64_t max_instrs_per_core,
+                         std::uint64_t max_cycles) {
+  while (now_ < max_cycles) {
+    bool any_live = false;
+    for (const auto& c : cores_) {
+      if (c->cosim_diverged()) {
+        any_live = false;
+        break;
+      }
+      if (!c->halted() && c->stats().committed < max_instrs_per_core) {
+        any_live = true;
+      }
+    }
+    if (!any_live) break;
+    ++now_;
+    for (const auto& c : cores_) {
+      if (!c->halted() && !c->cosim_diverged() &&
+          c->stats().committed < max_instrs_per_core) {
+        c->StepCycle();
+      }
+    }
+  }
+  RunResult r;
+  r.cycles = now_;
+  r.halted = true;
+  for (const auto& c : cores_) {
+    r.instructions += c->stats().committed;
+    r.halted = r.halted && c->halted();
+  }
+  return r;
+}
+
+int CmpSystem::RequestDonor(int requester) {
+  for (std::size_t j = 0; j < cores_.size(); ++j) {
+    if (static_cast<int>(j) == requester) continue;
+    if (donating_[j]) continue;
+    if (cores_[j]->in_session()) continue;  // its p-thread context is busy
+    donating_[j] = true;
+    cores_[j]->set_donating(true);
+    ++donor_grants_;
+    return static_cast<int>(j);
+  }
+  ++donor_denied_;
+  return -1;
+}
+
+void CmpSystem::ReleaseDonor(int donor) {
+  SPEAR_CHECK(donor >= 0 && static_cast<std::size_t>(donor) < cores_.size());
+  SPEAR_CHECK(donating_[static_cast<std::size_t>(donor)]);
+  donating_[static_cast<std::size_t>(donor)] = false;
+  cores_[static_cast<std::size_t>(donor)]->set_donating(false);
+}
+
+void CmpSystem::RegisterStats(telemetry::StatRegistry& reg) const {
+  for (std::size_t i = 0; i < cores_.size(); ++i) {
+    cores_[i]->RegisterStatsPrefixed(reg, "core" + std::to_string(i) + ".");
+  }
+  shared_l2_.RegisterStats(reg, "cmp.l2");
+  reg.BindCounter("cmp.xcore.grants", &donor_grants_,
+                  "donor-core requests granted");
+  reg.BindCounter("cmp.xcore.denied", &donor_denied_,
+                  "donor-core requests denied (no idle core)");
+}
+
+}  // namespace spear

@@ -1,0 +1,92 @@
+// CMP wrapper (DESIGN.md §17): N SPEAR cores, each with a private L1
+// front end, over one shared L2 and one shared outstanding-fill table,
+// stepped in lockstep (one call per core per cycle, core 0 first — fully
+// deterministic).
+//
+// Address spaces: core i's program keys every shared structure with
+// asid = i (threads-per-core is 1 in CMP mode), so same-virtual-address
+// programs never alias in the shared L2 or its fill table; they still
+// contend for sets and fill slots, which is the resource interference CMP
+// mode exists to measure.
+//
+// Cross-core pre-execution: CmpSystem is the XcoreArbiter. When a core
+// arms a trigger with spear.xcore_pthreads set, the lowest-numbered other
+// core that is not running or hosting a session is granted as donor and
+// reserved (its own triggers are suppressed) until the session ends. The
+// granted session's p-thread then models donor execution: loads skip the
+// triggering core's private L1 (they warm the shared L2 only), FUs and
+// issue bandwidth come from the donor pool, and the live-in transfer pays
+// the cross-core per-register cost.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cosim/cosim.h"
+#include "cpu/core.h"
+#include "isa/program.h"
+#include "mem/cache.h"
+#include "mem/hierarchy.h"
+#include "telemetry/registry.h"
+
+namespace spear {
+
+class CmpSystem : public Core::XcoreArbiter {
+ public:
+  // One program per core; every core runs `config` (the shared L2 geometry
+  // and latencies are taken from config.mem). spear.xcore_pthreads in the
+  // config enables donor requests.
+  CmpSystem(const std::vector<const Program*>& progs,
+            const CoreConfig& config);
+  ~CmpSystem() override = default;
+
+  // Lockstep run: each cycle steps every unfinished core once, core 0
+  // first. Stops when every core has halted (or hit `max_instrs_per_core`
+  // committed instructions), a cosim checker diverged, or `max_cycles`
+  // elapsed. The aggregate result sums instructions over cores.
+  RunResult Run(std::uint64_t max_instrs_per_core,
+                std::uint64_t max_cycles = UINT64_MAX);
+
+  // Attaches one lockstep cosim checker per core. Must run before Run.
+  // A nonzero `inject.inject_at` arms the fault-injection self-test on
+  // one core only — `target_core` (clamped into range, so -1 = core 0);
+  // the per-core checker sees a single thread, so `inject.inject_tid` is
+  // forced to -1.
+  void EnableCosim(cosim::CosimChecker::Config inject = {},
+                   int target_core = 0);
+  bool cosim_diverged() const;
+  std::uint64_t cosim_checked() const;  // commits compared, summed over cores
+  // Report of the first diverging core ("" when clean).
+  std::string CosimReport() const;
+
+  std::size_t num_cores() const { return cores_.size(); }
+  Core& core(std::size_t i) { return *cores_[i]; }
+  const Core& core(std::size_t i) const { return *cores_[i]; }
+  const Cache& shared_l2() const { return shared_l2_; }
+  const FillTable& shared_fills() const { return shared_fills_; }
+
+  // Per-core trees under "core<i>." plus the shared L2 once under
+  // "cmp.l2.*" and the cross-core grant counters under "cmp.xcore.*".
+  void RegisterStats(telemetry::StatRegistry& reg) const;
+
+  // XcoreArbiter: grants the lowest-numbered idle core (not the requester,
+  // not in a session of its own, not already donating).
+  int RequestDonor(int requester) override;
+  void ReleaseDonor(int donor) override;
+
+ private:
+  CoreConfig config_;
+  std::vector<const Program*> progs_;  // one per core, borrowed
+  Cache shared_l2_;
+  FillTable shared_fills_;
+  std::vector<std::unique_ptr<Core>> cores_;
+  std::vector<std::unique_ptr<cosim::CosimChecker>> checkers_;
+  std::vector<bool> donating_;
+  std::uint64_t donor_grants_ = 0;
+  std::uint64_t donor_denied_ = 0;
+  Cycle now_ = 0;
+};
+
+}  // namespace spear

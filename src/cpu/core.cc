@@ -11,58 +11,59 @@ using telemetry::TraceUid;
 // Dispatch-time architectural state with wrong-path overlay.
 //
 // On the correct path, reads/writes go straight to the in-order dispatch
-// register file and memory image. After a mispredicted branch dispatches,
-// spec_mode_ routes writes into an epoch-tagged overlay that is discarded
-// at recovery, so wrong-path execution can never corrupt correct-path
-// state. Recovery is an epoch bump, not a clear — see core.h.
+// register file and memory image of the owning thread context. After a
+// mispredicted branch dispatches, spec_mode routes writes into an
+// epoch-tagged overlay that is discarded at recovery, so wrong-path
+// execution can never corrupt correct-path state. Recovery is an epoch
+// bump, not a clear — see core.h.
 // ---------------------------------------------------------------------------
 
 std::uint32_t Core::MainState::ReadInt(RegId reg) {
-  if (c->spec_mode_ && c->spec_ireg_epoch_[reg] == c->spec_epoch_) {
-    return c->spec_ireg_val_[reg];
+  if (t->spec_mode && t->spec_ireg_epoch[reg] == t->spec_epoch) {
+    return t->spec_ireg_val[reg];
   }
-  return c->iregs_[reg];
+  return t->iregs[reg];
 }
 
 void Core::MainState::WriteInt(RegId reg, std::uint32_t v) {
-  if (c->spec_mode_) {
-    c->spec_ireg_val_[reg] = v;
-    c->spec_ireg_epoch_[reg] = c->spec_epoch_;
+  if (t->spec_mode) {
+    t->spec_ireg_val[reg] = v;
+    t->spec_ireg_epoch[reg] = t->spec_epoch;
   } else {
-    c->iregs_[reg] = v;
+    t->iregs[reg] = v;
   }
 }
 
 double Core::MainState::ReadFp(RegId reg) {
   const int f = FpIndex(reg);
-  if (c->spec_mode_ && c->spec_freg_epoch_[f] == c->spec_epoch_) {
-    return c->spec_freg_val_[f];
+  if (t->spec_mode && t->spec_freg_epoch[f] == t->spec_epoch) {
+    return t->spec_freg_val[f];
   }
-  return c->fregs_[f];
+  return t->fregs[f];
 }
 
 void Core::MainState::WriteFp(RegId reg, double v) {
-  if (c->spec_mode_) {
+  if (t->spec_mode) {
     const int f = FpIndex(reg);
-    c->spec_freg_val_[f] = v;
-    c->spec_freg_epoch_[f] = c->spec_epoch_;
+    t->spec_freg_val[f] = v;
+    t->spec_freg_epoch[f] = t->spec_epoch;
   } else {
-    c->fregs_[FpIndex(reg)] = v;
+    t->fregs[FpIndex(reg)] = v;
   }
 }
 
 std::uint8_t Core::MainState::LoadU8(Addr a) {
-  if (c->spec_mode_ && c->spec_mem_count_ != 0) {
+  if (t->spec_mode && t->spec_mem_count != 0) {
     std::uint8_t v;
-    if (c->SpecMemFind(a, &v)) return v;
+    if (c->SpecMemFind(*t, a, &v)) return v;
   }
-  return c->mem_.ReadU8(a);
+  return t->mem.ReadU8(a);
 }
 
 std::uint32_t Core::MainState::LoadU32(Addr a) {
   // Until the wrong path stores something, the overlay is empty and loads
   // can take the word-wide fast path on the dispatch memory image.
-  if (!c->spec_mode_ || c->spec_mem_count_ == 0) return c->mem_.ReadU32(a);
+  if (!t->spec_mode || t->spec_mem_count == 0) return t->mem.ReadU32(a);
   std::uint32_t v = 0;
   for (int i = 0; i < 4; ++i) {
     v |= static_cast<std::uint32_t>(LoadU8(a + static_cast<Addr>(i)))
@@ -72,7 +73,7 @@ std::uint32_t Core::MainState::LoadU32(Addr a) {
 }
 
 double Core::MainState::LoadF64(Addr a) {
-  if (!c->spec_mode_ || c->spec_mem_count_ == 0) return c->mem_.ReadF64(a);
+  if (!t->spec_mode || t->spec_mem_count == 0) return t->mem.ReadF64(a);
   std::uint64_t bits = 0;
   for (int i = 0; i < 8; ++i) {
     bits |= static_cast<std::uint64_t>(LoadU8(a + static_cast<Addr>(i)))
@@ -84,10 +85,10 @@ double Core::MainState::LoadF64(Addr a) {
 }
 
 void Core::MainState::StoreU8(Addr a, std::uint8_t v) {
-  if (c->spec_mode_) {
-    c->SpecMemInsert(a, v);
+  if (t->spec_mode) {
+    c->SpecMemInsert(*t, a, v);
   } else {
-    c->mem_.WriteU8(a, v);
+    t->mem.WriteU8(a, v);
   }
 }
 
@@ -107,7 +108,7 @@ void Core::MainState::StoreF64(Addr a, double v) {
 }
 
 // Wrong-path store overlay: open addressing with linear probing. A slot
-// whose epoch differs from spec_epoch_ is empty, both for probe
+// whose epoch differs from spec_epoch is empty, both for probe
 // termination and for insertion, which is what makes recovery an O(1)
 // epoch bump. Entries are never deleted within an epoch, so the probe
 // chain invariant holds.
@@ -119,12 +120,12 @@ inline std::size_t SpecMemHash(Addr a) {
 }
 }  // namespace
 
-bool Core::SpecMemFind(Addr a, std::uint8_t* out) const {
-  const std::size_t mask = spec_mem_.size() - 1;
+bool Core::SpecMemFind(const ThreadCtx& t, Addr a, std::uint8_t* out) const {
+  const std::size_t mask = t.spec_mem.size() - 1;
   std::size_t i = SpecMemHash(a) & mask;
-  while (spec_mem_[i].epoch == spec_epoch_) {
-    if (spec_mem_[i].addr == a) {
-      *out = spec_mem_[i].val;
+  while (t.spec_mem[i].epoch == t.spec_epoch) {
+    if (t.spec_mem[i].addr == a) {
+      *out = t.spec_mem[i].val;
       return true;
     }
     i = (i + 1) & mask;
@@ -132,31 +133,31 @@ bool Core::SpecMemFind(Addr a, std::uint8_t* out) const {
   return false;
 }
 
-void Core::SpecMemInsert(Addr a, std::uint8_t v) {
+void Core::SpecMemInsert(ThreadCtx& t, Addr a, std::uint8_t v) {
   // Grow at 50% load so probes always terminate at an empty slot.
-  if ((spec_mem_count_ + 1) * 2 > spec_mem_.size()) SpecMemGrow();
-  const std::size_t mask = spec_mem_.size() - 1;
+  if ((t.spec_mem_count + 1) * 2 > t.spec_mem.size()) SpecMemGrow(t);
+  const std::size_t mask = t.spec_mem.size() - 1;
   std::size_t i = SpecMemHash(a) & mask;
-  while (spec_mem_[i].epoch == spec_epoch_) {
-    if (spec_mem_[i].addr == a) {
-      spec_mem_[i].val = v;
+  while (t.spec_mem[i].epoch == t.spec_epoch) {
+    if (t.spec_mem[i].addr == a) {
+      t.spec_mem[i].val = v;
       return;
     }
     i = (i + 1) & mask;
   }
-  spec_mem_[i] = SpecMemSlot{a, spec_epoch_, v};
-  ++spec_mem_count_;
+  t.spec_mem[i] = SpecMemSlot{a, t.spec_epoch, v};
+  ++t.spec_mem_count;
 }
 
-void Core::SpecMemGrow() {
-  std::vector<SpecMemSlot> old = std::move(spec_mem_);
-  spec_mem_.assign(old.empty() ? 1024 : old.size() * 2, SpecMemSlot{});
-  const std::size_t mask = spec_mem_.size() - 1;
+void Core::SpecMemGrow(ThreadCtx& t) {
+  std::vector<SpecMemSlot> old = std::move(t.spec_mem);
+  t.spec_mem.assign(old.empty() ? 1024 : old.size() * 2, SpecMemSlot{});
+  const std::size_t mask = t.spec_mem.size() - 1;
   for (const SpecMemSlot& s : old) {
-    if (s.epoch != spec_epoch_) continue;  // stale epochs stay dead
+    if (s.epoch != t.spec_epoch) continue;  // stale epochs stay dead
     std::size_t i = SpecMemHash(s.addr) & mask;
-    while (spec_mem_[i].epoch == spec_epoch_) i = (i + 1) & mask;
-    spec_mem_[i] = s;
+    while (t.spec_mem[i].epoch == t.spec_epoch) i = (i + 1) & mask;
+    t.spec_mem[i] = s;
   }
 }
 
@@ -164,53 +165,95 @@ void Core::SpecMemGrow() {
 // Construction.
 // ---------------------------------------------------------------------------
 
+Core::ThreadCtx::ThreadCtx(const Program& p, std::uint32_t ifq_cap,
+                           std::uint32_t ruu_cap, std::uint32_t idx)
+    : prog(&p), index(idx), ifq(ifq_cap), fetch_pc(p.entry), ruu(ruu_cap) {
+  iregs.fill(0);
+  fregs.fill(0.0);
+  // Match the functional emulator's ABI (same relocation rules, or the
+  // lockstep cosim would diverge on the first sp-relative access).
+  iregs[kRegSp] = InitialStackPointer(p);
+  mem.LoadProgram(p);
+  sched.SetSlotCount(ruu.capacity());
+  rename.Reset();
+}
+
 Core::Core(const Program& prog, const CoreConfig& config,
            BlockCache* shared_block_cache)
-    : prog_(prog),
-      config_(config),
+    : Core(std::vector<const Program*>{&prog}, config, shared_block_cache) {}
+
+Core::Core(const std::vector<const Program*>& progs, const CoreConfig& config,
+           BlockCache* shared_block_cache)
+    : config_(config),
+      num_main_(static_cast<std::uint32_t>(progs.size())),
       hier_(config.mem),
       bpred_(config.bpred),
       stride_(config.stride_prefetch),
-      ifq_(config.ifq_size),
-      fetch_pc_(prog.entry),
-      bcache_(shared_block_cache != nullptr ? shared_block_cache
-                                            : &own_bcache_),
-      ruu_(config.ruu_size),
-      pt_(config.spear.enabled ? PThreadTable(prog.pthreads)
-                               : PThreadTable()),
-      pctx_(&mem_),
+      pctx_(nullptr),
       pruu_(config.spear.pthread_ruu_size) {
-  iregs_.fill(0);
-  fregs_.fill(0.0);
-  // Match the functional emulator's ABI (same relocation rules, or the
-  // lockstep cosim would diverge on the first sp-relative access).
-  iregs_[kRegSp] = InitialStackPointer(prog);
-  mem_.LoadProgram(prog);
-  // Bake the pre-decoder's PT marks into the decoded records exactly when
-  // the per-instruction pre-decoder would consult the PT.
-  bcache_->Attach(prog_,
-                  config_.spear.enabled && !pt_.empty() ? &pt_ : nullptr);
-  sched_.SetSlotCount(ruu_.capacity());
+  SPEAR_CHECK(!progs.empty() && progs.size() < 250);
+  SPEAR_CHECK(shared_block_cache == nullptr || progs.size() == 1);
+  // Each context gets an equal share of the front-end queue and the RUU.
+  // At N=1 the shares are the full structures, preserving the historical
+  // single-thread geometry exactly.
+  const auto n = static_cast<std::uint32_t>(progs.size());
+  const std::uint32_t ifq_cap = config.ifq_size / n;
+  const std::uint32_t ruu_cap = config.ruu_size / n;
+  SPEAR_CHECK(ifq_cap >= 1 && ruu_cap >= 1);
+  threads_.reserve(progs.size());
+  for (std::uint32_t i = 0; i < n; ++i) {
+    threads_.push_back(
+        std::make_unique<ThreadCtx>(*progs[i], ifq_cap, ruu_cap, i));
+    ThreadCtx& t = *threads_.back();
+    t.pt = config.spear.enabled ? PThreadTable(progs[i]->pthreads)
+                                : PThreadTable();
+    t.bcache = (shared_block_cache != nullptr && i == 0) ? shared_block_cache
+                                                         : &t.own_bcache;
+    // Bake the pre-decoder's PT marks into the decoded records exactly
+    // when the per-instruction pre-decoder would consult the PT.
+    t.bcache->Attach(*t.prog,
+                     config_.spear.enabled && !t.pt.empty() ? &t.pt : nullptr);
+  }
+  // The p-thread reads its session owner's memory; rebind happens at every
+  // live-in snapshot. Seed with thread 0 (the only owner at N=1).
+  pctx_.RebindMemory(&threads_[0]->mem);
   psched_.SetSlotCount(pruu_.capacity());
-  rename_.Reset();
   prename_.Reset();
+  // One cache-counter slot per main thread + one for the p-thread.
+  hier_.l1d().ConfigureThreadSlots(num_main_ + 1);
+  hier_.l2().ConfigureThreadSlots(num_main_ + 1);
 }
 
 void Core::InstallWarmState(const WarmState& ws) {
-  SPEAR_CHECK(now_ == 0 && stats_.committed == 0 && ifq_.empty() &&
-              ruu_.empty());
+  SPEAR_CHECK(num_main_ == 1);
+  ThreadCtx& t = *threads_[0];
+  SPEAR_CHECK(now_ == 0 && stats_.committed == 0 && t.ifq.empty() &&
+              t.ruu.empty());
   // Checkpoints (SPCK) carry no scheduler state on purpose: install is
   // only legal before the first cycle, where the event scheduler is
   // reconstructible as "all empty". Keep that contract checked.
-  SPEAR_CHECK(sched_.empty() && psched_.empty());
-  SPEAR_CHECK(prog_.ContainsPc(ws.pc));
-  iregs_ = ws.iregs;
-  fregs_ = ws.fregs;
-  fetch_pc_ = ws.pc;
-  mem_.CopyFrom(ws.mem);
+  SPEAR_CHECK(t.sched.empty() && psched_.empty());
+  SPEAR_CHECK(t.prog->ContainsPc(ws.pc));
+  t.iregs = ws.iregs;
+  t.fregs = ws.fregs;
+  t.fetch_pc = ws.pc;
+  t.mem.CopyFrom(ws.mem);
   SPEAR_CHECK(hier_.l1d().RestoreState(ws.l1d));
   SPEAR_CHECK(hier_.l2().RestoreState(ws.l2));
   SPEAR_CHECK(bpred_.RestoreState(ws.bpred));
+}
+
+ThreadResult Core::thread_result(std::uint32_t t) const {
+  const ThreadCtx& ctx = *threads_[t];
+  ThreadResult r;
+  r.committed = ctx.committed;
+  r.cycles = ctx.halted ? ctx.halt_cycle : now_;
+  r.halted = ctx.halted;
+  return r;
+}
+
+bool Core::in_session() const {
+  return trigger_state_ != TriggerState::kNormal;
 }
 
 // ---------------------------------------------------------------------------
@@ -234,7 +277,9 @@ void Core::StepCycle() {
           : 0;
   Dispatch(budget);
   Fetch();
-  telem_.ifq_occupancy.Add(ifq_.size());
+  std::size_t ifq_occ = 0;
+  for (const auto& t : threads_) ifq_occ += t->ifq.size();
+  telem_.ifq_occupancy.Add(ifq_occ);
 }
 
 RunResult Core::Run(std::uint64_t max_instrs, std::uint64_t max_cycles) {
@@ -257,7 +302,9 @@ RunResult Core::Run(std::uint64_t max_instrs, std::uint64_t max_cycles) {
 }
 
 // ---------------------------------------------------------------------------
-// Commit (main thread).
+// Commit (main threads, round-robin-free: every thread gets the full
+// commit width — threads own disjoint RUU partitions, so their commit
+// streams are independent; at N=1 this is the historical loop).
 // ---------------------------------------------------------------------------
 
 // Builds a CommitRecord from a retiring entry and delivers it to the
@@ -266,6 +313,8 @@ RunResult Core::Run(std::uint64_t max_instrs, std::uint64_t max_cycles) {
 // the diverging instruction stays at the RUU head for post-mortems.
 bool Core::DeliverCommit(const RuuEntry& e) {
   if constexpr (!cosim::kCosimCompiled) return true;
+  const ThreadCtx& t =
+      e.tid == pthread_tid() ? owner_ctx() : *threads_[e.tid];
   cosim::CommitRecord rec;
   rec.pc = e.pc;
   rec.instr = e.instr;
@@ -277,8 +326,8 @@ bool Core::DeliverCommit(const RuuEntry& e) {
   rec.store_f64 = e.cosim_store_f64;
   rec.pthread_arch_clobber = e.cosim_arch_clobber;
   rec.cycle = now_;
-  rec.ruu_occupancy = static_cast<std::uint32_t>(ruu_.size());
-  rec.ifq_occupancy = static_cast<std::uint32_t>(ifq_.size());
+  rec.ruu_occupancy = static_cast<std::uint32_t>(t.ruu.size());
+  rec.ifq_occupancy = static_cast<std::uint32_t>(t.ifq.size());
   if (cosim_->OnCommit(rec)) return true;
   cosim_diverged_ = true;
   return false;
@@ -307,11 +356,22 @@ std::vector<Pc> Core::commit_trace() const {
 }
 
 void Core::Commit() {
-  for (std::uint32_t n = 0; n < config_.commit_width && !ruu_.empty(); ++n) {
-    RuuEntry& e = ruu_.Front();
+  for (std::uint32_t ti = 0; ti < num_main_; ++ti) {
+    if (!CommitThread(*threads_[ti])) return;  // divergence: stop everything
+  }
+  bool all_halted = true;
+  for (const auto& t : threads_) all_halted = all_halted && t->halted;
+  halted_ = all_halted;
+}
+
+bool Core::CommitThread(ThreadCtx& t) {
+  if (t.halted) return true;
+  const auto tid = static_cast<ThreadId>(t.index);
+  for (std::uint32_t n = 0; n < config_.commit_width && !t.ruu.empty(); ++n) {
+    RuuEntry& e = t.ruu.Front();
     if (!e.completed) break;
     SPEAR_CHECK(!e.wrongpath);  // wrong-path entries are squashed at recovery
-    if (cosim_ != nullptr && !DeliverCommit(e)) return;
+    if (cosim_ != nullptr && !DeliverCommit(e)) return false;
 
     if (IsCondBranch(e.instr.op)) {
       bpred_.Update(e.pc, e.instr, e.exec.taken, e.exec.next_pc);
@@ -324,19 +384,22 @@ void Core::Commit() {
     }
     if (e.exec.is_load) ++stats_.committed_loads;
     if (e.exec.is_store) ++stats_.committed_stores;
-    if (e.exec.out_value) outputs_.push_back(*e.exec.out_value);
+    if (e.exec.out_value) t.outputs.push_back(*e.exec.out_value);
     if (trace_commits_) RecordTraceCommit(e.pc);
     ++stats_.committed;
+    ++t.committed;
     SPEAR_TRACE_EVENT(trace_, TraceEvent::kCommit, now_,
-                      TraceUid(e.fetch_seq, kMainThread), e.pc, kMainThread);
+                      TraceUid(e.fetch_seq, tid), e.pc, tid);
 
     const bool halt = e.exec.halted;
-    ruu_.PopFront();
+    t.ruu.PopFront();
     if (halt) {
-      halted_ = true;
-      return;
+      t.halted = true;
+      t.halt_cycle = now_;
+      return true;
     }
   }
+  return true;
 }
 
 // ---------------------------------------------------------------------------
@@ -346,15 +409,16 @@ void Core::Commit() {
 // ---------------------------------------------------------------------------
 
 void Core::PThreadRetire() {
+  const ThreadId ptid = pthread_tid();
   while (!pruu_.empty() && pruu_.Front().completed) {
     // Audit the p-thread safety invariant: retires are delivered to the
-    // checker too (tid = kPThread), which asserts no main architectural
-    // state was touched. The oracle is NOT stepped for these.
+    // checker too (tid = pthread_tid()), which asserts no main
+    // architectural state was touched. The oracle is NOT stepped for these.
     if (cosim_ != nullptr && !DeliverCommit(pruu_.Front())) return;
     const bool was_trigger = pruu_.Front().is_trigger_dload;
     SPEAR_TRACE_EVENT(trace_, TraceEvent::kPtRetire, now_,
-                      TraceUid(pruu_.Front().fetch_seq, kPThread),
-                      pruu_.Front().pc, kPThread);
+                      TraceUid(pruu_.Front().fetch_seq, ptid),
+                      pruu_.Front().pc, ptid);
     pruu_.PopFront();
     if (was_trigger) {
       EndPreExec(/*completed=*/true);
@@ -365,12 +429,13 @@ void Core::PThreadRetire() {
 
 // ---------------------------------------------------------------------------
 // Writeback: drain this cycle's completion events (marking completions and
-// waking dependents); resolve at most one mispredicted branch per cycle
-// (the oldest completed one), triggering recovery.
+// waking dependents); resolve at most one mispredicted branch per thread
+// per cycle (the oldest completed one), triggering recovery.
 // ---------------------------------------------------------------------------
 
 void Core::DrainCompletions(EventScheduler& sched,
-                            CircularBuffer<RuuEntry>& buf, ThreadId tid) {
+                            CircularBuffer<RuuEntry>& buf, ThreadId tid,
+                            bool main_thread) {
   std::vector<SchedRef>& bucket = completion_scratch_;
   sched.TakeCompletionsInto(now_, bucket);
   // Everything the old per-cycle writeback scan would have walked and the
@@ -387,7 +452,7 @@ void Core::DrainCompletions(EventScheduler& sched,
     SPEAR_TRACE_EVENT(trace_, TraceEvent::kComplete, now_,
                       TraceUid(e.fetch_seq, tid), e.pc, tid);
     WakeConsumers(sched, buf, r.slot, e.seq);
-    if (tid == kMainThread && e.mispredict && !e.recovery_done) {
+    if (main_thread && e.mispredict && !e.recovery_done) {
       sched.pending_recovery().push_back(r);
     }
   }
@@ -420,19 +485,24 @@ void Core::WakeConsumers(EventScheduler& sched, CircularBuffer<RuuEntry>& buf,
 }
 
 void Core::Writeback() {
-  DrainCompletions(psched_, pruu_, kPThread);
-  DrainCompletions(sched_, ruu_, kMainThread);
+  DrainCompletions(psched_, pruu_, pthread_tid(), /*main_thread=*/false);
+  for (std::uint32_t ti = 0; ti < num_main_; ++ti) {
+    DrainCompletions(threads_[ti]->sched, threads_[ti]->ruu,
+                     static_cast<ThreadId>(ti), /*main_thread=*/true);
+  }
 
-  // Resolve the oldest completed, still-unrecovered mispredict (one per
-  // cycle). Stale refs — branches squashed by an older branch's recovery
-  // — are dropped here.
-  std::vector<SchedRef>& pend = sched_.pending_recovery();
-  if (!pend.empty()) {
+  // Resolve the oldest completed, still-unrecovered mispredict per thread
+  // (one per cycle each). Stale refs — branches squashed by an older
+  // branch's recovery — are dropped here.
+  for (std::uint32_t ti = 0; ti < num_main_; ++ti) {
+    ThreadCtx& t = *threads_[ti];
+    std::vector<SchedRef>& pend = t.sched.pending_recovery();
+    if (pend.empty()) continue;
     std::size_t out = 0;
     for (std::size_t i = 0; i < pend.size(); ++i) {
       const SchedRef r = pend[i];
-      if (!ruu_.SlotLive(r.slot)) continue;
-      const RuuEntry& e = ruu_.Slot(r.slot);
+      if (!t.ruu.SlotLive(r.slot)) continue;
+      const RuuEntry& e = t.ruu.Slot(r.slot);
       if (e.seq != r.seq || e.recovery_done) continue;
       pend[out++] = r;
     }
@@ -444,80 +514,81 @@ void Core::Writeback() {
       }
       const SchedRef r = pend[oldest];
       pend.erase(pend.begin() + static_cast<std::ptrdiff_t>(oldest));
-      RecoverFromMispredict(r.slot);
+      RecoverFromMispredict(t, r.slot);
     }
   }
 }
 
-void Core::RecoverFromMispredict(std::size_t branch_slot) {
-  RuuEntry& branch = ruu_.Slot(branch_slot);
+void Core::RecoverFromMispredict(ThreadCtx& t, std::size_t branch_slot) {
+  const auto tid = static_cast<ThreadId>(t.index);
+  RuuEntry& branch = t.ruu.Slot(branch_slot);
   branch.recovery_done = true;
   ++stats_.mispredict_recoveries;
 
   // Squash everything younger than the branch (all wrong-path). The slot
   // maps straight to the branch's queue position — no head-to-tail rescan.
-  const std::size_t idx = ruu_.LogicalIndex(branch_slot);
-  stats_.squashed_wrongpath += ruu_.size() - idx - 1;
+  const std::size_t idx = t.ruu.LogicalIndex(branch_slot);
+  stats_.squashed_wrongpath += t.ruu.size() - idx - 1;
   if constexpr (telemetry::kTraceCompiled) {
     if (trace_ != nullptr) {
-      for (std::size_t l = idx + 1; l < ruu_.size(); ++l) {
-        const RuuEntry& s = ruu_.At(l);
-        trace_->Record(TraceEvent::kSquash, now_,
-                       TraceUid(s.fetch_seq, kMainThread), s.pc, kMainThread);
+      for (std::size_t l = idx + 1; l < t.ruu.size(); ++l) {
+        const RuuEntry& s = t.ruu.At(l);
+        trace_->Record(TraceEvent::kSquash, now_, TraceUid(s.fetch_seq, tid),
+                       s.pc, tid);
       }
     }
   }
-  ruu_.PopBack(ruu_.size() - idx - 1);
+  t.ruu.PopBack(t.ruu.size() - idx - 1);
 
   // Discard the wrong-path overlay and rebuild rename state. Bumping the
   // epoch orphans every overlay slot at once; nothing is walked.
-  spec_mode_ = false;
-  ++spec_epoch_;
-  spec_mem_count_ = 0;
+  t.spec_mode = false;
+  ++t.spec_epoch;
+  t.spec_mem_count = 0;
   if constexpr (taint::kTaintCompiled) {
     // The observer's wrong-path taint overlay dies with the squash.
     if (taint_ != nullptr) taint_->OnWrongPathEnd();
   }
-  RebuildRenameMap();
+  RebuildRenameMap(t);
   // Drop scheduler references killed by the squash so they cannot pile up
   // across recoveries. (In-flight completion events for squashed entries
   // are validated lazily when their bucket fires — each issued entry owns
   // exactly one event, so those cannot accumulate.)
-  PurgeDeadRefs(sched_, ruu_);
+  PurgeDeadRefs(t.sched, t.ruu);
 
   // Redirect the front end.
-  stats_.ifq_flushed += ifq_.size();
+  stats_.ifq_flushed += t.ifq.size();
   if constexpr (telemetry::kTraceCompiled) {
     if (trace_ != nullptr) {
-      for (std::size_t l = 0; l < ifq_.size(); ++l) {
-        const IfqEntry& fe = ifq_.At(l);
-        trace_->Record(TraceEvent::kSquash, now_,
-                       TraceUid(fe.seq, kMainThread), fe.pc, kMainThread);
+      for (std::size_t l = 0; l < t.ifq.size(); ++l) {
+        const IfqEntry& fe = t.ifq.At(l);
+        trace_->Record(TraceEvent::kSquash, now_, TraceUid(fe.seq, tid),
+                       fe.pc, tid);
       }
     }
   }
-  ifq_.Clear();
-  fetch_pc_ = branch.exec.next_pc;
-  dispatch_halted_ = false;
+  t.ifq.Clear();
+  t.fetch_pc = branch.exec.next_pc;
+  t.dispatch_halted = false;
 
-  // The IFQ flush destroys the in-flight p-thread session. (Letting a
-  // captured session run to completion instead was measured and is
-  // *worse*: the completion tail blocks re-arming, and a fresh session
-  // over the post-recovery window prefetches more than the stale one
-  // finishes — see EXPERIMENTS.md, design notes.)
-  if (trigger_state_ != TriggerState::kNormal) {
+  // The IFQ flush destroys the in-flight p-thread session *of this
+  // thread*. (Letting a captured session run to completion instead was
+  // measured and is *worse*: the completion tail blocks re-arming, and a
+  // fresh session over the post-recovery window prefetches more than the
+  // stale one finishes — see EXPERIMENTS.md, design notes.)
+  if (trigger_state_ != TriggerState::kNormal && session_owner_ == t.index) {
     ++stats_.triggers_aborted;
     EndPreExec(/*completed=*/false);
   }
 }
 
-void Core::RebuildRenameMap() {
-  rename_.Reset();
-  for (std::size_t l = 0; l < ruu_.size(); ++l) {
-    const RuuEntry& e = ruu_.At(l);
+void Core::RebuildRenameMap(ThreadCtx& t) {
+  t.rename.Reset();
+  for (std::size_t l = 0; l < t.ruu.size(); ++l) {
+    const RuuEntry& e = t.ruu.At(l);
     if (auto rd = DestOf(e.instr)) {
-      rename_.slot[*rd] = static_cast<std::int32_t>(ruu_.PhysicalIndex(l));
-      rename_.seq[*rd] = e.seq;
+      t.rename.slot[*rd] = static_cast<std::int32_t>(t.ruu.PhysicalIndex(l));
+      t.rename.seq[*rd] = e.seq;
     }
   }
 }
@@ -546,11 +617,13 @@ void Core::PurgeDeadRefs(EventScheduler& sched, CircularBuffer<RuuEntry>& buf) {
 
 // ---------------------------------------------------------------------------
 // Issue: p-thread entries get scheduling priority (paper Section 3.3);
-// remaining bandwidth goes to the main thread in age order.
+// remaining bandwidth goes to the main threads in age order (round-robin
+// across threads, rotating with the cycle count).
 // ---------------------------------------------------------------------------
 
 bool Core::DepsReady(const RuuEntry& e) const {
-  const CircularBuffer<RuuEntry>& buf = e.tid == kPThread ? pruu_ : ruu_;
+  const CircularBuffer<RuuEntry>& buf =
+      e.tid == pthread_tid() ? pruu_ : threads_[e.tid]->ruu;
   for (int i = 0; i < e.ndeps; ++i) {
     const RuuEntry::SrcDep& d = e.dep[i];
     if (d.slot < 0) continue;
@@ -564,7 +637,13 @@ bool Core::DepsReady(const RuuEntry& e) const {
 }
 
 bool Core::AcquireFu(FuClass fu, ThreadId tid) {
-  FuUse& use = fu_use_[(config_.spear.separate_fu && tid == kPThread) ? 1 : 0];
+  // Pool 1 models FUs the main threads cannot see: the configured separate
+  // p-thread pool, or — for a cross-core session — the donor core's units.
+  const bool pthread = tid == pthread_tid();
+  const std::size_t pool =
+      (pthread && (config_.spear.separate_fu || session_xcore_)) ? 1 : 0;
+  SPEAR_DCHECK(pool < kNumFuPools);
+  FuUse& use = fu_use_[pool];
   switch (fu) {
     case FuClass::kNone:
       return true;
@@ -623,26 +702,34 @@ std::uint32_t Core::ExecLatency(const RuuEntry& e) {
     case FuClass::kFpDiv:
       return lat.fp_div;
     case FuClass::kMemRead: {
-      if (e.tid == kPThread) ++stats_.pthread_loads_issued;
+      const bool pthread = e.tid == pthread_tid();
+      if (pthread) ++stats_.pthread_loads_issued;
+      const std::uint32_t asid = AsidOf(e.tid);
+      // Cross-core sessions run the p-thread on a donor core: its loads
+      // bypass this core's private L1 and warm the shared L2 only.
       const std::uint32_t latency =
-          hier_.AccessData(e.exec.mem_addr, /*write=*/false, e.tid, now_)
-              .latency;
+          (pthread && session_xcore_)
+              ? hier_.AccessDataSkipL1(e.exec.mem_addr, e.tid, now_, asid)
+                    .latency
+              : hier_.AccessData(e.exec.mem_addr, /*write=*/false, e.tid,
+                                 now_, asid)
+                    .latency;
       telem_.access_latency.Add(latency);
       if constexpr (taint::kTaintCompiled) {
         // The demand access only; stride-prefetch probes below are cache
         // warming, not program-observable footprint attribution.
         if (taint_ != nullptr) {
-          taint_->OnCacheAccess(e.exec.mem_addr, e.tid == kPThread,
-                                e.wrongpath);
+          taint_->OnCacheAccess(e.exec.mem_addr, pthread, e.wrongpath);
         }
       }
-      if (config_.stride_prefetch.enabled && e.tid == kMainThread) {
-        // Prefetch traffic is attributed to the helper (kPThread) stats
+      if (config_.stride_prefetch.enabled && !pthread) {
+        // Prefetch traffic is attributed to the helper (p-thread) stats
         // slot so Figure-8-style miss accounting stays demand-only.
         Addr targets[8];
         const int n = stride_.Observe(e.pc, e.exec.mem_addr, targets, 8);
         for (int i = 0; i < n; ++i) {
-          hier_.AccessData(targets[i], /*write=*/false, kPThread, now_);
+          hier_.AccessData(targets[i], /*write=*/false, pthread_tid(), now_,
+                           asid);
           ++stats_.stride_prefetches;
         }
       }
@@ -651,8 +738,9 @@ std::uint32_t Core::ExecLatency(const RuuEntry& e) {
     case FuClass::kMemWrite: {
       // Stores complete after address generation; the cache write happens
       // now. P-thread stores never touch memory or cache (private buffer).
-      if (e.tid == kMainThread) {
-        hier_.AccessData(e.exec.mem_addr, /*write=*/true, e.tid, now_);
+      if (e.tid != pthread_tid()) {
+        hier_.AccessData(e.exec.mem_addr, /*write=*/true, e.tid, now_,
+                         AsidOf(e.tid));
         if constexpr (taint::kTaintCompiled) {
           if (taint_ != nullptr) {
             taint_->OnCacheAccess(e.exec.mem_addr, /*pthread=*/false,
@@ -666,11 +754,15 @@ std::uint32_t Core::ExecLatency(const RuuEntry& e) {
   return 1;
 }
 
-void Core::IssueReady(EventScheduler& sched, CircularBuffer<RuuEntry>& buf) {
+void Core::IssueReady(EventScheduler& sched, CircularBuffer<RuuEntry>& buf,
+                      ThreadCtx& fence_owner, bool pthread_buf) {
   std::vector<SchedRef>& ready = sched.ready();
   stats_.sched_scan_saved +=
       buf.size() > ready.size() ? buf.size() - ready.size() : 0;
   if (ready.empty()) return;
+  // Cross-core sessions spend the donor core's issue bandwidth, not this
+  // core's — the donor is idle, which is why it was granted.
+  const bool count_width = !(pthread_buf && session_xcore_);
   std::size_t out = 0;
   for (std::size_t i = 0; i < ready.size(); ++i) {
     const SchedRef r = ready[i];
@@ -680,14 +772,15 @@ void Core::IssueReady(EventScheduler& sched, CircularBuffer<RuuEntry>& buf) {
     SPEAR_DCHECK(DepsReady(e));
     // BasicBlocker-style fence: a load is speculative until every older
     // branch has resolved, so it may not touch the cache before then. Main-
-    // thread loads wait on older main-RUU branches; p-thread loads are
-    // speculative by construction and wait on the whole main window.
+    // thread loads wait on older branches in their own RUU; p-thread loads
+    // are speculative by construction and wait on the owner's whole window.
     if (config_.fence_spec_loads && IsLoad(e.instr.op)) {
+      const CircularBuffer<RuuEntry>& mruu = fence_owner.ruu;
       const std::size_t limit =
-          e.tid == kPThread ? ruu_.size() : ruu_.LogicalIndex(r.slot);
+          pthread_buf ? mruu.size() : mruu.LogicalIndex(r.slot);
       bool blocked = false;
       for (std::size_t l = 0; l < limit; ++l) {
-        const RuuEntry& older = ruu_.At(l);
+        const RuuEntry& older = mruu.At(l);
         if (IsControl(older.instr.op) && !older.completed) {
           blocked = true;
           break;
@@ -701,7 +794,7 @@ void Core::IssueReady(EventScheduler& sched, CircularBuffer<RuuEntry>& buf) {
     }
     // Width exhaustion short-circuits before the FU probe, mirroring the
     // old scan's early return: FU slots are not consumed past the width.
-    if (issued_this_cycle_ >= config_.issue_width ||
+    if ((count_width && issued_this_cycle_ >= config_.issue_width) ||
         !AcquireFu(GetOpInfo(e.instr.op).fu, e.tid)) {
       ready[out++] = r;  // stays ready; retried next cycle
       continue;
@@ -709,7 +802,7 @@ void Core::IssueReady(EventScheduler& sched, CircularBuffer<RuuEntry>& buf) {
     e.issued = true;
     e.complete_cycle = now_ + ExecLatency(e);
     sched.ScheduleCompletion(now_, e.complete_cycle, r);
-    ++issued_this_cycle_;
+    if (count_width) ++issued_this_cycle_;
     SPEAR_TRACE_EVENT(trace_, TraceEvent::kIssue, now_,
                       TraceUid(e.fetch_seq, e.tid), e.pc, e.tid);
   }
@@ -720,30 +813,56 @@ void Core::Issue() {
   fu_use_[0] = FuUse{};
   fu_use_[1] = FuUse{};
   issued_this_cycle_ = 0;
-  telem_.sched_ready_occupancy.Add(sched_.ready().size() +
-                                   psched_.ready().size());
+  std::size_t ready_occ = psched_.ready().size();
+  for (const auto& t : threads_) ready_occ += t->sched.ready().size();
+  telem_.sched_ready_occupancy.Add(ready_occ);
 
   // P-thread issue waits for the deterministic-state drain and live-in
   // copy to finish; until then extracted entries sit dormant in the
   // p-thread RUU. Once running, the p-thread has scheduling priority.
-  if (trigger_state_ == TriggerState::kPreExec) IssueReady(psched_, pruu_);
-  IssueReady(sched_, ruu_);
+  if (trigger_state_ == TriggerState::kPreExec) {
+    IssueReady(psched_, pruu_, owner_ctx(), /*pthread_buf=*/true);
+  }
+  const auto start = static_cast<std::uint32_t>(now_ % num_main_);
+  for (std::uint32_t i = 0; i < num_main_; ++i) {
+    ThreadCtx& t = *threads_[(start + i) % num_main_];
+    IssueReady(t.sched, t.ruu, t, /*pthread_buf=*/false);
+  }
 }
 
 // ---------------------------------------------------------------------------
-// SPEAR trigger state machine (paper Section 3.2).
+// SPEAR trigger state machine (paper Section 3.2). One session core-wide;
+// session_owner_ names the arming main thread.
 // ---------------------------------------------------------------------------
 
-void Core::ArmTrigger(int spec_index, std::uint64_t dload_seq) {
+void Core::ArmTrigger(ThreadCtx& t, int spec_index, std::uint64_t dload_seq) {
   SPEAR_CHECK(trigger_state_ == TriggerState::kNormal);
+  session_owner_ = t.index;
   active_spec_ = spec_index;
   trigger_dload_seq_ = dload_seq;
-  trigger_dispatch_seq_ = dispatch_seq_;  // drain-to-trigger commit point
+  trigger_dispatch_seq_ = t.dispatch_seq;  // drain-to-trigger commit point
   trigger_captured_ = false;
+  // Cross-core pre-execution (CMP mode): ask the arbiter for an idle donor
+  // core. Granted: the session's p-thread models execution on the donor
+  // (shared-L2-only warming, donor FUs, costlier live-in transfer).
+  // Denied: fall back to the same-core context.
+  session_xcore_ = false;
+  session_donor_ = -1;
+  if (xcore_arb_ != nullptr && config_.spear.xcore_pthreads) {
+    const int donor = xcore_arb_->RequestDonor(core_id_);
+    if (donor >= 0) {
+      session_xcore_ = true;
+      session_donor_ = donor;
+      ++stats_.xcore_sessions;
+    } else {
+      ++stats_.xcore_fallback_same_core;
+    }
+  }
   ++stats_.triggers_fired;
   SPEAR_TRACE_EVENT(trace_, TraceEvent::kTrigger, now_,
-                    TraceUid(dload_seq, kMainThread),
-                    pt_.spec(spec_index).dload_pc, kMainThread,
+                    TraceUid(dload_seq, static_cast<ThreadId>(t.index)),
+                    t.pt.spec(spec_index).dload_pc,
+                    static_cast<ThreadId>(t.index),
                     static_cast<std::uint16_t>(spec_index));
   switch (config_.spear.drain_policy) {
     case TriggerDrainPolicy::kStallDispatch:
@@ -763,38 +882,46 @@ void Core::ArmTrigger(int spec_index, std::uint64_t dload_seq) {
   }
 }
 
-// Copies the live-in registers from the in-order dispatch state into the
-// p-thread context (the value transfer; the per-register cycle cost is
-// modeled by the kCopying countdown).
+// Copies the live-in registers from the owner's in-order dispatch state
+// into the p-thread context (the value transfer; the per-register cycle
+// cost is modeled by the kCopying countdown — higher for cross-core
+// sessions, which ship values to another core).
 void Core::SnapshotLiveIns() {
+  ThreadCtx& o = owner_ctx();
+  pctx_.RebindMemory(&o.mem);
   pctx_.Reset();
   prename_.Reset();
-  const PThreadSpec& spec = pt_.spec(active_spec_);
+  const PThreadSpec& spec = o.pt.spec(active_spec_);
   for (RegId reg : spec.live_ins) {
     if (IsFpReg(reg)) {
-      pctx_.CopyLiveInFp(reg, fregs_[FpIndex(reg)]);
+      pctx_.CopyLiveInFp(reg, o.fregs[FpIndex(reg)]);
     } else {
-      pctx_.CopyLiveInInt(reg, reg == kRegZero ? 0 : iregs_[reg]);
+      pctx_.CopyLiveInInt(reg, reg == kRegZero ? 0 : o.iregs[reg]);
     }
   }
-  copy_remaining_ = static_cast<std::uint32_t>(spec.live_ins.size()) *
-                    config_.spear.copy_cycles_per_reg;
+  const std::uint32_t per_reg = session_xcore_
+                                    ? config_.spear.xcore_copy_cycles_per_reg
+                                    : config_.spear.copy_cycles_per_reg;
+  copy_remaining_ =
+      static_cast<std::uint32_t>(spec.live_ins.size()) * per_reg;
   if constexpr (taint::kTaintCompiled) {
     // The p-thread session inherits exactly the copied registers' taint.
     if (taint_ != nullptr) taint_->OnPThreadSessionStart(spec.live_ins);
   }
   SPEAR_TRACE_EVENT(trace_, TraceEvent::kLiveInCopy, now_,
-                    TraceUid(trigger_dload_seq_, kMainThread), spec.dload_pc,
-                    kMainThread,
+                    TraceUid(trigger_dload_seq_,
+                             static_cast<ThreadId>(o.index)),
+                    spec.dload_pc, static_cast<ThreadId>(o.index),
                     static_cast<std::uint16_t>(spec.live_ins.size()));
 }
 
-// Starts PE scanning at the current IFQ head. Extraction may begin right
-// away (entries buffer in the p-thread RUU); p-thread *issue* is gated on
-// reaching kPreExec.
+// Starts PE scanning at the owner's current IFQ head. Extraction may begin
+// right away (entries buffer in the p-thread RUU); p-thread *issue* is
+// gated on reaching kPreExec.
 void Core::ActivatePe() {
+  ThreadCtx& o = owner_ctx();
   pe_active_ = true;
-  pe_scan_seq_ = ifq_.empty() ? fetch_seq_ : ifq_.Front().seq;
+  pe_scan_seq_ = o.ifq.empty() ? o.fetch_seq : o.ifq.Front().seq;
 }
 
 void Core::BeginCopy() {
@@ -818,15 +945,18 @@ void Core::BeginPreExec() {
 void Core::EndPreExec(bool completed) {
   if constexpr (telemetry::kTraceCompiled) {
     if (trace_ != nullptr) {
-      const Pc dload_pc = active_spec_ >= 0 ? pt_.spec(active_spec_).dload_pc : 0;
+      const ThreadId otid = static_cast<ThreadId>(session_owner_);
+      const Pc dload_pc =
+          active_spec_ >= 0 ? owner_ctx().pt.spec(active_spec_).dload_pc : 0;
       trace_->Record(TraceEvent::kSessionEnd, now_,
-                     TraceUid(trigger_dload_seq_, kMainThread), dload_pc,
-                     kMainThread, completed ? 1 : 0);
+                     TraceUid(trigger_dload_seq_, otid), dload_pc, otid,
+                     completed ? 1 : 0);
       // Whatever is still in the p-thread RUU is discarded with the session.
       for (std::size_t l = 0; l < pruu_.size(); ++l) {
         const RuuEntry& e = pruu_.At(l);
         trace_->Record(TraceEvent::kSquash, now_,
-                       TraceUid(e.fetch_seq, kPThread), e.pc, kPThread);
+                       TraceUid(e.fetch_seq, pthread_tid()), e.pc,
+                       pthread_tid());
       }
     }
   }
@@ -842,6 +972,11 @@ void Core::EndPreExec(bool completed) {
   psched_.Reset();  // every p-thread scheduler ref died with the buffer
   pctx_.Reset();
   copy_remaining_ = 0;
+  if (session_xcore_) {
+    if (xcore_arb_ != nullptr) xcore_arb_->ReleaseDonor(session_donor_);
+    session_xcore_ = false;
+    session_donor_ = -1;
+  }
   if (completed) {
     ++stats_.preexec_sessions_completed;
     if (config_.spear.chaining_trigger) chain_pending_ = true;
@@ -857,13 +992,14 @@ void Core::SpearTriggerTick() {
       break;
     case TriggerState::kDraining: {
       ++stats_.drain_cycles;
+      ThreadCtx& o = owner_ctx();
       bool drained;
       if (config_.spear.drain_policy == TriggerDrainPolicy::kStallDispatch) {
-        drained = ruu_.empty();
-        if (drained) SnapshotLiveIns();  // iregs_ are now committed values
+        drained = o.ruu.empty();
+        if (drained) SnapshotLiveIns();  // iregs are now committed values
       } else {
         // Commit has passed the trigger-time dispatch point.
-        drained = ruu_.empty() || ruu_.Front().seq > trigger_dispatch_seq_;
+        drained = o.ruu.empty() || o.ruu.Front().seq > trigger_dispatch_seq_;
       }
       if (drained) BeginCopy();
       break;
@@ -877,18 +1013,19 @@ void Core::SpearTriggerTick() {
 }
 
 // ---------------------------------------------------------------------------
-// P-thread extraction (the PE). Scans the IFQ from the p-thread head,
-// pulling up to issue_width/2 marked entries per cycle into the p-thread
-// context; clears each indicator; stops at the triggering d-load.
+// P-thread extraction (the PE). Scans the owner's IFQ from the p-thread
+// head, pulling up to issue_width/2 marked entries per cycle into the
+// p-thread context; clears each indicator; stops at the triggering d-load.
 // ---------------------------------------------------------------------------
 
 int Core::ExtractPThread() {
   int extracted = 0;
   const int limit = static_cast<int>(config_.ExtractPerCycle());
+  ThreadCtx& o = owner_ctx();
 
   while (extracted < limit && pe_active_) {
-    if (ifq_.empty()) break;
-    const std::uint64_t front_seq = ifq_.Front().seq;
+    if (o.ifq.empty()) break;
+    const std::uint64_t front_seq = o.ifq.Front().seq;
     if (pe_scan_seq_ < front_seq) {
       // Every IFQ pop advances the scan pointer via MaybeExtractOnPop, so
       // the pointer can never trail the head; if it does, an IFQ pop
@@ -898,8 +1035,8 @@ int Core::ExtractPThread() {
       pe_scan_seq_ = front_seq;
     }
     const std::uint64_t offset = pe_scan_seq_ - front_seq;
-    if (offset >= ifq_.size()) break;  // caught up with fetch; resume later
-    IfqEntry& en = ifq_.At(static_cast<std::size_t>(offset));
+    if (offset >= o.ifq.size()) break;  // caught up with fetch; resume later
+    IfqEntry& en = o.ifq.At(static_cast<std::size_t>(offset));
 
     if (!en.pthread_indicator) {
       ++pe_scan_seq_;
@@ -916,7 +1053,7 @@ int Core::ExtractPThread() {
       if (is_trigger) pe_active_ = false;
       continue;
     }
-    DispatchOne(pruu_, en, kPThread);
+    DispatchOne(pruu_, en, pthread_tid(), o);
     if (is_trigger) {
       pruu_.Back().is_trigger_dload = true;
       trigger_captured_ = true;
@@ -926,7 +1063,7 @@ int Core::ExtractPThread() {
     ++stats_.pthread_extracted;
     ++session_extracted_;
     SPEAR_TRACE_EVENT(trace_, TraceEvent::kPtExtract, now_,
-                      TraceUid(en.seq, kPThread), en.pc, kPThread);
+                      TraceUid(en.seq, pthread_tid()), en.pc, pthread_tid());
   }
   return extracted;
 }
@@ -936,18 +1073,19 @@ int Core::ExtractPThread() {
 // ---------------------------------------------------------------------------
 
 void Core::DispatchOne(CircularBuffer<RuuEntry>& buffer, const IfqEntry& fe,
-                       ThreadId tid) {
+                       ThreadId tid, ThreadCtx& t) {
+  const bool pthread = tid == pthread_tid();
   RuuEntry e;
   e.instr = fe.instr;
   e.pc = fe.pc;
   e.tid = tid;
-  e.seq = tid == kPThread ? ++pdispatch_seq_ : ++dispatch_seq_;
+  e.seq = pthread ? ++pdispatch_seq_ : ++t.dispatch_seq;
   e.fetch_seq = fe.seq;
   e.predicted_next = fe.predicted_next;
   e.pred_taken = fe.pred_taken;
 
-  RenameMap& rm = tid == kPThread ? prename_ : rename_;
-  EventScheduler& sc = tid == kPThread ? psched_ : sched_;
+  RenameMap& rm = pthread ? prename_ : t.rename;
+  EventScheduler& sc = pthread ? psched_ : t.sched;
   const SrcRegs srcs = SourcesOf(fe.instr);
   for (int i = 0; i < srcs.count; ++i) {
     const RegId reg = srcs.reg[i];
@@ -967,9 +1105,9 @@ void Core::DispatchOne(CircularBuffer<RuuEntry>& buffer, const IfqEntry& fe,
     }
   }
 
-  if (tid == kMainThread) {
-    e.wrongpath = spec_mode_;
-    MainState st{this};
+  if (!pthread) {
+    e.wrongpath = t.spec_mode;
+    MainState st{this, &t};
     e.exec = ExecuteInstruction(st, fe.instr, fe.pc);
     if (cosim::kCosimCompiled && cosim_ != nullptr && !e.wrongpath) {
       // Lockstep capture: correct-path dispatch just updated the in-order
@@ -977,21 +1115,21 @@ void Core::DispatchOne(CircularBuffer<RuuEntry>& buffer, const IfqEntry& fe,
       // exactly the values this instruction committed architecturally.
       if (const auto rd = DestOf(fe.instr)) {
         if (IsFpReg(*rd)) {
-          e.cosim_fp_dest = fregs_[FpIndex(*rd)];
+          e.cosim_fp_dest = t.fregs[FpIndex(*rd)];
         } else {
-          e.cosim_int_dest = iregs_[*rd];
+          e.cosim_int_dest = t.iregs[*rd];
         }
       }
       if (e.exec.is_store) {
         switch (fe.instr.op) {
           case Opcode::kSw:
-            e.cosim_store_u32 = mem_.ReadU32(e.exec.mem_addr);
+            e.cosim_store_u32 = t.mem.ReadU32(e.exec.mem_addr);
             break;
           case Opcode::kSb:
-            e.cosim_store_u32 = mem_.ReadU8(e.exec.mem_addr);
+            e.cosim_store_u32 = t.mem.ReadU8(e.exec.mem_addr);
             break;
           case Opcode::kStf:
-            e.cosim_store_f64 = mem_.ReadF64(e.exec.mem_addr);
+            e.cosim_store_f64 = t.mem.ReadF64(e.exec.mem_addr);
             break;
           default:
             break;
@@ -1000,17 +1138,17 @@ void Core::DispatchOne(CircularBuffer<RuuEntry>& buffer, const IfqEntry& fe,
     }
     if (!e.wrongpath && e.exec.next_pc != fe.predicted_next) {
       e.mispredict = true;
-      spec_mode_ = true;  // younger dispatches go to the overlay
+      t.spec_mode = true;  // younger dispatches go to the overlay
     }
-    if (IsHalt(fe.instr.op)) dispatch_halted_ = true;
+    if (IsHalt(fe.instr.op)) t.dispatch_halted = true;
     ++stats_.dispatched_main;
     if (e.wrongpath) ++stats_.dispatched_wrongpath;
     SPEAR_TRACE_EVENT(trace_, TraceEvent::kDispatch, now_,
-                      TraceUid(fe.seq, kMainThread), fe.pc, kMainThread,
+                      TraceUid(fe.seq, tid), fe.pc, tid,
                       e.wrongpath ? 1 : 0);
   } else if (cosim::kCosimCompiled && cosim_ != nullptr) {
     // P-thread invariant probe: snapshot the would-be destination in the
-    // *main* register file around the p-thread execution. PThreadContext
+    // *owner's* register file around the p-thread execution. PThreadContext
     // routes all effects into its private registers and store buffer, so
     // any change here is a safety-invariant violation the checker flags at
     // retire. (P-thread stores structurally cannot reach dispatch memory;
@@ -1020,9 +1158,9 @@ void Core::DispatchOne(CircularBuffer<RuuEntry>& buffer, const IfqEntry& fe,
     double before_fp = 0.0;
     if (rd) {
       if (IsFpReg(*rd)) {
-        before_fp = fregs_[FpIndex(*rd)];
+        before_fp = t.fregs[FpIndex(*rd)];
       } else {
-        before_int = iregs_[*rd];
+        before_int = t.iregs[*rd];
       }
     }
     e.exec = ExecuteInstruction(pctx_, fe.instr, fe.pc);
@@ -1032,10 +1170,10 @@ void Core::DispatchOne(CircularBuffer<RuuEntry>& buffer, const IfqEntry& fe,
         // compare equal to itself.
         std::uint64_t was, now;
         __builtin_memcpy(&was, &before_fp, sizeof(was));
-        __builtin_memcpy(&now, &fregs_[FpIndex(*rd)], sizeof(now));
+        __builtin_memcpy(&now, &t.fregs[FpIndex(*rd)], sizeof(now));
         e.cosim_arch_clobber = was != now;
       } else {
-        e.cosim_arch_clobber = iregs_[*rd] != before_int;
+        e.cosim_arch_clobber = t.iregs[*rd] != before_int;
       }
     }
   } else {
@@ -1044,7 +1182,7 @@ void Core::DispatchOne(CircularBuffer<RuuEntry>& buffer, const IfqEntry& fe,
 
   if constexpr (taint::kTaintCompiled) {
     if (taint_ != nullptr) {
-      if (tid == kPThread) {
+      if (pthread) {
         taint_->OnPThreadExec(fe.instr, e.exec);
       } else {
         taint_->OnMainExec(fe.instr, e.exec, e.wrongpath);
@@ -1075,13 +1213,13 @@ void Core::DispatchOne(CircularBuffer<RuuEntry>& buffer, const IfqEntry& fe,
   }
 }
 
-// A marked entry leaving the IFQ through main dispatch passes the shared
-// decoder, where the PE can still capture it for the p-thread (dual
+// A marked entry leaving the owner's IFQ through main dispatch passes the
+// shared decoder, where the PE can still capture it for the p-thread (dual
 // delivery). If the p-thread RUU has no room the instance is lost — the
 // main thread is executing it anyway, so only prefetch reach is affected,
 // never correctness.
-void Core::MaybeExtractOnPop(const IfqEntry& fe) {
-  if (!pe_active_) return;
+void Core::MaybeExtractOnPop(ThreadCtx& t, const IfqEntry& fe) {
+  if (!pe_active_ || t.index != session_owner_) return;
   if (fe.seq < pe_scan_seq_) return;  // PE already scanned this entry
   // Advance the scan pointer past every unscanned pop, marked or not.
   // Unmarked pops used to skip this (the early indicator check), leaving
@@ -1105,11 +1243,11 @@ void Core::MaybeExtractOnPop(const IfqEntry& fe) {
     }
     return;
   }
-  DispatchOne(pruu_, fe, kPThread);
+  DispatchOne(pruu_, fe, pthread_tid(), t);
   ++stats_.pthread_extracted;
   ++session_extracted_;
   SPEAR_TRACE_EVENT(trace_, TraceEvent::kPtExtract, now_,
-                    TraceUid(fe.seq, kPThread), fe.pc, kPThread);
+                    TraceUid(fe.seq, pthread_tid()), fe.pc, pthread_tid());
   if (is_trigger) {
     pruu_.Back().is_trigger_dload = true;
     trigger_captured_ = true;
@@ -1117,43 +1255,60 @@ void Core::MaybeExtractOnPop(const IfqEntry& fe) {
   }
 }
 
-void Core::Dispatch(std::uint32_t budget) {
+void Core::DispatchThread(ThreadCtx& t, std::uint32_t& budget) {
+  if (t.halted) return;
   if (config_.spear.drain_policy == TriggerDrainPolicy::kStallDispatch &&
       (trigger_state_ == TriggerState::kDraining ||
-       trigger_state_ == TriggerState::kCopying)) {
-    // Stall-dispatch trigger policy: main dispatch holds so the RUU reaches
-    // a deterministic (fully committed) state for the live-in copy.
+       trigger_state_ == TriggerState::kCopying) &&
+      session_owner_ == t.index) {
+    // Stall-dispatch trigger policy: the owner's dispatch holds so its RUU
+    // reaches a deterministic (fully committed) state for the live-in copy.
     ++stats_.dispatch_stall_trigger;
     return;
   }
-  while (budget > 0 && !dispatch_halted_ && !ifq_.empty()) {
-    if (ruu_.full()) {
+  while (budget > 0 && !t.dispatch_halted && !t.ifq.empty()) {
+    if (t.ruu.full()) {
       ++stats_.dispatch_stall_ruu_full;
       break;
     }
-    const IfqEntry fe = ifq_.PopFront();
-    MaybeExtractOnPop(fe);
-    DispatchOne(ruu_, fe, kMainThread);
+    const IfqEntry fe = t.ifq.PopFront();
+    MaybeExtractOnPop(t, fe);
+    DispatchOne(t.ruu, fe, static_cast<ThreadId>(t.index), t);
     --budget;
   }
 }
 
+void Core::Dispatch(std::uint32_t budget) {
+  // Decode bandwidth is shared; the serving order rotates with the cycle
+  // count so no thread starves. At N=1 thread 0 always gets the full
+  // budget, exactly the historical single-thread loop.
+  const auto start = static_cast<std::uint32_t>(now_ % num_main_);
+  for (std::uint32_t i = 0; i < num_main_ && budget > 0; ++i) {
+    DispatchThread(*threads_[(start + i) % num_main_], budget);
+  }
+}
+
 // ---------------------------------------------------------------------------
-// Fetch + pre-decode. Follows the predicted path, breaks after a
-// predicted-taken control instruction, marks p-thread indicators and
-// detects trigger conditions (d-load pre-decoded AND IFQ at least half
-// full).
+// Fetch + pre-decode. ICOUNT thread choice: the eligible thread with the
+// fewest in-flight instructions (IFQ + RUU occupancy) fetches this cycle —
+// ties go to the lowest tid, so N=1 always picks thread 0. Fetch follows
+// the predicted path, breaks after a predicted-taken control instruction,
+// marks p-thread indicators and detects trigger conditions (d-load
+// pre-decoded AND the thread's IFQ share at least half full).
 // ---------------------------------------------------------------------------
 
-void Core::Fetch() {
-  for (std::uint32_t n = 0; n < config_.fetch_width && !ifq_.full(); ++n) {
+void Core::FetchThread(ThreadCtx& t) {
+  const auto tid = static_cast<ThreadId>(t.index);
+  const auto trig_occ = static_cast<std::uint32_t>(
+      t.ifq.capacity() / config_.spear.trigger_occupancy_div);
+  for (std::uint32_t n = 0; n < config_.fetch_width && !t.ifq.full(); ++n) {
     IfqEntry fe;
     bool is_control;
     if (kBlockCacheEnabled) {
       // One decoded-record lookup replaces the per-fetch text containment
       // check, text-table read, opcode-table probe and the two PT hash
       // probes of the pre-decoder — the marks were baked in at decode.
-      const DecodedInstr* rec = bcache_->Record(fetch_pc_);
+      const DecodedInstr* rec = t.bcache->Record(t.fetch_pc);
       if (rec == nullptr) break;  // stalled (wrong path / end)
       fe.instr = rec->instr;
       is_control = rec->is_control();
@@ -1161,48 +1316,66 @@ void Core::Fetch() {
       fe.dload_spec = rec->dload_spec;
     } else {
       // Per-instruction probe path (-DSPEAR_ENABLE_BLOCK_CACHE=0).
-      if (!prog_.ContainsPc(fetch_pc_)) break;  // stalled (wrong path / end)
-      fe.instr = prog_.At(fetch_pc_);
+      if (!t.prog->ContainsPc(t.fetch_pc)) break;  // stalled (wrong path / end)
+      fe.instr = t.prog->At(t.fetch_pc);
       is_control = IsControl(fe.instr.op);
-      if (config_.spear.enabled && !pt_.empty()) {  // pre-decoder (PD)
-        fe.pthread_indicator = pt_.InAnySlice(fetch_pc_);
-        fe.dload_spec = pt_.DloadSpec(fetch_pc_);
+      if (config_.spear.enabled && !t.pt.empty()) {  // pre-decoder (PD)
+        fe.pthread_indicator = t.pt.InAnySlice(t.fetch_pc);
+        fe.dload_spec = t.pt.DloadSpec(t.fetch_pc);
       }
     }
 
-    fe.pc = fetch_pc_;
-    fe.seq = fetch_seq_++;
+    fe.pc = t.fetch_pc;
+    fe.seq = t.fetch_seq++;
     bool taken = false;
     if (is_control) {
-      const BranchPrediction p = bpred_.Predict(fetch_pc_, fe.instr);
+      const BranchPrediction p = bpred_.Predict(t.fetch_pc, fe.instr);
       fe.pred_taken = p.taken;
       fe.predicted_next = p.target;
       taken = p.taken;
     } else {
-      fe.predicted_next = fetch_pc_ + kInstrBytes;
+      fe.predicted_next = t.fetch_pc + kInstrBytes;
     }
 
-    ifq_.PushBack(fe);
+    t.ifq.PushBack(fe);
     ++stats_.fetched;
     SPEAR_TRACE_EVENT(trace_, TraceEvent::kFetch, now_,
-                      TraceUid(fe.seq, kMainThread), fe.pc, kMainThread);
+                      TraceUid(fe.seq, tid), fe.pc, tid);
 
     if (fe.dload_spec >= 0 && config_.spear.enabled) {
-      if (trigger_state_ == TriggerState::kNormal &&
-          (ifq_.size() >= config_.TriggerOccupancy() || chain_pending_)) {
-        if (chain_pending_ && ifq_.size() < config_.TriggerOccupancy()) {
+      if (donating_) {
+        // This core's p-thread context is reserved by a neighbor.
+        ++stats_.triggers_suppressed_donor;
+      } else if (trigger_state_ == TriggerState::kNormal &&
+                 (t.ifq.size() >= trig_occ || chain_pending_)) {
+        if (chain_pending_ && t.ifq.size() < trig_occ) {
           ++stats_.chained_triggers;
         }
         chain_pending_ = false;
-        ArmTrigger(fe.dload_spec, fe.seq);
+        ArmTrigger(t, fe.dload_spec, fe.seq);
       } else if (trigger_state_ == TriggerState::kNormal) {
         ++stats_.triggers_suppressed_occupancy;
       }
     }
 
-    fetch_pc_ = fe.predicted_next;
+    t.fetch_pc = fe.predicted_next;
     if (taken) break;  // one taken control flow break per cycle
   }
+}
+
+void Core::Fetch() {
+  ThreadCtx* pick = nullptr;
+  std::size_t best = 0;
+  for (const auto& up : threads_) {
+    ThreadCtx& t = *up;
+    if (t.halted) continue;
+    const std::size_t inflight = t.ifq.size() + t.ruu.size();
+    if (pick == nullptr || inflight < best) {
+      pick = &t;
+      best = inflight;
+    }
+  }
+  if (pick != nullptr) FetchThread(*pick);
 }
 
 }  // namespace spear

@@ -3,13 +3,23 @@
 // StatRegistry under the component-scoped namespaces the stats schema
 // documents: core.*, mem.*, bpred.*, spear.*. The registry holds live
 // pointers and formulas capture `this`, so the core must outlive any read
-// of the registry.
+// of the registry. RegisterStatsPrefixed scopes the same tree under a
+// per-core prefix ("core0.") for CMP documents.
+#include <string>
+
 #include "cpu/core.h"
 
 namespace spear {
 
 void Core::RegisterStats(telemetry::StatRegistry& reg) const {
+  RegisterStatsPrefixed(reg, "");
+}
+
+void Core::RegisterStatsPrefixed(telemetry::StatRegistry& reg,
+                                 const std::string& prefix) const {
   const CoreStats& s = stats_;
+  const std::string saved = reg.prefix();
+  reg.SetPrefix(saved + prefix);
 
   // ---- core: cycles and the pipeline stages ----
   reg.BindCounter("core.cycles", &s.cycles, "elapsed clock cycles");
@@ -43,13 +53,28 @@ void Core::RegisterStats(telemetry::StatRegistry& reg) const {
                   "RUU walk steps the event scheduler avoided");
   reg.BindDistribution("core.sched.ready_occupancy",
                        &telem_.sched_ready_occupancy,
-                       "ready-queue entries (both threads), per cycle");
+                       "ready-queue entries (all threads), per cycle");
   reg.AddFormula(
       "core.ipc",
       [&s] {
         return telemetry::SafeRatio(s.committed, s.cycles);
       },
       "committed main-thread instructions per cycle");
+
+  // ---- per-thread telemetry: only bound for multiprogram cores, so
+  // single-program stats documents stay byte-identical to the reference
+  // set. Thread t's IPC uses its own halt cycle (a thread that finished
+  // early is not charged the co-runners' tail cycles).
+  if (num_main_ > 1) {
+    for (std::uint32_t t = 0; t < num_main_; ++t) {
+      const std::string tp = "core.thread" + std::to_string(t);
+      reg.BindCounter(tp + ".committed", &threads_[t]->committed,
+                      "instructions committed by this context");
+      reg.AddFormula(
+          tp + ".ipc", [this, t] { return thread_result(t).Ipc(); },
+          "per-thread IPC over its own active cycles");
+    }
+  }
 
   // ---- bpred: prediction volume and commit-time accuracy ----
   bpred_.RegisterStats(reg);
@@ -79,7 +104,7 @@ void Core::RegisterStats(telemetry::StatRegistry& reg) const {
   }
 
   // ---- spear: trigger, sessions, extraction ----
-  pt_.RegisterStats(reg);
+  threads_[0]->pt.RegisterStats(reg);
   reg.BindCounter("spear.trigger.fired", &s.triggers_fired);
   reg.BindCounter("spear.trigger.suppressed_occupancy",
                   &s.triggers_suppressed_occupancy,
@@ -103,6 +128,21 @@ void Core::RegisterStats(telemetry::StatRegistry& reg) const {
   reg.BindCounter("spear.cycles.drain", &s.drain_cycles);
   reg.BindCounter("spear.cycles.copy", &s.copy_cycles);
   reg.BindCounter("spear.cycles.preexec", &s.preexec_cycles);
+
+  // ---- cross-core pre-execution: only bound when an arbiter is attached
+  // (CMP mode), so single-core documents are unchanged.
+  if (xcore_arb_ != nullptr) {
+    reg.BindCounter("spear.xcore.sessions", &s.xcore_sessions,
+                    "sessions granted a donor core");
+    reg.BindCounter("spear.xcore.fallback_same_core",
+                    &s.xcore_fallback_same_core,
+                    "no idle donor: session ran on the triggering core");
+    reg.BindCounter("spear.xcore.suppressed_donor",
+                    &s.triggers_suppressed_donor,
+                    "own triggers suppressed while donating the p-thread");
+  }
+
+  reg.SetPrefix(saved);
 }
 
 }  // namespace spear

@@ -137,8 +137,18 @@ class EventScheduler {
   }
 
   // ---- per-producer-slot wakeup table ------------------------------------
-  // Sized once to the owning RUU's slot count (Core construction).
-  void SetSlotCount(std::size_t slots) { wakeup_.resize(slots); }
+  // Sized to the owning RUU's slot count at Core construction and
+  // re-validated on every attach: a scheduler reused with a *smaller* RUU
+  // geometry must not keep stale high slots around (waiters(slot) would
+  // pass its bounds check against the old, larger table and index wakeup
+  // state no live RUU slot backs). assign() both resizes and clears, so an
+  // attach is always a clean slate.
+  void SetSlotCount(std::size_t slots) {
+    SPEAR_DCHECK(empty());
+    wakeup_.assign(slots, {});
+  }
+
+  std::size_t slot_count() const { return wakeup_.size(); }
 
   std::vector<Waiter>& waiters(std::size_t producer_slot) {
     SPEAR_DCHECK(producer_slot < wakeup_.size());

@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "cosim/cosim.h"
+#include "cpu/cmp.h"
 
 namespace spear {
 
@@ -82,6 +83,142 @@ RunStats RunConfig(const Program& prog, const CoreConfig& config,
     s.lines_spec_only = taint_obs->SpecOnlyLines();
   }
   return s;
+}
+
+namespace {
+
+// Weighted speedup and harmonic-mean fairness from per-context mix IPCs
+// and the matching solo IPCs (Snavely & Tullsen / Luo et al. metrics).
+void FillDerivedMetrics(MixRunStats& s, const std::vector<double>& solo) {
+  double ws = 0.0;
+  double inv_sum = 0.0;
+  for (std::size_t i = 0; i < s.threads.size(); ++i) {
+    const double mix = s.threads[i].ipc;
+    const double ref = solo[i];
+    if (ref > 0.0) ws += mix / ref;
+    if (mix > 0.0) inv_sum += ref / mix;
+  }
+  s.weighted_speedup = ws;
+  s.hmean_fairness =
+      inv_sum > 0.0 ? static_cast<double>(s.threads.size()) / inv_sum : 0.0;
+}
+
+}  // namespace
+
+MixRunStats RunMix(const std::vector<const Program*>& progs,
+                   const std::vector<std::string>& names,
+                   const CoreConfig& config, const EvalOptions& options,
+                   std::uint32_t cores, const std::vector<double>* solo_ipcs) {
+  SPEAR_CHECK(!progs.empty() && names.size() == progs.size());
+  SPEAR_CHECK(cores == 1 || cores == progs.size());
+  MixRunStats s;
+  s.threads.resize(progs.size());
+
+  auto fill_thread = [&](std::size_t i, const ThreadResult& tr) {
+    ThreadRunStats& t = s.threads[i];
+    t.name = names[i];
+    t.committed = tr.committed;
+    t.cycles = tr.cycles;
+    t.ipc = tr.Ipc();
+    t.halted = tr.halted;
+  };
+
+  if (cores == 1) {
+    // SMT mix: every program is a context on one core.
+    Core core(progs, config);
+    std::unique_ptr<cosim::CosimChecker> checker;
+    if (config.cosim_check) {
+      cosim::CosimChecker::Config cc;
+      cc.inject_at = options.cosim_inject_at;
+      cc.inject_tid = options.cosim_inject_tid;
+      checker = std::make_unique<cosim::CosimChecker>(progs, cc);
+      core.set_cosim(checker.get());
+    }
+    const RunResult rr =
+        core.Run(options.sim_instrs * progs.size(), options.max_cycles);
+    s.cycles = rr.cycles;
+    s.instructions = rr.instructions;
+    s.throughput_ipc = rr.Ipc();
+    for (std::size_t i = 0; i < progs.size(); ++i) {
+      fill_thread(i, core.thread_result(static_cast<std::uint32_t>(i)));
+    }
+    s.complete = rr.halted || s.instructions >= options.sim_instrs * progs.size();
+    if (checker != nullptr) {
+      s.cosim_checked = checker->stats().commits_checked +
+                        checker->stats().pthread_commits_checked;
+      s.cosim_diverged = !checker->ok();
+      if (s.cosim_diverged) {
+        s.cosim_summary = checker->Summary();
+        s.cosim_report = checker->Report();
+        s.complete = false;
+      }
+    }
+  } else {
+    // CMP: one program per core, shared L2, lockstep stepping.
+    CmpSystem cmp(progs, config);
+    if (config.cosim_check) {
+      cosim::CosimChecker::Config cc;
+      cc.inject_at = options.cosim_inject_at;
+      cmp.EnableCosim(cc, options.cosim_inject_tid);
+    }
+    const RunResult rr = cmp.Run(options.sim_instrs, options.max_cycles);
+    s.cycles = rr.cycles;
+    s.instructions = rr.instructions;
+    s.throughput_ipc = rr.Ipc();
+    bool complete = true;
+    for (std::size_t i = 0; i < progs.size(); ++i) {
+      const ThreadResult tr = cmp.core(i).thread_result(0);
+      fill_thread(i, tr);
+      complete = complete &&
+                 (tr.halted || tr.committed >= options.sim_instrs);
+    }
+    s.complete = complete;
+    if (config.cosim_check) {
+      s.cosim_checked = cmp.cosim_checked();
+      s.cosim_diverged = cmp.cosim_diverged();
+      if (s.cosim_diverged) {
+        s.cosim_report = cmp.CosimReport();
+        s.cosim_summary = "cosim divergence (see report)";
+        s.complete = false;
+      }
+    }
+  }
+
+  if (solo_ipcs != nullptr && solo_ipcs->size() == s.threads.size()) {
+    FillDerivedMetrics(s, *solo_ipcs);
+  }
+  return s;
+}
+
+telemetry::JsonValue MixRunStatsToJson(const MixRunStats& s) {
+  telemetry::JsonValue o = telemetry::JsonValue::Object();
+  o.Set("cycles", telemetry::JsonValue(static_cast<std::int64_t>(s.cycles)));
+  o.Set("instructions",
+        telemetry::JsonValue(static_cast<std::int64_t>(s.instructions)));
+  o.Set("throughput_ipc", telemetry::JsonValue(s.throughput_ipc));
+  telemetry::JsonValue threads = telemetry::JsonValue::Array();
+  for (const ThreadRunStats& t : s.threads) {
+    telemetry::JsonValue row = telemetry::JsonValue::Object();
+    row.Set("name", telemetry::JsonValue(t.name));
+    row.Set("committed",
+            telemetry::JsonValue(static_cast<std::int64_t>(t.committed)));
+    row.Set("cycles", telemetry::JsonValue(static_cast<std::int64_t>(t.cycles)));
+    row.Set("ipc", telemetry::JsonValue(t.ipc));
+    row.Set("halted", telemetry::JsonValue(t.halted));
+    threads.Append(std::move(row));
+  }
+  o.Set("threads", std::move(threads));
+  if (s.weighted_speedup != 0.0 || s.hmean_fairness != 0.0) {
+    o.Set("weighted_speedup", telemetry::JsonValue(s.weighted_speedup));
+    o.Set("hmean_fairness", telemetry::JsonValue(s.hmean_fairness));
+  }
+  o.Set("complete", telemetry::JsonValue(s.complete));
+  if (s.cosim_checked > 0 || s.cosim_diverged) {
+    o.Set("cosim_checked",
+          telemetry::JsonValue(static_cast<std::int64_t>(s.cosim_checked)));
+    o.Set("cosim_diverged", telemetry::JsonValue(s.cosim_diverged));
+  }
+  return o;
 }
 
 telemetry::JsonValue RunStatsToJson(const RunStats& s) {

@@ -25,6 +25,12 @@ struct EvalOptions {
   // dynamic instruction counts toward sampled billion-instruction runs.
   int scale = 1;
   CompilerOptions compiler;
+  // Cosim fault-injection self-test (multiprogram runs; 0 = disabled):
+  // corrupt the Nth checked commit so the checker provably fails. In an
+  // SMT mix `cosim_inject_tid` picks the context (-1 = global count); in
+  // CMP mode it picks the core (-1 = core 0).
+  std::uint64_t cosim_inject_at = 0;
+  int cosim_inject_tid = -1;
 };
 
 // A workload prepared for evaluation: the reference binary for baseline
@@ -95,5 +101,48 @@ RunStats RunConfig(const Program& prog, const CoreConfig& config,
 
 // RunStats as an insertion-ordered JSON object (for bench result files).
 telemetry::JsonValue RunStatsToJson(const RunStats& s);
+
+// ---- multiprogram (SMT mixes and CMP; DESIGN.md §17) ----
+
+// One hardware context's outcome inside a multiprogram run.
+struct ThreadRunStats {
+  std::string name;             // workload name (for mix labels)
+  std::uint64_t committed = 0;
+  Cycle cycles = 0;             // own halt cycle, or total elapsed
+  double ipc = 0.0;
+  bool halted = false;
+};
+
+struct MixRunStats {
+  Cycle cycles = 0;                   // total elapsed
+  std::uint64_t instructions = 0;     // summed over contexts
+  double throughput_ipc = 0.0;        // instructions / cycles
+  std::vector<ThreadRunStats> threads;
+  // Multiprogram figures of merit, filled when `solo_ipcs` was provided:
+  // weighted speedup = sum_i IPC_mix_i / IPC_solo_i, and harmonic-mean
+  // fairness = N / sum_i (IPC_solo_i / IPC_mix_i).
+  double weighted_speedup = 0.0;
+  double hmean_fairness = 0.0;
+  bool complete = false;
+  std::uint64_t cosim_checked = 0;
+  bool cosim_diverged = false;
+  std::string cosim_summary;
+  std::string cosim_report;
+};
+
+// Runs the programs as co-scheduled SMT contexts on one core (SMT mix,
+// `cores == 1`) or as one program per core over a shared L2 (CMP,
+// `cores == progs.size()`); those are the only two supported shapes.
+// `names` labels the per-thread rows; `solo_ipcs` (same order, from prior
+// single-program runs of the same config) enables the derived metrics.
+// The commit budget applies per context. config.cosim_check attaches the
+// per-thread (or per-core) lockstep checkers.
+MixRunStats RunMix(const std::vector<const Program*>& progs,
+                   const std::vector<std::string>& names,
+                   const CoreConfig& config, const EvalOptions& options,
+                   std::uint32_t cores = 1,
+                   const std::vector<double>* solo_ipcs = nullptr);
+
+telemetry::JsonValue MixRunStatsToJson(const MixRunStats& s);
 
 }  // namespace spear

@@ -4,6 +4,8 @@
 // prefetching mechanism, so attribution matters for Figure 8).
 #pragma once
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -40,7 +42,9 @@ class Cache {
  public:
   explicit Cache(const CacheConfig& config)
       : config_(config),
-        lines_(static_cast<std::size_t>(config.sets) * config.assoc) {
+        lines_(static_cast<std::size_t>(config.sets) * config.assoc),
+        hits_(2, 0),
+        misses_(2, 0) {
     SPEAR_CHECK(config.sets > 0 && config.assoc > 0);
     SPEAR_CHECK((config.sets & (config.sets - 1)) == 0);
     SPEAR_CHECK((config.block_bytes & (config.block_bytes - 1)) == 0);
@@ -50,8 +54,15 @@ class Cache {
 
   // Simulates one access. Returns true on hit. On miss the block is
   // allocated (write-allocate for stores too) and the LRU victim evicted.
-  bool Access(Addr addr, bool write, ThreadId tid) {
-    const std::uint64_t block = addr >> block_shift_;
+  // `asid` distinguishes address spaces sharing the cache (CMP shared L2:
+  // each core's program lives at overlapping virtual addresses). It folds
+  // into the tag above bit 32 — Addr is 32 bits wide, so asid bits can
+  // never collide with block bits and asid 0 leaves keys bit-identical to
+  // the historical single-space form. The set index uses only low block
+  // bits, so spaces contend for sets but never alias tags.
+  bool Access(Addr addr, bool write, ThreadId tid, std::uint32_t asid = 0) {
+    const std::uint64_t block = (addr >> block_shift_) |
+                                (static_cast<std::uint64_t>(asid) << 32);
     const std::uint32_t set = static_cast<std::uint32_t>(block) &
                               (config_.sets - 1);
     Line* base = &lines_[static_cast<std::size_t>(set) * config_.assoc];
@@ -62,6 +73,7 @@ class Cache {
       if (line.valid && line.tag == block) {
         line.lru = stamp_;
         line.dirty = line.dirty || write;
+        SPEAR_DCHECK(tid < hits_.size());
         ++hits_[tid];
         return true;
       }
@@ -90,14 +102,16 @@ class Cache {
     victim->tag = block;
     victim->lru = stamp_;
     victim->dirty = write;
+    SPEAR_DCHECK(tid < misses_.size());
     ++misses_[tid];
     return false;
   }
 
   // Non-allocating presence probe (used by tests and by the profiler's
   // would-this-miss queries).
-  bool Contains(Addr addr) const {
-    const std::uint64_t block = addr >> block_shift_;
+  bool Contains(Addr addr, std::uint32_t asid = 0) const {
+    const std::uint64_t block = (addr >> block_shift_) |
+                                (static_cast<std::uint64_t>(asid) << 32);
     const std::uint32_t set = static_cast<std::uint32_t>(block) &
                               (config_.sets - 1);
     const Line* base = &lines_[static_cast<std::size_t>(set) * config_.assoc];
@@ -146,26 +160,66 @@ class Cache {
     return true;
   }
 
+  // Sizes the per-thread counter arrays for `slots` contexts (N main
+  // threads + 1 p-thread slot). The default of 2 preserves the historical
+  // main/p-thread pair; any tid at or beyond the configured count is a
+  // caller bug caught by the DCHECKs in Access. Must run before
+  // RegisterStats (the registry binds counter addresses) and resets the
+  // counters it resizes.
+  void ConfigureThreadSlots(std::size_t slots) {
+    SPEAR_CHECK(slots >= 1);
+    hits_.assign(slots, 0);
+    misses_.assign(slots, 0);
+  }
+
   const CacheConfig& config() const { return config_; }
-  std::uint64_t hits(ThreadId tid) const { return hits_[tid]; }
-  std::uint64_t misses(ThreadId tid) const { return misses_[tid]; }
-  std::uint64_t total_hits() const { return hits_[0] + hits_[1]; }
-  std::uint64_t total_misses() const { return misses_[0] + misses_[1]; }
+  std::size_t thread_slots() const { return hits_.size(); }
+  std::uint64_t hits(ThreadId tid) const {
+    SPEAR_DCHECK(tid < hits_.size());
+    return hits_[tid];
+  }
+  std::uint64_t misses(ThreadId tid) const {
+    SPEAR_DCHECK(tid < misses_.size());
+    return misses_[tid];
+  }
+  std::uint64_t total_hits() const {
+    std::uint64_t total = 0;
+    for (std::uint64_t h : hits_) total += h;
+    return total;
+  }
+  std::uint64_t total_misses() const {
+    std::uint64_t total = 0;
+    for (std::uint64_t m : misses_) total += m;
+    return total;
+  }
   std::uint64_t writebacks() const { return writebacks_; }
 
   void ResetStats() {
-    hits_[0] = hits_[1] = misses_[0] = misses_[1] = 0;
+    std::fill(hits_.begin(), hits_.end(), 0);
+    std::fill(misses_.begin(), misses_.end(), 0);
     writebacks_ = 0;
   }
 
   // Binds this cache's counters under `prefix` (e.g. "mem.l1d"): per-thread
-  // hit/miss attribution, writebacks and a derived demand miss ratio.
+  // hit/miss attribution, writebacks and a derived demand miss ratio. Slot
+  // 0 is `.main` and the last slot is `.pthread` (the p-thread context is
+  // always the highest tid); extra main-thread slots appear as `.t<k>` only
+  // when more than two contexts are configured, so single-program stats
+  // documents are unchanged.
   void RegisterStats(telemetry::StatRegistry& reg,
                      const std::string& prefix) const {
-    reg.BindCounter(prefix + ".hits.main", &hits_[kMainThread]);
-    reg.BindCounter(prefix + ".hits.pthread", &hits_[kPThread]);
-    reg.BindCounter(prefix + ".misses.main", &misses_[kMainThread]);
-    reg.BindCounter(prefix + ".misses.pthread", &misses_[kPThread]);
+    const std::size_t n = hits_.size();
+    const std::size_t pt = n - 1;
+    reg.BindCounter(prefix + ".hits.main", &hits_[0]);
+    for (std::size_t t = 1; t < pt; ++t) {
+      reg.BindCounter(prefix + ".hits.t" + std::to_string(t), &hits_[t]);
+    }
+    reg.BindCounter(prefix + ".hits.pthread", &hits_[pt]);
+    reg.BindCounter(prefix + ".misses.main", &misses_[0]);
+    for (std::size_t t = 1; t < pt; ++t) {
+      reg.BindCounter(prefix + ".misses.t" + std::to_string(t), &misses_[t]);
+    }
+    reg.BindCounter(prefix + ".misses.pthread", &misses_[pt]);
     reg.BindCounter(prefix + ".writebacks", &writebacks_);
     reg.AddFormula(
         prefix + ".miss_ratio",
@@ -176,10 +230,14 @@ class Cache {
         "all-thread misses / accesses");
     reg.AddFormula(
         prefix + ".miss_ratio.main",
-        [this] {
-          return telemetry::SafeRatio(misses_[kMainThread],
-                                      hits_[kMainThread] +
-                                          misses_[kMainThread]);
+        [this, pt] {
+          std::uint64_t h = 0;
+          std::uint64_t m = 0;
+          for (std::size_t t = 0; t < pt; ++t) {
+            h += hits_[t];
+            m += misses_[t];
+          }
+          return telemetry::SafeRatio(m, h + m);
         },
         "demand (main-thread) miss ratio");
   }
@@ -196,8 +254,10 @@ class Cache {
   std::vector<Line> lines_;
   unsigned block_shift_ = 0;
   std::uint64_t stamp_ = 0;
-  std::uint64_t hits_[2] = {0, 0};
-  std::uint64_t misses_[2] = {0, 0};
+  // Per-thread-context hit/miss attribution, indexed by ThreadId. Sized by
+  // ConfigureThreadSlots (default 2: one main thread + the p-thread).
+  std::vector<std::uint64_t> hits_;
+  std::vector<std::uint64_t> misses_;
   std::uint64_t writebacks_ = 0;
 };
 

@@ -124,9 +124,11 @@ const std::set<std::string> kConfigKeys = {
     "extract_per_cycle", "drain_policy",
     "chaining_trigger",  "stride_prefetch",
     "stride_degree",     "dcycle_budget",
-    "taint",             "fence_spec_loads"};
+    "taint",             "fence_spec_loads",
+    "cores",             "xcore_pthreads"};
 
-const std::set<std::string> kJobKeys = {"workload", "config", "debug_hang",
+const std::set<std::string> kJobKeys = {"workload",   "workloads",
+                                        "config",     "debug_hang",
                                         "timeout_ms", "max_retries"};
 
 const std::set<std::string> kDerivedKeys = {"name", "op", "metric", "num",
@@ -217,13 +219,51 @@ void ParseConfig(Ctx& ctx, const JsonValue& obj, const std::string& path,
   c->dcycle_budget = ctx.Num(obj, path, "dcycle_budget", 0.0);
   c->taint = ctx.Bool(obj, path, "taint", false);
   c->fence_spec_loads = ctx.Bool(obj, path, "fence_spec_loads", false);
+  c->cores = static_cast<std::uint32_t>(ctx.U64(obj, path, "cores", 1));
+  if (!ctx.failed() && c->cores < 1) {
+    ctx.Fail(path + ".cores", "must be >= 1");
+    return;
+  }
+  c->xcore_pthreads = ctx.Bool(obj, path, "xcore_pthreads", false);
+  if (!ctx.failed() && c->xcore_pthreads && !c->spear) {
+    ctx.Fail(path + ".xcore_pthreads", "needs spear: true");
+    return;
+  }
+  if (!ctx.failed() && c->xcore_pthreads && c->cores < 2) {
+    ctx.Fail(path + ".xcore_pthreads",
+             "needs a CMP config (cores >= 2) to have a donor core");
+    return;
+  }
 }
 
 void ParseJob(Ctx& ctx, const JsonValue& obj, const std::string& path,
               const Manifest& m, JobSpec* j) {
   ctx.CheckKeys(obj, path, kJobKeys);
   j->workload = ctx.Str(obj, path, "workload");
-  if (!ctx.failed() && j->workload.empty()) {
+  if (const JsonValue* ws = obj.Find("workloads"); ws != nullptr) {
+    if (!ctx.failed() && ws->kind() != JsonValue::Kind::kArray) {
+      ctx.Fail(path + ".workloads", "expected an array");
+      return;
+    }
+    for (std::size_t i = 0; i < ws->items().size(); ++i) {
+      if (ws->items()[i].kind() != JsonValue::Kind::kString) {
+        ctx.Fail(Elem(path + ".workloads", i),
+                 "expected a workload name string");
+        return;
+      }
+      j->workloads.push_back(ws->items()[i].AsString());
+    }
+    if (!ctx.failed() && j->workloads.size() < 2) {
+      ctx.Fail(path + ".workloads",
+               "a mix needs at least two workloads (use 'workload' for one)");
+      return;
+    }
+    if (!ctx.failed() && !j->workload.empty()) {
+      ctx.Fail(path + ".workloads", "mutually exclusive with 'workload'");
+      return;
+    }
+  }
+  if (!ctx.failed() && j->workload.empty() && j->workloads.empty()) {
     ctx.Fail(path + ".workload", "missing or empty");
     return;
   }
@@ -235,6 +275,25 @@ void ParseJob(Ctx& ctx, const JsonValue& obj, const std::string& path,
   }
   if (j->config < 0) {
     ctx.Fail(path + ".config", "no config labeled '" + label + "'");
+    return;
+  }
+  // The only supported topologies: SMT (cores == 1) and one program per
+  // core (cores == mix size). Catch mismatches at parse time, not after
+  // the first N-1 jobs already ran.
+  const std::uint32_t cores = m.configs[j->config].cores;
+  if (j->is_mix()) {
+    if (cores != 1 && cores != j->workloads.size()) {
+      ctx.Fail(path + ".config",
+               "config '" + label + "' has cores=" + std::to_string(cores) +
+                   " but the mix lists " + std::to_string(j->workloads.size()) +
+                   " workloads (want 1 for SMT or one core per program)");
+      return;
+    }
+  } else if (cores != 1) {
+    ctx.Fail(path + ".config",
+             "config '" + label + "' has cores=" + std::to_string(cores) +
+                 " — a single-workload job needs cores=1 (use 'workloads' "
+                 "for a mix)");
     return;
   }
   j->debug_hang = ctx.Bool(obj, path, "debug_hang", false);
@@ -349,6 +408,10 @@ JsonValue ConfigToJson(const ConfigSpec& c) {
   }
   if (c.taint) o.Set("taint", JsonValue(true));
   if (c.fence_spec_loads) o.Set("fence_spec_loads", JsonValue(true));
+  if (c.cores != 1) {
+    o.Set("cores", JsonValue(static_cast<std::int64_t>(c.cores)));
+  }
+  if (c.xcore_pthreads) o.Set("xcore_pthreads", JsonValue(true));
   return o;
 }
 
@@ -370,6 +433,14 @@ std::vector<JobSpec> ExpandJobs(const Manifest& m) {
 }
 
 std::string JobId(const Manifest& m, const JobSpec& job) {
+  if (job.is_mix()) {
+    std::string mix;
+    for (const std::string& w : job.workloads) {
+      if (!mix.empty()) mix += "+";
+      mix += w;
+    }
+    return mix + "/" + m.configs[job.config].label;
+  }
   return job.workload + "/" + m.configs[job.config].label;
 }
 
@@ -443,6 +514,19 @@ bool ParseManifest(const std::string& text, Manifest* out,
   }
   if (!ctx.failed() && m.configs.empty()) {
     ctx.Fail("configs", "a manifest needs at least one config");
+  }
+  // Matrix jobs are single-workload, so a CMP config can only ever be
+  // used by explicit mix jobs; crossing it with the workload list would
+  // produce N invalid jobs.
+  if (!ctx.failed() && !m.workloads.empty()) {
+    for (std::size_t i = 0; i < m.configs.size(); ++i) {
+      if (m.configs[i].cores > 1) {
+        ctx.Fail(Elem("configs", i) + ".cores",
+                 "a multi-core config cannot join the workload matrix; "
+                 "reference it from explicit 'jobs' mixes instead");
+        break;
+      }
+    }
   }
 
   if (const JsonValue* js = doc.Find("jobs"); js != nullptr) {
@@ -521,7 +605,13 @@ telemetry::JsonValue ManifestToJson(const Manifest& m) {
     JsonValue jobs = JsonValue::Array();
     for (const JobSpec& j : m.extra_jobs) {
       JsonValue o = JsonValue::Object();
-      o.Set("workload", JsonValue(j.workload));
+      if (j.is_mix()) {
+        JsonValue ws = JsonValue::Array();
+        for (const std::string& w : j.workloads) ws.Append(JsonValue(w));
+        o.Set("workloads", std::move(ws));
+      } else {
+        o.Set("workload", JsonValue(j.workload));
+      }
       o.Set("config", JsonValue(m.configs[j.config].label));
       if (j.debug_hang) o.Set("debug_hang", JsonValue(true));
       if (j.timeout_ms != 0) o.Set("timeout_ms", JsonValue(j.timeout_ms));
@@ -582,6 +672,7 @@ CoreConfig MakeCoreConfig(const ConfigSpec& c) {
   if (c.stride_degree != 0) cfg.stride_prefetch.degree = c.stride_degree;
   cfg.taint_observe = c.taint;
   cfg.fence_spec_loads = c.fence_spec_loads;
+  cfg.spear.xcore_pthreads = c.xcore_pthreads;
   return cfg;
 }
 

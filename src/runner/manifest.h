@@ -72,6 +72,14 @@ struct ConfigSpec {
   bool fence_spec_loads = false;
   // Compiler knob (affects PrepareWorkload, not the core): 0 = default.
   double dcycle_budget = 0.0;
+  // Multiprogram topology (DESIGN.md §17). cores == 1 runs a mix job's
+  // programs as co-scheduled SMT contexts on one core; cores == N (the
+  // mix size) gives every program a private core over a shared L2.
+  // Single-workload jobs ignore `cores` beyond requiring it to be 1.
+  std::uint32_t cores = 1;
+  // Cross-core pre-execution: p-threads spawn on an idle donor core and
+  // warm the shared L2 only. Needs spear and a CMP config (cores > 1).
+  bool xcore_pthreads = false;
 };
 
 // One run. `config` indexes Manifest::configs. Matrix jobs inherit the
@@ -79,10 +87,17 @@ struct ConfigSpec {
 // makes the worker sleep forever (CI's forced-timeout probe).
 struct JobSpec {
   std::string workload;
+  // Multiprogram mix: `workloads: ["a", "b"]` in place of `workload`.
+  // The programs are co-scheduled (SMT or CMP per the config's `cores`)
+  // and the row carries per-thread stats plus weighted speedup /
+  // harmonic-mean fairness against solo runs of the same config.
+  std::vector<std::string> workloads;
   int config = -1;
   bool debug_hang = false;
   std::uint64_t timeout_ms = 0;  // 0 = inherit defaults
   int max_retries = -1;          // -1 = inherit defaults
+
+  bool is_mix() const { return !workloads.empty(); }
 };
 
 // A metric aggregated over the manifest's workloads from two configs'
@@ -110,6 +125,7 @@ struct Manifest {
 std::vector<JobSpec> ExpandJobs(const Manifest& m);
 
 // "workload/config-label" — the stable identifier used in result rows.
+// Mix jobs join their workload names with '+' ("mcf+art/spear256").
 std::string JobId(const Manifest& m, const JobSpec& job);
 
 // Parses a manifest document. On failure returns false and fills *error

@@ -152,12 +152,91 @@ JsonValue MakeFailureRow(const Manifest& m, const JobSpec& job,
                          const std::string& error) {
   JsonValue row = JsonValue::Object();
   row.Set("id", JsonValue(JobId(m, job)));
-  row.Set("workload", JsonValue(job.workload));
+  if (job.is_mix()) {
+    JsonValue ws = JsonValue::Array();
+    for (const std::string& w : job.workloads) ws.Append(JsonValue(w));
+    row.Set("workloads", std::move(ws));
+  } else {
+    row.Set("workload", JsonValue(job.workload));
+  }
   row.Set("config", JsonValue(m.configs[job.config].label));
   row.Set("failed", JsonValue(true));
   row.Set("error", JsonValue(error));
   return row;
 }
+
+namespace {
+
+// Multiprogram mix row (DESIGN.md §17). The commit budget applies per
+// context; the weighted-speedup / fairness figures compare against solo
+// runs of the same config and budget, computed here with cosim off (the
+// single-program matrix already verifies those runs). Mixes run
+// full-detail from cold state: sampling and fast-forward checkpoints are
+// single-program machinery.
+JobRun ExecuteMixJob(const Manifest& m, const JobSpec& job,
+                     WorkloadCache& cache, const RunnerOptions& opts) {
+  JobRun out;
+  const ConfigSpec& spec = m.configs[job.config];
+  if (m.defaults.sampling.enabled() || m.defaults.ff_instrs > 0) {
+    out.row = MakeFailureRow(
+        m, job, "mix jobs run full-detail from cold state (drop sampling "
+                "and ff_instrs)");
+    out.failed = true;
+    return out;
+  }
+  const EvalOptions options = MakeEvalOptions(m.defaults, spec);
+  CoreConfig cfg = MakeCoreConfig(spec);
+  if (opts.cosim) cfg.cosim_check = true;
+
+  std::vector<const Program*> progs;
+  std::vector<double> solo_ipcs;
+  std::int64_t specs = 0;
+  std::size_t slice_instrs = 0;
+  for (const std::string& w : job.workloads) {
+    const PreparedWorkload& pw = cache.Get(w, options);
+    const Program& prog =
+        ResolveBinary(spec) == "plain" ? pw.plain : pw.annotated;
+    progs.push_back(&prog);
+    specs += static_cast<std::int64_t>(pw.annotated.pthreads.size());
+    for (const PThreadSpec& s : pw.annotated.pthreads) {
+      slice_instrs += s.slice_pcs.size();
+    }
+    CoreConfig solo_cfg = cfg;
+    solo_cfg.cosim_check = false;
+    solo_ipcs.push_back(RunConfig(prog, solo_cfg, options).ipc);
+  }
+
+  const MixRunStats mix =
+      RunMix(progs, job.workloads, cfg, options, spec.cores, &solo_ipcs);
+
+  JsonValue row = JsonValue::Object();
+  row.Set("id", JsonValue(JobId(m, job)));
+  JsonValue ws = JsonValue::Array();
+  for (const std::string& w : job.workloads) ws.Append(JsonValue(w));
+  row.Set("workloads", std::move(ws));
+  row.Set("config", JsonValue(spec.label));
+  if (mix.cosim_diverged) {
+    row.Set("failed", JsonValue(true));
+    row.Set("error", JsonValue(mix.cosim_summary));
+    std::fputs(mix.cosim_report.c_str(), stderr);
+    out.failed = true;
+  } else if (!mix.complete) {
+    row.Set("failed", JsonValue(true));
+    row.Set("error", JsonValue("incomplete: max_cycles fired before every "
+                               "context met its commit budget"));
+    out.failed = true;
+  }
+  row.Set("stats", MixRunStatsToJson(mix));
+  JsonValue compile = JsonValue::Object();
+  compile.Set("specs", JsonValue(specs));
+  compile.Set("slice_instrs",
+              JsonValue(static_cast<std::int64_t>(slice_instrs)));
+  row.Set("compile", std::move(compile));
+  out.row = std::move(row);
+  return out;
+}
+
+}  // namespace
 
 JsonValue BuildRunnerDocument(const Manifest& m, JsonValue jobs) {
   JsonValue doc = JsonValue::Object();
@@ -247,6 +326,11 @@ JobRun ExecuteJob(const Manifest& m, const JobSpec& job, WorkloadCache& cache,
   if (job.debug_hang) {
     out.row = MakeFailureRow(m, job, "debug_hang");
     out.failed = true;
+    return out;
+  }
+  if (job.is_mix()) {
+    out = ExecuteMixJob(m, job, cache, opts);
+    out.ms = NowMs() - t0;
     return out;
   }
 

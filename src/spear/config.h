@@ -58,6 +58,20 @@ struct SpearConfig {
   // Cycles per live-in register copy (paper assumes 1).
   std::uint32_t copy_cycles_per_reg = 1;
 
+  // CMP extension (off by default): when an XcoreArbiter is attached and an
+  // idle neighbor core exists at trigger time, run the session's p-thread
+  // on that donor core. The p-thread then warms the shared L2 only (the
+  // donor's private L1 is useless to the triggering core), uses the donor's
+  // functional units and issue bandwidth, and pays a higher live-in
+  // transfer cost. With no arbiter or no idle donor, sessions fall back to
+  // the same-core context.
+  bool xcore_pthreads = false;
+
+  // Cycles per live-in register for a *cross-core* live-in transfer
+  // (shipping values to the donor crosses the interconnect; 1 cycle is not
+  // plausible there).
+  std::uint32_t xcore_copy_cycles_per_reg = 3;
+
   // Extension (off by default): chaining trigger in the spirit of Collins
   // et al.'s Speculative Precomputation — when a session completes, the
   // next pre-decoded d-load re-arms immediately, bypassing the occupancy

@@ -31,6 +31,12 @@ class PThreadContext {
     store_buffer_.clear();
   }
 
+  // Repoints load forwarding at another main thread's memory image. A
+  // multiprogram core rebinds at every live-in snapshot so the p-thread
+  // reads its session owner's address space; must not be called
+  // mid-session (the store buffer would span two spaces).
+  void RebindMemory(const Memory* main_memory) { mem_ = main_memory; }
+
   // Live-in copy at trigger time: one unified register from the main
   // thread's deterministic state.
   void CopyLiveInInt(RegId reg, std::uint32_t value) { iregs_[reg] = value; }

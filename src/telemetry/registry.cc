@@ -12,7 +12,7 @@ void StatRegistry::BindCounter(const std::string& name, const std::uint64_t* v,
   e.kind = StatKind::kCounter;
   e.counter = v;
   e.desc = desc;
-  stats_[name] = std::move(e);
+  stats_[prefix_ + name] = std::move(e);
 }
 
 void StatRegistry::BindDistribution(const std::string& name,
@@ -23,7 +23,7 @@ void StatRegistry::BindDistribution(const std::string& name,
   e.kind = StatKind::kDistribution;
   e.dist = d;
   e.desc = desc;
-  stats_[name] = std::move(e);
+  stats_[prefix_ + name] = std::move(e);
 }
 
 void StatRegistry::AddFormula(const std::string& name, Formula fn,
@@ -33,7 +33,7 @@ void StatRegistry::AddFormula(const std::string& name, Formula fn,
   e.kind = StatKind::kFormula;
   e.formula = std::move(fn);
   e.desc = desc;
-  stats_[name] = std::move(e);
+  stats_[prefix_ + name] = std::move(e);
 }
 
 const StatRegistry::Entry& StatRegistry::At(const std::string& name) const {

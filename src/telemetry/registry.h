@@ -26,6 +26,13 @@ inline constexpr int kStatsSchemaVersion = 3;
 
 class StatRegistry {
  public:
+  // Name prefix prepended to every subsequent Bind*/AddFormula name. Lets a
+  // multi-instance owner (CmpSystem) reuse the components' RegisterStats
+  // methods verbatim under per-instance scopes ("core0.mem.l1d.hits.main").
+  // The default empty prefix leaves names exactly as registered.
+  void SetPrefix(std::string prefix) { prefix_ = std::move(prefix); }
+  const std::string& prefix() const { return prefix_; }
+
   // Binds a scalar counter by pointer. The pointee must outlive every read
   // of the registry. Re-binding an existing name replaces the binding (a
   // re-registered component keeps one entry, matching the old registry).
@@ -87,6 +94,7 @@ class StatRegistry {
 
   const Entry& At(const std::string& name) const;
 
+  std::string prefix_;
   std::map<std::string, Entry> stats_;
 };
 

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <deque>
+#include <limits>
 #include <set>
 #include <vector>
 
@@ -217,6 +218,57 @@ TEST(Rng, RangeIsInclusive) {
   }
   EXPECT_EQ(seen.size(), 5u);  // all five values hit
 }
+
+TEST(Rng, RangeFullInt64SpanIsDefined) {
+  // Regression: `hi - lo + 1` in signed arithmetic overflows for the full
+  // span, and the wrapped unsigned span of 0 used to reach Below(0) — a
+  // modulo by zero. The full-span request must instead return raw draws.
+  Rng rng(11);
+  bool neg = false, pos = false;
+  for (int i = 0; i < 256; ++i) {
+    const std::int64_t v = rng.Range(std::numeric_limits<std::int64_t>::min(),
+                                     std::numeric_limits<std::int64_t>::max());
+    neg = neg || v < 0;
+    pos = pos || v >= 0;
+  }
+  EXPECT_TRUE(neg && pos);  // raw 2^64 draw covers both halves
+}
+
+TEST(Rng, RangeDegenerateSingleton) {
+  Rng rng(11);
+  EXPECT_EQ(rng.Range(5, 5), 5);
+  EXPECT_EQ(rng.Range(std::numeric_limits<std::int64_t>::min(),
+                      std::numeric_limits<std::int64_t>::min()),
+            std::numeric_limits<std::int64_t>::min());
+  EXPECT_EQ(rng.Range(std::numeric_limits<std::int64_t>::max(),
+                      std::numeric_limits<std::int64_t>::max()),
+            std::numeric_limits<std::int64_t>::max());
+}
+
+TEST(Rng, RangeLargeSpanStaysInBounds) {
+  // One below the full span: span wraps to UINT64_MAX, the widest Below()
+  // ever sees. Every draw must stay inside the requested interval.
+  const std::int64_t lo = std::numeric_limits<std::int64_t>::min() + 1;
+  const std::int64_t hi = std::numeric_limits<std::int64_t>::max() - 1;
+  Rng rng(11);
+  for (int i = 0; i < 256; ++i) {
+    const std::int64_t v = rng.Range(lo, hi);
+    EXPECT_GE(v, lo);
+    EXPECT_LE(v, hi);
+  }
+}
+
+#ifndef NDEBUG
+TEST(RngDeathTest, BelowZeroBoundAborts) {
+  Rng rng(1);
+  EXPECT_DEATH(rng.Below(0), "SPEAR_CHECK failed");
+}
+
+TEST(RngDeathTest, RangeInvertedBoundsAbort) {
+  Rng rng(1);
+  EXPECT_DEATH(rng.Range(3, 2), "SPEAR_CHECK failed");
+}
+#endif
 
 TEST(Rng, ForkedStreamIsIndependent) {
   Rng a(99);

@@ -243,6 +243,44 @@ TEST_P(CoreRandomized, MatchesOracleOnRandomWalk) {
 INSTANTIATE_TEST_SUITE_P(Seeds, CoreRandomized,
                          testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
 
+// ---- event scheduler geometry ----
+
+TEST(EventScheduler, SetSlotCountReattachIsACleanSlate) {
+  // Regression: a scheduler re-attached to a *smaller* RUU kept its old,
+  // larger wakeup table, so waiters(slot) passed its bounds check for
+  // slots no live RUU entry backs and stale waiters survived the attach.
+  EventScheduler sched;
+  sched.SetSlotCount(8);
+  EXPECT_EQ(sched.slot_count(), 8u);
+  sched.waiters(7).push_back({/*producer_seq=*/1, /*consumer_seq=*/2,
+                              /*consumer_slot=*/3});
+  EXPECT_FALSE(sched.empty());
+  sched.waiters(7).clear();  // drain before re-attach, as teardown does
+  ASSERT_TRUE(sched.empty());
+
+  sched.SetSlotCount(4);
+  EXPECT_EQ(sched.slot_count(), 4u);
+  EXPECT_TRUE(sched.empty());
+  for (std::size_t s = 0; s < sched.slot_count(); ++s) {
+    EXPECT_TRUE(sched.waiters(s).empty());
+  }
+}
+
+#ifndef NDEBUG
+TEST(EventSchedulerDeathTest, ReattachWithLiveStateAborts) {
+  EventScheduler sched;
+  sched.SetSlotCount(8);
+  sched.InsertReady(SchedRef{/*seq=*/1, /*slot=*/0});
+  EXPECT_DEATH(sched.SetSlotCount(4), "SPEAR_CHECK failed");
+}
+
+TEST(EventSchedulerDeathTest, WaiterSlotPastTableAborts) {
+  EventScheduler sched;
+  sched.SetSlotCount(4);
+  EXPECT_DEATH(sched.waiters(4), "SPEAR_CHECK failed");
+}
+#endif
+
 // ---- timing sanity ----
 
 TEST(CoreTiming, IndependentAluOpsReachMultipleIpc) {

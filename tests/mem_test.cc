@@ -100,6 +100,61 @@ TEST(Cache, PerThreadAttribution) {
   EXPECT_EQ(c.hits(kMainThread), 1u);
 }
 
+TEST(Cache, AsidKeysSeparateAddressSpaces) {
+  // Shared-L2 CMP contract (DESIGN.md §17): the same virtual address from
+  // two address spaces must occupy distinct lines — a hit in one space
+  // never satisfies the other.
+  Cache c(SmallCache());
+  EXPECT_FALSE(c.Access(0x100, false, kMainThread, /*asid=*/0));
+  EXPECT_FALSE(c.Access(0x100, false, kMainThread, /*asid=*/1));  // no alias
+  EXPECT_TRUE(c.Access(0x100, false, kMainThread, /*asid=*/0));
+  EXPECT_TRUE(c.Access(0x100, false, kMainThread, /*asid=*/1));
+  EXPECT_TRUE(c.Contains(0x100, /*asid=*/0));
+  EXPECT_TRUE(c.Contains(0x100, /*asid=*/1));
+  EXPECT_FALSE(c.Contains(0x100, /*asid=*/2));
+}
+
+TEST(Cache, AsidZeroMatchesHistoricalSingleSpaceBehavior) {
+  // asid 0 must key blocks exactly as the pre-CMP cache did so
+  // single-program configs stay bit-exact.
+  Cache a(SmallCache()), b(SmallCache());
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const Addr addr = static_cast<Addr>(rng.Below(0x400));
+    const bool write = rng.Chance(0.3);
+    EXPECT_EQ(a.Access(addr, write, kMainThread),
+              b.Access(addr, write, kMainThread, /*asid=*/0));
+  }
+  EXPECT_EQ(a.misses(kMainThread), b.misses(kMainThread));
+  EXPECT_EQ(a.writebacks(), b.writebacks());
+}
+
+TEST(Cache, ConfigureThreadSlotsWidensPerThreadCounters) {
+  // SMT cores carry N main contexts + the p-thread; the per-thread
+  // hit/miss vectors must track every tid independently.
+  Cache c(SmallCache());
+  c.ConfigureThreadSlots(4);
+  for (ThreadId t = 0; t < 4; ++t) {
+    c.Access(0x100, false, t);  // tid 0 misses, the rest hit
+  }
+  EXPECT_EQ(c.misses(0), 1u);
+  EXPECT_EQ(c.hits(0), 0u);
+  for (ThreadId t = 1; t < 4; ++t) {
+    EXPECT_EQ(c.misses(t), 0u);
+    EXPECT_EQ(c.hits(t), 1u);
+  }
+}
+
+#ifndef NDEBUG
+TEST(CacheDeathTest, OutOfRangeTidAborts) {
+  // Regression: counters were hardcoded to two slots, so tid 2 from a
+  // second SMT context silently corrupted adjacent memory.
+  Cache c(SmallCache());  // default 2 slots: main + p-thread
+  EXPECT_DEATH(c.Access(0x100, false, /*tid=*/2), "SPEAR_CHECK failed");
+  EXPECT_DEATH(c.hits(2), "SPEAR_CHECK failed");
+}
+#endif
+
 TEST(Cache, InvalidateEmptiesAllSets) {
   Cache c(SmallCache());
   c.Access(0x000, false, kMainThread);

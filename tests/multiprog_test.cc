@@ -1,0 +1,236 @@
+// Multiprogram execution (DESIGN.md §17): SMT contexts sharing one core,
+// the CMP wrapper's shared L2 and cross-core pre-execution, plus the
+// per-thread cosim attribution the mix runs rely on.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "cosim/cosim.h"
+#include "cpu/cmp.h"
+#include "cpu/core.h"
+#include "eval/harness.h"
+#include "sim/emulator.h"
+#include "test_programs.h"
+
+namespace spear {
+namespace {
+
+using testprog::BuildChase;
+using testprog::BuildGather;
+using testprog::GatherProgram;
+
+// ---- SMT: N main-thread contexts on one core ----
+
+TEST(SmtCore, VectorCtorWithOneProgramMatchesSingleCtor) {
+  const GatherProgram g = BuildGather(4000, 1 << 16);
+  Core a(g.prog, SpearCoreConfig(128));
+  Core b({&g.prog}, SpearCoreConfig(128));
+  const RunResult ra = a.Run(UINT64_MAX, 50'000'000);
+  const RunResult rb = b.Run(UINT64_MAX, 50'000'000);
+  ASSERT_TRUE(ra.halted);
+  EXPECT_EQ(ra.cycles, rb.cycles);
+  EXPECT_EQ(ra.instructions, rb.instructions);
+  EXPECT_EQ(a.outputs(), b.outputs());
+}
+
+TEST(SmtCore, TwoContextsPreserveBothPrograms) {
+  const GatherProgram g = BuildGather(3000, 1 << 16);
+  const Program chase = BuildChase(256, 3000);
+  Emulator eg(g.prog), ec(chase);
+  eg.Run(10'000'000);
+  ec.Run(10'000'000);
+  ASSERT_TRUE(eg.halted() && ec.halted());
+
+  Core core({&g.prog, &chase}, SpearCoreConfig(128));
+  const RunResult rr = core.Run(UINT64_MAX, 100'000'000);
+  ASSERT_TRUE(rr.halted);
+  EXPECT_EQ(core.thread_outputs(0), eg.outputs());
+  EXPECT_EQ(core.thread_outputs(1), ec.outputs());
+  EXPECT_TRUE(core.thread_result(0).halted);
+  EXPECT_TRUE(core.thread_result(1).halted);
+  EXPECT_EQ(core.thread_result(0).committed + core.thread_result(1).committed,
+            rr.instructions);
+}
+
+TEST(SmtCore, IcountKeepsIdenticalProgramsInStep) {
+  // Two copies of the same program under ICOUNT fetch should advance at
+  // (nearly) the same rate; a starved context would show up as a large
+  // commit imbalance.
+  const GatherProgram g = BuildGather(3000, 1 << 16);
+  Core core({&g.prog, &g.prog}, BaselineConfig(128));
+  core.Run(40'000, 50'000'000);  // cut mid-run: both contexts still active
+  const std::uint64_t a = core.thread_result(0).committed;
+  const std::uint64_t b = core.thread_result(1).committed;
+  ASSERT_GE(a + b, 40'000u);
+  const std::uint64_t hi = a > b ? a : b;
+  const std::uint64_t lo = a > b ? b : a;
+  EXPECT_LE(hi - lo, hi / 10);  // within 10%
+}
+
+TEST(SmtCore, MixRunIsDeterministic) {
+  const GatherProgram g = BuildGather(2000, 1 << 15);
+  const Program chase = BuildChase(128, 2000);
+  EvalOptions opt;
+  opt.sim_instrs = 30'000;
+  CoreConfig cfg = SpearCoreConfig(128);
+  cfg.cosim_check = true;
+  const MixRunStats r1 =
+      RunMix({&g.prog, &chase}, {"gather", "chase"}, cfg, opt);
+  const MixRunStats r2 =
+      RunMix({&g.prog, &chase}, {"gather", "chase"}, cfg, opt);
+  EXPECT_FALSE(r1.cosim_diverged);
+  EXPECT_GT(r1.cosim_checked, 0u);
+  // Byte-identical result documents, run to run.
+  EXPECT_EQ(MixRunStatsToJson(r1).Dump(2), MixRunStatsToJson(r2).Dump(2));
+}
+
+TEST(SmtCore, CosimCleanOnTwoContextMix) {
+  const GatherProgram g = BuildGather(3000, 1 << 16);
+  const Program chase = BuildChase(256, 3000);
+  Core core({&g.prog, &chase}, SpearCoreConfig(128));
+  cosim::CosimChecker checker(std::vector<const Program*>{&g.prog, &chase});
+  core.set_cosim(&checker);
+  const RunResult rr = core.Run(UINT64_MAX, 100'000'000);
+  ASSERT_TRUE(rr.halted);
+  EXPECT_TRUE(checker.ok());
+  EXPECT_GT(checker.commits_checked(0), 0u);
+  EXPECT_GT(checker.commits_checked(1), 0u);
+  EXPECT_EQ(checker.commits_checked(0) + checker.commits_checked(1),
+            checker.stats().commits_checked);
+}
+
+TEST(SmtCore, InjectedDivergenceIsAttributedToTheCorruptedThread) {
+  const GatherProgram g = BuildGather(3000, 1 << 16);
+  const Program chase = BuildChase(256, 3000);
+  cosim::CosimChecker::Config cc;
+  cc.inject_at = 40;
+  cc.inject_tid = 1;  // corrupt thread 1's 40th commit only
+  cosim::CosimChecker checker(std::vector<const Program*>{&g.prog, &chase},
+                              cc);
+  Core core({&g.prog, &chase}, BaselineConfig(128));
+  core.set_cosim(&checker);
+  core.Run(UINT64_MAX, 100'000'000);
+  ASSERT_FALSE(checker.ok());
+  EXPECT_EQ(checker.divergence()->record.tid, 1);
+  EXPECT_EQ(checker.commits_checked(1), 40u);
+  EXPECT_NE(checker.Summary().find("[thread 1]"), std::string::npos);
+  EXPECT_NE(checker.Report().find("[thread 1]"), std::string::npos);
+}
+
+// ---- CMP: one program per core over a shared L2 ----
+
+TEST(CmpSystem, LockstepRunPreservesEveryProgram) {
+  const GatherProgram g = BuildGather(3000, 1 << 16);
+  const Program chase = BuildChase(256, 3000);
+  Emulator eg(g.prog), ec(chase);
+  eg.Run(10'000'000);
+  ec.Run(10'000'000);
+
+  CmpSystem cmp({&g.prog, &chase}, SpearCoreConfig(128));
+  cmp.EnableCosim();
+  const RunResult rr = cmp.Run(UINT64_MAX, 100'000'000);
+  ASSERT_TRUE(rr.halted);
+  EXPECT_FALSE(cmp.cosim_diverged());
+  EXPECT_GT(cmp.cosim_checked(), 0u);
+  EXPECT_EQ(cmp.core(0).thread_outputs(0), eg.outputs());
+  EXPECT_EQ(cmp.core(1).thread_outputs(0), ec.outputs());
+}
+
+TEST(CmpSystem, RunIsDeterministic) {
+  const GatherProgram g = BuildGather(2000, 1 << 15);
+  const Program chase = BuildChase(128, 2000);
+  CmpSystem a({&g.prog, &chase}, SpearCoreConfig(128));
+  CmpSystem b({&g.prog, &chase}, SpearCoreConfig(128));
+  const RunResult ra = a.Run(30'000, 50'000'000);
+  const RunResult rb = b.Run(30'000, 50'000'000);
+  EXPECT_EQ(ra.cycles, rb.cycles);
+  EXPECT_EQ(ra.instructions, rb.instructions);
+  EXPECT_EQ(a.core(0).stats().committed, b.core(0).stats().committed);
+  EXPECT_EQ(a.core(1).stats().committed, b.core(1).stats().committed);
+}
+
+TEST(CmpSystem, InjectedDivergenceLandsOnTheTargetCore) {
+  const GatherProgram g = BuildGather(3000, 1 << 16);
+  const Program chase = BuildChase(256, 3000);
+  CmpSystem cmp({&g.prog, &chase}, BaselineConfig(128));
+  cosim::CosimChecker::Config cc;
+  cc.inject_at = 40;
+  cmp.EnableCosim(cc, /*target_core=*/1);
+  cmp.Run(UINT64_MAX, 100'000'000);
+  EXPECT_TRUE(cmp.cosim_diverged());
+  EXPECT_FALSE(cmp.core(0).cosim_diverged());
+  EXPECT_TRUE(cmp.core(1).cosim_diverged());
+  EXPECT_FALSE(cmp.CosimReport().empty());
+}
+
+TEST(CmpSystem, SharedL2DoesNotAliasIdenticalAddressSpaces) {
+  // Two cores run the *same* program — identical virtual addresses. With
+  // asid-keyed tags each core must take its own L2 misses; aliasing would
+  // let core 1 hit on core 0's lines and cut the shared-L2 miss count
+  // below twice the solo run's. (Set contention can only add misses.)
+  const GatherProgram g = BuildGather(3000, 1 << 16);
+  const CoreConfig cfg = BaselineConfig(128);
+
+  Core solo(g.prog, cfg);
+  solo.Run(UINT64_MAX, 100'000'000);
+  const std::uint64_t solo_l2 = solo.hierarchy().l2().misses(0) +
+                                solo.hierarchy().l2().misses(1);
+  ASSERT_GT(solo_l2, 0u);
+
+  CmpSystem cmp({&g.prog, &g.prog}, cfg);
+  cmp.EnableCosim();
+  const RunResult rr = cmp.Run(UINT64_MAX, 100'000'000);
+  ASSERT_TRUE(rr.halted);
+  EXPECT_FALSE(cmp.cosim_diverged());
+  const std::uint64_t shared_l2 =
+      cmp.shared_l2().misses(0) + cmp.shared_l2().misses(1);
+  EXPECT_GE(shared_l2, 2 * solo_l2);
+}
+
+TEST(CmpSystem, CrossCorePreExecutionRunsOnIdleDonor) {
+  // Gather triggers constantly; the chase partner is mostly idle between
+  // its serial misses, so donor grants must happen. The sessions must
+  // stay architecturally invisible (cosim-clean, outputs intact).
+  const GatherProgram g = BuildGather(3000, 1 << 16);
+  const Program chase = BuildChase(256, 3000);
+  Emulator eg(g.prog);
+  eg.Run(10'000'000);
+
+  CoreConfig cfg = SpearCoreConfig(128);
+  cfg.spear.xcore_pthreads = true;
+  CmpSystem cmp({&g.prog, &chase}, cfg);
+  cmp.EnableCosim();
+  const RunResult rr = cmp.Run(UINT64_MAX, 100'000'000);
+  ASSERT_TRUE(rr.halted);
+  EXPECT_FALSE(cmp.cosim_diverged());
+  const CoreStats& s0 = cmp.core(0).stats();
+  EXPECT_GT(s0.xcore_sessions, 0u);
+  EXPECT_EQ(cmp.core(0).thread_outputs(0), eg.outputs());
+  // A cross-core p-thread warms the shared L2 only — the p-thread slot of
+  // core 0's *private* L1 must stay untouched while sessions ran there.
+  EXPECT_GT(cmp.shared_l2().misses(1) + cmp.shared_l2().hits(1), 0u);
+}
+
+TEST(CmpSystem, XcoreFallsBackToOwnCoreWhenNoDonorIsIdle) {
+  // Both cores run the trigger-heavy gather: donors are usually busy with
+  // their own sessions, so at least some sessions must take the same-core
+  // fallback — and the counters must account for every session one way or
+  // the other.
+  const GatherProgram g = BuildGather(3000, 1 << 16);
+  CoreConfig cfg = SpearCoreConfig(128);
+  cfg.spear.xcore_pthreads = true;
+  CmpSystem cmp({&g.prog, &g.prog}, cfg);
+  cmp.EnableCosim();
+  const RunResult rr = cmp.Run(UINT64_MAX, 100'000'000);
+  ASSERT_TRUE(rr.halted);
+  EXPECT_FALSE(cmp.cosim_diverged());
+  const CoreStats& s0 = cmp.core(0).stats();
+  const CoreStats& s1 = cmp.core(1).stats();
+  EXPECT_GT(s0.xcore_sessions + s0.xcore_fallback_same_core +
+                s1.xcore_sessions + s1.xcore_fallback_same_core,
+            0u);
+}
+
+}  // namespace
+}  // namespace spear

@@ -7,6 +7,9 @@
 //       --trace-start=1000 --trace-cycles=5000
 //   spearsim prog.spearbin --functional
 //   spearsim prog.spear.bin --spear --cosim       # lockstep oracle check
+//   spearsim a.spear.bin b.spear.bin              # 2-context SMT mix
+//   spearsim prog.spear.bin --threads 2           # same binary, 2 contexts
+//   spearsim a.spear.bin b.spear.bin --cores 2 --spear --xcore-pthreads
 //
 // Exit codes follow the shared table in tool_flags.h (4 = cosim
 // divergence).
@@ -16,6 +19,7 @@
 
 #include "cosim/cosim.h"
 #include "cpu/core.h"
+#include "eval/harness.h"
 #include "isa/binary.h"
 #include "isa/disasm.h"
 #include "runner/checkpoint.h"
@@ -33,6 +37,12 @@ int main(int argc, char** argv) {
        {"spear", "enable the SPEAR front end (needs an annotated binary)"},
        {"ifq", "IFQ size (default 128)"},
        {"sf", "separate functional units for the p-thread"},
+       {"threads", "run the (single) binary as N co-scheduled SMT "
+                   "contexts; several positional binaries form a mix"},
+       {"cores", "CMP mode: one core per program over a shared L2 "
+                 "(must equal the program count)"},
+       {"xcore-pthreads", "spawn p-threads on an idle donor core, warming "
+                          "the shared L2 only (needs --spear --cores >= 2)"},
        {"stride", "enable the stride-prefetcher baseline"},
        {"chaining", "enable the chaining-trigger extension"},
        {"mem-latency", "main memory latency in cycles (default 120)"},
@@ -118,6 +128,130 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "warning: --spear but the binary has no p-thread section "
                  "(run spearc first)\n");
+  }
+
+  // Multiprogram runs (DESIGN.md §17): several positional binaries (or
+  // --threads N replicas of one) as co-scheduled SMT contexts, or one per
+  // core with --cores. A separate branch so the single-program paths —
+  // and their stats documents — stay byte-identical.
+  const auto threads_flag =
+      static_cast<std::uint32_t>(flags.GetInt("threads", 1));
+  const auto cores_flag =
+      static_cast<std::uint32_t>(flags.GetInt("cores", 1));
+  const bool xcore = flags.GetBool("xcore-pthreads");
+  if (flags.positional().size() > 1 || threads_flag > 1 || cores_flag > 1 ||
+      xcore) {
+    if (flags.Has("ff-instrs") || flags.Has("sampling-period") ||
+        flags.Has("trace-out") || flags.GetBool("taint")) {
+      std::fprintf(stderr,
+                   "spearsim: --ff-instrs, --sampling-*, --trace-out and "
+                   "--taint are single-program features\n");
+      return tools::kExitUsage;
+    }
+    if (threads_flag > 1 && flags.positional().size() > 1) {
+      std::fprintf(stderr,
+                   "spearsim: --threads replicates one binary; pass either "
+                   "--threads or several binaries, not both\n");
+      return tools::kExitUsage;
+    }
+    std::vector<Program> extra;
+    extra.reserve(flags.positional().size());
+    for (std::size_t i = 1; i < flags.positional().size(); ++i) {
+      extra.push_back(ReadProgram(flags.positional()[i],
+                                  flags.GetBool("strict-specs")
+                                      ? SpecLoadPolicy::kReject
+                                      : SpecLoadPolicy::kWarn));
+    }
+    std::vector<const Program*> progs = {&prog};
+    std::vector<std::string> names = {flags.positional()[0]};
+    for (std::size_t i = 0; i < extra.size(); ++i) {
+      progs.push_back(&extra[i]);
+      names.push_back(flags.positional()[i + 1]);
+    }
+    for (std::uint32_t t = 1; t < threads_flag; ++t) {
+      progs.push_back(&prog);
+      names.push_back(flags.positional()[0]);
+    }
+    if (cores_flag != 1 &&
+        cores_flag != static_cast<std::uint32_t>(progs.size())) {
+      std::fprintf(stderr,
+                   "spearsim: --cores=%u with %zu programs (CMP mode wants "
+                   "one core per program)\n",
+                   cores_flag, progs.size());
+      return tools::kExitUsage;
+    }
+    if (xcore && (!flags.GetBool("spear") || cores_flag < 2)) {
+      std::fprintf(stderr,
+                   "spearsim: --xcore-pthreads needs --spear and "
+                   "--cores >= 2\n");
+      return tools::kExitUsage;
+    }
+    if (flags.GetBool("cosim") && !cosim::kCosimCompiled) {
+      std::fprintf(stderr,
+                   "spearsim: cosim hooks compiled out "
+                   "(SPEAR_ENABLE_COSIM=0); --cosim unavailable\n");
+      return tools::kExitUsage;
+    }
+    cfg.spear.xcore_pthreads = xcore;
+    cfg.cosim_check = flags.GetBool("cosim") || flags.Has("cosim-inject");
+    EvalOptions opt;
+    opt.sim_instrs = max_instrs;
+    opt.max_cycles = max_cycles;
+    opt.cosim_inject_at =
+        static_cast<std::uint64_t>(flags.GetInt("cosim-inject", 0));
+    const MixRunStats mix = RunMix(progs, names, cfg, opt, cores_flag);
+    if (mix.cosim_diverged) {
+      std::fputs(mix.cosim_report.c_str(), stderr);
+      return tools::kExitCosimDivergence;
+    }
+    if (cfg.cosim_check) {
+      std::printf("cosim             OK — %llu commits checked across "
+                  "contexts\n",
+                  static_cast<unsigned long long>(mix.cosim_checked));
+    }
+    if (!mix.complete) {
+      std::fprintf(stderr,
+                   "spearsim: INCOMPLETE — max_cycles (%llu) elapsed before "
+                   "every context met its budget\n",
+                   static_cast<unsigned long long>(max_cycles));
+    }
+    std::printf("topology          %zu contexts on %u core%s%s\n",
+                progs.size(), cores_flag == 1 ? 1u : cores_flag,
+                cores_flag > 1 ? "s" : "",
+                xcore ? " (cross-core p-threads)" : "");
+    std::printf("cycles            %llu\n",
+                static_cast<unsigned long long>(mix.cycles));
+    std::printf("instructions      %llu (throughput IPC %.4f)\n",
+                static_cast<unsigned long long>(mix.instructions),
+                mix.throughput_ipc);
+    for (std::size_t i = 0; i < mix.threads.size(); ++i) {
+      const ThreadRunStats& t = mix.threads[i];
+      std::printf("thread %zu          %s: %llu committed in %llu cycles "
+                  "(IPC %.4f, halted=%d)\n",
+                  i, t.name.c_str(),
+                  static_cast<unsigned long long>(t.committed),
+                  static_cast<unsigned long long>(t.cycles), t.ipc,
+                  t.halted);
+    }
+    if (flags.Has("stats-json")) {
+      telemetry::JsonValue doc = telemetry::JsonValue::Object();
+      doc.Set("schema_version",
+              telemetry::JsonValue(telemetry::kStatsSchemaVersion));
+      doc.Set("kind", telemetry::JsonValue("spearsim-mix"));
+      telemetry::JsonValue bins = telemetry::JsonValue::Array();
+      for (const std::string& n : names) bins.Append(telemetry::JsonValue(n));
+      doc.Set("binaries", std::move(bins));
+      doc.Set("spear", telemetry::JsonValue(flags.GetBool("spear")));
+      doc.Set("cores", telemetry::JsonValue(
+                           static_cast<std::int64_t>(cores_flag)));
+      doc.Set("complete", telemetry::JsonValue(mix.complete));
+      doc.Set("stats", MixRunStatsToJson(mix));
+      if (!telemetry::WriteFileOrStdout(flags.Get("stats-json"),
+                                        doc.Dump(2) + "\n")) {
+        return 1;
+      }
+    }
+    return mix.complete ? 0 : 3;
   }
 
   // Interval sampling (DESIGN.md §14): its own run path — the region
